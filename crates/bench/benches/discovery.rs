@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks of the discovery algorithms on fixed, small
+//! workloads (wall-clock per complete discovery run; the paper's metric —
+//! query count — is reported by the `experiments` binary instead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use skyweb_core::{BaselineCrawl, Discoverer, MqDbSky, PqDbSky, RqDbSky, SqDbSky};
+use skyweb_datagen::{flights_dot, Dataset};
+use skyweb_hidden_db::InterfaceType;
+
+fn flights(n: usize) -> Dataset {
+    flights_dot::generate(&flights_dot::FlightsDotConfig { n, seed: 2015 })
+}
+
+fn range_projection(ds: &Dataset) -> Dataset {
+    let names = ["dep_delay", "taxi_out", "taxi_in", "air_time", "arrival_delay"];
+    let mut out = ds.project(&names);
+    for name in &names {
+        out = out.with_interface(name, InterfaceType::Rq);
+    }
+    out
+}
+
+fn point_projection(ds: &Dataset) -> Dataset {
+    ds.project(&["delay_group", "distance_group", "taxi_out_group"])
+}
+
+fn mixed_projection(ds: &Dataset) -> Dataset {
+    let mut out = ds.project(&["dep_delay", "taxi_out", "delay_group", "distance_group"]);
+    for name in ["dep_delay", "taxi_out"] {
+        out = out.with_interface(name, InterfaceType::Rq);
+    }
+    out
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let base = flights(4_000);
+    let mut group = c.benchmark_group("discovery");
+    group.sample_size(10);
+
+    let range = range_projection(&base);
+    group.bench_function(BenchmarkId::new("sq_db_sky", "flights5d/k10"), |b| {
+        b.iter(|| {
+            let db = range.clone().into_db_sum(10);
+            SqDbSky::new().discover(&db).unwrap().query_cost
+        })
+    });
+    group.bench_function(BenchmarkId::new("rq_db_sky", "flights5d/k10"), |b| {
+        b.iter(|| {
+            let db = range.clone().into_db_sum(10);
+            RqDbSky::new().discover(&db).unwrap().query_cost
+        })
+    });
+    group.bench_function(BenchmarkId::new("baseline_crawl", "flights5d/k50"), |b| {
+        b.iter(|| {
+            let db = range.clone().into_db_sum(50);
+            BaselineCrawl::new().discover(&db).unwrap().query_cost
+        })
+    });
+
+    let point = point_projection(&base);
+    group.bench_function(BenchmarkId::new("pq_db_sky", "flights3d/k10"), |b| {
+        b.iter(|| {
+            let db = point.clone().into_db_sum(10);
+            PqDbSky::new().discover(&db).unwrap().query_cost
+        })
+    });
+
+    let mixed = mixed_projection(&base);
+    group.bench_function(BenchmarkId::new("mq_db_sky", "flights2rq2pq/k10"), |b| {
+        b.iter(|| {
+            let db = mixed.clone().into_db_sum(10);
+            MqDbSky::new().discover(&db).unwrap().query_cost
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

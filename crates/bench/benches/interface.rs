@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks of the hidden-database query interface itself
+//! (per-query cost of predicate evaluation + top-k ranking), which bounds
+//! how fast the simulated "web accesses" of the experiment harness can be.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use skyweb_datagen::flights_dot;
+use skyweb_hidden_db::{HiddenDb, Predicate, Query};
+
+fn db(n: usize, k: usize) -> HiddenDb {
+    flights_dot::generate(&flights_dot::FlightsDotConfig { n, seed: 2015 }).into_db_sum(k)
+}
+
+fn bench_interface(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interface");
+    group.sample_size(20);
+
+    for &n in &[10_000usize, 100_000] {
+        let database = db(n, 50);
+        group.bench_function(BenchmarkId::new("select_all_top50", n), |b| {
+            b.iter(|| database.query(&Query::select_all()).unwrap().len())
+        });
+        let selective = Query::new(vec![
+            Predicate::lt(0, 30),
+            Predicate::lt(1, 40),
+            Predicate::eq(6, 0),
+        ]);
+        group.bench_function(BenchmarkId::new("selective_conjunction", n), |b| {
+            b.iter(|| database.query(&selective).unwrap().len())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_interface);
+criterion_main!(benches);

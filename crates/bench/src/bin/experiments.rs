@@ -1,0 +1,74 @@
+//! Experiment harness: regenerates the series behind every figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! experiments [fig04|fig06|...|fig24|all]... [--quick|--full]
+//! experiments --list
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use skyweb_bench::{figures, Scale};
+
+fn usage() {
+    eprintln!("usage: experiments [--list] [--quick|--full] [all | figNN ...]");
+    eprintln!("known figures: {}", figures::ALL_FIGURES.join(", "));
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut requested: Vec<String> = Vec::new();
+
+    for arg in &args {
+        if arg == "--list" {
+            for id in figures::ALL_FIGURES {
+                println!("{id}");
+            }
+            return ExitCode::SUCCESS;
+        } else if let Some(s) = Scale::from_flag(arg) {
+            scale = s;
+        } else if arg == "all" || figures::ALL_FIGURES.contains(&arg.as_str()) {
+            requested.push(arg.clone());
+        } else {
+            eprintln!("unknown argument: {arg}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    }
+    if requested.is_empty() {
+        requested.push("all".to_string());
+    }
+
+    println!(
+        "# skyweb experiment harness — scale: {:?}",
+        scale
+    );
+    let started = Instant::now();
+    for req in requested {
+        if req == "all" {
+            for id in figures::ALL_FIGURES {
+                run_one(id, scale);
+            }
+        } else {
+            run_one(&req, scale);
+        }
+    }
+    println!(
+        "# done in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_one(id: &str, scale: Scale) {
+    let started = Instant::now();
+    match figures::by_id(id, scale) {
+        Some(result) => {
+            println!("{result}");
+            println!("  ({id} took {:.1}s)\n", started.elapsed().as_secs_f64());
+        }
+        None => eprintln!("unknown figure {id}"),
+    }
+}

@@ -1,0 +1,72 @@
+//! Shared workload-construction helpers for the figure harnesses.
+
+use skyweb_core::{Discoverer, DiscoveryResult, TracePoint};
+use skyweb_datagen::{flights_dot, Dataset};
+use skyweb_hidden_db::{HiddenDb, InterfaceType};
+use skyweb_skyline::sfs_skyline;
+
+use crate::Scale;
+
+/// Generates the DOT-like flight dataset used by the offline experiments
+/// (Figures 13–21). The quick scale keeps the schema and correlation
+/// structure but shrinks the cardinality.
+pub(crate) fn flights_base(scale: Scale) -> Dataset {
+    let n = scale.pick(25_000, 457_013);
+    flights_dot::generate(&flights_dot::FlightsDotConfig { n, seed: 2015 })
+}
+
+/// The nine primary ranking attributes of the DOT dataset, all re-declared
+/// as two-ended range attributes (the configuration of the paper's
+/// "interfaces with range predicates" experiments).
+pub(crate) fn flights_all_rq(base: &Dataset) -> Dataset {
+    let names: Vec<&str> = flights_dot::PRIMARY_RANKING.to_vec();
+    let mut ds = base.project(&names);
+    for name in &names {
+        ds = ds.with_interface(name, InterfaceType::Rq);
+    }
+    ds
+}
+
+/// Runs a discoverer and panics with a readable message on interface errors
+/// (which would indicate a bug in the harness wiring, not in the algorithm).
+pub(crate) fn run(alg: &dyn Discoverer, db: &HiddenDb) -> DiscoveryResult {
+    alg.discover(db)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()))
+}
+
+/// Ground-truth skyline size of a dataset (server-side knowledge used only
+/// for reporting).
+pub(crate) fn skyline_size(ds: &Dataset) -> usize {
+    sfs_skyline(&ds.tuples, &ds.schema).len()
+}
+
+/// Converts an anytime trace into "queries needed to reach the i-th skyline
+/// tuple" (1-based), the series plotted by the paper's anytime figures.
+pub(crate) fn queries_per_discovery(trace: &[TracePoint], up_to: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(up_to);
+    for target in 1..=up_to {
+        let q = trace
+            .iter()
+            .find(|p| p.skyline_found >= target)
+            .map(|p| p.queries)
+            .unwrap_or_else(|| trace.last().map(|p| p.queries).unwrap_or(0));
+        out.push(q);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_conversion() {
+        let trace = vec![
+            TracePoint { queries: 1, skyline_found: 1 },
+            TracePoint { queries: 4, skyline_found: 1 },
+            TracePoint { queries: 6, skyline_found: 3 },
+        ];
+        assert_eq!(queries_per_discovery(&trace, 3), vec![1, 6, 6]);
+        assert_eq!(queries_per_discovery(&trace, 4), vec![1, 6, 6, 6]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Figures 18 and 19: the offline experiments over mixed range/point
+//! interfaces (impact of n, and of the number of range vs point attributes).
+
+use skyweb_core::MqDbSky;
+use skyweb_datagen::Dataset;
+use skyweb_hidden_db::InterfaceType;
+
+use super::helpers::{flights_base, run};
+use crate::{FigureResult, Scale};
+
+/// Builds a mixed-interface projection of the flight dataset with the given
+/// range attributes (as RQ) and point attributes (as PQ).
+fn mixed_projection(base: &Dataset, range: &[&str], point: &[&str]) -> Dataset {
+    let names: Vec<&str> = range.iter().chain(point.iter()).copied().collect();
+    let mut ds = base.project(&names);
+    for name in range {
+        ds = ds.with_interface(name, InterfaceType::Rq);
+    }
+    for name in point {
+        ds = ds.with_interface(name, InterfaceType::Pq);
+    }
+    ds
+}
+
+/// Figure 18: MQ-DB-SKY query cost vs the number of tuples for a 3-RQ +
+/// 2-PQ interface.
+pub fn fig18(scale: Scale) -> FigureResult {
+    let sizes: Vec<usize> =
+        scale.pick(vec![2_000, 5_000, 10_000], vec![20_000, 40_000, 60_000, 80_000, 100_000]);
+    let k = 10;
+    let base = flights_base(scale);
+    let range = ["dep_delay", "taxi_out", "distance"];
+    let point = ["distance_group_long", "delay_group"];
+
+    let mut fig = FigureResult::new(
+        "fig18",
+        format!("Mixed predicates, impact of n (3 RQ + 2 PQ, k = {k})"),
+        vec!["n", "mq_cost", "skyline_found"],
+    );
+    for (i, &n) in sizes.iter().enumerate() {
+        let ds = mixed_projection(&base.sample(n, 18 + i as u64), &range, &point);
+        let result = run(&MqDbSky::new(), &ds.into_db_sum(k));
+        fig.push_row(vec![
+            n as f64,
+            result.query_cost as f64,
+            result.skyline.len() as f64,
+        ]);
+    }
+    fig
+}
+
+/// Figure 19: MQ-DB-SKY query cost when growing the number of range
+/// attributes (with one point attribute) vs growing the number of point
+/// attributes (with one range attribute).
+pub fn fig19(scale: Scale) -> FigureResult {
+    let n = scale.pick(5_000, 50_000);
+    let k = 10;
+    let base = flights_base(scale).sample(n, 19);
+
+    let range_pool = ["dep_delay", "taxi_out", "taxi_in", "arrival_delay", "actual_elapsed"];
+    let point_pool = [
+        "distance_group_long",
+        "air_time_group",
+        "delay_group",
+        "taxi_out_group",
+        "arrival_delay_group",
+    ];
+
+    let mut fig = FigureResult::new(
+        "fig19",
+        format!("Mixed predicates: varying range vs point attributes (n = {n}, k = {k})"),
+        vec!["total_attrs", "cost_varying_range", "cost_varying_point"],
+    );
+    for extra in 2..=5usize {
+        // 1 PQ attribute + `extra` RQ attributes.
+        let ds_r = mixed_projection(&base, &range_pool[..extra], &point_pool[..1]);
+        let vary_range = run(&MqDbSky::new(), &ds_r.into_db_sum(k));
+        // 1 RQ attribute + `extra` PQ attributes.
+        let ds_p = mixed_projection(&base, &range_pool[..1], &point_pool[..extra]);
+        let vary_point = run(&MqDbSky::new(), &ds_p.into_db_sum(k));
+        fig.push_row(vec![
+            (extra + 1) as f64,
+            vary_range.query_cost as f64,
+            vary_point.query_cost as f64,
+        ]);
+    }
+    fig
+}

@@ -1,0 +1,53 @@
+//! One function per figure of the paper. Every function builds its
+//! workload, runs the algorithms under test, and returns the series the
+//! paper plots as a [`FigureResult`].
+
+mod analytic;
+mod helpers;
+mod mixed;
+mod online;
+mod point;
+mod range;
+
+pub use analytic::{fig04, fig06};
+pub use mixed::{fig18, fig19};
+pub use online::{fig22, fig23, fig24};
+pub use point::{fig16, fig17, fig21};
+pub use range::{fig13, fig14, fig15, fig20};
+
+use crate::{FigureResult, Scale};
+
+/// Identifiers of every reproducible figure, in paper order.
+pub const ALL_FIGURES: [&str; 14] = [
+    "fig04", "fig06", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+    "fig21", "fig22", "fig23", "fig24",
+];
+
+/// Runs one figure by id.
+pub fn by_id(id: &str, scale: Scale) -> Option<FigureResult> {
+    match id {
+        "fig04" => Some(fig04(scale)),
+        "fig06" => Some(fig06(scale)),
+        "fig13" => Some(fig13(scale)),
+        "fig14" => Some(fig14(scale)),
+        "fig15" => Some(fig15(scale)),
+        "fig16" => Some(fig16(scale)),
+        "fig17" => Some(fig17(scale)),
+        "fig18" => Some(fig18(scale)),
+        "fig19" => Some(fig19(scale)),
+        "fig20" => Some(fig20(scale)),
+        "fig21" => Some(fig21(scale)),
+        "fig22" => Some(fig22(scale)),
+        "fig23" => Some(fig23(scale)),
+        "fig24" => Some(fig24(scale)),
+        _ => None,
+    }
+}
+
+/// Runs every figure in paper order.
+pub fn all(scale: Scale) -> Vec<FigureResult> {
+    ALL_FIGURES
+        .iter()
+        .map(|id| by_id(id, scale).expect("known figure id"))
+        .collect()
+}

@@ -1,0 +1,138 @@
+//! Figures 13, 14, 15 and 20: the offline experiments over range-predicate
+//! interfaces (impact of k, n and m, and the anytime property).
+
+use skyweb_core::{analysis, BaselineCrawl, RqDbSky, SqDbSky};
+use skyweb_datagen::flights_dot;
+use skyweb_hidden_db::InterfaceType;
+
+use super::helpers::{flights_all_rq, flights_base, queries_per_discovery, run, skyline_size};
+use crate::{FigureResult, Scale};
+
+/// Figure 13: RQ-DB-SKY vs the crawling BASELINE as the top-k constraint
+/// varies.
+pub fn fig13(scale: Scale) -> FigureResult {
+    let n = scale.pick(5_000, 50_000);
+    let baseline_budget = scale.pick(20_000u64, 200_000u64);
+    let base = flights_base(scale).sample(n, 13);
+    let ds = flights_all_rq(&base);
+
+    let mut fig = FigureResult::new(
+        "fig13",
+        format!("Range predicates, impact of k (DOT-like, n = {n})"),
+        vec!["k", "rq_cost", "baseline_cost", "baseline_complete"],
+    );
+    for k in [1usize, 10, 20, 30, 40, 50] {
+        let db = ds.clone().into_db_sum(k);
+        let rq = run(&RqDbSky::new(), &db);
+        let db_b = ds.clone().into_db_sum(k);
+        let baseline = run(&BaselineCrawl::with_budget(baseline_budget), &db_b);
+        fig.push_row(vec![
+            k as f64,
+            rq.query_cost as f64,
+            baseline.query_cost as f64,
+            if baseline.complete { 1.0 } else { 0.0 },
+        ]);
+    }
+    fig.note(format!(
+        "BASELINE capped at {baseline_budget} queries (rows with baseline_complete = 0 are lower bounds)"
+    ));
+    fig
+}
+
+/// Figure 14: impact of the database size n on SQ-/RQ-DB-SKY and on the
+/// skyline size.
+pub fn fig14(scale: Scale) -> FigureResult {
+    let sizes: Vec<usize> = scale.pick(vec![2_000, 5_000, 10_000, 20_000], vec![
+        50_000, 100_000, 200_000, 300_000, 400_000,
+    ]);
+    let k = 10;
+    let base = flights_base(scale);
+
+    let mut fig = FigureResult::new(
+        "fig14",
+        format!("Range predicates, impact of n (DOT-like, k = {k})"),
+        vec!["n", "skyline", "sq_cost", "rq_cost"],
+    );
+    for (i, &n) in sizes.iter().enumerate() {
+        let ds = flights_all_rq(&base.sample(n, 14 + i as u64));
+        let skyline = skyline_size(&ds);
+        let sq = run(&SqDbSky::new(), &ds.clone().into_db_sum(k));
+        let rq = run(&RqDbSky::new(), &ds.into_db_sum(k));
+        fig.push_row(vec![
+            n as f64,
+            skyline as f64,
+            sq.query_cost as f64,
+            rq.query_cost as f64,
+        ]);
+    }
+    fig
+}
+
+/// Figure 15: impact of the number of ranking attributes m, with the
+/// average-case model for the measured skyline size as a reference curve.
+pub fn fig15(scale: Scale) -> FigureResult {
+    let n = scale.pick(5_000, 100_000);
+    let max_m = scale.pick(7, 10);
+    let k = 10;
+    let sq_budget = scale.pick(50_000u64, 300_000u64);
+    let base = flights_base(scale).sample(n, 15);
+
+    // Attribute order used for the m-sweep: the nine primary attributes plus
+    // one derived group attribute to reach m = 10.
+    let mut order: Vec<&str> = flights_dot::PRIMARY_RANKING.to_vec();
+    order.push("taxi_out_group");
+
+    let mut fig = FigureResult::new(
+        "fig15",
+        format!("Range predicates, impact of m (DOT-like, n = {n}, k = {k})"),
+        vec!["m", "skyline", "sq_cost", "rq_cost", "avg_case_model"],
+    );
+    for m in 2..=max_m {
+        let names: Vec<&str> = order[..m].to_vec();
+        let mut ds = base.project(&names);
+        for name in &names {
+            ds = ds.with_interface(name, InterfaceType::Rq);
+        }
+        let skyline = skyline_size(&ds);
+        let sq = run(&SqDbSky::with_budget(sq_budget), &ds.clone().into_db_sum(k));
+        let rq = run(&RqDbSky::new(), &ds.into_db_sum(k));
+        fig.push_row(vec![
+            m as f64,
+            skyline as f64,
+            sq.query_cost as f64,
+            rq.query_cost as f64,
+            analysis::sq_average_case_cost(m, skyline),
+        ]);
+    }
+    fig.note(format!("SQ budget capped at {sq_budget}"));
+    fig
+}
+
+/// Figure 20: the anytime property of SQ- and RQ-DB-SKY — cumulative query
+/// cost needed to reach the i-th discovered skyline tuple.
+pub fn fig20(scale: Scale) -> FigureResult {
+    let n = scale.pick(5_000, 100_000);
+    let k = 10;
+    let base = flights_base(scale).sample(n, 20);
+    let names = ["dep_delay", "taxi_out", "taxi_in", "air_time", "arrival_delay"];
+    let mut ds = base.project(&names);
+    for name in &names {
+        ds = ds.with_interface(name, InterfaceType::Rq);
+    }
+
+    let sq = run(&SqDbSky::new(), &ds.clone().into_db_sum(k));
+    let rq = run(&RqDbSky::new(), &ds.into_db_sum(k));
+    let total = sq.skyline.len().max(rq.skyline.len());
+    let sq_curve = queries_per_discovery(&sq.trace, total);
+    let rq_curve = queries_per_discovery(&rq.trace, total);
+
+    let mut fig = FigureResult::new(
+        "fig20",
+        format!("Anytime property of SQ-/RQ-DB-SKY (5 range attributes, n = {n}, k = {k})"),
+        vec!["skyline_idx", "sq_queries", "rq_queries"],
+    );
+    for i in 0..total {
+        fig.push_row(vec![(i + 1) as f64, sq_curve[i] as f64, rq_curve[i] as f64]);
+    }
+    fig
+}

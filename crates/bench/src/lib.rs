@@ -1,0 +1,29 @@
+//! # skyweb-bench
+//!
+//! The experiment harness that regenerates every figure of the paper's
+//! evaluation (Section 8 and the analytical/simulation figures of Sections
+//! 3–4), plus criterion micro-benchmarks for the underlying building blocks.
+//!
+//! Each figure has one function in [`figures`] that builds the workload,
+//! runs the relevant algorithms, and returns a [`report::FigureResult`] —
+//! a plain table with the same rows/series the paper plots. The
+//! `experiments` binary prints these tables:
+//!
+//! ```text
+//! cargo run -p skyweb-bench --release --bin experiments -- all --quick
+//! cargo run -p skyweb-bench --release --bin experiments -- fig13 --full
+//! ```
+//!
+//! `--quick` shrinks the datasets so the whole suite completes in a few
+//! minutes; `--full` uses cardinalities close to the paper's (and can take
+//! considerably longer, dominated by the BASELINE crawls).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;
+pub mod scale;
+
+pub use report::FigureResult;
+pub use scale::Scale;

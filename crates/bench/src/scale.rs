@@ -1,0 +1,53 @@
+//! Experiment scale: quick (smoke-test sized) versus full (paper-sized).
+
+/// How large the experiment workloads should be.
+///
+/// The paper's offline experiments use up to 457,013 tuples; issuing tens of
+/// thousands of simulated web queries against databases of that size is
+/// perfectly feasible but takes a while, so the harness defaults to a scaled
+/// down [`Scale::Quick`] configuration that preserves every qualitative
+/// shape and finishes in a few minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced dataset sizes for smoke tests and CI.
+    Quick,
+    /// Cardinalities close to the paper's.
+    Full,
+}
+
+impl Scale {
+    /// Parses `--quick` / `--full` style flags.
+    pub fn from_flag(flag: &str) -> Option<Scale> {
+        match flag.trim_start_matches('-') {
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Picks between the quick and full variant of a parameter.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        assert_eq!(Scale::from_flag("--quick"), Some(Scale::Quick));
+        assert_eq!(Scale::from_flag("full"), Some(Scale::Full));
+        assert_eq!(Scale::from_flag("--huge"), None);
+    }
+
+    #[test]
+    fn picking() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

@@ -1,0 +1,309 @@
+//! The paper's BASELINE: crawl *every* tuple of the hidden database through
+//! its top-k interface (in the spirit of Sheng et al., "Optimal algorithms
+//! for crawling a hidden database in the web", VLDB 2012) and extract the
+//! skyline locally afterwards.
+//!
+//! Crawling works by recursive region splitting over the two-ended range
+//! attributes: a region (a box of per-attribute value ranges) is queried
+//! with conjunctive `>=` / `<=` predicates; if the answer is truncated by
+//! the top-k constraint, the region is split in half along its widest
+//! attribute and both halves are crawled recursively. This requires
+//! two-ended range support (which is also what the original crawler
+//! assumes), so the baseline is only applicable to RQ databases — one of the
+//! reasons the paper's discovery algorithms are interesting in the first
+//! place.
+//!
+//! A companion [`PointSpaceCrawl`] exhaustively enumerates the value
+//! combinations of a pure point-predicate database; it is used as a
+//! reference baseline for PQ experiments on small domains.
+
+use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, Value};
+
+use crate::{Client, Collector, Discoverer, DiscoveryError, DiscoveryResult};
+
+/// Crawl-everything-then-compute-locally baseline for two-ended range
+/// interfaces.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineCrawl {
+    budget: Option<u64>,
+}
+
+impl BaselineCrawl {
+    /// Creates the baseline with no client-side query budget.
+    pub fn new() -> Self {
+        BaselineCrawl::default()
+    }
+
+    /// Limits the number of queries the baseline may issue. Note that,
+    /// unlike the discovery algorithms, the baseline has no anytime
+    /// property: a partial crawl cannot certify that any tuple is on the
+    /// skyline of the *whole* database; the partial result is merely the
+    /// skyline of what happened to be downloaded.
+    pub fn with_budget(budget: u64) -> Self {
+        BaselineCrawl {
+            budget: Some(budget),
+        }
+    }
+
+    fn check_interface(db: &HiddenDb) -> Result<(), DiscoveryError> {
+        for &a in db.schema().ranking_attrs() {
+            let spec = db.schema().attr(a);
+            if spec.interface != InterfaceType::Rq {
+                return Err(DiscoveryError::UnsupportedInterface {
+                    reason: format!(
+                        "the crawling baseline needs two-ended ranges on every ranking \
+                         attribute, but '{}' is {}",
+                        spec.name,
+                        spec.interface.label()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Crawls every tuple matching `base` by recursive region splitting over
+/// `split_attrs` (attribute id + domain size pairs). Returns `Ok(false)` if
+/// the query budget ran out before the crawl finished.
+pub(crate) fn crawl_region(
+    client: &mut Client<'_>,
+    collector: &mut Collector,
+    base: &[Predicate],
+    split_attrs: &[(usize, Value)],
+) -> Result<bool, DiscoveryError> {
+    let k = client.db().k();
+    // Each region is one inclusive (lo, hi) interval per split attribute.
+    let initial: Vec<(i64, i64)> = split_attrs
+        .iter()
+        .map(|&(_, d)| (0i64, i64::from(d) - 1))
+        .collect();
+    let mut stack: Vec<Vec<(i64, i64)>> = vec![initial];
+
+    while let Some(region) = stack.pop() {
+        let mut q = Query::new(base.to_vec());
+        for (i, &(attr, domain)) in split_attrs.iter().enumerate() {
+            let (lo, hi) = region[i];
+            if lo > 0 {
+                q.push(Predicate::ge(attr, lo as Value));
+            }
+            if hi < i64::from(domain) - 1 {
+                q.push(Predicate::le(attr, hi as Value));
+            }
+        }
+        let Some(resp) = client.query(&q)? else {
+            return Ok(false);
+        };
+        collector.ingest(&resp.tuples);
+        collector.record(client.issued());
+
+        if resp.tuples.len() == k {
+            // Possibly truncated: split the widest attribute interval.
+            let (widest, &(lo, hi)) = match region
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (lo, hi))| hi - lo)
+            {
+                Some(x) => x,
+                None => continue,
+            };
+            if hi == lo {
+                // All attributes are pinned to single values; the matching
+                // tuples are indistinguishable through the ranking
+                // attributes and nothing further can be retrieved.
+                continue;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let mut lower = region.clone();
+            lower[widest] = (lo, mid);
+            let mut upper = region;
+            upper[widest] = (mid + 1, hi);
+            stack.push(upper);
+            stack.push(lower);
+        }
+    }
+    Ok(true)
+}
+
+impl Discoverer for BaselineCrawl {
+    fn name(&self) -> &str {
+        "BASELINE"
+    }
+
+    fn discover(&self, db: &HiddenDb) -> Result<DiscoveryResult, DiscoveryError> {
+        Self::check_interface(db)?;
+        let attrs: Vec<usize> = db.schema().ranking_attrs().to_vec();
+        let split_attrs: Vec<(usize, Value)> = attrs
+            .iter()
+            .map(|&a| (a, db.schema().attr(a).domain_size))
+            .collect();
+        let mut client = Client::new(db, self.budget);
+        let mut collector = Collector::new(attrs);
+        let completed = crawl_region(&mut client, &mut collector, &[], &split_attrs)?;
+        Ok(collector.finish(client.issued(), completed))
+    }
+}
+
+/// Exhaustive point-space crawl: issues one fully specified equality query
+/// per value combination of the ranking attributes. Only sensible for small
+/// domains; serves as the reference baseline for PQ interfaces.
+#[derive(Debug, Clone, Default)]
+pub struct PointSpaceCrawl {
+    budget: Option<u64>,
+}
+
+impl PointSpaceCrawl {
+    /// Creates the crawler with no client-side query budget.
+    pub fn new() -> Self {
+        PointSpaceCrawl::default()
+    }
+
+    /// Limits the number of queries the crawler may issue.
+    pub fn with_budget(budget: u64) -> Self {
+        PointSpaceCrawl {
+            budget: Some(budget),
+        }
+    }
+}
+
+impl Discoverer for PointSpaceCrawl {
+    fn name(&self) -> &str {
+        "POINT-CRAWL"
+    }
+
+    fn discover(&self, db: &HiddenDb) -> Result<DiscoveryResult, DiscoveryError> {
+        let attrs: Vec<usize> = db.schema().ranking_attrs().to_vec();
+        let domains: Vec<Value> = attrs.iter().map(|&a| db.schema().attr(a).domain_size).collect();
+        let mut client = Client::new(db, self.budget);
+        let mut collector = Collector::new(attrs.clone());
+
+        let mut combo: Vec<Value> = vec![0; attrs.len()];
+        loop {
+            let q = Query::new(
+                attrs
+                    .iter()
+                    .zip(&combo)
+                    .map(|(&a, &v)| Predicate::eq(a, v))
+                    .collect(),
+            );
+            let Some(resp) = client.query(&q)? else {
+                return Ok(collector.finish(client.issued(), false));
+            };
+            collector.ingest(&resp.tuples);
+            collector.record(client.issued());
+
+            // Advance the mixed-radix odometer.
+            let mut advanced = false;
+            for i in (0..combo.len()).rev() {
+                combo[i] += 1;
+                if combo[i] < domains[i] {
+                    advanced = true;
+                    break;
+                }
+                combo[i] = 0;
+            }
+            if !advanced {
+                break;
+            }
+        }
+        Ok(collector.finish(client.issued(), true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyweb_hidden_db::{SchemaBuilder, SumRanker, Tuple};
+    use skyweb_skyline::{bnl_skyline, same_ids};
+
+    fn rq_schema(m: usize, domain: u32) -> skyweb_hidden_db::Schema {
+        let mut b = SchemaBuilder::new();
+        for i in 0..m {
+            b = b.ranking(format!("a{i}"), domain, InterfaceType::Rq);
+        }
+        b.build()
+    }
+
+    fn pseudo_random_db(m: usize, domain: u32, n: u64, k: usize) -> HiddenDb {
+        let tuples: Vec<Tuple> = (0..n)
+            .map(|i| {
+                let values = (0..m)
+                    .map(|j| ((i * 2654435761 + j as u64 * 40503) % u64::from(domain)) as u32)
+                    .collect();
+                Tuple::new(i, values)
+            })
+            .collect();
+        HiddenDb::new(rq_schema(m, domain), tuples, Box::new(SumRanker), k)
+    }
+
+    #[test]
+    fn crawl_retrieves_every_tuple() {
+        let db = pseudo_random_db(3, 32, 150, 5);
+        let result = BaselineCrawl::new().discover(&db).unwrap();
+        assert!(result.complete);
+        assert_eq!(result.retrieved.len(), db.n());
+        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        assert!(same_ids(&result.skyline, &truth));
+    }
+
+    #[test]
+    fn crawl_cost_scales_with_n_over_k() {
+        let db_small_k = pseudo_random_db(2, 64, 300, 2);
+        let db_large_k = pseudo_random_db(2, 64, 300, 25);
+        let c_small = BaselineCrawl::new().discover(&db_small_k).unwrap().query_cost;
+        let c_large = BaselineCrawl::new().discover(&db_large_k).unwrap().query_cost;
+        assert!(c_large < c_small, "larger k must reduce the crawl cost");
+        assert!(c_small as usize >= db_small_k.n() / 2);
+    }
+
+    #[test]
+    fn crawl_handles_duplicate_value_combinations() {
+        // Many tuples share the exact same ranking values; the region
+        // splitter must not loop forever on an unsplittable region.
+        let tuples: Vec<Tuple> = (0..40u64).map(|i| Tuple::new(i, vec![1, 1])).collect();
+        let db = HiddenDb::new(rq_schema(2, 4), tuples, Box::new(SumRanker), 5);
+        let result = BaselineCrawl::new().discover(&db).unwrap();
+        assert!(result.complete);
+        // Only k tuples of the duplicate pile can ever be retrieved.
+        assert_eq!(result.retrieved.len(), 5);
+    }
+
+    #[test]
+    fn crawl_rejects_weaker_interfaces() {
+        let s = SchemaBuilder::new()
+            .ranking("a", 8, InterfaceType::Sq)
+            .ranking("b", 8, InterfaceType::Rq)
+            .build();
+        let db = HiddenDb::new(s, vec![], Box::new(SumRanker), 2);
+        assert!(BaselineCrawl::new().discover(&db).is_err());
+    }
+
+    #[test]
+    fn crawl_budget_is_respected() {
+        let db = pseudo_random_db(3, 32, 500, 2);
+        let result = BaselineCrawl::with_budget(20).discover(&db).unwrap();
+        assert!(!result.complete);
+        assert_eq!(result.query_cost, 20);
+        assert!(result.retrieved.len() < db.n());
+    }
+
+    #[test]
+    fn point_space_crawl_enumerates_the_whole_grid() {
+        let schema = SchemaBuilder::new()
+            .ranking("x", 4, InterfaceType::Pq)
+            .ranking("y", 3, InterfaceType::Pq)
+            .build();
+        let tuples = vec![
+            Tuple::new(0, vec![1, 2]),
+            Tuple::new(1, vec![3, 0]),
+            Tuple::new(2, vec![0, 1]),
+        ];
+        let db = HiddenDb::new(schema, tuples, Box::new(SumRanker), 2);
+        let result = PointSpaceCrawl::new().discover(&db).unwrap();
+        assert!(result.complete);
+        assert_eq!(result.query_cost, 12);
+        assert_eq!(result.retrieved.len(), 3);
+        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        assert!(same_ids(&result.skyline, &truth));
+    }
+}

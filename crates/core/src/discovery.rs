@@ -1,0 +1,353 @@
+//! Shared infrastructure of the discovery algorithms: the [`Discoverer`]
+//! trait, result/trace types, the query client (budget handling) and the
+//! tuple collector (anytime skyline maintenance).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use skyweb_hidden_db::{
+    dominates_on, AttrId, HiddenDb, Query, QueryError, QueryResponse, Tuple, TupleId,
+};
+
+/// One point of an *anytime trace*: after `queries` issued queries, the
+/// client could already certify `skyline_found` tuples as current skyline
+/// candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracePoint {
+    /// Number of queries issued so far.
+    pub queries: u64,
+    /// Number of skyline candidates known at that point (the skyline of all
+    /// tuples retrieved so far).
+    pub skyline_found: usize,
+}
+
+/// The outcome of a skyline-discovery run.
+#[derive(Debug, Clone)]
+pub struct DiscoveryResult {
+    /// The discovered skyline tuples (the exact skyline when
+    /// [`DiscoveryResult::complete`] is `true`, a subset otherwise).
+    pub skyline: Vec<Tuple>,
+    /// Every distinct tuple retrieved during the run (skyline and
+    /// non-skyline alike); useful for baselines and sky-band
+    /// post-processing.
+    pub retrieved: Vec<Tuple>,
+    /// Number of search queries issued by this run.
+    pub query_cost: u64,
+    /// The anytime trace: skyline candidates known after each query.
+    pub trace: Vec<TracePoint>,
+    /// `true` if the algorithm ran to completion; `false` if it stopped
+    /// early because the query budget or the database's rate limit was
+    /// exhausted (the *anytime* case: `skyline` is then a valid subset).
+    pub complete: bool,
+}
+
+impl DiscoveryResult {
+    /// Average number of queries spent per discovered skyline tuple — the
+    /// metric reported in the paper's online experiments.
+    pub fn queries_per_skyline(&self) -> f64 {
+        if self.skyline.is_empty() {
+            self.query_cost as f64
+        } else {
+            self.query_cost as f64 / self.skyline.len() as f64
+        }
+    }
+}
+
+/// Errors a discovery algorithm can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscoveryError {
+    /// The database's search interface does not offer the predicates the
+    /// algorithm needs (e.g. running RQ-DB-SKY against a PQ attribute).
+    UnsupportedInterface {
+        /// Explanation of what is missing.
+        reason: String,
+    },
+    /// The database rejected a query for a reason other than rate limiting
+    /// (this indicates a bug in the algorithm or an incompatible schema).
+    Query(QueryError),
+}
+
+impl fmt::Display for DiscoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiscoveryError::UnsupportedInterface { reason } => {
+                write!(f, "unsupported interface: {reason}")
+            }
+            DiscoveryError::Query(e) => write!(f, "query rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DiscoveryError {}
+
+impl From<QueryError> for DiscoveryError {
+    fn from(e: QueryError) -> Self {
+        DiscoveryError::Query(e)
+    }
+}
+
+/// A skyline-discovery algorithm over a hidden web database.
+pub trait Discoverer {
+    /// Short algorithm name (e.g. `"SQ-DB-SKY"`).
+    fn name(&self) -> &str;
+
+    /// Runs the algorithm against `db` and returns the discovered skyline
+    /// together with its query cost and anytime trace.
+    fn discover(&self, db: &HiddenDb) -> Result<DiscoveryResult, DiscoveryError>;
+}
+
+/// The client-side view of the hidden database used by the algorithms:
+/// issues queries, counts them locally, and converts rate-limit /
+/// budget exhaustion into a graceful "stop now" signal so that every
+/// algorithm retains the paper's *anytime* property.
+pub(crate) struct Client<'a> {
+    db: &'a HiddenDb,
+    issued: u64,
+    budget: Option<u64>,
+    exhausted: bool,
+}
+
+impl<'a> Client<'a> {
+    /// Creates a client with an optional client-side query budget.
+    pub(crate) fn new(db: &'a HiddenDb, budget: Option<u64>) -> Self {
+        Client {
+            db,
+            issued: 0,
+            budget,
+            exhausted: false,
+        }
+    }
+
+    /// The wrapped database.
+    pub(crate) fn db(&self) -> &'a HiddenDb {
+        self.db
+    }
+
+    /// Number of queries issued through this client.
+    pub(crate) fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// `true` once the budget or the server-side rate limit was hit.
+    pub(crate) fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Issues `query`. Returns `Ok(None)` when the client-side budget or the
+    /// server-side rate limit is exhausted (the caller should stop), and
+    /// `Err` for any other rejection (which indicates a real bug).
+    pub(crate) fn query(
+        &mut self,
+        query: &Query,
+    ) -> Result<Option<QueryResponse>, DiscoveryError> {
+        if self.exhausted {
+            return Ok(None);
+        }
+        if let Some(budget) = self.budget {
+            if self.issued >= budget {
+                self.exhausted = true;
+                return Ok(None);
+            }
+        }
+        match self.db.query(query) {
+            Ok(resp) => {
+                self.issued += 1;
+                Ok(Some(resp))
+            }
+            Err(QueryError::RateLimitExceeded { .. }) => {
+                self.exhausted = true;
+                Ok(None)
+            }
+            Err(e) => Err(DiscoveryError::Query(e)),
+        }
+    }
+}
+
+/// Collects every retrieved tuple, maintains the skyline of the retrieved
+/// set incrementally (BNL insertion), and records the anytime trace.
+pub(crate) struct Collector {
+    attrs: Vec<AttrId>,
+    seen: HashMap<TupleId, Tuple>,
+    skyline: Vec<Tuple>,
+    trace: Vec<TracePoint>,
+}
+
+impl Collector {
+    /// Creates a collector that evaluates dominance on `attrs`.
+    pub(crate) fn new(attrs: Vec<AttrId>) -> Self {
+        Collector {
+            attrs,
+            seen: HashMap::new(),
+            skyline: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Ingests newly returned tuples, updating the retrieved set and the
+    /// current skyline.
+    pub(crate) fn ingest(&mut self, tuples: &[Tuple]) {
+        for t in tuples {
+            if self.seen.contains_key(&t.id) {
+                continue;
+            }
+            self.seen.insert(t.id, t.clone());
+            // BNL insertion into the current skyline.
+            let mut dominated = false;
+            let mut i = 0;
+            while i < self.skyline.len() {
+                if dominates_on(&self.skyline[i], t, &self.attrs) {
+                    dominated = true;
+                    break;
+                }
+                if dominates_on(t, &self.skyline[i], &self.attrs) {
+                    self.skyline.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            if !dominated {
+                self.skyline.push(t.clone());
+            }
+        }
+    }
+
+    /// Records a trace point after `queries` issued queries.
+    pub(crate) fn record(&mut self, queries: u64) {
+        self.trace.push(TracePoint {
+            queries,
+            skyline_found: self.skyline.len(),
+        });
+    }
+
+    /// `true` if any retrieved tuple matches `query`.
+    pub(crate) fn any_seen_matches(&self, query: &Query) -> bool {
+        self.seen.values().any(|t| query.matches(t))
+    }
+
+    /// `true` if any *current skyline* tuple dominates `t`.
+    pub(crate) fn dominated_by_skyline(&self, t: &Tuple) -> Option<&Tuple> {
+        self.skyline
+            .iter()
+            .find(|s| dominates_on(s, t, &self.attrs))
+    }
+
+    /// The skyline of everything retrieved so far.
+    pub(crate) fn skyline(&self) -> &[Tuple] {
+        &self.skyline
+    }
+
+    /// Every retrieved tuple.
+    pub(crate) fn retrieved(&self) -> Vec<Tuple> {
+        let mut all: Vec<Tuple> = self.seen.values().cloned().collect();
+        all.sort_by_key(|t| t.id);
+        all
+    }
+
+    /// Consumes the collector into a [`DiscoveryResult`].
+    pub(crate) fn finish(self, query_cost: u64, complete: bool) -> DiscoveryResult {
+        let retrieved = {
+            let mut all: Vec<Tuple> = self.seen.values().cloned().collect();
+            all.sort_by_key(|t| t.id);
+            all
+        };
+        let mut skyline = self.skyline;
+        skyline.sort_by_key(|t| t.id);
+        DiscoveryResult {
+            skyline,
+            retrieved,
+            query_cost,
+            trace: self.trace,
+            complete,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyweb_hidden_db::{InterfaceType, Predicate, RateLimit, SchemaBuilder, SumRanker};
+
+    fn toy_db(k: usize) -> HiddenDb {
+        let schema = SchemaBuilder::new()
+            .ranking("a", 10, InterfaceType::Rq)
+            .ranking("b", 10, InterfaceType::Rq)
+            .build();
+        let tuples = vec![
+            Tuple::new(0, vec![5, 1]),
+            Tuple::new(1, vec![4, 4]),
+            Tuple::new(2, vec![1, 3]),
+            Tuple::new(3, vec![3, 2]),
+        ];
+        HiddenDb::new(schema, tuples, Box::new(SumRanker), k)
+    }
+
+    #[test]
+    fn client_counts_and_respects_budget() {
+        let db = toy_db(2);
+        let mut client = Client::new(&db, Some(2));
+        assert!(client.query(&Query::select_all()).unwrap().is_some());
+        assert!(client.query(&Query::select_all()).unwrap().is_some());
+        assert!(client.query(&Query::select_all()).unwrap().is_none());
+        assert!(client.exhausted());
+        assert_eq!(client.issued(), 2);
+        assert_eq!(db.queries_issued(), 2);
+    }
+
+    #[test]
+    fn client_converts_rate_limit_into_stop() {
+        let db = toy_db(2).with_rate_limit(RateLimit::new(1));
+        let mut client = Client::new(&db, None);
+        assert!(client.query(&Query::select_all()).unwrap().is_some());
+        assert!(client.query(&Query::select_all()).unwrap().is_none());
+        assert!(client.exhausted());
+    }
+
+    #[test]
+    fn client_propagates_real_errors() {
+        let db = toy_db(2);
+        let mut client = Client::new(&db, None);
+        let bad = Query::new(vec![Predicate::eq(7, 0)]);
+        assert!(client.query(&bad).is_err());
+    }
+
+    #[test]
+    fn collector_maintains_skyline_of_seen() {
+        let mut c = Collector::new(vec![0, 1]);
+        c.ingest(&[Tuple::new(1, vec![4, 4])]);
+        assert_eq!(c.skyline().len(), 1);
+        c.ingest(&[Tuple::new(3, vec![3, 2])]);
+        // (3,2) dominates (4,4).
+        assert_eq!(c.skyline().len(), 1);
+        assert_eq!(c.skyline()[0].id, 3);
+        c.ingest(&[Tuple::new(0, vec![5, 1]), Tuple::new(3, vec![3, 2])]);
+        assert_eq!(c.skyline().len(), 2);
+        assert_eq!(c.retrieved().len(), 3);
+    }
+
+    #[test]
+    fn collector_trace_and_finish() {
+        let mut c = Collector::new(vec![0, 1]);
+        c.record(1);
+        c.ingest(&[Tuple::new(0, vec![5, 1])]);
+        c.record(2);
+        let result = c.finish(2, true);
+        assert_eq!(result.trace.len(), 2);
+        assert_eq!(result.trace[0].skyline_found, 0);
+        assert_eq!(result.trace[1].skyline_found, 1);
+        assert_eq!(result.query_cost, 2);
+        assert!(result.complete);
+        assert!((result.queries_per_skyline() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collector_matching_and_domination_helpers() {
+        let mut c = Collector::new(vec![0, 1]);
+        c.ingest(&[Tuple::new(3, vec![3, 2])]);
+        let q = Query::new(vec![Predicate::lt(0, 4)]);
+        assert!(c.any_seen_matches(&q));
+        let q2 = Query::new(vec![Predicate::lt(0, 2)]);
+        assert!(!c.any_seen_matches(&q2));
+        assert!(c.dominated_by_skyline(&Tuple::new(9, vec![4, 4])).is_some());
+        assert!(c.dominated_by_skyline(&Tuple::new(9, vec![1, 1])).is_none());
+    }
+}

@@ -1,0 +1,71 @@
+//! # skyweb-core
+//!
+//! Skyline discovery over hidden web databases with top-k interfaces — a
+//! Rust implementation of the algorithm family from *Discovering the Skyline
+//! of Web Databases* (Asudeh, Thirumuruganathan, Zhang, Das; VLDB 2016).
+//!
+//! A hidden web database (see [`skyweb_hidden_db`]) can only be accessed
+//! through a restrictive search form: conjunctive queries with per-attribute
+//! predicate limitations and a top-k output constraint. The algorithms in
+//! this crate retrieve **all skyline tuples** of such a database while
+//! issuing as few search queries as possible:
+//!
+//! | Type | Algorithm | Interface requirement |
+//! |------|-----------|----------------------|
+//! | [`SqDbSky`]   | SQ-DB-SKY  | one-ended ranges (`<`, `<=`, `=`) on every ranking attribute |
+//! | [`RqDbSky`]   | RQ-DB-SKY  | two-ended ranges on every ranking attribute |
+//! | [`Pq2dSky`]   | PQ-2D-SKY  | point predicates, exactly two ranking attributes |
+//! | [`PqDbSky`]   | PQ-DB-SKY  | point predicates, any dimensionality |
+//! | [`MqDbSky`]   | MQ-DB-SKY  | arbitrary mixture of SQ / RQ / PQ attributes |
+//! | [`BaselineCrawl`] | crawl + local skyline | two-ended ranges (the paper's baseline) |
+//! | [`RqSkyband`] | top-h sky band via RQ-DB-SKY | two-ended ranges |
+//!
+//! Every algorithm implements the [`Discoverer`] trait, reports its exact
+//! query cost, and records an *anytime trace* (how many skyline tuples were
+//! known after every issued query).
+//!
+//! ```
+//! use skyweb_core::{Discoverer, RqDbSky};
+//! use skyweb_hidden_db::{HiddenDb, InterfaceType, SchemaBuilder, Tuple};
+//!
+//! let schema = SchemaBuilder::new()
+//!     .ranking("price", 10, InterfaceType::Rq)
+//!     .ranking("mileage", 10, InterfaceType::Rq)
+//!     .build();
+//! let tuples = vec![
+//!     Tuple::new(0, vec![5, 1]),
+//!     Tuple::new(1, vec![4, 4]),
+//!     Tuple::new(2, vec![1, 3]),
+//!     Tuple::new(3, vec![3, 2]),
+//! ];
+//! let db = HiddenDb::with_sum_ranking(schema, tuples, 2);
+//! let result = RqDbSky::new().discover(&db).unwrap();
+//! assert!(result.complete);
+//! assert_eq!(result.skyline.len(), 3);
+//! assert_eq!(result.query_cost, db.queries_issued());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod baseline;
+mod discovery;
+mod mq;
+mod pq;
+mod pq2d;
+mod pq2dsub;
+mod rq;
+mod skyband;
+mod sq;
+
+pub use baseline::{BaselineCrawl, PointSpaceCrawl};
+pub use discovery::{Discoverer, DiscoveryError, DiscoveryResult, TracePoint};
+pub use mq::MqDbSky;
+pub use pq::PqDbSky;
+pub use pq2d::Pq2dSky;
+pub use rq::RqDbSky;
+pub use skyband::{skyband_of_retrieved, RqSkyband, SkybandResult};
+pub use sq::SqDbSky;
+
+pub(crate) use discovery::{Client, Collector};

@@ -1,0 +1,379 @@
+//! MQ-DB-SKY (Algorithm 6 of the paper): skyline discovery over a search
+//! interface with an arbitrary **mixture** of one-ended range (SQ),
+//! two-ended range (RQ) and point (PQ) attributes.
+//!
+//! The algorithm runs in two phases:
+//!
+//! 1. **Range phase** — run the SQ/RQ query-tree over the range attributes
+//!    only, leaving the point attributes unconstrained. Every tuple returned
+//!    as a top answer here is a true skyline tuple, but tuples that are
+//!    dominated *on the range attributes* by another tuple (while beating it
+//!    on a point attribute) are missed.
+//! 2. **Point phase** (the `MIXED-DB-SKY` subroutine) — by the
+//!    *range-domination property*, every missing skyline tuple is dominated
+//!    on all range attributes by some phase-1 skyline tuple and beats it on
+//!    at least one point attribute. The search space is therefore pruned to
+//!    `A_r ≥ min_{t ∈ S}(t[A_r])` on every two-ended range attribute, and
+//!    the point attributes are explored value by value: for each point
+//!    attribute `B_i` and each value `v` better than the worst value seen on
+//!    the phase-1 skyline, the query `P ∧ B_i = v` is issued; overflowing
+//!    answers are refined by recursively fixing the remaining point
+//!    attributes (stopping as soon as an answer is empty) and, once all
+//!    point attributes are pinned, by crawling the remaining range subspace.
+//!
+//! When the database has only range attributes MQ-DB-SKY reduces to
+//! SQ-/RQ-DB-SKY; with only point attributes it reduces to PQ-DB-SKY.
+
+use std::collections::HashSet;
+
+use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, Tuple, Value};
+
+use crate::baseline::crawl_region;
+use crate::{
+    Client, Collector, Discoverer, DiscoveryError, DiscoveryResult, PqDbSky, RqDbSky, SqDbSky,
+};
+
+/// MQ-DB-SKY: skyline discovery for any mixture of SQ, RQ and PQ ranking
+/// attributes.
+#[derive(Debug, Clone, Default)]
+pub struct MqDbSky {
+    budget: Option<u64>,
+}
+
+impl MqDbSky {
+    /// Creates the algorithm with no client-side query budget.
+    pub fn new() -> Self {
+        MqDbSky::default()
+    }
+
+    /// Limits the number of queries the algorithm may issue (anytime mode).
+    pub fn with_budget(budget: u64) -> Self {
+        MqDbSky {
+            budget: Some(budget),
+        }
+    }
+
+    /// Recursively pins the remaining point attributes of an overflowing
+    /// subspace, stopping early on empty answers; once every point attribute
+    /// is pinned, retrieves the remaining skyline candidates of the leaf
+    /// subspace — by crawling it over the two-ended range attributes when
+    /// every range attribute is two-ended, or by running an SQ-DB-SKY
+    /// subtree rooted at the leaf query otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn refine_point_subspace(
+        client: &mut Client<'_>,
+        collector: &mut Collector,
+        base: &Query,
+        remaining_points: &[usize],
+        range_attrs: &[usize],
+        two_ended: &[(usize, Value)],
+        leaves_done: &mut HashSet<Vec<Predicate>>,
+        db: &HiddenDb,
+    ) -> Result<bool, DiscoveryError> {
+        let k = db.k();
+        let Some((&attr, rest)) = remaining_points.split_first() else {
+            let mut key: Vec<Predicate> = base.predicates().to_vec();
+            key.sort_by_key(|p| (p.attr, p.value, p.op as u8));
+            if !leaves_done.insert(key) {
+                return Ok(true);
+            }
+            if two_ended.len() == range_attrs.len() {
+                // All range attributes support two-ended ranges: crawl every
+                // tuple of the leaf subspace.
+                return crawl_region(client, collector, base.predicates(), two_ended);
+            }
+            // Some range attributes are one-ended: discover the leaf
+            // subspace's skyline with an SQ-DB-SKY subtree (sufficient,
+            // because within the leaf all point attributes are pinned and
+            // dominance reduces to the range attributes).
+            return SqDbSky::run_tree(client, collector, range_attrs, base.clone(), k);
+        };
+
+        for v in 0..db.schema().attr(attr).domain_size {
+            let q = base.and(Predicate::eq(attr, v));
+            let Some(resp) = client.query(&q)? else {
+                return Ok(false);
+            };
+            collector.ingest(&resp.tuples);
+            collector.record(client.issued());
+            if resp.tuples.is_empty() {
+                // Empty answer: nothing below this prefix, stop partitioning.
+                continue;
+            }
+            if resp.tuples.len() == k {
+                // Still possibly truncated: keep pinning point attributes.
+                if !Self::refine_point_subspace(
+                    client,
+                    collector,
+                    &q,
+                    rest,
+                    range_attrs,
+                    two_ended,
+                    leaves_done,
+                    db,
+                )? {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl Discoverer for MqDbSky {
+    fn name(&self) -> &str {
+        "MQ-DB-SKY"
+    }
+
+    fn discover(&self, db: &HiddenDb) -> Result<DiscoveryResult, DiscoveryError> {
+        let schema = db.schema();
+        let attrs: Vec<usize> = schema.ranking_attrs().to_vec();
+        let range_attrs: Vec<usize> = schema.range_attrs();
+        let point_attrs: Vec<usize> = schema.point_attrs();
+
+        // Degenerate mixtures reduce to the specialised algorithms.
+        if point_attrs.is_empty() {
+            let all_two_ended = range_attrs
+                .iter()
+                .all(|&a| schema.attr(a).interface == InterfaceType::Rq);
+            return if all_two_ended {
+                let mut alg = RqDbSky::new();
+                if let Some(b) = self.budget {
+                    alg = RqDbSky::with_budget(b);
+                }
+                alg.discover(db)
+            } else {
+                let mut alg = SqDbSky::new();
+                if let Some(b) = self.budget {
+                    alg = SqDbSky::with_budget(b);
+                }
+                alg.discover(db)
+            };
+        }
+        if range_attrs.is_empty() {
+            let mut alg = PqDbSky::new();
+            if let Some(b) = self.budget {
+                alg = PqDbSky::with_budget(b);
+            }
+            return alg.discover(db);
+        }
+
+        let two_ended: Vec<(usize, Value)> = schema
+            .two_ended_attrs()
+            .into_iter()
+            .map(|a| (a, schema.attr(a).domain_size))
+            .collect();
+        let all_range_two_ended = two_ended.len() == range_attrs.len();
+        let k = db.k();
+
+        let mut client = Client::new(db, self.budget);
+        let mut collector = Collector::new(attrs);
+
+        // ----- Phase 1: range-only discovery (point attributes left as *).
+        let completed = if all_range_two_ended {
+            RqDbSky::run_tree(
+                &mut client,
+                &mut collector,
+                &range_attrs,
+                Query::select_all(),
+                k,
+            )?
+        } else {
+            SqDbSky::run_tree(
+                &mut client,
+                &mut collector,
+                &range_attrs,
+                Query::select_all(),
+                k,
+            )?
+        };
+        if !completed {
+            return Ok(collector.finish(client.issued(), false));
+        }
+        let phase1_skyline: Vec<Tuple> = collector.skyline().to_vec();
+        if phase1_skyline.is_empty() {
+            // Empty database.
+            return Ok(collector.finish(client.issued(), true));
+        }
+
+        // ----- Phase 2: find the range-dominated skyline tuples.
+        // Pruning predicate P over the two-ended range attributes.
+        let p_preds: Vec<Predicate> = two_ended
+            .iter()
+            .filter_map(|&(r, _)| {
+                let min_v = phase1_skyline
+                    .iter()
+                    .map(|t| t.values[r])
+                    .min()
+                    .expect("phase-1 skyline is non-empty");
+                (min_v > 0).then_some(Predicate::ge(r, min_v))
+            })
+            .collect();
+
+        let mut leaves_done: HashSet<Vec<Predicate>> = HashSet::new();
+        for &bi in &point_attrs {
+            let max_v = phase1_skyline
+                .iter()
+                .map(|t| t.values[bi])
+                .max()
+                .expect("phase-1 skyline is non-empty");
+            let others: Vec<usize> = point_attrs.iter().copied().filter(|&a| a != bi).collect();
+            for v in 0..max_v {
+                let q = Query::new(p_preds.clone()).and(Predicate::eq(bi, v));
+                let Some(resp) = client.query(&q)? else {
+                    return Ok(collector.finish(client.issued(), false));
+                };
+                collector.ingest(&resp.tuples);
+                collector.record(client.issued());
+                if resp.tuples.len() == k
+                    && !Self::refine_point_subspace(
+                        &mut client,
+                        &mut collector,
+                        &q,
+                        &others,
+                        &range_attrs,
+                        &two_ended,
+                        &mut leaves_done,
+                        db,
+                    )?
+                {
+                    return Ok(collector.finish(client.issued(), false));
+                }
+            }
+        }
+
+        Ok(collector.finish(client.issued(), true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyweb_hidden_db::{SchemaBuilder, SumRanker};
+    use skyweb_skyline::{bnl_skyline, same_ids};
+
+    fn mixed_schema(
+        rq: usize,
+        sq: usize,
+        pq: usize,
+        range_domain: u32,
+        point_domain: u32,
+    ) -> skyweb_hidden_db::Schema {
+        let mut b = SchemaBuilder::new();
+        for i in 0..rq {
+            b = b.ranking(format!("rq{i}"), range_domain, InterfaceType::Rq);
+        }
+        for i in 0..sq {
+            b = b.ranking(format!("sq{i}"), range_domain, InterfaceType::Sq);
+        }
+        for i in 0..pq {
+            b = b.ranking(format!("pq{i}"), point_domain, InterfaceType::Pq);
+        }
+        b.build()
+    }
+
+    /// Duplicate-free mixed-schema test tuples (range attributes first, then
+    /// point attributes), realising the general positioning assumption.
+    fn pseudo_random_tuples(
+        n: u64,
+        range_attrs: usize,
+        point_attrs: usize,
+        range_domain: u32,
+        point_domain: u32,
+        salt: u64,
+    ) -> Vec<Tuple> {
+        let mut domains = vec![range_domain; range_attrs];
+        domains.extend(std::iter::repeat(point_domain).take(point_attrs));
+        skyweb_datagen::synthetic::distinct_cells(&domains, n as usize, salt)
+    }
+
+    #[test]
+    fn mixed_rq_and_pq_completeness() {
+        let schema = mixed_schema(2, 0, 2, 40, 5);
+        let tuples = pseudo_random_tuples(250, 2, 2, 40, 5, 0);
+        let db = HiddenDb::new(schema, tuples, Box::new(SumRanker), 3);
+        let result = MqDbSky::new().discover(&db).unwrap();
+        assert!(result.complete);
+        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        assert!(same_ids(&result.skyline, &truth));
+    }
+
+    #[test]
+    fn mixed_sq_and_pq_completeness() {
+        // One-ended ranges only: the weaker pruning path.
+        let schema = mixed_schema(0, 2, 1, 30, 4);
+        let tuples = pseudo_random_tuples(150, 2, 1, 30, 4, 5);
+        let db = HiddenDb::new(schema, tuples, Box::new(SumRanker), 3);
+        let result = MqDbSky::new().discover(&db).unwrap();
+        assert!(result.complete);
+        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        assert!(same_ids(&result.skyline, &truth));
+    }
+
+    #[test]
+    fn mixed_rq_sq_and_pq_completeness() {
+        let schema = mixed_schema(1, 1, 2, 25, 4);
+        let tuples = pseudo_random_tuples(200, 2, 2, 25, 4, 11);
+        let db = HiddenDb::new(schema, tuples, Box::new(SumRanker), 2);
+        let result = MqDbSky::new().discover(&db).unwrap();
+        assert!(result.complete);
+        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        assert!(same_ids(&result.skyline, &truth));
+    }
+
+    #[test]
+    fn range_only_reduces_to_rq_db_sky() {
+        let schema = mixed_schema(3, 0, 0, 30, 4);
+        let tuples = pseudo_random_tuples(120, 3, 0, 30, 4, 2);
+        let db = HiddenDb::new(schema, tuples, Box::new(SumRanker), 2);
+        let result = MqDbSky::new().discover(&db).unwrap();
+        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        assert!(same_ids(&result.skyline, &truth));
+    }
+
+    #[test]
+    fn point_only_reduces_to_pq_db_sky() {
+        let schema = mixed_schema(0, 0, 3, 30, 6);
+        let tuples = pseudo_random_tuples(120, 0, 3, 30, 6, 4);
+        let db = HiddenDb::new(schema, tuples, Box::new(SumRanker), 2);
+        let result = MqDbSky::new().discover(&db).unwrap();
+        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        assert!(same_ids(&result.skyline, &truth));
+    }
+
+    #[test]
+    fn ignoring_point_attributes_would_miss_tuples() {
+        // Construct a database where a skyline tuple is range-dominated: it
+        // loses on the range attribute but wins on the point attribute.
+        let schema = mixed_schema(1, 0, 1, 10, 4);
+        let tuples = vec![
+            Tuple::new(0, vec![1, 3]), // best range value
+            Tuple::new(1, vec![5, 0]), // range-dominated, wins on the PQ attribute
+            Tuple::new(2, vec![6, 2]), // dominated by nothing? loses to 0 on range, to 1 on point
+        ];
+        let db = HiddenDb::new(schema, tuples, Box::new(SumRanker), 1);
+        let result = MqDbSky::new().discover(&db).unwrap();
+        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        assert!(same_ids(&result.skyline, &truth));
+        assert!(result.skyline.iter().any(|t| t.id == 1));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_graceful() {
+        let schema = mixed_schema(2, 0, 2, 40, 5);
+        let tuples = pseudo_random_tuples(250, 2, 2, 40, 5, 0);
+        let db = HiddenDb::new(schema, tuples, Box::new(SumRanker), 3);
+        let result = MqDbSky::with_budget(1).discover(&db).unwrap();
+        assert!(!result.complete);
+        assert!(result.query_cost <= 1);
+    }
+
+    #[test]
+    fn empty_database() {
+        let schema = mixed_schema(1, 0, 1, 10, 4);
+        let db = HiddenDb::new(schema, vec![], Box::new(SumRanker), 1);
+        let result = MqDbSky::new().discover(&db).unwrap();
+        assert!(result.complete);
+        assert!(result.skyline.is_empty());
+    }
+}

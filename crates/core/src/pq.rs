@@ -1,0 +1,307 @@
+//! PQ-DB-SKY (Algorithm 5 of the paper): skyline discovery for databases of
+//! arbitrary dimensionality whose ranking attributes only support point
+//! predicates.
+//!
+//! No instance-optimal algorithm can exist for three or more PQ dimensions
+//! (Section 5.2 of the paper), so PQ-DB-SKY is a carefully engineered
+//! greedy scheme:
+//!
+//! 1. Issue `SELECT *` (its top tuple is a skyline tuple and seeds pruning).
+//! 2. Pick the **two attributes with the largest domains** as the 2D plane —
+//!    their domain sizes enter the query cost *additively*, while every
+//!    other attribute's domain size enters *multiplicatively*.
+//! 3. Enumerate the value combinations of the remaining attributes in
+//!    preferential order; for each combination, discover the skyline tuples
+//!    lying in that plane with the PQ-2DSUB-SKY machinery
+//!    ([`crate::pq2dsub`]), after pruning the plane with everything
+//!    retrieved so far (tuples whose other-attribute values are at least as
+//!    good dominate part of the plane; the `SELECT *` answer proves a
+//!    lower-left rectangle empty).
+//!
+//! Processing the other attributes in preferential order preserves the
+//! anytime property: every tuple reported before the run finishes is on the
+//! eventual skyline.
+
+use skyweb_hidden_db::{HiddenDb, Predicate, Query, Value};
+
+use crate::pq2dsub::{build_plane_rects, sweep_plane, PlanePoint};
+use crate::{Client, Collector, Discoverer, DiscoveryError, DiscoveryResult};
+
+/// PQ-DB-SKY: skyline discovery for point-predicate databases of any
+/// dimensionality (m ≥ 2).
+#[derive(Debug, Clone, Default)]
+pub struct PqDbSky {
+    budget: Option<u64>,
+}
+
+impl PqDbSky {
+    /// Creates the algorithm with no client-side query budget.
+    pub fn new() -> Self {
+        PqDbSky::default()
+    }
+
+    /// Limits the number of queries the algorithm may issue (anytime mode).
+    pub fn with_budget(budget: u64) -> Self {
+        PqDbSky {
+            budget: Some(budget),
+        }
+    }
+
+    fn check_interface(db: &HiddenDb) -> Result<(), DiscoveryError> {
+        let m = db.schema().num_ranking();
+        if m < 2 {
+            return Err(DiscoveryError::UnsupportedInterface {
+                reason: format!("PQ-DB-SKY needs at least 2 ranking attributes, the schema has {m}"),
+            });
+        }
+        // Every interface type supports equality predicates, so PQ-DB-SKY
+        // runs on any schema; nothing else to validate.
+        Ok(())
+    }
+
+    /// Picks the two ranking attributes with the largest domains (the 2D
+    /// plane) and returns `(plane_attrs, other_attrs)`.
+    fn split_attributes(db: &HiddenDb) -> ((usize, usize), Vec<usize>) {
+        let schema = db.schema();
+        let mut ranked: Vec<usize> = schema.ranking_attrs().to_vec();
+        ranked.sort_by_key(|&a| std::cmp::Reverse(schema.attr(a).domain_size));
+        let a1 = ranked[0];
+        let a2 = ranked[1];
+        let others: Vec<usize> = schema
+            .ranking_attrs()
+            .iter()
+            .copied()
+            .filter(|&a| a != a1 && a != a2)
+            .collect();
+        ((a1, a2), others)
+    }
+}
+
+/// Advances a mixed-radix odometer (`combo`) over the given domain sizes in
+/// ascending lexicographic order. Returns `false` once the enumeration has
+/// wrapped around.
+fn next_combo(combo: &mut [Value], domains: &[Value]) -> bool {
+    for i in (0..combo.len()).rev() {
+        combo[i] += 1;
+        if combo[i] < domains[i] {
+            return true;
+        }
+        combo[i] = 0;
+    }
+    false
+}
+
+impl Discoverer for PqDbSky {
+    fn name(&self) -> &str {
+        "PQ-DB-SKY"
+    }
+
+    fn discover(&self, db: &HiddenDb) -> Result<DiscoveryResult, DiscoveryError> {
+        Self::check_interface(db)?;
+        let schema = db.schema();
+        let attrs: Vec<usize> = schema.ranking_attrs().to_vec();
+        let mut client = Client::new(db, self.budget);
+        let mut collector = Collector::new(attrs.clone());
+
+        // Step 1: SELECT * seeds the pruning.
+        let Some(resp) = client.query(&Query::select_all())? else {
+            return Ok(collector.finish(client.issued(), false));
+        };
+        collector.ingest(&resp.tuples);
+        collector.record(client.issued());
+        if resp.tuples.len() < db.k() {
+            // Underflow: the whole database was returned.
+            return Ok(collector.finish(client.issued(), true));
+        }
+        let select_star_top = resp.tuples[0].clone();
+
+        // Step 2: plane selection.
+        let ((a1, a2), others) = Self::split_attributes(db);
+        let dx = schema.attr(a1).domain_size;
+        let dy = schema.attr(a2).domain_size;
+        let other_domains: Vec<Value> = others.iter().map(|&a| schema.attr(a).domain_size).collect();
+
+        // Step 3: enumerate the other attributes' value combinations in
+        // preferential (ascending lexicographic) order.
+        let mut combo: Vec<Value> = vec![0; others.len()];
+        loop {
+            if client.exhausted() {
+                return Ok(collector.finish(client.issued(), false));
+            }
+
+            // Pruning information for this plane.
+            let retrieved = collector.retrieved();
+            let pruning: Vec<PlanePoint> = retrieved
+                .iter()
+                .filter(|t| others.iter().zip(&combo).all(|(&a, &v)| t.values[a] <= v))
+                .map(|t| PlanePoint {
+                    x: i64::from(t.values[a1]),
+                    y: i64::from(t.values[a2]),
+                })
+                .collect();
+            let empty_corner = if others
+                .iter()
+                .zip(&combo)
+                .all(|(&a, &v)| select_star_top.values[a] >= v)
+            {
+                Some(PlanePoint {
+                    x: i64::from(select_star_top.values[a1]),
+                    y: i64::from(select_star_top.values[a2]),
+                })
+            } else {
+                None
+            };
+
+            let rects = build_plane_rects(dx, dy, &pruning, empty_corner);
+            if !rects.is_empty() {
+                let plane_preds: Vec<Predicate> = others
+                    .iter()
+                    .zip(&combo)
+                    .map(|(&a, &v)| Predicate::eq(a, v))
+                    .collect();
+                let completed =
+                    sweep_plane(&mut client, &mut collector, a1, a2, &plane_preds, rects)?;
+                if !completed {
+                    return Ok(collector.finish(client.issued(), false));
+                }
+            }
+
+            if others.is_empty() || !next_combo(&mut combo, &other_domains) {
+                break;
+            }
+        }
+
+        Ok(collector.finish(client.issued(), true))
+    }
+}
+
+/// Returns `true` if every ranking attribute of `db` is a point-predicate
+/// attribute — the situation PQ-DB-SKY was designed for (it also runs on
+/// stronger interfaces, where equality predicates are always available).
+#[cfg(test)]
+pub(crate) fn all_ranking_attrs_are_pq(db: &HiddenDb) -> bool {
+    db.schema()
+        .ranking_attrs()
+        .iter()
+        .all(|&a| db.schema().attr(a).interface == skyweb_hidden_db::InterfaceType::Pq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyweb_hidden_db::{InterfaceType, SchemaBuilder, SumRanker, WorstCaseRanker};
+    use skyweb_skyline::{bnl_skyline, same_ids};
+
+    fn pq_schema(domains: &[u32]) -> skyweb_hidden_db::Schema {
+        let mut b = SchemaBuilder::new();
+        for (i, &d) in domains.iter().enumerate() {
+            b = b.ranking(format!("a{i}"), d, InterfaceType::Pq);
+        }
+        b.build()
+    }
+
+    /// Duplicate-free test database: every tuple occupies a distinct cell of
+    /// the value grid, realising the paper's general positioning assumption.
+    fn pseudo_random_db(domains: &[u32], n: u64, k: usize, salt: u64) -> HiddenDb {
+        let tuples = skyweb_datagen::synthetic::distinct_cells(domains, n as usize, salt);
+        HiddenDb::new(pq_schema(domains), tuples, Box::new(SumRanker), k)
+    }
+
+    #[test]
+    fn three_dimensional_completeness() {
+        let db = pseudo_random_db(&[8, 6, 4], 120, 1, 0);
+        let result = PqDbSky::new().discover(&db).unwrap();
+        assert!(result.complete);
+        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        assert!(same_ids(&result.skyline, &truth));
+    }
+
+    #[test]
+    fn four_dimensional_completeness_with_larger_k() {
+        let db = pseudo_random_db(&[6, 5, 4, 3], 200, 3, 7);
+        let result = PqDbSky::new().discover(&db).unwrap();
+        assert!(result.complete);
+        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        assert!(same_ids(&result.skyline, &truth));
+    }
+
+    #[test]
+    fn completeness_under_an_adversarial_ranker() {
+        let tuples = skyweb_datagen::synthetic::distinct_cells(&[7, 6, 5], 80, 13);
+        let db = HiddenDb::new(pq_schema(&[7, 6, 5]), tuples, Box::new(WorstCaseRanker), 1);
+        let result = PqDbSky::new().discover(&db).unwrap();
+        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        assert!(same_ids(&result.skyline, &truth));
+    }
+
+    #[test]
+    fn two_dimensional_case_matches_pq2d() {
+        let db = pseudo_random_db(&[12, 10], 60, 1, 3);
+        let pq = PqDbSky::new().discover(&db).unwrap();
+        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        assert!(same_ids(&pq.skyline, &truth));
+    }
+
+    #[test]
+    fn plane_attributes_are_the_largest_domains() {
+        let db = pseudo_random_db(&[3, 50, 4, 40], 20, 1, 0);
+        let ((a1, a2), others) = PqDbSky::split_attributes(&db);
+        assert_eq!((a1, a2), (1, 3));
+        assert_eq!(others, vec![0, 2]);
+    }
+
+    #[test]
+    fn odometer_enumerates_every_combination() {
+        let domains = vec![2u32, 3u32];
+        let mut combo = vec![0u32, 0u32];
+        let mut seen = vec![combo.clone()];
+        while next_combo(&mut combo, &domains) {
+            seen.push(combo.clone());
+        }
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen[0], vec![0, 0]);
+        assert_eq!(seen[5], vec![1, 2]);
+    }
+
+    #[test]
+    fn underflowing_select_star_short_circuits() {
+        let db = pseudo_random_db(&[5, 5, 5], 4, 50, 0);
+        let result = PqDbSky::new().discover(&db).unwrap();
+        assert_eq!(result.query_cost, 1);
+        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        assert!(same_ids(&result.skyline, &truth));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_graceful_and_sound() {
+        let db = pseudo_random_db(&[10, 10, 6], 200, 1, 11);
+        let result = PqDbSky::with_budget(3).discover(&db).unwrap();
+        assert!(!result.complete);
+        assert!(result.query_cost <= 3);
+        // The partial result is internally consistent: no reported skyline
+        // candidate is dominated by any other retrieved tuple.
+        for s in &result.skyline {
+            for r in &result.retrieved {
+                assert!(!skyweb_hidden_db::dominates(r, s, db.schema()));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_single_attribute_schemas() {
+        let db = pseudo_random_db(&[5], 5, 1, 0);
+        assert!(PqDbSky::new().discover(&db).is_err());
+    }
+
+    #[test]
+    fn pq_detection_helper() {
+        let db = pseudo_random_db(&[5, 5], 10, 1, 0);
+        assert!(all_ranking_attrs_are_pq(&db));
+        let s = SchemaBuilder::new()
+            .ranking("a", 5, InterfaceType::Rq)
+            .ranking("b", 5, InterfaceType::Pq)
+            .build();
+        let db2 = HiddenDb::new(s, vec![], Box::new(SumRanker), 1);
+        assert!(!all_ranking_attrs_are_pq(&db2));
+    }
+}

@@ -1,0 +1,242 @@
+//! PQ-2D-SKY (Algorithm 3 of the paper): instance-optimal skyline discovery
+//! for a **two-dimensional** database whose attributes only support point
+//! predicates.
+//!
+//! The algorithm issues `SELECT *` to obtain one skyline tuple `(x1, y1)`,
+//! prunes the plane into the two rectangles of Figure 7 (everything
+//! lower-left of the tuple is provably empty, everything upper-right is
+//! dominated), and then repeatedly probes the cheaper dimension of a
+//! remaining rectangle with a 1D point query (`x = x_L` or `y = y_B`),
+//! shrinking the rectangle according to the answer. In the 2D case every 1D
+//! query is guaranteed to return the (single) skyline tuple it covers, which
+//! is what makes the procedure instance-optimal.
+
+use skyweb_hidden_db::{HiddenDb, InterfaceType, Query};
+
+use crate::pq2dsub::{build_plane_rects, sweep_plane, PlanePoint};
+use crate::{Client, Collector, Discoverer, DiscoveryError, DiscoveryResult};
+
+/// PQ-2D-SKY: instance-optimal skyline discovery over a 2-attribute
+/// point-predicate database.
+#[derive(Debug, Clone, Default)]
+pub struct Pq2dSky {
+    budget: Option<u64>,
+}
+
+impl Pq2dSky {
+    /// Creates the algorithm with no client-side query budget.
+    pub fn new() -> Self {
+        Pq2dSky::default()
+    }
+
+    /// Limits the number of queries the algorithm may issue (anytime mode).
+    pub fn with_budget(budget: u64) -> Self {
+        Pq2dSky {
+            budget: Some(budget),
+        }
+    }
+
+    fn check_interface(db: &HiddenDb) -> Result<(usize, usize), DiscoveryError> {
+        let ranking = db.schema().ranking_attrs();
+        if ranking.len() != 2 {
+            return Err(DiscoveryError::UnsupportedInterface {
+                reason: format!(
+                    "PQ-2D-SKY handles exactly 2 ranking attributes, the schema has {}",
+                    ranking.len()
+                ),
+            });
+        }
+        for &a in ranking {
+            if db.schema().attr(a).interface != InterfaceType::Pq {
+                // PQ-2D-SKY also runs fine on stronger interfaces (every
+                // interface supports equality), so this is not an error —
+                // but keep the check for attribute count only.
+            }
+        }
+        Ok((ranking[0], ranking[1]))
+    }
+}
+
+impl Discoverer for Pq2dSky {
+    fn name(&self) -> &str {
+        "PQ-2D-SKY"
+    }
+
+    fn discover(&self, db: &HiddenDb) -> Result<DiscoveryResult, DiscoveryError> {
+        let (a1, a2) = Self::check_interface(db)?;
+        let dx = db.schema().attr(a1).domain_size;
+        let dy = db.schema().attr(a2).domain_size;
+        let mut client = Client::new(db, self.budget);
+        let mut collector = Collector::new(vec![a1, a2]);
+
+        let Some(resp) = client.query(&Query::select_all())? else {
+            return Ok(collector.finish(client.issued(), false));
+        };
+        collector.ingest(&resp.tuples);
+        collector.record(client.issued());
+
+        if resp.tuples.len() < db.k() {
+            // The whole database fit in one answer.
+            return Ok(collector.finish(client.issued(), true));
+        }
+
+        let top = &resp.tuples[0];
+        let corner = PlanePoint {
+            x: i64::from(top.values[a1]),
+            y: i64::from(top.values[a2]),
+        };
+        let rects = build_plane_rects(dx, dy, &[corner], Some(corner));
+        let completed = sweep_plane(&mut client, &mut collector, a1, a2, &[], rects)?;
+        Ok(collector.finish(client.issued(), completed))
+    }
+}
+
+/// The query cost predicted by Equation 11 of the paper for a 2D database,
+/// given the skyline points sorted by the first attribute and the two domain
+/// sizes. Useful for checking the optimality of [`Pq2dSky`] in tests and
+/// benchmarks.
+pub fn eq11_cost(skyline_sorted: &[(u32, u32)], dx: u32, dy: u32) -> u64 {
+    if skyline_sorted.is_empty() {
+        return 0;
+    }
+    // Extend with the two domain corners t_0 = (0, max(Dom(A2))) and
+    // t_{|S|+1} = (max(Dom(A1)), 0).
+    let mut pts: Vec<(i64, i64)> = Vec::with_capacity(skyline_sorted.len() + 2);
+    pts.push((0, i64::from(dy) - 1));
+    pts.extend(
+        skyline_sorted
+            .iter()
+            .map(|&(x, y)| (i64::from(x), i64::from(y))),
+    );
+    pts.push((i64::from(dx) - 1, 0));
+    let mut cost = 0i64;
+    for w in pts.windows(2) {
+        let (x_i, y_i) = w[0];
+        let (x_next, y_next) = w[1];
+        cost += (x_next - x_i).min(y_i - y_next).max(0);
+    }
+    cost as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyweb_hidden_db::{SchemaBuilder, SingleAttributeRanker, SumRanker, Tuple};
+    use skyweb_skyline::{bnl_skyline, same_ids};
+
+    fn pq_schema(dx: u32, dy: u32) -> skyweb_hidden_db::Schema {
+        SchemaBuilder::new()
+            .ranking("x", dx, InterfaceType::Pq)
+            .ranking("y", dy, InterfaceType::Pq)
+            .build()
+    }
+
+    fn grid_db(points: &[(u32, u32)], dx: u32, dy: u32, k: usize) -> HiddenDb {
+        let tuples: Vec<Tuple> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Tuple::new(i as u64, vec![x, y]))
+            .collect();
+        HiddenDb::new(pq_schema(dx, dy), tuples, Box::new(SumRanker), k)
+    }
+
+    #[test]
+    fn discovers_a_simple_staircase() {
+        let db = grid_db(&[(1, 8), (3, 5), (6, 2), (7, 7), (8, 8)], 10, 10, 1);
+        let result = Pq2dSky::new().discover(&db).unwrap();
+        assert!(result.complete);
+        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        assert!(same_ids(&result.skyline, &truth));
+        assert_eq!(result.skyline.len(), 3);
+    }
+
+    #[test]
+    fn cost_stays_close_to_the_eq11_optimum() {
+        let points = [(1, 8), (3, 5), (6, 2), (7, 7), (8, 8), (9, 9), (2, 9)];
+        let db = grid_db(&points, 12, 12, 1);
+        let result = Pq2dSky::new().discover(&db).unwrap();
+        let mut sky: Vec<(u32, u32)> = bnl_skyline(db.oracle_tuples(), db.schema())
+            .iter()
+            .map(|t| (t.values[0], t.values[1]))
+            .collect();
+        sky.sort();
+        let optimum = eq11_cost(&sky, 12, 12);
+        // +1 for the initial SELECT * query; the sweep itself should match
+        // the optimum up to a small constant per rectangle boundary.
+        assert!(
+            result.query_cost <= optimum + 3,
+            "cost {} should be within a small constant of the Eq.11 optimum {}",
+            result.query_cost,
+            optimum
+        );
+    }
+
+    #[test]
+    fn works_when_every_value_is_occupied() {
+        // Dense anti-diagonal: every tuple is a skyline tuple.
+        let points: Vec<(u32, u32)> = (0..8).map(|i| (i, 7 - i)).collect();
+        let db = grid_db(&points, 8, 8, 1);
+        let result = Pq2dSky::new().discover(&db).unwrap();
+        assert_eq!(result.skyline.len(), 8);
+    }
+
+    #[test]
+    fn underflowing_select_star_finishes_in_one_query() {
+        let db = grid_db(&[(3, 4), (5, 1)], 10, 10, 10);
+        let result = Pq2dSky::new().discover(&db).unwrap();
+        assert!(result.complete);
+        assert_eq!(result.query_cost, 1);
+        assert_eq!(result.skyline.len(), 2);
+    }
+
+    #[test]
+    fn price_style_ranking_function_is_supported() {
+        let points = [(2, 6), (4, 3), (6, 1), (5, 5)];
+        let tuples: Vec<Tuple> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Tuple::new(i as u64, vec![x, y]))
+            .collect();
+        let db = HiddenDb::new(
+            pq_schema(8, 8),
+            tuples,
+            Box::new(SingleAttributeRanker::new(1)),
+            1,
+        );
+        let result = Pq2dSky::new().discover(&db).unwrap();
+        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        assert!(same_ids(&result.skyline, &truth));
+    }
+
+    #[test]
+    fn rejects_higher_dimensional_schemas() {
+        let schema = SchemaBuilder::new()
+            .ranking("x", 4, InterfaceType::Pq)
+            .ranking("y", 4, InterfaceType::Pq)
+            .ranking("z", 4, InterfaceType::Pq)
+            .build();
+        let db = HiddenDb::new(schema, vec![Tuple::new(0, vec![0, 0, 0])], Box::new(SumRanker), 1);
+        assert!(Pq2dSky::new().discover(&db).is_err());
+    }
+
+    #[test]
+    fn eq11_cost_examples() {
+        // Single skyline point in the middle of a 10x10 grid:
+        // min(5-0, 9-5) + min(9-5, 5-0) = 4 + 4.
+        assert_eq!(eq11_cost(&[(5, 5)], 10, 10), 8);
+        // Empty skyline costs nothing.
+        assert_eq!(eq11_cost(&[], 10, 10), 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_graceful() {
+        let points: Vec<(u32, u32)> = (0..20).map(|i| (i, 19 - i)).collect();
+        let db = grid_db(&points, 20, 20, 1);
+        let result = Pq2dSky::with_budget(5).discover(&db).unwrap();
+        assert!(!result.complete);
+        assert_eq!(result.query_cost, 5);
+        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth_ids: Vec<u64> = truth.iter().map(|t| t.id).collect();
+        assert!(result.skyline.iter().all(|t| truth_ids.contains(&t.id)));
+    }
+}

@@ -1,0 +1,263 @@
+//! Top-h sky-band discovery (Section 7.2 of the paper).
+//!
+//! The *top-h sky band* contains every tuple dominated by fewer than `h`
+//! other tuples; the skyline is the special case `h = 1`. Sky bands matter
+//! because the top-k answer of **any** monotone ranking function with
+//! `k ≤ h` is contained in the top-h sky band — so a downloaded sky band
+//! lets a third-party service answer arbitrary user-defined top-k queries
+//! without touching the hidden database again.
+//!
+//! For two-ended range interfaces the paper's extension is implemented
+//! here as [`RqSkyband`]: any tuple on the top-`l` band (but not the
+//! top-`(l-1)` band) is a skyline tuple of the *domination subspace* of some
+//! top-`(l-1)` band tuple, so the band is discovered by re-running
+//! RQ-DB-SKY once per already-discovered band tuple, rooted at the
+//! conjunctive query `A_i ≥ t[A_i]`.
+//!
+//! The final band is extracted from everything retrieved with an exact local
+//! dominance count ([`skyband_of_retrieved`]) — which is correct because at
+//! least `h` dominators of any non-band tuple are themselves on the band and
+//! therefore retrieved.
+
+use std::collections::HashSet;
+
+use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, Tuple};
+use skyweb_skyline::skyband_on;
+
+use crate::{Client, Collector, DiscoveryError, RqDbSky};
+
+/// Extracts the top-h sky band of the *retrieved* tuple set by exact local
+/// dominance counting over the ranking attributes of `db`.
+///
+/// This post-processing is exact whenever the retrieved set is a superset of
+/// the true top-h band (which the discovery procedures guarantee).
+pub fn skyband_of_retrieved(retrieved: &[Tuple], db: &HiddenDb, h: usize) -> Vec<Tuple> {
+    skyband_on(retrieved, db.schema().ranking_attrs(), h)
+}
+
+/// Result of a sky-band discovery run.
+#[derive(Debug, Clone)]
+pub struct SkybandResult {
+    /// The discovered top-h sky band (exact when `complete` is `true`).
+    pub band: Vec<Tuple>,
+    /// Every tuple retrieved along the way.
+    pub retrieved: Vec<Tuple>,
+    /// Total number of queries issued.
+    pub query_cost: u64,
+    /// Number of RQ-DB-SKY executions performed (the paper's cost driver is
+    /// the size of the top-(h-1) band; we spend `m` runs per band tuple to
+    /// cover its domination subspace with conjunctive boxes).
+    pub runs: usize,
+    /// Whether the procedure ran to completion.
+    pub complete: bool,
+}
+
+/// Top-h sky-band discovery for two-ended range interfaces.
+#[derive(Debug, Clone)]
+pub struct RqSkyband {
+    h: usize,
+    budget: Option<u64>,
+}
+
+impl RqSkyband {
+    /// Creates a discoverer for the top-`h` sky band.
+    ///
+    /// # Panics
+    /// Panics if `h == 0`.
+    pub fn new(h: usize) -> Self {
+        assert!(h >= 1, "the sky band requires h >= 1");
+        RqSkyband { h, budget: None }
+    }
+
+    /// Limits the total number of queries (anytime mode).
+    pub fn with_budget(h: usize, budget: u64) -> Self {
+        assert!(h >= 1, "the sky band requires h >= 1");
+        RqSkyband {
+            h,
+            budget: Some(budget),
+        }
+    }
+
+    fn check_interface(db: &HiddenDb) -> Result<(), DiscoveryError> {
+        for &a in db.schema().ranking_attrs() {
+            if db.schema().attr(a).interface != InterfaceType::Rq {
+                return Err(DiscoveryError::UnsupportedInterface {
+                    reason: format!(
+                        "sky-band discovery needs two-ended ranges on every ranking attribute, \
+                         but '{}' is {}",
+                        db.schema().attr(a).name,
+                        db.schema().attr(a).interface.label()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the discovery and returns the top-h sky band.
+    pub fn discover_band(&self, db: &HiddenDb) -> Result<SkybandResult, DiscoveryError> {
+        Self::check_interface(db)?;
+        let attrs: Vec<usize> = db.schema().ranking_attrs().to_vec();
+        let k = db.k();
+        let mut client = Client::new(db, self.budget);
+        let mut collector = Collector::new(attrs.clone());
+        let mut runs = 0usize;
+
+        // Level 1: the plain skyline.
+        let mut completed = RqDbSky::run_tree(
+            &mut client,
+            &mut collector,
+            &attrs,
+            Query::select_all(),
+            k,
+        )?;
+        runs += 1;
+
+        // Levels 2..h: explore the domination subspace of every tuple already
+        // known to be on the band. The subspace "tuples dominated by t"
+        // (which must exclude t itself) is covered by m boxes, the i-th
+        // requiring `A_i > t[A_i]` and `A_j ≥ t[A_j]` elsewhere; RQ-DB-SKY is
+        // re-run rooted at each box.
+        let mut used_roots: HashSet<u64> = HashSet::new();
+        if completed {
+            'levels: for level in 1..self.h {
+                let band_prev = skyband_on(&collector.retrieved(), &attrs, level);
+                for t in band_prev {
+                    if !used_roots.insert(t.id) {
+                        continue;
+                    }
+                    for &strict in &attrs {
+                        let root = Query::new(
+                            attrs
+                                .iter()
+                                .map(|&a| {
+                                    if a == strict {
+                                        Predicate::gt(a, t.values[a])
+                                    } else {
+                                        Predicate::ge(a, t.values[a])
+                                    }
+                                })
+                                .collect(),
+                        );
+                        if root.is_unsatisfiable(db.schema()) {
+                            // t already holds the worst possible value on
+                            // the strict attribute; the box is empty.
+                            continue;
+                        }
+                        completed =
+                            RqDbSky::run_tree(&mut client, &mut collector, &attrs, root, k)?;
+                        runs += 1;
+                        if !completed {
+                            break 'levels;
+                        }
+                    }
+                }
+            }
+        }
+
+        let retrieved = collector.retrieved();
+        let band = skyband_on(&retrieved, &attrs, self.h);
+        Ok(SkybandResult {
+            band,
+            retrieved,
+            query_cost: client.issued(),
+            runs,
+            complete: completed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyweb_hidden_db::{SchemaBuilder, SumRanker};
+    use skyweb_skyline::{same_ids, skyband};
+
+    fn rq_schema(m: usize, domain: u32) -> skyweb_hidden_db::Schema {
+        let mut b = SchemaBuilder::new();
+        for i in 0..m {
+            b = b.ranking(format!("a{i}"), domain, InterfaceType::Rq);
+        }
+        b.build()
+    }
+
+    /// Duplicate-free test database (general positioning assumption).
+    fn pseudo_random_db(m: usize, domain: u32, n: u64, k: usize) -> HiddenDb {
+        let domains = vec![domain; m];
+        let tuples = skyweb_datagen::synthetic::distinct_cells(&domains, n as usize, 48271);
+        HiddenDb::new(rq_schema(m, domain), tuples, Box::new(SumRanker), k)
+    }
+
+    #[test]
+    fn h_equal_one_is_the_skyline() {
+        let db = pseudo_random_db(2, 30, 100, 2);
+        let result = RqSkyband::new(1).discover_band(&db).unwrap();
+        assert!(result.complete);
+        assert_eq!(result.runs, 1);
+        let truth = skyband(db.oracle_tuples(), db.schema(), 1);
+        assert!(same_ids(&result.band, &truth));
+    }
+
+    #[test]
+    fn top_two_band_matches_ground_truth() {
+        let db = pseudo_random_db(2, 25, 120, 2);
+        let result = RqSkyband::new(2).discover_band(&db).unwrap();
+        assert!(result.complete);
+        let truth = skyband(db.oracle_tuples(), db.schema(), 2);
+        assert!(same_ids(&result.band, &truth));
+        assert!(result.runs >= 2);
+    }
+
+    #[test]
+    fn top_three_band_matches_ground_truth_in_3d() {
+        let db = pseudo_random_db(3, 12, 150, 3);
+        let result = RqSkyband::new(3).discover_band(&db).unwrap();
+        assert!(result.complete);
+        let truth = skyband(db.oracle_tuples(), db.schema(), 3);
+        assert!(same_ids(&result.band, &truth));
+    }
+
+    #[test]
+    fn band_contains_the_skyline() {
+        let db = pseudo_random_db(3, 20, 150, 2);
+        let sky = RqSkyband::new(1).discover_band(&db).unwrap().band;
+        let db2 = pseudo_random_db(3, 20, 150, 2);
+        let band = RqSkyband::new(2).discover_band(&db2).unwrap().band;
+        let band_ids: Vec<u64> = band.iter().map(|t| t.id).collect();
+        assert!(sky.iter().all(|t| band_ids.contains(&t.id)));
+        assert!(band.len() >= sky.len());
+    }
+
+    #[test]
+    fn rejects_non_rq_interfaces() {
+        let schema = SchemaBuilder::new()
+            .ranking("a", 10, InterfaceType::Pq)
+            .ranking("b", 10, InterfaceType::Rq)
+            .build();
+        let db = HiddenDb::new(schema, vec![], Box::new(SumRanker), 1);
+        assert!(RqSkyband::new(2).discover_band(&db).is_err());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let db = pseudo_random_db(3, 20, 300, 1);
+        let result = RqSkyband::with_budget(2, 5).discover_band(&db).unwrap();
+        assert!(!result.complete);
+        assert!(result.query_cost <= 5);
+    }
+
+    #[test]
+    fn post_processing_helper_matches_local_skyband() {
+        let db = pseudo_random_db(2, 15, 80, 2);
+        let all: Vec<Tuple> = db.oracle_tuples().to_vec();
+        let a = skyband_of_retrieved(&all, &db, 3);
+        let b = skyband(db.oracle_tuples(), db.schema(), 3);
+        assert!(same_ids(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "h >= 1")]
+    fn zero_h_panics() {
+        let _ = RqSkyband::new(0);
+    }
+}

@@ -1,0 +1,190 @@
+//! A synthetic stand-in for the Blue Nile diamond catalogue used in the
+//! paper's online experiment (209,666 diamonds at the time of the study).
+//!
+//! Ranking attributes (all exposed as two-ended ranges by the real site):
+//! Price (lower preferred), Carat (higher preferred), Cut, Color and
+//! Clarity (more precise / clearer preferred). Shape is a filtering
+//! attribute. The default ranking function of the site is price, low to
+//! high.
+//!
+//! Price is generated as a strongly increasing function of carat and of the
+//! quality grades plus noise, which is what makes the real skyline large
+//! (the paper discovers 2,149 skyline diamonds): cheap large high-quality
+//! stones do not exist, so the price/quality trade-off frontier is long.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use skyweb_hidden_db::{InterfaceType, SchemaBuilder, Tuple, Value};
+
+use crate::Dataset;
+
+/// Domain sizes of the generated attributes.
+pub mod domains {
+    /// Price buckets (rank 0 = cheapest).
+    pub const PRICE: u32 = 8000;
+    /// Carat in 1/100 carat steps; rank 0 = the largest stone.
+    pub const CARAT: u32 = 480;
+    /// Cut grades: Astor Ideal, Ideal, Very Good, Good, Fair (rank 0 best).
+    pub const CUT: u32 = 5;
+    /// Color grades D..K (rank 0 = D, colorless).
+    pub const COLOR: u32 = 8;
+    /// Clarity grades FL..SI2 (rank 0 = FL, flawless).
+    pub const CLARITY: u32 = 8;
+    /// Shapes (round, princess, cushion, ...; filtering only).
+    pub const SHAPE: u32 = 10;
+}
+
+/// Configuration for the Blue Nile-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct DiamondsConfig {
+    /// Number of diamonds. The paper's snapshot had 209,666.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DiamondsConfig {
+    fn default() -> Self {
+        DiamondsConfig {
+            n: 209_666,
+            seed: 4,
+        }
+    }
+}
+
+fn clamp(v: f64, domain: Value) -> Value {
+    v.round().clamp(0.0, f64::from(domain - 1)) as Value
+}
+
+/// Generates the diamond catalogue.
+pub fn generate(config: &DiamondsConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let schema = SchemaBuilder::new()
+        .ranking("price", domains::PRICE, InterfaceType::Rq)
+        .ranking("carat", domains::CARAT, InterfaceType::Rq)
+        .ranking("cut", domains::CUT, InterfaceType::Rq)
+        .ranking("color", domains::COLOR, InterfaceType::Rq)
+        .ranking("clarity", domains::CLARITY, InterfaceType::Rq)
+        .filtering("shape", domains::SHAPE)
+        .build();
+
+    let tuples: Vec<Tuple> = (0..config.n as u64)
+        .map(|id| {
+            // Carat: clusters at the "magic sizes" buyers search for
+            // (0.50, 0.70, 0.90, 1.00, ...), with a continuous tail of odd
+            // sizes and a few very large stones.
+            const MAGIC_SIZES: [f64; 10] =
+                [0.30, 0.40, 0.50, 0.70, 0.90, 1.00, 1.20, 1.50, 2.00, 3.00];
+            let carat_ct: f64 = if rng.gen_bool(0.6) {
+                MAGIC_SIZES[rng.gen_range(0..MAGIC_SIZES.len())]
+            } else {
+                let u: f64 = rng.gen_range(0.0f64..1.0);
+                0.23 + 4.5 * u * u * u
+            };
+            // Quality grades: driven by a shared latent "stone quality"
+            // factor, so cut/color/clarity are positively correlated (as on
+            // the real site, where finer rough is cut more carefully).
+            let quality: f64 = rng.gen_range(0.0..1.0);
+            let grade = |rng: &mut StdRng, domain: Value| -> Value {
+                let base = (1.0 - quality) * f64::from(domain - 1);
+                clamp(base + rng.gen_range(-1.5..1.5), domain)
+            };
+            let cut = grade(&mut rng, domains::CUT);
+            let color = grade(&mut rng, domains::COLOR);
+            let clarity = grade(&mut rng, domains::CLARITY);
+            let shape = rng.gen_range(0..domains::SHAPE);
+
+            // Price in dollars: super-linear in carat, discounted by worse
+            // grades, multiplied by a wide listing-to-listing noise
+            // (certification, fluorescence, vendor margin, ...). The noise
+            // is what lets well-priced stones dominate overpriced ones.
+            let quality_factor = 1.0
+                - 0.06 * f64::from(cut)
+                - 0.05 * f64::from(color)
+                - 0.055 * f64::from(clarity);
+            let noise = rng.gen_range(0.60..1.60);
+            let price_usd = 2600.0 * carat_ct.powf(1.9) * quality_factor.max(0.25) * noise + 300.0;
+
+            // Rank space: price bucket of ~$25, carat rank 0 = 5.02 ct.
+            let price = clamp(price_usd / 25.0, domains::PRICE);
+            let carat = clamp(
+                f64::from(domains::CARAT - 1) - (carat_ct - 0.23) * 100.0,
+                domains::CARAT,
+            );
+
+            Tuple::new(id, vec![price, carat, cut, color, clarity, shape])
+        })
+        .collect();
+
+    Dataset::new("blue-nile-diamonds", schema, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyweb_skyline::bnl_skyline_on;
+
+    fn small() -> Dataset {
+        generate(&DiamondsConfig { n: 5000, seed: 9 })
+    }
+
+    #[test]
+    fn schema_matches_blue_nile() {
+        let ds = small();
+        assert_eq!(ds.schema.num_ranking(), 5);
+        assert!(ds
+            .schema
+            .ranking_attrs()
+            .iter()
+            .all(|&a| ds.schema.attr(a).interface == InterfaceType::Rq));
+        assert_eq!(ds.schema.attr_by_name("shape").map(|a| ds.schema.attr(a).role),
+            Some(skyweb_hidden_db::AttributeRole::Filtering));
+    }
+
+    #[test]
+    fn values_stay_inside_domains() {
+        let _db = small().into_db_sum(50);
+    }
+
+    #[test]
+    fn price_and_carat_are_anti_correlated_in_rank_space() {
+        // Bigger stones (small carat rank) should be more expensive (large
+        // price rank): count agreement of a crude sign test.
+        let ds = small();
+        let price = ds.schema.attr_by_name("price").unwrap();
+        let carat = ds.schema.attr_by_name("carat").unwrap();
+        let mean_price: f64 = ds.tuples.iter().map(|t| f64::from(t.values[price])).sum::<f64>()
+            / ds.len() as f64;
+        let mean_carat: f64 = ds.tuples.iter().map(|t| f64::from(t.values[carat])).sum::<f64>()
+            / ds.len() as f64;
+        let mut cov = 0.0;
+        for t in &ds.tuples {
+            cov += (f64::from(t.values[price]) - mean_price)
+                * (f64::from(t.values[carat]) - mean_carat);
+        }
+        assert!(cov < 0.0, "price rank and carat rank should anti-correlate");
+    }
+
+    #[test]
+    fn skyline_is_sizable_but_far_from_n() {
+        let ds = small();
+        let attrs: Vec<usize> = ds.schema.ranking_attrs().to_vec();
+        let sky = bnl_skyline_on(&ds.tuples, &attrs);
+        assert!(sky.len() > 20, "diamond frontier should be long, got {}", sky.len());
+        assert!(
+            sky.len() < ds.len() / 4,
+            "diamond skyline should stay well below n: {} of {}",
+            sky.len(),
+            ds.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&DiamondsConfig { n: 300, seed: 1 });
+        let b = generate(&DiamondsConfig { n: 300, seed: 1 });
+        assert_eq!(a.tuples, b.tuples);
+    }
+}

@@ -1,0 +1,376 @@
+//! Controlled synthetic tables: independent, correlated and anti-correlated
+//! attribute distributions (the classic skyline-benchmark generators of
+//! Börzsönyi et al.), used for the parameter sweeps where the paper needs to
+//! control the number of skyline tuples (Figure 6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use skyweb_hidden_db::{InterfaceType, Schema, SchemaBuilder, Tuple, Value};
+
+use crate::Dataset;
+
+/// Correlation structure between the ranking attributes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Correlation {
+    /// Attribute values are i.i.d. uniform over the domain.
+    Independent,
+    /// Attributes are positively correlated with the given strength in
+    /// `[0, 1]`: `0.0` behaves like [`Correlation::Independent`], `1.0`
+    /// makes all attributes equal. Positive correlation shrinks the skyline.
+    Correlated(f64),
+    /// Attributes are anti-correlated with the given strength in `[0, 1]`:
+    /// tuples are concentrated around the anti-diagonal plane
+    /// `sum(values) ≈ const`, which inflates the skyline.
+    AntiCorrelated(f64),
+}
+
+/// Configuration of the synthetic generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticConfig {
+    /// Number of tuples.
+    pub n: usize,
+    /// Number of ranking attributes.
+    pub m: usize,
+    /// Domain size of every attribute.
+    pub domain_size: Value,
+    /// Correlation structure.
+    pub correlation: Correlation,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            n: 1000,
+            m: 3,
+            domain_size: 100,
+            correlation: Correlation::Independent,
+            seed: 0,
+        }
+    }
+}
+
+fn schema(m: usize, domain_size: Value, interface: InterfaceType) -> Schema {
+    let mut b = SchemaBuilder::new();
+    for i in 0..m {
+        b = b.ranking(format!("a{i}"), domain_size, interface);
+    }
+    b.build()
+}
+
+fn clamp_to_domain(v: f64, domain_size: Value) -> Value {
+    let max = f64::from(domain_size - 1);
+    v.round().clamp(0.0, max) as Value
+}
+
+/// Generates a synthetic dataset according to `config`. All attributes are
+/// created as two-ended range ([`InterfaceType::Rq`]) attributes; use
+/// [`Dataset::with_interface`] to re-declare them as SQ or PQ.
+pub fn generate(config: &SyntheticConfig) -> Dataset {
+    generate_with_interface(config, InterfaceType::Rq)
+}
+
+/// Same as [`generate`] but with an explicit interface type for every
+/// attribute.
+pub fn generate_with_interface(config: &SyntheticConfig, interface: InterfaceType) -> Dataset {
+    assert!(config.m >= 1, "need at least one attribute");
+    assert!(config.domain_size >= 2, "need a domain of at least 2 values");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let d = f64::from(config.domain_size - 1);
+
+    let tuples: Vec<Tuple> = (0..config.n as u64)
+        .map(|id| {
+            let values: Vec<Value> = match config.correlation {
+                Correlation::Independent => (0..config.m)
+                    .map(|_| rng.gen_range(0..config.domain_size))
+                    .collect(),
+                Correlation::Correlated(strength) => {
+                    let strength = strength.clamp(0.0, 1.0);
+                    let base = rng.gen_range(0.0..=d);
+                    (0..config.m)
+                        .map(|_| {
+                            let independent = rng.gen_range(0.0..=d);
+                            clamp_to_domain(
+                                strength * base + (1.0 - strength) * independent,
+                                config.domain_size,
+                            )
+                        })
+                        .collect()
+                }
+                Correlation::AntiCorrelated(strength) => {
+                    let strength = strength.clamp(0.0, 1.0);
+                    // Draw a point on the anti-diagonal plane sum = m*d/2 by
+                    // distributing a fixed budget, then blend with an
+                    // independent draw.
+                    let mut weights: Vec<f64> = (0..config.m).map(|_| rng.gen_range(0.01..1.0)).collect();
+                    let total: f64 = weights.iter().sum();
+                    let budget = d * config.m as f64 / 2.0;
+                    for w in &mut weights {
+                        *w = (*w / total) * budget;
+                    }
+                    (0..config.m)
+                        .map(|i| {
+                            let independent = rng.gen_range(0.0..=d);
+                            clamp_to_domain(
+                                strength * weights[i] + (1.0 - strength) * independent,
+                                config.domain_size,
+                            )
+                        })
+                        .collect()
+                }
+            };
+            Tuple::new(id, values)
+        })
+        .collect();
+
+    Dataset::new(
+        format!("synthetic-{:?}", config.correlation),
+        schema(config.m, config.domain_size, interface),
+        tuples,
+    )
+}
+
+/// Generates `n` tuples occupying **distinct cells** of the value grid
+/// spanned by `domains` (so no two tuples share the same value combination
+/// on the ranking attributes). This realises the paper's *general
+/// positioning assumption* — skyline tuples have unique value combinations —
+/// which is required for exact completeness checks against a ground-truth
+/// skyline when `k` is small.
+///
+/// # Panics
+/// Panics if `n` exceeds the number of grid cells.
+pub fn distinct_cells(domains: &[Value], n: usize, seed: u64) -> Vec<Tuple> {
+    assert!(!domains.is_empty(), "need at least one attribute");
+    let total: u64 = domains.iter().map(|&d| u64::from(d)).product();
+    assert!(
+        (n as u64) <= total,
+        "cannot place {n} distinct tuples in a grid of {total} cells"
+    );
+    // Pick a step that is coprime with the number of cells so that
+    // i -> (offset + i*step) mod total enumerates distinct cells.
+    const CANDIDATE_STEPS: [u64; 8] = [
+        2_654_435_761,
+        1_000_000_007,
+        998_244_353,
+        104_729,
+        7_919,
+        6_700_417,
+        179_424_673,
+        15_485_863,
+    ];
+    fn gcd(a: u64, b: u64) -> u64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    let step = CANDIDATE_STEPS
+        .iter()
+        .copied()
+        .find(|&s| gcd(s % total.max(1), total) == 1)
+        .unwrap_or(1);
+    let offset = seed % total;
+
+    (0..n as u64)
+        .map(|i| {
+            let mut cell = (offset + i.wrapping_mul(step)) % total;
+            let mut values = Vec::with_capacity(domains.len());
+            for &d in domains {
+                values.push((cell % u64::from(d)) as Value);
+                cell /= u64::from(d);
+            }
+            Tuple::new(i, values)
+        })
+        .collect()
+}
+
+/// [`distinct_cells`] wrapped in a [`Dataset`] with RQ attributes.
+pub fn distinct_grid(domains: &[Value], n: usize, seed: u64) -> Dataset {
+    distinct_grid_with_interface(domains, n, seed, InterfaceType::Rq)
+}
+
+/// [`distinct_cells`] wrapped in a [`Dataset`] with the given interface type
+/// on every attribute.
+pub fn distinct_grid_with_interface(
+    domains: &[Value],
+    n: usize,
+    seed: u64,
+    interface: InterfaceType,
+) -> Dataset {
+    let mut b = SchemaBuilder::new();
+    for (i, &d) in domains.iter().enumerate() {
+        b = b.ranking(format!("a{i}"), d, interface);
+    }
+    Dataset::new(
+        "distinct-grid",
+        b.build(),
+        distinct_cells(domains, n, seed),
+    )
+}
+
+/// Generates a family of datasets whose skyline sizes sweep from small to
+/// large by varying the correlation from strongly positive to strongly
+/// negative, mirroring the paper's Figure 6 methodology ("we control the
+/// percentage of skyline tuples by adjusting the correlation between the
+/// attributes").
+///
+/// Returns `(correlation_parameter, dataset)` pairs ordered from the most
+/// positively correlated (fewest skyline tuples) to the most
+/// anti-correlated (most skyline tuples).
+pub fn correlation_sweep(
+    n: usize,
+    m: usize,
+    domain_size: Value,
+    steps: usize,
+    seed: u64,
+) -> Vec<(f64, Dataset)> {
+    assert!(steps >= 2);
+    (0..steps)
+        .map(|i| {
+            // rho goes from +0.95 (highly correlated) down to -0.95.
+            let rho = 0.95 - 1.9 * (i as f64) / (steps as f64 - 1.0);
+            let correlation = if rho >= 0.0 {
+                Correlation::Correlated(rho)
+            } else {
+                Correlation::AntiCorrelated(-rho)
+            };
+            let ds = generate(&SyntheticConfig {
+                n,
+                m,
+                domain_size,
+                correlation,
+                seed: seed.wrapping_add(i as u64),
+            });
+            (rho, ds)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyweb_skyline::bnl_skyline;
+
+    #[test]
+    fn generates_requested_shape() {
+        let ds = generate(&SyntheticConfig {
+            n: 250,
+            m: 4,
+            domain_size: 64,
+            correlation: Correlation::Independent,
+            seed: 1,
+        });
+        assert_eq!(ds.len(), 250);
+        assert_eq!(ds.schema.num_ranking(), 4);
+        for t in &ds.tuples {
+            assert_eq!(t.arity(), 4);
+            assert!(t.values.iter().all(|&v| v < 64));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SyntheticConfig {
+            n: 100,
+            m: 3,
+            domain_size: 32,
+            correlation: Correlation::AntiCorrelated(0.8),
+            seed: 99,
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.tuples, b.tuples);
+    }
+
+    #[test]
+    fn correlation_controls_skyline_size() {
+        let base = SyntheticConfig {
+            n: 800,
+            m: 3,
+            domain_size: 100,
+            seed: 5,
+            correlation: Correlation::Independent,
+        };
+        let corr = generate(&SyntheticConfig {
+            correlation: Correlation::Correlated(0.9),
+            ..base
+        });
+        let indep = generate(&base);
+        let anti = generate(&SyntheticConfig {
+            correlation: Correlation::AntiCorrelated(0.9),
+            ..base
+        });
+        let s_corr = bnl_skyline(&corr.tuples, &corr.schema).len();
+        let s_indep = bnl_skyline(&indep.tuples, &indep.schema).len();
+        let s_anti = bnl_skyline(&anti.tuples, &anti.schema).len();
+        assert!(
+            s_corr < s_indep && s_indep < s_anti,
+            "skyline sizes should grow from correlated ({s_corr}) through independent \
+             ({s_indep}) to anti-correlated ({s_anti})"
+        );
+    }
+
+    #[test]
+    fn correlation_sweep_spans_small_to_large_skylines() {
+        let sweep = correlation_sweep(500, 2, 50, 5, 11);
+        assert_eq!(sweep.len(), 5);
+        let first = bnl_skyline(&sweep[0].1.tuples, &sweep[0].1.schema).len();
+        let last = bnl_skyline(&sweep[4].1.tuples, &sweep[4].1.schema).len();
+        assert!(first < last);
+        assert!(sweep[0].0 > sweep[4].0);
+    }
+
+    #[test]
+    fn distinct_cells_have_unique_value_combinations() {
+        let domains = [7u32, 5, 3];
+        let tuples = distinct_cells(&domains, 100, 42);
+        assert_eq!(tuples.len(), 100);
+        let mut combos: Vec<Vec<u32>> = tuples.iter().map(|t| t.values.clone()).collect();
+        combos.sort();
+        combos.dedup();
+        assert_eq!(combos.len(), 100, "value combinations must be distinct");
+        for t in &tuples {
+            for (j, &d) in domains.iter().enumerate() {
+                assert!(t.values[j] < d);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_cells_can_fill_the_whole_grid() {
+        let tuples = distinct_cells(&[4, 4], 16, 9);
+        let mut combos: Vec<Vec<u32>> = tuples.iter().map(|t| t.values.clone()).collect();
+        combos.sort();
+        combos.dedup();
+        assert_eq!(combos.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct tuples")]
+    fn distinct_cells_rejects_oversized_requests() {
+        let _ = distinct_cells(&[3, 3], 10, 0);
+    }
+
+    #[test]
+    fn distinct_grid_builds_a_dataset() {
+        let ds = distinct_grid(&[6, 6], 20, 3);
+        assert_eq!(ds.schema.num_ranking(), 2);
+        let _db = ds.into_db_sum(2);
+    }
+
+    #[test]
+    fn interface_override_applies_to_all_attributes() {
+        let ds = generate_with_interface(
+            &SyntheticConfig::default(),
+            InterfaceType::Pq,
+        );
+        assert!(ds
+            .schema
+            .attrs()
+            .iter()
+            .all(|a| a.interface == InterfaceType::Pq));
+    }
+}

@@ -1,0 +1,521 @@
+//! The hidden database itself: a tuple store that can only be reached
+//! through a top-k, predicate-restricted search interface.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::stats::{AccessLog, AccessLogEntry, QueryStats};
+use crate::{
+    AttributeRole, CmpOp, InterfaceType, Query, Ranker, Schema, SumRanker, Tuple, Value,
+};
+
+/// A client-visible limit on the number of search queries that may be
+/// issued, modelling per-IP-address or per-API-key quotas of real web
+/// databases (e.g. the 50 free queries per day of the Google Flights QPX
+/// API mentioned in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Maximum number of accepted queries.
+    pub max_queries: u64,
+}
+
+impl RateLimit {
+    /// Creates a rate limit of `max_queries` queries.
+    pub fn new(max_queries: u64) -> Self {
+        RateLimit { max_queries }
+    }
+}
+
+/// Errors returned by [`HiddenDb::query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query references an attribute that does not exist in the schema.
+    UnknownAttribute {
+        /// The offending attribute id.
+        attr: usize,
+    },
+    /// The query uses a predicate operator that the attribute's search
+    /// interface does not support (e.g. `>` on an SQ attribute, `<` on a PQ
+    /// attribute).
+    UnsupportedPredicate {
+        /// The offending attribute id.
+        attr: usize,
+        /// The operator that was attempted.
+        op: CmpOp,
+        /// The interface type of the attribute.
+        interface: InterfaceType,
+    },
+    /// The predicate constant lies outside the attribute's domain.
+    ValueOutOfDomain {
+        /// The offending attribute id.
+        attr: usize,
+        /// The out-of-domain constant.
+        value: Value,
+        /// The size of the attribute's domain.
+        domain_size: Value,
+    },
+    /// The client has exhausted its query quota.
+    RateLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownAttribute { attr } => write!(f, "unknown attribute A{attr}"),
+            QueryError::UnsupportedPredicate { attr, op, interface } => write!(
+                f,
+                "attribute A{attr} ({}) does not support predicate '{}'",
+                interface.label(),
+                op.symbol()
+            ),
+            QueryError::ValueOutOfDomain { attr, value, domain_size } => write!(
+                f,
+                "value {value} is outside the domain [0, {domain_size}) of attribute A{attr}"
+            ),
+            QueryError::RateLimitExceeded { limit } => {
+                write!(f, "query rate limit of {limit} queries exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Answer of the hidden database to one search query.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The returned tuples, best-ranked first. At most `k` tuples.
+    pub tuples: Vec<Tuple>,
+    /// `true` if more than `k` tuples matched the query, i.e. the answer was
+    /// truncated by the top-k constraint ("the query overflowed").
+    pub overflowed: bool,
+}
+
+impl QueryResponse {
+    /// The best-ranked returned tuple, if any.
+    pub fn top(&self) -> Option<&Tuple> {
+        self.tuples.first()
+    }
+
+    /// `true` if no tuple matched the query.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Number of returned tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+}
+
+/// A hidden web database: tuples + schema + proprietary ranking function,
+/// reachable only through [`HiddenDb::query`].
+///
+/// The struct deliberately offers **no** public access to the raw tuple
+/// store from the client's perspective; discovery algorithms must go through
+/// the query interface, which counts every access. Experiment code that
+/// needs ground truth (e.g. to verify that all skyline tuples were found)
+/// can use [`HiddenDb::oracle_tuples`], which is clearly marked as
+/// server-side knowledge.
+pub struct HiddenDb {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    ranker: Box<dyn Ranker>,
+    k: usize,
+    rate_limit: Option<RateLimit>,
+    queries: AtomicU64,
+    overflows: AtomicU64,
+    empty_answers: AtomicU64,
+    tuples_returned: AtomicU64,
+    access_log: Mutex<Option<AccessLog>>,
+}
+
+impl fmt::Debug for HiddenDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HiddenDb")
+            .field("n", &self.tuples.len())
+            .field("m", &self.schema.num_ranking())
+            .field("k", &self.k)
+            .field("ranker", &self.ranker.name())
+            .field("rate_limit", &self.rate_limit)
+            .finish()
+    }
+}
+
+impl HiddenDb {
+    /// Creates a hidden database with the given schema, tuples, ranking
+    /// function and top-k constraint.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, if any tuple's arity differs from the schema, or
+    /// if any tuple value lies outside its attribute domain.
+    pub fn new(schema: Schema, tuples: Vec<Tuple>, ranker: Box<dyn Ranker>, k: usize) -> Self {
+        assert!(k >= 1, "the top-k constraint requires k >= 1");
+        for t in &tuples {
+            assert_eq!(
+                t.arity(),
+                schema.len(),
+                "tuple {} has arity {} but the schema has {} attributes",
+                t.id,
+                t.arity(),
+                schema.len()
+            );
+            for (attr, &v) in t.values.iter().enumerate() {
+                assert!(
+                    schema.value_in_domain(attr, v),
+                    "tuple {} value {v} is outside the domain of attribute {attr}",
+                    t.id
+                );
+            }
+        }
+        HiddenDb {
+            schema,
+            tuples,
+            ranker,
+            k,
+            rate_limit: None,
+            queries: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
+            empty_answers: AtomicU64::new(0),
+            tuples_returned: AtomicU64::new(0),
+            access_log: Mutex::new(None),
+        }
+    }
+
+    /// Convenience constructor using the paper's default offline ranking
+    /// function ([`SumRanker`]).
+    pub fn with_sum_ranking(schema: Schema, tuples: Vec<Tuple>, k: usize) -> Self {
+        HiddenDb::new(schema, tuples, Box::new(SumRanker), k)
+    }
+
+    /// Installs a query rate limit (replacing any previous one).
+    pub fn set_rate_limit(&mut self, limit: Option<RateLimit>) {
+        self.rate_limit = limit;
+    }
+
+    /// Builder-style variant of [`HiddenDb::set_rate_limit`].
+    pub fn with_rate_limit(mut self, limit: RateLimit) -> Self {
+        self.rate_limit = Some(limit);
+        self
+    }
+
+    /// Starts recording every answered query in an [`AccessLog`].
+    pub fn enable_access_log(&self) {
+        *self.access_log.lock().expect("access log poisoned") = Some(AccessLog::default());
+    }
+
+    /// Returns a snapshot of the access log (empty if logging was never
+    /// enabled).
+    pub fn access_log(&self) -> AccessLog {
+        self.access_log
+            .lock()
+            .expect("access log poisoned")
+            .clone()
+            .unwrap_or_default()
+    }
+
+    /// The database schema (public knowledge: the search form reveals it).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The top-k constraint of the interface.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of tuples in the database.
+    ///
+    /// Real hidden databases usually advertise their size ("209,666
+    /// diamonds"), so exposing `n` is not cheating; none of the discovery
+    /// algorithms rely on it.
+    pub fn n(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Name of the ranking function (for reports only — the discovery
+    /// algorithms never inspect it).
+    pub fn ranker_name(&self) -> &str {
+        self.ranker.name()
+    }
+
+    /// Number of queries answered so far.
+    pub fn queries_issued(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Full query accounting.
+    pub fn stats(&self) -> QueryStats {
+        QueryStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            overflows: self.overflows.load(Ordering::Relaxed),
+            empty_answers: self.empty_answers.load(Ordering::Relaxed),
+            tuples_returned: self.tuples_returned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all query counters (and clears the access log if enabled).
+    pub fn reset_stats(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.overflows.store(0, Ordering::Relaxed);
+        self.empty_answers.store(0, Ordering::Relaxed);
+        self.tuples_returned.store(0, Ordering::Relaxed);
+        let mut log = self.access_log.lock().expect("access log poisoned");
+        if log.is_some() {
+            *log = Some(AccessLog::default());
+        }
+    }
+
+    /// Validates that a query only uses predicates supported by the search
+    /// interface. Rejected queries are *not* counted against the rate limit.
+    pub fn validate(&self, query: &Query) -> Result<(), QueryError> {
+        for p in query.predicates() {
+            if p.attr >= self.schema.len() {
+                return Err(QueryError::UnknownAttribute { attr: p.attr });
+            }
+            let spec = self.schema.attr(p.attr);
+            if !self.schema.value_in_domain(p.attr, p.value) {
+                return Err(QueryError::ValueOutOfDomain {
+                    attr: p.attr,
+                    value: p.value,
+                    domain_size: spec.domain_size,
+                });
+            }
+            let supported = match spec.role {
+                AttributeRole::Filtering => p.op == CmpOp::Eq,
+                AttributeRole::Ranking => match spec.interface {
+                    InterfaceType::Sq => p.op == CmpOp::Eq || p.op.is_upper_bound(),
+                    InterfaceType::Rq => true,
+                    InterfaceType::Pq => p.op == CmpOp::Eq,
+                },
+            };
+            if !supported {
+                return Err(QueryError::UnsupportedPredicate {
+                    attr: p.attr,
+                    op: p.op,
+                    interface: spec.interface,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers a search query: validates it, applies the conjunctive
+    /// predicates, lets the ranking function pick the top-k matching tuples,
+    /// and updates the query counters.
+    pub fn query(&self, query: &Query) -> Result<QueryResponse, QueryError> {
+        self.validate(query)?;
+        if let Some(limit) = self.rate_limit {
+            // Reserve a slot atomically so concurrent clients cannot exceed
+            // the limit.
+            let prev = self.queries.fetch_add(1, Ordering::Relaxed);
+            if prev >= limit.max_queries {
+                self.queries.fetch_sub(1, Ordering::Relaxed);
+                return Err(QueryError::RateLimitExceeded {
+                    limit: limit.max_queries,
+                });
+            }
+        } else {
+            self.queries.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let matching: Vec<&Tuple> = self.tuples.iter().filter(|t| query.matches(t)).collect();
+        let overflowed = matching.len() > self.k;
+        let returned = self.ranker.select_top_k(&matching, self.k, &self.schema);
+
+        if overflowed {
+            self.overflows.fetch_add(1, Ordering::Relaxed);
+        }
+        if matching.is_empty() {
+            self.empty_answers.fetch_add(1, Ordering::Relaxed);
+        }
+        self.tuples_returned
+            .fetch_add(returned.len() as u64, Ordering::Relaxed);
+
+        if let Some(log) = self.access_log.lock().expect("access log poisoned").as_mut() {
+            log.push(AccessLogEntry {
+                seq: self.queries.load(Ordering::Relaxed),
+                query: query.to_string(),
+                matched: matching.len(),
+                returned: returned.len(),
+                overflowed,
+            });
+        }
+
+        Ok(QueryResponse {
+            tuples: returned.into_iter().cloned().collect(),
+            overflowed,
+        })
+    }
+
+    /// Server-side ("oracle") access to the raw tuples.
+    ///
+    /// This is **not** part of the hidden-database interface. It exists so
+    /// that experiments and tests can compute ground-truth skylines and so
+    /// that generators can inspect what they produced. Discovery algorithms
+    /// must never call it.
+    pub fn oracle_tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Predicate, SchemaBuilder, SingleAttributeRanker};
+
+    fn mixed_db(k: usize) -> HiddenDb {
+        let schema = SchemaBuilder::new()
+            .ranking("price", 10, InterfaceType::Rq)
+            .ranking("duration", 10, InterfaceType::Sq)
+            .ranking("stops", 3, InterfaceType::Pq)
+            .filtering("carrier", 4)
+            .build();
+        let tuples = vec![
+            Tuple::new(0, vec![2, 5, 0, 1]),
+            Tuple::new(1, vec![4, 2, 1, 0]),
+            Tuple::new(2, vec![7, 7, 2, 2]),
+            Tuple::new(3, vec![1, 8, 1, 3]),
+            Tuple::new(4, vec![5, 5, 0, 1]),
+        ];
+        HiddenDb::with_sum_ranking(schema, tuples, k)
+    }
+
+    #[test]
+    fn select_all_returns_top_k_and_overflows() {
+        let db = mixed_db(2);
+        let ans = db.query(&Query::select_all()).unwrap();
+        assert_eq!(ans.len(), 2);
+        assert!(ans.overflowed);
+        // SumRanker over ranking attrs only: sums are 7, 7, 16, 10, 10 →
+        // tuples 0 and 1 tie at 7, tie broken by id.
+        assert_eq!(ans.tuples[0].id, 0);
+        assert_eq!(ans.tuples[1].id, 1);
+        assert_eq!(db.queries_issued(), 1);
+    }
+
+    #[test]
+    fn predicates_filter_matching_tuples() {
+        let db = mixed_db(10);
+        let q = Query::new(vec![Predicate::lt(0, 5)]);
+        let ans = db.query(&q).unwrap();
+        assert!(!ans.overflowed);
+        let ids: Vec<u64> = ans.tuples.iter().map(|t| t.id).collect();
+        assert_eq!(ids.len(), 3);
+        assert!(ids.contains(&0) && ids.contains(&1) && ids.contains(&3));
+    }
+
+    #[test]
+    fn interface_capabilities_are_enforced() {
+        let db = mixed_db(5);
+        // `>` on an SQ attribute is rejected.
+        let err = db.query(&Query::new(vec![Predicate::gt(1, 3)])).unwrap_err();
+        assert!(matches!(err, QueryError::UnsupportedPredicate { attr: 1, .. }));
+        // `<` on a PQ attribute is rejected.
+        let err = db.query(&Query::new(vec![Predicate::lt(2, 2)])).unwrap_err();
+        assert!(matches!(err, QueryError::UnsupportedPredicate { attr: 2, .. }));
+        // Non-equality on a filtering attribute is rejected.
+        let err = db.query(&Query::new(vec![Predicate::ge(3, 1)])).unwrap_err();
+        assert!(matches!(err, QueryError::UnsupportedPredicate { attr: 3, .. }));
+        // `=` is always allowed.
+        assert!(db.query(&Query::new(vec![Predicate::eq(2, 0)])).is_ok());
+        // Rejected queries are not counted.
+        assert_eq!(db.queries_issued(), 1);
+    }
+
+    #[test]
+    fn out_of_domain_and_unknown_attributes_are_rejected() {
+        let db = mixed_db(5);
+        let err = db.query(&Query::new(vec![Predicate::eq(2, 3)])).unwrap_err();
+        assert!(matches!(err, QueryError::ValueOutOfDomain { attr: 2, value: 3, .. }));
+        let err = db.query(&Query::new(vec![Predicate::eq(9, 0)])).unwrap_err();
+        assert!(matches!(err, QueryError::UnknownAttribute { attr: 9 }));
+        assert_eq!(db.queries_issued(), 0);
+    }
+
+    #[test]
+    fn empty_answers_are_counted() {
+        let db = mixed_db(5);
+        let q = Query::new(vec![Predicate::lt(0, 1), Predicate::lt(1, 3)]);
+        let ans = db.query(&q).unwrap();
+        assert!(ans.is_empty());
+        assert!(!ans.overflowed);
+        assert_eq!(db.stats().empty_answers, 1);
+    }
+
+    #[test]
+    fn rate_limit_is_enforced() {
+        let db = mixed_db(5).with_rate_limit(RateLimit::new(2));
+        assert!(db.query(&Query::select_all()).is_ok());
+        assert!(db.query(&Query::select_all()).is_ok());
+        let err = db.query(&Query::select_all()).unwrap_err();
+        assert_eq!(err, QueryError::RateLimitExceeded { limit: 2 });
+        assert_eq!(db.queries_issued(), 2);
+    }
+
+    #[test]
+    fn stats_and_reset() {
+        let db = mixed_db(2);
+        db.query(&Query::select_all()).unwrap();
+        db.query(&Query::new(vec![Predicate::lt(0, 1), Predicate::lt(1, 3)]))
+            .unwrap();
+        let stats = db.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.overflows, 1);
+        assert_eq!(stats.empty_answers, 1);
+        assert_eq!(stats.tuples_returned, 2);
+        db.reset_stats();
+        assert_eq!(db.stats(), QueryStats::default());
+    }
+
+    #[test]
+    fn access_log_records_queries() {
+        let db = mixed_db(2);
+        db.enable_access_log();
+        db.query(&Query::select_all()).unwrap();
+        db.query(&Query::new(vec![Predicate::eq(2, 0)])).unwrap();
+        let log = db.access_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entries()[0].query, "SELECT * FROM D");
+        assert!(log.entries()[0].overflowed);
+        assert_eq!(log.entries()[1].matched, 2);
+    }
+
+    #[test]
+    fn price_ranking_matches_online_scenario() {
+        let schema = SchemaBuilder::new()
+            .ranking("price", 100, InterfaceType::Rq)
+            .ranking("mileage", 100, InterfaceType::Rq)
+            .build();
+        let tuples = vec![
+            Tuple::new(0, vec![30, 1]),
+            Tuple::new(1, vec![10, 90]),
+            Tuple::new(2, vec![20, 50]),
+        ];
+        let db = HiddenDb::new(schema, tuples, Box::new(SingleAttributeRanker::new(0)), 2);
+        let ans = db.query(&Query::select_all()).unwrap();
+        assert_eq!(ans.tuples[0].id, 1);
+        assert_eq!(ans.tuples[1].id, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn mismatched_arity_panics() {
+        let schema = SchemaBuilder::new()
+            .ranking("a", 10, InterfaceType::Rq)
+            .ranking("b", 10, InterfaceType::Rq)
+            .build();
+        let _ = HiddenDb::with_sum_ranking(schema, vec![Tuple::new(0, vec![1])], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_panics() {
+        let schema = SchemaBuilder::new().ranking("a", 10, InterfaceType::Rq).build();
+        let _ = HiddenDb::with_sum_ranking(schema, vec![], 0);
+    }
+}

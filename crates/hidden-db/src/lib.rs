@@ -1,0 +1,84 @@
+//! # skyweb-hidden-db
+//!
+//! An in-memory simulator of a *hidden web database*: a structured database
+//! that can only be accessed through a restricted, form-like search interface
+//! which
+//!
+//! * accepts **conjunctive queries** whose per-attribute predicates are
+//!   limited by the interface type of each attribute
+//!   ([`InterfaceType::Sq`] one-ended ranges, [`InterfaceType::Rq`]
+//!   two-ended ranges, [`InterfaceType::Pq`] point predicates),
+//! * returns at most **k** matching tuples (the *top-k constraint*),
+//!   preferentially selected by a proprietary, *domination-consistent*
+//!   ranking function ([`Ranker`]), and
+//! * may enforce a **rate limit** on the number of queries a client is
+//!   allowed to issue.
+//!
+//! This crate is the substrate on which the skyline-discovery algorithms of
+//! Asudeh et al. (*Discovering the Skyline of Web Databases*, VLDB 2016) are
+//! built and evaluated: it plays the role of Blue Nile, Google Flights,
+//! Yahoo! Autos, or a locally hosted top-k web form over the DOT flight
+//! dataset.
+//!
+//! ## Data model
+//!
+//! All *ranking* attribute values are kept in **rank space**: ordinal `u32`
+//! values where `0` is the most preferred value and `domain_size - 1` the
+//! least preferred. Converting a real attribute (price in dollars, departure
+//! delay in minutes, diamond clarity grade, ...) to rank space is the job of
+//! the data generators in `skyweb-datagen`.
+//!
+//! ## Example
+//!
+//! ```
+//! use skyweb_hidden_db::{
+//!     HiddenDb, InterfaceType, Query, SchemaBuilder, SumRanker, Tuple,
+//! };
+//!
+//! // A toy 2-attribute database behind a top-1 interface.
+//! let schema = SchemaBuilder::new()
+//!     .ranking("price", 10, InterfaceType::Rq)
+//!     .ranking("mileage", 10, InterfaceType::Rq)
+//!     .build();
+//! let tuples = vec![
+//!     Tuple::new(0, vec![1, 7]),
+//!     Tuple::new(1, vec![5, 2]),
+//!     Tuple::new(2, vec![6, 6]),
+//! ];
+//! let db = HiddenDb::new(schema, tuples, Box::new(SumRanker::default()), 1);
+//!
+//! let answer = db.query(&Query::select_all()).unwrap();
+//! assert_eq!(answer.tuples.len(), 1);
+//! assert!(answer.overflowed);
+//! assert_eq!(db.queries_issued(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod db;
+mod predicate;
+mod ranking;
+mod schema;
+mod stats;
+mod tuple;
+
+pub use db::{HiddenDb, QueryError, QueryResponse, RateLimit};
+pub use predicate::{CmpOp, Predicate, Query};
+pub use ranking::{
+    is_domination_consistent, LexicographicRanker, RandomSkylineRanker, Ranker, ScoreRanker,
+    SingleAttributeRanker, SumRanker, WeightedSumRanker, WorstCaseRanker,
+};
+pub use schema::{AttributeRole, AttributeSpec, InterfaceType, Schema, SchemaBuilder};
+pub use stats::{AccessLog, AccessLogEntry, QueryStats};
+pub use tuple::{compare_on, dominates, dominates_on, Dominance, Tuple};
+
+/// Identifier of an attribute: its position in the [`Schema`].
+pub type AttrId = usize;
+
+/// Identifier of a tuple inside a [`HiddenDb`].
+pub type TupleId = u64;
+
+/// An ordinal attribute value in *rank space*: `0` is the most preferred
+/// value of the attribute's domain, `domain_size - 1` the least preferred.
+pub type Value = u32;

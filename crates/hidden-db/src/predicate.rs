@@ -1,0 +1,274 @@
+//! Conjunctive search queries and per-attribute predicates.
+
+use std::fmt;
+
+use crate::{AttrId, Schema, Tuple, Value};
+
+/// Comparison operator of a search predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `attribute < value`
+    Lt,
+    /// `attribute <= value`
+    Le,
+    /// `attribute = value`
+    Eq,
+    /// `attribute >= value`
+    Ge,
+    /// `attribute > value`
+    Gt,
+}
+
+impl CmpOp {
+    /// Evaluates `lhs OP rhs`.
+    pub fn eval(self, lhs: Value, rhs: Value) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Gt => lhs > rhs,
+        }
+    }
+
+    /// `true` for operators that bound the attribute from above
+    /// ("better than" predicates in rank space).
+    pub fn is_upper_bound(self) -> bool {
+        matches!(self, CmpOp::Lt | CmpOp::Le)
+    }
+
+    /// `true` for operators that bound the attribute from below
+    /// ("worse than" predicates in rank space).
+    pub fn is_lower_bound(self) -> bool {
+        matches!(self, CmpOp::Ge | CmpOp::Gt)
+    }
+
+    /// SQL-ish symbol used by [`fmt::Display`].
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+        }
+    }
+}
+
+/// A single predicate of a conjunctive search query: `attribute OP value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    /// The attribute the predicate constrains.
+    pub attr: AttrId,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The rank-space constant on the right-hand side.
+    pub value: Value,
+}
+
+impl Predicate {
+    /// Creates a new predicate.
+    pub fn new(attr: AttrId, op: CmpOp, value: Value) -> Self {
+        Predicate { attr, op, value }
+    }
+
+    /// `attr < value`
+    pub fn lt(attr: AttrId, value: Value) -> Self {
+        Predicate::new(attr, CmpOp::Lt, value)
+    }
+
+    /// `attr <= value`
+    pub fn le(attr: AttrId, value: Value) -> Self {
+        Predicate::new(attr, CmpOp::Le, value)
+    }
+
+    /// `attr = value`
+    pub fn eq(attr: AttrId, value: Value) -> Self {
+        Predicate::new(attr, CmpOp::Eq, value)
+    }
+
+    /// `attr >= value`
+    pub fn ge(attr: AttrId, value: Value) -> Self {
+        Predicate::new(attr, CmpOp::Ge, value)
+    }
+
+    /// `attr > value`
+    pub fn gt(attr: AttrId, value: Value) -> Self {
+        Predicate::new(attr, CmpOp::Gt, value)
+    }
+
+    /// Evaluates the predicate against a tuple.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.op.eval(tuple.values[self.attr], self.value)
+    }
+}
+
+/// A conjunctive search query: the conjunction (`AND`) of zero or more
+/// predicates. The empty conjunction is the `SELECT *` query that matches
+/// every tuple.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Query {
+    predicates: Vec<Predicate>,
+}
+
+impl Query {
+    /// The `SELECT * FROM D` query (no predicates).
+    pub fn select_all() -> Self {
+        Query::default()
+    }
+
+    /// Builds a query from a list of predicates.
+    pub fn new(predicates: Vec<Predicate>) -> Self {
+        Query { predicates }
+    }
+
+    /// The predicates of this query, in insertion order.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// `true` if the query has no predicates (`SELECT *`).
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// Returns a new query equal to this one with `pred` appended.
+    pub fn and(&self, pred: Predicate) -> Query {
+        let mut predicates = self.predicates.clone();
+        predicates.push(pred);
+        Query { predicates }
+    }
+
+    /// Returns a new query equal to this one with all of `preds` appended.
+    pub fn and_all(&self, preds: &[Predicate]) -> Query {
+        let mut predicates = self.predicates.clone();
+        predicates.extend_from_slice(preds);
+        Query { predicates }
+    }
+
+    /// Appends a predicate in place.
+    pub fn push(&mut self, pred: Predicate) {
+        self.predicates.push(pred);
+    }
+
+    /// `true` if `tuple` satisfies every predicate of the query.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.predicates.iter().all(|p| p.matches(tuple))
+    }
+
+    /// `true` if the query's predicates can never be satisfied by any value
+    /// combination of `schema`'s domains, regardless of the database
+    /// contents (e.g. `A < 0`, or `A <= 2 AND A >= 5`).
+    ///
+    /// Discovery algorithms use this to skip queries that are trivially
+    /// empty without spending a web access on them... or rather, the hidden
+    /// database simulator does *not* special-case them, so that query costs
+    /// stay faithful; this helper is only used by tests and by internal
+    /// bookkeeping that is allowed "for free" (client-side reasoning).
+    pub fn is_unsatisfiable(&self, schema: &Schema) -> bool {
+        for attr in 0..schema.len() {
+            let mut lo: i64 = 0;
+            let mut hi: i64 = i64::from(schema.attr(attr).max_value());
+            for p in self.predicates.iter().filter(|p| p.attr == attr) {
+                let v = i64::from(p.value);
+                match p.op {
+                    CmpOp::Lt => hi = hi.min(v - 1),
+                    CmpOp::Le => hi = hi.min(v),
+                    CmpOp::Eq => {
+                        lo = lo.max(v);
+                        hi = hi.min(v);
+                    }
+                    CmpOp::Ge => lo = lo.max(v),
+                    CmpOp::Gt => lo = lo.max(v + 1),
+                }
+            }
+            if lo > hi {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.predicates.is_empty() {
+            return write!(f, "SELECT * FROM D");
+        }
+        write!(f, "SELECT * FROM D WHERE ")?;
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "A{} {} {}", p.attr, p.op.symbol(), p.value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InterfaceType, SchemaBuilder};
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(!CmpOp::Lt.eval(2, 2));
+        assert!(CmpOp::Le.eval(2, 2));
+        assert!(CmpOp::Eq.eval(3, 3));
+        assert!(CmpOp::Ge.eval(3, 3));
+        assert!(CmpOp::Gt.eval(4, 3));
+        assert!(!CmpOp::Gt.eval(3, 3));
+    }
+
+    #[test]
+    fn select_all_matches_everything() {
+        let q = Query::select_all();
+        assert!(q.is_empty());
+        assert!(q.matches(&Tuple::new(0, vec![9, 9, 9])));
+    }
+
+    #[test]
+    fn conjunction_matching() {
+        let q = Query::new(vec![Predicate::lt(0, 5), Predicate::ge(1, 2)]);
+        assert!(q.matches(&Tuple::new(0, vec![4, 2])));
+        assert!(!q.matches(&Tuple::new(1, vec![5, 2])));
+        assert!(!q.matches(&Tuple::new(2, vec![4, 1])));
+    }
+
+    #[test]
+    fn and_does_not_mutate_original() {
+        let q = Query::new(vec![Predicate::lt(0, 5)]);
+        let q2 = q.and(Predicate::eq(1, 3));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q2.len(), 2);
+    }
+
+    #[test]
+    fn unsatisfiable_detection() {
+        let schema = SchemaBuilder::new()
+            .ranking("a", 10, InterfaceType::Rq)
+            .ranking("b", 10, InterfaceType::Rq)
+            .build();
+        assert!(Query::new(vec![Predicate::lt(0, 0)]).is_unsatisfiable(&schema));
+        assert!(Query::new(vec![Predicate::le(0, 2), Predicate::ge(0, 5)])
+            .is_unsatisfiable(&schema));
+        assert!(!Query::new(vec![Predicate::le(0, 5), Predicate::ge(0, 5)])
+            .is_unsatisfiable(&schema));
+        assert!(Query::new(vec![Predicate::gt(1, 9)]).is_unsatisfiable(&schema));
+        assert!(!Query::select_all().is_unsatisfiable(&schema));
+    }
+
+    #[test]
+    fn display_is_sql_like() {
+        let q = Query::new(vec![Predicate::lt(0, 5), Predicate::eq(2, 1)]);
+        assert_eq!(q.to_string(), "SELECT * FROM D WHERE A0 < 5 AND A2 = 1");
+        assert_eq!(Query::select_all().to_string(), "SELECT * FROM D");
+    }
+}

@@ -1,0 +1,467 @@
+//! Domination-consistent ranking functions used by the hidden database to
+//! pick which `k` of the matching tuples a query returns.
+//!
+//! The paper supports *any* ranking function with a single requirement,
+//! **domination consistency**: if tuple `t` dominates `t'` and both match a
+//! query, then `t` must be ranked above `t'` in the answer. Every ranker in
+//! this module satisfies that requirement; [`is_domination_consistent`] can
+//! be used to check arbitrary answers in tests.
+
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tuple::dominates_on;
+use crate::{AttrId, Schema, Tuple};
+
+/// A hidden database's proprietary ranking function.
+///
+/// Given the set of tuples matching a query, a ranker selects and orders the
+/// (at most) `k` tuples that the web interface returns.
+pub trait Ranker: Send + Sync {
+    /// Human-readable name of the ranking function (for logs and reports).
+    fn name(&self) -> &str;
+
+    /// Selects the top `k` tuples out of `matching`, best first.
+    ///
+    /// Implementations must be *domination-consistent*: a tuple that is
+    /// dominated by another matching tuple may never be ranked above it.
+    fn select_top_k<'a>(&self, matching: &[&'a Tuple], k: usize, schema: &Schema)
+        -> Vec<&'a Tuple>;
+}
+
+/// Rankers defined by a numeric score (lower score = ranked higher).
+///
+/// Any score that is monotone non-decreasing in every ranking attribute's
+/// rank-space value is automatically domination-consistent.
+pub trait ScoreRanker: Send + Sync {
+    /// Name of the ranking function.
+    fn name(&self) -> &str;
+    /// The score of a tuple; lower is better.
+    fn score(&self, tuple: &Tuple, schema: &Schema) -> f64;
+}
+
+impl<T: ScoreRanker> Ranker for T {
+    fn name(&self) -> &str {
+        ScoreRanker::name(self)
+    }
+
+    fn select_top_k<'a>(
+        &self,
+        matching: &[&'a Tuple],
+        k: usize,
+        schema: &Schema,
+    ) -> Vec<&'a Tuple> {
+        let mut scored: Vec<(f64, &'a Tuple)> =
+            matching.iter().map(|&t| (self.score(t, schema), t)).collect();
+        scored.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.id.cmp(&b.1.id))
+        });
+        scored.into_iter().take(k).map(|(_, t)| t).collect()
+    }
+}
+
+/// Ranks tuples by the *sum* of their ranking-attribute rank values.
+///
+/// This is the ranking function the paper uses for its offline experiments:
+/// "the SUM of attributes for which smaller values are preferred MINUS the
+/// SUM of attributes for which larger values are preferred" — in rank space
+/// all attributes are smaller-is-better, so the expression reduces to a
+/// plain sum.
+#[derive(Debug, Default, Clone)]
+pub struct SumRanker;
+
+impl ScoreRanker for SumRanker {
+    fn name(&self) -> &str {
+        "sum"
+    }
+
+    fn score(&self, tuple: &Tuple, schema: &Schema) -> f64 {
+        schema
+            .ranking_attrs()
+            .iter()
+            .map(|&a| f64::from(tuple.values[a]))
+            .sum()
+    }
+}
+
+/// Ranks tuples by a positive-weighted sum of their ranking attributes.
+#[derive(Debug, Clone)]
+pub struct WeightedSumRanker {
+    weights: Vec<f64>,
+}
+
+impl WeightedSumRanker {
+    /// Creates a weighted-sum ranker. `weights[i]` is the weight of the
+    /// `i`-th *ranking* attribute (in `schema.ranking_attrs()` order).
+    ///
+    /// # Panics
+    /// Panics if any weight is zero or negative: a non-positive weight would
+    /// let a dominated tuple tie with (or overtake) its dominator, breaking
+    /// domination consistency.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|w| *w > 0.0),
+            "weights must be strictly positive to preserve domination consistency"
+        );
+        WeightedSumRanker { weights }
+    }
+}
+
+impl ScoreRanker for WeightedSumRanker {
+    fn name(&self) -> &str {
+        "weighted-sum"
+    }
+
+    fn score(&self, tuple: &Tuple, schema: &Schema) -> f64 {
+        schema
+            .ranking_attrs()
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| self.weights.get(i).copied().unwrap_or(1.0) * f64::from(tuple.values[a]))
+            .sum()
+    }
+}
+
+/// Ranks tuples by a single attribute (e.g. price, low to high), breaking
+/// ties by the sum of the remaining ranking attributes and finally by tuple
+/// id.
+///
+/// This models the default ranking of the live websites in the paper's
+/// online experiments: Blue Nile, Google Flights and Yahoo! Autos all rank
+/// by price. The tie-break on the other ranking attributes is what keeps the
+/// ranker domination-consistent when several tuples share the primary
+/// attribute value.
+#[derive(Debug, Clone)]
+pub struct SingleAttributeRanker {
+    attr: AttrId,
+}
+
+impl SingleAttributeRanker {
+    /// Ranks by the given attribute, ascending in rank space.
+    pub fn new(attr: AttrId) -> Self {
+        SingleAttributeRanker { attr }
+    }
+}
+
+impl Ranker for SingleAttributeRanker {
+    fn name(&self) -> &str {
+        "single-attribute"
+    }
+
+    fn select_top_k<'a>(
+        &self,
+        matching: &[&'a Tuple],
+        k: usize,
+        schema: &Schema,
+    ) -> Vec<&'a Tuple> {
+        let mut sorted: Vec<&'a Tuple> = matching.to_vec();
+        sorted.sort_by_key(|t| {
+            let tie_break: u64 = schema
+                .ranking_attrs()
+                .iter()
+                .filter(|&&a| a != self.attr)
+                .map(|&a| u64::from(t.values[a]))
+                .sum();
+            (t.values[self.attr], tie_break, t.id)
+        });
+        sorted.truncate(k);
+        sorted
+    }
+}
+
+/// Ranks tuples lexicographically by a priority list of attributes.
+#[derive(Debug, Clone)]
+pub struct LexicographicRanker {
+    priority: Vec<AttrId>,
+}
+
+impl LexicographicRanker {
+    /// Creates a lexicographic ranker with the given attribute priority.
+    pub fn new(priority: Vec<AttrId>) -> Self {
+        LexicographicRanker { priority }
+    }
+}
+
+impl Ranker for LexicographicRanker {
+    fn name(&self) -> &str {
+        "lexicographic"
+    }
+
+    fn select_top_k<'a>(
+        &self,
+        matching: &[&'a Tuple],
+        k: usize,
+        _schema: &Schema,
+    ) -> Vec<&'a Tuple> {
+        let mut sorted: Vec<&'a Tuple> = matching.to_vec();
+        sorted.sort_by(|a, b| {
+            for &attr in &self.priority {
+                let ord = a.values[attr].cmp(&b.values[attr]);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.id.cmp(&b.id)
+        });
+        sorted.truncate(k);
+        sorted
+    }
+}
+
+/// Computes the indices of the non-dominated ("minimal") tuples among
+/// `candidates`, restricted to the given attributes.
+fn minimal_indices(candidates: &[&Tuple], attrs: &[AttrId]) -> Vec<usize> {
+    let mut minimal = Vec::new();
+    'outer: for (i, &t) in candidates.iter().enumerate() {
+        for (j, &u) in candidates.iter().enumerate() {
+            if i != j && dominates_on(u, t, attrs) {
+                continue 'outer;
+            }
+        }
+        minimal.push(i);
+    }
+    minimal
+}
+
+/// The "average-case" ranking model of Section 3.2 of the paper: for every
+/// query, the returned tuple is chosen **uniformly at random** among the
+/// skyline tuples of the matching set.
+///
+/// The full top-k list is produced as a random linear extension of the
+/// dominance partial order, generated by repeatedly drawing a uniform member
+/// of the currently non-dominated tuples — which is domination-consistent by
+/// construction.
+#[derive(Debug)]
+pub struct RandomSkylineRanker {
+    rng: Mutex<StdRng>,
+}
+
+impl RandomSkylineRanker {
+    /// Creates a randomized ranker with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomSkylineRanker {
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl Ranker for RandomSkylineRanker {
+    fn name(&self) -> &str {
+        "random-skyline"
+    }
+
+    fn select_top_k<'a>(
+        &self,
+        matching: &[&'a Tuple],
+        k: usize,
+        schema: &Schema,
+    ) -> Vec<&'a Tuple> {
+        let attrs = schema.ranking_attrs();
+        let mut remaining: Vec<&'a Tuple> = matching.to_vec();
+        let mut out = Vec::with_capacity(k.min(remaining.len()));
+        let mut rng = self.rng.lock().expect("ranker rng poisoned");
+        while out.len() < k && !remaining.is_empty() {
+            let minimal = minimal_indices(&remaining, attrs);
+            let pick = minimal[rng.gen_range(0..minimal.len())];
+            out.push(remaining.swap_remove(pick));
+        }
+        out
+    }
+}
+
+/// An adversarial (but still domination-consistent) ranking function used in
+/// worst-case experiments: among the currently non-dominated matching
+/// tuples it always returns the one with the **largest** attribute-rank sum,
+/// i.e. the tuple a "reasonable" ranking function would be least likely to
+/// surface. This is the kind of ill-behaved ranking the worst-case analysis
+/// of Section 3.2 has to assume.
+#[derive(Debug, Default, Clone)]
+pub struct WorstCaseRanker;
+
+impl Ranker for WorstCaseRanker {
+    fn name(&self) -> &str {
+        "worst-case"
+    }
+
+    fn select_top_k<'a>(
+        &self,
+        matching: &[&'a Tuple],
+        k: usize,
+        schema: &Schema,
+    ) -> Vec<&'a Tuple> {
+        let attrs = schema.ranking_attrs();
+        let mut remaining: Vec<&'a Tuple> = matching.to_vec();
+        let mut out = Vec::with_capacity(k.min(remaining.len()));
+        while out.len() < k && !remaining.is_empty() {
+            let minimal = minimal_indices(&remaining, attrs);
+            let pick = minimal
+                .into_iter()
+                .max_by_key(|&i| {
+                    let sum: u64 = attrs.iter().map(|&a| u64::from(remaining[i].values[a])).sum();
+                    (sum, remaining[i].id)
+                })
+                .expect("minimal set of a non-empty candidate set is non-empty");
+            out.push(remaining.swap_remove(pick));
+        }
+        out
+    }
+}
+
+/// Checks that an answer (`returned`, best first) to a query whose matching
+/// set is `matching` respects domination consistency: no returned tuple is
+/// preceded (or displaced) by a matching tuple that dominates it.
+pub fn is_domination_consistent(returned: &[&Tuple], matching: &[&Tuple], schema: &Schema) -> bool {
+    let attrs = schema.ranking_attrs();
+    for (pos, &t) in returned.iter().enumerate() {
+        for &u in matching {
+            if dominates_on(u, t, attrs) {
+                // `u` dominates `t`, so `u` must appear before `t`.
+                match returned.iter().position(|&r| r.id == u.id) {
+                    Some(upos) if upos < pos => {}
+                    _ => return false,
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InterfaceType, SchemaBuilder};
+
+    fn schema(m: usize) -> Schema {
+        let mut b = SchemaBuilder::new();
+        for i in 0..m {
+            b = b.ranking(format!("a{i}"), 100, InterfaceType::Rq);
+        }
+        b.build()
+    }
+
+    fn toy_tuples() -> Vec<Tuple> {
+        vec![
+            Tuple::new(0, vec![5, 1]),
+            Tuple::new(1, vec![4, 4]),
+            Tuple::new(2, vec![1, 3]),
+            Tuple::new(3, vec![3, 2]),
+            Tuple::new(4, vec![6, 6]),
+        ]
+    }
+
+    #[test]
+    fn sum_ranker_orders_by_sum() {
+        let s = schema(2);
+        let tuples = toy_tuples();
+        let refs: Vec<&Tuple> = tuples.iter().collect();
+        let top = SumRanker.select_top_k(&refs, 3, &s);
+        assert_eq!(top[0].id, 2); // sum 4
+        assert_eq!(top[1].id, 3); // sum 5
+        assert_eq!(top[2].id, 0); // sum 6
+    }
+
+    #[test]
+    fn single_attribute_ranker_is_price_low_to_high() {
+        let s = schema(2);
+        let tuples = toy_tuples();
+        let refs: Vec<&Tuple> = tuples.iter().collect();
+        let top = SingleAttributeRanker::new(1).select_top_k(&refs, 2, &s);
+        assert_eq!(top[0].id, 0);
+        assert_eq!(top[1].id, 3);
+    }
+
+    #[test]
+    fn lexicographic_ranker_respects_priority() {
+        let s = schema(2);
+        let tuples = vec![
+            Tuple::new(0, vec![2, 0]),
+            Tuple::new(1, vec![1, 9]),
+            Tuple::new(2, vec![1, 3]),
+        ];
+        let refs: Vec<&Tuple> = tuples.iter().collect();
+        let top = LexicographicRanker::new(vec![0, 1]).select_top_k(&refs, 3, &s);
+        assert_eq!(top.iter().map(|t| t.id).collect::<Vec<_>>(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn weighted_sum_rejects_negative_weights() {
+        let result = std::panic::catch_unwind(|| WeightedSumRanker::new(vec![1.0, -1.0]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn all_rankers_are_domination_consistent_on_toy_data() {
+        let s = schema(2);
+        let tuples = toy_tuples();
+        let refs: Vec<&Tuple> = tuples.iter().collect();
+        let rankers: Vec<Box<dyn Ranker>> = vec![
+            Box::new(SumRanker),
+            Box::new(WeightedSumRanker::new(vec![2.0, 0.5])),
+            Box::new(SingleAttributeRanker::new(0)),
+            Box::new(LexicographicRanker::new(vec![1, 0])),
+            Box::new(RandomSkylineRanker::new(42)),
+            Box::new(WorstCaseRanker),
+        ];
+        for ranker in &rankers {
+            for k in 1..=tuples.len() {
+                let top = ranker.select_top_k(&refs, k, &s);
+                assert!(
+                    is_domination_consistent(&top, &refs, &s),
+                    "{} violated domination consistency at k={k}",
+                    ranker.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_skyline_top1_is_always_a_skyline_tuple() {
+        let s = schema(2);
+        let tuples = toy_tuples();
+        let refs: Vec<&Tuple> = tuples.iter().collect();
+        let ranker = RandomSkylineRanker::new(7);
+        // The skyline of the toy data is {0, 2, 3}.
+        for _ in 0..50 {
+            let top = ranker.select_top_k(&refs, 1, &s);
+            assert!(matches!(top[0].id, 0 | 2 | 3));
+        }
+    }
+
+    #[test]
+    fn worst_case_ranker_prefers_large_sums_among_minimal() {
+        let s = schema(2);
+        let tuples = toy_tuples();
+        let refs: Vec<&Tuple> = tuples.iter().collect();
+        let top = WorstCaseRanker.select_top_k(&refs, 1, &s);
+        // Among skyline tuples {0 (sum 6), 2 (sum 4), 3 (sum 5)} the ranker
+        // picks the largest sum.
+        assert_eq!(top[0].id, 0);
+    }
+
+    #[test]
+    fn rankers_truncate_to_k() {
+        let s = schema(2);
+        let tuples = toy_tuples();
+        let refs: Vec<&Tuple> = tuples.iter().collect();
+        assert_eq!(SumRanker.select_top_k(&refs, 2, &s).len(), 2);
+        assert_eq!(SumRanker.select_top_k(&refs, 100, &s).len(), tuples.len());
+        assert!(SumRanker.select_top_k(&[], 3, &s).is_empty());
+    }
+
+    #[test]
+    fn domination_consistency_checker_detects_violations() {
+        let s = schema(2);
+        let good = Tuple::new(0, vec![1, 1]);
+        let bad = Tuple::new(1, vec![2, 2]);
+        let matching = vec![&good, &bad];
+        // `bad` returned ahead of the tuple dominating it.
+        assert!(!is_domination_consistent(&[&bad, &good], &matching, &s));
+        assert!(is_domination_consistent(&[&good, &bad], &matching, &s));
+        // `bad` returned while its dominator is suppressed entirely.
+        assert!(!is_domination_consistent(&[&bad], &matching, &s));
+    }
+}

@@ -1,0 +1,301 @@
+//! Schema description of a hidden web database: which attributes exist, how
+//! large their domains are, and what kind of search predicates the web
+//! interface supports for each of them.
+
+use crate::{AttrId, Value};
+
+/// The kind of search predicate a web interface supports for an attribute.
+///
+/// This is the taxonomy of Section 2.2 of the paper and, somewhat
+/// surprisingly, it is the critical factor deciding how expensive skyline
+/// discovery is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterfaceType {
+    /// *Single-ended range query* predicate: `A < v`, `A <= v`, or `A = v`.
+    ///
+    /// Typical for attributes where users have no reason to specify an upper
+    /// bound on quality, e.g. laptop memory size or number of stops.
+    Sq,
+    /// *(Two-ended) range query* predicate: `A < v`, `A <= v`, `A = v`,
+    /// `A >= v`, or `A > v`.
+    ///
+    /// Typical for attributes such as price where users routinely specify
+    /// both ends of a range.
+    Rq,
+    /// *Point query* predicate: only `A = v` is supported.
+    ///
+    /// Typical for small-domain ordinal attributes such as "number of stops"
+    /// (0, 1, 2+) on flight search sites.
+    Pq,
+}
+
+impl InterfaceType {
+    /// Whether the interface supports "better than" one-ended ranges (`<`/`<=`).
+    pub fn supports_upper_bound(self) -> bool {
+        matches!(self, InterfaceType::Sq | InterfaceType::Rq)
+    }
+
+    /// Whether the interface supports "worse than" one-ended ranges (`>`/`>=`).
+    pub fn supports_lower_bound(self) -> bool {
+        matches!(self, InterfaceType::Rq)
+    }
+
+    /// Short human-readable label (`"SQ"`, `"RQ"`, `"PQ"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            InterfaceType::Sq => "SQ",
+            InterfaceType::Rq => "RQ",
+            InterfaceType::Pq => "PQ",
+        }
+    }
+}
+
+/// Whether an attribute participates in the skyline definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeRole {
+    /// A ranking attribute: it has an inherent preferential order (smaller
+    /// rank-space value = more preferred) and takes part in dominance.
+    Ranking,
+    /// A filtering attribute: order-less (make, model, flight number, ...).
+    /// It has no bearing on the skyline but can be used as an equality
+    /// filter appended to every query.
+    Filtering,
+}
+
+/// Description of a single attribute of the hidden database.
+#[derive(Debug, Clone)]
+pub struct AttributeSpec {
+    /// Human readable attribute name (e.g. `"price"`).
+    pub name: String,
+    /// Number of distinct rank-space values; valid values are
+    /// `0..domain_size`.
+    pub domain_size: Value,
+    /// Which predicates the search interface supports for this attribute.
+    pub interface: InterfaceType,
+    /// Whether the attribute is a ranking or filtering attribute.
+    pub role: AttributeRole,
+}
+
+impl AttributeSpec {
+    /// Creates a new ranking attribute specification.
+    pub fn ranking(name: impl Into<String>, domain_size: Value, interface: InterfaceType) -> Self {
+        AttributeSpec {
+            name: name.into(),
+            domain_size,
+            interface,
+            role: AttributeRole::Ranking,
+        }
+    }
+
+    /// Creates a new filtering attribute specification. Filtering attributes
+    /// only ever support equality predicates.
+    pub fn filtering(name: impl Into<String>, domain_size: Value) -> Self {
+        AttributeSpec {
+            name: name.into(),
+            domain_size,
+            interface: InterfaceType::Pq,
+            role: AttributeRole::Filtering,
+        }
+    }
+
+    /// The largest valid rank-space value of this attribute
+    /// (`domain_size - 1`), i.e. the least-preferred value.
+    pub fn max_value(&self) -> Value {
+        self.domain_size.saturating_sub(1)
+    }
+}
+
+/// The schema of a hidden web database: an ordered list of attributes.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    attrs: Vec<AttributeSpec>,
+    ranking: Vec<AttrId>,
+}
+
+impl Schema {
+    /// Builds a schema from a list of attribute specifications.
+    pub fn new(attrs: Vec<AttributeSpec>) -> Self {
+        let ranking = attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role == AttributeRole::Ranking)
+            .map(|(i, _)| i)
+            .collect();
+        Schema { attrs, ranking }
+    }
+
+    /// Total number of attributes (ranking + filtering).
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `true` if the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attribute specification at position `attr`.
+    ///
+    /// # Panics
+    /// Panics if `attr` is out of range.
+    pub fn attr(&self, attr: AttrId) -> &AttributeSpec {
+        &self.attrs[attr]
+    }
+
+    /// All attribute specifications in schema order.
+    pub fn attrs(&self) -> &[AttributeSpec] {
+        &self.attrs
+    }
+
+    /// The identifiers of the ranking attributes, in schema order.
+    pub fn ranking_attrs(&self) -> &[AttrId] {
+        &self.ranking
+    }
+
+    /// Number of ranking attributes (the `m` of the paper).
+    pub fn num_ranking(&self) -> usize {
+        self.ranking.len()
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn attr_by_name(&self, name: &str) -> Option<AttrId> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// `true` if `value` is inside the attribute's domain.
+    pub fn value_in_domain(&self, attr: AttrId, value: Value) -> bool {
+        value < self.attrs[attr].domain_size
+    }
+
+    /// Ranking attributes whose interface supports range predicates
+    /// (SQ or RQ).
+    pub fn range_attrs(&self) -> Vec<AttrId> {
+        self.ranking
+            .iter()
+            .copied()
+            .filter(|&a| self.attrs[a].interface != InterfaceType::Pq)
+            .collect()
+    }
+
+    /// Ranking attributes whose interface supports only point predicates.
+    pub fn point_attrs(&self) -> Vec<AttrId> {
+        self.ranking
+            .iter()
+            .copied()
+            .filter(|&a| self.attrs[a].interface == InterfaceType::Pq)
+            .collect()
+    }
+
+    /// Ranking attributes whose interface supports two-ended ranges.
+    pub fn two_ended_attrs(&self) -> Vec<AttrId> {
+        self.ranking
+            .iter()
+            .copied()
+            .filter(|&a| self.attrs[a].interface == InterfaceType::Rq)
+            .collect()
+    }
+}
+
+/// Convenience builder for [`Schema`].
+///
+/// ```
+/// use skyweb_hidden_db::{InterfaceType, SchemaBuilder};
+/// let schema = SchemaBuilder::new()
+///     .ranking("price", 1000, InterfaceType::Rq)
+///     .ranking("stops", 3, InterfaceType::Pq)
+///     .filtering("carrier", 14)
+///     .build();
+/// assert_eq!(schema.len(), 3);
+/// assert_eq!(schema.num_ranking(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    attrs: Vec<AttributeSpec>,
+}
+
+impl SchemaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SchemaBuilder::default()
+    }
+
+    /// Adds a ranking attribute.
+    pub fn ranking(
+        mut self,
+        name: impl Into<String>,
+        domain_size: Value,
+        interface: InterfaceType,
+    ) -> Self {
+        self.attrs
+            .push(AttributeSpec::ranking(name, domain_size, interface));
+        self
+    }
+
+    /// Adds a filtering attribute.
+    pub fn filtering(mut self, name: impl Into<String>, domain_size: Value) -> Self {
+        self.attrs.push(AttributeSpec::filtering(name, domain_size));
+        self
+    }
+
+    /// Finalizes the schema.
+    pub fn build(self) -> Schema {
+        Schema::new(self.attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_schema() -> Schema {
+        SchemaBuilder::new()
+            .ranking("price", 100, InterfaceType::Rq)
+            .ranking("duration", 50, InterfaceType::Sq)
+            .ranking("stops", 3, InterfaceType::Pq)
+            .filtering("carrier", 5)
+            .build()
+    }
+
+    #[test]
+    fn ranking_and_filtering_are_separated() {
+        let s = mixed_schema();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.num_ranking(), 3);
+        assert_eq!(s.ranking_attrs(), &[0, 1, 2]);
+        assert_eq!(s.attr(3).role, AttributeRole::Filtering);
+    }
+
+    #[test]
+    fn interface_partitions() {
+        let s = mixed_schema();
+        assert_eq!(s.range_attrs(), vec![0, 1]);
+        assert_eq!(s.point_attrs(), vec![2]);
+        assert_eq!(s.two_ended_attrs(), vec![0]);
+    }
+
+    #[test]
+    fn interface_capabilities() {
+        assert!(InterfaceType::Sq.supports_upper_bound());
+        assert!(!InterfaceType::Sq.supports_lower_bound());
+        assert!(InterfaceType::Rq.supports_lower_bound());
+        assert!(!InterfaceType::Pq.supports_upper_bound());
+        assert_eq!(InterfaceType::Pq.label(), "PQ");
+    }
+
+    #[test]
+    fn lookup_by_name_and_domain() {
+        let s = mixed_schema();
+        assert_eq!(s.attr_by_name("stops"), Some(2));
+        assert_eq!(s.attr_by_name("unknown"), None);
+        assert!(s.value_in_domain(2, 2));
+        assert!(!s.value_in_domain(2, 3));
+        assert_eq!(s.attr(2).max_value(), 2);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.num_ranking(), 0);
+    }
+}

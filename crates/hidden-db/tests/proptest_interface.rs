@@ -1,0 +1,130 @@
+//! Property-based tests of the hidden-database interface: query matching,
+//! top-k truncation, query accounting and domination consistency of every
+//! shipped ranking function.
+
+use proptest::prelude::*;
+
+use skyweb_hidden_db::{
+    is_domination_consistent, HiddenDb, InterfaceType, LexicographicRanker, Predicate, Query,
+    RandomSkylineRanker, Ranker, SchemaBuilder, SingleAttributeRanker, SumRanker, Tuple,
+    WeightedSumRanker, WorstCaseRanker,
+};
+
+const DOMAIN: u32 = 12;
+
+fn db_strategy() -> impl Strategy<Value = (Vec<Tuple>, usize, usize)> {
+    (1usize..=3, 0usize..=50, 1usize..=5).prop_flat_map(|(m, n, k)| {
+        prop::collection::vec(prop::collection::vec(0u32..DOMAIN, m), n)
+            .prop_map(move |rows| {
+                let tuples = rows
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| Tuple::new(i as u64, v))
+                    .collect();
+                (tuples, m, k)
+            })
+    })
+}
+
+fn rq_schema(m: usize) -> skyweb_hidden_db::Schema {
+    let mut b = SchemaBuilder::new();
+    for i in 0..m {
+        b = b.ranking(format!("a{i}"), DOMAIN, InterfaceType::Rq);
+    }
+    b.build()
+}
+
+fn query_strategy(m: usize) -> impl Strategy<Value = Query> {
+    prop::collection::vec((0..m, 0u8..5, 0u32..DOMAIN), 0..=3).prop_map(|preds| {
+        Query::new(
+            preds
+                .into_iter()
+                .map(|(attr, op, value)| match op {
+                    0 => Predicate::lt(attr, value),
+                    1 => Predicate::le(attr, value),
+                    2 => Predicate::eq(attr, value),
+                    3 => Predicate::ge(attr, value),
+                    _ => Predicate::gt(attr, value),
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, .. ProptestConfig::default() })]
+
+    /// Answers contain at most k tuples, each of which matches the query,
+    /// and the overflow flag is consistent with the true matching count.
+    #[test]
+    fn answers_respect_the_top_k_contract(
+        (tuples, m, k) in db_strategy(),
+        queries in prop::collection::vec(Just(()), 1..4).prop_flat_map(|v| {
+            prop::collection::vec(query_strategy(3), v.len()..=v.len())
+        })
+    ) {
+        let db = HiddenDb::with_sum_ranking(rq_schema(m), tuples.clone(), k);
+        for q in queries {
+            // Restrict predicates to existing attributes.
+            let q = Query::new(
+                q.predicates().iter().copied().filter(|p| p.attr < m).collect(),
+            );
+            let matching: Vec<&Tuple> = tuples.iter().filter(|t| q.matches(t)).collect();
+            let answer = db.query(&q).unwrap();
+            prop_assert!(answer.tuples.len() <= k);
+            prop_assert_eq!(answer.overflowed, matching.len() > k);
+            prop_assert_eq!(answer.tuples.len(), matching.len().min(k));
+            for t in &answer.tuples {
+                prop_assert!(q.matches(t));
+            }
+        }
+    }
+
+    /// The query counter counts every accepted query exactly once.
+    #[test]
+    fn query_accounting_is_exact((tuples, m, k) in db_strategy(), reps in 1u64..20) {
+        let db = HiddenDb::with_sum_ranking(rq_schema(m), tuples, k);
+        for _ in 0..reps {
+            db.query(&Query::select_all()).unwrap();
+        }
+        prop_assert_eq!(db.queries_issued(), reps);
+        prop_assert_eq!(db.stats().queries, reps);
+    }
+
+    /// Every shipped ranking function is domination-consistent on arbitrary
+    /// data, for arbitrary k.
+    #[test]
+    fn all_rankers_are_domination_consistent((tuples, m, k) in db_strategy()) {
+        let schema = rq_schema(m);
+        let refs: Vec<&Tuple> = tuples.iter().collect();
+        let rankers: Vec<Box<dyn Ranker>> = vec![
+            Box::new(SumRanker),
+            Box::new(WeightedSumRanker::new(vec![1.5; m])),
+            Box::new(SingleAttributeRanker::new(0)),
+            Box::new(LexicographicRanker::new((0..m).collect())),
+            Box::new(RandomSkylineRanker::new(9)),
+            Box::new(WorstCaseRanker),
+        ];
+        for ranker in &rankers {
+            let top = ranker.select_top_k(&refs, k, &schema);
+            prop_assert!(
+                is_domination_consistent(&top, &refs, &schema),
+                "{} violated domination consistency",
+                ranker.name()
+            );
+        }
+    }
+
+    /// Unsatisfiability detection never contradicts actual matching.
+    #[test]
+    fn unsatisfiable_queries_match_nothing(
+        (tuples, m, _k) in db_strategy(),
+        q in query_strategy(3)
+    ) {
+        let schema = rq_schema(m);
+        let q = Query::new(q.predicates().iter().copied().filter(|p| p.attr < m).collect());
+        if q.is_unsatisfiable(&schema) {
+            prop_assert!(tuples.iter().all(|t| !q.matches(t)));
+        }
+    }
+}

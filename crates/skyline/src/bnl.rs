@@ -1,0 +1,116 @@
+//! Block-nested-loop (BNL) skyline computation (Börzsönyi et al., ICDE 2001).
+//!
+//! The classic in-memory skyline algorithm: maintain a window of candidate
+//! skyline tuples; every incoming tuple is compared against the window and
+//! either discarded (dominated), inserted (incomparable to everything), or
+//! inserted while evicting the window tuples it dominates.
+
+use skyweb_hidden_db::{compare_on, AttrId, Dominance, Schema, Tuple};
+
+/// Computes the skyline of `tuples` over the ranking attributes of `schema`.
+pub fn bnl_skyline(tuples: &[Tuple], schema: &Schema) -> Vec<Tuple> {
+    bnl_skyline_on(tuples, schema.ranking_attrs())
+}
+
+/// Computes the skyline of `tuples` over an explicit attribute subset.
+///
+/// Tuples whose values on `attrs` are identical are *all* kept (the skyline
+/// is defined through strict dominance), matching the paper's general
+/// positioning discussion: ties on every ranking attribute do not dominate
+/// each other.
+pub fn bnl_skyline_on(tuples: &[Tuple], attrs: &[AttrId]) -> Vec<Tuple> {
+    let mut window: Vec<&Tuple> = Vec::new();
+    'next: for t in tuples {
+        let mut i = 0;
+        while i < window.len() {
+            match compare_on(window[i], t, attrs) {
+                Dominance::Dominates => continue 'next,
+                Dominance::DominatedBy => {
+                    window.swap_remove(i);
+                }
+                Dominance::Equal | Dominance::Incomparable => i += 1,
+            }
+        }
+        window.push(t);
+    }
+    window.into_iter().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyweb_hidden_db::{InterfaceType, SchemaBuilder};
+
+    fn schema(m: usize) -> Schema {
+        let mut b = SchemaBuilder::new();
+        for i in 0..m {
+            b = b.ranking(format!("a{i}"), 1000, InterfaceType::Rq);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn paper_figure2_example() {
+        // The running example of Figure 2 in the paper.
+        let s = schema(3);
+        let tuples = vec![
+            Tuple::new(1, vec![5, 1, 9]),
+            Tuple::new(2, vec![4, 4, 8]),
+            Tuple::new(3, vec![1, 3, 7]),
+            Tuple::new(4, vec![3, 2, 3]),
+        ];
+        let sky = bnl_skyline(&tuples, &s);
+        // t2 = (4,4,8) is dominated by t4 = (3,2,3); the other three tuples
+        // are the skyline (as in Figure 3 of the paper).
+        let ids: Vec<u64> = sky.iter().map(|t| t.id).collect();
+        assert_eq!(sky.len(), 3);
+        assert!(ids.contains(&1) && ids.contains(&3) && ids.contains(&4));
+    }
+
+    #[test]
+    fn dominated_tuples_are_removed() {
+        let s = schema(2);
+        let tuples = vec![
+            Tuple::new(0, vec![3, 3]),
+            Tuple::new(1, vec![1, 1]),
+            Tuple::new(2, vec![2, 5]),
+            Tuple::new(3, vec![0, 9]),
+        ];
+        let sky = bnl_skyline(&tuples, &s);
+        let ids: Vec<u64> = sky.iter().map(|t| t.id).collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&1) && ids.contains(&3));
+    }
+
+    #[test]
+    fn duplicates_on_ranking_attributes_are_all_kept() {
+        let s = schema(2);
+        let tuples = vec![Tuple::new(0, vec![1, 2]), Tuple::new(1, vec![1, 2])];
+        assert_eq!(bnl_skyline(&tuples, &s).len(), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let s = schema(2);
+        assert!(bnl_skyline(&[], &s).is_empty());
+        let one = vec![Tuple::new(7, vec![9, 9])];
+        assert_eq!(bnl_skyline(&one, &s).len(), 1);
+    }
+
+    #[test]
+    fn single_attribute_skyline_is_the_minimum() {
+        let tuples: Vec<Tuple> = (0..10).map(|i| Tuple::new(i, vec![(i as u32) + 1])).collect();
+        let sky = bnl_skyline_on(&tuples, &[0]);
+        assert_eq!(sky.len(), 1);
+        assert_eq!(sky[0].id, 0);
+    }
+
+    #[test]
+    fn anti_correlated_diagonal_is_all_skyline() {
+        // Anti-correlated data where every tuple is on the skyline.
+        let tuples: Vec<Tuple> = (0..20)
+            .map(|i| Tuple::new(i, vec![i as u32, 19 - i as u32]))
+            .collect();
+        assert_eq!(bnl_skyline_on(&tuples, &[0, 1]).len(), 20);
+    }
+}

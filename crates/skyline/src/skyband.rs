@@ -1,0 +1,117 @@
+//! K-sky-band computation.
+//!
+//! The *K-sky-band* of a database is the set of tuples dominated by **fewer
+//! than K** other tuples (Section 7.2 of the paper uses "top-h sky band" for
+//! the same notion with `h = K`). The skyline is exactly the 1-sky-band, and
+//! the top-k answer of any monotone ranking function with `k <= K` is always
+//! contained in the K-sky-band — which is what makes sky bands useful as a
+//! downloaded index for third-party ranking services.
+
+use skyweb_hidden_db::{dominates_on, AttrId, Schema, Tuple};
+
+/// For each tuple, counts how many other tuples dominate it (on `attrs`).
+///
+/// Complexity is O(n²·m); this is ground-truth machinery, not an
+/// interface-facing algorithm.
+pub fn dominance_counts(tuples: &[Tuple], attrs: &[AttrId]) -> Vec<usize> {
+    let mut counts = vec![0usize; tuples.len()];
+    for (i, t) in tuples.iter().enumerate() {
+        for u in tuples.iter() {
+            if u.id != t.id && dominates_on(u, t, attrs) {
+                counts[i] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Computes the K-sky-band of `tuples` over the ranking attributes of
+/// `schema`: all tuples dominated by fewer than `k` other tuples.
+///
+/// # Panics
+/// Panics if `k == 0` (the 0-sky-band is the empty set by definition and is
+/// never what callers want).
+pub fn skyband(tuples: &[Tuple], schema: &Schema, k: usize) -> Vec<Tuple> {
+    skyband_on(tuples, schema.ranking_attrs(), k)
+}
+
+/// Computes the K-sky-band over an explicit attribute subset.
+pub fn skyband_on(tuples: &[Tuple], attrs: &[AttrId], k: usize) -> Vec<Tuple> {
+    assert!(k >= 1, "the K-sky-band requires K >= 1");
+    let counts = dominance_counts(tuples, attrs);
+    tuples
+        .iter()
+        .zip(counts)
+        .filter(|(_, c)| *c < k)
+        .map(|(t, _)| t.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bnl_skyline, same_ids};
+    use skyweb_hidden_db::{InterfaceType, SchemaBuilder};
+
+    fn schema(m: usize) -> Schema {
+        let mut b = SchemaBuilder::new();
+        for i in 0..m {
+            b = b.ranking(format!("a{i}"), 1000, InterfaceType::Rq);
+        }
+        b.build()
+    }
+
+    fn chain(n: u64) -> Vec<Tuple> {
+        // t_i = (i, i): a total order, t_i dominated by exactly i tuples.
+        (0..n).map(|i| Tuple::new(i, vec![i as u32, i as u32])).collect()
+    }
+
+    #[test]
+    fn one_skyband_is_the_skyline() {
+        let tuples = vec![
+            Tuple::new(0, vec![3, 3]),
+            Tuple::new(1, vec![1, 1]),
+            Tuple::new(2, vec![2, 5]),
+            Tuple::new(3, vec![0, 9]),
+        ];
+        let s = schema(2);
+        assert!(same_ids(&skyband(&tuples, &s, 1), &bnl_skyline(&tuples, &s)));
+    }
+
+    #[test]
+    fn skyband_grows_with_k() {
+        let tuples = chain(10);
+        let s = schema(2);
+        for k in 1..=10 {
+            assert_eq!(skyband(&tuples, &s, k).len(), k);
+        }
+        assert_eq!(skyband(&tuples, &s, 50).len(), 10);
+    }
+
+    #[test]
+    fn skyband_is_monotone_in_k() {
+        let tuples: Vec<Tuple> = (0..60)
+            .map(|i| Tuple::new(i, vec![(i * 17 % 23) as u32, (i * 5 % 19) as u32]))
+            .collect();
+        let s = schema(2);
+        let mut prev = 0;
+        for k in 1..6 {
+            let band = skyband(&tuples, &s, k);
+            assert!(band.len() >= prev, "sky band must not shrink as K grows");
+            prev = band.len();
+        }
+    }
+
+    #[test]
+    fn dominance_counts_on_chain() {
+        let tuples = chain(5);
+        let counts = dominance_counts(&tuples, &[0, 1]);
+        assert_eq!(counts, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "K >= 1")]
+    fn zero_k_panics() {
+        let _ = skyband(&chain(3), &schema(2), 0);
+    }
+}

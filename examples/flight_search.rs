@@ -1,0 +1,69 @@
+//! Flight search under a strict query quota: the Google-Flights scenario of
+//! the paper's online experiment. The QPX API allowed only 50 free queries
+//! per day, so the *anytime* property matters: the algorithm must surface as
+//! many skyline itineraries as possible before the quota runs out.
+//!
+//! ```text
+//! cargo run --example flight_search
+//! ```
+
+use skyweb::core::{Discoverer, MqDbSky};
+use skyweb::datagen::gflights::{self, GFlightsConfig};
+use skyweb::hidden_db::{RateLimit, SingleAttributeRanker};
+use skyweb::skyline::bnl_skyline;
+
+fn main() {
+    // One route/date instance: the traveller prefers fewer stops, a lower
+    // price, a shorter connection and a later departure.
+    let instance = gflights::generate_instance(&GFlightsConfig {
+        itineraries: 120,
+        seed: 42,
+    });
+    let truth = bnl_skyline(&instance.tuples, &instance.schema).len();
+    let price_attr = instance.schema.attr_by_name("price").unwrap();
+
+    // The API returns a single itinerary per request (k = 1), ranks by
+    // price, and cuts us off after 50 requests per day.
+    let db = instance
+        .into_db(Box::new(SingleAttributeRanker::new(price_attr)), 1)
+        .with_rate_limit(RateLimit::new(50));
+
+    println!(
+        "route instance: {} itineraries, {} skyline flights, quota: 50 queries/day\n",
+        db.n(),
+        truth
+    );
+
+    let result = MqDbSky::new().discover(&db).expect("supported interface");
+
+    println!(
+        "within the quota the discovery {}",
+        if result.complete {
+            "finished completely"
+        } else {
+            "was cut off by the rate limit (anytime result below)"
+        }
+    );
+    println!(
+        "queries spent: {}, skyline flights surfaced: {} of {}",
+        result.query_cost,
+        result.skyline.len(),
+        truth
+    );
+
+    println!("\nflights surfaced so far (stops, price bucket, connection, departure slot):");
+    for f in &result.skyline {
+        println!(
+            "  itinerary #{:<3} stops={} price={:<3} connection={:<3} departure={}",
+            f.id, f.values[0], f.values[1], f.values[2], f.values[3]
+        );
+    }
+
+    println!("\ndiscovery progress against the quota:");
+    for p in result.trace.iter().filter(|p| p.queries % 10 == 0 || p.queries == 1) {
+        println!(
+            "  after {:>2} queries: {:>2} skyline flights known",
+            p.queries, p.skyline_found
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: build a tiny hidden web database, discover its skyline, and
+//! inspect the query cost and anytime trace.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use skyweb::core::{Discoverer, RqDbSky, SqDbSky};
+use skyweb::hidden_db::{HiddenDb, InterfaceType, SchemaBuilder, SumRanker, Tuple};
+
+fn main() {
+    // A used-car database with three ranking attributes. Values are in
+    // "rank space": smaller = more preferred (cheaper, fewer miles, newer).
+    let schema = SchemaBuilder::new()
+        .ranking("price", 100, InterfaceType::Rq)
+        .ranking("mileage", 100, InterfaceType::Rq)
+        .ranking("age", 30, InterfaceType::Rq)
+        .filtering("make", 5)
+        .build();
+
+    let tuples = vec![
+        Tuple::new(0, vec![20, 80, 2, 0]),
+        Tuple::new(1, vec![35, 40, 5, 1]),
+        Tuple::new(2, vec![50, 10, 9, 2]),
+        Tuple::new(3, vec![55, 30, 1, 0]),
+        Tuple::new(4, vec![70, 60, 12, 3]),
+        Tuple::new(5, vec![15, 95, 20, 4]),
+        Tuple::new(6, vec![90, 5, 25, 1]),
+        Tuple::new(7, vec![60, 50, 8, 2]),
+    ];
+
+    // The web interface returns at most 2 matching cars per search, ranked
+    // by an (unknown to the client) domination-consistent function.
+    let db = HiddenDb::new(schema, tuples, Box::new(SumRanker), 2);
+
+    println!("database: {} cars behind a top-{} interface\n", db.n(), db.k());
+
+    // Discover the skyline through the restrictive interface.
+    let result = RqDbSky::new()
+        .discover(&db)
+        .expect("the interface supports two-ended ranges");
+
+    println!("RQ-DB-SKY discovered {} skyline cars:", result.skyline.len());
+    for car in &result.skyline {
+        println!(
+            "  car #{:<2} price={:<3} mileage={:<3} age={}",
+            car.id, car.values[0], car.values[1], car.values[2]
+        );
+    }
+    println!(
+        "\nquery cost: {} searches (the whole database has {} cars)",
+        result.query_cost,
+        db.n()
+    );
+    println!("anytime trace (queries -> skyline tuples known):");
+    for p in &result.trace {
+        println!("  after {:>2} queries: {} skyline tuples", p.queries, p.skyline_found);
+    }
+
+    // The same database could also be explored with the weaker one-ended
+    // interface algorithm; compare the costs.
+    db.reset_stats();
+    let sq = SqDbSky::new().discover(&db).expect("SQ runs on RQ interfaces too");
+    println!(
+        "\nSQ-DB-SKY (one-ended ranges only) needs {} queries for the same skyline",
+        sq.query_cost
+    );
+}

@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: realistic scenarios that exercise the
+//! generators, the hidden-database interface, the discovery algorithms and
+//! the local skyline machinery together.
+
+use skyweb::core::{
+    BaselineCrawl, Discoverer, MqDbSky, PqDbSky, RqDbSky, RqSkyband, SqDbSky,
+};
+use skyweb::datagen::{autos, diamonds, flights_dot, gflights, synthetic};
+use skyweb::hidden_db::{InterfaceType, RateLimit, SingleAttributeRanker};
+use skyweb::skyline::{bnl_skyline, same_ids, skyband};
+
+#[test]
+fn diamonds_discovery_matches_baseline_and_ground_truth() {
+    let catalogue = diamonds::generate(&diamonds::DiamondsConfig { n: 3_000, seed: 4 });
+    let truth = bnl_skyline(&catalogue.tuples, &catalogue.schema);
+    let price = catalogue.schema.attr_by_name("price").unwrap();
+
+    let db = catalogue
+        .clone()
+        .into_db(Box::new(SingleAttributeRanker::new(price)), 50);
+    let mq = MqDbSky::new().discover(&db).unwrap();
+    assert!(mq.complete);
+    assert!(same_ids(&mq.skyline, &truth));
+
+    let db_b = catalogue.into_db(Box::new(SingleAttributeRanker::new(price)), 50);
+    let baseline = BaselineCrawl::new().discover(&db_b).unwrap();
+    assert!(baseline.complete);
+    assert!(same_ids(&baseline.skyline, &truth));
+    assert_eq!(baseline.retrieved.len(), db_b.n());
+}
+
+#[test]
+fn autos_skyband_contains_skyline_and_matches_local_ground_truth() {
+    let listings = autos::generate(&autos::AutosConfig { n: 1_500, seed: 30 });
+    let truth_band = skyband(&listings.tuples, &listings.schema, 2);
+    let truth_sky = bnl_skyline(&listings.tuples, &listings.schema);
+    let price = listings.schema.attr_by_name("price").unwrap();
+    let db = listings.into_db(Box::new(SingleAttributeRanker::new(price)), 25);
+
+    let band = RqSkyband::new(2).discover_band(&db).unwrap();
+    assert!(band.complete);
+    assert!(same_ids(&band.band, &truth_band));
+    let band_ids: Vec<u64> = band.band.iter().map(|t| t.id).collect();
+    assert!(truth_sky.iter().all(|t| band_ids.contains(&t.id)));
+}
+
+#[test]
+fn google_flights_rate_limit_yields_anytime_subset() {
+    let instance = gflights::generate_instance(&gflights::GFlightsConfig {
+        itineraries: 150,
+        seed: 7,
+    });
+    let truth = bnl_skyline(&instance.tuples, &instance.schema);
+    let price = instance.schema.attr_by_name("price").unwrap();
+    let db = instance
+        .into_db(Box::new(SingleAttributeRanker::new(price)), 1)
+        .with_rate_limit(RateLimit::new(25));
+
+    let result = MqDbSky::new().discover(&db).unwrap();
+    assert!(result.query_cost <= 25);
+    assert_eq!(db.queries_issued(), result.query_cost);
+    // Every reported tuple is a true skyline flight (anytime soundness for
+    // the k = 1 interface), and at least one was found.
+    let truth_ids: Vec<u64> = truth.iter().map(|t| t.id).collect();
+    assert!(!result.skyline.is_empty());
+    assert!(result.skyline.iter().all(|t| truth_ids.contains(&t.id)));
+    // The trace never exceeds the quota and is monotone.
+    let mut prev = 0;
+    for p in &result.trace {
+        assert!(p.queries <= 25);
+        assert!(p.skyline_found >= prev);
+        prev = p.skyline_found;
+    }
+}
+
+#[test]
+fn flights_mixed_interface_discovery_is_complete() {
+    let base = flights_dot::generate(&flights_dot::FlightsDotConfig { n: 2_000, seed: 11 });
+    let ds = base.project(&[
+        "dep_delay",
+        "taxi_out",
+        "distance_group_long",
+        "delay_group",
+    ]);
+    let ds = ds
+        .with_interface("dep_delay", InterfaceType::Rq)
+        .with_interface("taxi_out", InterfaceType::Sq);
+    let truth = bnl_skyline(&ds.tuples, &ds.schema);
+    let db = ds.into_db_sum(10);
+    let result = MqDbSky::new().discover(&db).unwrap();
+    assert!(result.complete);
+    assert!(same_ids(&result.skyline, &truth));
+    assert_eq!(result.query_cost, db.queries_issued());
+}
+
+#[test]
+fn all_discoverers_agree_on_an_rq_database() {
+    let ds = synthetic::distinct_grid(&[30, 30, 30], 300, 5);
+    let truth = bnl_skyline(&ds.tuples, &ds.schema);
+
+    for (name, result) in [
+        ("SQ", SqDbSky::new().discover(&ds.clone().into_db_sum(5)).unwrap()),
+        ("RQ", RqDbSky::new().discover(&ds.clone().into_db_sum(5)).unwrap()),
+        ("MQ", MqDbSky::new().discover(&ds.clone().into_db_sum(5)).unwrap()),
+        ("BASELINE", BaselineCrawl::new().discover(&ds.clone().into_db_sum(5)).unwrap()),
+    ] {
+        assert!(result.complete, "{name} did not complete");
+        assert!(same_ids(&result.skyline, &truth), "{name} disagrees with ground truth");
+    }
+}
+
+#[test]
+fn pq_discovery_on_flight_group_attributes() {
+    let base = flights_dot::generate(&flights_dot::FlightsDotConfig { n: 3_000, seed: 21 });
+    let ds = base.project(&["distance_group_long", "air_time_group", "delay_group"]);
+    let truth = bnl_skyline(&ds.tuples, &ds.schema);
+    let db = ds.into_db_sum(10);
+    let result = PqDbSky::new().discover(&db).unwrap();
+    assert!(result.complete);
+    // Group attributes are heavily duplicated, so compare by distinct value
+    // combinations rather than tuple ids.
+    let mut found: Vec<Vec<u32>> = result
+        .skyline
+        .iter()
+        .map(|t| t.values.clone())
+        .collect();
+    let mut expected: Vec<Vec<u32>> = truth.iter().map(|t| t.values.clone()).collect();
+    found.sort();
+    found.dedup();
+    expected.sort();
+    expected.dedup();
+    assert_eq!(found, expected);
+}
+
+#[test]
+fn discovery_is_far_cheaper_than_crawling_on_range_interfaces() {
+    let base = flights_dot::generate(&flights_dot::FlightsDotConfig { n: 4_000, seed: 3 });
+    let names = ["dep_delay", "taxi_out", "taxi_in", "air_time", "arrival_delay"];
+    let mut ds = base.project(&names);
+    for n in &names {
+        ds = ds.with_interface(n, InterfaceType::Rq);
+    }
+    let rq = RqDbSky::new().discover(&ds.clone().into_db_sum(10)).unwrap();
+    let crawl = BaselineCrawl::new().discover(&ds.into_db_sum(10)).unwrap();
+    assert!(rq.complete && crawl.complete);
+    assert!(
+        rq.query_cost * 3 < crawl.query_cost,
+        "discovery ({}) should be far cheaper than crawling ({})",
+        rq.query_cost,
+        crawl.query_cost
+    );
+    assert!(same_ids(&rq.skyline, &crawl.skyline));
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the central guarantee of the paper: every
+//! discovery algorithm retrieves exactly the skyline of the hidden database,
+//! for arbitrary data, arbitrary top-k constraints and any
+//! domination-consistent ranking function.
+//!
+//! Because web databases may contain tuples with identical ranking values
+//! (violating the paper's general-positioning assumption), results are
+//! compared as sets of *value combinations*, which is the strongest
+//! guarantee that holds in that case.
+
+use proptest::prelude::*;
+
+use skyweb::core::{Discoverer, MqDbSky, PqDbSky, RqDbSky, SqDbSky};
+use skyweb::hidden_db::{
+    HiddenDb, InterfaceType, LexicographicRanker, RandomSkylineRanker, Ranker, SchemaBuilder,
+    SumRanker, Tuple, WorstCaseRanker,
+};
+use skyweb::skyline::bnl_skyline;
+
+/// Distinct sorted value combinations of a tuple set.
+fn value_combos(tuples: &[Tuple]) -> Vec<Vec<u32>> {
+    let mut combos: Vec<Vec<u32>> = tuples.iter().map(|t| t.values.clone()).collect();
+    combos.sort();
+    combos.dedup();
+    combos
+}
+
+#[derive(Debug, Clone)]
+struct DbSpec {
+    domains: Vec<u32>,
+    values: Vec<Vec<u32>>,
+    k: usize,
+    ranker: u8,
+    interfaces: Vec<u8>,
+}
+
+fn db_spec() -> impl Strategy<Value = DbSpec> {
+    (2usize..=4, 1usize..=40, 1usize..=4, 0u8..=3)
+        .prop_flat_map(|(m, n, k, ranker)| {
+            let domains = prop::collection::vec(2u32..=8, m);
+            (domains, Just(n), Just(k), Just(ranker))
+        })
+        .prop_flat_map(|(domains, n, k, ranker)| {
+            let value_strategy: Vec<_> = domains.iter().map(|&d| 0u32..d).collect();
+            let values = prop::collection::vec(value_strategy, n);
+            let interfaces = prop::collection::vec(0u8..=2, domains.len());
+            (Just(domains), values, Just(k), Just(ranker), interfaces)
+        })
+        .prop_map(|(domains, values, k, ranker, interfaces)| DbSpec {
+            domains,
+            values,
+            k,
+            ranker,
+            interfaces,
+        })
+}
+
+fn build_db(spec: &DbSpec, interface: Option<InterfaceType>) -> HiddenDb {
+    let mut builder = SchemaBuilder::new();
+    for (i, &d) in spec.domains.iter().enumerate() {
+        let itf = interface.unwrap_or(match spec.interfaces[i] {
+            0 => InterfaceType::Sq,
+            1 => InterfaceType::Rq,
+            _ => InterfaceType::Pq,
+        });
+        builder = builder.ranking(format!("a{i}"), d, itf);
+    }
+    let tuples: Vec<Tuple> = spec
+        .values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| Tuple::new(i as u64, v.clone()))
+        .collect();
+    let ranker: Box<dyn Ranker> = match spec.ranker {
+        0 => Box::new(SumRanker),
+        1 => Box::new(RandomSkylineRanker::new(42)),
+        2 => Box::new(WorstCaseRanker),
+        _ => Box::new(LexicographicRanker::new((0..spec.domains.len()).collect())),
+    };
+    HiddenDb::new(builder.build(), tuples, ranker, spec.k)
+}
+
+fn truth_combos(db: &HiddenDb) -> Vec<Vec<u32>> {
+    value_combos(&bnl_skyline(db.oracle_tuples(), db.schema()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    /// SQ-DB-SKY discovers the exact skyline on one-ended range interfaces.
+    #[test]
+    fn sq_db_sky_is_complete(spec in db_spec()) {
+        let db = build_db(&spec, Some(InterfaceType::Sq));
+        let result = SqDbSky::new().discover(&db).unwrap();
+        prop_assert!(result.complete);
+        prop_assert_eq!(value_combos(&result.skyline), truth_combos(&db));
+        prop_assert_eq!(result.query_cost, db.queries_issued());
+    }
+
+    /// RQ-DB-SKY discovers the exact skyline on two-ended range interfaces,
+    /// never spending more queries than SQ-DB-SKY would on the same data.
+    #[test]
+    fn rq_db_sky_is_complete(spec in db_spec()) {
+        let db = build_db(&spec, Some(InterfaceType::Rq));
+        let result = RqDbSky::new().discover(&db).unwrap();
+        prop_assert!(result.complete);
+        prop_assert_eq!(value_combos(&result.skyline), truth_combos(&db));
+    }
+
+    /// PQ-DB-SKY discovers the exact skyline using equality predicates only.
+    #[test]
+    fn pq_db_sky_is_complete(spec in db_spec()) {
+        let db = build_db(&spec, Some(InterfaceType::Pq));
+        let result = PqDbSky::new().discover(&db).unwrap();
+        prop_assert!(result.complete);
+        prop_assert_eq!(value_combos(&result.skyline), truth_combos(&db));
+    }
+
+    /// MQ-DB-SKY discovers the exact skyline for arbitrary mixtures of SQ,
+    /// RQ and PQ attributes.
+    #[test]
+    fn mq_db_sky_is_complete_on_mixed_interfaces(spec in db_spec()) {
+        let db = build_db(&spec, None);
+        let result = MqDbSky::new().discover(&db).unwrap();
+        prop_assert!(result.complete);
+        prop_assert_eq!(value_combos(&result.skyline), truth_combos(&db));
+    }
+
+    /// The anytime trace is monotone and consistent with the query counter.
+    #[test]
+    fn traces_are_monotone(spec in db_spec()) {
+        let db = build_db(&spec, Some(InterfaceType::Rq));
+        let result = RqDbSky::new().discover(&db).unwrap();
+        let mut prev = 0usize;
+        for p in &result.trace {
+            prop_assert!(p.skyline_found >= prev);
+            prop_assert!(p.queries <= result.query_cost);
+            prev = p.skyline_found;
+        }
+    }
+}

@@ -13,7 +13,13 @@ fn flights(n: usize) -> Dataset {
 }
 
 fn range_projection(ds: &Dataset) -> Dataset {
-    let names = ["dep_delay", "taxi_out", "taxi_in", "air_time", "arrival_delay"];
+    let names = [
+        "dep_delay",
+        "taxi_out",
+        "taxi_in",
+        "air_time",
+        "arrival_delay",
+    ];
     let mut out = ds.project(&names);
     for name in &names {
         out = out.with_interface(name, InterfaceType::Rq);

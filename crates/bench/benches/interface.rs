@@ -1,14 +1,22 @@
 //! Criterion micro-benchmarks of the hidden-database query interface itself
 //! (per-query cost of predicate evaluation + top-k ranking), which bounds
 //! how fast the simulated "web accesses" of the experiment harness can be.
+//!
+//! Each workload is measured under the default indexed engine
+//! ([`ExecStrategy::Indexed`]: rank-ordered early termination, posting-list
+//! pruning, `Arc`-shared responses) and under the naive
+//! [`ExecStrategy::Scan`] reference path (`*_scan` entries), so the speedup
+//! of the engine is directly visible in one run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use skyweb_datagen::flights_dot;
-use skyweb_hidden_db::{HiddenDb, Predicate, Query};
+use skyweb_hidden_db::{ExecStrategy, HiddenDb, Predicate, Query};
 
-fn db(n: usize, k: usize) -> HiddenDb {
-    flights_dot::generate(&flights_dot::FlightsDotConfig { n, seed: 2015 }).into_db_sum(k)
+fn db(n: usize, k: usize, strategy: ExecStrategy) -> HiddenDb {
+    flights_dot::generate(&flights_dot::FlightsDotConfig { n, seed: 2015 })
+        .into_db_sum(k)
+        .with_strategy(strategy)
 }
 
 fn bench_interface(c: &mut Criterion) {
@@ -16,17 +24,36 @@ fn bench_interface(c: &mut Criterion) {
     group.sample_size(20);
 
     for &n in &[10_000usize, 100_000] {
-        let database = db(n, 50);
+        let indexed = db(n, 50, ExecStrategy::Indexed);
+        let scan = db(n, 50, ExecStrategy::Scan);
+
         group.bench_function(BenchmarkId::new("select_all_top50", n), |b| {
-            b.iter(|| database.query(&Query::select_all()).unwrap().len())
+            b.iter(|| indexed.query(&Query::select_all()).unwrap().len())
         });
+        group.bench_function(BenchmarkId::new("select_all_top50_scan", n), |b| {
+            b.iter(|| scan.query(&Query::select_all()).unwrap().len())
+        });
+
         let selective = Query::new(vec![
             Predicate::lt(0, 30),
             Predicate::lt(1, 40),
             Predicate::eq(6, 0),
         ]);
         group.bench_function(BenchmarkId::new("selective_conjunction", n), |b| {
-            b.iter(|| database.query(&selective).unwrap().len())
+            b.iter(|| indexed.query(&selective).unwrap().len())
+        });
+        group.bench_function(BenchmarkId::new("selective_conjunction_scan", n), |b| {
+            b.iter(|| scan.query(&selective).unwrap().len())
+        });
+
+        // A broad range query: matches a large fraction of the store, so the
+        // indexed engine answers it with the early-terminating rank scan.
+        let broad = Query::new(vec![Predicate::ge(0, 5)]);
+        group.bench_function(BenchmarkId::new("broad_range_top50", n), |b| {
+            b.iter(|| indexed.query(&broad).unwrap().len())
+        });
+        group.bench_function(BenchmarkId::new("broad_range_top50_scan", n), |b| {
+            b.iter(|| scan.query(&broad).unwrap().len())
         });
     }
 

@@ -14,7 +14,11 @@ fn bench_local_skyline(c: &mut Criterion) {
     for &(n, corr, label) in &[
         (10_000usize, Correlation::Correlated(0.7), "correlated"),
         (10_000usize, Correlation::Independent, "independent"),
-        (2_000usize, Correlation::AntiCorrelated(0.8), "anticorrelated"),
+        (
+            2_000usize,
+            Correlation::AntiCorrelated(0.8),
+            "anticorrelated",
+        ),
     ] {
         let ds = synthetic::generate(&SyntheticConfig {
             n,

@@ -41,10 +41,7 @@ fn main() -> ExitCode {
         requested.push("all".to_string());
     }
 
-    println!(
-        "# skyweb experiment harness — scale: {:?}",
-        scale
-    );
+    println!("# skyweb experiment harness — scale: {:?}", scale);
     let started = Instant::now();
     for req in requested {
         if req == "all" {
@@ -55,10 +52,7 @@ fn main() -> ExitCode {
             run_one(&req, scale);
         }
     }
-    println!(
-        "# done in {:.1}s",
-        started.elapsed().as_secs_f64()
-    );
+    println!("# done in {:.1}s", started.elapsed().as_secs_f64());
     ExitCode::SUCCESS
 }
 

@@ -1,0 +1,201 @@
+//! Perf report for the hidden-database query engine: times the naive
+//! [`ExecStrategy::Scan`] path against the default indexed engine on the
+//! benchmark workloads of `benches/interface.rs` and writes a machine-
+//! readable snapshot to `BENCH_interface.json`.
+//!
+//! ```text
+//! cargo run -p skyweb-bench --release --bin perf_report [-- --quick] [-- --out PATH]
+//! ```
+//!
+//! `--quick` shrinks the dataset and iteration counts (CI smoke); the JSON
+//! schema is unchanged. Exit code is always 0 — the report is descriptive;
+//! enforcement of speedup floors belongs to humans reading it.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use skyweb_core::{Discoverer, RqDbSky, SqDbSky};
+use skyweb_datagen::{flights_dot, Dataset};
+use skyweb_hidden_db::{ExecStrategy, HiddenDb, InterfaceType, Predicate, Query};
+
+struct Case {
+    name: &'static str,
+    query: Query,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "select_all_top50",
+            query: Query::select_all(),
+        },
+        Case {
+            name: "selective_conjunction",
+            query: Query::new(vec![
+                Predicate::lt(0, 30),
+                Predicate::lt(1, 40),
+                Predicate::eq(6, 0),
+            ]),
+        },
+        Case {
+            name: "broad_range_top50",
+            query: Query::new(vec![Predicate::ge(0, 5)]),
+        },
+        Case {
+            name: "empty_answer",
+            query: Query::new(vec![
+                Predicate::lt(0, 1),
+                Predicate::lt(1, 1),
+                Predicate::lt(2, 1),
+            ]),
+        },
+    ]
+}
+
+/// Mean ns/query over `iters` runs after `warmup` runs.
+fn time_ns(db: &HiddenDb, query: &Query, warmup: u64, iters: u64) -> f64 {
+    for _ in 0..warmup {
+        std::hint::black_box(db.query(query).unwrap().len());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(db.query(query).unwrap().len());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_interface.json", String::as_str);
+
+    let (n, k, iters) = if quick {
+        (10_000, 50, 50)
+    } else {
+        (100_000, 50, 400)
+    };
+    eprintln!("# building DOT-flights hidden database: n={n}, k={k}");
+    let dataset = flights_dot::generate(&flights_dot::FlightsDotConfig { n, seed: 2015 });
+    let indexed = dataset.clone().into_db_sum(k); // ExecStrategy::Indexed default
+    let scan = dataset.into_db_sum(k).with_strategy(ExecStrategy::Scan);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"interface\",");
+    let _ = writeln!(json, "  \"dataset\": \"flights_dot\",");
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"k\": {k},");
+    let _ = writeln!(json, "  \"iters\": {iters},");
+    let _ = writeln!(json, "  \"results\": [");
+
+    println!(
+        "{:<24} {:>14} {:>14} {:>9}",
+        "query", "scan ns/q", "indexed ns/q", "speedup"
+    );
+    let all = cases();
+    for (i, case) in all.iter().enumerate() {
+        let scan_ns = time_ns(&scan, &case.query, 3, iters.min(60));
+        let indexed_ns = time_ns(&indexed, &case.query, 10, iters);
+        let speedup = scan_ns / indexed_ns;
+        println!(
+            "{:<24} {:>14.0} {:>14.0} {:>8.1}x",
+            case.name, scan_ns, indexed_ns, speedup
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"query\": \"{}\", \"scan_ns\": {:.0}, \"indexed_ns\": {:.0}, \"speedup\": {:.2}}}{}",
+            case.name,
+            scan_ns,
+            indexed_ns,
+            speedup,
+            if i + 1 == all.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+
+    // End-to-end: a complete discovery run issues thousands of interface
+    // queries, so the engine speedup should show up at whole-algorithm
+    // scale too.
+    let disc_n = if quick { 2_000 } else { 8_000 };
+    let disc_k = 10;
+    let base = flights_dot::generate(&flights_dot::FlightsDotConfig {
+        n: disc_n,
+        seed: 2015,
+    });
+    let names = [
+        "dep_delay",
+        "taxi_out",
+        "taxi_in",
+        "air_time",
+        "arrival_delay",
+    ];
+    let mut range: Dataset = base.project(&names);
+    for name in &names {
+        range = range.with_interface(name, InterfaceType::Rq);
+    }
+
+    let _ = writeln!(json, "  \"discovery\": [");
+    println!();
+    println!(
+        "{:<24} {:>14} {:>14} {:>9}   (n={disc_n}, k={disc_k}, complete runs)",
+        "algorithm", "scan ms", "indexed ms", "speedup"
+    );
+    let algos: Vec<(&str, Box<dyn Discoverer>)> = vec![
+        ("sq_db_sky", Box::new(SqDbSky::new())),
+        ("rq_db_sky", Box::new(RqDbSky::new())),
+    ];
+    for (i, (name, algo)) in algos.iter().enumerate() {
+        let mut wall = [0.0f64; 2];
+        let mut cost = [0u64; 2];
+        for (slot, strategy) in [ExecStrategy::Scan, ExecStrategy::Indexed]
+            .into_iter()
+            .enumerate()
+        {
+            let db = range.clone().into_db_sum(disc_k).with_strategy(strategy);
+            // Warm-up run: pays the one-time lazy index construction so the
+            // timed run measures steady-state discovery (real experiments
+            // reuse one database across many runs).
+            algo.discover(&db).expect("discovery warm-up failed");
+            db.reset_stats();
+            let start = Instant::now();
+            let result = algo.discover(&db).expect("discovery run failed");
+            wall[slot] = start.elapsed().as_secs_f64() * 1e3;
+            cost[slot] = result.query_cost;
+        }
+        assert_eq!(
+            cost[0], cost[1],
+            "{name}: query cost must not depend on the execution strategy"
+        );
+        let speedup = wall[0] / wall[1];
+        println!(
+            "{:<24} {:>14.1} {:>14.1} {:>8.1}x",
+            name, wall[0], wall[1], speedup
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"algorithm\": \"{}\", \"queries\": {}, \"scan_ms\": {:.2}, \"indexed_ms\": {:.2}, \"speedup\": {:.2}}}{}",
+            name,
+            cost[0],
+            wall[0],
+            wall[1],
+            speedup,
+            if i + 1 == algos.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    match std::fs::write(out_path, &json) {
+        Ok(()) => eprintln!("# wrote {out_path}"),
+        Err(e) => {
+            eprintln!("# failed to write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

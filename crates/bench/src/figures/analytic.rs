@@ -16,13 +16,7 @@ pub fn fig04(_scale: Scale) -> FigureResult {
         "fig04",
         "SQ-DB-SKY analytical cost: average case vs worst case (m = 4, 8)",
         vec![
-            "|S|",
-            "avg_m4",
-            "bound_m4",
-            "worst_m4",
-            "avg_m8",
-            "bound_m8",
-            "worst_m8",
+            "|S|", "avg_m4", "bound_m4", "worst_m4", "avg_m8", "bound_m8", "worst_m8",
         ],
     );
     for s in (1..=19).step_by(2) {
@@ -75,9 +69,7 @@ pub fn fig06(scale: Scale) -> FigureResult {
         });
         let skyline = sfs_skyline(&ds.tuples, &ds.schema).len();
 
-        let db_sq = ds
-            .clone()
-            .into_db(Box::new(RandomSkylineRanker::new(7)), 1);
+        let db_sq = ds.clone().into_db(Box::new(RandomSkylineRanker::new(7)), 1);
         let sq = run(&SqDbSky::with_budget(sq_budget), &db_sq);
         let db_rq = ds.into_db(Box::new(RandomSkylineRanker::new(7)), 1);
         let rq = run(&RqDbSky::new(), &db_rq);

@@ -62,9 +62,18 @@ mod tests {
     #[test]
     fn trace_conversion() {
         let trace = vec![
-            TracePoint { queries: 1, skyline_found: 1 },
-            TracePoint { queries: 4, skyline_found: 1 },
-            TracePoint { queries: 6, skyline_found: 3 },
+            TracePoint {
+                queries: 1,
+                skyline_found: 1,
+            },
+            TracePoint {
+                queries: 4,
+                skyline_found: 1,
+            },
+            TracePoint {
+                queries: 6,
+                skyline_found: 3,
+            },
         ];
         assert_eq!(queries_per_discovery(&trace, 3), vec![1, 6, 6]);
         assert_eq!(queries_per_discovery(&trace, 4), vec![1, 6, 6, 6]);

@@ -25,8 +25,10 @@ fn mixed_projection(base: &Dataset, range: &[&str], point: &[&str]) -> Dataset {
 /// Figure 18: MQ-DB-SKY query cost vs the number of tuples for a 3-RQ +
 /// 2-PQ interface.
 pub fn fig18(scale: Scale) -> FigureResult {
-    let sizes: Vec<usize> =
-        scale.pick(vec![2_000, 5_000, 10_000], vec![20_000, 40_000, 60_000, 80_000, 100_000]);
+    let sizes: Vec<usize> = scale.pick(
+        vec![2_000, 5_000, 10_000],
+        vec![20_000, 40_000, 60_000, 80_000, 100_000],
+    );
     let k = 10;
     let base = flights_base(scale);
     let range = ["dep_delay", "taxi_out", "distance"];
@@ -57,7 +59,13 @@ pub fn fig19(scale: Scale) -> FigureResult {
     let k = 10;
     let base = flights_base(scale).sample(n, 19);
 
-    let range_pool = ["dep_delay", "taxi_out", "taxi_in", "arrival_delay", "actual_elapsed"];
+    let range_pool = [
+        "dep_delay",
+        "taxi_out",
+        "taxi_in",
+        "arrival_delay",
+        "actual_elapsed",
+    ];
     let point_pool = [
         "distance_group_long",
         "air_time_group",

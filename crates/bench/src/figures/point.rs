@@ -28,8 +28,10 @@ fn pq_projection(base: &Dataset, dims: usize, n: usize, seed: u64) -> Dataset {
 /// Figure 16: PQ-DB-SKY query cost vs the number of tuples, for 3, 4 and 5
 /// point attributes.
 pub fn fig16(scale: Scale) -> FigureResult {
-    let sizes: Vec<usize> =
-        scale.pick(vec![2_000, 5_000, 10_000], vec![20_000, 40_000, 60_000, 80_000, 100_000]);
+    let sizes: Vec<usize> = scale.pick(
+        vec![2_000, 5_000, 10_000],
+        vec![20_000, 40_000, 60_000, 80_000, 100_000],
+    );
     let k = 10;
     let base = flights_base(scale);
 
@@ -71,7 +73,11 @@ pub fn fig17(scale: Scale) -> FigureResult {
         let ds = ds.sample(n, 17 + u64::from(v));
         let n_effective = ds.len();
         let result = run(&PqDbSky::new(), &ds.into_db_sum(k));
-        fig.push_row(vec![f64::from(v), n_effective as f64, result.query_cost as f64]);
+        fig.push_row(vec![
+            f64::from(v),
+            n_effective as f64,
+            result.query_cost as f64,
+        ]);
     }
     fig.note(
         "attribute domains are re-discretised into v buckets (the paper instead drops the \
@@ -98,8 +104,8 @@ pub fn fig21(scale: Scale) -> FigureResult {
         format!("Anytime property of PQ-DB-SKY (4 PQ attributes, n = {n}, k = {k})"),
         vec!["skyline_idx", "pq_queries"],
     );
-    for i in 0..total {
-        fig.push_row(vec![(i + 1) as f64, curve[i] as f64]);
+    for (i, &queries) in curve[..total].iter().enumerate() {
+        fig.push_row(vec![(i + 1) as f64, queries as f64]);
     }
     fig
 }

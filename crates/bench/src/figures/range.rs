@@ -42,9 +42,10 @@ pub fn fig13(scale: Scale) -> FigureResult {
 /// Figure 14: impact of the database size n on SQ-/RQ-DB-SKY and on the
 /// skyline size.
 pub fn fig14(scale: Scale) -> FigureResult {
-    let sizes: Vec<usize> = scale.pick(vec![2_000, 5_000, 10_000, 20_000], vec![
-        50_000, 100_000, 200_000, 300_000, 400_000,
-    ]);
+    let sizes: Vec<usize> = scale.pick(
+        vec![2_000, 5_000, 10_000, 20_000],
+        vec![50_000, 100_000, 200_000, 300_000, 400_000],
+    );
     let k = 10;
     let base = flights_base(scale);
 
@@ -114,7 +115,13 @@ pub fn fig20(scale: Scale) -> FigureResult {
     let n = scale.pick(5_000, 100_000);
     let k = 10;
     let base = flights_base(scale).sample(n, 20);
-    let names = ["dep_delay", "taxi_out", "taxi_in", "air_time", "arrival_delay"];
+    let names = [
+        "dep_delay",
+        "taxi_out",
+        "taxi_in",
+        "air_time",
+        "arrival_delay",
+    ];
     let mut ds = base.project(&names);
     for name in &names {
         ds = ds.with_interface(name, InterfaceType::Rq);

@@ -55,7 +55,10 @@ pub fn sq_average_case_cost(m: usize, s: usize) -> f64 {
 ///
 /// Evaluated with logarithms of factorials to stay finite for large inputs.
 pub fn sq_average_case_closed_form(m: usize, s: usize) -> f64 {
-    assert!(m >= 2, "the closed form requires m >= 2 (m = 1 is degenerate)");
+    assert!(
+        m >= 2,
+        "the closed form requires m >= 2 (m = 1 is degenerate)"
+    );
     if s == 0 {
         return 1.0;
     }

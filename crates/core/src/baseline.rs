@@ -173,7 +173,10 @@ impl Discoverer for PointSpaceCrawl {
 
     fn discover(&self, db: &HiddenDb) -> Result<DiscoveryResult, DiscoveryError> {
         let attrs: Vec<usize> = db.schema().ranking_attrs().to_vec();
-        let domains: Vec<Value> = attrs.iter().map(|&a| db.schema().attr(a).domain_size).collect();
+        let domains: Vec<Value> = attrs
+            .iter()
+            .map(|&a| db.schema().attr(a).domain_size)
+            .collect();
         let mut client = Client::new(db, self.budget);
         let mut collector = Collector::new(attrs.clone());
 
@@ -250,8 +253,14 @@ mod tests {
     fn crawl_cost_scales_with_n_over_k() {
         let db_small_k = pseudo_random_db(2, 64, 300, 2);
         let db_large_k = pseudo_random_db(2, 64, 300, 25);
-        let c_small = BaselineCrawl::new().discover(&db_small_k).unwrap().query_cost;
-        let c_large = BaselineCrawl::new().discover(&db_large_k).unwrap().query_cost;
+        let c_small = BaselineCrawl::new()
+            .discover(&db_small_k)
+            .unwrap()
+            .query_cost;
+        let c_large = BaselineCrawl::new()
+            .discover(&db_large_k)
+            .unwrap()
+            .query_cost;
         assert!(c_large < c_small, "larger k must reduce the crawl cost");
         assert!(c_small as usize >= db_small_k.n() / 2);
     }

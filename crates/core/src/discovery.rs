@@ -136,10 +136,7 @@ impl<'a> Client<'a> {
     /// Issues `query`. Returns `Ok(None)` when the client-side budget or the
     /// server-side rate limit is exhausted (the caller should stop), and
     /// `Err` for any other rejection (which indicates a real bug).
-    pub(crate) fn query(
-        &mut self,
-        query: &Query,
-    ) -> Result<Option<QueryResponse>, DiscoveryError> {
+    pub(crate) fn query(&mut self, query: &Query) -> Result<Option<QueryResponse>, DiscoveryError> {
         if self.exhausted {
             return Ok(None);
         }
@@ -184,9 +181,11 @@ impl Collector {
     }
 
     /// Ingests newly returned tuples, updating the retrieved set and the
-    /// current skyline.
-    pub(crate) fn ingest(&mut self, tuples: &[Tuple]) {
+    /// current skyline. Accepts both plain tuples and the `Arc`-shared
+    /// tuples of [`QueryResponse`].
+    pub(crate) fn ingest<T: std::borrow::Borrow<Tuple>>(&mut self, tuples: &[T]) {
         for t in tuples {
+            let t = t.borrow();
             if self.seen.contains_key(&t.id) {
                 continue;
             }

@@ -283,7 +283,7 @@ mod tests {
         salt: u64,
     ) -> Vec<Tuple> {
         let mut domains = vec![range_domain; range_attrs];
-        domains.extend(std::iter::repeat(point_domain).take(point_attrs));
+        domains.extend(std::iter::repeat_n(point_domain, point_attrs));
         skyweb_datagen::synthetic::distinct_cells(&domains, n as usize, salt)
     }
 

@@ -51,7 +51,9 @@ impl PqDbSky {
         let m = db.schema().num_ranking();
         if m < 2 {
             return Err(DiscoveryError::UnsupportedInterface {
-                reason: format!("PQ-DB-SKY needs at least 2 ranking attributes, the schema has {m}"),
+                reason: format!(
+                    "PQ-DB-SKY needs at least 2 ranking attributes, the schema has {m}"
+                ),
             });
         }
         // Every interface type supports equality predicates, so PQ-DB-SKY
@@ -119,7 +121,8 @@ impl Discoverer for PqDbSky {
         let ((a1, a2), others) = Self::split_attributes(db);
         let dx = schema.attr(a1).domain_size;
         let dy = schema.attr(a2).domain_size;
-        let other_domains: Vec<Value> = others.iter().map(|&a| schema.attr(a).domain_size).collect();
+        let other_domains: Vec<Value> =
+            others.iter().map(|&a| schema.attr(a).domain_size).collect();
 
         // Step 3: enumerate the other attributes' value combinations in
         // preferential (ascending lexicographic) order.

@@ -215,7 +215,12 @@ mod tests {
             .ranking("y", 4, InterfaceType::Pq)
             .ranking("z", 4, InterfaceType::Pq)
             .build();
-        let db = HiddenDb::new(schema, vec![Tuple::new(0, vec![0, 0, 0])], Box::new(SumRanker), 1);
+        let db = HiddenDb::new(
+            schema,
+            vec![Tuple::new(0, vec![0, 0, 0])],
+            Box::new(SumRanker),
+            1,
+        );
         assert!(Pq2dSky::new().discover(&db).is_err());
     }
 

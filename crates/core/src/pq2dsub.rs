@@ -106,7 +106,7 @@ pub(crate) fn build_plane_rects(
             } else {
                 dx
             };
-            if p.y > 0 && p.x <= next_x - 1 {
+            if p.y > 0 && p.x < next_x {
                 strips.push(Rect::new(p.x, next_x - 1, 0, p.y - 1));
             }
         }

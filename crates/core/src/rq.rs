@@ -95,7 +95,7 @@ impl RqDbSky {
                 collector.ingest(&resp.tuples);
                 collector.record(client.issued());
                 if resp.tuples.len() == k {
-                    Some(resp.tuples[0].clone())
+                    Some(resp.tuples[0].as_ref().clone())
                 } else {
                     None
                 }
@@ -118,7 +118,7 @@ impl RqDbSky {
                     // subspace rooted here" (relevant when the traversal is
                     // rooted in a domination subspace for sky-band
                     // discovery).
-                    let top = &returned[0];
+                    let top = returned[0].as_ref();
                     let pivot = collector
                         .dominated_by_skyline(top)
                         .filter(|p| node.sq.matches(p))
@@ -133,7 +133,10 @@ impl RqDbSky {
             };
 
             if let Some(pivot) = expand_pivot {
-                for child in Self::children(&node, &pivot, branch_attrs).into_iter().rev() {
+                for child in Self::children(&node, &pivot, branch_attrs)
+                    .into_iter()
+                    .rev()
+                {
                     stack.push(child);
                 }
             }
@@ -304,7 +307,10 @@ mod tests {
             Tuple::new(4, vec![2, 2, 2]),
         ] {
             let matches = children.iter().filter(|c| c.rq.matches(&probe)).count();
-            assert!(matches <= 1, "tuple {probe:?} matched {matches} exclusive children");
+            assert!(
+                matches <= 1,
+                "tuple {probe:?} matched {matches} exclusive children"
+            );
             // ... but at least one of the (overlapping) SQ children whenever
             // the tuple beats the pivot somewhere.
             let sq_matches = children.iter().filter(|c| c.sq.matches(&probe)).count();

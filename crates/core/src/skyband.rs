@@ -104,13 +104,8 @@ impl RqSkyband {
         let mut runs = 0usize;
 
         // Level 1: the plain skyline.
-        let mut completed = RqDbSky::run_tree(
-            &mut client,
-            &mut collector,
-            &attrs,
-            Query::select_all(),
-            k,
-        )?;
+        let mut completed =
+            RqDbSky::run_tree(&mut client, &mut collector, &attrs, Query::select_all(), k)?;
         runs += 1;
 
         // Levels 2..h: explore the domination subspace of every tuple already

@@ -39,7 +39,10 @@ pub struct AutosConfig {
 
 impl Default for AutosConfig {
     fn default() -> Self {
-        AutosConfig { n: 125_149, seed: 30 }
+        AutosConfig {
+            n: 125_149,
+            seed: 30,
+        }
     }
 }
 
@@ -137,7 +140,11 @@ mod tests {
     fn skyline_is_a_long_frontier() {
         let ds = small();
         let sky = bnl_skyline_on(&ds.tuples, ds.schema.ranking_attrs());
-        assert!(sky.len() > 30, "expected a long trade-off frontier, got {}", sky.len());
+        assert!(
+            sky.len() > 30,
+            "expected a long trade-off frontier, got {}",
+            sky.len()
+        );
         assert!(sky.len() < ds.len() / 4);
     }
 

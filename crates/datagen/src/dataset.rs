@@ -204,7 +204,12 @@ mod tests {
             .filtering("f", 3)
             .build();
         let tuples = (0..20)
-            .map(|i| Tuple::new(i, vec![(i % 10) as u32, ((i * 3) % 10) as u32, (i % 3) as u32]))
+            .map(|i| {
+                Tuple::new(
+                    i,
+                    vec![(i % 10) as u32, ((i * 3) % 10) as u32, (i % 3) as u32],
+                )
+            })
             .collect();
         Dataset::new("toy", schema, tuples)
     }

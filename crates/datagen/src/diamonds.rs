@@ -100,10 +100,8 @@ pub fn generate(config: &DiamondsConfig) -> Dataset {
             // grades, multiplied by a wide listing-to-listing noise
             // (certification, fluorescence, vendor margin, ...). The noise
             // is what lets well-priced stones dominate overpriced ones.
-            let quality_factor = 1.0
-                - 0.06 * f64::from(cut)
-                - 0.05 * f64::from(color)
-                - 0.055 * f64::from(clarity);
+            let quality_factor =
+                1.0 - 0.06 * f64::from(cut) - 0.05 * f64::from(color) - 0.055 * f64::from(clarity);
             let noise = rng.gen_range(0.60..1.60);
             let price_usd = 2600.0 * carat_ct.powf(1.9) * quality_factor.max(0.25) * noise + 300.0;
 
@@ -139,8 +137,12 @@ mod tests {
             .ranking_attrs()
             .iter()
             .all(|&a| ds.schema.attr(a).interface == InterfaceType::Rq));
-        assert_eq!(ds.schema.attr_by_name("shape").map(|a| ds.schema.attr(a).role),
-            Some(skyweb_hidden_db::AttributeRole::Filtering));
+        assert_eq!(
+            ds.schema
+                .attr_by_name("shape")
+                .map(|a| ds.schema.attr(a).role),
+            Some(skyweb_hidden_db::AttributeRole::Filtering)
+        );
     }
 
     #[test]
@@ -155,9 +157,17 @@ mod tests {
         let ds = small();
         let price = ds.schema.attr_by_name("price").unwrap();
         let carat = ds.schema.attr_by_name("carat").unwrap();
-        let mean_price: f64 = ds.tuples.iter().map(|t| f64::from(t.values[price])).sum::<f64>()
+        let mean_price: f64 = ds
+            .tuples
+            .iter()
+            .map(|t| f64::from(t.values[price]))
+            .sum::<f64>()
             / ds.len() as f64;
-        let mean_carat: f64 = ds.tuples.iter().map(|t| f64::from(t.values[carat])).sum::<f64>()
+        let mean_carat: f64 = ds
+            .tuples
+            .iter()
+            .map(|t| f64::from(t.values[carat]))
+            .sum::<f64>()
             / ds.len() as f64;
         let mut cov = 0.0;
         for t in &ds.tuples {
@@ -172,7 +182,11 @@ mod tests {
         let ds = small();
         let attrs: Vec<usize> = ds.schema.ranking_attrs().to_vec();
         let sky = bnl_skyline_on(&ds.tuples, &attrs);
-        assert!(sky.len() > 20, "diamond frontier should be long, got {}", sky.len());
+        assert!(
+            sky.len() > 20,
+            "diamond frontier should be long, got {}",
+            sky.len()
+        );
         assert!(
             sky.len() < ds.len() / 4,
             "diamond skyline should stay well below n: {} of {}",

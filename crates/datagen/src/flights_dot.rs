@@ -200,8 +200,7 @@ pub fn generate(config: &FlightsDotConfig) -> Dataset {
             let distance_group = (distance_v / 500).min(domains::DISTANCE_GROUP - 1);
             let taxi_out_group = (taxi_out_v / 16).min(domains::TAXI_OUT_GROUP - 1);
             let taxi_in_group = (taxi_in_v / 14).min(domains::TAXI_IN_GROUP - 1);
-            let arrival_delay_group =
-                (arrival_delay_v / 130).min(domains::ARRIVAL_DELAY_GROUP - 1);
+            let arrival_delay_group = (arrival_delay_v / 130).min(domains::ARRIVAL_DELAY_GROUP - 1);
             let air_time_group = (air_time_v / 50).min(domains::AIR_TIME_GROUP - 1);
             // The paper's default distance preference (longer is better):
             // rank 0 = the longest-distance group.

@@ -126,11 +126,15 @@ mod tests {
         let ds = generate_instance(&GFlightsConfig::default());
         assert_eq!(ds.schema.num_ranking(), 4);
         assert_eq!(
-            ds.schema.attr(ds.schema.attr_by_name("stops").unwrap()).interface,
+            ds.schema
+                .attr(ds.schema.attr_by_name("stops").unwrap())
+                .interface,
             InterfaceType::Sq
         );
         assert_eq!(
-            ds.schema.attr(ds.schema.attr_by_name("departure").unwrap()).interface,
+            ds.schema
+                .attr(ds.schema.attr_by_name("departure").unwrap())
+                .interface,
             InterfaceType::Rq
         );
     }
@@ -142,7 +146,10 @@ mod tests {
 
     #[test]
     fn nonstop_flights_have_zero_connection_time() {
-        let ds = generate_instance(&GFlightsConfig { itineraries: 300, seed: 3 });
+        let ds = generate_instance(&GFlightsConfig {
+            itineraries: 300,
+            seed: 3,
+        });
         let stops = ds.schema.attr_by_name("stops").unwrap();
         let conn = ds.schema.attr_by_name("connection").unwrap();
         for t in &ds.tuples {
@@ -157,7 +164,10 @@ mod tests {
         // The paper reports 4-11 skyline flights per instance; our instances
         // should land in the same ballpark (a few to a few dozen).
         for seed in 0..5 {
-            let ds = generate_instance(&GFlightsConfig { itineraries: 120, seed });
+            let ds = generate_instance(&GFlightsConfig {
+                itineraries: 120,
+                seed,
+            });
             let sky = bnl_skyline_on(&ds.tuples, ds.schema.ranking_attrs());
             assert!(
                 (2..30).contains(&sky.len()),

@@ -76,7 +76,10 @@ pub fn generate(config: &SyntheticConfig) -> Dataset {
 /// attribute.
 pub fn generate_with_interface(config: &SyntheticConfig, interface: InterfaceType) -> Dataset {
     assert!(config.m >= 1, "need at least one attribute");
-    assert!(config.domain_size >= 2, "need a domain of at least 2 values");
+    assert!(
+        config.domain_size >= 2,
+        "need a domain of at least 2 values"
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let d = f64::from(config.domain_size - 1);
 
@@ -104,7 +107,8 @@ pub fn generate_with_interface(config: &SyntheticConfig, interface: InterfaceTyp
                     // Draw a point on the anti-diagonal plane sum = m*d/2 by
                     // distributing a fixed budget, then blend with an
                     // independent draw.
-                    let mut weights: Vec<f64> = (0..config.m).map(|_| rng.gen_range(0.01..1.0)).collect();
+                    let mut weights: Vec<f64> =
+                        (0..config.m).map(|_| rng.gen_range(0.01..1.0)).collect();
                     let total: f64 = weights.iter().sum();
                     let budget = d * config.m as f64 / 2.0;
                     for w in &mut weights {
@@ -204,11 +208,7 @@ pub fn distinct_grid_with_interface(
     for (i, &d) in domains.iter().enumerate() {
         b = b.ranking(format!("a{i}"), d, interface);
     }
-    Dataset::new(
-        "distinct-grid",
-        b.build(),
-        distinct_cells(domains, n, seed),
-    )
+    Dataset::new("distinct-grid", b.build(), distinct_cells(domains, n, seed))
 }
 
 /// Generates a family of datasets whose skyline sizes sweep from small to
@@ -363,10 +363,7 @@ mod tests {
 
     #[test]
     fn interface_override_applies_to_all_attributes() {
-        let ds = generate_with_interface(
-            &SyntheticConfig::default(),
-            InterfaceType::Pq,
-        );
+        let ds = generate_with_interface(&SyntheticConfig::default(), InterfaceType::Pq);
         assert!(ds
             .schema
             .attrs()

@@ -2,12 +2,14 @@
 //! through a top-k, predicate-restricted search interface.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::index::QueryIndex;
 use crate::stats::{AccessLog, AccessLogEntry, QueryStats};
 use crate::{
-    AttributeRole, CmpOp, InterfaceType, Query, Ranker, Schema, SumRanker, Tuple, Value,
+    AttrId, AttributeRole, CmpOp, ExecStrategy, InterfaceType, Query, Ranker, Schema, SumRanker,
+    Tuple, Value,
 };
 
 /// A client-visible limit on the number of search queries that may be
@@ -66,13 +68,21 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::UnknownAttribute { attr } => write!(f, "unknown attribute A{attr}"),
-            QueryError::UnsupportedPredicate { attr, op, interface } => write!(
+            QueryError::UnsupportedPredicate {
+                attr,
+                op,
+                interface,
+            } => write!(
                 f,
                 "attribute A{attr} ({}) does not support predicate '{}'",
                 interface.label(),
                 op.symbol()
             ),
-            QueryError::ValueOutOfDomain { attr, value, domain_size } => write!(
+            QueryError::ValueOutOfDomain {
+                attr,
+                value,
+                domain_size,
+            } => write!(
                 f,
                 "value {value} is outside the domain [0, {domain_size}) of attribute A{attr}"
             ),
@@ -86,10 +96,15 @@ impl fmt::Display for QueryError {
 impl std::error::Error for QueryError {}
 
 /// Answer of the hidden database to one search query.
+///
+/// The tuples are shared (`Arc`) with the database's internal store: under
+/// the indexed execution strategy building a response costs `k` reference
+/// bumps instead of `k` deep tuple clones, which matters when experiments
+/// issue tens of thousands of queries.
 #[derive(Debug, Clone)]
 pub struct QueryResponse {
     /// The returned tuples, best-ranked first. At most `k` tuples.
-    pub tuples: Vec<Tuple>,
+    pub tuples: Vec<Arc<Tuple>>,
     /// `true` if more than `k` tuples matched the query, i.e. the answer was
     /// truncated by the top-k constraint ("the query overflowed").
     pub overflowed: bool,
@@ -98,7 +113,7 @@ pub struct QueryResponse {
 impl QueryResponse {
     /// The best-ranked returned tuple, if any.
     pub fn top(&self) -> Option<&Tuple> {
-        self.tuples.first()
+        self.tuples.first().map(Arc::as_ref)
     }
 
     /// `true` if no tuple matched the query.
@@ -109,6 +124,11 @@ impl QueryResponse {
     /// Number of returned tuples.
     pub fn len(&self) -> usize {
         self.tuples.len()
+    }
+
+    /// Iterates the returned tuples, best-ranked first.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter().map(Arc::as_ref)
     }
 }
 
@@ -124,6 +144,14 @@ impl QueryResponse {
 pub struct HiddenDb {
     schema: Schema,
     tuples: Vec<Tuple>,
+    /// Rank permutation + per-attribute posting lists, built lazily on the
+    /// first indexed query or `selectivity()` call (so a database pinned to
+    /// [`ExecStrategy::Scan`] never pays for them).
+    index: OnceLock<QueryIndex>,
+    /// `Arc`-backed view of `tuples` (same order) from which indexed
+    /// responses are built without deep-cloning; lazy for the same reason.
+    shared: OnceLock<Vec<Arc<Tuple>>>,
+    strategy: ExecStrategy,
     ranker: Box<dyn Ranker>,
     k: usize,
     rate_limit: Option<RateLimit>,
@@ -131,6 +159,7 @@ pub struct HiddenDb {
     overflows: AtomicU64,
     empty_answers: AtomicU64,
     tuples_returned: AtomicU64,
+    log_enabled: AtomicBool,
     access_log: Mutex<Option<AccessLog>>,
 }
 
@@ -175,6 +204,9 @@ impl HiddenDb {
         HiddenDb {
             schema,
             tuples,
+            index: OnceLock::new(),
+            shared: OnceLock::new(),
+            strategy: ExecStrategy::default(),
             ranker,
             k,
             rate_limit: None,
@@ -182,6 +214,7 @@ impl HiddenDb {
             overflows: AtomicU64::new(0),
             empty_answers: AtomicU64::new(0),
             tuples_returned: AtomicU64::new(0),
+            log_enabled: AtomicBool::new(false),
             access_log: Mutex::new(None),
         }
     }
@@ -190,6 +223,52 @@ impl HiddenDb {
     /// function ([`SumRanker`]).
     pub fn with_sum_ranking(schema: Schema, tuples: Vec<Tuple>, k: usize) -> Self {
         HiddenDb::new(schema, tuples, Box::new(SumRanker), k)
+    }
+
+    /// Selects the query-execution strategy (builder style). The default is
+    /// [`ExecStrategy::Indexed`]; [`ExecStrategy::Scan`] keeps the naive
+    /// filter-then-rank reference path, mainly for differential testing and
+    /// benchmarking.
+    pub fn with_strategy(mut self, strategy: ExecStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The active query-execution strategy.
+    pub fn strategy(&self) -> ExecStrategy {
+        self.strategy
+    }
+
+    /// The lazily-built query index (first use pays the O(m·n) posting
+    /// sorts and the rank-order precompute).
+    fn index(&self) -> &QueryIndex {
+        self.index
+            .get_or_init(|| QueryIndex::build(&self.tuples, &self.schema, self.ranker.as_ref()))
+    }
+
+    /// The lazily-built `Arc`-backed response store (first use pays one
+    /// deep copy of the tuple store). Only indexed query answering needs
+    /// it, so it is kept separate from the index: `selectivity()` on a
+    /// Scan-pinned database never clones the store.
+    fn shared(&self) -> &[Arc<Tuple>] {
+        self.shared
+            .get_or_init(|| self.tuples.iter().map(|t| Arc::new(t.clone())).collect())
+    }
+
+    /// Number of tuples whose value on `attr` lies in the closed interval
+    /// `[lo, hi]` — answered in O(1) from the prefix-count index. This is
+    /// server-side knowledge (like [`HiddenDb::oracle_tuples`]): experiment
+    /// code may use it for workload analysis, discovery algorithms must not.
+    ///
+    /// # Panics
+    /// Panics if `attr` is out of range or `hi` is outside the domain.
+    pub fn selectivity(&self, attr: AttrId, lo: Value, hi: Value) -> usize {
+        assert!(attr < self.schema.len(), "unknown attribute A{attr}");
+        assert!(
+            self.schema.value_in_domain(attr, hi),
+            "value {hi} outside the domain of attribute A{attr}"
+        );
+        self.index().range_count(attr, lo, hi)
     }
 
     /// Installs a query rate limit (replacing any previous one).
@@ -206,6 +285,7 @@ impl HiddenDb {
     /// Starts recording every answered query in an [`AccessLog`].
     pub fn enable_access_log(&self) {
         *self.access_log.lock().expect("access log poisoned") = Some(AccessLog::default());
+        self.log_enabled.store(true, Ordering::Relaxed);
     }
 
     /// Returns a snapshot of the access log (empty if logging was never
@@ -307,9 +387,19 @@ impl HiddenDb {
     /// Answers a search query: validates it, applies the conjunctive
     /// predicates, lets the ranking function pick the top-k matching tuples,
     /// and updates the query counters.
+    ///
+    /// Under [`ExecStrategy::Indexed`] (the default) the answer is produced
+    /// by the engine in the `index` module: rank-ordered early termination for
+    /// broad queries, posting-list candidate pruning for selective ones, and
+    /// `Arc`-shared responses. [`ExecStrategy::Scan`] keeps the naive
+    /// filter-everything-then-rank reference path; both produce identical
+    /// responses, statistics and access-log entries.
     pub fn query(&self, query: &Query) -> Result<QueryResponse, QueryError> {
         self.validate(query)?;
-        if let Some(limit) = self.rate_limit {
+        // Capture the value returned by `fetch_add` for the log sequence
+        // number: re-reading the counter after the increment would let
+        // concurrent clients log duplicate or skipped sequence numbers.
+        let seq = if let Some(limit) = self.rate_limit {
             // Reserve a slot atomically so concurrent clients cannot exceed
             // the limit.
             let prev = self.queries.fetch_add(1, Ordering::Relaxed);
@@ -319,37 +409,68 @@ impl HiddenDb {
                     limit: limit.max_queries,
                 });
             }
+            prev + 1
         } else {
-            self.queries.fetch_add(1, Ordering::Relaxed);
-        }
+            self.queries.fetch_add(1, Ordering::Relaxed) + 1
+        };
 
-        let matching: Vec<&Tuple> = self.tuples.iter().filter(|t| query.matches(t)).collect();
-        let overflowed = matching.len() > self.k;
-        let returned = self.ranker.select_top_k(&matching, self.k, &self.schema);
+        let log_enabled = self.log_enabled.load(Ordering::Relaxed);
+        let (tuples, overflowed, matched) = match self.strategy {
+            ExecStrategy::Scan => {
+                let matching: Vec<&Tuple> =
+                    self.tuples.iter().filter(|t| query.matches(t)).collect();
+                let overflowed = matching.len() > self.k;
+                let returned = self.ranker.select_top_k(&matching, self.k, &self.schema);
+                let tuples: Vec<Arc<Tuple>> =
+                    returned.iter().map(|&t| Arc::new(t.clone())).collect();
+                (tuples, overflowed, Some(matching.len()))
+            }
+            ExecStrategy::Indexed => {
+                let out = self.index().execute(
+                    query,
+                    self.k,
+                    &self.tuples,
+                    self.shared(),
+                    &self.schema,
+                    self.ranker.as_ref(),
+                    log_enabled,
+                );
+                (out.returned, out.overflowed, out.matched)
+            }
+        };
 
         if overflowed {
             self.overflows.fetch_add(1, Ordering::Relaxed);
         }
-        if matching.is_empty() {
+        // k >= 1, so the answer is empty exactly when nothing matched.
+        if tuples.is_empty() {
             self.empty_answers.fetch_add(1, Ordering::Relaxed);
         }
         self.tuples_returned
-            .fetch_add(returned.len() as u64, Ordering::Relaxed);
+            .fetch_add(tuples.len() as u64, Ordering::Relaxed);
 
-        if let Some(log) = self.access_log.lock().expect("access log poisoned").as_mut() {
-            log.push(AccessLogEntry {
-                seq: self.queries.load(Ordering::Relaxed),
-                query: query.to_string(),
-                matched: matching.len(),
-                returned: returned.len(),
-                overflowed,
-            });
+        if log_enabled {
+            // The engine only omits the matching count on early-terminated
+            // rank scans, a plan it never picks while the log is recording
+            // (`need_matched` above is this same flag).
+            let matched = matched.expect("indexed execution must count matches when the log is on");
+            if let Some(log) = self
+                .access_log
+                .lock()
+                .expect("access log poisoned")
+                .as_mut()
+            {
+                log.push(AccessLogEntry {
+                    seq,
+                    query: query.to_string(),
+                    matched,
+                    returned: tuples.len(),
+                    overflowed,
+                });
+            }
         }
 
-        Ok(QueryResponse {
-            tuples: returned.into_iter().cloned().collect(),
-            overflowed,
-        })
+        Ok(QueryResponse { tuples, overflowed })
     }
 
     /// Server-side ("oracle") access to the raw tuples.
@@ -413,14 +534,29 @@ mod tests {
     fn interface_capabilities_are_enforced() {
         let db = mixed_db(5);
         // `>` on an SQ attribute is rejected.
-        let err = db.query(&Query::new(vec![Predicate::gt(1, 3)])).unwrap_err();
-        assert!(matches!(err, QueryError::UnsupportedPredicate { attr: 1, .. }));
+        let err = db
+            .query(&Query::new(vec![Predicate::gt(1, 3)]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::UnsupportedPredicate { attr: 1, .. }
+        ));
         // `<` on a PQ attribute is rejected.
-        let err = db.query(&Query::new(vec![Predicate::lt(2, 2)])).unwrap_err();
-        assert!(matches!(err, QueryError::UnsupportedPredicate { attr: 2, .. }));
+        let err = db
+            .query(&Query::new(vec![Predicate::lt(2, 2)]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::UnsupportedPredicate { attr: 2, .. }
+        ));
         // Non-equality on a filtering attribute is rejected.
-        let err = db.query(&Query::new(vec![Predicate::ge(3, 1)])).unwrap_err();
-        assert!(matches!(err, QueryError::UnsupportedPredicate { attr: 3, .. }));
+        let err = db
+            .query(&Query::new(vec![Predicate::ge(3, 1)]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::UnsupportedPredicate { attr: 3, .. }
+        ));
         // `=` is always allowed.
         assert!(db.query(&Query::new(vec![Predicate::eq(2, 0)])).is_ok());
         // Rejected queries are not counted.
@@ -430,9 +566,20 @@ mod tests {
     #[test]
     fn out_of_domain_and_unknown_attributes_are_rejected() {
         let db = mixed_db(5);
-        let err = db.query(&Query::new(vec![Predicate::eq(2, 3)])).unwrap_err();
-        assert!(matches!(err, QueryError::ValueOutOfDomain { attr: 2, value: 3, .. }));
-        let err = db.query(&Query::new(vec![Predicate::eq(9, 0)])).unwrap_err();
+        let err = db
+            .query(&Query::new(vec![Predicate::eq(2, 3)]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::ValueOutOfDomain {
+                attr: 2,
+                value: 3,
+                ..
+            }
+        ));
+        let err = db
+            .query(&Query::new(vec![Predicate::eq(9, 0)]))
+            .unwrap_err();
         assert!(matches!(err, QueryError::UnknownAttribute { attr: 9 }));
         assert_eq!(db.queries_issued(), 0);
     }
@@ -515,7 +662,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "k >= 1")]
     fn zero_k_panics() {
-        let schema = SchemaBuilder::new().ranking("a", 10, InterfaceType::Rq).build();
+        let schema = SchemaBuilder::new()
+            .ranking("a", 10, InterfaceType::Rq)
+            .build();
         let _ = HiddenDb::with_sum_ranking(schema, vec![], 0);
     }
 }

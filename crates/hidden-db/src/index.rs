@@ -1,0 +1,597 @@
+//! The indexed query-execution engine behind [`crate::HiddenDb`].
+//!
+//! The experiment harness issues tens of thousands of simulated top-k
+//! queries per discovery run, so the per-query cost of the simulator bounds
+//! how fast whole experiments can go. The naive interface answers each query
+//! with a full O(n) predicate scan, a heap-allocated match vector, a full
+//! sort by score and deep tuple clones. This module precomputes, once at
+//! construction:
+//!
+//! * a **rank-order permutation** — the ranker's global preference order
+//!   over the store (via [`crate::Ranker::precompute`]), so top-k selection
+//!   becomes "walk the store in rank order, stop after `k` matches plus one
+//!   overflow probe" with no sorting at query time;
+//! * **per-attribute posting lists with prefix counts** — tuple indices
+//!   bucketed by attribute value (a counting sort per attribute), so the
+//!   engine knows the exact selectivity of any single-attribute range in
+//!   O(1) and can iterate only the candidates of the most selective
+//!   predicate of a conjunction;
+//! * an **`Arc<Tuple>`-backed response path** — answers clone `k` reference
+//!   counts out of a shared store instead of deep-copying tuples, and all
+//!   per-query working memory lives in a reusable thread-local scratch
+//!   buffer.
+//!
+//! Every conjunctive predicate the interface supports (`<`, `<=`, `=`,
+//! `>=`, `>`) is a one-attribute range constraint, so a whole query reduces
+//! to a per-attribute box `[lo, hi]^m` — membership is a handful of integer
+//! compares and never needs the original `Query` again.
+//!
+//! The engine is behaviorally identical to the naive path (which is kept as
+//! [`ExecStrategy::Scan`] for differential testing): same tuples, same
+//! order, same overflow flag, same statistics.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::{AttrId, CmpOp, Query, Ranker, Schema, Tuple, Value};
+
+/// How a [`crate::HiddenDb`] executes queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecStrategy {
+    /// The reference implementation: filter every tuple, rank the matches,
+    /// clone the top k. O(n log n) per query; kept for differential testing
+    /// and as the ground truth the indexed engine must reproduce.
+    Scan,
+    /// The indexed engine of the `index` module: rank-ordered early
+    /// termination, posting-list candidate pruning, allocation-light
+    /// responses. The default.
+    #[default]
+    Indexed,
+}
+
+/// Per-attribute posting list: tuple indices grouped by attribute value.
+///
+/// `order[starts[v] .. starts[v + 1]]` are the indices (ascending, thanks to
+/// the stable counting sort) of the tuples whose value on this attribute is
+/// exactly `v`; `starts` doubles as a prefix-count table, so the number of
+/// tuples with value in `[lo, hi]` is `starts[hi + 1] - starts[lo]`.
+struct Posting {
+    starts: Vec<u32>,
+    order: Vec<u32>,
+}
+
+/// Outcome of one indexed execution.
+pub(crate) struct ExecOutcome {
+    /// The answer tuples, best-ranked first, sharing the store's allocations.
+    pub returned: Vec<Arc<Tuple>>,
+    /// Whether more than `k` tuples matched.
+    pub overflowed: bool,
+    /// Exact size of the matching set when the chosen plan computed it
+    /// (`None` only for early-terminated rank scans, where finishing the
+    /// count would defeat the early termination).
+    pub matched: Option<usize>,
+}
+
+/// Reusable per-thread working memory so steady-state queries allocate
+/// nothing beyond their (small) answer vector.
+#[derive(Default)]
+struct Scratch {
+    /// Closed per-attribute bounds `[lo, hi]` of the current query.
+    bounds: Vec<(i64, i64)>,
+    /// Constrained attributes as `(attr, lo, hi)`.
+    cons: Vec<(AttrId, Value, Value)>,
+    /// Rank positions (or store indices) of matching candidates.
+    hits: Vec<u32>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// The per-database index: rank permutation + posting lists.
+pub(crate) struct QueryIndex {
+    n: usize,
+    /// `perm[r]` = store index of the tuple at rank `r` (best first), when
+    /// the ranker exposes a deterministic total order.
+    perm: Option<Vec<u32>>,
+    /// Inverse of `perm`: store index → rank position. Empty when `perm` is
+    /// `None`.
+    rank_of: Vec<u32>,
+    postings: Vec<Posting>,
+}
+
+impl QueryIndex {
+    /// Builds the index for a tuple store. O(m·n) plus one O(n log n) sort
+    /// per deterministic ranker.
+    pub(crate) fn build(tuples: &[Tuple], schema: &Schema, ranker: &dyn Ranker) -> Self {
+        let n = tuples.len();
+        let perm = ranker.precompute(tuples, schema);
+        if let Some(p) = &perm {
+            assert_eq!(p.len(), n, "precomputed rank order must cover the store");
+        }
+        let rank_of = match &perm {
+            Some(p) => {
+                let mut inv = vec![0u32; n];
+                for (rank, &idx) in p.iter().enumerate() {
+                    inv[idx as usize] = rank as u32;
+                }
+                inv
+            }
+            None => Vec::new(),
+        };
+        let postings = (0..schema.len())
+            .map(|attr| {
+                let d = schema.attr(attr).domain_size as usize;
+                let mut starts = vec![0u32; d + 1];
+                for t in tuples {
+                    starts[t.values[attr] as usize + 1] += 1;
+                }
+                for v in 0..d {
+                    starts[v + 1] += starts[v];
+                }
+                let mut cursor = starts.clone();
+                let mut order = vec![0u32; n];
+                for (i, t) in tuples.iter().enumerate() {
+                    let slot = &mut cursor[t.values[attr] as usize];
+                    order[*slot as usize] = i as u32;
+                    *slot += 1;
+                }
+                Posting { starts, order }
+            })
+            .collect();
+        QueryIndex {
+            n,
+            perm,
+            rank_of,
+            postings,
+        }
+    }
+
+    /// Number of tuples whose value on `attr` lies in `[lo, hi]` — the O(1)
+    /// selectivity oracle used for predicate ordering (and exposed through
+    /// [`crate::HiddenDb::selectivity`]).
+    pub(crate) fn range_count(&self, attr: AttrId, lo: Value, hi: Value) -> usize {
+        let p = &self.postings[attr];
+        if lo > hi {
+            return 0;
+        }
+        (p.starts[hi as usize + 1] - p.starts[lo as usize]) as usize
+    }
+
+    /// Executes a validated query against the store.
+    ///
+    /// `need_matched` forces a plan that knows the exact matching count
+    /// (used when the access log is recording); it never changes the answer,
+    /// only how much counting work is done.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn execute(
+        &self,
+        query: &Query,
+        k: usize,
+        tuples: &[Tuple],
+        shared: &[Arc<Tuple>],
+        schema: &Schema,
+        ranker: &dyn Ranker,
+        need_matched: bool,
+    ) -> ExecOutcome {
+        SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            self.execute_inner(
+                query,
+                k,
+                tuples,
+                shared,
+                schema,
+                ranker,
+                need_matched,
+                &mut scratch,
+            )
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_inner(
+        &self,
+        query: &Query,
+        k: usize,
+        tuples: &[Tuple],
+        shared: &[Arc<Tuple>],
+        schema: &Schema,
+        ranker: &dyn Ranker,
+        need_matched: bool,
+        scratch: &mut Scratch,
+    ) -> ExecOutcome {
+        let Some(best) = self.plan(query, schema, &mut scratch.bounds, &mut scratch.cons) else {
+            return ExecOutcome {
+                returned: Vec::new(),
+                overflowed: false,
+                matched: Some(0),
+            };
+        };
+
+        match (&self.perm, best) {
+            // SELECT * (no constraints): the answer is the head of the rank
+            // order.
+            (Some(perm), None) => {
+                let returned = perm[..k.min(self.n)]
+                    .iter()
+                    .map(|&i| Arc::clone(&shared[i as usize]))
+                    .collect();
+                ExecOutcome {
+                    returned,
+                    overflowed: self.n > k,
+                    matched: Some(self.n),
+                }
+            }
+            (Some(perm), Some((count, best_pos))) => {
+                if count == 0 {
+                    return ExecOutcome {
+                        returned: Vec::new(),
+                        overflowed: false,
+                        matched: Some(0),
+                    };
+                }
+                // Plan choice: walking the most selective posting list costs
+                // `count` bound-checks and yields an exact match count; the
+                // rank-order scan touches tuples in preference order and
+                // stops after k matches + 1 overflow probe, which wins when
+                // the query is broad. The access log needs exact counts, so
+                // `need_matched` pins the posting plan.
+                if !need_matched && count > self.n / 2 {
+                    self.rank_scan(perm, k, tuples, shared, &scratch.cons)
+                } else {
+                    self.posting_topk(k, shared, &scratch.cons, best_pos, &mut scratch.hits)
+                }
+            }
+            // No precomputed order (randomized / adversarial rankers): defer
+            // ranking to the ranker itself on the exact matching set, using
+            // the posting list only to prune the candidates.
+            (None, _) => {
+                self.ranker_fallback(query, k, tuples, shared, schema, ranker, best, scratch)
+            }
+        }
+    }
+
+    /// Query planning shared by [`QueryIndex::execute`] and
+    /// [`QueryIndex::count_matching`]: folds the conjunction into one closed
+    /// box per attribute (`bounds`), collects the constrained attributes
+    /// into `cons`, and picks the most selective one via the prefix counts.
+    ///
+    /// Returns `None` when the query is unsatisfiable, otherwise
+    /// `Some(best)` where `best` is `(count, position in cons)` of the most
+    /// selective constrained attribute (or `None` for `SELECT *`).
+    fn plan(
+        &self,
+        query: &Query,
+        schema: &Schema,
+        bounds: &mut Vec<(i64, i64)>,
+        cons: &mut Vec<(AttrId, Value, Value)>,
+    ) -> Option<Option<(usize, usize)>> {
+        if !fold_bounds(query, schema, bounds) {
+            return None;
+        }
+        cons.clear();
+        let mut best: Option<(usize, usize)> = None; // (count, cons position)
+        for (attr, &(lo, hi)) in bounds.iter().enumerate() {
+            let max = i64::from(schema.attr(attr).max_value());
+            if lo > 0 || hi < max {
+                let (lo, hi) = (lo as Value, hi as Value);
+                let count = self.range_count(attr, lo, hi);
+                let pos = cons.len();
+                cons.push((attr, lo, hi));
+                if best.is_none_or(|(c, _)| count < c) {
+                    best = Some((count, pos));
+                }
+            }
+        }
+        Some(best)
+    }
+
+    /// Broad-query plan: walk tuples best-rank-first, early-terminate after
+    /// k matches and one overflow probe. No sort, no allocation beyond the
+    /// answer.
+    fn rank_scan(
+        &self,
+        perm: &[u32],
+        k: usize,
+        tuples: &[Tuple],
+        shared: &[Arc<Tuple>],
+        cons: &[(AttrId, Value, Value)],
+    ) -> ExecOutcome {
+        let mut returned = Vec::with_capacity(k.min(16));
+        let mut seen = 0usize;
+        for &idx in perm {
+            if tuples[idx as usize].within_bounds(cons) {
+                seen += 1;
+                if seen > k {
+                    // Overflow probe: one extra match proves truncation.
+                    return ExecOutcome {
+                        returned,
+                        overflowed: true,
+                        matched: None,
+                    };
+                }
+                returned.push(Arc::clone(&shared[idx as usize]));
+            }
+        }
+        ExecOutcome {
+            returned,
+            overflowed: false,
+            matched: Some(seen),
+        }
+    }
+
+    /// Selective-query plan: iterate the most selective predicate's posting
+    /// range, bound-check the remaining attributes, then pick the k best by
+    /// precomputed rank position with one partial selection.
+    fn posting_topk(
+        &self,
+        k: usize,
+        shared: &[Arc<Tuple>],
+        cons: &[(AttrId, Value, Value)],
+        best_pos: usize,
+        hits: &mut Vec<u32>,
+    ) -> ExecOutcome {
+        let (attr, lo, hi) = cons[best_pos];
+        let posting = &self.postings[attr];
+        let range = posting.starts[lo as usize] as usize..posting.starts[hi as usize + 1] as usize;
+        hits.clear();
+        for &idx in &posting.order[range] {
+            let tuple = shared[idx as usize].as_ref();
+            // The posting range already guarantees the best attribute's
+            // bounds; check the others.
+            let ok = cons.iter().enumerate().all(|(i, &(a, lo, hi))| {
+                i == best_pos || {
+                    let v = tuple.values[a];
+                    v >= lo && v <= hi
+                }
+            });
+            if ok {
+                hits.push(self.rank_of[idx as usize]);
+            }
+        }
+        let matched = hits.len();
+        let overflowed = matched > k;
+        if overflowed {
+            // Partial selection: k smallest rank positions to the front,
+            // then order just those k.
+            hits.select_nth_unstable(k - 1);
+            hits.truncate(k);
+        }
+        hits.sort_unstable();
+        let perm = self
+            .perm
+            .as_ref()
+            .expect("posting_topk requires a rank order");
+        let returned = hits
+            .iter()
+            .map(|&rank| Arc::clone(&shared[perm[rank as usize] as usize]))
+            .collect();
+        ExecOutcome {
+            returned,
+            overflowed,
+            matched: Some(matched),
+        }
+    }
+
+    /// Fallback for rankers without a precomputed order: materialize the
+    /// matching set (pruned through the best posting list, in store order —
+    /// byte-identical to what the naive scan would hand the ranker) and let
+    /// `select_top_k` decide.
+    #[allow(clippy::too_many_arguments)]
+    fn ranker_fallback(
+        &self,
+        query: &Query,
+        k: usize,
+        tuples: &[Tuple],
+        shared: &[Arc<Tuple>],
+        schema: &Schema,
+        ranker: &dyn Ranker,
+        best: Option<(usize, usize)>,
+        scratch: &mut Scratch,
+    ) -> ExecOutcome {
+        let hits = &mut scratch.hits;
+        hits.clear();
+        match best {
+            Some((_, best_pos)) => {
+                let (attr, lo, hi) = scratch.cons[best_pos];
+                let posting = &self.postings[attr];
+                let range =
+                    posting.starts[lo as usize] as usize..posting.starts[hi as usize + 1] as usize;
+                for &idx in &posting.order[range] {
+                    if tuples[idx as usize].within_bounds(&scratch.cons) {
+                        hits.push(idx);
+                    }
+                }
+                // Store order, exactly like the naive scan's filter pass
+                // (this matters for rankers that consume randomness).
+                hits.sort_unstable();
+            }
+            None => hits.extend(0..self.n as u32),
+        }
+        let matching: Vec<&Tuple> = hits.iter().map(|&i| &tuples[i as usize]).collect();
+        debug_assert!(matching.iter().all(|t| query.matches(t)));
+        let matched = matching.len();
+        let selected = ranker.select_top_k(&matching, k, schema);
+        // These rankers return arbitrary references; map each back to its
+        // store index through a one-pass address map (the selected refs all
+        // come from `matching`, whose i-th entry is the tuple at store index
+        // `hits[i]`).
+        let index_of: std::collections::HashMap<*const Tuple, u32> = matching
+            .iter()
+            .zip(hits.iter())
+            .map(|(&t, &idx)| (t as *const Tuple, idx))
+            .collect();
+        let returned = selected
+            .iter()
+            .map(|&t| {
+                let idx = index_of[&(t as *const Tuple)];
+                Arc::clone(&shared[idx as usize])
+            })
+            .collect();
+        ExecOutcome {
+            returned,
+            overflowed: matched > k,
+            matched: Some(matched),
+        }
+    }
+}
+
+/// Intersects all predicates of `query` into one closed interval per
+/// attribute. Returns `false` if the conjunction is unsatisfiable.
+fn fold_bounds(query: &Query, schema: &Schema, bounds: &mut Vec<(i64, i64)>) -> bool {
+    bounds.clear();
+    bounds.extend((0..schema.len()).map(|attr| (0i64, i64::from(schema.attr(attr).max_value()))));
+    for p in query.predicates() {
+        let (lo, hi) = &mut bounds[p.attr];
+        let v = i64::from(p.value);
+        match p.op {
+            CmpOp::Lt => *hi = (*hi).min(v - 1),
+            CmpOp::Le => *hi = (*hi).min(v),
+            CmpOp::Eq => {
+                *lo = (*lo).max(v);
+                *hi = (*hi).min(v);
+            }
+            CmpOp::Ge => *lo = (*lo).max(v),
+            CmpOp::Gt => *lo = (*lo).max(v + 1),
+        }
+        if *lo > *hi {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InterfaceType, Predicate, SchemaBuilder, SumRanker};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new()
+            .ranking("a", 10, InterfaceType::Rq)
+            .ranking("b", 10, InterfaceType::Rq)
+            .filtering("f", 3)
+            .build()
+    }
+
+    fn store() -> Vec<Tuple> {
+        vec![
+            Tuple::new(0, vec![2, 5, 0]),
+            Tuple::new(1, vec![4, 2, 1]),
+            Tuple::new(2, vec![7, 7, 2]),
+            Tuple::new(3, vec![1, 8, 1]),
+            Tuple::new(4, vec![5, 5, 0]),
+            Tuple::new(5, vec![2, 2, 2]),
+        ]
+    }
+
+    fn build() -> (Schema, Vec<Tuple>, Vec<Arc<Tuple>>, QueryIndex) {
+        let s = schema();
+        let tuples = store();
+        let shared: Vec<Arc<Tuple>> = tuples.iter().map(|t| Arc::new(t.clone())).collect();
+        let index = QueryIndex::build(&tuples, &s, &SumRanker);
+        (s, tuples, shared, index)
+    }
+
+    #[test]
+    fn prefix_counts_answer_selectivity_in_o1() {
+        let (_, _, _, index) = build();
+        assert_eq!(index.range_count(0, 0, 9), 6);
+        assert_eq!(index.range_count(0, 2, 2), 2);
+        assert_eq!(index.range_count(0, 0, 1), 1);
+        assert_eq!(index.range_count(0, 8, 9), 0);
+        assert_eq!(index.range_count(2, 0, 0), 2);
+        assert_eq!(index.range_count(2, 1, 2), 4);
+    }
+
+    #[test]
+    fn posting_lists_group_by_value_in_store_order() {
+        let (_, tuples, _, index) = build();
+        let p = &index.postings[2];
+        // Value 0 → tuples 0, 4; value 1 → 1, 3; value 2 → 2, 5.
+        let bucket = |v: usize| p.order[p.starts[v] as usize..p.starts[v + 1] as usize].to_vec();
+        assert_eq!(bucket(0), vec![0, 4]);
+        assert_eq!(bucket(1), vec![1, 3]);
+        assert_eq!(bucket(2), vec![2, 5]);
+        assert_eq!(tuples.len(), 6);
+    }
+
+    #[test]
+    fn fold_bounds_intersects_and_detects_unsat() {
+        let s = schema();
+        let mut bounds = Vec::new();
+        let q = Query::new(vec![
+            Predicate::le(0, 6),
+            Predicate::ge(0, 2),
+            Predicate::lt(1, 4),
+        ]);
+        assert!(fold_bounds(&q, &s, &mut bounds));
+        assert_eq!(bounds[0], (2, 6));
+        assert_eq!(bounds[1], (0, 3));
+        assert_eq!(bounds[2], (0, 2));
+        let unsat = Query::new(vec![Predicate::lt(0, 0)]);
+        assert!(!fold_bounds(&unsat, &s, &mut bounds));
+        let unsat2 = Query::new(vec![Predicate::gt(0, 9)]);
+        assert!(!fold_bounds(&unsat2, &s, &mut bounds));
+        let unsat3 = Query::new(vec![Predicate::le(0, 2), Predicate::ge(0, 5)]);
+        assert!(!fold_bounds(&unsat3, &s, &mut bounds));
+    }
+
+    #[test]
+    fn execute_matches_naive_filter_and_rank() {
+        let (s, tuples, shared, index) = build();
+        let queries = vec![
+            Query::select_all(),
+            Query::new(vec![Predicate::lt(0, 5)]),
+            Query::new(vec![Predicate::eq(2, 1)]),
+            Query::new(vec![
+                Predicate::lt(0, 5),
+                Predicate::lt(1, 6),
+                Predicate::eq(2, 2),
+            ]),
+            Query::new(vec![Predicate::gt(0, 9)]),
+            Query::new(vec![Predicate::ge(0, 0)]), // full-range predicate
+        ];
+        for q in &queries {
+            for k in 1..=7 {
+                let naive: Vec<&Tuple> = tuples.iter().filter(|t| q.matches(t)).collect();
+                let expected = SumRanker.select_top_k(&naive, k, &s);
+                for need_matched in [false, true] {
+                    let out = index.execute(q, k, &tuples, &shared, &s, &SumRanker, need_matched);
+                    let got: Vec<u64> = out.returned.iter().map(|t| t.id).collect();
+                    let want: Vec<u64> = expected.iter().map(|t| t.id).collect();
+                    assert_eq!(got, want, "query {q} k={k}");
+                    assert_eq!(out.overflowed, naive.len() > k, "query {q} k={k}");
+                    if let Some(m) = out.matched {
+                        assert_eq!(m, naive.len(), "query {q} k={k}");
+                    }
+                    assert!(
+                        !need_matched || out.matched.is_some(),
+                        "query {q}: need_matched plans must report an exact count"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn responses_share_the_store_allocation() {
+        let (s, tuples, shared, index) = build();
+        let out = index.execute(
+            &Query::select_all(),
+            3,
+            &tuples,
+            &shared,
+            &s,
+            &SumRanker,
+            false,
+        );
+        for t in &out.returned {
+            assert!(
+                shared.iter().any(|u| Arc::ptr_eq(u, t)),
+                "indexed responses must alias the shared store"
+            );
+        }
+    }
+}

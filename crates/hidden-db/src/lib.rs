@@ -14,6 +14,16 @@
 //! * may enforce a **rate limit** on the number of queries a client is
 //!   allowed to issue.
 //!
+//! Queries are answered by an indexed execution engine (the `index` module
+//! internals, selected via [`ExecStrategy`]): a rank-order permutation precomputed
+//! through [`Ranker::precompute`] makes top-k selection an early-terminating
+//! scan, per-attribute posting lists with prefix counts prune selective
+//! conjunctions and answer selectivity in O(1)
+//! ([`HiddenDb::selectivity`]), and responses share `Arc<Tuple>` handles
+//! with the store instead of deep-cloning. The naive reference path is kept
+//! as [`ExecStrategy::Scan`] and is proven byte-identical by a differential
+//! property-test suite.
+//!
 //! This crate is the substrate on which the skyline-discovery algorithms of
 //! Asudeh et al. (*Discovering the Skyline of Web Databases*, VLDB 2016) are
 //! built and evaluated: it plays the role of Blue Nile, Google Flights,
@@ -57,6 +67,7 @@
 #![warn(missing_docs)]
 
 mod db;
+mod index;
 mod predicate;
 mod ranking;
 mod schema;
@@ -64,6 +75,7 @@ mod stats;
 mod tuple;
 
 pub use db::{HiddenDb, QueryError, QueryResponse, RateLimit};
+pub use index::ExecStrategy;
 pub use predicate::{CmpOp, Predicate, Query};
 pub use ranking::{
     is_domination_consistent, LexicographicRanker, RandomSkylineRanker, Ranker, ScoreRanker,

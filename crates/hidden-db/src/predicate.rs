@@ -257,10 +257,12 @@ mod tests {
             .ranking("b", 10, InterfaceType::Rq)
             .build();
         assert!(Query::new(vec![Predicate::lt(0, 0)]).is_unsatisfiable(&schema));
-        assert!(Query::new(vec![Predicate::le(0, 2), Predicate::ge(0, 5)])
-            .is_unsatisfiable(&schema));
-        assert!(!Query::new(vec![Predicate::le(0, 5), Predicate::ge(0, 5)])
-            .is_unsatisfiable(&schema));
+        assert!(
+            Query::new(vec![Predicate::le(0, 2), Predicate::ge(0, 5)]).is_unsatisfiable(&schema)
+        );
+        assert!(
+            !Query::new(vec![Predicate::le(0, 5), Predicate::ge(0, 5)]).is_unsatisfiable(&schema)
+        );
         assert!(Query::new(vec![Predicate::gt(1, 9)]).is_unsatisfiable(&schema));
         assert!(!Query::select_all().is_unsatisfiable(&schema));
     }

@@ -29,6 +29,26 @@ pub trait Ranker: Send + Sync {
     /// dominated by another matching tuple may never be ranked above it.
     fn select_top_k<'a>(&self, matching: &[&'a Tuple], k: usize, schema: &Schema)
         -> Vec<&'a Tuple>;
+
+    /// Computes, once at database-construction time, the ranker's global
+    /// preference order over the whole tuple store: a permutation of tuple
+    /// *indices* (positions in `tuples`), best-ranked first.
+    ///
+    /// The contract is that for every subset `S` of the store and every `k`,
+    /// [`Ranker::select_top_k`] on `S` returns exactly the first `k` members
+    /// of `S` in this order. Deterministic total-order rankers (anything
+    /// score-based, single-attribute, lexicographic) can therefore be
+    /// answered by the indexed query engine with an early-terminating scan
+    /// in rank order instead of a filter-everything-then-sort pass.
+    ///
+    /// Returns `None` (the default) when the ranker has no fixed total
+    /// order — e.g. randomized or adversarial rankers whose choice depends
+    /// on the queried subset — in which case the engine falls back to
+    /// calling `select_top_k` on the matching set.
+    fn precompute(&self, tuples: &[Tuple], schema: &Schema) -> Option<Vec<u32>> {
+        let _ = (tuples, schema);
+        None
+    }
 }
 
 /// Rankers defined by a numeric score (lower score = ranked higher).
@@ -53,14 +73,30 @@ impl<T: ScoreRanker> Ranker for T {
         k: usize,
         schema: &Schema,
     ) -> Vec<&'a Tuple> {
-        let mut scored: Vec<(f64, &'a Tuple)> =
-            matching.iter().map(|&t| (self.score(t, schema), t)).collect();
-        scored.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.id.cmp(&b.1.id))
-        });
+        let mut scored: Vec<(f64, &'a Tuple)> = matching
+            .iter()
+            .map(|&t| (self.score(t, schema), t))
+            .collect();
+        // `total_cmp` rather than `partial_cmp(..).unwrap_or(Equal)`: the
+        // latter silently scrambles the whole ordering as soon as one score
+        // is NaN (sort comparators must be total). Under `total_cmp` NaN
+        // scores sort after every finite score, deterministically.
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.id.cmp(&b.1.id)));
         scored.into_iter().take(k).map(|(_, t)| t).collect()
+    }
+
+    fn precompute(&self, tuples: &[Tuple], schema: &Schema) -> Option<Vec<u32>> {
+        let scores: Vec<f64> = tuples.iter().map(|t| self.score(t, schema)).collect();
+        let mut order: Vec<u32> = (0..tuples.len() as u32).collect();
+        // Same (score, id) key and same stable sort as `select_top_k`, so
+        // the permutation restricted to any matching subset reproduces the
+        // subset's top-k order exactly.
+        order.sort_by(|&a, &b| {
+            scores[a as usize]
+                .total_cmp(&scores[b as usize])
+                .then(tuples[a as usize].id.cmp(&tuples[b as usize].id))
+        });
+        Some(order)
     }
 }
 
@@ -147,6 +183,18 @@ impl SingleAttributeRanker {
     }
 }
 
+impl SingleAttributeRanker {
+    fn sort_key(&self, t: &Tuple, schema: &Schema) -> (crate::Value, u64, u64) {
+        let tie_break: u64 = schema
+            .ranking_attrs()
+            .iter()
+            .filter(|&&a| a != self.attr)
+            .map(|&a| u64::from(t.values[a]))
+            .sum();
+        (t.values[self.attr], tie_break, t.id)
+    }
+}
+
 impl Ranker for SingleAttributeRanker {
     fn name(&self) -> &str {
         "single-attribute"
@@ -159,17 +207,15 @@ impl Ranker for SingleAttributeRanker {
         schema: &Schema,
     ) -> Vec<&'a Tuple> {
         let mut sorted: Vec<&'a Tuple> = matching.to_vec();
-        sorted.sort_by_key(|t| {
-            let tie_break: u64 = schema
-                .ranking_attrs()
-                .iter()
-                .filter(|&&a| a != self.attr)
-                .map(|&a| u64::from(t.values[a]))
-                .sum();
-            (t.values[self.attr], tie_break, t.id)
-        });
+        sorted.sort_by_key(|t| self.sort_key(t, schema));
         sorted.truncate(k);
         sorted
+    }
+
+    fn precompute(&self, tuples: &[Tuple], schema: &Schema) -> Option<Vec<u32>> {
+        let mut order: Vec<u32> = (0..tuples.len() as u32).collect();
+        order.sort_by_key(|&i| self.sort_key(&tuples[i as usize], schema));
+        Some(order)
     }
 }
 
@@ -186,6 +232,18 @@ impl LexicographicRanker {
     }
 }
 
+impl LexicographicRanker {
+    fn compare(&self, a: &Tuple, b: &Tuple) -> std::cmp::Ordering {
+        for &attr in &self.priority {
+            let ord = a.values[attr].cmp(&b.values[attr]);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        a.id.cmp(&b.id)
+    }
+}
+
 impl Ranker for LexicographicRanker {
     fn name(&self) -> &str {
         "lexicographic"
@@ -198,17 +256,15 @@ impl Ranker for LexicographicRanker {
         _schema: &Schema,
     ) -> Vec<&'a Tuple> {
         let mut sorted: Vec<&'a Tuple> = matching.to_vec();
-        sorted.sort_by(|a, b| {
-            for &attr in &self.priority {
-                let ord = a.values[attr].cmp(&b.values[attr]);
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            a.id.cmp(&b.id)
-        });
+        sorted.sort_by(|a, b| self.compare(a, b));
         sorted.truncate(k);
         sorted
+    }
+
+    fn precompute(&self, tuples: &[Tuple], _schema: &Schema) -> Option<Vec<u32>> {
+        let mut order: Vec<u32> = (0..tuples.len() as u32).collect();
+        order.sort_by(|&a, &b| self.compare(&tuples[a as usize], &tuples[b as usize]));
+        Some(order)
     }
 }
 
@@ -301,7 +357,10 @@ impl Ranker for WorstCaseRanker {
             let pick = minimal
                 .into_iter()
                 .max_by_key(|&i| {
-                    let sum: u64 = attrs.iter().map(|&a| u64::from(remaining[i].values[a])).sum();
+                    let sum: u64 = attrs
+                        .iter()
+                        .map(|&a| u64::from(remaining[i].values[a]))
+                        .sum();
                     (sum, remaining[i].id)
                 })
                 .expect("minimal set of a non-empty candidate set is non-empty");
@@ -377,7 +436,7 @@ mod tests {
     #[test]
     fn lexicographic_ranker_respects_priority() {
         let s = schema(2);
-        let tuples = vec![
+        let tuples = [
             Tuple::new(0, vec![2, 0]),
             Tuple::new(1, vec![1, 9]),
             Tuple::new(2, vec![1, 3]),
@@ -450,6 +509,114 @@ mod tests {
         assert_eq!(SumRanker.select_top_k(&refs, 2, &s).len(), 2);
         assert_eq!(SumRanker.select_top_k(&refs, 100, &s).len(), tuples.len());
         assert!(SumRanker.select_top_k(&[], 3, &s).is_empty());
+    }
+
+    /// A pathological score function producing NaN for some tuples, used to
+    /// pin down the NaN-safety of the sort in `select_top_k`.
+    struct NanRanker;
+
+    impl ScoreRanker for NanRanker {
+        fn name(&self) -> &str {
+            "nan"
+        }
+
+        fn score(&self, tuple: &Tuple, _schema: &Schema) -> f64 {
+            if tuple.values[0] == 0 {
+                f64::NAN
+            } else {
+                f64::from(tuple.values[0])
+            }
+        }
+    }
+
+    #[test]
+    fn nan_scores_rank_last_and_deterministically() {
+        let s = schema(2);
+        let tuples = [
+            Tuple::new(0, vec![0, 5]), // NaN score
+            Tuple::new(1, vec![2, 5]),
+            Tuple::new(2, vec![1, 5]),
+            Tuple::new(3, vec![0, 9]), // NaN score
+        ];
+        let refs: Vec<&Tuple> = tuples.iter().collect();
+        let top = NanRanker.select_top_k(&refs, 4, &s);
+        // Finite scores first (ascending), then the NaN tuples in id order:
+        // with the old `partial_cmp(..).unwrap_or(Equal)` comparator the
+        // NaN entries scrambled the whole result non-deterministically.
+        let ids: Vec<u64> = top.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![2, 1, 0, 3]);
+        for _ in 0..10 {
+            let again: Vec<u64> = NanRanker
+                .select_top_k(&refs, 4, &s)
+                .iter()
+                .map(|t| t.id)
+                .collect();
+            assert_eq!(again, ids);
+        }
+        assert_eq!(NanRanker.select_top_k(&refs, 1, &s)[0].id, 2);
+    }
+
+    #[test]
+    fn precompute_order_reproduces_select_top_k_on_every_subset() {
+        let s = schema(2);
+        let tuples = vec![
+            Tuple::new(0, vec![5, 1]),
+            Tuple::new(1, vec![4, 4]),
+            Tuple::new(2, vec![1, 3]),
+            Tuple::new(3, vec![3, 2]),
+            Tuple::new(4, vec![6, 6]),
+            Tuple::new(5, vec![1, 3]), // duplicate values of tuple 2
+        ];
+        let rankers: Vec<Box<dyn Ranker>> = vec![
+            Box::new(SumRanker),
+            Box::new(WeightedSumRanker::new(vec![2.0, 0.5])),
+            Box::new(SingleAttributeRanker::new(1)),
+            Box::new(LexicographicRanker::new(vec![1, 0])),
+        ];
+        for ranker in &rankers {
+            let perm = ranker
+                .precompute(&tuples, &s)
+                .expect("deterministic rankers must precompute an order");
+            // Every subset (bitmask) and every k: the permutation filtered
+            // to the subset must equal select_top_k on the subset.
+            for mask in 0u32..(1 << tuples.len()) {
+                let subset: Vec<&Tuple> = tuples
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, t)| t)
+                    .collect();
+                for k in 1..=subset.len() {
+                    let expected: Vec<u64> = ranker
+                        .select_top_k(&subset, k, &s)
+                        .iter()
+                        .map(|t| t.id)
+                        .collect();
+                    let from_perm: Vec<u64> = perm
+                        .iter()
+                        .filter(|&&i| mask & (1 << i) != 0)
+                        .take(k)
+                        .map(|&i| tuples[i as usize].id)
+                        .collect();
+                    assert_eq!(
+                        from_perm,
+                        expected,
+                        "{} diverged on mask {mask:b}, k={k}",
+                        ranker.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_rankers_do_not_precompute() {
+        let s = schema(2);
+        let tuples = toy_tuples();
+        assert!(RandomSkylineRanker::new(1)
+            .precompute(&tuples, &s)
+            .is_none());
+        assert!(WorstCaseRanker.precompute(&tuples, &s).is_none());
     }
 
     #[test]

@@ -37,6 +37,17 @@ impl Tuple {
     pub fn project(&self, attrs: &[AttrId]) -> Vec<Value> {
         attrs.iter().map(|&a| self.values[a]).collect()
     }
+
+    /// `true` if every listed attribute value lies inside its closed bound:
+    /// the box-membership test the indexed query engine reduces conjunctive
+    /// queries to (every supported predicate is a one-attribute range).
+    #[inline]
+    pub fn within_bounds(&self, bounds: &[(AttrId, Value, Value)]) -> bool {
+        bounds.iter().all(|&(attr, lo, hi)| {
+            let v = self.values[attr];
+            v >= lo && v <= hi
+        })
+    }
 }
 
 /// Outcome of comparing two tuples under the dominance partial order.
@@ -128,7 +139,10 @@ mod tests {
         let s = schema3();
         let a = Tuple::new(0, vec![1, 5, 0]);
         let b = Tuple::new(1, vec![5, 1, 0]);
-        assert_eq!(compare_on(&a, &b, s.ranking_attrs()), Dominance::Incomparable);
+        assert_eq!(
+            compare_on(&a, &b, s.ranking_attrs()),
+            Dominance::Incomparable
+        );
         assert!(!dominates(&a, &b, &s));
         assert!(!dominates(&b, &a, &s));
     }
@@ -148,6 +162,15 @@ mod tests {
         assert_eq!(t.arity(), 3);
         assert_eq!(t.value(2), 4);
         assert_eq!(t.project(&[2, 0]), vec![4, 3]);
+    }
+
+    #[test]
+    fn within_bounds_is_a_box_membership_test() {
+        let t = Tuple::new(0, vec![3, 1, 4]);
+        assert!(t.within_bounds(&[]));
+        assert!(t.within_bounds(&[(0, 0, 5), (2, 4, 4)]));
+        assert!(!t.within_bounds(&[(0, 4, 9)]));
+        assert!(!t.within_bounds(&[(1, 0, 5), (2, 0, 3)]));
     }
 
     #[test]

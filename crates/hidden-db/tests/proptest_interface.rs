@@ -14,15 +14,14 @@ const DOMAIN: u32 = 12;
 
 fn db_strategy() -> impl Strategy<Value = (Vec<Tuple>, usize, usize)> {
     (1usize..=3, 0usize..=50, 1usize..=5).prop_flat_map(|(m, n, k)| {
-        prop::collection::vec(prop::collection::vec(0u32..DOMAIN, m), n)
-            .prop_map(move |rows| {
-                let tuples = rows
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, v)| Tuple::new(i as u64, v))
-                    .collect();
-                (tuples, m, k)
-            })
+        prop::collection::vec(prop::collection::vec(0u32..DOMAIN, m), n).prop_map(move |rows| {
+            let tuples = rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| Tuple::new(i as u64, v))
+                .collect();
+            (tuples, m, k)
+        })
     })
 }
 

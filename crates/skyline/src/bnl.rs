@@ -99,7 +99,9 @@ mod tests {
 
     #[test]
     fn single_attribute_skyline_is_the_minimum() {
-        let tuples: Vec<Tuple> = (0..10).map(|i| Tuple::new(i, vec![(i as u32) + 1])).collect();
+        let tuples: Vec<Tuple> = (0..10)
+            .map(|i| Tuple::new(i, vec![(i as u32) + 1]))
+            .collect();
         let sky = bnl_skyline_on(&tuples, &[0]);
         assert_eq!(sky.len(), 1);
         assert_eq!(sky[0].id, 0);

@@ -115,7 +115,15 @@ mod tests {
             .ranking("y", 10, InterfaceType::Rq)
             .build();
         let tuples = vec![Tuple::new(0, vec![1, 1]), Tuple::new(1, vec![2, 2])];
-        assert!(is_skyline_member(&tuples[0], &tuples, schema.ranking_attrs()));
-        assert!(!is_skyline_member(&tuples[1], &tuples, schema.ranking_attrs()));
+        assert!(is_skyline_member(
+            &tuples[0],
+            &tuples,
+            schema.ranking_attrs()
+        ));
+        assert!(!is_skyline_member(
+            &tuples[1],
+            &tuples,
+            schema.ranking_attrs()
+        ));
     }
 }

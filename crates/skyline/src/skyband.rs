@@ -63,7 +63,9 @@ mod tests {
 
     fn chain(n: u64) -> Vec<Tuple> {
         // t_i = (i, i): a total order, t_i dominated by exactly i tuples.
-        (0..n).map(|i| Tuple::new(i, vec![i as u32, i as u32])).collect()
+        (0..n)
+            .map(|i| Tuple::new(i, vec![i as u32, i as u32]))
+            .collect()
     }
 
     #[test]
@@ -75,7 +77,10 @@ mod tests {
             Tuple::new(3, vec![0, 9]),
         ];
         let s = schema(2);
-        assert!(same_ids(&skyband(&tuples, &s, 1), &bnl_skyline(&tuples, &s)));
+        assert!(same_ids(
+            &skyband(&tuples, &s, 1),
+            &bnl_skyline(&tuples, &s)
+        ));
     }
 
     #[test]

@@ -54,9 +54,18 @@ fn main() {
     // so the service can now serve users with very different preferences
     // from the downloaded skyline alone.
     let rankings = [
-        UserRanking { label: "budget hunter (price only)", weights: [1.0, 0.0, 0.0, 0.0, 0.0] },
-        UserRanking { label: "size matters (carat heavy)", weights: [0.05, 3.0, 0.2, 0.2, 0.2] },
-        UserRanking { label: "balanced 4C shopper", weights: [0.02, 1.0, 1.0, 1.0, 1.0] },
+        UserRanking {
+            label: "budget hunter (price only)",
+            weights: [1.0, 0.0, 0.0, 0.0, 0.0],
+        },
+        UserRanking {
+            label: "size matters (carat heavy)",
+            weights: [0.05, 3.0, 0.2, 0.2, 0.2],
+        },
+        UserRanking {
+            label: "balanced 4C shopper",
+            weights: [0.02, 1.0, 1.0, 1.0, 1.0],
+        },
     ];
     for ranking in &rankings {
         let mut best: Vec<&Tuple> = result.skyline.iter().collect();

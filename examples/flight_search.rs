@@ -60,7 +60,11 @@ fn main() {
     }
 
     println!("\ndiscovery progress against the quota:");
-    for p in result.trace.iter().filter(|p| p.queries % 10 == 0 || p.queries == 1) {
+    for p in result
+        .trace
+        .iter()
+        .filter(|p| p.queries % 10 == 0 || p.queries == 1)
+    {
         println!(
             "  after {:>2} queries: {:>2} skyline flights known",
             p.queries, p.skyline_found

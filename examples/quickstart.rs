@@ -33,14 +33,21 @@ fn main() {
     // by an (unknown to the client) domination-consistent function.
     let db = HiddenDb::new(schema, tuples, Box::new(SumRanker), 2);
 
-    println!("database: {} cars behind a top-{} interface\n", db.n(), db.k());
+    println!(
+        "database: {} cars behind a top-{} interface\n",
+        db.n(),
+        db.k()
+    );
 
     // Discover the skyline through the restrictive interface.
     let result = RqDbSky::new()
         .discover(&db)
         .expect("the interface supports two-ended ranges");
 
-    println!("RQ-DB-SKY discovered {} skyline cars:", result.skyline.len());
+    println!(
+        "RQ-DB-SKY discovered {} skyline cars:",
+        result.skyline.len()
+    );
     for car in &result.skyline {
         println!(
             "  car #{:<2} price={:<3} mileage={:<3} age={}",
@@ -54,13 +61,18 @@ fn main() {
     );
     println!("anytime trace (queries -> skyline tuples known):");
     for p in &result.trace {
-        println!("  after {:>2} queries: {} skyline tuples", p.queries, p.skyline_found);
+        println!(
+            "  after {:>2} queries: {} skyline tuples",
+            p.queries, p.skyline_found
+        );
     }
 
     // The same database could also be explored with the weaker one-ended
     // interface algorithm; compare the costs.
     db.reset_stats();
-    let sq = SqDbSky::new().discover(&db).expect("SQ runs on RQ interfaces too");
+    let sq = SqDbSky::new()
+        .discover(&db)
+        .expect("SQ runs on RQ interfaces too");
     println!(
         "\nSQ-DB-SKY (one-ended ranges only) needs {} queries for the same skyline",
         sq.query_cost

@@ -2,9 +2,7 @@
 //! generators, the hidden-database interface, the discovery algorithms and
 //! the local skyline machinery together.
 
-use skyweb::core::{
-    BaselineCrawl, Discoverer, MqDbSky, PqDbSky, RqDbSky, RqSkyband, SqDbSky,
-};
+use skyweb::core::{BaselineCrawl, Discoverer, MqDbSky, PqDbSky, RqDbSky, RqSkyband, SqDbSky};
 use skyweb::datagen::{autos, diamonds, flights_dot, gflights, synthetic};
 use skyweb::hidden_db::{InterfaceType, RateLimit, SingleAttributeRanker};
 use skyweb::skyline::{bnl_skyline, same_ids, skyband};
@@ -99,13 +97,30 @@ fn all_discoverers_agree_on_an_rq_database() {
     let truth = bnl_skyline(&ds.tuples, &ds.schema);
 
     for (name, result) in [
-        ("SQ", SqDbSky::new().discover(&ds.clone().into_db_sum(5)).unwrap()),
-        ("RQ", RqDbSky::new().discover(&ds.clone().into_db_sum(5)).unwrap()),
-        ("MQ", MqDbSky::new().discover(&ds.clone().into_db_sum(5)).unwrap()),
-        ("BASELINE", BaselineCrawl::new().discover(&ds.clone().into_db_sum(5)).unwrap()),
+        (
+            "SQ",
+            SqDbSky::new().discover(&ds.clone().into_db_sum(5)).unwrap(),
+        ),
+        (
+            "RQ",
+            RqDbSky::new().discover(&ds.clone().into_db_sum(5)).unwrap(),
+        ),
+        (
+            "MQ",
+            MqDbSky::new().discover(&ds.clone().into_db_sum(5)).unwrap(),
+        ),
+        (
+            "BASELINE",
+            BaselineCrawl::new()
+                .discover(&ds.clone().into_db_sum(5))
+                .unwrap(),
+        ),
     ] {
         assert!(result.complete, "{name} did not complete");
-        assert!(same_ids(&result.skyline, &truth), "{name} disagrees with ground truth");
+        assert!(
+            same_ids(&result.skyline, &truth),
+            "{name} disagrees with ground truth"
+        );
     }
 }
 
@@ -119,11 +134,7 @@ fn pq_discovery_on_flight_group_attributes() {
     assert!(result.complete);
     // Group attributes are heavily duplicated, so compare by distinct value
     // combinations rather than tuple ids.
-    let mut found: Vec<Vec<u32>> = result
-        .skyline
-        .iter()
-        .map(|t| t.values.clone())
-        .collect();
+    let mut found: Vec<Vec<u32>> = result.skyline.iter().map(|t| t.values.clone()).collect();
     let mut expected: Vec<Vec<u32>> = truth.iter().map(|t| t.values.clone()).collect();
     found.sort();
     found.dedup();
@@ -135,12 +146,20 @@ fn pq_discovery_on_flight_group_attributes() {
 #[test]
 fn discovery_is_far_cheaper_than_crawling_on_range_interfaces() {
     let base = flights_dot::generate(&flights_dot::FlightsDotConfig { n: 4_000, seed: 3 });
-    let names = ["dep_delay", "taxi_out", "taxi_in", "air_time", "arrival_delay"];
+    let names = [
+        "dep_delay",
+        "taxi_out",
+        "taxi_in",
+        "air_time",
+        "arrival_delay",
+    ];
     let mut ds = base.project(&names);
     for n in &names {
         ds = ds.with_interface(n, InterfaceType::Rq);
     }
-    let rq = RqDbSky::new().discover(&ds.clone().into_db_sum(10)).unwrap();
+    let rq = RqDbSky::new()
+        .discover(&ds.clone().into_db_sum(10))
+        .unwrap();
     let crawl = BaselineCrawl::new().discover(&ds.into_db_sum(10)).unwrap();
     assert!(rq.complete && crawl.complete);
     assert!(

@@ -1,0 +1,268 @@
+//! Offline drop-in replacement for the subset of the `criterion` API used by
+//! this workspace: [`criterion_group!`] / [`criterion_main!`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] with
+//! [`BenchmarkId`], and [`Bencher::iter`].
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! stands in for the real one. Measurement model: each benchmark is
+//! calibrated so one sample takes roughly `SKYWEB_BENCH_SAMPLE_MS`
+//! milliseconds (default 100), then `sample_size` samples are collected and
+//! the mean / min / max per-iteration times are printed. Set
+//! `SKYWEB_BENCH_FAST=1` to run a single tiny sample per benchmark (used by
+//! CI smoke jobs).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.parameter.is_empty() {
+            write!(f, "{}", self.function)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Anything accepted as the id argument of
+/// [`BenchmarkGroup::bench_function`].
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: self.to_string(),
+            parameter: String::new(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: self,
+            parameter: String::new(),
+        }
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`] for a prescribed number of
+/// iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the sample's iteration count and records the elapsed
+    /// wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    fast: bool,
+    sample_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let fast = std::env::var("SKYWEB_BENCH_FAST").is_ok_and(|v| v != "0");
+        let sample_ms = std::env::var("SKYWEB_BENCH_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100);
+        Criterion { fast, sample_ms }
+    }
+}
+
+impl Criterion {
+    /// Accepts and ignores CLI arguments (kept for API compatibility with
+    /// the `criterion_group!` expansion).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Prints the trailing summary (no-op in this shim).
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its per-iteration timing.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Calibration: find an iteration count for ~sample_ms per sample.
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let target = Duration::from_millis(if self.criterion.fast {
+            1
+        } else {
+            self.criterion.sample_ms
+        });
+        let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000_000) as u64;
+        let samples = if self.criterion.fast {
+            1
+        } else {
+            self.sample_size
+        };
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            bencher.iters = iters;
+            f(&mut bencher);
+            per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let min = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter_ns.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{}/{:<44} time: [{} {} {}]  ({} samples x {} iters)",
+            self.name,
+            id.to_string(),
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max),
+            samples,
+            iters,
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Renders nanoseconds with criterion-style units.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} \u{b5}s", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function (mirrors `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("sel", 100).to_string(), "sel/100");
+        assert_eq!("plain".into_benchmark_id().to_string(), "plain");
+    }
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        std::env::set_var("SKYWEB_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0u64;
+        group.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs >= 2, "calibration + sample must both run the closure");
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("\u{b5}s"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+    }
+}

@@ -1,0 +1,396 @@
+//! Offline drop-in replacement for the subset of the `proptest` API used by
+//! this workspace: the [`proptest!`] macro, the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map`, [`Just`], integer-range strategies, tuple
+//! and `Vec` composition, and [`collection::vec`].
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! stands in for the real one. Semantics: each `#[test]` inside
+//! [`proptest!`] samples `ProptestConfig::cases` random inputs from its
+//! strategies (deterministically seeded from the test name) and runs the
+//! body on each. There is **no shrinking** — a failure reports the panic of
+//! the offending case; the deterministic seeding makes failures perfectly
+//! reproducible.
+//!
+//! [`Strategy`]: strategy::Strategy
+//! [`Just`]: strategy::Just
+
+#![forbid(unsafe_code)]
+
+pub use crate as prop;
+
+/// Test-runner types: the deterministic RNG and the run configuration.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`. Only the fields
+    /// used by this workspace are modelled; the rest of the real API is
+    /// covered by `..ProptestConfig::default()` in user code.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+        /// Accepted for compatibility; this runner never shrinks.
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; this runner never forks.
+        pub fork: bool,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 1024,
+                fork: false,
+            }
+        }
+    }
+
+    /// Deterministic xoshiro256++ RNG used to sample strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Creates an RNG whose stream depends only on `label` (the test
+        /// name), so every run of a test sees the same cases.
+        pub fn deterministic(label: &str) -> Self {
+            // FNV-1a over the label, then SplitMix64 expansion.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            let mut next = move || {
+                h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = h;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound == 0` yields 0.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                self.next_u64() % bound
+            }
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and its combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of an associated type.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms every generated value with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates a value, builds a second strategy from it with `f`, and
+        /// draws from that.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// Result of [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.sample(rng)).sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let v = (rng.next_u64() as u128) % span;
+                    self.start.wrapping_add(v as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                    let v = (rng.next_u64() as u128) % span;
+                    lo.wrapping_add(v as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// A `Vec` of strategies yields a `Vec` of one sample from each element,
+    /// in order (mirrors proptest's `Strategy for Vec<S>`).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            self.iter().map(|s| s.sample(rng)).collect()
+        }
+    }
+}
+
+/// Collection strategies ([`collection::vec`]).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size interval for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating a `Vec` whose length lies in a size range and
+    /// whose elements are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Creates a [`VecStrategy`] (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The glob-import surface used as `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..config.cases {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                { $body }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_collections_sample_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3u32..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::sample(&(0usize..=4), &mut rng);
+            assert!(w <= 4);
+            let xs = Strategy::sample(&collection::vec(0u8..=1, 2..5), &mut rng);
+            assert!((2..5).contains(&xs.len()));
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_values() {
+        let strat = (1usize..=3).prop_flat_map(|n| collection::vec(Just(n), n..=n));
+        let mut rng = crate::test_runner::TestRng::deterministic("flat");
+        for _ in 0..100 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!(!v.is_empty() && v.iter().all(|&x| x == v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_binds_multiple_strategies(x in 0u32..10, (a, b) in (0u8..3, 1usize..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(a < 3);
+            prop_assert!((1..4).contains(&b));
+            prop_assert_eq!(b, b);
+        }
+    }
+}

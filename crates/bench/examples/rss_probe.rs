@@ -1,0 +1,32 @@
+//! Peak-RSS probe: builds the n=100k DOT-flights hidden database, forces
+//! the query index (and the shared response path) to materialize, then
+//! prints the process peak RSS (`VmHWM`).
+//!
+//! ```text
+//! cargo run --release -p skyweb-bench --example rss_probe
+//! ```
+//!
+//! Used to quantify the `TupleStore` unification: the dual-store revision
+//! peaked at 35.1 MB on this workload, the unified store + columnar rank
+//! index at 30.3 MB.
+
+use skyweb_bench::report::peak_rss_kb;
+use skyweb_datagen::flights_dot::{self, FlightsDotConfig};
+use skyweb_hidden_db::Query;
+
+fn main() {
+    let n = 100_000;
+    let dataset = flights_dot::generate(&FlightsDotConfig { n, seed: 2015 });
+    let after_gen = peak_rss_kb();
+    let db = dataset.into_db_sum(50);
+    // Force the lazy index to build.
+    let ans = db.query(&Query::select_all()).expect("query failed");
+    assert_eq!(ans.len(), 50);
+    println!("n = {n}, k = 50, ranker = {}", db.ranker_name());
+    if let (Some(gen), Some(total)) = (after_gen, peak_rss_kb()) {
+        println!("peak RSS after datagen: {gen} kB");
+        println!("peak RSS after db + index + first query: {total} kB");
+    } else {
+        println!("/proc/self/status not available on this platform");
+    }
+}

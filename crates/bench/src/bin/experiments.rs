@@ -2,31 +2,56 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! experiments [fig04|fig06|...|fig24|all]... [--quick|--full]
+//! experiments [fig04|fig06|...|fig24|all]... [--quick|--full] [--parallel] [--jobs N]
 //! experiments --list
 //! ```
+//!
+//! Figure tables go to **stdout**; progress and timing go to **stderr**, so
+//! the stdout of a `--parallel` run can be diffed byte-for-byte against a
+//! serial run (CI does exactly that). `--jobs N` (or `SKYWEB_JOBS`) caps the
+//! worker pool; every task seeds its RNGs from its own index, so the figure
+//! series are identical regardless of the degree of parallelism.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use skyweb_bench::{figures, Scale};
+use skyweb_bench::{figures, pool, Scale};
 
 fn usage() {
-    eprintln!("usage: experiments [--list] [--quick|--full] [all | figNN ...]");
+    eprintln!(
+        "usage: experiments [--list] [--quick|--full] [--parallel] [--jobs N] [all | figNN ...]"
+    );
     eprintln!("known figures: {}", figures::ALL_FIGURES.join(", "));
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
+    let mut parallel = false;
+    let mut jobs_request: Option<usize> = None;
     let mut requested: Vec<String> = Vec::new();
 
-    for arg in &args {
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
         if arg == "--list" {
             for id in figures::ALL_FIGURES {
                 println!("{id}");
             }
             return ExitCode::SUCCESS;
+        } else if arg == "--parallel" {
+            parallel = true;
+        } else if arg == "--jobs" {
+            let parsed = args.get(i + 1).and_then(|v| v.parse::<usize>().ok());
+            let Some(n) = parsed.filter(|&n| n >= 1) else {
+                eprintln!("--jobs needs a positive integer value");
+                usage();
+                return ExitCode::FAILURE;
+            };
+            // Last occurrence wins; the pool is configured once after
+            // parsing (it can only be set before its first use).
+            jobs_request = Some(n);
+            i += 1;
         } else if let Some(s) = Scale::from_flag(arg) {
             scale = s;
         } else if arg == "all" || figures::ALL_FIGURES.contains(&arg.as_str()) {
@@ -36,33 +61,62 @@ fn main() -> ExitCode {
             usage();
             return ExitCode::FAILURE;
         }
+        i += 1;
+    }
+    if let Some(n) = jobs_request {
+        if let Err(e) = pool::set_jobs(n) {
+            eprintln!("--jobs: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     if requested.is_empty() {
         requested.push("all".to_string());
     }
-
-    println!("# skyweb experiment harness — scale: {:?}", scale);
-    let started = Instant::now();
-    for req in requested {
-        if req == "all" {
-            for id in figures::ALL_FIGURES {
-                run_one(id, scale);
+    let ids: Vec<&str> = requested
+        .iter()
+        .flat_map(|req| {
+            if req == "all" {
+                figures::ALL_FIGURES.to_vec()
+            } else {
+                vec![figures::ALL_FIGURES
+                    .iter()
+                    .find(|id| *id == req)
+                    .copied()
+                    .expect("validated above")]
             }
-        } else {
-            run_one(&req, scale);
-        }
-    }
-    println!("# done in {:.1}s", started.elapsed().as_secs_f64());
-    ExitCode::SUCCESS
-}
+        })
+        .collect();
 
-fn run_one(id: &str, scale: Scale) {
+    eprintln!(
+        "# skyweb experiment harness — scale: {scale:?}, mode: {}, jobs: {}",
+        if parallel { "parallel" } else { "serial" },
+        if parallel { pool::jobs() } else { 1 }
+    );
     let started = Instant::now();
-    match figures::by_id(id, scale) {
-        Some(result) => {
+    if parallel {
+        // Figures and their internal series all draw from one bounded
+        // worker budget; results are printed in request order afterwards.
+        let results = pool::par_map(ids.len(), |i| {
+            let t = Instant::now();
+            let result = figures::by_id(ids[i], scale).expect("known figure id");
+            eprintln!("# {} took {:.1}s", ids[i], t.elapsed().as_secs_f64());
+            result
+        });
+        for result in results {
             println!("{result}");
-            println!("  ({id} took {:.1}s)\n", started.elapsed().as_secs_f64());
         }
-        None => eprintln!("unknown figure {id}"),
+    } else {
+        // Drain the worker budget so the figures' internal series run
+        // inline too: this is the true serial baseline.
+        pool::serial(|| {
+            for id in &ids {
+                let t = Instant::now();
+                let result = figures::by_id(id, scale).expect("known figure id");
+                println!("{result}");
+                eprintln!("# {id} took {:.1}s", t.elapsed().as_secs_f64());
+            }
+        });
     }
+    eprintln!("# done in {:.1}s", started.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
 }

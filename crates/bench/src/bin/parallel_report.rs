@@ -1,0 +1,126 @@
+//! Parallel-driver report: runs a figure set serially and then on the
+//! scoped-thread worker pool, verifies the rendered figure output is
+//! **byte-identical**, and writes a machine-readable snapshot to
+//! `BENCH_parallel.json`.
+//!
+//! ```text
+//! cargo run -p skyweb-bench --release --bin parallel_report [-- --full] [-- --out PATH] [-- --figs id,id,...]
+//! ```
+//!
+//! Exit code is non-zero only if the parallel output diverges from the
+//! serial output (a determinism bug); the speedup itself is descriptive.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use skyweb_bench::{figures, pool, Scale};
+
+fn render(results: &[skyweb_bench::FigureResult]) -> String {
+    results.iter().map(|r| format!("{r}\n")).collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_parallel.json", String::as_str);
+    let ids: Vec<&str> = match args
+        .iter()
+        .position(|a| a == "--figs")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(list) => list
+            .split(',')
+            .map(|id| {
+                figures::ALL_FIGURES
+                    .iter()
+                    .find(|known| **known == id.trim())
+                    .copied()
+                    .unwrap_or_else(|| panic!("unknown figure {id}"))
+            })
+            .collect(),
+        None => figures::ALL_FIGURES.to_vec(),
+    };
+    let jobs = pool::jobs();
+
+    eprintln!(
+        "# parallel_report — scale: {scale:?}, jobs: {jobs}, figures: {}",
+        ids.join(",")
+    );
+
+    eprintln!("# serial pass...");
+    let mut serial_times = vec![0.0f64; ids.len()];
+    let serial_started = Instant::now();
+    let serial_results = pool::serial(|| {
+        ids.iter()
+            .enumerate()
+            .map(|(i, id)| {
+                let t = Instant::now();
+                let r = figures::by_id(id, scale).expect("known figure id");
+                serial_times[i] = t.elapsed().as_secs_f64();
+                eprintln!("#   {id} {:.1}s", serial_times[i]);
+                r
+            })
+            .collect::<Vec<_>>()
+    });
+    let serial_s = serial_started.elapsed().as_secs_f64();
+
+    eprintln!("# parallel pass...");
+    let parallel_started = Instant::now();
+    let parallel_results = pool::par_map(ids.len(), |i| {
+        figures::by_id(ids[i], scale).expect("known figure id")
+    });
+    let parallel_s = parallel_started.elapsed().as_secs_f64();
+
+    let serial_text = render(&serial_results);
+    let parallel_text = render(&parallel_results);
+    let identical = serial_text == parallel_text;
+    let speedup = serial_s / parallel_s.max(1e-9);
+
+    println!("serial:   {serial_s:.1}s");
+    println!("parallel: {parallel_s:.1}s  ({jobs} jobs)");
+    println!("speedup:  {speedup:.2}x");
+    println!("identical figure output: {identical}");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"parallel\",");
+    let _ = writeln!(json, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"figures\": [");
+    for (i, id) in ids.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"id\": \"{id}\", \"serial_s\": {:.3}}}{}",
+            serial_times[i],
+            if i + 1 == ids.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"serial_s\": {serial_s:.3},");
+    let _ = writeln!(json, "  \"parallel_s\": {parallel_s:.3},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"identical_output\": {identical}");
+    let _ = writeln!(json, "}}");
+    match std::fs::write(out_path, &json) {
+        Ok(()) => eprintln!("# wrote {out_path}"),
+        Err(e) => {
+            eprintln!("# failed to write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if !identical {
+        eprintln!("# ERROR: parallel output diverged from the serial run");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

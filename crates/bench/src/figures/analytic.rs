@@ -7,7 +7,7 @@ use skyweb_hidden_db::RandomSkylineRanker;
 use skyweb_skyline::sfs_skyline;
 
 use super::helpers::run;
-use crate::{FigureResult, Scale};
+use crate::{pool, FigureResult, Scale};
 
 /// Figure 4: average-case vs worst-case query cost of SQ-DB-SKY as a
 /// function of the skyline size, for m = 4 and m = 8 attributes.
@@ -53,7 +53,9 @@ pub fn fig06(scale: Scale) -> FigureResult {
     // anti-correlated (larger skyline); strongly anti-correlated data would
     // push SQ-DB-SKY deep into its exponential regime, which the paper only
     // reports analytically.
-    for step in 0..steps {
+    // Each correlation step builds its own dataset and its own seeded
+    // rankers, so steps parallelize without perturbing the randomness.
+    for row in pool::par_map(steps, |step| {
         let rho = 0.95 - 1.35 * step as f64 / (steps as f64 - 1.0);
         let correlation = if rho >= 0.0 {
             synthetic::Correlation::Correlated(rho)
@@ -74,13 +76,15 @@ pub fn fig06(scale: Scale) -> FigureResult {
         let db_rq = ds.into_db(Box::new(RandomSkylineRanker::new(7)), 1);
         let rq = run(&RqDbSky::new(), &db_rq);
 
-        fig.push_row(vec![
+        vec![
             rho,
             skyline as f64,
             sq.query_cost as f64,
             rq.query_cost as f64,
             if sq.complete { 1.0 } else { 0.0 },
-        ]);
+        ]
+    }) {
+        fig.push_row(row);
     }
     fig.note(format!(
         "ranking function: uniform over matching skyline tuples; SQ budget capped at {sq_budget}"

@@ -6,7 +6,7 @@ use skyweb_datagen::Dataset;
 use skyweb_hidden_db::InterfaceType;
 
 use super::helpers::{flights_base, run};
-use crate::{FigureResult, Scale};
+use crate::{pool, FigureResult, Scale};
 
 /// Builds a mixed-interface projection of the flight dataset with the given
 /// range attributes (as RQ) and point attributes (as PQ).
@@ -39,14 +39,17 @@ pub fn fig18(scale: Scale) -> FigureResult {
         format!("Mixed predicates, impact of n (3 RQ + 2 PQ, k = {k})"),
         vec!["n", "mq_cost", "skyline_found"],
     );
-    for (i, &n) in sizes.iter().enumerate() {
+    for row in pool::par_map(sizes.len(), |i| {
+        let n = sizes[i];
         let ds = mixed_projection(&base.sample(n, 18 + i as u64), &range, &point);
         let result = run(&MqDbSky::new(), &ds.into_db_sum(k));
-        fig.push_row(vec![
+        vec![
             n as f64,
             result.query_cost as f64,
             result.skyline.len() as f64,
-        ]);
+        ]
+    }) {
+        fig.push_row(row);
     }
     fig
 }
@@ -79,18 +82,21 @@ pub fn fig19(scale: Scale) -> FigureResult {
         format!("Mixed predicates: varying range vs point attributes (n = {n}, k = {k})"),
         vec!["total_attrs", "cost_varying_range", "cost_varying_point"],
     );
-    for extra in 2..=5usize {
+    for row in pool::par_map(4, |i| {
+        let extra = i + 2;
         // 1 PQ attribute + `extra` RQ attributes.
         let ds_r = mixed_projection(&base, &range_pool[..extra], &point_pool[..1]);
         let vary_range = run(&MqDbSky::new(), &ds_r.into_db_sum(k));
         // 1 RQ attribute + `extra` PQ attributes.
         let ds_p = mixed_projection(&base, &range_pool[..1], &point_pool[..extra]);
         let vary_point = run(&MqDbSky::new(), &ds_p.into_db_sum(k));
-        fig.push_row(vec![
+        vec![
             (extra + 1) as f64,
             vary_range.query_cost as f64,
             vary_point.query_cost as f64,
-        ]);
+        ]
+    }) {
+        fig.push_row(row);
     }
     fig
 }

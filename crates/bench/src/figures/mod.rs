@@ -1,6 +1,10 @@
 //! One function per figure of the paper. Every function builds its
 //! workload, runs the algorithms under test, and returns the series the
 //! paper plots as a [`FigureResult`].
+//!
+//! All figures are registered in the single static [`FIGURES`] table;
+//! the id list ([`ALL_FIGURES`]) and the dispatcher ([`by_id`]) are both
+//! derived from it, so the two can never drift apart.
 
 mod analytic;
 mod helpers;
@@ -17,31 +21,51 @@ pub use range::{fig13, fig14, fig15, fig20};
 
 use crate::{FigureResult, Scale};
 
-/// Identifiers of every reproducible figure, in paper order.
-pub const ALL_FIGURES: [&str; 14] = [
-    "fig04", "fig06", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-    "fig21", "fig22", "fig23", "fig24",
+/// A figure generator: builds its workload and returns the plotted series.
+pub type FigureFn = fn(Scale) -> FigureResult;
+
+/// The single registration table: every reproducible figure, in paper
+/// order, with its generator.
+pub const FIGURES: [(&str, FigureFn); 14] = [
+    ("fig04", fig04),
+    ("fig06", fig06),
+    ("fig13", fig13),
+    ("fig14", fig14),
+    ("fig15", fig15),
+    ("fig16", fig16),
+    ("fig17", fig17),
+    ("fig18", fig18),
+    ("fig19", fig19),
+    ("fig20", fig20),
+    ("fig21", fig21),
+    ("fig22", fig22),
+    ("fig23", fig23),
+    ("fig24", fig24),
 ];
+
+/// Identifiers of every reproducible figure, in paper order — derived from
+/// [`FIGURES`] at compile time.
+pub const ALL_FIGURES: [&str; FIGURES.len()] = {
+    let mut ids = [""; FIGURES.len()];
+    let mut i = 0;
+    while i < FIGURES.len() {
+        ids[i] = FIGURES[i].0;
+        i += 1;
+    }
+    ids
+};
+
+/// Looks a figure's generator up by id without running it.
+pub fn lookup(id: &str) -> Option<FigureFn> {
+    FIGURES
+        .iter()
+        .find(|(name, _)| *name == id)
+        .map(|&(_, f)| f)
+}
 
 /// Runs one figure by id.
 pub fn by_id(id: &str, scale: Scale) -> Option<FigureResult> {
-    match id {
-        "fig04" => Some(fig04(scale)),
-        "fig06" => Some(fig06(scale)),
-        "fig13" => Some(fig13(scale)),
-        "fig14" => Some(fig14(scale)),
-        "fig15" => Some(fig15(scale)),
-        "fig16" => Some(fig16(scale)),
-        "fig17" => Some(fig17(scale)),
-        "fig18" => Some(fig18(scale)),
-        "fig19" => Some(fig19(scale)),
-        "fig20" => Some(fig20(scale)),
-        "fig21" => Some(fig21(scale)),
-        "fig22" => Some(fig22(scale)),
-        "fig23" => Some(fig23(scale)),
-        "fig24" => Some(fig24(scale)),
-        _ => None,
-    }
+    lookup(id).map(|f| f(scale))
 }
 
 /// Runs every figure in paper order.
@@ -50,4 +74,33 @@ pub fn all(scale: Scale) -> Vec<FigureResult> {
         .iter()
         .map(|id| by_id(id, scale).expect("known figure id"))
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_id_resolves() {
+        assert_eq!(ALL_FIGURES.len(), FIGURES.len());
+        for id in ALL_FIGURES {
+            assert!(lookup(id).is_some(), "figure {id} must resolve");
+        }
+        assert!(lookup("fig99").is_none());
+        assert!(lookup("").is_none());
+    }
+
+    #[test]
+    fn registered_ids_are_unique_and_in_paper_order() {
+        let mut sorted = ALL_FIGURES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ALL_FIGURES.len(), "duplicate figure id");
+        // figNN ids sort lexicographically, so paper order == sorted order.
+        assert_eq!(
+            ALL_FIGURES.to_vec(),
+            sorted,
+            "FIGURES entries are out of paper order"
+        );
+    }
 }

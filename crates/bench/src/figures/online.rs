@@ -8,7 +8,7 @@ use skyweb_datagen::{autos, diamonds, gflights, Dataset};
 use skyweb_hidden_db::SingleAttributeRanker;
 
 use super::helpers::queries_per_discovery;
-use crate::{FigureResult, Scale};
+use crate::{pool, FigureResult, Scale};
 
 /// Number of progress checkpoints reported for the discovery-progress
 /// figures.
@@ -31,12 +31,20 @@ fn online_progress_figure(
     k: usize,
     baseline_budget: u64,
 ) -> FigureResult {
-    let db = price_db(ds.clone(), k);
-    let mq = MqDbSky::new().discover(&db).expect("MQ-DB-SKY run");
-    let db_b = price_db(ds, k);
-    let baseline = BaselineCrawl::with_budget(baseline_budget)
-        .discover(&db_b)
-        .expect("baseline run");
+    // The discovery run and the crawl are independent (separate database
+    // instances) — one pool task each.
+    let mut runs = pool::par_map(2, |i| {
+        let db = price_db(ds.clone(), k);
+        if i == 0 {
+            MqDbSky::new().discover(&db).expect("MQ-DB-SKY run")
+        } else {
+            BaselineCrawl::with_budget(baseline_budget)
+                .discover(&db)
+                .expect("baseline run")
+        }
+    });
+    let baseline = runs.pop().expect("two runs");
+    let mq = runs.pop().expect("two runs");
 
     let total = mq.skyline.len().max(1);
     let mq_curve = queries_per_discovery(&mq.trace, total);
@@ -98,9 +106,11 @@ pub fn fig23(scale: Scale) -> FigureResult {
     let mut per_instance: Vec<Vec<u64>> = Vec::new();
     let mut costs = Vec::new();
     let mut skyline_sizes = Vec::new();
-    for ds in datasets {
-        let db = price_db(ds, 1);
-        let result = MqDbSky::new().discover(&db).expect("MQ-DB-SKY run");
+    // Route/date instances are independent databases: one pool task each.
+    for result in pool::par_map(datasets.len(), |i| {
+        let db = price_db(datasets[i].clone(), 1);
+        MqDbSky::new().discover(&db).expect("MQ-DB-SKY run")
+    }) {
         skyline_sizes.push(result.skyline.len());
         costs.push(result.query_cost);
         per_instance.push(queries_per_discovery(&result.trace, result.skyline.len()));

@@ -6,7 +6,7 @@ use skyweb_core::PqDbSky;
 use skyweb_datagen::Dataset;
 
 use super::helpers::{flights_base, queries_per_discovery, run};
-use crate::{FigureResult, Scale};
+use crate::{pool, FigureResult, Scale};
 
 /// The point-query attributes used for the PQ experiments. The first two —
 /// distance group in the paper's longer-is-better orientation and the
@@ -40,13 +40,16 @@ pub fn fig16(scale: Scale) -> FigureResult {
         format!("Point predicates, impact of n (DOT-like group attributes, k = {k})"),
         vec!["n", "pq_3d", "pq_4d", "pq_5d"],
     );
+    // One pool task per (n, dims) pair; rows are reassembled in order.
+    const DIMS: [usize; 3] = [3, 4, 5];
+    let costs = pool::par_map(sizes.len() * DIMS.len(), |t| {
+        let (i, d) = (t / DIMS.len(), t % DIMS.len());
+        let ds = pq_projection(&base, DIMS[d], sizes[i], 16 + i as u64);
+        run(&PqDbSky::new(), &ds.into_db_sum(k)).query_cost as f64
+    });
     for (i, &n) in sizes.iter().enumerate() {
         let mut row = vec![n as f64];
-        for dims in [3usize, 4, 5] {
-            let ds = pq_projection(&base, dims, n, 16 + i as u64);
-            let result = run(&PqDbSky::new(), &ds.into_db_sum(k));
-            row.push(result.query_cost as f64);
-        }
+        row.extend_from_slice(&costs[i * DIMS.len()..(i + 1) * DIMS.len()]);
         fig.push_row(row);
     }
     fig
@@ -65,7 +68,9 @@ pub fn fig17(scale: Scale) -> FigureResult {
         format!("Point predicates, impact of the domain size (4 PQ attributes, n <= {n}, k = {k})"),
         vec!["domain", "n_effective", "pq_cost"],
     );
-    for v in [5u32, 7, 9, 11, 13, 15] {
+    let domains = [5u32, 7, 9, 11, 13, 15];
+    for row in pool::par_map(domains.len(), |i| {
+        let v = domains[i];
         let mut ds = base.project(&PQ_ATTRS[..dims]);
         for name in &PQ_ATTRS[..dims] {
             ds = ds.rebucket_domain(name, v);
@@ -73,11 +78,9 @@ pub fn fig17(scale: Scale) -> FigureResult {
         let ds = ds.sample(n, 17 + u64::from(v));
         let n_effective = ds.len();
         let result = run(&PqDbSky::new(), &ds.into_db_sum(k));
-        fig.push_row(vec![
-            f64::from(v),
-            n_effective as f64,
-            result.query_cost as f64,
-        ]);
+        vec![f64::from(v), n_effective as f64, result.query_cost as f64]
+    }) {
+        fig.push_row(row);
     }
     fig.note(
         "attribute domains are re-discretised into v buckets (the paper instead drops the \

@@ -6,7 +6,7 @@ use skyweb_datagen::flights_dot;
 use skyweb_hidden_db::InterfaceType;
 
 use super::helpers::{flights_all_rq, flights_base, queries_per_discovery, run, skyline_size};
-use crate::{FigureResult, Scale};
+use crate::{pool, FigureResult, Scale};
 
 /// Figure 13: RQ-DB-SKY vs the crawling BASELINE as the top-k constraint
 /// varies.
@@ -21,17 +21,23 @@ pub fn fig13(scale: Scale) -> FigureResult {
         format!("Range predicates, impact of k (DOT-like, n = {n})"),
         vec!["k", "rq_cost", "baseline_cost", "baseline_complete"],
     );
-    for k in [1usize, 10, 20, 30, 40, 50] {
+    // Each k is an independent series (own databases, no shared RNG), so
+    // the sweep runs on the worker pool; rows come back in sweep order.
+    let ks = [1usize, 10, 20, 30, 40, 50];
+    for row in pool::par_map(ks.len(), |i| {
+        let k = ks[i];
         let db = ds.clone().into_db_sum(k);
         let rq = run(&RqDbSky::new(), &db);
         let db_b = ds.clone().into_db_sum(k);
         let baseline = run(&BaselineCrawl::with_budget(baseline_budget), &db_b);
-        fig.push_row(vec![
+        vec![
             k as f64,
             rq.query_cost as f64,
             baseline.query_cost as f64,
             if baseline.complete { 1.0 } else { 0.0 },
-        ]);
+        ]
+    }) {
+        fig.push_row(row);
     }
     fig.note(format!(
         "BASELINE capped at {baseline_budget} queries (rows with baseline_complete = 0 are lower bounds)"
@@ -54,17 +60,21 @@ pub fn fig14(scale: Scale) -> FigureResult {
         format!("Range predicates, impact of n (DOT-like, k = {k})"),
         vec!["n", "skyline", "sq_cost", "rq_cost"],
     );
-    for (i, &n) in sizes.iter().enumerate() {
+    for row in pool::par_map(sizes.len(), |i| {
+        let n = sizes[i];
+        // Deterministic per-task seed, exactly as the serial sweep used.
         let ds = flights_all_rq(&base.sample(n, 14 + i as u64));
         let skyline = skyline_size(&ds);
         let sq = run(&SqDbSky::new(), &ds.clone().into_db_sum(k));
         let rq = run(&RqDbSky::new(), &ds.into_db_sum(k));
-        fig.push_row(vec![
+        vec![
             n as f64,
             skyline as f64,
             sq.query_cost as f64,
             rq.query_cost as f64,
-        ]);
+        ]
+    }) {
+        fig.push_row(row);
     }
     fig
 }
@@ -88,7 +98,8 @@ pub fn fig15(scale: Scale) -> FigureResult {
         format!("Range predicates, impact of m (DOT-like, n = {n}, k = {k})"),
         vec!["m", "skyline", "sq_cost", "rq_cost", "avg_case_model"],
     );
-    for m in 2..=max_m {
+    for row in pool::par_map(max_m - 1, |i| {
+        let m = i + 2;
         let names: Vec<&str> = order[..m].to_vec();
         let mut ds = base.project(&names);
         for name in &names {
@@ -97,13 +108,15 @@ pub fn fig15(scale: Scale) -> FigureResult {
         let skyline = skyline_size(&ds);
         let sq = run(&SqDbSky::with_budget(sq_budget), &ds.clone().into_db_sum(k));
         let rq = run(&RqDbSky::new(), &ds.into_db_sum(k));
-        fig.push_row(vec![
+        vec![
             m as f64,
             skyline as f64,
             sq.query_cost as f64,
             rq.query_cost as f64,
             analysis::sq_average_case_cost(m, skyline),
-        ]);
+        ]
+    }) {
+        fig.push_row(row);
     }
     fig.note(format!("SQ budget capped at {sq_budget}"));
     fig
@@ -127,8 +140,17 @@ pub fn fig20(scale: Scale) -> FigureResult {
         ds = ds.with_interface(name, InterfaceType::Rq);
     }
 
-    let sq = run(&SqDbSky::new(), &ds.clone().into_db_sum(k));
-    let rq = run(&RqDbSky::new(), &ds.into_db_sum(k));
+    // Two independent discovery runs (separate databases) — one pool task
+    // each.
+    let mut runs = pool::par_map(2, |i| {
+        if i == 0 {
+            run(&SqDbSky::new(), &ds.clone().into_db_sum(k))
+        } else {
+            run(&RqDbSky::new(), &ds.clone().into_db_sum(k))
+        }
+    });
+    let rq = runs.pop().expect("two runs");
+    let sq = runs.pop().expect("two runs");
     let total = sq.skyline.len().max(rq.skyline.len());
     let sq_curve = queries_per_discovery(&sq.trace, total);
     let rq_curve = queries_per_discovery(&rq.trace, total);

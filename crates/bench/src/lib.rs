@@ -16,12 +16,17 @@
 //!
 //! `--quick` shrinks the datasets so the whole suite completes in a few
 //! minutes; `--full` uses cardinalities close to the paper's (and can take
-//! considerably longer, dominated by the BASELINE crawls).
+//! considerably longer, dominated by the BASELINE crawls). `--parallel`
+//! runs independent figures — and independent series within a figure — on
+//! the scoped-thread worker pool of the [`pool`] module, with byte-identical
+//! output to a serial run (every task derives its RNG seeds from its own
+//! index, never from shared state).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod pool;
 pub mod report;
 pub mod scale;
 

@@ -245,7 +245,7 @@ mod tests {
         let result = BaselineCrawl::new().discover(&db).unwrap();
         assert!(result.complete);
         assert_eq!(result.retrieved.len(), db.n());
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&result.skyline, &truth));
     }
 
@@ -312,7 +312,7 @@ mod tests {
         assert!(result.complete);
         assert_eq!(result.query_cost, 12);
         assert_eq!(result.retrieved.len(), 3);
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&result.skyline, &truth));
     }
 }

@@ -6,7 +6,8 @@ use std::collections::HashMap;
 use std::fmt;
 
 use skyweb_hidden_db::{
-    dominates_on, AttrId, HiddenDb, Query, QueryError, QueryResponse, Tuple, TupleId,
+    dominates_on, AttrId, CmpOp, HiddenDb, Query, QueryError, QueryResponse, Session, Tuple,
+    TupleId,
 };
 
 /// One point of an *anytime trace*: after `queries` issued queries, the
@@ -101,8 +102,12 @@ pub trait Discoverer {
 /// budget exhaustion into a graceful "stop now" signal so that every
 /// algorithm retains the paper's *anytime* property.
 pub(crate) struct Client<'a> {
-    db: &'a HiddenDb,
-    issued: u64,
+    /// One discovery run is one client of the database, so it queries
+    /// through its own [`Session`]: private scratch memory (no contention
+    /// with concurrent runs on a shared database) and per-client
+    /// [`skyweb_hidden_db::QueryStats`] that double as the issued-query
+    /// counter.
+    session: Session<'a>,
     budget: Option<u64>,
     exhausted: bool,
 }
@@ -111,8 +116,7 @@ impl<'a> Client<'a> {
     /// Creates a client with an optional client-side query budget.
     pub(crate) fn new(db: &'a HiddenDb, budget: Option<u64>) -> Self {
         Client {
-            db,
-            issued: 0,
+            session: db.session(),
             budget,
             exhausted: false,
         }
@@ -120,12 +124,12 @@ impl<'a> Client<'a> {
 
     /// The wrapped database.
     pub(crate) fn db(&self) -> &'a HiddenDb {
-        self.db
+        self.session.db()
     }
 
     /// Number of queries issued through this client.
     pub(crate) fn issued(&self) -> u64 {
-        self.issued
+        self.session.queries_issued()
     }
 
     /// `true` once the budget or the server-side rate limit was hit.
@@ -141,16 +145,13 @@ impl<'a> Client<'a> {
             return Ok(None);
         }
         if let Some(budget) = self.budget {
-            if self.issued >= budget {
+            if self.session.queries_issued() >= budget {
                 self.exhausted = true;
                 return Ok(None);
             }
         }
-        match self.db.query(query) {
-            Ok(resp) => {
-                self.issued += 1;
-                Ok(Some(resp))
-            }
+        match self.session.query(query) {
+            Ok(resp) => Ok(Some(resp)),
             Err(QueryError::RateLimitExceeded { .. }) => {
                 self.exhausted = true;
                 Ok(None)
@@ -219,8 +220,24 @@ impl Collector {
     }
 
     /// `true` if any retrieved tuple matches `query`.
+    ///
+    /// Queries whose predicates are all *upper bounds* on the dominance
+    /// attributes are downward closed under coordinate-wise ≤, so a
+    /// retrieved tuple matches iff some tuple of the current (minimal)
+    /// skyline matches — scanning the small skyline is exact and turns the
+    /// tree traversals' per-node membership test from O(|retrieved|) into
+    /// O(|skyline|). Other query shapes (equality pivots on point
+    /// attributes, domination-subspace roots) fall back to the full set.
     pub(crate) fn any_seen_matches(&self, query: &Query) -> bool {
-        self.seen.values().any(|t| query.matches(t))
+        let downward_closed = query
+            .predicates()
+            .iter()
+            .all(|p| matches!(p.op, CmpOp::Lt | CmpOp::Le) && self.attrs.contains(&p.attr));
+        if downward_closed {
+            self.skyline.iter().any(|t| query.matches(t))
+        } else {
+            self.seen.values().any(|t| query.matches(t))
+        }
     }
 
     /// `true` if any *current skyline* tuple dominates `t`.

@@ -294,7 +294,7 @@ mod tests {
         let db = HiddenDb::new(schema, tuples, Box::new(SumRanker), 3);
         let result = MqDbSky::new().discover(&db).unwrap();
         assert!(result.complete);
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&result.skyline, &truth));
     }
 
@@ -306,7 +306,7 @@ mod tests {
         let db = HiddenDb::new(schema, tuples, Box::new(SumRanker), 3);
         let result = MqDbSky::new().discover(&db).unwrap();
         assert!(result.complete);
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&result.skyline, &truth));
     }
 
@@ -317,7 +317,7 @@ mod tests {
         let db = HiddenDb::new(schema, tuples, Box::new(SumRanker), 2);
         let result = MqDbSky::new().discover(&db).unwrap();
         assert!(result.complete);
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&result.skyline, &truth));
     }
 
@@ -327,7 +327,7 @@ mod tests {
         let tuples = pseudo_random_tuples(120, 3, 0, 30, 4, 2);
         let db = HiddenDb::new(schema, tuples, Box::new(SumRanker), 2);
         let result = MqDbSky::new().discover(&db).unwrap();
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&result.skyline, &truth));
     }
 
@@ -337,7 +337,7 @@ mod tests {
         let tuples = pseudo_random_tuples(120, 0, 3, 30, 6, 4);
         let db = HiddenDb::new(schema, tuples, Box::new(SumRanker), 2);
         let result = MqDbSky::new().discover(&db).unwrap();
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&result.skyline, &truth));
     }
 
@@ -353,7 +353,7 @@ mod tests {
         ];
         let db = HiddenDb::new(schema, tuples, Box::new(SumRanker), 1);
         let result = MqDbSky::new().discover(&db).unwrap();
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&result.skyline, &truth));
         assert!(result.skyline.iter().any(|t| t.id == 1));
     }

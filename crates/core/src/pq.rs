@@ -215,7 +215,7 @@ mod tests {
         let db = pseudo_random_db(&[8, 6, 4], 120, 1, 0);
         let result = PqDbSky::new().discover(&db).unwrap();
         assert!(result.complete);
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&result.skyline, &truth));
     }
 
@@ -224,7 +224,7 @@ mod tests {
         let db = pseudo_random_db(&[6, 5, 4, 3], 200, 3, 7);
         let result = PqDbSky::new().discover(&db).unwrap();
         assert!(result.complete);
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&result.skyline, &truth));
     }
 
@@ -233,7 +233,7 @@ mod tests {
         let tuples = skyweb_datagen::synthetic::distinct_cells(&[7, 6, 5], 80, 13);
         let db = HiddenDb::new(pq_schema(&[7, 6, 5]), tuples, Box::new(WorstCaseRanker), 1);
         let result = PqDbSky::new().discover(&db).unwrap();
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&result.skyline, &truth));
     }
 
@@ -241,7 +241,7 @@ mod tests {
     fn two_dimensional_case_matches_pq2d() {
         let db = pseudo_random_db(&[12, 10], 60, 1, 3);
         let pq = PqDbSky::new().discover(&db).unwrap();
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&pq.skyline, &truth));
     }
 
@@ -271,7 +271,7 @@ mod tests {
         let db = pseudo_random_db(&[5, 5, 5], 4, 50, 0);
         let result = PqDbSky::new().discover(&db).unwrap();
         assert_eq!(result.query_cost, 1);
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&result.skyline, &truth));
     }
 

@@ -145,7 +145,7 @@ mod tests {
         let db = grid_db(&[(1, 8), (3, 5), (6, 2), (7, 7), (8, 8)], 10, 10, 1);
         let result = Pq2dSky::new().discover(&db).unwrap();
         assert!(result.complete);
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&result.skyline, &truth));
         assert_eq!(result.skyline.len(), 3);
     }
@@ -155,7 +155,7 @@ mod tests {
         let points = [(1, 8), (3, 5), (6, 2), (7, 7), (8, 8), (9, 9), (2, 9)];
         let db = grid_db(&points, 12, 12, 1);
         let result = Pq2dSky::new().discover(&db).unwrap();
-        let mut sky: Vec<(u32, u32)> = bnl_skyline(db.oracle_tuples(), db.schema())
+        let mut sky: Vec<(u32, u32)> = bnl_skyline(db.oracle_tuples().as_slice(), db.schema())
             .iter()
             .map(|t| (t.values[0], t.values[1]))
             .collect();
@@ -204,7 +204,7 @@ mod tests {
             1,
         );
         let result = Pq2dSky::new().discover(&db).unwrap();
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&result.skyline, &truth));
     }
 
@@ -240,7 +240,7 @@ mod tests {
         let result = Pq2dSky::with_budget(5).discover(&db).unwrap();
         assert!(!result.complete);
         assert_eq!(result.query_cost, 5);
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         let truth_ids: Vec<u64> = truth.iter().map(|t| t.id).collect();
         assert!(result.skyline.iter().all(|t| truth_ids.contains(&t.id)));
     }

@@ -211,7 +211,7 @@ mod tests {
         let db = figure2_db(1);
         let result = RqDbSky::new().discover(&db).unwrap();
         assert!(result.complete);
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&result.skyline, &truth));
     }
 
@@ -248,7 +248,7 @@ mod tests {
             2,
         );
         let result = RqDbSky::new().discover(&db).unwrap();
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         assert!(same_ids(&result.skyline, &truth));
     }
 
@@ -269,7 +269,7 @@ mod tests {
         let result = RqDbSky::with_budget(3).discover(&db).unwrap();
         assert!(!result.complete);
         assert_eq!(result.query_cost, 3);
-        let truth = bnl_skyline(db.oracle_tuples(), db.schema());
+        let truth = bnl_skyline(db.oracle_tuples().as_slice(), db.schema());
         let truth_ids: Vec<u64> = truth.iter().map(|t| t.id).collect();
         assert!(result.skyline.iter().all(|t| truth_ids.contains(&t.id)));
     }

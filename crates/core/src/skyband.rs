@@ -189,7 +189,7 @@ mod tests {
         let result = RqSkyband::new(1).discover_band(&db).unwrap();
         assert!(result.complete);
         assert_eq!(result.runs, 1);
-        let truth = skyband(db.oracle_tuples(), db.schema(), 1);
+        let truth = skyband(db.oracle_tuples().as_slice(), db.schema(), 1);
         assert!(same_ids(&result.band, &truth));
     }
 
@@ -198,7 +198,7 @@ mod tests {
         let db = pseudo_random_db(2, 25, 120, 2);
         let result = RqSkyband::new(2).discover_band(&db).unwrap();
         assert!(result.complete);
-        let truth = skyband(db.oracle_tuples(), db.schema(), 2);
+        let truth = skyband(db.oracle_tuples().as_slice(), db.schema(), 2);
         assert!(same_ids(&result.band, &truth));
         assert!(result.runs >= 2);
     }
@@ -208,7 +208,7 @@ mod tests {
         let db = pseudo_random_db(3, 12, 150, 3);
         let result = RqSkyband::new(3).discover_band(&db).unwrap();
         assert!(result.complete);
-        let truth = skyband(db.oracle_tuples(), db.schema(), 3);
+        let truth = skyband(db.oracle_tuples().as_slice(), db.schema(), 3);
         assert!(same_ids(&result.band, &truth));
     }
 
@@ -246,7 +246,7 @@ mod tests {
         let db = pseudo_random_db(2, 15, 80, 2);
         let all: Vec<Tuple> = db.oracle_tuples().to_vec();
         let a = skyband_of_retrieved(&all, &db, 3);
-        let b = skyband(db.oracle_tuples(), db.schema(), 3);
+        let b = skyband(db.oracle_tuples().as_slice(), db.schema(), 3);
         assert!(same_ids(&a, &b));
     }
 

@@ -5,12 +5,18 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::index::QueryIndex;
+use crate::index::{share_selected, QueryIndex, Scratch};
 use crate::stats::{AccessLog, AccessLogEntry, QueryStats};
+use crate::store::TupleStore;
 use crate::{
     AttrId, AttributeRole, CmpOp, ExecStrategy, InterfaceType, Query, Ranker, Schema, SumRanker,
     Tuple, Value,
 };
+
+/// Upper bound on pooled scratch buffers kept alive by a database: enough
+/// for one per hardware thread on big machines without letting a burst of
+/// concurrent one-off queries pin memory forever.
+const SCRATCH_POOL_CAP: usize = 32;
 
 /// A client-visible limit on the number of search queries that may be
 /// issued, modelling per-IP-address or per-API-key quotas of real web
@@ -143,14 +149,16 @@ impl QueryResponse {
 /// server-side knowledge.
 pub struct HiddenDb {
     schema: Schema,
-    tuples: Vec<Tuple>,
-    /// Rank permutation + per-attribute posting lists, built lazily on the
-    /// first indexed query or `selectivity()` call (so a database pinned to
-    /// [`ExecStrategy::Scan`] never pays for them).
+    /// The single `Arc`-backed tuple store shared by the scan path, the
+    /// index builder and every response (see [`TupleStore`]). Earlier
+    /// revisions held the tuples twice — a plain `Vec<Tuple>` plus lazily
+    /// deep-cloned `Arc<Tuple>`s for responses — which doubled resident
+    /// memory on indexed databases.
+    store: TupleStore,
+    /// Rank permutation + zone maps + per-attribute posting lists, built
+    /// lazily on the first indexed query or `selectivity()` call (so a
+    /// database pinned to [`ExecStrategy::Scan`] never pays for them).
     index: OnceLock<QueryIndex>,
-    /// `Arc`-backed view of `tuples` (same order) from which indexed
-    /// responses are built without deep-cloning; lazy for the same reason.
-    shared: OnceLock<Vec<Arc<Tuple>>>,
     strategy: ExecStrategy,
     ranker: Box<dyn Ranker>,
     k: usize,
@@ -161,12 +169,16 @@ pub struct HiddenDb {
     tuples_returned: AtomicU64,
     log_enabled: AtomicBool,
     access_log: Mutex<Option<AccessLog>>,
+    /// Recycled per-query working memory for session-less [`HiddenDb::query`]
+    /// calls. Sessions carry their own scratch; this pool only serves one-off
+    /// queries so they stay allocation-light too.
+    scratch_pool: Mutex<Vec<Scratch>>,
 }
 
 impl fmt::Debug for HiddenDb {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("HiddenDb")
-            .field("n", &self.tuples.len())
+            .field("n", &self.store.len())
             .field("m", &self.schema.num_ranking())
             .field("k", &self.k)
             .field("ranker", &self.ranker.name())
@@ -203,9 +215,8 @@ impl HiddenDb {
         }
         HiddenDb {
             schema,
-            tuples,
+            store: TupleStore::new(tuples),
             index: OnceLock::new(),
-            shared: OnceLock::new(),
             strategy: ExecStrategy::default(),
             ranker,
             k,
@@ -216,6 +227,7 @@ impl HiddenDb {
             tuples_returned: AtomicU64::new(0),
             log_enabled: AtomicBool::new(false),
             access_log: Mutex::new(None),
+            scratch_pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -243,16 +255,7 @@ impl HiddenDb {
     /// sorts and the rank-order precompute).
     fn index(&self) -> &QueryIndex {
         self.index
-            .get_or_init(|| QueryIndex::build(&self.tuples, &self.schema, self.ranker.as_ref()))
-    }
-
-    /// The lazily-built `Arc`-backed response store (first use pays one
-    /// deep copy of the tuple store). Only indexed query answering needs
-    /// it, so it is kept separate from the index: `selectivity()` on a
-    /// Scan-pinned database never clones the store.
-    fn shared(&self) -> &[Arc<Tuple>] {
-        self.shared
-            .get_or_init(|| self.tuples.iter().map(|t| Arc::new(t.clone())).collect())
+            .get_or_init(|| QueryIndex::build(&self.store, &self.schema, self.ranker.as_ref()))
     }
 
     /// Number of tuples whose value on `attr` lies in the closed interval
@@ -290,12 +293,19 @@ impl HiddenDb {
 
     /// Returns a snapshot of the access log (empty if logging was never
     /// enabled).
+    ///
+    /// The log is shared by every client of the database; under concurrent
+    /// sessions entries may be appended slightly out of order (a client can
+    /// be preempted between reserving its sequence number and writing its
+    /// entry), so the snapshot is normalized to ascending sequence order —
+    /// the merged, chronological view of all clients' queries.
     pub fn access_log(&self) -> AccessLog {
         self.access_log
             .lock()
             .expect("access log poisoned")
             .clone()
             .unwrap_or_default()
+            .into_seq_order()
     }
 
     /// The database schema (public knowledge: the search form reveals it).
@@ -314,7 +324,7 @@ impl HiddenDb {
     /// diamonds"), so exposing `n` is not cheating; none of the discovery
     /// algorithms rely on it.
     pub fn n(&self) -> usize {
-        self.tuples.len()
+        self.store.len()
     }
 
     /// Name of the ranking function (for reports only — the discovery
@@ -395,6 +405,40 @@ impl HiddenDb {
     /// filter-everything-then-rank reference path; both produce identical
     /// responses, statistics and access-log entries.
     pub fn query(&self, query: &Query) -> Result<QueryResponse, QueryError> {
+        // Borrow a pooled scratch so one-off queries stay allocation-light
+        // in steady state; sessions bypass the pool with their own buffer.
+        let mut scratch = self
+            .scratch_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        let out = self.query_with_scratch(query, &mut scratch);
+        let mut pool = self.scratch_pool.lock().expect("scratch pool poisoned");
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
+        out
+    }
+
+    /// Issues `queries` back to back through one internal [`Session`],
+    /// returning one result per query in order. Statistics, rate limiting
+    /// and the access log behave exactly as if each query had been issued
+    /// individually.
+    ///
+    /// [`Session`]: crate::Session
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<QueryResponse, QueryError>> {
+        let mut session = self.session();
+        queries.iter().map(|q| session.query(q)).collect()
+    }
+
+    /// The engine shared by [`HiddenDb::query`] and [`crate::Session`]: the
+    /// caller provides the per-query working memory.
+    pub(crate) fn query_with_scratch(
+        &self,
+        query: &Query,
+        scratch: &mut Scratch,
+    ) -> Result<QueryResponse, QueryError> {
         self.validate(query)?;
         // Capture the value returned by `fetch_add` for the log sequence
         // number: re-reading the counter after the increment would let
@@ -417,23 +461,30 @@ impl HiddenDb {
         let log_enabled = self.log_enabled.load(Ordering::Relaxed);
         let (tuples, overflowed, matched) = match self.strategy {
             ExecStrategy::Scan => {
-                let matching: Vec<&Tuple> =
-                    self.tuples.iter().filter(|t| query.matches(t)).collect();
+                let mut indices: Vec<u32> = Vec::new();
+                let mut matching: Vec<&Tuple> = Vec::new();
+                for (i, t) in self.store.iter().enumerate() {
+                    if query.matches(t) {
+                        indices.push(i as u32);
+                        matching.push(t);
+                    }
+                }
                 let overflowed = matching.len() > self.k;
                 let returned = self.ranker.select_top_k(&matching, self.k, &self.schema);
-                let tuples: Vec<Arc<Tuple>> =
-                    returned.iter().map(|&t| Arc::new(t.clone())).collect();
+                // Even the reference path shares the store now: no code
+                // path deep-clones tuples into a response anymore.
+                let tuples = share_selected(&self.store, &matching, &indices, &returned);
                 (tuples, overflowed, Some(matching.len()))
             }
             ExecStrategy::Indexed => {
                 let out = self.index().execute(
                     query,
                     self.k,
-                    &self.tuples,
-                    self.shared(),
+                    &self.store,
                     &self.schema,
                     self.ranker.as_ref(),
                     log_enabled,
+                    scratch,
                 );
                 (out.returned, out.overflowed, out.matched)
             }
@@ -473,14 +524,26 @@ impl HiddenDb {
         Ok(QueryResponse { tuples, overflowed })
     }
 
-    /// Server-side ("oracle") access to the raw tuples.
+    /// Server-side ("oracle") access to the raw tuple store.
     ///
     /// This is **not** part of the hidden-database interface. It exists so
     /// that experiments and tests can compute ground-truth skylines and so
     /// that generators can inspect what they produced. Discovery algorithms
     /// must never call it.
-    pub fn oracle_tuples(&self) -> &[Tuple] {
-        &self.tuples
+    ///
+    /// The returned [`TupleStore`] is the *same* allocation the query
+    /// engine answers from (clone it to keep a cheap handle); there is no
+    /// second oracle copy of the data.
+    pub fn oracle_tuples(&self) -> &TupleStore {
+        &self.store
+    }
+
+    /// Opens a client session: an independent query cursor with its own
+    /// [`QueryStats`] accounting and reusable working memory, sharing the
+    /// database (store, index, rate limit, global statistics, access log)
+    /// with every other session.
+    pub fn session(&self) -> crate::Session<'_> {
+        crate::Session::new(self)
     }
 }
 

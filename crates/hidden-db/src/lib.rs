@@ -14,15 +14,27 @@
 //! * may enforce a **rate limit** on the number of queries a client is
 //!   allowed to issue.
 //!
-//! Queries are answered by an indexed execution engine (the `index` module
-//! internals, selected via [`ExecStrategy`]): a rank-order permutation precomputed
-//! through [`Ranker::precompute`] makes top-k selection an early-terminating
-//! scan, per-attribute posting lists with prefix counts prune selective
-//! conjunctions and answer selectivity in O(1)
-//! ([`HiddenDb::selectivity`]), and responses share `Arc<Tuple>` handles
-//! with the store instead of deep-cloning. The naive reference path is kept
-//! as [`ExecStrategy::Scan`] and is proven byte-identical by a differential
-//! property-test suite.
+//! All tuples live in one immutable, `Arc`-backed [`TupleStore`] shared by
+//! every code path — the scan reference implementation, the index builder,
+//! query responses and the server-side oracle ([`HiddenDb::oracle_tuples`])
+//! — so a database holds exactly one copy of its data. Queries are answered
+//! by an indexed execution engine (the `index` module internals, selected
+//! via [`ExecStrategy`]): a rank-order permutation precomputed through
+//! [`Ranker::precompute`] makes top-k selection an early-terminating scan,
+//! rank-ordered columnar values with per-64-rank-block zone maps turn broad
+//! range scans into block-skipping bitset passes, per-attribute posting
+//! lists with prefix counts prune selective conjunctions and answer
+//! selectivity in O(1) ([`HiddenDb::selectivity`]), and responses share
+//! `Arc<Tuple>` handles with the store instead of deep-cloning. The naive
+//! reference path is kept as [`ExecStrategy::Scan`] and is proven
+//! byte-identical by a differential property-test suite.
+//!
+//! The database is `Send + Sync`: any number of concurrent clients can open
+//! a [`Session`] ([`HiddenDb::session`]) with private [`QueryStats`]
+//! accounting and private working memory, while rate limits, global
+//! statistics and the sequence-numbered access log are shared and exact
+//! under contention (see the concurrency stress and multi-threaded
+//! differential suites in `tests/`).
 //!
 //! This crate is the substrate on which the skyline-discovery algorithms of
 //! Asudeh et al. (*Discovering the Skyline of Web Databases*, VLDB 2016) are
@@ -71,7 +83,9 @@ mod index;
 mod predicate;
 mod ranking;
 mod schema;
+mod session;
 mod stats;
+mod store;
 mod tuple;
 
 pub use db::{HiddenDb, QueryError, QueryResponse, RateLimit};
@@ -82,7 +96,9 @@ pub use ranking::{
     SingleAttributeRanker, SumRanker, WeightedSumRanker, WorstCaseRanker,
 };
 pub use schema::{AttributeRole, AttributeSpec, InterfaceType, Schema, SchemaBuilder};
+pub use session::Session;
 pub use stats::{AccessLog, AccessLogEntry, QueryStats};
+pub use store::TupleStore;
 pub use tuple::{compare_on, dominates, dominates_on, Dominance, Tuple};
 
 /// Identifier of an attribute: its position in the [`Schema`].

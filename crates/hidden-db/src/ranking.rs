@@ -12,6 +12,7 @@ use std::sync::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::store::TupleStore;
 use crate::tuple::dominates_on;
 use crate::{AttrId, Schema, Tuple};
 
@@ -32,7 +33,7 @@ pub trait Ranker: Send + Sync {
 
     /// Computes, once at database-construction time, the ranker's global
     /// preference order over the whole tuple store: a permutation of tuple
-    /// *indices* (positions in `tuples`), best-ranked first.
+    /// *indices* (positions in `store`), best-ranked first.
     ///
     /// The contract is that for every subset `S` of the store and every `k`,
     /// [`Ranker::select_top_k`] on `S` returns exactly the first `k` members
@@ -45,8 +46,8 @@ pub trait Ranker: Send + Sync {
     /// order — e.g. randomized or adversarial rankers whose choice depends
     /// on the queried subset — in which case the engine falls back to
     /// calling `select_top_k` on the matching set.
-    fn precompute(&self, tuples: &[Tuple], schema: &Schema) -> Option<Vec<u32>> {
-        let _ = (tuples, schema);
+    fn precompute(&self, store: &TupleStore, schema: &Schema) -> Option<Vec<u32>> {
+        let _ = (store, schema);
         None
     }
 }
@@ -85,16 +86,16 @@ impl<T: ScoreRanker> Ranker for T {
         scored.into_iter().take(k).map(|(_, t)| t).collect()
     }
 
-    fn precompute(&self, tuples: &[Tuple], schema: &Schema) -> Option<Vec<u32>> {
-        let scores: Vec<f64> = tuples.iter().map(|t| self.score(t, schema)).collect();
-        let mut order: Vec<u32> = (0..tuples.len() as u32).collect();
+    fn precompute(&self, store: &TupleStore, schema: &Schema) -> Option<Vec<u32>> {
+        let scores: Vec<f64> = store.iter().map(|t| self.score(t, schema)).collect();
+        let mut order: Vec<u32> = (0..store.len() as u32).collect();
         // Same (score, id) key and same stable sort as `select_top_k`, so
         // the permutation restricted to any matching subset reproduces the
         // subset's top-k order exactly.
         order.sort_by(|&a, &b| {
             scores[a as usize]
                 .total_cmp(&scores[b as usize])
-                .then(tuples[a as usize].id.cmp(&tuples[b as usize].id))
+                .then(store[a as usize].id.cmp(&store[b as usize].id))
         });
         Some(order)
     }
@@ -212,9 +213,9 @@ impl Ranker for SingleAttributeRanker {
         sorted
     }
 
-    fn precompute(&self, tuples: &[Tuple], schema: &Schema) -> Option<Vec<u32>> {
-        let mut order: Vec<u32> = (0..tuples.len() as u32).collect();
-        order.sort_by_key(|&i| self.sort_key(&tuples[i as usize], schema));
+    fn precompute(&self, store: &TupleStore, schema: &Schema) -> Option<Vec<u32>> {
+        let mut order: Vec<u32> = (0..store.len() as u32).collect();
+        order.sort_by_key(|&i| self.sort_key(&store[i as usize], schema));
         Some(order)
     }
 }
@@ -261,9 +262,9 @@ impl Ranker for LexicographicRanker {
         sorted
     }
 
-    fn precompute(&self, tuples: &[Tuple], _schema: &Schema) -> Option<Vec<u32>> {
-        let mut order: Vec<u32> = (0..tuples.len() as u32).collect();
-        order.sort_by(|&a, &b| self.compare(&tuples[a as usize], &tuples[b as usize]));
+    fn precompute(&self, store: &TupleStore, _schema: &Schema) -> Option<Vec<u32>> {
+        let mut order: Vec<u32> = (0..store.len() as u32).collect();
+        order.sort_by(|&a, &b| self.compare(&store[a as usize], &store[b as usize]));
         Some(order)
     }
 }
@@ -567,6 +568,7 @@ mod tests {
             Tuple::new(4, vec![6, 6]),
             Tuple::new(5, vec![1, 3]), // duplicate values of tuple 2
         ];
+        let store = TupleStore::new(tuples.clone());
         let rankers: Vec<Box<dyn Ranker>> = vec![
             Box::new(SumRanker),
             Box::new(WeightedSumRanker::new(vec![2.0, 0.5])),
@@ -575,7 +577,7 @@ mod tests {
         ];
         for ranker in &rankers {
             let perm = ranker
-                .precompute(&tuples, &s)
+                .precompute(&store, &s)
                 .expect("deterministic rankers must precompute an order");
             // Every subset (bitmask) and every k: the permutation filtered
             // to the subset must equal select_top_k on the subset.
@@ -612,11 +614,9 @@ mod tests {
     #[test]
     fn randomized_rankers_do_not_precompute() {
         let s = schema(2);
-        let tuples = toy_tuples();
-        assert!(RandomSkylineRanker::new(1)
-            .precompute(&tuples, &s)
-            .is_none());
-        assert!(WorstCaseRanker.precompute(&tuples, &s).is_none());
+        let store = TupleStore::new(toy_tuples());
+        assert!(RandomSkylineRanker::new(1).precompute(&store, &s).is_none());
+        assert!(WorstCaseRanker.precompute(&store, &s).is_none());
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Client sessions: concurrent access to one shared [`HiddenDb`].
+//!
+//! A [`Session`] models one client of the hidden database — one browser tab
+//! hitting the search form, one API key calling the service. Any number of
+//! sessions can issue queries against the same database concurrently
+//! (`HiddenDb` is `Send + Sync`); each keeps
+//!
+//! * its **own [`QueryStats`]** — the per-client accounting the paper's
+//!   cost measure is about — while the database keeps the merged totals,
+//! * its **own scratch buffers**, so steady-state queries allocate nothing
+//!   and never contend on shared working memory,
+//!
+//! and all sessions share the rate limit, the global counters and the
+//! (sequence-numbered, mergeable) access log.
+//!
+//! ```
+//! use skyweb_hidden_db::{HiddenDb, InterfaceType, Query, SchemaBuilder, Tuple};
+//!
+//! let schema = SchemaBuilder::new()
+//!     .ranking("price", 10, InterfaceType::Rq)
+//!     .build();
+//! let tuples = (0..8).map(|i| Tuple::new(i, vec![i as u32])).collect();
+//! let db = HiddenDb::with_sum_ranking(schema, tuples, 3);
+//!
+//! let mut session = db.session();
+//! session.query(&Query::select_all()).unwrap();
+//! assert_eq!(session.stats().queries, 1);
+//! assert_eq!(db.stats().queries, 1); // global accounting sees it too
+//! ```
+
+use crate::index::Scratch;
+use crate::stats::QueryStats;
+use crate::{HiddenDb, Query, QueryError, QueryResponse};
+
+/// One client's query cursor over a shared [`HiddenDb`].
+///
+/// Created by [`HiddenDb::session`]. Queries issued through a session update
+/// both the session's private [`QueryStats`] and the database's global
+/// accounting; rejected queries (validation or rate-limit errors) are
+/// counted by neither, matching [`HiddenDb::query`].
+pub struct Session<'db> {
+    db: &'db HiddenDb,
+    scratch: Scratch,
+    stats: QueryStats,
+}
+
+impl<'db> Session<'db> {
+    pub(crate) fn new(db: &'db HiddenDb) -> Self {
+        Session {
+            db,
+            scratch: Scratch::default(),
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// The database this session is connected to.
+    pub fn db(&self) -> &'db HiddenDb {
+        self.db
+    }
+
+    /// Answers a search query exactly like [`HiddenDb::query`], additionally
+    /// recording it in this session's private statistics.
+    pub fn query(&mut self, query: &Query) -> Result<QueryResponse, QueryError> {
+        let out = self.db.query_with_scratch(query, &mut self.scratch);
+        if let Ok(response) = &out {
+            self.stats.queries += 1;
+            if response.overflowed {
+                self.stats.overflows += 1;
+            }
+            if response.is_empty() {
+                self.stats.empty_answers += 1;
+            }
+            self.stats.tuples_returned += response.len() as u64;
+        }
+        out
+    }
+
+    /// Issues `queries` in order through this session, returning one result
+    /// per query.
+    pub fn query_batch(&mut self, queries: &[Query]) -> Vec<Result<QueryResponse, QueryError>> {
+        queries.iter().map(|q| self.query(q)).collect()
+    }
+
+    /// This session's private query accounting (the database's global
+    /// [`HiddenDb::stats`] aggregates all sessions).
+    pub fn stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    /// Number of queries this session has successfully issued.
+    pub fn queries_issued(&self) -> u64 {
+        self.stats.queries
+    }
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("db", &self.db)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{
+        HiddenDb, InterfaceType, Predicate, Query, QueryError, RateLimit, SchemaBuilder, Tuple,
+    };
+
+    fn db(k: usize) -> HiddenDb {
+        let schema = SchemaBuilder::new()
+            .ranking("a", 10, InterfaceType::Rq)
+            .ranking("b", 10, InterfaceType::Rq)
+            .build();
+        let tuples = (0..20)
+            .map(|i| Tuple::new(i, vec![(i % 10) as u32, ((i * 7) % 10) as u32]))
+            .collect();
+        HiddenDb::with_sum_ranking(schema, tuples, k)
+    }
+
+    #[test]
+    fn session_stats_track_only_their_own_queries() {
+        let db = db(3);
+        let mut a = db.session();
+        let mut b = db.session();
+        a.query(&Query::select_all()).unwrap();
+        a.query(&Query::new(vec![Predicate::lt(0, 3)])).unwrap();
+        b.query(&Query::select_all()).unwrap();
+        assert_eq!(a.stats().queries, 2);
+        assert_eq!(b.stats().queries, 1);
+        assert_eq!(db.stats().queries, 3);
+        assert_eq!(
+            a.stats().tuples_returned + b.stats().tuples_returned,
+            db.stats().tuples_returned
+        );
+    }
+
+    #[test]
+    fn rejected_queries_are_not_counted_by_sessions() {
+        let db = db(3);
+        let mut s = db.session();
+        let err = s.query(&Query::new(vec![Predicate::eq(9, 0)])).unwrap_err();
+        assert!(matches!(err, QueryError::UnknownAttribute { attr: 9 }));
+        assert_eq!(s.stats().queries, 0);
+        assert_eq!(db.stats().queries, 0);
+    }
+
+    #[test]
+    fn sessions_share_the_rate_limit() {
+        let db = db(3).with_rate_limit(RateLimit::new(2));
+        let mut a = db.session();
+        let mut b = db.session();
+        assert!(a.query(&Query::select_all()).is_ok());
+        assert!(b.query(&Query::select_all()).is_ok());
+        let err = a.query(&Query::select_all()).unwrap_err();
+        assert_eq!(err, QueryError::RateLimitExceeded { limit: 2 });
+        assert_eq!(a.stats().queries, 1);
+        assert_eq!(b.stats().queries, 1);
+    }
+
+    #[test]
+    fn batch_results_match_individual_queries() {
+        let queries = vec![
+            Query::select_all(),
+            Query::new(vec![Predicate::lt(0, 4)]),
+            Query::new(vec![Predicate::eq(1, 11)]), // out of domain → error
+        ];
+        let db1 = db(2);
+        let batch = db1.query_batch(&queries);
+        let db2 = db(2);
+        for (got, q) in batch.iter().zip(&queries) {
+            let want = db2.query(q);
+            match (got, want) {
+                (Ok(a), Ok(b)) => {
+                    let ids_a: Vec<u64> = a.iter().map(|t| t.id).collect();
+                    let ids_b: Vec<u64> = b.iter().map(|t| t.id).collect();
+                    assert_eq!(ids_a, ids_b);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, &b),
+                (a, b) => panic!("divergent outcomes: {a:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(db1.stats(), db2.stats());
+    }
+
+    #[test]
+    fn hidden_db_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HiddenDb>();
+        // Sessions move between threads (scoped-thread workers own one
+        // each), though they are not shared without exterior locking.
+        fn assert_send<T: Send>() {}
+        assert_send::<crate::Session<'static>>();
+    }
+}

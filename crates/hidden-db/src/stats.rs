@@ -78,6 +78,18 @@ impl AccessLog {
     pub(crate) fn push(&mut self, entry: AccessLogEntry) {
         self.entries.push(entry);
     }
+
+    /// Normalizes the log to ascending sequence order.
+    ///
+    /// Sequence numbers are reserved atomically *before* the answer is
+    /// computed, so under concurrent sessions the entries of the shared log
+    /// can be appended slightly out of order; sorting by `seq` restores the
+    /// merged chronological view. Sequence numbers are unique, so the order
+    /// is total.
+    pub(crate) fn into_seq_order(mut self) -> AccessLog {
+        self.entries.sort_unstable_by_key(|e| e.seq);
+        self
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,144 @@
+//! The unified, immutable, `Arc`-backed tuple store.
+//!
+//! Earlier revisions of the simulator kept the tuples **twice**: a plain
+//! `Vec<Tuple>` for the oracle/scan path and a lazily built `Vec<Arc<Tuple>>`
+//! from which indexed responses were cloned. [`TupleStore`] replaces both
+//! with a single `Arc<[Arc<Tuple>]>`:
+//!
+//! * the **scan path** and the **index builder** iterate the store by
+//!   reference ([`TupleStore::iter`]),
+//! * **responses** bump a reference count ([`TupleStore::share`]) instead of
+//!   deep-cloning a tuple,
+//! * **oracle consumers** (ground-truth skylines, workload analysis) borrow
+//!   the same allocation through [`crate::HiddenDb::oracle_tuples`],
+//!
+//! halving the resident memory of an indexed database. The store itself is
+//! a handle: cloning it is one atomic increment, so it can be shared across
+//! threads and sessions freely.
+
+use std::fmt;
+use std::ops::Index;
+use std::sync::Arc;
+
+use crate::Tuple;
+
+/// An immutable tuple store shared (via `Arc`) by the scan path, the query
+/// index and every [`crate::QueryResponse`].
+#[derive(Clone)]
+pub struct TupleStore {
+    tuples: Arc<[Arc<Tuple>]>,
+}
+
+impl TupleStore {
+    /// Builds a store from owned tuples. Each tuple is placed behind its own
+    /// `Arc` exactly once; no code path copies it again afterwards.
+    pub fn new(tuples: Vec<Tuple>) -> Self {
+        TupleStore {
+            tuples: tuples.into_iter().map(Arc::new).collect(),
+        }
+    }
+
+    /// Number of tuples in the store.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` if the store holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Borrows the tuple at `idx`, or `None` if out of range.
+    pub fn get(&self, idx: usize) -> Option<&Tuple> {
+        self.tuples.get(idx).map(Arc::as_ref)
+    }
+
+    /// Shares the tuple at `idx`: one reference-count bump, no deep clone.
+    /// This is how query responses are built.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn share(&self, idx: usize) -> Arc<Tuple> {
+        Arc::clone(&self.tuples[idx])
+    }
+
+    /// The underlying shared slice, for callers that need positional access
+    /// to the `Arc` handles themselves.
+    pub fn as_slice(&self) -> &[Arc<Tuple>] {
+        &self.tuples
+    }
+
+    /// Iterates the tuples in store order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &Tuple> {
+        self.tuples.iter().map(Arc::as_ref)
+    }
+
+    /// Deep-copies the store into owned tuples (test/analysis convenience —
+    /// the hot paths never call this).
+    pub fn to_vec(&self) -> Vec<Tuple> {
+        self.iter().cloned().collect()
+    }
+}
+
+impl Index<usize> for TupleStore {
+    type Output = Tuple;
+
+    fn index(&self, idx: usize) -> &Tuple {
+        &self.tuples[idx]
+    }
+}
+
+impl fmt::Debug for TupleStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TupleStore")
+            .field("len", &self.tuples.len())
+            .finish()
+    }
+}
+
+impl From<Vec<Tuple>> for TupleStore {
+    fn from(tuples: Vec<Tuple>) -> Self {
+        TupleStore::new(tuples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TupleStore {
+        TupleStore::new(vec![
+            Tuple::new(0, vec![1, 2]),
+            Tuple::new(1, vec![3, 4]),
+            Tuple::new(2, vec![5, 6]),
+        ])
+    }
+
+    #[test]
+    fn accessors() {
+        let s = store();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s[1].id, 1);
+        assert_eq!(s.get(2).map(|t| t.id), Some(2));
+        assert!(s.get(3).is_none());
+        assert_eq!(s.iter().map(|t| t.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(s.to_vec().len(), 3);
+    }
+
+    #[test]
+    fn share_aliases_the_store() {
+        let s = store();
+        let shared = s.share(1);
+        assert!(Arc::ptr_eq(&shared, &s.as_slice()[1]));
+    }
+
+    #[test]
+    fn clone_is_a_handle_not_a_copy() {
+        let s = store();
+        let c = s.clone();
+        for (a, b) in s.as_slice().iter().zip(c.as_slice()) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+    }
+}

@@ -4,6 +4,12 @@
 //! [`ExecStrategy::Scan`] reference path — same tuples in the same order,
 //! same overflow flags, same validation errors, same [`QueryStats`] and the
 //! same access-log entries (including the server-side matching counts).
+//!
+//! The multi-threaded suite extends the contract to concurrent sessions:
+//! every response produced by parallel clients must equal the serial Scan
+//! ground truth, aggregate statistics must be exact multiples, and the
+//! merged access log must be a permutation of the serial log's entries with
+//! gap-free sequence numbers.
 
 use proptest::prelude::*;
 
@@ -183,6 +189,92 @@ proptest! {
             }
         }
         prop_assert_eq!(scan.stats(), indexed.stats());
+    }
+
+    /// Concurrent sessions against one shared indexed database reproduce
+    /// the serial Scan ground truth exactly: per-query responses, global
+    /// statistics (an exact multiple of one serial pass), and an access log
+    /// that is a permutation of the serial log with gap-free sequence
+    /// numbers.
+    ///
+    /// Rankers that consume shared randomness per query are excluded — for
+    /// them, response content legitimately depends on query interleaving.
+    #[test]
+    fn concurrent_sessions_match_scan_ground_truth(w in workload()) {
+        const THREADS: usize = 4;
+        let mut w = w;
+        if w.ranker == 4 {
+            w.ranker = 0; // RandomSkylineRanker → deterministic substitute
+        }
+        let scan = db_of(&w, ExecStrategy::Scan);
+        let indexed = db_of(&w, ExecStrategy::Indexed);
+        scan.enable_access_log();
+        indexed.enable_access_log();
+
+        // Serial ground truth: ids + overflow flag (or the error) per query.
+        type Outcome = Result<(Vec<u64>, bool), skyweb_hidden_db::QueryError>;
+        let truth: Vec<Outcome> = w
+            .queries
+            .iter()
+            .map(|raw| {
+                scan.query(&query_of(raw))
+                    .map(|a| (a.iter().map(|t| t.id).collect(), a.overflowed))
+            })
+            .collect();
+
+        // Every thread replays the whole list through its own session.
+        let outcomes: Vec<Vec<Outcome>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let (indexed, w) = (&indexed, &w);
+                    scope.spawn(move || {
+                        let mut session = indexed.session();
+                        w.queries
+                            .iter()
+                            .map(|raw| {
+                                session
+                                    .query(&query_of(raw))
+                                    .map(|a| (a.iter().map(|t| t.id).collect(), a.overflowed))
+                            })
+                            .collect::<Vec<Outcome>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("session thread panicked")).collect()
+        });
+        for per_thread in &outcomes {
+            prop_assert_eq!(per_thread, &truth, "a concurrent session diverged from ground truth");
+        }
+
+        // Statistics: each counter is exactly THREADS × the serial pass.
+        let s = scan.stats();
+        let c = indexed.stats();
+        let t = THREADS as u64;
+        prop_assert_eq!(c.queries, s.queries * t);
+        prop_assert_eq!(c.overflows, s.overflows * t);
+        prop_assert_eq!(c.empty_answers, s.empty_answers * t);
+        prop_assert_eq!(c.tuples_returned, s.tuples_returned * t);
+
+        // Access log: gap-free monotone seqs, and the entry multiset is the
+        // serial multiset repeated THREADS times (permutation equivalence).
+        let serial_log = scan.access_log();
+        let merged_log = indexed.access_log();
+        prop_assert_eq!(merged_log.len(), serial_log.len() * THREADS);
+        for (i, e) in merged_log.entries().iter().enumerate() {
+            prop_assert_eq!(e.seq, i as u64 + 1, "merged log seqs must be 1..=N");
+        }
+        let key = |e: &skyweb_hidden_db::AccessLogEntry| {
+            (e.query.clone(), e.matched, e.returned, e.overflowed)
+        };
+        let mut want: Vec<_> = serial_log
+            .entries()
+            .iter()
+            .flat_map(|e| std::iter::repeat_n(key(e), THREADS))
+            .collect();
+        let mut got: Vec<_> = merged_log.entries().iter().map(key).collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, want, "merged log is not a permutation of the serial log");
     }
 
     /// The O(1) selectivity oracle agrees with brute-force counting.

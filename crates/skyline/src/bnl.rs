@@ -5,10 +5,17 @@
 //! either discarded (dominated), inserted (incomparable to everything), or
 //! inserted while evicting the window tuples it dominates.
 
+use std::borrow::Borrow;
+
 use skyweb_hidden_db::{compare_on, AttrId, Dominance, Schema, Tuple};
 
 /// Computes the skyline of `tuples` over the ranking attributes of `schema`.
-pub fn bnl_skyline(tuples: &[Tuple], schema: &Schema) -> Vec<Tuple> {
+///
+/// Generic over the tuple handle so it accepts plain `&[Tuple]` slices as
+/// well as the `&[Arc<Tuple>]` view of a shared
+/// [`skyweb_hidden_db::TupleStore`] (via
+/// [`TupleStore::as_slice`](skyweb_hidden_db::TupleStore::as_slice)).
+pub fn bnl_skyline<B: Borrow<Tuple>>(tuples: &[B], schema: &Schema) -> Vec<Tuple> {
     bnl_skyline_on(tuples, schema.ranking_attrs())
 }
 
@@ -18,9 +25,9 @@ pub fn bnl_skyline(tuples: &[Tuple], schema: &Schema) -> Vec<Tuple> {
 /// is defined through strict dominance), matching the paper's general
 /// positioning discussion: ties on every ranking attribute do not dominate
 /// each other.
-pub fn bnl_skyline_on(tuples: &[Tuple], attrs: &[AttrId]) -> Vec<Tuple> {
+pub fn bnl_skyline_on<B: Borrow<Tuple>>(tuples: &[B], attrs: &[AttrId]) -> Vec<Tuple> {
     let mut window: Vec<&Tuple> = Vec::new();
-    'next: for t in tuples {
+    'next: for t in tuples.iter().map(Borrow::borrow) {
         let mut i = 0;
         while i < window.len() {
             match compare_on(window[i], t, attrs) {
@@ -92,7 +99,7 @@ mod tests {
     #[test]
     fn empty_and_singleton_inputs() {
         let s = schema(2);
-        assert!(bnl_skyline(&[], &s).is_empty());
+        assert!(bnl_skyline::<Tuple>(&[], &s).is_empty());
         let one = vec![Tuple::new(7, vec![9, 9])];
         assert_eq!(bnl_skyline(&one, &s).len(), 1);
     }

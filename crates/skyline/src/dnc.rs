@@ -7,21 +7,26 @@
 //! simplified to a two-way partition (sufficient for the data sizes used in
 //! this project, and easy to audit).
 
+use std::borrow::Borrow;
+
 use skyweb_hidden_db::{dominates_on, AttrId, Schema, Tuple};
 
 /// Computes the skyline of `tuples` over the ranking attributes of `schema`
 /// using divide and conquer.
-pub fn dnc_skyline(tuples: &[Tuple], schema: &Schema) -> Vec<Tuple> {
+///
+/// Generic over the tuple handle (`&[Tuple]`, `&[Arc<Tuple>]`, ...) like
+/// [`crate::bnl_skyline`].
+pub fn dnc_skyline<B: Borrow<Tuple>>(tuples: &[B], schema: &Schema) -> Vec<Tuple> {
     dnc_skyline_on(tuples, schema.ranking_attrs())
 }
 
 /// Computes the skyline of `tuples` over an explicit attribute subset using
 /// divide and conquer.
-pub fn dnc_skyline_on(tuples: &[Tuple], attrs: &[AttrId]) -> Vec<Tuple> {
+pub fn dnc_skyline_on<B: Borrow<Tuple>>(tuples: &[B], attrs: &[AttrId]) -> Vec<Tuple> {
     if attrs.is_empty() {
-        return tuples.to_vec();
+        return tuples.iter().map(|t| t.borrow().clone()).collect();
     }
-    let mut refs: Vec<&Tuple> = tuples.iter().collect();
+    let mut refs: Vec<&Tuple> = tuples.iter().map(Borrow::borrow).collect();
     let result = dnc_recurse(&mut refs, attrs);
     result.into_iter().cloned().collect()
 }

@@ -6,18 +6,23 @@
 //! that compares each tuple against the already-accepted skyline suffices —
 //! accepted tuples are never evicted, unlike BNL.
 
+use std::borrow::Borrow;
+
 use skyweb_hidden_db::{dominates_on, AttrId, Schema, Tuple};
 
 /// Computes the skyline of `tuples` over the ranking attributes of `schema`
 /// using the sort-filter-skyline strategy.
-pub fn sfs_skyline(tuples: &[Tuple], schema: &Schema) -> Vec<Tuple> {
+///
+/// Generic over the tuple handle (`&[Tuple]`, `&[Arc<Tuple>]`, ...) like
+/// [`crate::bnl_skyline`].
+pub fn sfs_skyline<B: Borrow<Tuple>>(tuples: &[B], schema: &Schema) -> Vec<Tuple> {
     sfs_skyline_on(tuples, schema.ranking_attrs())
 }
 
 /// Computes the skyline of `tuples` over an explicit attribute subset using
 /// the sort-filter-skyline strategy.
-pub fn sfs_skyline_on(tuples: &[Tuple], attrs: &[AttrId]) -> Vec<Tuple> {
-    let mut sorted: Vec<&Tuple> = tuples.iter().collect();
+pub fn sfs_skyline_on<B: Borrow<Tuple>>(tuples: &[B], attrs: &[AttrId]) -> Vec<Tuple> {
+    let mut sorted: Vec<&Tuple> = tuples.iter().map(Borrow::borrow).collect();
     sorted.sort_by_key(|t| {
         let sum: u64 = attrs.iter().map(|&a| u64::from(t.values[a])).sum();
         (sum, t.id)
@@ -80,7 +85,7 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        assert!(sfs_skyline(&[], &schema(3)).is_empty());
+        assert!(sfs_skyline::<Tuple>(&[], &schema(3)).is_empty());
     }
 
     #[test]

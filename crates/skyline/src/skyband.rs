@@ -7,16 +7,18 @@
 //! contained in the K-sky-band — which is what makes sky bands useful as a
 //! downloaded index for third-party ranking services.
 
+use std::borrow::Borrow;
+
 use skyweb_hidden_db::{dominates_on, AttrId, Schema, Tuple};
 
 /// For each tuple, counts how many other tuples dominate it (on `attrs`).
 ///
 /// Complexity is O(n²·m); this is ground-truth machinery, not an
 /// interface-facing algorithm.
-pub fn dominance_counts(tuples: &[Tuple], attrs: &[AttrId]) -> Vec<usize> {
+pub fn dominance_counts<B: Borrow<Tuple>>(tuples: &[B], attrs: &[AttrId]) -> Vec<usize> {
     let mut counts = vec![0usize; tuples.len()];
-    for (i, t) in tuples.iter().enumerate() {
-        for u in tuples.iter() {
+    for (i, t) in tuples.iter().map(Borrow::borrow).enumerate() {
+        for u in tuples.iter().map(Borrow::borrow) {
             if u.id != t.id && dominates_on(u, t, attrs) {
                 counts[i] += 1;
             }
@@ -28,22 +30,25 @@ pub fn dominance_counts(tuples: &[Tuple], attrs: &[AttrId]) -> Vec<usize> {
 /// Computes the K-sky-band of `tuples` over the ranking attributes of
 /// `schema`: all tuples dominated by fewer than `k` other tuples.
 ///
+/// Generic over the tuple handle (`&[Tuple]`, `&[Arc<Tuple>]`, ...) like
+/// [`crate::bnl_skyline`].
+///
 /// # Panics
 /// Panics if `k == 0` (the 0-sky-band is the empty set by definition and is
 /// never what callers want).
-pub fn skyband(tuples: &[Tuple], schema: &Schema, k: usize) -> Vec<Tuple> {
+pub fn skyband<B: Borrow<Tuple>>(tuples: &[B], schema: &Schema, k: usize) -> Vec<Tuple> {
     skyband_on(tuples, schema.ranking_attrs(), k)
 }
 
 /// Computes the K-sky-band over an explicit attribute subset.
-pub fn skyband_on(tuples: &[Tuple], attrs: &[AttrId], k: usize) -> Vec<Tuple> {
+pub fn skyband_on<B: Borrow<Tuple>>(tuples: &[B], attrs: &[AttrId], k: usize) -> Vec<Tuple> {
     assert!(k >= 1, "the K-sky-band requires K >= 1");
     let counts = dominance_counts(tuples, attrs);
     tuples
         .iter()
         .zip(counts)
         .filter(|(_, c)| *c < k)
-        .map(|(t, _)| t.clone())
+        .map(|(t, _)| t.borrow().clone())
         .collect()
 }
 

@@ -81,7 +81,7 @@ fn build_db(spec: &DbSpec, interface: Option<InterfaceType>) -> HiddenDb {
 }
 
 fn truth_combos(db: &HiddenDb) -> Vec<Vec<u32>> {
-    value_combos(&bnl_skyline(db.oracle_tuples(), db.schema()))
+    value_combos(&bnl_skyline(db.oracle_tuples().as_slice(), db.schema()))
 }
 
 proptest! {

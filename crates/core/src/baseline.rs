@@ -19,7 +19,7 @@
 
 use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, Value};
 
-use crate::{Client, Collector, Discoverer, DiscoveryError, DiscoveryResult};
+use crate::{Client, Discoverer, DiscoveryError, DiscoveryResult, KnowledgeBase};
 
 /// Crawl-everything-then-compute-locally baseline for two-ended range
 /// interfaces.
@@ -68,7 +68,7 @@ impl BaselineCrawl {
 /// the query budget ran out before the crawl finished.
 pub(crate) fn crawl_region(
     client: &mut Client<'_>,
-    collector: &mut Collector,
+    collector: &mut KnowledgeBase,
     base: &[Predicate],
     split_attrs: &[(usize, Value)],
 ) -> Result<bool, DiscoveryError> {
@@ -138,7 +138,7 @@ impl Discoverer for BaselineCrawl {
             .map(|&a| (a, db.schema().attr(a).domain_size))
             .collect();
         let mut client = Client::new(db, self.budget);
-        let mut collector = Collector::new(attrs);
+        let mut collector = KnowledgeBase::new(attrs);
         let completed = crawl_region(&mut client, &mut collector, &[], &split_attrs)?;
         Ok(collector.finish(client.issued(), completed))
     }
@@ -178,7 +178,7 @@ impl Discoverer for PointSpaceCrawl {
             .map(|&a| db.schema().attr(a).domain_size)
             .collect();
         let mut client = Client::new(db, self.budget);
-        let mut collector = Collector::new(attrs.clone());
+        let mut collector = KnowledgeBase::new(attrs.clone());
 
         let mut combo: Vec<Value> = vec![0; attrs.len()];
         loop {

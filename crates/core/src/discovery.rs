@@ -1,14 +1,11 @@
 //! Shared infrastructure of the discovery algorithms: the [`Discoverer`]
-//! trait, result/trace types, the query client (budget handling) and the
-//! tuple collector (anytime skyline maintenance).
+//! trait, result/trace types and the query client (budget handling). The
+//! anytime skyline maintenance lives in [`crate::KnowledgeBase`].
 
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-use skyweb_hidden_db::{
-    dominates_on, AttrId, CmpOp, HiddenDb, Query, QueryError, QueryResponse, Session, Tuple,
-    TupleId,
-};
+use skyweb_hidden_db::{HiddenDb, Query, QueryError, QueryResponse, Session, Tuple};
 
 /// One point of an *anytime trace*: after `queries` issued queries, the
 /// client could already certify `skyline_found` tuples as current skyline
@@ -23,15 +20,20 @@ pub struct TracePoint {
 }
 
 /// The outcome of a skyline-discovery run.
+///
+/// Tuples are `Arc`-shared with the database's store — the same handles the
+/// query responses carried — so results of large runs cost reference bumps,
+/// not deep copies.
 #[derive(Debug, Clone)]
 pub struct DiscoveryResult {
     /// The discovered skyline tuples (the exact skyline when
-    /// [`DiscoveryResult::complete`] is `true`, a subset otherwise).
-    pub skyline: Vec<Tuple>,
+    /// [`DiscoveryResult::complete`] is `true`, a subset otherwise),
+    /// sorted by tuple id.
+    pub skyline: Vec<Arc<Tuple>>,
     /// Every distinct tuple retrieved during the run (skyline and
-    /// non-skyline alike); useful for baselines and sky-band
-    /// post-processing.
-    pub retrieved: Vec<Tuple>,
+    /// non-skyline alike), sorted by tuple id; useful for baselines and
+    /// sky-band post-processing.
+    pub retrieved: Vec<Arc<Tuple>>,
     /// Number of search queries issued by this run.
     pub query_cost: u64,
     /// The anytime trace: skyline candidates known after each query.
@@ -161,127 +163,10 @@ impl<'a> Client<'a> {
     }
 }
 
-/// Collects every retrieved tuple, maintains the skyline of the retrieved
-/// set incrementally (BNL insertion), and records the anytime trace.
-pub(crate) struct Collector {
-    attrs: Vec<AttrId>,
-    seen: HashMap<TupleId, Tuple>,
-    skyline: Vec<Tuple>,
-    trace: Vec<TracePoint>,
-}
-
-impl Collector {
-    /// Creates a collector that evaluates dominance on `attrs`.
-    pub(crate) fn new(attrs: Vec<AttrId>) -> Self {
-        Collector {
-            attrs,
-            seen: HashMap::new(),
-            skyline: Vec::new(),
-            trace: Vec::new(),
-        }
-    }
-
-    /// Ingests newly returned tuples, updating the retrieved set and the
-    /// current skyline. Accepts both plain tuples and the `Arc`-shared
-    /// tuples of [`QueryResponse`].
-    pub(crate) fn ingest<T: std::borrow::Borrow<Tuple>>(&mut self, tuples: &[T]) {
-        for t in tuples {
-            let t = t.borrow();
-            if self.seen.contains_key(&t.id) {
-                continue;
-            }
-            self.seen.insert(t.id, t.clone());
-            // BNL insertion into the current skyline.
-            let mut dominated = false;
-            let mut i = 0;
-            while i < self.skyline.len() {
-                if dominates_on(&self.skyline[i], t, &self.attrs) {
-                    dominated = true;
-                    break;
-                }
-                if dominates_on(t, &self.skyline[i], &self.attrs) {
-                    self.skyline.swap_remove(i);
-                } else {
-                    i += 1;
-                }
-            }
-            if !dominated {
-                self.skyline.push(t.clone());
-            }
-        }
-    }
-
-    /// Records a trace point after `queries` issued queries.
-    pub(crate) fn record(&mut self, queries: u64) {
-        self.trace.push(TracePoint {
-            queries,
-            skyline_found: self.skyline.len(),
-        });
-    }
-
-    /// `true` if any retrieved tuple matches `query`.
-    ///
-    /// Queries whose predicates are all *upper bounds* on the dominance
-    /// attributes are downward closed under coordinate-wise ≤, so a
-    /// retrieved tuple matches iff some tuple of the current (minimal)
-    /// skyline matches — scanning the small skyline is exact and turns the
-    /// tree traversals' per-node membership test from O(|retrieved|) into
-    /// O(|skyline|). Other query shapes (equality pivots on point
-    /// attributes, domination-subspace roots) fall back to the full set.
-    pub(crate) fn any_seen_matches(&self, query: &Query) -> bool {
-        let downward_closed = query
-            .predicates()
-            .iter()
-            .all(|p| matches!(p.op, CmpOp::Lt | CmpOp::Le) && self.attrs.contains(&p.attr));
-        if downward_closed {
-            self.skyline.iter().any(|t| query.matches(t))
-        } else {
-            self.seen.values().any(|t| query.matches(t))
-        }
-    }
-
-    /// `true` if any *current skyline* tuple dominates `t`.
-    pub(crate) fn dominated_by_skyline(&self, t: &Tuple) -> Option<&Tuple> {
-        self.skyline
-            .iter()
-            .find(|s| dominates_on(s, t, &self.attrs))
-    }
-
-    /// The skyline of everything retrieved so far.
-    pub(crate) fn skyline(&self) -> &[Tuple] {
-        &self.skyline
-    }
-
-    /// Every retrieved tuple.
-    pub(crate) fn retrieved(&self) -> Vec<Tuple> {
-        let mut all: Vec<Tuple> = self.seen.values().cloned().collect();
-        all.sort_by_key(|t| t.id);
-        all
-    }
-
-    /// Consumes the collector into a [`DiscoveryResult`].
-    pub(crate) fn finish(self, query_cost: u64, complete: bool) -> DiscoveryResult {
-        let retrieved = {
-            let mut all: Vec<Tuple> = self.seen.values().cloned().collect();
-            all.sort_by_key(|t| t.id);
-            all
-        };
-        let mut skyline = self.skyline;
-        skyline.sort_by_key(|t| t.id);
-        DiscoveryResult {
-            skyline,
-            retrieved,
-            query_cost,
-            trace: self.trace,
-            complete,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skyweb_hidden_db::{InterfaceType, Predicate, RateLimit, SchemaBuilder, SumRanker};
+    use skyweb_hidden_db::{InterfaceType, Predicate, RateLimit, SchemaBuilder, SumRanker, Tuple};
 
     fn toy_db(k: usize) -> HiddenDb {
         let schema = SchemaBuilder::new()
@@ -324,46 +209,5 @@ mod tests {
         let mut client = Client::new(&db, None);
         let bad = Query::new(vec![Predicate::eq(7, 0)]);
         assert!(client.query(&bad).is_err());
-    }
-
-    #[test]
-    fn collector_maintains_skyline_of_seen() {
-        let mut c = Collector::new(vec![0, 1]);
-        c.ingest(&[Tuple::new(1, vec![4, 4])]);
-        assert_eq!(c.skyline().len(), 1);
-        c.ingest(&[Tuple::new(3, vec![3, 2])]);
-        // (3,2) dominates (4,4).
-        assert_eq!(c.skyline().len(), 1);
-        assert_eq!(c.skyline()[0].id, 3);
-        c.ingest(&[Tuple::new(0, vec![5, 1]), Tuple::new(3, vec![3, 2])]);
-        assert_eq!(c.skyline().len(), 2);
-        assert_eq!(c.retrieved().len(), 3);
-    }
-
-    #[test]
-    fn collector_trace_and_finish() {
-        let mut c = Collector::new(vec![0, 1]);
-        c.record(1);
-        c.ingest(&[Tuple::new(0, vec![5, 1])]);
-        c.record(2);
-        let result = c.finish(2, true);
-        assert_eq!(result.trace.len(), 2);
-        assert_eq!(result.trace[0].skyline_found, 0);
-        assert_eq!(result.trace[1].skyline_found, 1);
-        assert_eq!(result.query_cost, 2);
-        assert!(result.complete);
-        assert!((result.queries_per_skyline() - 2.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn collector_matching_and_domination_helpers() {
-        let mut c = Collector::new(vec![0, 1]);
-        c.ingest(&[Tuple::new(3, vec![3, 2])]);
-        let q = Query::new(vec![Predicate::lt(0, 4)]);
-        assert!(c.any_seen_matches(&q));
-        let q2 = Query::new(vec![Predicate::lt(0, 2)]);
-        assert!(!c.any_seen_matches(&q2));
-        assert!(c.dominated_by_skyline(&Tuple::new(9, vec![4, 4])).is_some());
-        assert!(c.dominated_by_skyline(&Tuple::new(9, vec![1, 1])).is_none());
     }
 }

@@ -51,6 +51,7 @@
 pub mod analysis;
 mod baseline;
 mod discovery;
+mod knowledge;
 mod mq;
 mod pq;
 mod pq2d;
@@ -61,6 +62,7 @@ mod sq;
 
 pub use baseline::{BaselineCrawl, PointSpaceCrawl};
 pub use discovery::{Discoverer, DiscoveryError, DiscoveryResult, TracePoint};
+pub use knowledge::KnowledgeBase;
 pub use mq::MqDbSky;
 pub use pq::PqDbSky;
 pub use pq2d::Pq2dSky;
@@ -68,4 +70,4 @@ pub use rq::RqDbSky;
 pub use skyband::{skyband_of_retrieved, RqSkyband, SkybandResult};
 pub use sq::SqDbSky;
 
-pub(crate) use discovery::{Client, Collector};
+pub(crate) use discovery::Client;

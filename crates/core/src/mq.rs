@@ -26,11 +26,11 @@
 
 use std::collections::HashSet;
 
-use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, Tuple, Value};
+use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, Value};
 
 use crate::baseline::crawl_region;
 use crate::{
-    Client, Collector, Discoverer, DiscoveryError, DiscoveryResult, PqDbSky, RqDbSky, SqDbSky,
+    Client, Discoverer, DiscoveryError, DiscoveryResult, KnowledgeBase, PqDbSky, RqDbSky, SqDbSky,
 };
 
 /// MQ-DB-SKY: skyline discovery for any mixture of SQ, RQ and PQ ranking
@@ -62,7 +62,7 @@ impl MqDbSky {
     #[allow(clippy::too_many_arguments)]
     fn refine_point_subspace(
         client: &mut Client<'_>,
-        collector: &mut Collector,
+        collector: &mut KnowledgeBase,
         base: &Query,
         remaining_points: &[usize],
         range_attrs: &[usize],
@@ -167,7 +167,7 @@ impl Discoverer for MqDbSky {
         let k = db.k();
 
         let mut client = Client::new(db, self.budget);
-        let mut collector = Collector::new(attrs);
+        let mut collector = KnowledgeBase::new(attrs);
 
         // ----- Phase 1: range-only discovery (point attributes left as *).
         let completed = if all_range_two_ended {
@@ -190,7 +190,7 @@ impl Discoverer for MqDbSky {
         if !completed {
             return Ok(collector.finish(client.issued(), false));
         }
-        let phase1_skyline: Vec<Tuple> = collector.skyline().to_vec();
+        let phase1_skyline = collector.skyline_tuples();
         if phase1_skyline.is_empty() {
             // Empty database.
             return Ok(collector.finish(client.issued(), true));
@@ -249,7 +249,7 @@ impl Discoverer for MqDbSky {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skyweb_hidden_db::{SchemaBuilder, SumRanker};
+    use skyweb_hidden_db::{SchemaBuilder, SumRanker, Tuple};
     use skyweb_skyline::{bnl_skyline, same_ids};
 
     fn mixed_schema(

@@ -25,7 +25,7 @@
 use skyweb_hidden_db::{HiddenDb, Predicate, Query, Value};
 
 use crate::pq2dsub::{build_plane_rects, sweep_plane, PlanePoint};
-use crate::{Client, Collector, Discoverer, DiscoveryError, DiscoveryResult};
+use crate::{Client, Discoverer, DiscoveryError, DiscoveryResult, KnowledgeBase};
 
 /// PQ-DB-SKY: skyline discovery for point-predicate databases of any
 /// dimensionality (m ≥ 2).
@@ -103,7 +103,7 @@ impl Discoverer for PqDbSky {
         let schema = db.schema();
         let attrs: Vec<usize> = schema.ranking_attrs().to_vec();
         let mut client = Client::new(db, self.budget);
-        let mut collector = Collector::new(attrs.clone());
+        let mut collector = KnowledgeBase::new(attrs.clone());
 
         // Step 1: SELECT * seeds the pruning.
         let Some(resp) = client.query(&Query::select_all())? else {
@@ -132,9 +132,10 @@ impl Discoverer for PqDbSky {
                 return Ok(collector.finish(client.issued(), false));
             }
 
-            // Pruning information for this plane.
-            let retrieved = collector.retrieved();
-            let pruning: Vec<PlanePoint> = retrieved
+            // Pruning information for this plane — borrowed from the
+            // knowledge base, not deep-cloned per plane.
+            let pruning: Vec<PlanePoint> = collector
+                .retrieved_snapshot()
                 .iter()
                 .filter(|t| others.iter().zip(&combo).all(|(&a, &v)| t.values[a] <= v))
                 .map(|t| PlanePoint {

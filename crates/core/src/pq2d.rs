@@ -14,7 +14,7 @@
 use skyweb_hidden_db::{HiddenDb, InterfaceType, Query};
 
 use crate::pq2dsub::{build_plane_rects, sweep_plane, PlanePoint};
-use crate::{Client, Collector, Discoverer, DiscoveryError, DiscoveryResult};
+use crate::{Client, Discoverer, DiscoveryError, DiscoveryResult, KnowledgeBase};
 
 /// PQ-2D-SKY: instance-optimal skyline discovery over a 2-attribute
 /// point-predicate database.
@@ -67,7 +67,7 @@ impl Discoverer for Pq2dSky {
         let dx = db.schema().attr(a1).domain_size;
         let dy = db.schema().attr(a2).domain_size;
         let mut client = Client::new(db, self.budget);
-        let mut collector = Collector::new(vec![a1, a2]);
+        let mut collector = KnowledgeBase::new(vec![a1, a2]);
 
         let Some(resp) = client.query(&Query::select_all())? else {
             return Ok(collector.finish(client.issued(), false));

@@ -21,7 +21,7 @@
 
 use skyweb_hidden_db::{AttrId, Predicate, Query, Value};
 
-use crate::{Client, Collector, DiscoveryError};
+use crate::{Client, DiscoveryError, KnowledgeBase};
 
 /// An inclusive candidate rectangle `[xl, xr] × [yb, yt]` in a 2D plane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,7 +142,7 @@ pub(crate) fn build_plane_rects(
 /// rectangles. Returns `Ok(false)` if the client's budget ran out.
 pub(crate) fn sweep_plane(
     client: &mut Client<'_>,
-    collector: &mut Collector,
+    collector: &mut KnowledgeBase,
     a1: AttrId,
     a2: AttrId,
     plane_preds: &[Predicate],

@@ -23,7 +23,7 @@
 
 use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, Tuple};
 
-use crate::{Client, Collector, Discoverer, DiscoveryError, DiscoveryResult};
+use crate::{Client, Discoverer, DiscoveryError, DiscoveryResult, KnowledgeBase};
 
 /// RQ-DB-SKY: skyline discovery for databases whose ranking attributes all
 /// support two-ended range predicates.
@@ -77,7 +77,7 @@ impl RqDbSky {
     /// `Ok(false)` if the query budget ran out.
     pub(crate) fn run_tree(
         client: &mut Client<'_>,
-        collector: &mut Collector,
+        collector: &mut KnowledgeBase,
         branch_attrs: &[usize],
         root: Query,
         k: usize,
@@ -87,50 +87,51 @@ impl RqDbSky {
             rq: root,
         }];
         while let Some(node) = stack.pop() {
-            let expand_pivot: Option<Tuple> = if !collector.any_seen_matches(&node.sq) {
-                // No previously retrieved tuple matches q: issue q itself.
-                let Some(resp) = client.query(&node.sq)? else {
-                    return Ok(false);
-                };
-                collector.ingest(&resp.tuples);
-                collector.record(client.issued());
-                if resp.tuples.len() == k {
-                    Some(resp.tuples[0].as_ref().clone())
+            let expand_pivot: Option<std::sync::Arc<Tuple>> =
+                if !collector.any_seen_matches(&node.sq) {
+                    // No previously retrieved tuple matches q: issue q itself.
+                    let Some(resp) = client.query(&node.sq)? else {
+                        return Ok(false);
+                    };
+                    collector.ingest(&resp.tuples);
+                    collector.record(client.issued());
+                    if resp.tuples.len() == k {
+                        Some(std::sync::Arc::clone(&resp.tuples[0]))
+                    } else {
+                        None
+                    }
                 } else {
-                    None
-                }
-            } else {
-                // Issue the mutually exclusive counterpart R(q).
-                let Some(resp) = client.query(&node.rq)? else {
-                    return Ok(false);
+                    // Issue the mutually exclusive counterpart R(q).
+                    let Some(resp) = client.query(&node.rq)? else {
+                        return Ok(false);
+                    };
+                    let returned = resp.tuples.clone();
+                    collector.ingest(&returned);
+                    collector.record(client.issued());
+                    if returned.is_empty() {
+                        // No new tuple can be discovered in this subtree.
+                        None
+                    } else if returned.len() == k {
+                        // Children are generated from a dominating skyline tuple
+                        // if one exists, otherwise from the returned top tuple.
+                        // The pivot must itself satisfy the node's query so that
+                        // "dominated by the pivot" implies "dominated inside the
+                        // subspace rooted here" (relevant when the traversal is
+                        // rooted in a domination subspace for sky-band
+                        // discovery).
+                        let top = &returned[0];
+                        let pivot = collector
+                            .dominated_by_skyline(top)
+                            .filter(|p| node.sq.matches(p))
+                            .map(std::sync::Arc::clone)
+                            .unwrap_or_else(|| std::sync::Arc::clone(top));
+                        Some(pivot)
+                    } else {
+                        // R(q) underflowed: every tuple in its (exclusive)
+                        // region has been retrieved; nothing left in the subtree.
+                        None
+                    }
                 };
-                let returned = resp.tuples.clone();
-                collector.ingest(&returned);
-                collector.record(client.issued());
-                if returned.is_empty() {
-                    // No new tuple can be discovered in this subtree.
-                    None
-                } else if returned.len() == k {
-                    // Children are generated from a dominating skyline tuple
-                    // if one exists, otherwise from the returned top tuple.
-                    // The pivot must itself satisfy the node's query so that
-                    // "dominated by the pivot" implies "dominated inside the
-                    // subspace rooted here" (relevant when the traversal is
-                    // rooted in a domination subspace for sky-band
-                    // discovery).
-                    let top = returned[0].as_ref();
-                    let pivot = collector
-                        .dominated_by_skyline(top)
-                        .filter(|p| node.sq.matches(p))
-                        .cloned()
-                        .unwrap_or_else(|| top.clone());
-                    Some(pivot)
-                } else {
-                    // R(q) underflowed: every tuple in its (exclusive)
-                    // region has been retrieved; nothing left in the subtree.
-                    None
-                }
-            };
 
             if let Some(pivot) = expand_pivot {
                 for child in Self::children(&node, &pivot, branch_attrs)
@@ -170,7 +171,7 @@ impl Discoverer for RqDbSky {
         Self::check_interface(db)?;
         let attrs: Vec<usize> = db.schema().ranking_attrs().to_vec();
         let mut client = Client::new(db, self.budget);
-        let mut collector = Collector::new(attrs.clone());
+        let mut collector = KnowledgeBase::new(attrs.clone());
         let completed = Self::run_tree(
             &mut client,
             &mut collector,

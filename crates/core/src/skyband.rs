@@ -19,29 +19,39 @@
 //! least `h` dominators of any non-band tuple are themselves on the band and
 //! therefore retrieved.
 
+use std::borrow::Borrow;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, Tuple};
 use skyweb_skyline::skyband_on;
 
-use crate::{Client, Collector, DiscoveryError, RqDbSky};
+use crate::{Client, DiscoveryError, KnowledgeBase, RqDbSky};
 
 /// Extracts the top-h sky band of the *retrieved* tuple set by exact local
 /// dominance counting over the ranking attributes of `db`.
 ///
 /// This post-processing is exact whenever the retrieved set is a superset of
-/// the true top-h band (which the discovery procedures guarantee).
-pub fn skyband_of_retrieved(retrieved: &[Tuple], db: &HiddenDb, h: usize) -> Vec<Tuple> {
+/// the true top-h band (which the discovery procedures guarantee). The
+/// discovery procedure itself no longer needs it — the knowledge base's
+/// incremental index maintains every band level as tuples arrive — but it
+/// remains the independent reference the tests pin that index against.
+pub fn skyband_of_retrieved<B: Borrow<Tuple>>(
+    retrieved: &[B],
+    db: &HiddenDb,
+    h: usize,
+) -> Vec<Tuple> {
     skyband_on(retrieved, db.schema().ranking_attrs(), h)
 }
 
-/// Result of a sky-band discovery run.
+/// Result of a sky-band discovery run. Tuples are `Arc`-shared with the
+/// database store, like [`crate::DiscoveryResult`]'s.
 #[derive(Debug, Clone)]
 pub struct SkybandResult {
     /// The discovered top-h sky band (exact when `complete` is `true`).
-    pub band: Vec<Tuple>,
+    pub band: Vec<Arc<Tuple>>,
     /// Every tuple retrieved along the way.
-    pub retrieved: Vec<Tuple>,
+    pub retrieved: Vec<Arc<Tuple>>,
     /// Total number of queries issued.
     pub query_cost: u64,
     /// Number of RQ-DB-SKY executions performed (the paper's cost driver is
@@ -100,7 +110,10 @@ impl RqSkyband {
         let attrs: Vec<usize> = db.schema().ranking_attrs().to_vec();
         let k = db.k();
         let mut client = Client::new(db, self.budget);
-        let mut collector = Collector::new(attrs.clone());
+        // Band-h knowledge base: the incremental index keeps every level of
+        // the band current, so neither the per-level expansion nor the final
+        // extraction recounts dominance over the retrieved set.
+        let mut collector = KnowledgeBase::with_band(attrs.clone(), self.h);
         let mut runs = 0usize;
 
         // Level 1: the plain skyline.
@@ -116,7 +129,7 @@ impl RqSkyband {
         let mut used_roots: HashSet<u64> = HashSet::new();
         if completed {
             'levels: for level in 1..self.h {
-                let band_prev = skyband_on(&collector.retrieved(), &attrs, level);
+                let band_prev = collector.band_tuples(level);
                 for t in band_prev {
                     if !used_roots.insert(t.id) {
                         continue;
@@ -150,8 +163,10 @@ impl RqSkyband {
             }
         }
 
-        let retrieved = collector.retrieved();
-        let band = skyband_on(&retrieved, &attrs, self.h);
+        let mut band = collector.band_tuples(self.h);
+        band.sort_by_key(|t| t.id);
+        let mut retrieved: Vec<Arc<Tuple>> = collector.retrieved_snapshot().to_vec();
+        retrieved.sort_by_key(|t| t.id);
         Ok(SkybandResult {
             band,
             retrieved,

@@ -5,8 +5,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::index::{share_selected, QueryIndex, Scratch};
-use crate::stats::{AccessLog, AccessLogEntry, QueryStats};
+use crate::index::{QueryIndex, Scratch};
+use crate::stats::{AccessLog, AccessLogEntry, QueryStats, ShardedAccessLog};
 use crate::store::TupleStore;
 use crate::{
     AttrId, AttributeRole, CmpOp, ExecStrategy, InterfaceType, Query, Ranker, Schema, SumRanker,
@@ -168,7 +168,11 @@ pub struct HiddenDb {
     empty_answers: AtomicU64,
     tuples_returned: AtomicU64,
     log_enabled: AtomicBool,
-    access_log: Mutex<Option<AccessLog>>,
+    /// Sharded log buffers: entries are spread over independently locked
+    /// shards by sequence number, so concurrent logging sessions do not
+    /// serialize on one mutex; [`HiddenDb::access_log`] merges them into the
+    /// seq-ordered snapshot.
+    access_log: ShardedAccessLog,
     /// Recycled per-query working memory for session-less [`HiddenDb::query`]
     /// calls. Sessions carry their own scratch; this pool only serves one-off
     /// queries so they stay allocation-light too.
@@ -226,7 +230,7 @@ impl HiddenDb {
             empty_answers: AtomicU64::new(0),
             tuples_returned: AtomicU64::new(0),
             log_enabled: AtomicBool::new(false),
-            access_log: Mutex::new(None),
+            access_log: ShardedAccessLog::default(),
             scratch_pool: Mutex::new(Vec::new()),
         }
     }
@@ -287,25 +291,24 @@ impl HiddenDb {
 
     /// Starts recording every answered query in an [`AccessLog`].
     pub fn enable_access_log(&self) {
-        *self.access_log.lock().expect("access log poisoned") = Some(AccessLog::default());
+        self.access_log.clear();
         self.log_enabled.store(true, Ordering::Relaxed);
     }
 
     /// Returns a snapshot of the access log (empty if logging was never
     /// enabled).
     ///
-    /// The log is shared by every client of the database; under concurrent
-    /// sessions entries may be appended slightly out of order (a client can
-    /// be preempted between reserving its sequence number and writing its
-    /// entry), so the snapshot is normalized to ascending sequence order —
-    /// the merged, chronological view of all clients' queries.
+    /// The log is shared by every client of the database but written
+    /// through per-sequence-number shards (a client can also be preempted
+    /// between reserving its sequence number and writing its entry), so the
+    /// snapshot merges the shards and normalizes to ascending sequence
+    /// order — the merged, chronological view of all clients' queries,
+    /// byte-identical to what the old single-mutex log produced.
     pub fn access_log(&self) -> AccessLog {
-        self.access_log
-            .lock()
-            .expect("access log poisoned")
-            .clone()
-            .unwrap_or_default()
-            .into_seq_order()
+        if !self.log_enabled.load(Ordering::Relaxed) {
+            return AccessLog::default();
+        }
+        self.access_log.snapshot()
     }
 
     /// The database schema (public knowledge: the search form reveals it).
@@ -354,9 +357,8 @@ impl HiddenDb {
         self.overflows.store(0, Ordering::Relaxed);
         self.empty_answers.store(0, Ordering::Relaxed);
         self.tuples_returned.store(0, Ordering::Relaxed);
-        let mut log = self.access_log.lock().expect("access log poisoned");
-        if log.is_some() {
-            *log = Some(AccessLog::default());
+        if self.log_enabled.load(Ordering::Relaxed) {
+            self.access_log.clear();
         }
     }
 
@@ -462,19 +464,29 @@ impl HiddenDb {
         let (tuples, overflowed, matched) = match self.strategy {
             ExecStrategy::Scan => {
                 let mut indices: Vec<u32> = Vec::new();
-                let mut matching: Vec<&Tuple> = Vec::new();
                 for (i, t) in self.store.iter().enumerate() {
                     if query.matches(t) {
                         indices.push(i as u32);
-                        matching.push(t);
                     }
                 }
-                let overflowed = matching.len() > self.k;
-                let returned = self.ranker.select_top_k(&matching, self.k, &self.schema);
-                // Even the reference path shares the store now: no code
-                // path deep-clones tuples into a response anymore.
-                let tuples = share_selected(&self.store, &matching, &indices, &returned);
-                (tuples, overflowed, Some(matching.len()))
+                let matched = indices.len();
+                // The reference path offers no precomputed dominance index
+                // (`dom = None`); rankers are required to select identically
+                // with and without it, which the differential suite checks.
+                let selected = self.ranker.select_top_k_indices(
+                    &self.store,
+                    &indices,
+                    self.k,
+                    &self.schema,
+                    None,
+                );
+                // Even the reference path shares the store: no code path
+                // deep-clones tuples into a response anymore.
+                let tuples = selected
+                    .iter()
+                    .map(|&i| self.store.share(i as usize))
+                    .collect();
+                (tuples, matched > self.k, Some(matched))
             }
             ExecStrategy::Indexed => {
                 let out = self.index().execute(
@@ -505,20 +517,13 @@ impl HiddenDb {
             // rank scans, a plan it never picks while the log is recording
             // (`need_matched` above is this same flag).
             let matched = matched.expect("indexed execution must count matches when the log is on");
-            if let Some(log) = self
-                .access_log
-                .lock()
-                .expect("access log poisoned")
-                .as_mut()
-            {
-                log.push(AccessLogEntry {
-                    seq,
-                    query: query.to_string(),
-                    matched,
-                    returned: tuples.len(),
-                    overflowed,
-                });
-            }
+            self.access_log.push(AccessLogEntry {
+                seq,
+                query: query.to_string(),
+                matched,
+                returned: tuples.len(),
+                overflowed,
+            });
         }
 
         Ok(QueryResponse { tuples, overflowed })

@@ -1,0 +1,463 @@
+//! The incremental dominance-index subsystem shared by both sides of the
+//! query interface.
+//!
+//! Every discovery algorithm of the paper maintains *the retrieved set and
+//! its skyline* client-side, and the hidden database's skyline-aware rankers
+//! ([`crate::RandomSkylineRanker`], [`crate::WorstCaseRanker`]) need the
+//! same machinery server-side. This module is the single implementation
+//! both deploy:
+//!
+//! * **client side** — `skyweb-core`'s `KnowledgeBase` wraps an
+//!   [`IncrementalSkyline`] to maintain the skyline (or K-sky-band) of
+//!   everything a discovery run has retrieved, one `Arc` bump per tuple;
+//! * **server side** — [`DominanceIndex`] is precomputed once per
+//!   [`TupleStore`] so the skyline-aware rankers can order and classify any
+//!   matching subset without re-deriving dominance from scratch per query.
+//!
+//! It lives in `skyweb-hidden-db` (not `skyweb-skyline`) because the
+//! dependency arrow points this way: the skyline crate depends on this one
+//! for [`Tuple`], so a structure consumed by the rankers *and* by the
+//! client layer must sit at the bottom of the stack. `skyweb-skyline`
+//! re-exports it as `skyweb_skyline::incremental`, which is the module
+//! client code should reach for.
+//!
+//! # Design
+//!
+//! Entries are kept sorted by a **monotone key**: the sum of the tuple's
+//! values on the dominance attributes, ties broken by tuple id. Dominance
+//! implies a strictly smaller key, so
+//!
+//! * dominators of a new tuple can only sit in the sorted prefix before its
+//!   insertion point (found by binary search), and the scan early-exits as
+//!   soon as `band` dominators are seen;
+//! * tuples a new entry evicts can only sit in the suffix after it;
+//! * the first skyline entry in key order that dominates a probe tuple is
+//!   the *smallest-key* dominator — a deterministic answer independent of
+//!   insertion order (the old BNL collector's answer depended on it).
+//!
+//! With `band = h` the structure maintains the **top-h sky band** (tuples
+//! dominated by fewer than `h` others; `h = 1` is the plain skyline). The
+//! per-entry dominator counts are *exact global counts*, not band-local
+//! approximations: a band member's dominators are all band members
+//! themselves (any dominator outside the band would contribute its own
+//! `>= h` band dominators transitively, contradicting membership), so
+//! [`IncrementalSkyline::band_members`] can answer every level `<= h`
+//! exactly — which is what lets sky-band discovery drop its repeated
+//! O(n²) dominance-count passes over the retrieved set.
+
+use std::sync::Arc;
+
+use crate::store::TupleStore;
+use crate::tuple::dominates_on;
+use crate::{AttrId, Tuple};
+
+/// One indexed tuple: the shared handle, its monotone sort key and its
+/// exact dominator count.
+#[derive(Debug, Clone)]
+struct Entry {
+    tuple: Arc<Tuple>,
+    key: u64,
+    dom: u32,
+}
+
+/// An incrementally maintained skyline (or top-h sky band) over a growing
+/// set of `Arc`-shared tuples.
+///
+/// Inserts are amortized cheap on realistic discovery streams: the binary
+/// search costs O(log s), the dominator scan stops at the first `band`
+/// dominators (immediately, for the common dominated-tuple case), and the
+/// eviction scan only touches the strictly-worse suffix.
+///
+/// ```
+/// use std::sync::Arc;
+/// use skyweb_hidden_db::{IncrementalSkyline, Tuple};
+///
+/// let mut sky = IncrementalSkyline::new(vec![0, 1]);
+/// sky.insert(Arc::new(Tuple::new(0, vec![4, 4])));
+/// sky.insert(Arc::new(Tuple::new(1, vec![1, 3])));
+/// sky.insert(Arc::new(Tuple::new(2, vec![3, 2])));
+/// assert_eq!(sky.skyline_len(), 2); // (4,4) is dominated by both
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalSkyline {
+    attrs: Vec<AttrId>,
+    band: u32,
+    entries: Vec<Entry>,
+    skyline_len: usize,
+}
+
+impl IncrementalSkyline {
+    /// Creates an incremental *skyline* (band = 1) over the given dominance
+    /// attributes.
+    pub fn new(attrs: Vec<AttrId>) -> Self {
+        IncrementalSkyline::with_band(attrs, 1)
+    }
+
+    /// Creates an incremental top-`band` sky band over the given dominance
+    /// attributes.
+    ///
+    /// # Panics
+    /// Panics if `band == 0`.
+    pub fn with_band(attrs: Vec<AttrId>, band: usize) -> Self {
+        assert!(band >= 1, "the sky band requires band >= 1");
+        IncrementalSkyline {
+            attrs,
+            band: band as u32,
+            entries: Vec::new(),
+            skyline_len: 0,
+        }
+    }
+
+    /// The dominance attributes.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// The band parameter `h` (1 for a plain skyline).
+    pub fn band(&self) -> usize {
+        self.band as usize
+    }
+
+    /// Number of band members currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been inserted (or everything was rejected).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of current *skyline* members (entries dominated by nobody).
+    pub fn skyline_len(&self) -> usize {
+        self.skyline_len
+    }
+
+    /// The monotone sort key: dominance implies a strictly smaller key.
+    fn key_of(&self, t: &Tuple) -> u64 {
+        self.attrs.iter().map(|&a| u64::from(t.values[a])).sum()
+    }
+
+    /// Inserts a tuple, updating band membership and dominator counts.
+    /// Returns `true` if the tuple entered the band (i.e. it is dominated by
+    /// fewer than `band` previously inserted band members).
+    ///
+    /// The caller is responsible for not inserting the same tuple id twice;
+    /// duplicate *values* under distinct ids are fine (they do not dominate
+    /// each other).
+    pub fn insert(&mut self, tuple: Arc<Tuple>) -> bool {
+        let key = self.key_of(&tuple);
+        let pos = self
+            .entries
+            .partition_point(|e| (e.key, e.tuple.id) < (key, tuple.id));
+
+        // Dominators live strictly before `pos` (strictly smaller key).
+        let mut dom = 0u32;
+        for e in &self.entries[..pos] {
+            if e.key < key && dominates_on(&e.tuple, &tuple, &self.attrs) {
+                dom += 1;
+                if dom >= self.band {
+                    return false;
+                }
+            }
+        }
+
+        // Eviction candidates live strictly after `pos` (larger key).
+        let mut evict = false;
+        for e in &mut self.entries[pos..] {
+            if e.key > key && dominates_on(&tuple, &e.tuple, &self.attrs) {
+                if e.dom == 0 {
+                    self.skyline_len -= 1;
+                }
+                e.dom += 1;
+                evict |= e.dom >= self.band;
+            }
+        }
+        if evict {
+            let band = self.band;
+            self.entries.retain(|e| e.dom < band);
+        }
+
+        if dom == 0 {
+            self.skyline_len += 1;
+        }
+        self.entries.insert(pos, Entry { tuple, key, dom });
+        true
+    }
+
+    /// Iterates the band members in monotone-key order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Tuple>> {
+        self.entries.iter().map(|e| &e.tuple)
+    }
+
+    /// Iterates the current *skyline* members (dominator count 0) in
+    /// monotone-key order.
+    pub fn skyline(&self) -> impl Iterator<Item = &Arc<Tuple>> {
+        self.entries.iter().filter(|e| e.dom == 0).map(|e| &e.tuple)
+    }
+
+    /// Iterates the members of the top-`level` sky band, for any
+    /// `1 <= level <= band` — exact, because band members' dominator counts
+    /// are exact global counts (see the module docs).
+    ///
+    /// # Panics
+    /// Panics if `level` is 0 or exceeds the structure's band parameter.
+    pub fn band_members(&self, level: usize) -> impl Iterator<Item = &Arc<Tuple>> {
+        assert!(
+            level >= 1 && level <= self.band as usize,
+            "level {level} outside 1..={}",
+            self.band
+        );
+        let level = level as u32;
+        self.entries
+            .iter()
+            .filter(move |e| e.dom < level)
+            .map(|e| &e.tuple)
+    }
+
+    /// The smallest-key skyline member that dominates `t`, if any.
+    ///
+    /// A dominator's key is strictly smaller than `t`'s, so the scan stops
+    /// at `t`'s key; the answer is deterministic and independent of the
+    /// order in which tuples were inserted.
+    pub fn first_skyline_dominator(&self, t: &Tuple) -> Option<&Arc<Tuple>> {
+        let key = self.key_of(t);
+        self.entries
+            .iter()
+            .take_while(|e| e.key < key)
+            .find(|e| e.dom == 0 && dominates_on(&e.tuple, t, &self.attrs))
+            .map(|e| &e.tuple)
+    }
+
+    /// `true` if any band member dominates `t`.
+    pub fn is_dominated(&self, t: &Tuple) -> bool {
+        let key = self.key_of(t);
+        self.entries
+            .iter()
+            .take_while(|e| e.key < key)
+            .any(|e| dominates_on(&e.tuple, t, &self.attrs))
+    }
+}
+
+/// A per-[`TupleStore`] dominance index precomputed once at database
+/// construction, consumed by the skyline-aware rankers on every query.
+///
+/// It records, for every store position,
+///
+/// * its **rank** in the monotone `(key, id)` order — so a matching subset
+///   can be put into dominance-compatible order by sorting small integers,
+///   without touching tuple values at query time, and
+/// * whether the tuple lies on the **global skyline** — global skyline
+///   members are non-dominated in *every* subset of the store, so the
+///   rankers' per-query minimal-set construction can accept them without a
+///   single dominance test.
+#[derive(Debug, Clone)]
+pub struct DominanceIndex {
+    rank: Vec<u32>,
+    on_skyline: Vec<bool>,
+}
+
+impl DominanceIndex {
+    /// Builds the index over `store` on the given dominance attributes —
+    /// one sort plus one pass of [`IncrementalSkyline`] insertions in
+    /// ascending key order (which never evicts and early-exits on the first
+    /// dominator).
+    pub fn build(store: &TupleStore, attrs: &[AttrId]) -> Self {
+        let n = store.len();
+        let key_of = |t: &Tuple| -> u64 { attrs.iter().map(|&a| u64::from(t.values[a])).sum() };
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            let t = &store[i as usize];
+            (key_of(t), t.id)
+        });
+
+        let mut sky = IncrementalSkyline::new(attrs.to_vec());
+        let mut rank = vec![0u32; n];
+        let mut on_skyline = vec![false; n];
+        for (r, &idx) in order.iter().enumerate() {
+            rank[idx as usize] = r as u32;
+            // Ascending-key insertion: `insert` returns true exactly for the
+            // global skyline members (nothing inserted later can dominate an
+            // earlier, smaller-key entry).
+            on_skyline[idx as usize] = sky.insert(store.share(idx as usize));
+        }
+        DominanceIndex { rank, on_skyline }
+    }
+
+    /// Number of store positions covered.
+    pub fn len(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// `true` if the index covers an empty store.
+    pub fn is_empty(&self) -> bool {
+        self.rank.is_empty()
+    }
+
+    /// The monotone rank of store position `idx` (smaller rank can never be
+    /// dominated by larger rank).
+    pub fn rank_of(&self, idx: usize) -> u32 {
+        self.rank[idx]
+    }
+
+    /// `true` if the tuple at store position `idx` is on the global skyline.
+    pub fn on_skyline(&self, idx: usize) -> bool {
+        self.on_skyline[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tuple;
+
+    fn arc(id: u64, values: Vec<u32>) -> Arc<Tuple> {
+        Arc::new(Tuple::new(id, values))
+    }
+
+    /// Naive reference: exact dominator counts by pairwise comparison.
+    fn naive_counts(tuples: &[Arc<Tuple>], attrs: &[AttrId]) -> Vec<usize> {
+        tuples
+            .iter()
+            .map(|t| {
+                tuples
+                    .iter()
+                    .filter(|u| u.id != t.id && dominates_on(u, t, attrs))
+                    .count()
+            })
+            .collect()
+    }
+
+    fn ids<'a>(iter: impl Iterator<Item = &'a Arc<Tuple>>) -> Vec<u64> {
+        let mut v: Vec<u64> = iter.map(|t| t.id).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn maintains_the_skyline_incrementally() {
+        let mut sky = IncrementalSkyline::new(vec![0, 1]);
+        assert!(sky.insert(arc(1, vec![4, 4])));
+        assert_eq!(sky.skyline_len(), 1);
+        assert!(sky.insert(arc(3, vec![3, 2])));
+        // (3,2) dominates (4,4): with band 1 the dominated entry is evicted.
+        assert_eq!(sky.skyline_len(), 1);
+        assert_eq!(sky.len(), 1);
+        assert!(sky.insert(arc(0, vec![5, 1])));
+        assert_eq!(ids(sky.skyline()), vec![0, 3]);
+        // A dominated insert is rejected outright.
+        assert!(!sky.insert(arc(9, vec![5, 5])));
+        assert_eq!(sky.len(), 2);
+    }
+
+    #[test]
+    fn equal_values_do_not_dominate_each_other() {
+        let mut sky = IncrementalSkyline::new(vec![0, 1]);
+        assert!(sky.insert(arc(0, vec![2, 2])));
+        assert!(sky.insert(arc(1, vec![2, 2])));
+        assert_eq!(sky.skyline_len(), 2);
+    }
+
+    #[test]
+    fn band_counts_are_exact_against_the_naive_reference() {
+        // Pseudo-random stream in adversarial (non-sorted) insertion order.
+        let attrs = vec![0usize, 1, 2];
+        for band in 1..=4usize {
+            let tuples: Vec<Arc<Tuple>> = (0..120u64)
+                .map(|i| {
+                    arc(
+                        i,
+                        vec![
+                            ((i * 2654435761) % 13) as u32,
+                            ((i * 40503 + 7) % 11) as u32,
+                            ((i * 9176 + 3) % 7) as u32,
+                        ],
+                    )
+                })
+                .collect();
+            let mut sky = IncrementalSkyline::with_band(attrs.clone(), band);
+            for t in &tuples {
+                sky.insert(Arc::clone(t));
+            }
+            let counts = naive_counts(&tuples, &attrs);
+            for level in 1..=band {
+                let expected: Vec<u64> = {
+                    let mut v: Vec<u64> = tuples
+                        .iter()
+                        .zip(&counts)
+                        .filter(|(_, &c)| c < level)
+                        .map(|(t, _)| t.id)
+                        .collect();
+                    v.sort_unstable();
+                    v
+                };
+                assert_eq!(
+                    ids(sky.band_members(level)),
+                    expected,
+                    "band={band}, level={level}"
+                );
+            }
+            assert_eq!(sky.skyline_len(), sky.band_members(1).count());
+        }
+    }
+
+    #[test]
+    fn first_skyline_dominator_is_the_smallest_key_dominator() {
+        let mut sky = IncrementalSkyline::new(vec![0, 1]);
+        sky.insert(arc(0, vec![5, 1]));
+        sky.insert(arc(2, vec![1, 3]));
+        sky.insert(arc(3, vec![3, 2]));
+        // (4,4) is dominated by (1,3) [key 4] and (3,2) [key 5].
+        let probe = Tuple::new(9, vec![4, 4]);
+        assert_eq!(sky.first_skyline_dominator(&probe).unwrap().id, 2);
+        assert!(sky.is_dominated(&probe));
+        let free = Tuple::new(9, vec![0, 0]);
+        assert!(sky.first_skyline_dominator(&free).is_none());
+        assert!(!sky.is_dominated(&free));
+    }
+
+    #[test]
+    fn band_member_iteration_respects_levels() {
+        // Chain t_i = (i, i): t_i has exactly i dominators.
+        let mut sky = IncrementalSkyline::with_band(vec![0, 1], 3);
+        for i in (0..6u64).rev() {
+            sky.insert(arc(i, vec![i as u32, i as u32]));
+        }
+        assert_eq!(sky.len(), 3);
+        assert_eq!(ids(sky.band_members(1)), vec![0]);
+        assert_eq!(ids(sky.band_members(2)), vec![0, 1]);
+        assert_eq!(ids(sky.band_members(3)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "band >= 1")]
+    fn zero_band_panics() {
+        let _ = IncrementalSkyline::with_band(vec![0], 0);
+    }
+
+    #[test]
+    fn dominance_index_ranks_and_skyline_flags() {
+        let store = TupleStore::new(vec![
+            Tuple::new(0, vec![5, 1]),
+            Tuple::new(1, vec![4, 4]),
+            Tuple::new(2, vec![1, 3]),
+            Tuple::new(3, vec![3, 2]),
+        ]);
+        let dom = DominanceIndex::build(&store, &[0, 1]);
+        assert_eq!(dom.len(), 4);
+        // Keys: 6, 8, 4, 5 → rank order 2, 3, 0, 1.
+        assert_eq!(dom.rank_of(2), 0);
+        assert_eq!(dom.rank_of(3), 1);
+        assert_eq!(dom.rank_of(0), 2);
+        assert_eq!(dom.rank_of(1), 3);
+        // Tuple 1 is dominated by tuple 3; the rest are skyline.
+        assert!(dom.on_skyline(0) && dom.on_skyline(2) && dom.on_skyline(3));
+        assert!(!dom.on_skyline(1));
+    }
+
+    #[test]
+    fn dominance_index_on_empty_store() {
+        let dom = DominanceIndex::build(&TupleStore::new(vec![]), &[0]);
+        assert!(dom.is_empty());
+    }
+}

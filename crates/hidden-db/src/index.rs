@@ -37,6 +37,7 @@
 
 use std::sync::Arc;
 
+use crate::dominance::DominanceIndex;
 use crate::store::TupleStore;
 use crate::{AttrId, CmpOp, Query, Ranker, Schema, Tuple, Value};
 
@@ -128,6 +129,10 @@ pub(crate) struct QueryIndex {
     /// `perm` is.
     zones: Option<RankColumns>,
     postings: Vec<Posting>,
+    /// Precomputed dominance facts for dominance-driven rankers (those
+    /// without a total order); handed to every
+    /// [`Ranker::select_top_k_indices`] call on the fallback path.
+    dom: Option<DominanceIndex>,
 }
 
 impl QueryIndex {
@@ -185,12 +190,18 @@ impl QueryIndex {
                 Posting { starts, order }
             })
             .collect();
+        let dom = if perm.is_none() {
+            ranker.precompute_dominance(store, schema)
+        } else {
+            None
+        };
         QueryIndex {
             n,
             perm,
             rank_of,
             zones,
             postings,
+            dom,
         }
     }
 
@@ -445,9 +456,10 @@ impl QueryIndex {
     }
 
     /// Fallback for rankers without a precomputed order: materialize the
-    /// matching set (pruned through the best posting list, in store order —
-    /// byte-identical to what the naive scan would hand the ranker) and let
-    /// `select_top_k` decide.
+    /// matching positions (pruned through the best posting list, in store
+    /// order — byte-identical to what the naive scan would hand the ranker)
+    /// and let [`Ranker::select_top_k_indices`] decide, offering the
+    /// precomputed dominance index.
     #[allow(clippy::too_many_arguments)]
     fn ranker_fallback(
         &self,
@@ -478,53 +490,16 @@ impl QueryIndex {
             }
             None => hits.extend(0..self.n as u32),
         }
-        let matching: Vec<&Tuple> = hits.iter().map(|&i| &store[i as usize]).collect();
-        debug_assert!(matching.iter().all(|t| query.matches(t)));
-        let matched = matching.len();
-        let selected = ranker.select_top_k(&matching, k, schema);
-        let returned = share_selected(store, &matching, hits, &selected);
+        debug_assert!(hits.iter().all(|&i| query.matches(&store[i as usize])));
+        let matched = hits.len();
+        let selected = ranker.select_top_k_indices(store, hits, k, schema, self.dom.as_ref());
+        let returned = selected.iter().map(|&i| store.share(i as usize)).collect();
         ExecOutcome {
             returned,
             overflowed: matched > k,
             matched: Some(matched),
         }
     }
-}
-
-/// Maps ranker-selected references back to store indices and shares them.
-///
-/// Rankers return arbitrary `&Tuple` references out of `matching`; a
-/// one-pass address map recovers each tuple's store index (`matching[i]`
-/// borrows the tuple at store index `indices[i]`) so the response can alias
-/// the store instead of cloning. Shared with the naive scan path in `db.rs`.
-pub(crate) fn share_selected(
-    store: &TupleStore,
-    matching: &[&Tuple],
-    indices: &[u32],
-    selected: &[&Tuple],
-) -> Vec<Arc<Tuple>> {
-    // Hash only the k selected pointers (k is small), then resolve them
-    // with one pass over the matching set — not the other way around, which
-    // would insert |matching| (up to n) keys per query.
-    let pos_of: std::collections::HashMap<*const Tuple, usize> = selected
-        .iter()
-        .enumerate()
-        .map(|(pos, &t)| (t as *const Tuple, pos))
-        .collect();
-    let mut out: Vec<Option<Arc<Tuple>>> = vec![None; selected.len()];
-    let mut remaining = selected.len();
-    for (&t, &idx) in matching.iter().zip(indices) {
-        if remaining == 0 {
-            break;
-        }
-        if let Some(&pos) = pos_of.get(&(t as *const Tuple)) {
-            out[pos] = Some(store.share(idx as usize));
-            remaining -= 1;
-        }
-    }
-    out.into_iter()
-        .map(|slot| slot.expect("every selected tuple is a member of the matching set"))
-        .collect()
 }
 
 /// Intersects all predicates of `query` into one closed interval per

@@ -79,6 +79,7 @@
 #![warn(missing_docs)]
 
 mod db;
+mod dominance;
 mod index;
 mod predicate;
 mod ranking;
@@ -89,6 +90,7 @@ mod store;
 mod tuple;
 
 pub use db::{HiddenDb, QueryError, QueryResponse, RateLimit};
+pub use dominance::{DominanceIndex, IncrementalSkyline};
 pub use index::ExecStrategy;
 pub use predicate::{CmpOp, Predicate, Query};
 pub use ranking::{

@@ -12,6 +12,7 @@ use std::sync::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::dominance::DominanceIndex;
 use crate::store::TupleStore;
 use crate::tuple::dominates_on;
 use crate::{AttrId, Schema, Tuple};
@@ -49,6 +50,70 @@ pub trait Ranker: Send + Sync {
     fn precompute(&self, store: &TupleStore, schema: &Schema) -> Option<Vec<u32>> {
         let _ = (store, schema);
         None
+    }
+
+    /// Builds, once at database-construction time, an optional
+    /// [`DominanceIndex`] over the store for rankers whose selection is
+    /// *dominance-driven* rather than score-driven (and which therefore
+    /// return `None` from [`Ranker::precompute`]). The engine hands the
+    /// index back on every [`Ranker::select_top_k_indices`] call so the
+    /// ranker never re-derives global dominance facts per query.
+    ///
+    /// The default (for total-order rankers, which never consult it) is
+    /// `None`.
+    fn precompute_dominance(&self, store: &TupleStore, schema: &Schema) -> Option<DominanceIndex> {
+        let _ = (store, schema);
+        None
+    }
+
+    /// Selects the top `k` of the tuples at store positions `indices`
+    /// (which the caller supplies in ascending store order), returning the
+    /// selected store positions best-first.
+    ///
+    /// This is the entry point both execution strategies use: it lets
+    /// responses alias the store by index instead of resolving ranker-chosen
+    /// references back to positions, and it is where a precomputed
+    /// [`DominanceIndex`] (when the engine has one — `dom` is `None` on the
+    /// scan reference path) is offered to dominance-driven rankers.
+    /// Implementations must return the same selection whether or not `dom`
+    /// is provided; the index is an accelerator, never an input.
+    ///
+    /// The default delegates to [`Ranker::select_top_k`] and maps the chosen
+    /// references back to their positions, preserving exact behavior for
+    /// rankers that don't override it.
+    fn select_top_k_indices(
+        &self,
+        store: &TupleStore,
+        indices: &[u32],
+        k: usize,
+        schema: &Schema,
+        dom: Option<&DominanceIndex>,
+    ) -> Vec<u32> {
+        let _ = dom;
+        let matching: Vec<&Tuple> = indices.iter().map(|&i| &store[i as usize]).collect();
+        let selected = self.select_top_k(&matching, k, schema);
+        // Rankers return arbitrary references out of `matching`; recover
+        // each one's store position by pointer identity — hash only the k
+        // selected pointers (k is small), then resolve them with one pass
+        // over the matching set.
+        let pos_of: std::collections::HashMap<*const Tuple, usize> = selected
+            .iter()
+            .enumerate()
+            .map(|(pos, &t)| (t as *const Tuple, pos))
+            .collect();
+        let mut out = vec![u32::MAX; selected.len()];
+        let mut remaining = selected.len();
+        for (&t, &idx) in matching.iter().zip(indices) {
+            if remaining == 0 {
+                break;
+            }
+            if let Some(&pos) = pos_of.get(&(t as *const Tuple)) {
+                out[pos] = idx;
+                remaining -= 1;
+            }
+        }
+        debug_assert!(out.iter().all(|&i| i != u32::MAX));
+        out
     }
 }
 
@@ -269,19 +334,175 @@ impl Ranker for LexicographicRanker {
     }
 }
 
-/// Computes the indices of the non-dominated ("minimal") tuples among
-/// `candidates`, restricted to the given attributes.
-fn minimal_indices(candidates: &[&Tuple], attrs: &[AttrId]) -> Vec<usize> {
-    let mut minimal = Vec::new();
-    'outer: for (i, &t) in candidates.iter().enumerate() {
-        for (j, &u) in candidates.iter().enumerate() {
-            if i != j && dominates_on(u, t, attrs) {
-                continue 'outer;
+/// Candidate state inside [`peel_top_k`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PeelState {
+    /// Dominated by at least one current minimal candidate.
+    Pending,
+    /// Currently non-dominated (a member of the minimal set).
+    Minimal,
+    /// Already emitted into the answer.
+    Taken,
+}
+
+/// One candidate of a peel: a tuple handle plus its monotone order key
+/// (sum of attribute values or precomputed dominance rank — any total order
+/// in which dominators come strictly first) and whether it is known to be a
+/// global skyline member (then it is minimal in *every* subset and needs no
+/// dominance test).
+struct PeelCand<'a> {
+    t: &'a Tuple,
+    key: u64,
+    free: bool,
+    state: PeelState,
+}
+
+/// The shared selection loop of the dominance-driven rankers: repeatedly
+/// extract one element of the current minimal (non-dominated) set, chosen
+/// by `choose`, until `k` elements are emitted or the candidates run out.
+/// Returns the positions (into `cands`) of the emitted elements, best
+/// first.
+///
+/// `cands` must be sorted ascending by `(key, id)`. The minimal set is
+/// maintained *incrementally*: it is built once with a sort-filter pass
+/// (each candidate tested against the minimal set only — exact, since every
+/// dominator chain ends in a minimal element), and after each extraction
+/// only the tuples the extracted element dominated are re-examined. The old
+/// implementation recomputed the full pairwise `minimal_indices` from
+/// scratch on every round — O(rounds · n²) dominance tests versus
+/// O(n · s) here (s = minimal-set size).
+///
+/// `choose` receives the size of the minimal set and returns the index of
+/// the element to extract. The minimal set is kept in ascending `(key, id)`
+/// order, so `choose = |len| len - 1` extracts the worst-key minimal
+/// element and `choose = |len| rng.gen_range(0..len)` extracts a uniform
+/// one.
+fn peel_top_k(
+    cands: &mut [PeelCand<'_>],
+    k: usize,
+    attrs: &[AttrId],
+    mut choose: impl FnMut(usize) -> usize,
+) -> Vec<usize> {
+    debug_assert!(cands
+        .windows(2)
+        .all(|w| { (w[0].key, w[0].t.id) < (w[1].key, w[1].t.id) }));
+    // Initial minimal set: sort-filter pass. All previously accepted
+    // minimal candidates have strictly smaller (key, id), so testing
+    // against them alone is exact.
+    let mut minimal: Vec<usize> = Vec::new();
+    for i in 0..cands.len() {
+        let dominated = !cands[i].free
+            && minimal
+                .iter()
+                .any(|&m| dominates_on(cands[m].t, cands[i].t, attrs));
+        if dominated {
+            cands[i].state = PeelState::Pending;
+        } else {
+            cands[i].state = PeelState::Minimal;
+            minimal.push(i);
+        }
+    }
+
+    let mut out = Vec::with_capacity(k.min(cands.len()));
+    while out.len() < k && !minimal.is_empty() {
+        let ci = minimal.remove(choose(minimal.len()));
+        cands[ci].state = PeelState::Taken;
+        out.push(ci);
+        if out.len() == k {
+            break;
+        }
+        // Promotion pass: a pending tuple becomes minimal when the element
+        // just removed was its last remaining minimal dominator. Only
+        // tuples the removed element dominated (strictly larger key, so
+        // strictly after `ci`) can be affected; processing them in key
+        // order lets earlier promotions veto later ones.
+        for j in ci + 1..cands.len() {
+            if cands[j].state != PeelState::Pending || !dominates_on(cands[ci].t, cands[j].t, attrs)
+            {
+                continue;
+            }
+            // `minimal` holds ascending candidate positions == ascending
+            // (key, id); only the prefix before `j` can dominate j.
+            let lim = minimal.partition_point(|&m| m < j);
+            let dominated = minimal[..lim]
+                .iter()
+                .any(|&m| dominates_on(cands[m].t, cands[j].t, attrs));
+            if !dominated {
+                cands[j].state = PeelState::Minimal;
+                minimal.insert(lim, j);
             }
         }
-        minimal.push(i);
     }
-    minimal
+    out
+}
+
+/// Builds peel candidates for a plain `select_top_k` call (no precomputed
+/// dominance): keys are attribute-value sums, sorted by `(key, id)`.
+fn peel_cands_from_refs<'a>(matching: &[&'a Tuple], attrs: &[AttrId]) -> Vec<PeelCand<'a>> {
+    let mut cands: Vec<PeelCand<'a>> = matching
+        .iter()
+        .map(|&t| PeelCand {
+            t,
+            key: attrs.iter().map(|&a| u64::from(t.values[a])).sum(),
+            free: false,
+            state: PeelState::Pending,
+        })
+        .collect();
+    cands.sort_unstable_by_key(|c| (c.key, c.t.id));
+    cands
+}
+
+/// Runs a dominance-driven top-k selection through the store-index entry
+/// point, consulting the precomputed [`DominanceIndex`] when available:
+/// sorting by precomputed rank reproduces the `(sum, id)` order without
+/// touching tuple values, and global skyline members skip their dominance
+/// tests entirely. Falls back to the sum-key path (identical selection)
+/// without an index.
+fn peel_select_indices(
+    store: &TupleStore,
+    indices: &[u32],
+    k: usize,
+    attrs: &[AttrId],
+    dom: Option<&DominanceIndex>,
+    choose: impl FnMut(usize) -> usize,
+) -> Vec<u32> {
+    let mut order: Vec<u32> = indices.to_vec();
+    let mut cands: Vec<PeelCand<'_>> = match dom {
+        Some(dom) => {
+            // The precomputed rank *is* the (sum, id) order restricted to
+            // any subset, so the selection is identical to the sum-key path.
+            order.sort_unstable_by_key(|&i| dom.rank_of(i as usize));
+            order
+                .iter()
+                .map(|&i| PeelCand {
+                    t: &store[i as usize],
+                    key: u64::from(dom.rank_of(i as usize)),
+                    free: dom.on_skyline(i as usize),
+                    state: PeelState::Pending,
+                })
+                .collect()
+        }
+        None => {
+            let key_of = |i: u32| -> u64 {
+                let t = &store[i as usize];
+                attrs.iter().map(|&a| u64::from(t.values[a])).sum()
+            };
+            order.sort_unstable_by_key(|&i| (key_of(i), store[i as usize].id));
+            order
+                .iter()
+                .map(|&i| PeelCand {
+                    t: &store[i as usize],
+                    key: key_of(i),
+                    free: false,
+                    state: PeelState::Pending,
+                })
+                .collect()
+        }
+    };
+    peel_top_k(&mut cands, k, attrs, choose)
+        .into_iter()
+        .map(|pos| order[pos])
+        .collect()
 }
 
 /// The "average-case" ranking model of Section 3.2 of the paper: for every
@@ -318,15 +539,28 @@ impl Ranker for RandomSkylineRanker {
         schema: &Schema,
     ) -> Vec<&'a Tuple> {
         let attrs = schema.ranking_attrs();
-        let mut remaining: Vec<&'a Tuple> = matching.to_vec();
-        let mut out = Vec::with_capacity(k.min(remaining.len()));
+        let mut cands = peel_cands_from_refs(matching, attrs);
         let mut rng = self.rng.lock().expect("ranker rng poisoned");
-        while out.len() < k && !remaining.is_empty() {
-            let minimal = minimal_indices(&remaining, attrs);
-            let pick = minimal[rng.gen_range(0..minimal.len())];
-            out.push(remaining.swap_remove(pick));
-        }
-        out
+        let picks = peel_top_k(&mut cands, k, attrs, |len| rng.gen_range(0..len));
+        picks.into_iter().map(|pos| cands[pos].t).collect()
+    }
+
+    fn precompute_dominance(&self, store: &TupleStore, schema: &Schema) -> Option<DominanceIndex> {
+        Some(DominanceIndex::build(store, schema.ranking_attrs()))
+    }
+
+    fn select_top_k_indices(
+        &self,
+        store: &TupleStore,
+        indices: &[u32],
+        k: usize,
+        schema: &Schema,
+        dom: Option<&DominanceIndex>,
+    ) -> Vec<u32> {
+        let mut rng = self.rng.lock().expect("ranker rng poisoned");
+        peel_select_indices(store, indices, k, schema.ranking_attrs(), dom, |len| {
+            rng.gen_range(0..len)
+        })
     }
 }
 
@@ -351,23 +585,29 @@ impl Ranker for WorstCaseRanker {
         schema: &Schema,
     ) -> Vec<&'a Tuple> {
         let attrs = schema.ranking_attrs();
-        let mut remaining: Vec<&'a Tuple> = matching.to_vec();
-        let mut out = Vec::with_capacity(k.min(remaining.len()));
-        while out.len() < k && !remaining.is_empty() {
-            let minimal = minimal_indices(&remaining, attrs);
-            let pick = minimal
-                .into_iter()
-                .max_by_key(|&i| {
-                    let sum: u64 = attrs
-                        .iter()
-                        .map(|&a| u64::from(remaining[i].values[a]))
-                        .sum();
-                    (sum, remaining[i].id)
-                })
-                .expect("minimal set of a non-empty candidate set is non-empty");
-            out.push(remaining.swap_remove(pick));
-        }
-        out
+        let mut cands = peel_cands_from_refs(matching, attrs);
+        // The minimal set is kept in ascending (sum, id) order, so the
+        // adversarial largest-(sum, id) minimal element is simply its last
+        // member — the same pick the old full recomputation made.
+        let picks = peel_top_k(&mut cands, k, attrs, |len| len - 1);
+        picks.into_iter().map(|pos| cands[pos].t).collect()
+    }
+
+    fn precompute_dominance(&self, store: &TupleStore, schema: &Schema) -> Option<DominanceIndex> {
+        Some(DominanceIndex::build(store, schema.ranking_attrs()))
+    }
+
+    fn select_top_k_indices(
+        &self,
+        store: &TupleStore,
+        indices: &[u32],
+        k: usize,
+        schema: &Schema,
+        dom: Option<&DominanceIndex>,
+    ) -> Vec<u32> {
+        peel_select_indices(store, indices, k, schema.ranking_attrs(), dom, |len| {
+            len - 1
+        })
     }
 }
 

@@ -82,13 +82,65 @@ impl AccessLog {
     /// Normalizes the log to ascending sequence order.
     ///
     /// Sequence numbers are reserved atomically *before* the answer is
-    /// computed, so under concurrent sessions the entries of the shared log
-    /// can be appended slightly out of order; sorting by `seq` restores the
+    /// computed, so under concurrent sessions the entries of the shards can
+    /// be appended slightly out of order; sorting by `seq` restores the
     /// merged chronological view. Sequence numbers are unique, so the order
     /// is total.
     pub(crate) fn into_seq_order(mut self) -> AccessLog {
         self.entries.sort_unstable_by_key(|e| e.seq);
         self
+    }
+}
+
+/// Number of shards of a [`ShardedAccessLog`]: enough that clients on
+/// different cores essentially never contend on the same mutex (consecutive
+/// sequence numbers land on consecutive shards), small enough that the
+/// merge at snapshot time stays trivial.
+const LOG_SHARDS: usize = 16;
+
+/// The write side of the access log: `LOG_SHARDS` independently locked
+/// buffers.
+///
+/// The log used to be one `Mutex<Vec<_>>` the whole database serialized on;
+/// every logging query of every concurrent session took the same lock.
+/// Entries are now spread over the shards by sequence number — consecutive
+/// queries (even of one session) take *different* locks, so writers only
+/// contend when `LOG_SHARDS` clients collide modulo 16 at the same instant.
+/// [`ShardedAccessLog::snapshot`] merges the shards and sorts by the unique
+/// sequence numbers, producing output byte-identical to the single-mutex
+/// log's seq-ordered snapshot.
+#[derive(Debug, Default)]
+pub(crate) struct ShardedAccessLog {
+    shards: [std::sync::Mutex<Vec<AccessLogEntry>>; LOG_SHARDS],
+}
+
+impl ShardedAccessLog {
+    /// Appends one entry, locking only the shard its sequence number maps
+    /// to.
+    pub(crate) fn push(&self, entry: AccessLogEntry) {
+        let shard = (entry.seq as usize) % LOG_SHARDS;
+        self.shards[shard]
+            .lock()
+            .expect("access log shard poisoned")
+            .push(entry);
+    }
+
+    /// Clears every shard (on enable and on stats reset).
+    pub(crate) fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("access log shard poisoned").clear();
+        }
+    }
+
+    /// Merges the shards into one seq-ordered [`AccessLog`] snapshot.
+    pub(crate) fn snapshot(&self) -> AccessLog {
+        let mut log = AccessLog::default();
+        for shard in &self.shards {
+            for entry in shard.lock().expect("access log shard poisoned").iter() {
+                log.push(entry.clone());
+            }
+        }
+        log.into_seq_order()
     }
 }
 
@@ -107,6 +159,26 @@ mod tests {
         let s = stats.to_string();
         assert!(s.contains("10 queries"));
         assert!(s.contains("3 overflowed"));
+    }
+
+    #[test]
+    fn sharded_log_snapshot_is_seq_ordered() {
+        let log = ShardedAccessLog::default();
+        // Push in scrambled order; seqs land on different shards.
+        for seq in [17u64, 2, 33, 1, 16, 18] {
+            log.push(AccessLogEntry {
+                seq,
+                query: format!("q{seq}"),
+                matched: seq as usize,
+                returned: 1,
+                overflowed: false,
+            });
+        }
+        let snap = log.snapshot();
+        let seqs: Vec<u64> = snap.entries().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 16, 17, 18, 33]);
+        log.clear();
+        assert!(log.snapshot().is_empty());
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Incremental skyline / sky-band maintenance — the client-facing face of
+//! the shared dominance-index subsystem.
+//!
+//! The batch algorithms of this crate ([`crate::bnl_skyline`],
+//! [`crate::sfs_skyline`], [`crate::skyband`]) recompute their answer from
+//! a complete tuple set. Discovery clients and the hidden database's
+//! skyline-aware rankers instead need *incremental* maintenance: tuples
+//! arrive one response at a time, and the skyline (or top-h sky band) of
+//! everything seen so far must stay current after every insertion.
+//!
+//! The implementation lives in `skyweb-hidden-db` (`IncrementalSkyline`,
+//! `DominanceIndex`) because the dependency arrow between the crates points
+//! that way — this crate depends on `skyweb-hidden-db` for [`Tuple`], and
+//! the database's rankers consume the same structure server-side. This
+//! module re-exports it as the canonical client-side entry point and adds
+//! the batch conveniences that belong at this crate's altitude.
+//!
+//! ```
+//! use skyweb_hidden_db::Tuple;
+//! use skyweb_skyline::incremental::incremental_skyline_on;
+//!
+//! let tuples = vec![
+//!     Tuple::new(0, vec![5, 1]),
+//!     Tuple::new(1, vec![4, 4]),
+//!     Tuple::new(2, vec![1, 3]),
+//!     Tuple::new(3, vec![3, 2]),
+//! ];
+//! assert_eq!(incremental_skyline_on(&tuples, &[0, 1]).len(), 3);
+//! ```
+
+use std::borrow::Borrow;
+use std::sync::Arc;
+
+use skyweb_hidden_db::{AttrId, Tuple};
+
+pub use skyweb_hidden_db::{DominanceIndex, IncrementalSkyline};
+
+/// Computes the skyline of `tuples` on `attrs` by feeding them through an
+/// [`IncrementalSkyline`] — a third batch strategy alongside BNL and SFS,
+/// and the one the differential tests pin against both.
+pub fn incremental_skyline_on<B: Borrow<Tuple>>(tuples: &[B], attrs: &[AttrId]) -> Vec<Tuple> {
+    let mut sky = IncrementalSkyline::new(attrs.to_vec());
+    for t in tuples {
+        sky.insert(Arc::new(t.borrow().clone()));
+    }
+    sky.skyline().map(|t| t.as_ref().clone()).collect()
+}
+
+/// Computes the top-`h` sky band of `tuples` on `attrs` incrementally —
+/// the streaming counterpart of [`crate::skyband_on`].
+pub fn incremental_skyband_on<B: Borrow<Tuple>>(
+    tuples: &[B],
+    attrs: &[AttrId],
+    h: usize,
+) -> Vec<Tuple> {
+    let mut sky = IncrementalSkyline::with_band(attrs.to_vec(), h);
+    for t in tuples {
+        sky.insert(Arc::new(t.borrow().clone()));
+    }
+    sky.iter().map(|t| t.as_ref().clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bnl_skyline_on, same_ids, skyband_on};
+
+    fn pseudo_random(n: u64, m: usize, domain: u32) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                let values = (0..m)
+                    .map(|j| ((i * 2654435761 + j as u64 * 40503 + 11) % u64::from(domain)) as u32)
+                    .collect();
+                Tuple::new(i, values)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_skyline_agrees_with_bnl() {
+        for (n, m, domain) in [(50, 2, 8), (200, 3, 16), (120, 4, 6)] {
+            let tuples = pseudo_random(n, m, domain);
+            let attrs: Vec<AttrId> = (0..m).collect();
+            let inc = incremental_skyline_on(&tuples, &attrs);
+            let bnl = bnl_skyline_on(&tuples, &attrs);
+            assert!(same_ids(&inc, &bnl), "n={n}, m={m}, domain={domain}");
+        }
+    }
+
+    #[test]
+    fn incremental_skyband_agrees_with_batch_skyband() {
+        let tuples = pseudo_random(150, 3, 10);
+        let attrs = [0usize, 1, 2];
+        for h in 1..=4 {
+            let inc = incremental_skyband_on(&tuples, &attrs, h);
+            let batch = skyband_on(&tuples, &attrs, h);
+            assert!(same_ids(&inc, &batch), "h={h}");
+        }
+    }
+}

@@ -42,6 +42,7 @@
 
 mod bnl;
 mod dnc;
+pub mod incremental;
 mod sfs;
 mod skyband;
 
@@ -49,6 +50,8 @@ pub use bnl::{bnl_skyline, bnl_skyline_on};
 pub use dnc::{dnc_skyline, dnc_skyline_on};
 pub use sfs::{sfs_skyline, sfs_skyline_on};
 pub use skyband::{dominance_counts, skyband, skyband_on};
+
+use std::borrow::Borrow;
 
 use skyweb_hidden_db::{AttrId, Tuple};
 
@@ -61,9 +64,13 @@ pub fn canonicalize(mut tuples: Vec<Tuple>) -> Vec<Tuple> {
 }
 
 /// Returns `true` if the two tuple sets contain exactly the same tuple ids.
-pub fn same_ids(a: &[Tuple], b: &[Tuple]) -> bool {
-    let mut ia: Vec<u64> = a.iter().map(|t| t.id).collect();
-    let mut ib: Vec<u64> = b.iter().map(|t| t.id).collect();
+///
+/// Generic over the tuple handles on both sides (`&[Tuple]`,
+/// `&[Arc<Tuple>]`, ...), so discovery results — which share their tuples
+/// with the database store — compare directly against owned ground truth.
+pub fn same_ids<A: Borrow<Tuple>, B: Borrow<Tuple>>(a: &[A], b: &[B]) -> bool {
+    let mut ia: Vec<u64> = a.iter().map(|t| t.borrow().id).collect();
+    let mut ib: Vec<u64> = b.iter().map(|t| t.borrow().id).collect();
     ia.sort_unstable();
     ia.dedup();
     ib.sort_unstable();
@@ -73,9 +80,14 @@ pub fn same_ids(a: &[Tuple], b: &[Tuple]) -> bool {
 
 /// Checks whether `candidate` is a skyline tuple of `tuples` on `attrs`,
 /// i.e. no tuple (other than itself) dominates it.
-pub fn is_skyline_member(candidate: &Tuple, tuples: &[Tuple], attrs: &[AttrId]) -> bool {
+pub fn is_skyline_member<B: Borrow<Tuple>>(
+    candidate: &Tuple,
+    tuples: &[B],
+    attrs: &[AttrId],
+) -> bool {
     !tuples
         .iter()
+        .map(Borrow::borrow)
         .any(|t| t.id != candidate.id && skyweb_hidden_db::dominates_on(t, candidate, attrs))
 }
 

@@ -68,7 +68,7 @@ fn main() {
         },
     ];
     for ranking in &rankings {
-        let mut best: Vec<&Tuple> = result.skyline.iter().collect();
+        let mut best: Vec<&Tuple> = result.skyline.iter().map(|t| t.as_ref()).collect();
         best.sort_by(|a, b| {
             score(a, &ranking.weights)
                 .partial_cmp(&score(b, &ranking.weights))

@@ -56,7 +56,7 @@ fn main() {
         ("newest models", [0.05, 0.1, 5.0]),
     ];
     for (label, weights) in &preferences {
-        let mut ranked: Vec<&Tuple> = band.band.iter().collect();
+        let mut ranked: Vec<&Tuple> = band.band.iter().map(|t| t.as_ref()).collect();
         ranked.sort_by(|a, b| {
             user_score(a, weights)
                 .partial_cmp(&user_score(b, weights))

@@ -17,9 +17,10 @@ use skyweb::hidden_db::{
 };
 use skyweb::skyline::bnl_skyline;
 
-/// Distinct sorted value combinations of a tuple set.
-fn value_combos(tuples: &[Tuple]) -> Vec<Vec<u32>> {
-    let mut combos: Vec<Vec<u32>> = tuples.iter().map(|t| t.values.clone()).collect();
+/// Distinct sorted value combinations of a tuple set (generic over the
+/// handle: discovery results share `Arc<Tuple>`s with the store).
+fn value_combos<B: std::borrow::Borrow<Tuple>>(tuples: &[B]) -> Vec<Vec<u32>> {
+    let mut combos: Vec<Vec<u32>> = tuples.iter().map(|t| t.borrow().values.clone()).collect();
     combos.sort();
     combos.dedup();
     combos

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! experiments [fig04|fig06|...|fig24|all]... [--quick|--full] [--parallel] [--jobs N]
+//!             [--budget N] [--max-wall-ms N]
 //! experiments --list
 //! ```
 //!
@@ -11,15 +12,24 @@
 //! serial run (CI does exactly that). `--jobs N` (or `SKYWEB_JOBS`) caps the
 //! worker pool; every task seeds its RNGs from its own index, so the figure
 //! series are identical regardless of the degree of parallelism.
+//!
+//! `--budget N` caps every discovery run at N queries and `--max-wall-ms N`
+//! deadlines it at N milliseconds of wall clock — both exercise the anytime
+//! path through the sans-io machine driver. A budget is deterministic, so
+//! stdout stays serial/parallel byte-identical; a wall-clock deadline is
+//! not, so while it is active the (truncation-dependent) tables are
+//! redirected to stderr and stdout carries only the deterministic figure
+//! headers.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use skyweb_bench::{figures, pool, Scale};
+use skyweb_bench::{figures, pool, set_run_limits, FigureResult, RunLimits, Scale};
 
 fn usage() {
     eprintln!(
-        "usage: experiments [--list] [--quick|--full] [--parallel] [--jobs N] [all | figNN ...]"
+        "usage: experiments [--list] [--quick|--full] [--parallel] [--jobs N] \
+         [--budget N] [--max-wall-ms N] [all | figNN ...]"
     );
     eprintln!("known figures: {}", figures::ALL_FIGURES.join(", "));
 }
@@ -29,6 +39,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::Quick;
     let mut parallel = false;
     let mut jobs_request: Option<usize> = None;
+    let mut limits = RunLimits::default();
     let mut requested: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -52,6 +63,23 @@ fn main() -> ExitCode {
             // parsing (it can only be set before its first use).
             jobs_request = Some(n);
             i += 1;
+        } else if arg == "--budget" {
+            let Some(n) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
+                eprintln!("--budget needs a non-negative integer value");
+                usage();
+                return ExitCode::FAILURE;
+            };
+            limits.budget = Some(n);
+            i += 1;
+        } else if arg == "--max-wall-ms" {
+            let parsed = args.get(i + 1).and_then(|v| v.parse::<u64>().ok());
+            let Some(n) = parsed.filter(|&n| n >= 1) else {
+                eprintln!("--max-wall-ms needs a positive integer value");
+                usage();
+                return ExitCode::FAILURE;
+            };
+            limits.max_wall = Some(Duration::from_millis(n));
+            i += 1;
         } else if let Some(s) = Scale::from_flag(arg) {
             scale = s;
         } else if arg == "all" || figures::ALL_FIGURES.contains(&arg.as_str()) {
@@ -69,6 +97,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if limits.any() {
+        if let Err(e) = set_run_limits(limits) {
+            eprintln!("--budget/--max-wall-ms: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Wall-clock truncation is nondeterministic: keep stdout diffable by
+    // moving the affected tables to stderr (headers stay on stdout).
+    let deterministic_tables = limits.max_wall.is_none();
+    let emit = move |result: &FigureResult| {
+        if deterministic_tables {
+            println!("{result}");
+        } else {
+            println!(
+                "== {} (table on stderr: --max-wall-ms truncation is nondeterministic)",
+                result.id
+            );
+            eprintln!("{result}");
+        }
+    };
     if requested.is_empty() {
         requested.push("all".to_string());
     }
@@ -88,9 +136,13 @@ fn main() -> ExitCode {
         .collect();
 
     eprintln!(
-        "# skyweb experiment harness — scale: {scale:?}, mode: {}, jobs: {}",
+        "# skyweb experiment harness — scale: {scale:?}, mode: {}, jobs: {}, budget: {}, max-wall-ms: {}",
         if parallel { "parallel" } else { "serial" },
-        if parallel { pool::jobs() } else { 1 }
+        if parallel { pool::jobs() } else { 1 },
+        limits.budget.map_or("none".into(), |b| b.to_string()),
+        limits
+            .max_wall
+            .map_or("none".into(), |w| w.as_millis().to_string()),
     );
     let started = Instant::now();
     if parallel {
@@ -103,7 +155,7 @@ fn main() -> ExitCode {
             result
         });
         for result in results {
-            println!("{result}");
+            emit(&result);
         }
     } else {
         // Drain the worker budget so the figures' internal series run
@@ -112,7 +164,7 @@ fn main() -> ExitCode {
             for id in &ids {
                 let t = Instant::now();
                 let result = figures::by_id(id, scale).expect("known figure id");
-                println!("{result}");
+                emit(&result);
                 eprintln!("# {id} took {:.1}s", t.elapsed().as_secs_f64());
             }
         });

@@ -22,8 +22,8 @@ use std::time::Instant;
 use skyweb_bench::figures;
 use skyweb_bench::report::peak_rss_kb;
 use skyweb_bench::Scale;
-use skyweb_core::KnowledgeBase;
-use skyweb_datagen::diamonds;
+use skyweb_core::{DiscoveryDriver, DriverConfig, KnowledgeBase, SqDbSky};
+use skyweb_datagen::{diamonds, flights_dot};
 use skyweb_hidden_db::{
     dominates_on, DominanceIndex, InterfaceType, Predicate, Query, RandomSkylineRanker, Ranker,
     Schema, SchemaBuilder, Tuple, TupleStore, WorstCaseRanker,
@@ -319,7 +319,59 @@ fn main() -> ExitCode {
         indexed_ns,
     });
 
-    // ---------- Layer 3: end-to-end discovery ----------
+    // ---------- Layer 3: sans-io driver batching ----------
+    // The fig14/fig15 hot spot: SQ-DB-SKY spends its time in per-query
+    // round-trips. Its BFS frontier is data-independent, so the machine
+    // yields it as one batched plan; compare the driver forced sequential
+    // (max_batch = 1, the pre-sans-io round-trip pattern) against default
+    // batching on a fig14-style workload. RQ-DB-SKY has no batched row:
+    // its plans are single-query by construction (every sq-vs-rq choice
+    // and subtree abandonment consumes the previous answer — batching
+    // would speculate server-billed queries).
+    let n_sq = if quick { 5_000 } else { 20_000 };
+    eprintln!("# driver layer: SQ-DB-SKY over {n_sq} DOT-like flights, sequential vs batched");
+    let base = flights_dot::generate(&flights_dot::FlightsDotConfig {
+        n: n_sq,
+        seed: 2015,
+    });
+    // The exact fig14 configuration: all nine primary ranking attributes.
+    let names: Vec<&str> = flights_dot::PRIMARY_RANKING.to_vec();
+    let mut sq_ds = base.project(&names);
+    for name in &names {
+        sq_ds = sq_ds.with_interface(name, InterfaceType::Sq);
+    }
+    let db_seq = sq_ds.clone().into_db_sum(10);
+    let machine = SqDbSky::new().build_machine(&db_seq).expect("SQ schema");
+    let start = Instant::now();
+    let seq = DiscoveryDriver::new(&db_seq, machine, DriverConfig::new().with_max_batch(1))
+        .run()
+        .expect("sequential run");
+    let seq_ns = start.elapsed().as_nanos() as f64 / seq.query_cost as f64;
+    let db_bat = sq_ds.into_db_sum(10);
+    let machine = SqDbSky::new().build_machine(&db_bat).expect("SQ schema");
+    let start = Instant::now();
+    let bat = DiscoveryDriver::new(&db_bat, machine, DriverConfig::new())
+        .run()
+        .expect("batched run");
+    let bat_ns = start.elapsed().as_nanos() as f64 / bat.query_cost as f64;
+    // Batched execution is order-identical, not just equivalent.
+    assert_eq!(seq.query_cost, bat.query_cost);
+    assert_eq!(seq.trace, bat.trace);
+    assert_eq!(
+        seq.skyline.iter().map(|t| t.id).collect::<Vec<_>>(),
+        bat.skyline.iter().map(|t| t.id).collect::<Vec<_>>()
+    );
+    eprintln!(
+        "# sq cost {} queries: {:.0} ns/query sequential, {:.0} ns/query batched",
+        seq.query_cost, seq_ns, bat_ns
+    );
+    rows.push(Row {
+        name: "sq_fig14_driver_ns_per_query",
+        naive_ns: seq_ns,
+        indexed_ns: bat_ns,
+    });
+
+    // ---------- Layer 4: end-to-end discovery ----------
     let scale = if quick { Scale::Quick } else { Scale::Full };
     eprintln!("# end-to-end: fig22 ({scale:?}) — the critical path of experiments --full");
     let start = Instant::now();
@@ -400,7 +452,18 @@ fn main() -> ExitCode {
          vs new-with-index instead); kb_ingest additionally builds the posting lists \
          and keeps entries key-sorted (random-order streams pay insert memmoves the \
          unordered BNL baseline does not), which is what buys the 3 orders of \
-         magnitude on the membership probes and the deterministic dominator answers\""
+         magnitude on the membership probes and the deterministic dominator answers; \
+         sq_fig14_driver row: same SQ-DB-SKY run through the sans-io driver with \
+         max_batch 1 (old per-query round-trip pattern) vs default frontier batching \
+         through Session::run_plan — order-identical results asserted (cost, trace, \
+         skyline); measured before/after is within noise on the in-process engine \
+         (per-query execution ~7us dwarfs the round-trip overhead batching removes), \
+         so the batching win here is architectural: the same results with 1/64th the \
+         client round-trips, which is the term that dominates once a round-trip \
+         carries real latency, and it keeps the new sans-io layer itself off the \
+         fig14/fig15 hot path; RQ-DB-SKY stays single-query by construction (each \
+         sq-vs-rq choice and subtree abandonment consumes the previous answer), so \
+         its round-trip count is already minimal and no batched row exists\""
     );
     let _ = writeln!(json, "}}");
 

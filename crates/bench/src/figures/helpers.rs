@@ -1,11 +1,11 @@
 //! Shared workload-construction helpers for the figure harnesses.
 
-use skyweb_core::{Discoverer, DiscoveryResult, TracePoint};
+use skyweb_core::{Discoverer, DiscoveryDriver, DiscoveryResult, DriverConfig, TracePoint};
 use skyweb_datagen::{flights_dot, Dataset};
 use skyweb_hidden_db::{HiddenDb, InterfaceType};
 use skyweb_skyline::sfs_skyline;
 
-use crate::Scale;
+use crate::{limits, Scale};
 
 /// Generates the DOT-like flight dataset used by the offline experiments
 /// (Figures 13–21). The quick scale keeps the schema and correlation
@@ -29,8 +29,31 @@ pub(crate) fn flights_all_rq(base: &Dataset) -> Dataset {
 
 /// Runs a discoverer and panics with a readable message on interface errors
 /// (which would indicate a bug in the harness wiring, not in the algorithm).
+///
+/// When harness-wide anytime limits are installed (`--budget` /
+/// `--max-wall-ms`), the run goes through the sans-io machine + driver
+/// path under those limits (the budget combines with any algorithm-level
+/// budget by taking the minimum); without limits this is exactly the
+/// `Discoverer::discover` adapter.
 pub(crate) fn run(alg: &dyn Discoverer, db: &HiddenDb) -> DiscoveryResult {
-    alg.discover(db)
+    let limits = limits::run_limits();
+    if !limits.any() {
+        return alg
+            .discover(db)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
+    }
+    let budget = match (alg.budget(), limits.budget) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    let machine = alg
+        .machine(db)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
+    let config = DriverConfig::new()
+        .with_budget(budget)
+        .with_max_wall(limits.max_wall);
+    DiscoveryDriver::new(db, machine, config)
+        .run()
         .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()))
 }
 

@@ -3,11 +3,11 @@
 //! databases of `skyweb-datagen` (same schemas, interface types, default
 //! price ranking and k).
 
-use skyweb_core::{BaselineCrawl, Discoverer, MqDbSky};
+use skyweb_core::{BaselineCrawl, MqDbSky};
 use skyweb_datagen::{autos, diamonds, gflights, Dataset};
 use skyweb_hidden_db::SingleAttributeRanker;
 
-use super::helpers::queries_per_discovery;
+use super::helpers::{queries_per_discovery, run};
 use crate::{pool, FigureResult, Scale};
 
 /// Number of progress checkpoints reported for the discovery-progress
@@ -36,11 +36,9 @@ fn online_progress_figure(
     let mut runs = pool::par_map(2, |i| {
         let db = price_db(ds.clone(), k);
         if i == 0 {
-            MqDbSky::new().discover(&db).expect("MQ-DB-SKY run")
+            run(&MqDbSky::new(), &db)
         } else {
-            BaselineCrawl::with_budget(baseline_budget)
-                .discover(&db)
-                .expect("baseline run")
+            run(&BaselineCrawl::with_budget(baseline_budget), &db)
         }
     });
     let baseline = runs.pop().expect("two runs");
@@ -109,7 +107,7 @@ pub fn fig23(scale: Scale) -> FigureResult {
     // Route/date instances are independent databases: one pool task each.
     for result in pool::par_map(datasets.len(), |i| {
         let db = price_db(datasets[i].clone(), 1);
-        MqDbSky::new().discover(&db).expect("MQ-DB-SKY run")
+        run(&MqDbSky::new(), &db)
     }) {
         skyline_sizes.push(result.skyline.len());
         costs.push(result.query_cost);

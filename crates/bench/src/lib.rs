@@ -26,9 +26,11 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod limits;
 pub mod pool;
 pub mod report;
 pub mod scale;
 
+pub use limits::{run_limits, set_run_limits, RunLimits};
 pub use report::FigureResult;
 pub use scale::Scale;

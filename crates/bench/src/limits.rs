@@ -1,0 +1,43 @@
+//! Harness-wide anytime limits (`--budget N` / `--max-wall-ms N`): every
+//! discovery run routed through the figure helpers executes through the
+//! sans-io [`DiscoveryDriver`](skyweb_core::DiscoveryDriver) under these
+//! limits, exercising the anytime path end to end.
+//!
+//! A query budget is deterministic, so figure tables stay byte-identical
+//! between serial and parallel runs. A wall-clock deadline is **not**
+//! deterministic — the `experiments` binary therefore redirects the
+//! (truncation-dependent) tables to stderr while a deadline is active,
+//! keeping stdout diffable.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Global anytime limits applied to every discovery run the figure
+/// helpers execute.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunLimits {
+    /// Client-side query budget per discovery run.
+    pub budget: Option<u64>,
+    /// Wall-clock deadline per discovery run.
+    pub max_wall: Option<Duration>,
+}
+
+impl RunLimits {
+    /// `true` if any limit is set.
+    pub fn any(&self) -> bool {
+        self.budget.is_some() || self.max_wall.is_some()
+    }
+}
+
+static LIMITS: OnceLock<RunLimits> = OnceLock::new();
+
+/// Installs the harness-wide limits. Call once, before any figure runs;
+/// returns `Err` if limits were already installed.
+pub fn set_run_limits(limits: RunLimits) -> Result<(), &'static str> {
+    LIMITS.set(limits).map_err(|_| "run limits already set")
+}
+
+/// The active limits (defaults to none).
+pub fn run_limits() -> RunLimits {
+    LIMITS.get().copied().unwrap_or_default()
+}

@@ -17,9 +17,20 @@
 //! combinations of a pure point-predicate database; it is used as a
 //! reference baseline for PQ experiments on small domains.
 
-use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, Value};
+use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, QueryResponse, Value};
 
-use crate::{Client, Discoverer, DiscoveryError, DiscoveryResult, KnowledgeBase};
+use crate::machine::{DiscoveryMachine, Machine, MachineControl};
+use crate::pq::next_combo;
+use crate::{Discoverer, DiscoveryError, KnowledgeBase};
+
+/// The sans-io machine form of [`BaselineCrawl`]: single-query plans (each
+/// region's split decision consumes its own answer).
+pub type CrawlMachine = Machine<CrawlControl>;
+
+/// The sans-io machine form of [`PointSpaceCrawl`]: the whole query
+/// sequence is the predetermined value-combination odometer, so plans carry
+/// as many queries as the driver's batch limit allows.
+pub type PointCrawlMachine = Machine<PointCrawlControl>;
 
 /// Crawl-everything-then-compute-locally baseline for two-ended range
 /// interfaces.
@@ -63,26 +74,44 @@ impl BaselineCrawl {
     }
 }
 
-/// Crawls every tuple matching `base` by recursive region splitting over
-/// `split_attrs` (attribute id + domain size pairs). Returns `Ok(false)` if
-/// the query budget ran out before the crawl finished.
-pub(crate) fn crawl_region(
-    client: &mut Client<'_>,
-    collector: &mut KnowledgeBase,
-    base: &[Predicate],
-    split_attrs: &[(usize, Value)],
-) -> Result<bool, DiscoveryError> {
-    let k = client.db().k();
-    // Each region is one inclusive (lo, hi) interval per split attribute.
-    let initial: Vec<(i64, i64)> = split_attrs
-        .iter()
-        .map(|&(_, d)| (0i64, i64::from(d) - 1))
-        .collect();
-    let mut stack: Vec<Vec<(i64, i64)>> = vec![initial];
+/// Crawling every tuple matching a base conjunction by recursive region
+/// splitting over `split_attrs` (attribute id + domain size pairs) — the
+/// building block shared by the BASELINE crawler and MQ-DB-SKY's
+/// fully-pinned leaf subspaces, in sans-io form.
+///
+/// Plans are single-query: whether a region is split (and therefore which
+/// region is probed next, children before siblings) depends on its own
+/// answer size.
+#[derive(Debug, Clone)]
+pub(crate) struct RegionCrawl {
+    base: Vec<Predicate>,
+    split_attrs: Vec<(usize, Value)>,
+    k: usize,
+    /// Each region is one inclusive (lo, hi) interval per split attribute.
+    stack: Vec<Vec<(i64, i64)>>,
+}
 
-    while let Some(region) = stack.pop() {
-        let mut q = Query::new(base.to_vec());
-        for (i, &(attr, domain)) in split_attrs.iter().enumerate() {
+impl RegionCrawl {
+    pub(crate) fn new(base: Vec<Predicate>, split_attrs: Vec<(usize, Value)>, k: usize) -> Self {
+        let initial: Vec<(i64, i64)> = split_attrs
+            .iter()
+            .map(|&(_, d)| (0i64, i64::from(d) - 1))
+            .collect();
+        RegionCrawl {
+            base,
+            split_attrs,
+            k,
+            stack: vec![initial],
+        }
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    fn region_query(&self, region: &[(i64, i64)]) -> Query {
+        let mut q = Query::new(self.base.clone());
+        for (i, &(attr, domain)) in self.split_attrs.iter().enumerate() {
             let (lo, hi) = region[i];
             if lo > 0 {
                 q.push(Predicate::ge(attr, lo as Value));
@@ -91,13 +120,28 @@ pub(crate) fn crawl_region(
                 q.push(Predicate::le(attr, hi as Value));
             }
         }
-        let Some(resp) = client.query(&q)? else {
-            return Ok(false);
-        };
-        collector.ingest(&resp.tuples);
-        collector.record(client.issued());
+        q
+    }
 
-        if resp.tuples.len() == k {
+    pub(crate) fn plan_into(&self, out: &mut Vec<Query>) {
+        if let Some(region) = self.stack.last() {
+            out.push(self.region_query(region));
+        }
+    }
+
+    pub(crate) fn on_response(
+        &mut self,
+        kb: &mut KnowledgeBase,
+        issued: u64,
+        resp: &QueryResponse,
+    ) {
+        let region = self
+            .stack
+            .pop()
+            .expect("a response arrived without a pending region");
+        kb.ingest(&resp.tuples);
+        kb.record(issued);
+        if resp.tuples.len() == self.k {
             // Possibly truncated: split the widest attribute interval.
             let (widest, &(lo, hi)) = match region
                 .iter()
@@ -105,24 +149,66 @@ pub(crate) fn crawl_region(
                 .max_by_key(|(_, (lo, hi))| hi - lo)
             {
                 Some(x) => x,
-                None => continue,
+                None => return,
             };
             if hi == lo {
                 // All attributes are pinned to single values; the matching
                 // tuples are indistinguishable through the ranking
                 // attributes and nothing further can be retrieved.
-                continue;
+                return;
             }
             let mid = lo + (hi - lo) / 2;
             let mut lower = region.clone();
             lower[widest] = (lo, mid);
             let mut upper = region;
             upper[widest] = (mid + 1, hi);
-            stack.push(upper);
-            stack.push(lower);
+            self.stack.push(upper);
+            self.stack.push(lower);
         }
     }
-    Ok(true)
+}
+
+/// Control state of [`CrawlMachine`]: the recursive region splitting of the
+/// crawling BASELINE.
+#[derive(Debug, Clone)]
+pub struct CrawlControl {
+    crawl: RegionCrawl,
+}
+
+impl MachineControl for CrawlControl {
+    fn name(&self) -> &str {
+        "BASELINE"
+    }
+
+    fn done(&self) -> bool {
+        self.crawl.done()
+    }
+
+    fn plan_into(&self, _kb: &KnowledgeBase, _limit: usize, out: &mut Vec<Query>) {
+        self.crawl.plan_into(out);
+    }
+
+    fn on_response(&mut self, kb: &mut KnowledgeBase, issued: u64, resp: &QueryResponse) {
+        self.crawl.on_response(kb, issued, resp);
+    }
+}
+
+impl BaselineCrawl {
+    /// Builds the concrete machine (also available through the boxed
+    /// [`Discoverer::machine`] entry point).
+    pub fn build_machine(&self, db: &HiddenDb) -> Result<CrawlMachine, DiscoveryError> {
+        Self::check_interface(db)?;
+        let attrs: Vec<usize> = db.schema().ranking_attrs().to_vec();
+        let split_attrs: Vec<(usize, Value)> = attrs
+            .iter()
+            .map(|&a| (a, db.schema().attr(a).domain_size))
+            .collect();
+        let crawl = RegionCrawl::new(Vec::new(), split_attrs, db.k());
+        Ok(Machine::from_parts(
+            KnowledgeBase::new(attrs),
+            CrawlControl { crawl },
+        ))
+    }
 }
 
 impl Discoverer for BaselineCrawl {
@@ -130,17 +216,12 @@ impl Discoverer for BaselineCrawl {
         "BASELINE"
     }
 
-    fn discover(&self, db: &HiddenDb) -> Result<DiscoveryResult, DiscoveryError> {
-        Self::check_interface(db)?;
-        let attrs: Vec<usize> = db.schema().ranking_attrs().to_vec();
-        let split_attrs: Vec<(usize, Value)> = attrs
-            .iter()
-            .map(|&a| (a, db.schema().attr(a).domain_size))
-            .collect();
-        let mut client = Client::new(db, self.budget);
-        let mut collector = KnowledgeBase::new(attrs);
-        let completed = crawl_region(&mut client, &mut collector, &[], &split_attrs)?;
-        Ok(collector.finish(client.issued(), completed))
+    fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    fn machine(&self, db: &HiddenDb) -> Result<Box<dyn DiscoveryMachine>, DiscoveryError> {
+        Ok(Box::new(self.build_machine(db)?))
     }
 }
 
@@ -166,50 +247,104 @@ impl PointSpaceCrawl {
     }
 }
 
-impl Discoverer for PointSpaceCrawl {
+/// Control state of [`PointCrawlMachine`]: the mixed-radix odometer over
+/// every value combination of the ranking attributes.
+///
+/// The query sequence is fully predetermined — responses never influence
+/// which query comes next — so `plan_into` emits as many upcoming odometer
+/// queries as the driver's batch limit allows, and batched execution is
+/// trivially order-identical to the sequential crawl.
+#[derive(Debug, Clone)]
+pub struct PointCrawlControl {
+    attrs: Vec<usize>,
+    domains: Vec<Value>,
+    /// The next combination to query; `None` once the odometer wrapped.
+    combo: Option<Vec<Value>>,
+}
+
+impl PointCrawlControl {
+    fn combo_query(&self, combo: &[Value]) -> Query {
+        Query::new(
+            self.attrs
+                .iter()
+                .zip(combo)
+                .map(|(&a, &v)| Predicate::eq(a, v))
+                .collect(),
+        )
+    }
+
+    fn advance(&self, combo: &mut [Value]) -> bool {
+        next_combo(combo, &self.domains)
+    }
+}
+
+impl MachineControl for PointCrawlControl {
     fn name(&self) -> &str {
         "POINT-CRAWL"
     }
 
-    fn discover(&self, db: &HiddenDb) -> Result<DiscoveryResult, DiscoveryError> {
+    fn done(&self) -> bool {
+        self.combo.is_none()
+    }
+
+    fn plan_into(&self, _kb: &KnowledgeBase, limit: usize, out: &mut Vec<Query>) {
+        let Some(combo) = &self.combo else {
+            return;
+        };
+        let mut combo = combo.clone();
+        loop {
+            out.push(self.combo_query(&combo));
+            if out.len() >= limit || !self.advance(&mut combo) {
+                return;
+            }
+        }
+    }
+
+    fn on_response(&mut self, kb: &mut KnowledgeBase, issued: u64, resp: &QueryResponse) {
+        kb.ingest(&resp.tuples);
+        kb.record(issued);
+        let combo = self
+            .combo
+            .as_mut()
+            .expect("a response arrived after the odometer wrapped");
+        if !next_combo(combo, &self.domains) {
+            self.combo = None;
+        }
+    }
+}
+
+impl PointSpaceCrawl {
+    /// Builds the concrete machine (also available through the boxed
+    /// [`Discoverer::machine`] entry point).
+    pub fn build_machine(&self, db: &HiddenDb) -> Result<PointCrawlMachine, DiscoveryError> {
         let attrs: Vec<usize> = db.schema().ranking_attrs().to_vec();
         let domains: Vec<Value> = attrs
             .iter()
             .map(|&a| db.schema().attr(a).domain_size)
             .collect();
-        let mut client = Client::new(db, self.budget);
-        let mut collector = KnowledgeBase::new(attrs.clone());
+        let combo = Some(vec![0; attrs.len()]);
+        Ok(Machine::from_parts(
+            KnowledgeBase::new(attrs.clone()),
+            PointCrawlControl {
+                attrs,
+                domains,
+                combo,
+            },
+        ))
+    }
+}
 
-        let mut combo: Vec<Value> = vec![0; attrs.len()];
-        loop {
-            let q = Query::new(
-                attrs
-                    .iter()
-                    .zip(&combo)
-                    .map(|(&a, &v)| Predicate::eq(a, v))
-                    .collect(),
-            );
-            let Some(resp) = client.query(&q)? else {
-                return Ok(collector.finish(client.issued(), false));
-            };
-            collector.ingest(&resp.tuples);
-            collector.record(client.issued());
+impl Discoverer for PointSpaceCrawl {
+    fn name(&self) -> &str {
+        "POINT-CRAWL"
+    }
 
-            // Advance the mixed-radix odometer.
-            let mut advanced = false;
-            for i in (0..combo.len()).rev() {
-                combo[i] += 1;
-                if combo[i] < domains[i] {
-                    advanced = true;
-                    break;
-                }
-                combo[i] = 0;
-            }
-            if !advanced {
-                break;
-            }
-        }
-        Ok(collector.finish(client.issued(), true))
+    fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    fn machine(&self, db: &HiddenDb) -> Result<Box<dyn DiscoveryMachine>, DiscoveryError> {
+        Ok(Box::new(self.build_machine(db)?))
     }
 }
 

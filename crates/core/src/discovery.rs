@@ -1,11 +1,16 @@
 //! Shared infrastructure of the discovery algorithms: the [`Discoverer`]
-//! trait, result/trace types and the query client (budget handling). The
-//! anytime skyline maintenance lives in [`crate::KnowledgeBase`].
+//! trait, result/trace and error types. The anytime skyline maintenance
+//! lives in [`crate::KnowledgeBase`]; the execution machinery (sessions,
+//! budgets, batching, deadlines) lives in the sans-io layer
+//! ([`crate::machine`] / [`crate::DiscoveryDriver`]).
 
 use std::fmt;
 use std::sync::Arc;
 
-use skyweb_hidden_db::{HiddenDb, Query, QueryError, QueryResponse, Session, Tuple};
+use skyweb_hidden_db::{HiddenDb, QueryError, Tuple};
+
+use crate::driver::{DiscoveryDriver, DriverConfig};
+use crate::machine::DiscoveryMachine;
 
 /// One point of an *anytime trace*: after `queries` issued queries, the
 /// client could already certify `skyline_found` tuples as current skyline
@@ -47,12 +52,13 @@ pub struct DiscoveryResult {
 impl DiscoveryResult {
     /// Average number of queries spent per discovered skyline tuple — the
     /// metric reported in the paper's online experiments.
+    ///
+    /// Always well-defined (never `NaN` or `inf`): a run that discovered
+    /// zero skyline tuples reports its full `query_cost` — the cost of
+    /// "at most one discovery", i.e. `query_cost / max(1, |skyline|)` —
+    /// and a run that issued no queries reports `0.0`.
     pub fn queries_per_skyline(&self) -> f64 {
-        if self.skyline.is_empty() {
-            self.query_cost as f64
-        } else {
-            self.query_cost as f64 / self.skyline.len() as f64
-        }
+        self.query_cost as f64 / (self.skyline.len().max(1)) as f64
     }
 }
 
@@ -90,124 +96,75 @@ impl From<QueryError> for DiscoveryError {
 }
 
 /// A skyline-discovery algorithm over a hidden web database.
+///
+/// An implementation is a *configuration* (budget, band size, …); the
+/// actual run state lives in the sans-io [`DiscoveryMachine`] the
+/// configuration compiles into via [`Discoverer::machine`]. The
+/// [`Discoverer::discover`] entry point is a thin adapter that executes the
+/// machine to completion through a [`DiscoveryDriver`] — byte-identical to
+/// the historical blocking implementation, so existing callers keep
+/// working; new callers needing pause/resume, streaming, deadlines or
+/// multiplexing use the machine directly.
 pub trait Discoverer {
     /// Short algorithm name (e.g. `"SQ-DB-SKY"`).
     fn name(&self) -> &str;
 
+    /// The client-side query budget this instance was configured with
+    /// (`None` = unlimited). Honored by the default
+    /// [`Discoverer::discover`] adapter.
+    fn budget(&self) -> Option<u64> {
+        None
+    }
+
+    /// Compiles this configuration into a sans-io machine for `db`'s
+    /// schema and top-k constraint, validating interface requirements.
+    /// The machine holds no reference to `db`.
+    fn machine(&self, db: &HiddenDb) -> Result<Box<dyn DiscoveryMachine>, DiscoveryError>;
+
     /// Runs the algorithm against `db` and returns the discovered skyline
     /// together with its query cost and anytime trace.
-    fn discover(&self, db: &HiddenDb) -> Result<DiscoveryResult, DiscoveryError>;
-}
-
-/// The client-side view of the hidden database used by the algorithms:
-/// issues queries, counts them locally, and converts rate-limit /
-/// budget exhaustion into a graceful "stop now" signal so that every
-/// algorithm retains the paper's *anytime* property.
-pub(crate) struct Client<'a> {
-    /// One discovery run is one client of the database, so it queries
-    /// through its own [`Session`]: private scratch memory (no contention
-    /// with concurrent runs on a shared database) and per-client
-    /// [`skyweb_hidden_db::QueryStats`] that double as the issued-query
-    /// counter.
-    session: Session<'a>,
-    budget: Option<u64>,
-    exhausted: bool,
-}
-
-impl<'a> Client<'a> {
-    /// Creates a client with an optional client-side query budget.
-    pub(crate) fn new(db: &'a HiddenDb, budget: Option<u64>) -> Self {
-        Client {
-            session: db.session(),
-            budget,
-            exhausted: false,
-        }
-    }
-
-    /// The wrapped database.
-    pub(crate) fn db(&self) -> &'a HiddenDb {
-        self.session.db()
-    }
-
-    /// Number of queries issued through this client.
-    pub(crate) fn issued(&self) -> u64 {
-        self.session.queries_issued()
-    }
-
-    /// `true` once the budget or the server-side rate limit was hit.
-    pub(crate) fn exhausted(&self) -> bool {
-        self.exhausted
-    }
-
-    /// Issues `query`. Returns `Ok(None)` when the client-side budget or the
-    /// server-side rate limit is exhausted (the caller should stop), and
-    /// `Err` for any other rejection (which indicates a real bug).
-    pub(crate) fn query(&mut self, query: &Query) -> Result<Option<QueryResponse>, DiscoveryError> {
-        if self.exhausted {
-            return Ok(None);
-        }
-        if let Some(budget) = self.budget {
-            if self.session.queries_issued() >= budget {
-                self.exhausted = true;
-                return Ok(None);
-            }
-        }
-        match self.session.query(query) {
-            Ok(resp) => Ok(Some(resp)),
-            Err(QueryError::RateLimitExceeded { .. }) => {
-                self.exhausted = true;
-                Ok(None)
-            }
-            Err(e) => Err(DiscoveryError::Query(e)),
-        }
+    fn discover(&self, db: &HiddenDb) -> Result<DiscoveryResult, DiscoveryError> {
+        let machine = self.machine(db)?;
+        DiscoveryDriver::new(db, machine, DriverConfig::new().with_budget(self.budget())).run()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skyweb_hidden_db::{InterfaceType, Predicate, RateLimit, SchemaBuilder, SumRanker, Tuple};
-
-    fn toy_db(k: usize) -> HiddenDb {
-        let schema = SchemaBuilder::new()
-            .ranking("a", 10, InterfaceType::Rq)
-            .ranking("b", 10, InterfaceType::Rq)
-            .build();
-        let tuples = vec![
-            Tuple::new(0, vec![5, 1]),
-            Tuple::new(1, vec![4, 4]),
-            Tuple::new(2, vec![1, 3]),
-            Tuple::new(3, vec![3, 2]),
-        ];
-        HiddenDb::new(schema, tuples, Box::new(SumRanker), k)
-    }
 
     #[test]
-    fn client_counts_and_respects_budget() {
-        let db = toy_db(2);
-        let mut client = Client::new(&db, Some(2));
-        assert!(client.query(&Query::select_all()).unwrap().is_some());
-        assert!(client.query(&Query::select_all()).unwrap().is_some());
-        assert!(client.query(&Query::select_all()).unwrap().is_none());
-        assert!(client.exhausted());
-        assert_eq!(client.issued(), 2);
-        assert_eq!(db.queries_issued(), 2);
-    }
+    fn queries_per_skyline_is_well_defined_for_empty_skylines() {
+        let zero_discoveries = DiscoveryResult {
+            skyline: Vec::new(),
+            retrieved: Vec::new(),
+            query_cost: 7,
+            trace: Vec::new(),
+            complete: false,
+        };
+        assert_eq!(zero_discoveries.queries_per_skyline(), 7.0);
+        assert!(zero_discoveries.queries_per_skyline().is_finite());
 
-    #[test]
-    fn client_converts_rate_limit_into_stop() {
-        let db = toy_db(2).with_rate_limit(RateLimit::new(1));
-        let mut client = Client::new(&db, None);
-        assert!(client.query(&Query::select_all()).unwrap().is_some());
-        assert!(client.query(&Query::select_all()).unwrap().is_none());
-        assert!(client.exhausted());
-    }
+        let nothing_at_all = DiscoveryResult {
+            skyline: Vec::new(),
+            retrieved: Vec::new(),
+            query_cost: 0,
+            trace: Vec::new(),
+            complete: true,
+        };
+        assert_eq!(nothing_at_all.queries_per_skyline(), 0.0);
+        assert!(!nothing_at_all.queries_per_skyline().is_nan());
 
-    #[test]
-    fn client_propagates_real_errors() {
-        let db = toy_db(2);
-        let mut client = Client::new(&db, None);
-        let bad = Query::new(vec![Predicate::eq(7, 0)]);
-        assert!(client.query(&bad).is_err());
+        let normal = DiscoveryResult {
+            skyline: vec![
+                Arc::new(Tuple::new(0, vec![1])),
+                Arc::new(Tuple::new(1, vec![2])),
+            ],
+            retrieved: Vec::new(),
+            query_cost: 6,
+            trace: Vec::new(),
+            complete: true,
+        };
+        assert_eq!(normal.queries_per_skyline(), 3.0);
     }
 }

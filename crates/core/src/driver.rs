@@ -1,0 +1,408 @@
+//! The driving layer of the sans-io API: executes a [`DiscoveryMachine`]
+//! against a live [`Session`], enforcing budgets and deadlines, pipelining
+//! multi-query plans through the session's batch interface, and supporting
+//! pause/resume through [`Checkpoint`]s.
+//!
+//! The driver is the only place where algorithm state meets I/O. It holds
+//! the machine (pure state) and a session (the connection); pausing drops
+//! the session and hands the machine back as a checkpoint that can be
+//! resumed later — against the same database or a failed-over replica with
+//! identical content.
+
+use std::time::{Duration, Instant};
+
+use skyweb_hidden_db::{HiddenDb, QueryError, Session};
+
+use crate::machine::{AnytimeSnapshot, DiscoveryMachine, RunProgress};
+use crate::{DiscoveryError, DiscoveryResult};
+
+/// Default number of queries the driver issues per plan round-trip.
+///
+/// Machines with data-independent frontiers (SQ-DB-SKY, the point-space
+/// crawl) yield plans of this size and amortize the per-query client
+/// overhead; machines with adaptive traversals yield single-query plans
+/// regardless of the limit.
+pub const DEFAULT_MAX_BATCH: usize = 64;
+
+/// How a [`DiscoveryDriver`] executes a machine.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// Client-side query budget: the run is halted (anytime result) once
+    /// this many queries were answered, counted across pause/resume cycles
+    /// via [`DiscoveryMachine::queries_issued`].
+    pub budget: Option<u64>,
+    /// Upper bound on the number of queries issued per plan round-trip
+    /// (≥ 1). `1` forces fully sequential execution.
+    pub max_batch: usize,
+    /// Wall-clock deadline measured from driver construction: once elapsed,
+    /// the run is halted at the next plan boundary (anytime result).
+    pub max_wall: Option<Duration>,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            budget: None,
+            max_batch: DEFAULT_MAX_BATCH,
+            max_wall: None,
+        }
+    }
+}
+
+impl DriverConfig {
+    /// Config with no budget, no deadline and default batching.
+    pub fn new() -> Self {
+        DriverConfig::default()
+    }
+
+    /// Sets the query budget (builder style).
+    pub fn with_budget(mut self, budget: Option<u64>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the per-round batch limit (builder style, clamped to ≥ 1).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the wall-clock deadline (builder style).
+    pub fn with_max_wall(mut self, max_wall: Option<Duration>) -> Self {
+        self.max_wall = max_wall;
+        self
+    }
+}
+
+/// Outcome of one [`DiscoveryDriver::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// `queries` responses were fed to the machine; the run continues.
+    Progressed {
+        /// Number of queries answered in this round-trip.
+        queries: usize,
+    },
+    /// The machine needs no further stepping: it finished, or it was halted
+    /// by the budget, the deadline or the server's rate limit.
+    Finished,
+}
+
+/// A paused discovery run: the machine's complete state, detached from any
+/// database session.
+///
+/// The checkpoint owns everything the run has learned (knowledge base,
+/// trace, issued-query accounting) and borrows nothing, so it can be held
+/// indefinitely, sent to another thread, or resumed against a different
+/// [`HiddenDb`] handle with [`DiscoveryDriver::resume`].
+#[derive(Debug)]
+pub struct Checkpoint<M> {
+    machine: M,
+}
+
+impl<M: DiscoveryMachine> Checkpoint<M> {
+    /// Read access to the paused machine.
+    pub fn machine(&self) -> &M {
+        &self.machine
+    }
+
+    /// Queries answered before the pause (budget accounting carries over).
+    pub fn queries_issued(&self) -> u64 {
+        self.machine.queries_issued()
+    }
+
+    /// Anytime snapshot of the paused run.
+    pub fn snapshot(&self) -> AnytimeSnapshot {
+        self.machine.snapshot()
+    }
+
+    /// Consumes the checkpoint into the raw machine.
+    pub fn into_machine(self) -> M {
+        self.machine
+    }
+}
+
+/// Executes a [`DiscoveryMachine`] against a database session.
+///
+/// ```
+/// use skyweb_core::{Discoverer, DiscoveryDriver, DriverConfig, SqDbSky};
+/// use skyweb_hidden_db::{HiddenDb, InterfaceType, SchemaBuilder, Tuple};
+///
+/// let schema = SchemaBuilder::new()
+///     .ranking("a", 10, InterfaceType::Sq)
+///     .ranking("b", 10, InterfaceType::Sq)
+///     .build();
+/// let tuples = vec![Tuple::new(0, vec![5, 1]), Tuple::new(1, vec![1, 5])];
+/// let db = HiddenDb::with_sum_ranking(schema, tuples, 1);
+///
+/// let machine = SqDbSky::new().machine(&db).unwrap();
+/// let mut driver = DiscoveryDriver::new(&db, machine, DriverConfig::new());
+/// // Stream anytime snapshots while stepping…
+/// while let skyweb_core::StepOutcome::Progressed { .. } = driver.step().unwrap() {
+///     let snap = driver.snapshot();
+///     assert!(snap.queries <= db.queries_issued());
+/// }
+/// let result = driver.finish().unwrap();
+/// assert!(result.complete);
+/// ```
+#[derive(Debug)]
+pub struct DiscoveryDriver<'db, M = Box<dyn DiscoveryMachine>> {
+    session: Session<'db>,
+    machine: M,
+    config: DriverConfig,
+    started: Instant,
+}
+
+impl<'db, M: DiscoveryMachine> DiscoveryDriver<'db, M> {
+    /// Attaches `machine` to a fresh session of `db`. The deadline clock
+    /// (if any) starts now.
+    pub fn new(db: &'db HiddenDb, machine: M, config: DriverConfig) -> Self {
+        DiscoveryDriver {
+            session: db.session(),
+            machine,
+            config,
+            started: Instant::now(),
+        }
+    }
+
+    /// Resumes a paused run from `checkpoint` against `db`. Budget
+    /// accounting continues from the checkpoint's issued-query count; the
+    /// deadline clock (if any) restarts.
+    pub fn resume(db: &'db HiddenDb, checkpoint: Checkpoint<M>, config: DriverConfig) -> Self {
+        DiscoveryDriver::new(db, checkpoint.into_machine(), config)
+    }
+
+    /// The wrapped machine.
+    pub fn machine(&self) -> &M {
+        &self.machine
+    }
+
+    /// Allocation-free progress counters (what schedulers poll per step).
+    pub fn progress(&self) -> RunProgress {
+        self.machine.progress()
+    }
+
+    /// An anytime snapshot of the run (cheap; usable for streaming progress
+    /// between steps).
+    pub fn snapshot(&self) -> AnytimeSnapshot {
+        self.machine.snapshot()
+    }
+
+    /// Pauses the run at the current plan boundary: drops the session and
+    /// returns the machine's complete state as a [`Checkpoint`].
+    pub fn pause(self) -> Checkpoint<M> {
+        Checkpoint {
+            machine: self.machine,
+        }
+    }
+
+    /// Detaches and returns the machine (like [`DiscoveryDriver::pause`],
+    /// without the checkpoint wrapper).
+    pub fn into_machine(self) -> M {
+        self.machine
+    }
+
+    /// Queries still allowed by the budget (`None` = unlimited).
+    fn budget_remaining(&self) -> Option<u64> {
+        self.config
+            .budget
+            .map(|b| b.saturating_sub(self.machine.queries_issued()))
+    }
+
+    /// `true` once the wall-clock deadline has passed.
+    fn deadline_passed(&self) -> bool {
+        self.config
+            .max_wall
+            .is_some_and(|limit| self.started.elapsed() >= limit)
+    }
+
+    /// Executes one plan round-trip: asks the machine for its next plan
+    /// (bounded by the batch limit, the budget and the deadline), pipelines
+    /// the queries through the session's batch interface, and resumes the
+    /// machine with the responses.
+    ///
+    /// Budget, deadline and rate-limit exhaustion halt the machine and
+    /// report [`StepOutcome::Finished`]; the partial anytime result stays
+    /// available through [`DiscoveryDriver::finish`]. Any other query
+    /// rejection is a real error and is propagated.
+    pub fn step(&mut self) -> Result<StepOutcome, DiscoveryError> {
+        if self.machine.is_finished() {
+            return Ok(StepOutcome::Finished);
+        }
+        let limit = match self.budget_remaining() {
+            Some(0) => {
+                self.machine.halt();
+                return Ok(StepOutcome::Finished);
+            }
+            Some(left) => (left.min(self.config.max_batch as u64)) as usize,
+            None => self.config.max_batch,
+        };
+        if self.deadline_passed() {
+            self.machine.halt();
+            return Ok(StepOutcome::Finished);
+        }
+        let plan = self.machine.next_plan(limit);
+        if plan.is_empty() {
+            return Ok(StepOutcome::Finished);
+        }
+        let (responses, err) = self.session.run_plan(plan.queries());
+        let answered = responses.len();
+        self.machine.resume(&responses);
+        match err {
+            None => Ok(StepOutcome::Progressed { queries: answered }),
+            Some(QueryError::RateLimitExceeded { .. }) => {
+                self.machine.halt();
+                Ok(StepOutcome::Finished)
+            }
+            Some(e) => Err(DiscoveryError::Query(e)),
+        }
+    }
+
+    /// Steps until the run finishes (or is halted by budget/deadline/rate
+    /// limit), then returns the driver for result extraction.
+    fn drive_to_end(&mut self) -> Result<(), DiscoveryError> {
+        while let StepOutcome::Progressed { .. } = self.step()? {}
+        Ok(())
+    }
+
+    /// Runs to completion and extracts the [`DiscoveryResult`].
+    pub fn run(mut self) -> Result<DiscoveryResult, DiscoveryError> {
+        self.drive_to_end()?;
+        Ok(self.machine.take_result())
+    }
+
+    /// Runs to completion and hands the finished machine back (for
+    /// machine-specific result accessors such as
+    /// [`SkybandMachine::take_band_result`](crate::SkybandMachine::take_band_result)).
+    pub fn run_into_machine(mut self) -> Result<M, DiscoveryError> {
+        self.drive_to_end()?;
+        Ok(self.machine)
+    }
+
+    /// Extracts the result of a finished (or halted) run, consuming the
+    /// driver — equivalent to `self.into_machine().take_result()`.
+    pub fn finish(mut self) -> Result<DiscoveryResult, DiscoveryError> {
+        Ok(self.machine.take_result())
+    }
+
+    /// Extracts the result of a finished (or halted) run in place, leaving
+    /// the machine empty (used by schedulers that keep the driver slot
+    /// alive, e.g. [`crate::DiscoveryService`]).
+    pub fn take_result(&mut self) -> DiscoveryResult {
+        self.machine.take_result()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Discoverer;
+    use skyweb_hidden_db::{InterfaceType, Query, RateLimit, SchemaBuilder, Tuple};
+
+    fn toy_db(k: usize) -> HiddenDb {
+        let schema = SchemaBuilder::new()
+            .ranking("a", 10, InterfaceType::Rq)
+            .ranking("b", 10, InterfaceType::Rq)
+            .build();
+        let tuples = vec![
+            Tuple::new(0, vec![5, 1]),
+            Tuple::new(1, vec![4, 4]),
+            Tuple::new(2, vec![1, 3]),
+            Tuple::new(3, vec![3, 2]),
+        ];
+        HiddenDb::with_sum_ranking(schema, tuples, k)
+    }
+
+    #[test]
+    fn driver_counts_and_respects_budget() {
+        let db = toy_db(1);
+        let machine = crate::SqDbSky::new().machine(&db).unwrap();
+        let driver = DiscoveryDriver::new(&db, machine, DriverConfig::new().with_budget(Some(2)));
+        let result = driver.run().unwrap();
+        assert!(!result.complete);
+        assert_eq!(result.query_cost, 2);
+        assert_eq!(db.queries_issued(), 2);
+    }
+
+    #[test]
+    fn driver_converts_rate_limit_into_halt() {
+        let db = toy_db(1).with_rate_limit(RateLimit::new(2));
+        let machine = crate::SqDbSky::new().machine(&db).unwrap();
+        let result = DiscoveryDriver::new(&db, machine, DriverConfig::new())
+            .run()
+            .unwrap();
+        assert!(!result.complete);
+        assert_eq!(result.query_cost, 2);
+        assert_eq!(db.queries_issued(), 2);
+    }
+
+    #[test]
+    fn driver_propagates_real_errors() {
+        let db = toy_db(1);
+        #[derive(Debug)]
+        struct BadControl {
+            fired: bool,
+        }
+        impl crate::MachineControl for BadControl {
+            fn name(&self) -> &str {
+                "BAD"
+            }
+            fn done(&self) -> bool {
+                self.fired
+            }
+            fn plan_into(&self, _kb: &crate::KnowledgeBase, _limit: usize, out: &mut Vec<Query>) {
+                out.push(Query::new(vec![skyweb_hidden_db::Predicate::eq(9, 0)]));
+            }
+            fn on_response(
+                &mut self,
+                _kb: &mut crate::KnowledgeBase,
+                _issued: u64,
+                _resp: &skyweb_hidden_db::QueryResponse,
+            ) {
+                self.fired = true;
+            }
+        }
+        let machine = crate::Machine::from_parts(
+            crate::KnowledgeBase::new(vec![0, 1]),
+            BadControl { fired: false },
+        );
+        let mut driver = DiscoveryDriver::new(&db, machine, DriverConfig::new());
+        assert!(driver.step().is_err());
+    }
+
+    #[test]
+    fn pause_and_resume_continue_the_budget() {
+        let db = toy_db(1);
+        let machine = crate::SqDbSky::new().machine(&db).unwrap();
+        let mut driver = DiscoveryDriver::new(
+            &db,
+            machine,
+            DriverConfig::new().with_budget(Some(3)).with_max_batch(1),
+        );
+        driver.step().unwrap();
+        let checkpoint = driver.pause();
+        assert_eq!(checkpoint.queries_issued(), 1);
+        let resumed = DiscoveryDriver::resume(
+            &db,
+            checkpoint,
+            DriverConfig::new().with_budget(Some(3)).with_max_batch(1),
+        );
+        let result = resumed.run().unwrap();
+        assert!(!result.complete);
+        assert_eq!(result.query_cost, 3);
+    }
+
+    #[test]
+    fn expired_deadline_halts_at_the_next_boundary() {
+        let db = toy_db(1);
+        let machine = crate::SqDbSky::new().machine(&db).unwrap();
+        let mut driver = DiscoveryDriver::new(
+            &db,
+            machine,
+            DriverConfig::new().with_max_wall(Some(Duration::ZERO)),
+        );
+        assert_eq!(driver.step().unwrap(), StepOutcome::Finished);
+        let result = driver.finish().unwrap();
+        assert!(!result.complete);
+        assert_eq!(result.query_cost, 0);
+    }
+}

@@ -42,7 +42,7 @@ type Bounds = Vec<(i64, i64)>;
 /// The knowledge a discovery run has accumulated: the retrieved set, its
 /// skyline (or top-h sky band), posting lists for membership probes, and
 /// the anytime trace.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct KnowledgeBase {
     attrs: Vec<AttrId>,
     /// The shared incremental dominance index over the retrieved set.
@@ -123,6 +123,11 @@ impl KnowledgeBase {
     /// Number of distinct tuples retrieved so far.
     pub fn retrieved_len(&self) -> usize {
         self.retrieved.len()
+    }
+
+    /// The anytime trace recorded so far.
+    pub fn trace(&self) -> &[TracePoint] {
+        &self.trace
     }
 
     /// Every distinct retrieved tuple, in retrieval order, borrowing the

@@ -24,6 +24,16 @@
 //! query cost, and records an *anytime trace* (how many skyline tuples were
 //! known after every issued query).
 //!
+//! Each algorithm is implemented as a **sans-io state machine**
+//! ([`DiscoveryMachine`], see the [`machine`] module): it yields
+//! [`QueryPlan`]s and is resumed with responses, so runs can be paused,
+//! checkpointed, resumed, deadlined, streamed, and multiplexed. The
+//! [`DiscoveryDriver`] executes a machine against a database session
+//! (batching plans, enforcing budgets/deadlines); the [`DiscoveryService`]
+//! runs many machines concurrently over one shared database with
+//! round-robin fairness. [`Discoverer::discover`] is a thin adapter over
+//! machine + driver, byte-identical to the historical blocking API.
+//!
 //! ```
 //! use skyweb_core::{Discoverer, RqDbSky};
 //! use skyweb_hidden_db::{HiddenDb, InterfaceType, SchemaBuilder, Tuple};
@@ -51,23 +61,32 @@
 pub mod analysis;
 mod baseline;
 mod discovery;
+mod driver;
 mod knowledge;
+pub mod machine;
 mod mq;
 mod pq;
 mod pq2d;
 mod pq2dsub;
 mod rq;
+mod service;
 mod skyband;
 mod sq;
 
-pub use baseline::{BaselineCrawl, PointSpaceCrawl};
+pub use baseline::{
+    BaselineCrawl, CrawlControl, CrawlMachine, PointCrawlControl, PointCrawlMachine,
+    PointSpaceCrawl,
+};
 pub use discovery::{Discoverer, DiscoveryError, DiscoveryResult, TracePoint};
+pub use driver::{Checkpoint, DiscoveryDriver, DriverConfig, StepOutcome, DEFAULT_MAX_BATCH};
 pub use knowledge::KnowledgeBase;
-pub use mq::MqDbSky;
-pub use pq::PqDbSky;
-pub use pq2d::Pq2dSky;
-pub use rq::RqDbSky;
-pub use skyband::{skyband_of_retrieved, RqSkyband, SkybandResult};
-pub use sq::SqDbSky;
-
-pub(crate) use discovery::Client;
+pub use machine::{
+    AnytimeSnapshot, DiscoveryMachine, Machine, MachineControl, QueryPlan, RunProgress,
+};
+pub use mq::{MqControl, MqDbSky, MqMachine};
+pub use pq::{PqControl, PqDbSky, PqMachine};
+pub use pq2d::{Pq2dControl, Pq2dMachine, Pq2dSky};
+pub use rq::{RqControl, RqDbSky, RqMachine};
+pub use service::{DiscoveryService, TenantId, TenantStats};
+pub use skyband::{skyband_of_retrieved, RqSkyband, SkybandControl, SkybandMachine, SkybandResult};
+pub use sq::{SqControl, SqDbSky, SqMachine};

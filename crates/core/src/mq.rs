@@ -26,12 +26,18 @@
 
 use std::collections::HashSet;
 
-use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, Value};
+use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, QueryResponse, Value};
 
-use crate::baseline::crawl_region;
-use crate::{
-    Client, Discoverer, DiscoveryError, DiscoveryResult, KnowledgeBase, PqDbSky, RqDbSky, SqDbSky,
-};
+use crate::baseline::RegionCrawl;
+use crate::machine::{DiscoveryMachine, Machine, MachineControl};
+use crate::rq::RqTreeWalk;
+use crate::sq::SqTreeWalk;
+use crate::{Discoverer, DiscoveryError, KnowledgeBase, PqDbSky, RqDbSky, SqDbSky};
+
+/// The sans-io machine form of [`MqDbSky`] for genuinely mixed schemas
+/// (range *and* point attributes). Degenerate mixtures compile to the
+/// specialised machines instead — see [`MqDbSky::machine`].
+pub type MqMachine = Machine<MqControl>;
 
 /// MQ-DB-SKY: skyline discovery for any mixture of SQ, RQ and PQ ranking
 /// attributes.
@@ -53,152 +59,127 @@ impl MqDbSky {
         }
     }
 
-    /// Recursively pins the remaining point attributes of an overflowing
-    /// subspace, stopping early on empty answers; once every point attribute
-    /// is pinned, retrieves the remaining skyline candidates of the leaf
-    /// subspace — by crawling it over the two-ended range attributes when
-    /// every range attribute is two-ended, or by running an SQ-DB-SKY
-    /// subtree rooted at the leaf query otherwise.
-    #[allow(clippy::too_many_arguments)]
-    fn refine_point_subspace(
-        client: &mut Client<'_>,
-        collector: &mut KnowledgeBase,
-        base: &Query,
-        remaining_points: &[usize],
-        range_attrs: &[usize],
-        two_ended: &[(usize, Value)],
-        leaves_done: &mut HashSet<Vec<Predicate>>,
-        db: &HiddenDb,
-    ) -> Result<bool, DiscoveryError> {
-        let k = db.k();
-        let Some((&attr, rest)) = remaining_points.split_first() else {
-            let mut key: Vec<Predicate> = base.predicates().to_vec();
-            key.sort_by_key(|p| (p.attr, p.value, p.op as u8));
-            if !leaves_done.insert(key) {
-                return Ok(true);
-            }
-            if two_ended.len() == range_attrs.len() {
-                // All range attributes support two-ended ranges: crawl every
-                // tuple of the leaf subspace.
-                return crawl_region(client, collector, base.predicates(), two_ended);
-            }
-            // Some range attributes are one-ended: discover the leaf
-            // subspace's skyline with an SQ-DB-SKY subtree (sufficient,
-            // because within the leaf all point attributes are pinned and
-            // dominance reduces to the range attributes).
-            return SqDbSky::run_tree(client, collector, range_attrs, base.clone(), k);
-        };
-
-        for v in 0..db.schema().attr(attr).domain_size {
-            let q = base.and(Predicate::eq(attr, v));
-            let Some(resp) = client.query(&q)? else {
-                return Ok(false);
-            };
-            collector.ingest(&resp.tuples);
-            collector.record(client.issued());
-            if resp.tuples.is_empty() {
-                // Empty answer: nothing below this prefix, stop partitioning.
-                continue;
-            }
-            if resp.tuples.len() == k {
-                // Still possibly truncated: keep pinning point attributes.
-                if !Self::refine_point_subspace(
-                    client,
-                    collector,
-                    &q,
-                    rest,
-                    range_attrs,
-                    two_ended,
-                    leaves_done,
-                    db,
-                )? {
-                    return Ok(false);
-                }
-            }
-        }
-        Ok(true)
-    }
-}
-
-impl Discoverer for MqDbSky {
-    fn name(&self) -> &str {
-        "MQ-DB-SKY"
-    }
-
-    fn discover(&self, db: &HiddenDb) -> Result<DiscoveryResult, DiscoveryError> {
+    /// Builds the concrete machine for a genuinely mixed schema. Errors on
+    /// degenerate mixtures (use [`Discoverer::machine`], which delegates to
+    /// the specialised machine instead).
+    pub fn build_machine(&self, db: &HiddenDb) -> Result<MqMachine, DiscoveryError> {
         let schema = db.schema();
         let attrs: Vec<usize> = schema.ranking_attrs().to_vec();
         let range_attrs: Vec<usize> = schema.range_attrs();
         let point_attrs: Vec<usize> = schema.point_attrs();
-
-        // Degenerate mixtures reduce to the specialised algorithms.
-        if point_attrs.is_empty() {
-            let all_two_ended = range_attrs
-                .iter()
-                .all(|&a| schema.attr(a).interface == InterfaceType::Rq);
-            return if all_two_ended {
-                let mut alg = RqDbSky::new();
-                if let Some(b) = self.budget {
-                    alg = RqDbSky::with_budget(b);
-                }
-                alg.discover(db)
-            } else {
-                let mut alg = SqDbSky::new();
-                if let Some(b) = self.budget {
-                    alg = SqDbSky::with_budget(b);
-                }
-                alg.discover(db)
-            };
+        if point_attrs.is_empty() || range_attrs.is_empty() {
+            return Err(DiscoveryError::UnsupportedInterface {
+                reason: "MQ-DB-SKY's machine form needs both range and point attributes; \
+                         degenerate mixtures reduce to the specialised machines"
+                    .to_string(),
+            });
         }
-        if range_attrs.is_empty() {
-            let mut alg = PqDbSky::new();
-            if let Some(b) = self.budget {
-                alg = PqDbSky::with_budget(b);
-            }
-            return alg.discover(db);
-        }
-
         let two_ended: Vec<(usize, Value)> = schema
             .two_ended_attrs()
             .into_iter()
             .map(|a| (a, schema.attr(a).domain_size))
             .collect();
-        let all_range_two_ended = two_ended.len() == range_attrs.len();
+        let domain: Vec<Value> = (0..schema.len())
+            .map(|a| schema.attr(a).domain_size)
+            .collect();
         let k = db.k();
 
-        let mut client = Client::new(db, self.budget);
-        let mut collector = KnowledgeBase::new(attrs);
-
-        // ----- Phase 1: range-only discovery (point attributes left as *).
-        let completed = if all_range_two_ended {
-            RqDbSky::run_tree(
-                &mut client,
-                &mut collector,
-                &range_attrs,
-                Query::select_all(),
-                k,
-            )?
+        // Phase 1: range-only discovery (point attributes left as *).
+        let state = if two_ended.len() == range_attrs.len() {
+            MqState::RangeRq(RqTreeWalk::new(Query::select_all(), range_attrs.clone(), k))
         } else {
-            SqDbSky::run_tree(
-                &mut client,
-                &mut collector,
-                &range_attrs,
-                Query::select_all(),
-                k,
-            )?
+            MqState::RangeSq(SqTreeWalk::new(Query::select_all(), range_attrs.clone(), k))
         };
-        if !completed {
-            return Ok(collector.finish(client.issued(), false));
+        let control = MqControl {
+            k,
+            range_attrs,
+            point_attrs,
+            two_ended,
+            domain,
+            state,
+        };
+        Ok(Machine::from_parts(KnowledgeBase::new(attrs), control))
+    }
+}
+
+/// One frame of the point-phase refinement stack — the explicit form of the
+/// old recursive `refine_point_subspace`.
+#[derive(Debug, Clone)]
+enum MqFrame {
+    /// Pinning one point attribute value by value: issues
+    /// `base ∧ attr = next_v` for `next_v` in `0..bound`, recursing (a new
+    /// frame) on overflowing answers.
+    Values {
+        base: Query,
+        attr: usize,
+        rest: Vec<usize>,
+        next_v: Value,
+        bound: Value,
+    },
+    /// Every point attribute pinned, all range attributes two-ended: crawl
+    /// the leaf subspace exhaustively.
+    CrawlLeaf(RegionCrawl),
+    /// Every point attribute pinned, some range attribute one-ended:
+    /// discover the leaf subspace's skyline with an SQ-DB-SKY subtree
+    /// (sufficient, because within the leaf dominance reduces to the range
+    /// attributes).
+    TreeLeaf(SqTreeWalk),
+}
+
+impl MqFrame {
+    fn exhausted(&self) -> bool {
+        match self {
+            MqFrame::Values { next_v, bound, .. } => next_v >= bound,
+            MqFrame::CrawlLeaf(crawl) => crawl.done(),
+            MqFrame::TreeLeaf(walk) => walk.done(),
         }
-        let phase1_skyline = collector.skyline_tuples();
+    }
+}
+
+#[derive(Debug, Clone)]
+enum MqState {
+    /// Phase 1 over two-ended range attributes.
+    RangeRq(RqTreeWalk),
+    /// Phase 1 with at least one one-ended range attribute.
+    RangeSq(SqTreeWalk),
+    /// Phase 2: the point-attribute refinement stack.
+    Point {
+        frames: Vec<MqFrame>,
+        leaves_done: HashSet<Vec<Predicate>>,
+    },
+    /// Finished.
+    Done,
+}
+
+/// Control state of [`MqMachine`]: MQ-DB-SKY's range phase followed by the
+/// point-phase subspace refinement.
+#[derive(Debug, Clone)]
+pub struct MqControl {
+    k: usize,
+    range_attrs: Vec<usize>,
+    point_attrs: Vec<usize>,
+    two_ended: Vec<(usize, Value)>,
+    /// Per-attribute domain sizes (schema metadata copied at construction).
+    domain: Vec<Value>,
+    state: MqState,
+}
+
+impl MqControl {
+    /// Transition into phase 2 once the range walk is done: computes the
+    /// pruning predicate P and one outer refinement frame per point
+    /// attribute from the phase-1 skyline.
+    fn enter_point_phase(&mut self, kb: &KnowledgeBase) {
+        let phase1_skyline = kb.skyline_tuples();
         if phase1_skyline.is_empty() {
             // Empty database.
-            return Ok(collector.finish(client.issued(), true));
+            self.state = MqState::Done;
+            return;
         }
-
-        // ----- Phase 2: find the range-dominated skyline tuples.
-        // Pruning predicate P over the two-ended range attributes.
-        let p_preds: Vec<Predicate> = two_ended
+        // Pruning predicate P over the two-ended range attributes: by the
+        // range-domination property every missing skyline tuple is
+        // range-dominated by some phase-1 skyline tuple.
+        let p_preds: Vec<Predicate> = self
+            .two_ended
             .iter()
             .filter_map(|&(r, _)| {
                 let min_v = phase1_skyline
@@ -209,40 +190,202 @@ impl Discoverer for MqDbSky {
                 (min_v > 0).then_some(Predicate::ge(r, min_v))
             })
             .collect();
-
-        let mut leaves_done: HashSet<Vec<Predicate>> = HashSet::new();
-        for &bi in &point_attrs {
+        // One outer frame per point attribute, pushed in reverse so the
+        // first attribute sits on top of the stack (sequential order).
+        let mut frames = Vec::new();
+        for &bi in self.point_attrs.iter().rev() {
             let max_v = phase1_skyline
                 .iter()
                 .map(|t| t.values[bi])
                 .max()
                 .expect("phase-1 skyline is non-empty");
-            let others: Vec<usize> = point_attrs.iter().copied().filter(|&a| a != bi).collect();
-            for v in 0..max_v {
-                let q = Query::new(p_preds.clone()).and(Predicate::eq(bi, v));
-                let Some(resp) = client.query(&q)? else {
-                    return Ok(collector.finish(client.issued(), false));
-                };
-                collector.ingest(&resp.tuples);
-                collector.record(client.issued());
-                if resp.tuples.len() == k
-                    && !Self::refine_point_subspace(
-                        &mut client,
-                        &mut collector,
-                        &q,
-                        &others,
-                        &range_attrs,
-                        &two_ended,
-                        &mut leaves_done,
-                        db,
-                    )?
-                {
-                    return Ok(collector.finish(client.issued(), false));
-                }
+            if max_v == 0 {
+                continue;
+            }
+            let others: Vec<usize> = self
+                .point_attrs
+                .iter()
+                .copied()
+                .filter(|&a| a != bi)
+                .collect();
+            frames.push(MqFrame::Values {
+                base: Query::new(p_preds.clone()),
+                attr: bi,
+                rest: others,
+                next_v: 0,
+                bound: max_v,
+            });
+        }
+        self.state = MqState::Point {
+            frames,
+            leaves_done: HashSet::new(),
+        };
+        self.normalize();
+    }
+
+    /// Pops exhausted refinement frames; `Done` once the stack drains.
+    fn normalize(&mut self) {
+        if let MqState::Point { frames, .. } = &mut self.state {
+            while frames.last().is_some_and(MqFrame::exhausted) {
+                frames.pop();
+            }
+            if frames.is_empty() {
+                self.state = MqState::Done;
             }
         }
+    }
+}
 
-        Ok(collector.finish(client.issued(), true))
+/// The leaf sub-machine for a fully pinned subspace rooted at `base`.
+fn leaf_frame(
+    base: &Query,
+    two_ended: &[(usize, Value)],
+    range_attrs: &[usize],
+    k: usize,
+) -> MqFrame {
+    if two_ended.len() == range_attrs.len() {
+        // All range attributes support two-ended ranges: crawl every
+        // tuple of the leaf subspace.
+        MqFrame::CrawlLeaf(RegionCrawl::new(
+            base.predicates().to_vec(),
+            two_ended.to_vec(),
+            k,
+        ))
+    } else {
+        MqFrame::TreeLeaf(SqTreeWalk::new(base.clone(), range_attrs.to_vec(), k))
+    }
+}
+
+impl MachineControl for MqControl {
+    fn name(&self) -> &str {
+        "MQ-DB-SKY"
+    }
+
+    fn done(&self) -> bool {
+        matches!(self.state, MqState::Done)
+    }
+
+    fn plan_into(&self, kb: &KnowledgeBase, limit: usize, out: &mut Vec<Query>) {
+        match &self.state {
+            MqState::RangeRq(walk) => walk.plan_into(kb, out),
+            MqState::RangeSq(walk) => walk.plan_into(limit, out),
+            MqState::Point { frames, .. } => match frames.last() {
+                Some(MqFrame::Values {
+                    base, attr, next_v, ..
+                }) => out.push(base.and(Predicate::eq(*attr, *next_v))),
+                Some(MqFrame::CrawlLeaf(crawl)) => crawl.plan_into(out),
+                Some(MqFrame::TreeLeaf(walk)) => walk.plan_into(limit, out),
+                None => {}
+            },
+            MqState::Done => {}
+        }
+    }
+
+    fn on_response(&mut self, kb: &mut KnowledgeBase, issued: u64, resp: &QueryResponse) {
+        match &mut self.state {
+            MqState::RangeRq(walk) => {
+                walk.on_response(kb, issued, resp);
+                if walk.done() {
+                    self.enter_point_phase(kb);
+                }
+            }
+            MqState::RangeSq(walk) => {
+                walk.on_response(kb, issued, resp);
+                if walk.done() {
+                    self.enter_point_phase(kb);
+                }
+            }
+            MqState::Point {
+                frames,
+                leaves_done,
+            } => {
+                let top = frames
+                    .last_mut()
+                    .expect("a response arrived without a pending frame");
+                let pushed: Option<MqFrame> = match top {
+                    MqFrame::Values {
+                        base,
+                        attr,
+                        rest,
+                        next_v,
+                        ..
+                    } => {
+                        let q = base.and(Predicate::eq(*attr, *next_v));
+                        kb.ingest(&resp.tuples);
+                        kb.record(issued);
+                        *next_v += 1;
+                        if resp.tuples.len() == self.k {
+                            // Still possibly truncated: keep pinning point
+                            // attributes, or open the leaf subspace once all
+                            // are pinned (deduplicated — distinct outer
+                            // attribute orders reach the same leaf).
+                            if let Some((&attr, deeper)) = rest.split_first() {
+                                Some(MqFrame::Values {
+                                    base: q,
+                                    attr,
+                                    rest: deeper.to_vec(),
+                                    next_v: 0,
+                                    bound: self.domain[attr],
+                                })
+                            } else {
+                                let mut key: Vec<Predicate> = q.predicates().to_vec();
+                                key.sort_by_key(|p| (p.attr, p.value, p.op as u8));
+                                leaves_done.insert(key).then(|| {
+                                    leaf_frame(&q, &self.two_ended, &self.range_attrs, self.k)
+                                })
+                            }
+                        } else {
+                            None
+                        }
+                    }
+                    MqFrame::CrawlLeaf(crawl) => {
+                        crawl.on_response(kb, issued, resp);
+                        None
+                    }
+                    MqFrame::TreeLeaf(walk) => {
+                        walk.on_response(kb, issued, resp);
+                        None
+                    }
+                };
+                if let Some(frame) = pushed {
+                    frames.push(frame);
+                }
+                self.normalize();
+            }
+            MqState::Done => unreachable!("no response expected after MQ finished"),
+        }
+    }
+}
+
+impl Discoverer for MqDbSky {
+    fn name(&self) -> &str {
+        "MQ-DB-SKY"
+    }
+
+    fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    fn machine(&self, db: &HiddenDb) -> Result<Box<dyn DiscoveryMachine>, DiscoveryError> {
+        let schema = db.schema();
+        let range_attrs: Vec<usize> = schema.range_attrs();
+        let point_attrs: Vec<usize> = schema.point_attrs();
+
+        // Degenerate mixtures reduce to the specialised algorithms.
+        if point_attrs.is_empty() {
+            let all_two_ended = range_attrs
+                .iter()
+                .all(|&a| schema.attr(a).interface == InterfaceType::Rq);
+            return if all_two_ended {
+                RqDbSky::new().machine(db)
+            } else {
+                SqDbSky::new().machine(db)
+            };
+        }
+        if range_attrs.is_empty() {
+            return PqDbSky::new().machine(db);
+        }
+        Ok(Box::new(self.build_machine(db)?))
     }
 }
 

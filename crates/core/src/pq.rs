@@ -22,10 +22,18 @@
 //! anytime property: every tuple reported before the run finishes is on the
 //! eventual skyline.
 
-use skyweb_hidden_db::{HiddenDb, Predicate, Query, Value};
+use std::sync::Arc;
 
-use crate::pq2dsub::{build_plane_rects, sweep_plane, PlanePoint};
-use crate::{Client, Discoverer, DiscoveryError, DiscoveryResult, KnowledgeBase};
+use skyweb_hidden_db::{HiddenDb, Predicate, Query, QueryResponse, Tuple, Value};
+
+use crate::machine::{DiscoveryMachine, Machine, MachineControl};
+use crate::pq2dsub::{build_plane_rects, PlanePoint, PlaneSweep};
+use crate::{Discoverer, DiscoveryError, KnowledgeBase};
+
+/// The sans-io machine form of [`PqDbSky`]: one `SELECT *`, then one
+/// pruned PQ-2DSUB-SKY sweep per value combination of the non-plane
+/// attributes, enumerated in preferential order.
+pub type PqMachine = Machine<PqControl>;
 
 /// PQ-DB-SKY: skyline discovery for point-predicate databases of any
 /// dimensionality (m ≥ 2).
@@ -82,7 +90,7 @@ impl PqDbSky {
 /// Advances a mixed-radix odometer (`combo`) over the given domain sizes in
 /// ascending lexicographic order. Returns `false` once the enumeration has
 /// wrapped around.
-fn next_combo(combo: &mut [Value], domains: &[Value]) -> bool {
+pub(crate) fn next_combo(combo: &mut [Value], domains: &[Value]) -> bool {
     for i in (0..combo.len()).rev() {
         combo[i] += 1;
         if combo[i] < domains[i] {
@@ -93,89 +101,186 @@ fn next_combo(combo: &mut [Value], domains: &[Value]) -> bool {
     false
 }
 
+impl PqDbSky {
+    /// Builds the concrete machine (also available through the boxed
+    /// [`Discoverer::machine`] entry point).
+    pub fn build_machine(&self, db: &HiddenDb) -> Result<PqMachine, DiscoveryError> {
+        Self::check_interface(db)?;
+        let schema = db.schema();
+        let attrs: Vec<usize> = schema.ranking_attrs().to_vec();
+        let ((a1, a2), others) = Self::split_attributes(db);
+        let other_domains: Vec<Value> =
+            others.iter().map(|&a| schema.attr(a).domain_size).collect();
+        let control = PqControl {
+            a1,
+            a2,
+            dx: schema.attr(a1).domain_size,
+            dy: schema.attr(a2).domain_size,
+            others,
+            other_domains,
+            k: db.k(),
+            select_star_top: None,
+            state: PqState::Init,
+        };
+        Ok(Machine::from_parts(KnowledgeBase::new(attrs), control))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PqState {
+    /// `SELECT *` not yet answered.
+    Init,
+    /// Sweeping the plane of one non-plane value combination.
+    Planes {
+        combo: Vec<Value>,
+        sweep: PlaneSweep,
+    },
+    /// Finished.
+    Done,
+}
+
+/// Control state of [`PqMachine`]: the plane enumeration of PQ-DB-SKY.
+#[derive(Debug, Clone)]
+pub struct PqControl {
+    a1: usize,
+    a2: usize,
+    dx: Value,
+    dy: Value,
+    others: Vec<usize>,
+    other_domains: Vec<Value>,
+    k: usize,
+    select_star_top: Option<Arc<Tuple>>,
+    state: PqState,
+}
+
+impl PqControl {
+    /// The candidate rectangles of the plane fixed by `combo`, pruned with
+    /// everything retrieved so far (borrowed from the knowledge base, not
+    /// deep-cloned per plane).
+    fn rects_for(&self, combo: &[Value], kb: &KnowledgeBase) -> Vec<crate::pq2dsub::Rect> {
+        let pruning: Vec<PlanePoint> = kb
+            .retrieved_snapshot()
+            .iter()
+            .filter(|t| {
+                self.others
+                    .iter()
+                    .zip(combo)
+                    .all(|(&a, &v)| t.values[a] <= v)
+            })
+            .map(|t| PlanePoint {
+                x: i64::from(t.values[self.a1]),
+                y: i64::from(t.values[self.a2]),
+            })
+            .collect();
+        let top = self
+            .select_star_top
+            .as_ref()
+            .expect("SELECT * answered before any plane is swept");
+        let empty_corner = if self
+            .others
+            .iter()
+            .zip(combo)
+            .all(|(&a, &v)| top.values[a] >= v)
+        {
+            Some(PlanePoint {
+                x: i64::from(top.values[self.a1]),
+                y: i64::from(top.values[self.a2]),
+            })
+        } else {
+            None
+        };
+        build_plane_rects(self.dx, self.dy, &pruning, empty_corner)
+    }
+
+    /// Enters the sweep of the first combination at or after `combo` whose
+    /// plane still holds candidate rectangles; `Done` when the enumeration
+    /// wraps first.
+    fn begin_planes(&mut self, kb: &KnowledgeBase, mut combo: Vec<Value>) {
+        loop {
+            let rects = self.rects_for(&combo, kb);
+            if !rects.is_empty() {
+                let plane_preds: Vec<Predicate> = self
+                    .others
+                    .iter()
+                    .zip(&combo)
+                    .map(|(&a, &v)| Predicate::eq(a, v))
+                    .collect();
+                let sweep = PlaneSweep::new(self.a1, self.a2, plane_preds, rects);
+                self.state = PqState::Planes { combo, sweep };
+                return;
+            }
+            if self.others.is_empty() || !next_combo(&mut combo, &self.other_domains) {
+                self.state = PqState::Done;
+                return;
+            }
+        }
+    }
+
+    /// Advances past a fully swept combination.
+    fn after_sweep(&mut self, kb: &KnowledgeBase, mut combo: Vec<Value>) {
+        if self.others.is_empty() || !next_combo(&mut combo, &self.other_domains) {
+            self.state = PqState::Done;
+            return;
+        }
+        self.begin_planes(kb, combo);
+    }
+}
+
+impl MachineControl for PqControl {
+    fn name(&self) -> &str {
+        "PQ-DB-SKY"
+    }
+
+    fn done(&self) -> bool {
+        matches!(self.state, PqState::Done)
+    }
+
+    fn plan_into(&self, _kb: &KnowledgeBase, _limit: usize, out: &mut Vec<Query>) {
+        match &self.state {
+            PqState::Init => out.push(Query::select_all()),
+            PqState::Planes { sweep, .. } => sweep.plan_into(out),
+            PqState::Done => {}
+        }
+    }
+
+    fn on_response(&mut self, kb: &mut KnowledgeBase, issued: u64, resp: &QueryResponse) {
+        match std::mem::replace(&mut self.state, PqState::Done) {
+            PqState::Init => {
+                kb.ingest(&resp.tuples);
+                kb.record(issued);
+                if resp.tuples.len() < self.k {
+                    // Underflow: the whole database was returned.
+                    self.state = PqState::Done;
+                    return;
+                }
+                self.select_star_top = Some(resp.tuples[0].clone());
+                let combo: Vec<Value> = vec![0; self.others.len()];
+                self.begin_planes(kb, combo);
+            }
+            PqState::Planes { combo, mut sweep } => {
+                sweep.on_response(kb, issued, resp);
+                if sweep.done() {
+                    self.after_sweep(kb, combo);
+                } else {
+                    self.state = PqState::Planes { combo, sweep };
+                }
+            }
+            PqState::Done => unreachable!("no response expected after the enumeration finished"),
+        }
+    }
+}
+
 impl Discoverer for PqDbSky {
     fn name(&self) -> &str {
         "PQ-DB-SKY"
     }
 
-    fn discover(&self, db: &HiddenDb) -> Result<DiscoveryResult, DiscoveryError> {
-        Self::check_interface(db)?;
-        let schema = db.schema();
-        let attrs: Vec<usize> = schema.ranking_attrs().to_vec();
-        let mut client = Client::new(db, self.budget);
-        let mut collector = KnowledgeBase::new(attrs.clone());
+    fn budget(&self) -> Option<u64> {
+        self.budget
+    }
 
-        // Step 1: SELECT * seeds the pruning.
-        let Some(resp) = client.query(&Query::select_all())? else {
-            return Ok(collector.finish(client.issued(), false));
-        };
-        collector.ingest(&resp.tuples);
-        collector.record(client.issued());
-        if resp.tuples.len() < db.k() {
-            // Underflow: the whole database was returned.
-            return Ok(collector.finish(client.issued(), true));
-        }
-        let select_star_top = resp.tuples[0].clone();
-
-        // Step 2: plane selection.
-        let ((a1, a2), others) = Self::split_attributes(db);
-        let dx = schema.attr(a1).domain_size;
-        let dy = schema.attr(a2).domain_size;
-        let other_domains: Vec<Value> =
-            others.iter().map(|&a| schema.attr(a).domain_size).collect();
-
-        // Step 3: enumerate the other attributes' value combinations in
-        // preferential (ascending lexicographic) order.
-        let mut combo: Vec<Value> = vec![0; others.len()];
-        loop {
-            if client.exhausted() {
-                return Ok(collector.finish(client.issued(), false));
-            }
-
-            // Pruning information for this plane — borrowed from the
-            // knowledge base, not deep-cloned per plane.
-            let pruning: Vec<PlanePoint> = collector
-                .retrieved_snapshot()
-                .iter()
-                .filter(|t| others.iter().zip(&combo).all(|(&a, &v)| t.values[a] <= v))
-                .map(|t| PlanePoint {
-                    x: i64::from(t.values[a1]),
-                    y: i64::from(t.values[a2]),
-                })
-                .collect();
-            let empty_corner = if others
-                .iter()
-                .zip(&combo)
-                .all(|(&a, &v)| select_star_top.values[a] >= v)
-            {
-                Some(PlanePoint {
-                    x: i64::from(select_star_top.values[a1]),
-                    y: i64::from(select_star_top.values[a2]),
-                })
-            } else {
-                None
-            };
-
-            let rects = build_plane_rects(dx, dy, &pruning, empty_corner);
-            if !rects.is_empty() {
-                let plane_preds: Vec<Predicate> = others
-                    .iter()
-                    .zip(&combo)
-                    .map(|(&a, &v)| Predicate::eq(a, v))
-                    .collect();
-                let completed =
-                    sweep_plane(&mut client, &mut collector, a1, a2, &plane_preds, rects)?;
-                if !completed {
-                    return Ok(collector.finish(client.issued(), false));
-                }
-            }
-
-            if others.is_empty() || !next_combo(&mut combo, &other_domains) {
-                break;
-            }
-        }
-
-        Ok(collector.finish(client.issued(), true))
+    fn machine(&self, db: &HiddenDb) -> Result<Box<dyn DiscoveryMachine>, DiscoveryError> {
+        Ok(Box::new(self.build_machine(db)?))
     }
 }
 

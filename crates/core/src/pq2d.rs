@@ -11,10 +11,15 @@
 //! query is guaranteed to return the (single) skyline tuple it covers, which
 //! is what makes the procedure instance-optimal.
 
-use skyweb_hidden_db::{HiddenDb, InterfaceType, Query};
+use skyweb_hidden_db::{HiddenDb, InterfaceType, Query, QueryResponse, Value};
 
-use crate::pq2dsub::{build_plane_rects, sweep_plane, PlanePoint};
-use crate::{Client, Discoverer, DiscoveryError, DiscoveryResult, KnowledgeBase};
+use crate::machine::{DiscoveryMachine, Machine, MachineControl};
+use crate::pq2dsub::{build_plane_rects, PlanePoint, PlaneSweep};
+use crate::{Discoverer, DiscoveryError, KnowledgeBase};
+
+/// The sans-io machine form of [`Pq2dSky`]: one `SELECT *`, then the
+/// PQ-2DSUB-SKY probing sweep over the two remaining rectangles.
+pub type Pq2dMachine = Machine<Pq2dControl>;
 
 /// PQ-2D-SKY: instance-optimal skyline discovery over a 2-attribute
 /// point-predicate database.
@@ -57,37 +62,110 @@ impl Pq2dSky {
     }
 }
 
+impl Pq2dSky {
+    /// Builds the concrete machine (also available through the boxed
+    /// [`Discoverer::machine`] entry point).
+    pub fn build_machine(&self, db: &HiddenDb) -> Result<Pq2dMachine, DiscoveryError> {
+        let (a1, a2) = Self::check_interface(db)?;
+        let control = Pq2dControl {
+            a1,
+            a2,
+            dx: db.schema().attr(a1).domain_size,
+            dy: db.schema().attr(a2).domain_size,
+            k: db.k(),
+            state: Pq2dState::Init,
+        };
+        Ok(Machine::from_parts(
+            KnowledgeBase::new(vec![a1, a2]),
+            control,
+        ))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Pq2dState {
+    /// `SELECT *` not yet answered.
+    Init,
+    /// Consuming the candidate rectangles of Figure 7.
+    Sweep(PlaneSweep),
+    /// Finished.
+    Done,
+}
+
+/// Control state of [`Pq2dMachine`]: the instance-optimal 2D probing
+/// procedure of PQ-2D-SKY.
+#[derive(Debug, Clone)]
+pub struct Pq2dControl {
+    a1: usize,
+    a2: usize,
+    dx: Value,
+    dy: Value,
+    k: usize,
+    state: Pq2dState,
+}
+
+impl MachineControl for Pq2dControl {
+    fn name(&self) -> &str {
+        "PQ-2D-SKY"
+    }
+
+    fn done(&self) -> bool {
+        matches!(self.state, Pq2dState::Done)
+    }
+
+    fn plan_into(&self, _kb: &KnowledgeBase, _limit: usize, out: &mut Vec<Query>) {
+        match &self.state {
+            Pq2dState::Init => out.push(Query::select_all()),
+            Pq2dState::Sweep(sweep) => sweep.plan_into(out),
+            Pq2dState::Done => {}
+        }
+    }
+
+    fn on_response(&mut self, kb: &mut KnowledgeBase, issued: u64, resp: &QueryResponse) {
+        match &mut self.state {
+            Pq2dState::Init => {
+                kb.ingest(&resp.tuples);
+                kb.record(issued);
+                if resp.tuples.len() < self.k {
+                    // The whole database fit in one answer.
+                    self.state = Pq2dState::Done;
+                    return;
+                }
+                let top = &resp.tuples[0];
+                let corner = PlanePoint {
+                    x: i64::from(top.values[self.a1]),
+                    y: i64::from(top.values[self.a2]),
+                };
+                let rects = build_plane_rects(self.dx, self.dy, &[corner], Some(corner));
+                let sweep = PlaneSweep::new(self.a1, self.a2, Vec::new(), rects);
+                self.state = if sweep.done() {
+                    Pq2dState::Done
+                } else {
+                    Pq2dState::Sweep(sweep)
+                };
+            }
+            Pq2dState::Sweep(sweep) => {
+                sweep.on_response(kb, issued, resp);
+                if sweep.done() {
+                    self.state = Pq2dState::Done;
+                }
+            }
+            Pq2dState::Done => unreachable!("no response expected after the sweep finished"),
+        }
+    }
+}
+
 impl Discoverer for Pq2dSky {
     fn name(&self) -> &str {
         "PQ-2D-SKY"
     }
 
-    fn discover(&self, db: &HiddenDb) -> Result<DiscoveryResult, DiscoveryError> {
-        let (a1, a2) = Self::check_interface(db)?;
-        let dx = db.schema().attr(a1).domain_size;
-        let dy = db.schema().attr(a2).domain_size;
-        let mut client = Client::new(db, self.budget);
-        let mut collector = KnowledgeBase::new(vec![a1, a2]);
+    fn budget(&self) -> Option<u64> {
+        self.budget
+    }
 
-        let Some(resp) = client.query(&Query::select_all())? else {
-            return Ok(collector.finish(client.issued(), false));
-        };
-        collector.ingest(&resp.tuples);
-        collector.record(client.issued());
-
-        if resp.tuples.len() < db.k() {
-            // The whole database fit in one answer.
-            return Ok(collector.finish(client.issued(), true));
-        }
-
-        let top = &resp.tuples[0];
-        let corner = PlanePoint {
-            x: i64::from(top.values[a1]),
-            y: i64::from(top.values[a2]),
-        };
-        let rects = build_plane_rects(dx, dy, &[corner], Some(corner));
-        let completed = sweep_plane(&mut client, &mut collector, a1, a2, &[], rects)?;
-        Ok(collector.finish(client.issued(), completed))
+    fn machine(&self, db: &HiddenDb) -> Result<Box<dyn DiscoveryMachine>, DiscoveryError> {
+        Ok(Box::new(self.build_machine(db)?))
     }
 }
 

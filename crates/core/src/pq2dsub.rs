@@ -19,9 +19,9 @@
 //! query answer or dominated by a retrieved tuple, which is what guarantees
 //! complete skyline discovery.
 
-use skyweb_hidden_db::{AttrId, Predicate, Query, Value};
+use skyweb_hidden_db::{AttrId, Predicate, Query, QueryResponse, Value};
 
-use crate::{Client, DiscoveryError, KnowledgeBase};
+use crate::KnowledgeBase;
 
 /// An inclusive candidate rectangle `[xl, xr] × [yb, yt]` in a 2D plane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,73 +138,140 @@ pub(crate) fn build_plane_rects(
     rects
 }
 
-/// Discovers every skyline tuple of one plane by consuming its candidate
-/// rectangles. Returns `Ok(false)` if the client's budget ran out.
-pub(crate) fn sweep_plane(
-    client: &mut Client<'_>,
-    collector: &mut KnowledgeBase,
+/// The PQ-2DSUB-SKY sub-machine: discovers every skyline tuple of one
+/// plane by consuming its candidate rectangles, one 1D probe per
+/// round-trip.
+///
+/// This is the sans-io form of the paper's 2D probing rule, composed by the
+/// [`crate::Pq2dMachine`] (one sweep over the whole grid) and the
+/// [`crate::PqMachine`] (one sweep per value combination of the non-plane
+/// attributes). Plans are single-query: every probe's answer decides how
+/// the current rectangle shrinks, and whether it is abandoned.
+#[derive(Debug, Clone)]
+pub(crate) struct PlaneSweep {
     a1: AttrId,
     a2: AttrId,
-    plane_preds: &[Predicate],
-    mut rects: Vec<Rect>,
-) -> Result<bool, DiscoveryError> {
-    // Process rectangles left-to-right (preferential order on the first
-    // plane attribute) so that the anytime property holds inside a plane.
-    rects.sort_by_key(|r| std::cmp::Reverse(r.xl));
-    while let Some(mut rect) = rects.pop() {
-        while rect.is_valid() {
-            let probe_column = rect.width() <= rect.height();
-            let query = if probe_column {
-                Query::new(plane_preds.to_vec()).and(Predicate::eq(a1, rect.xl as Value))
-            } else {
-                Query::new(plane_preds.to_vec()).and(Predicate::eq(a2, rect.yb as Value))
-            };
-            let Some(resp) = client.query(&query)? else {
-                return Ok(false);
-            };
-            collector.ingest(&resp.tuples);
-            collector.record(client.issued());
+    plane_preds: Vec<Predicate>,
+    /// Remaining rectangles, sorted by `Reverse(xl)` so popping from the
+    /// back processes them left-to-right (preferential order on the first
+    /// plane attribute — the anytime property inside a plane).
+    rects: Vec<Rect>,
+    /// The rectangle currently being consumed.
+    cur: Option<Rect>,
+}
 
-            match resp.tuples.first() {
+impl PlaneSweep {
+    pub(crate) fn new(
+        a1: AttrId,
+        a2: AttrId,
+        plane_preds: Vec<Predicate>,
+        mut rects: Vec<Rect>,
+    ) -> Self {
+        rects.sort_by_key(|r| std::cmp::Reverse(r.xl));
+        let mut sweep = PlaneSweep {
+            a1,
+            a2,
+            plane_preds,
+            rects,
+            cur: None,
+        };
+        sweep.advance_rect();
+        sweep
+    }
+
+    /// Moves on to the next valid rectangle when the current one is
+    /// consumed or abandoned.
+    fn advance_rect(&mut self) {
+        while self.cur.is_none_or(|r| !r.is_valid()) {
+            match self.rects.pop() {
+                Some(r) => self.cur = Some(r),
                 None => {
-                    // The probed line of the plane is empty.
-                    if probe_column {
-                        rect.xl += 1;
-                    } else {
-                        rect.yb += 1;
-                    }
-                }
-                Some(top) => {
-                    if probe_column {
-                        let y = i64::from(top.values[a2]);
-                        if y > rect.yt {
-                            // The best tuple of this column lies above the
-                            // rectangle: no candidate inside it.
-                            rect.xl += 1;
-                        } else if y < rect.yb {
-                            // The returned tuple dominates the entire
-                            // remaining rectangle.
-                            break;
-                        } else {
-                            rect.xl += 1;
-                            rect.yt = y - 1;
-                        }
-                    } else {
-                        let x = i64::from(top.values[a1]);
-                        if x > rect.xr {
-                            rect.yb += 1;
-                        } else if x < rect.xl {
-                            break;
-                        } else {
-                            rect.yb += 1;
-                            rect.xr = x - 1;
-                        }
-                    }
+                    self.cur = None;
+                    return;
                 }
             }
         }
     }
-    Ok(true)
+
+    pub(crate) fn done(&self) -> bool {
+        self.cur.is_none()
+    }
+
+    /// The probing rule: query the cheaper dimension of the rectangle.
+    fn probe(&self, rect: &Rect) -> (bool, Query) {
+        let probe_column = rect.width() <= rect.height();
+        let query = if probe_column {
+            Query::new(self.plane_preds.clone()).and(Predicate::eq(self.a1, rect.xl as Value))
+        } else {
+            Query::new(self.plane_preds.clone()).and(Predicate::eq(self.a2, rect.yb as Value))
+        };
+        (probe_column, query)
+    }
+
+    pub(crate) fn plan_into(&self, out: &mut Vec<Query>) {
+        if let Some(rect) = &self.cur {
+            out.push(self.probe(rect).1);
+        }
+    }
+
+    pub(crate) fn on_response(
+        &mut self,
+        kb: &mut KnowledgeBase,
+        issued: u64,
+        resp: &QueryResponse,
+    ) {
+        let rect = self
+            .cur
+            .as_mut()
+            .expect("a response arrived without a pending probe");
+        // Same decision the plan was derived from (rect unchanged since).
+        let probe_column = rect.width() <= rect.height();
+        kb.ingest(&resp.tuples);
+        kb.record(issued);
+
+        let mut abandon = false;
+        match resp.tuples.first() {
+            None => {
+                // The probed line of the plane is empty.
+                if probe_column {
+                    rect.xl += 1;
+                } else {
+                    rect.yb += 1;
+                }
+            }
+            Some(top) => {
+                if probe_column {
+                    let y = i64::from(top.values[self.a2]);
+                    if y > rect.yt {
+                        // The best tuple of this column lies above the
+                        // rectangle: no candidate inside it.
+                        rect.xl += 1;
+                    } else if y < rect.yb {
+                        // The returned tuple dominates the entire
+                        // remaining rectangle.
+                        abandon = true;
+                    } else {
+                        rect.xl += 1;
+                        rect.yt = y - 1;
+                    }
+                } else {
+                    let x = i64::from(top.values[self.a1]);
+                    if x > rect.xr {
+                        rect.yb += 1;
+                    } else if x < rect.xl {
+                        abandon = true;
+                    } else {
+                        rect.yb += 1;
+                        rect.xr = x - 1;
+                    }
+                }
+            }
+        }
+        if abandon {
+            self.cur = None;
+        }
+        self.advance_rect();
+    }
 }
 
 #[cfg(test)]

@@ -21,9 +21,19 @@
 //! skyline tuple `t'`, the children are generated from `t'` (the stronger
 //! pivot), otherwise from the returned tuple itself.
 
-use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, Tuple};
+use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, QueryResponse, Tuple};
 
-use crate::{Client, Discoverer, DiscoveryError, DiscoveryResult, KnowledgeBase};
+use crate::machine::{DiscoveryMachine, Machine, MachineControl};
+use crate::{Discoverer, DiscoveryError, KnowledgeBase};
+
+/// The sans-io machine form of [`RqDbSky`].
+///
+/// RQ plans are single-query by construction: whether a node issues `q` or
+/// its exclusive counterpart `R(q)`, and whether its subtree is expanded or
+/// abandoned, both consume the *previous* answer — the adaptivity that
+/// makes RQ-DB-SKY cheaper than SQ-DB-SKY is exactly what rules out
+/// batching its frontier without speculating server-billed queries.
+pub type RqMachine = Machine<RqControl>;
 
 /// RQ-DB-SKY: skyline discovery for databases whose ranking attributes all
 /// support two-ended range predicates.
@@ -70,81 +80,6 @@ impl RqDbSky {
         Ok(())
     }
 
-    /// Runs the depth-first RQ traversal rooted at `root`, branching only on
-    /// `branch_attrs`. Shared with MQ-DB-SKY (which branches on the
-    /// two-ended range attributes only) and with the sky-band extension
-    /// (which roots the traversal in a domination subspace). Returns
-    /// `Ok(false)` if the query budget ran out.
-    pub(crate) fn run_tree(
-        client: &mut Client<'_>,
-        collector: &mut KnowledgeBase,
-        branch_attrs: &[usize],
-        root: Query,
-        k: usize,
-    ) -> Result<bool, DiscoveryError> {
-        let mut stack: Vec<Node> = vec![Node {
-            sq: root.clone(),
-            rq: root,
-        }];
-        while let Some(node) = stack.pop() {
-            let expand_pivot: Option<std::sync::Arc<Tuple>> =
-                if !collector.any_seen_matches(&node.sq) {
-                    // No previously retrieved tuple matches q: issue q itself.
-                    let Some(resp) = client.query(&node.sq)? else {
-                        return Ok(false);
-                    };
-                    collector.ingest(&resp.tuples);
-                    collector.record(client.issued());
-                    if resp.tuples.len() == k {
-                        Some(std::sync::Arc::clone(&resp.tuples[0]))
-                    } else {
-                        None
-                    }
-                } else {
-                    // Issue the mutually exclusive counterpart R(q).
-                    let Some(resp) = client.query(&node.rq)? else {
-                        return Ok(false);
-                    };
-                    let returned = resp.tuples.clone();
-                    collector.ingest(&returned);
-                    collector.record(client.issued());
-                    if returned.is_empty() {
-                        // No new tuple can be discovered in this subtree.
-                        None
-                    } else if returned.len() == k {
-                        // Children are generated from a dominating skyline tuple
-                        // if one exists, otherwise from the returned top tuple.
-                        // The pivot must itself satisfy the node's query so that
-                        // "dominated by the pivot" implies "dominated inside the
-                        // subspace rooted here" (relevant when the traversal is
-                        // rooted in a domination subspace for sky-band
-                        // discovery).
-                        let top = &returned[0];
-                        let pivot = collector
-                            .dominated_by_skyline(top)
-                            .filter(|p| node.sq.matches(p))
-                            .map(std::sync::Arc::clone)
-                            .unwrap_or_else(|| std::sync::Arc::clone(top));
-                        Some(pivot)
-                    } else {
-                        // R(q) underflowed: every tuple in its (exclusive)
-                        // region has been retrieved; nothing left in the subtree.
-                        None
-                    }
-                };
-
-            if let Some(pivot) = expand_pivot {
-                for child in Self::children(&node, &pivot, branch_attrs)
-                    .into_iter()
-                    .rev()
-                {
-                    stack.push(child);
-                }
-            }
-        }
-        Ok(true)
-    }
-
     /// Generates the children of a node for the given pivot tuple, in branch
     /// order (attribute 0 first).
     fn children(node: &Node, pivot: &Tuple, attrs: &[usize]) -> Vec<Node> {
@@ -160,6 +95,141 @@ impl RqDbSky {
         }
         out
     }
+
+    /// Builds the concrete machine (also available through the boxed
+    /// [`Discoverer::machine`] entry point).
+    pub fn build_machine(&self, db: &HiddenDb) -> Result<RqMachine, DiscoveryError> {
+        Self::check_interface(db)?;
+        let attrs: Vec<usize> = db.schema().ranking_attrs().to_vec();
+        let walk = RqTreeWalk::new(Query::select_all(), attrs.clone(), db.k());
+        Ok(Machine::from_parts(
+            KnowledgeBase::new(attrs),
+            RqControl { walk },
+        ))
+    }
+}
+
+/// The depth-first RQ traversal, rooted anywhere and branching on an
+/// arbitrary attribute subset — shared by RQ-DB-SKY, MQ-DB-SKY's range
+/// phase and the sky-band extension (which roots the traversal in a
+/// domination subspace).
+///
+/// The sq-vs-rq decision for a node is evaluated against the knowledge
+/// base both when the plan is derived and when the response is consumed;
+/// the two agree because plans are single-query (nothing is ingested in
+/// between) and `any_seen_matches` is monotone in the retrieved set.
+#[derive(Debug, Clone)]
+pub(crate) struct RqTreeWalk {
+    stack: Vec<Node>,
+    branch: Vec<usize>,
+    k: usize,
+}
+
+impl RqTreeWalk {
+    pub(crate) fn new(root: Query, branch: Vec<usize>, k: usize) -> Self {
+        RqTreeWalk {
+            stack: vec![Node {
+                sq: root.clone(),
+                rq: root,
+            }],
+            branch,
+            k,
+        }
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    pub(crate) fn plan_into(&self, kb: &KnowledgeBase, out: &mut Vec<Query>) {
+        if let Some(node) = self.stack.last() {
+            if kb.any_seen_matches(&node.sq) {
+                out.push(node.rq.clone());
+            } else {
+                out.push(node.sq.clone());
+            }
+        }
+    }
+
+    pub(crate) fn on_response(
+        &mut self,
+        kb: &mut KnowledgeBase,
+        issued: u64,
+        resp: &QueryResponse,
+    ) {
+        let node = self
+            .stack
+            .pop()
+            .expect("a response arrived without a pending node");
+        // Same decision the plan was derived from (kb unchanged since).
+        let exclusive = kb.any_seen_matches(&node.sq);
+        kb.ingest(&resp.tuples);
+        kb.record(issued);
+        let expand_pivot: Option<std::sync::Arc<Tuple>> = if !exclusive {
+            // The node's own (one-ended) query q was issued.
+            if resp.tuples.len() == self.k {
+                Some(std::sync::Arc::clone(&resp.tuples[0]))
+            } else {
+                None
+            }
+        } else if resp.tuples.is_empty() {
+            // R(q) came back empty: no new tuple in this subtree.
+            None
+        } else if resp.tuples.len() == self.k {
+            // Children are generated from a dominating skyline tuple
+            // if one exists, otherwise from the returned top tuple.
+            // The pivot must itself satisfy the node's query so that
+            // "dominated by the pivot" implies "dominated inside the
+            // subspace rooted here" (relevant when the traversal is
+            // rooted in a domination subspace for sky-band
+            // discovery).
+            let top = &resp.tuples[0];
+            let pivot = kb
+                .dominated_by_skyline(top)
+                .filter(|p| node.sq.matches(p))
+                .map(std::sync::Arc::clone)
+                .unwrap_or_else(|| std::sync::Arc::clone(top));
+            Some(pivot)
+        } else {
+            // R(q) underflowed: every tuple in its (exclusive)
+            // region has been retrieved; nothing left in the subtree.
+            None
+        };
+
+        if let Some(pivot) = expand_pivot {
+            for child in RqDbSky::children(&node, &pivot, &self.branch)
+                .into_iter()
+                .rev()
+            {
+                self.stack.push(child);
+            }
+        }
+    }
+}
+
+/// Control state of [`RqMachine`]: the depth-first RQ traversal of
+/// RQ-DB-SKY.
+#[derive(Debug, Clone)]
+pub struct RqControl {
+    walk: RqTreeWalk,
+}
+
+impl MachineControl for RqControl {
+    fn name(&self) -> &str {
+        "RQ-DB-SKY"
+    }
+
+    fn done(&self) -> bool {
+        self.walk.done()
+    }
+
+    fn plan_into(&self, kb: &KnowledgeBase, _limit: usize, out: &mut Vec<Query>) {
+        self.walk.plan_into(kb, out);
+    }
+
+    fn on_response(&mut self, kb: &mut KnowledgeBase, issued: u64, resp: &QueryResponse) {
+        self.walk.on_response(kb, issued, resp);
+    }
 }
 
 impl Discoverer for RqDbSky {
@@ -167,19 +237,12 @@ impl Discoverer for RqDbSky {
         "RQ-DB-SKY"
     }
 
-    fn discover(&self, db: &HiddenDb) -> Result<DiscoveryResult, DiscoveryError> {
-        Self::check_interface(db)?;
-        let attrs: Vec<usize> = db.schema().ranking_attrs().to_vec();
-        let mut client = Client::new(db, self.budget);
-        let mut collector = KnowledgeBase::new(attrs.clone());
-        let completed = Self::run_tree(
-            &mut client,
-            &mut collector,
-            &attrs,
-            Query::select_all(),
-            db.k(),
-        )?;
-        Ok(collector.finish(client.issued(), completed))
+    fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    fn machine(&self, db: &HiddenDb) -> Result<Box<dyn DiscoveryMachine>, DiscoveryError> {
+        Ok(Box::new(self.build_machine(db)?))
     }
 }
 

@@ -23,10 +23,20 @@ use std::borrow::Borrow;
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, Tuple};
+use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, QueryResponse, Schema, Tuple};
 use skyweb_skyline::skyband_on;
 
-use crate::{Client, DiscoveryError, KnowledgeBase, RqDbSky};
+use crate::driver::{DiscoveryDriver, DriverConfig};
+use crate::machine::{Machine, MachineControl};
+use crate::rq::RqTreeWalk;
+use crate::{DiscoveryError, KnowledgeBase};
+
+/// The sans-io machine form of [`RqSkyband`]: RQ-DB-SKY re-rooted in the
+/// domination subspace of every already-discovered band tuple, level by
+/// level. The generic [`DiscoveryMachine`](crate::DiscoveryMachine)
+/// interface reports the plain skyline; use
+/// [`SkybandMachine::take_band_result`] for the full top-h band.
+pub type SkybandMachine = Machine<SkybandControl>;
 
 /// Extracts the top-h sky band of the *retrieved* tuple set by exact local
 /// dominance counting over the ranking attributes of `db`.
@@ -104,76 +114,219 @@ impl RqSkyband {
         Ok(())
     }
 
-    /// Runs the discovery and returns the top-h sky band.
-    pub fn discover_band(&self, db: &HiddenDb) -> Result<SkybandResult, DiscoveryError> {
+    /// Builds the sans-io machine for this band configuration.
+    pub fn build_machine(&self, db: &HiddenDb) -> Result<SkybandMachine, DiscoveryError> {
         Self::check_interface(db)?;
         let attrs: Vec<usize> = db.schema().ranking_attrs().to_vec();
         let k = db.k();
-        let mut client = Client::new(db, self.budget);
         // Band-h knowledge base: the incremental index keeps every level of
         // the band current, so neither the per-level expansion nor the final
         // extraction recounts dominance over the retrieved set.
-        let mut collector = KnowledgeBase::with_band(attrs.clone(), self.h);
-        let mut runs = 0usize;
-
+        let kb = KnowledgeBase::with_band(attrs.clone(), self.h);
         // Level 1: the plain skyline.
-        let mut completed =
-            RqDbSky::run_tree(&mut client, &mut collector, &attrs, Query::select_all(), k)?;
-        runs += 1;
+        let control = SkybandControl {
+            state: SkyState::FirstTree(RqTreeWalk::new(Query::select_all(), attrs.clone(), k)),
+            attrs,
+            k,
+            h: self.h,
+            schema: db.schema().clone(),
+            runs: 1,
+            used_roots: HashSet::new(),
+        };
+        Ok(Machine::from_parts(kb, control))
+    }
 
-        // Levels 2..h: explore the domination subspace of every tuple already
-        // known to be on the band. The subspace "tuples dominated by t"
-        // (which must exclude t itself) is covered by m boxes, the i-th
-        // requiring `A_i > t[A_i]` and `A_j ≥ t[A_j]` elsewhere; RQ-DB-SKY is
-        // re-run rooted at each box.
-        let mut used_roots: HashSet<u64> = HashSet::new();
-        if completed {
-            'levels: for level in 1..self.h {
-                let band_prev = collector.band_tuples(level);
-                for t in band_prev {
-                    if !used_roots.insert(t.id) {
+    /// Runs the discovery and returns the top-h sky band.
+    pub fn discover_band(&self, db: &HiddenDb) -> Result<SkybandResult, DiscoveryError> {
+        let machine = self.build_machine(db)?;
+        let mut machine =
+            DiscoveryDriver::new(db, machine, DriverConfig::new().with_budget(self.budget))
+                .run_into_machine()?;
+        Ok(machine.take_band_result())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum SkyState {
+    /// The level-1 RQ-DB-SKY run over the whole space.
+    FirstTree(RqTreeWalk),
+    /// A domination-subspace run of levels 2..h, with the cursors needed to
+    /// continue the level/tuple/box enumeration once it finishes.
+    BandTree {
+        tree: RqTreeWalk,
+        level: usize,
+        band_prev: Vec<Arc<Tuple>>,
+        t_idx: usize,
+        a_idx: usize,
+    },
+    /// Finished.
+    Done,
+}
+
+/// Control state of [`SkybandMachine`]: the per-level domination-subspace
+/// exploration of top-h sky-band discovery.
+///
+/// Levels 2..h explore the domination subspace of every tuple already known
+/// to be on the band. The subspace "tuples dominated by t" (which must
+/// exclude t itself) is covered by m boxes, the i-th requiring
+/// `A_i > t[A_i]` and `A_j ≥ t[A_j]` elsewhere; RQ-DB-SKY is re-run rooted
+/// at each box.
+#[derive(Debug, Clone)]
+pub struct SkybandControl {
+    state: SkyState,
+    attrs: Vec<usize>,
+    k: usize,
+    h: usize,
+    schema: Schema,
+    runs: usize,
+    used_roots: HashSet<u64>,
+}
+
+impl SkybandControl {
+    /// The i-th domination-subspace box of tuple `t`.
+    fn box_root(&self, t: &Tuple, strict: usize) -> Query {
+        Query::new(
+            self.attrs
+                .iter()
+                .map(|&a| {
+                    if a == strict {
+                        Predicate::gt(a, t.values[a])
+                    } else {
+                        Predicate::ge(a, t.values[a])
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Advances the level/tuple/box cursors to the next satisfiable,
+    /// not-yet-used domination-subspace box and starts its RQ-DB-SKY run;
+    /// `Done` when every level is explored.
+    fn seek_next_run(
+        &mut self,
+        kb: &KnowledgeBase,
+        mut level: usize,
+        mut band_prev: Vec<Arc<Tuple>>,
+        mut t_idx: usize,
+        mut a_idx: usize,
+    ) {
+        loop {
+            while t_idx < band_prev.len() {
+                let t = Arc::clone(&band_prev[t_idx]);
+                if a_idx == 0 && !self.used_roots.insert(t.id) {
+                    t_idx += 1;
+                    continue;
+                }
+                while a_idx < self.attrs.len() {
+                    let strict = self.attrs[a_idx];
+                    let root = self.box_root(&t, strict);
+                    a_idx += 1;
+                    if root.is_unsatisfiable(&self.schema) {
+                        // t already holds the worst possible value on
+                        // the strict attribute; the box is empty.
                         continue;
                     }
-                    for &strict in &attrs {
-                        let root = Query::new(
-                            attrs
-                                .iter()
-                                .map(|&a| {
-                                    if a == strict {
-                                        Predicate::gt(a, t.values[a])
-                                    } else {
-                                        Predicate::ge(a, t.values[a])
-                                    }
-                                })
-                                .collect(),
-                        );
-                        if root.is_unsatisfiable(db.schema()) {
-                            // t already holds the worst possible value on
-                            // the strict attribute; the box is empty.
-                            continue;
-                        }
-                        completed =
-                            RqDbSky::run_tree(&mut client, &mut collector, &attrs, root, k)?;
-                        runs += 1;
-                        if !completed {
-                            break 'levels;
-                        }
-                    }
+                    self.runs += 1;
+                    self.state = SkyState::BandTree {
+                        tree: RqTreeWalk::new(root, self.attrs.clone(), self.k),
+                        level,
+                        band_prev,
+                        t_idx,
+                        a_idx,
+                    };
+                    return;
+                }
+                a_idx = 0;
+                t_idx += 1;
+            }
+            level += 1;
+            if level >= self.h {
+                self.state = SkyState::Done;
+                return;
+            }
+            band_prev = kb.band_tuples(level);
+            t_idx = 0;
+            a_idx = 0;
+        }
+    }
+}
+
+impl MachineControl for SkybandControl {
+    fn name(&self) -> &str {
+        "RQ-SKYBAND"
+    }
+
+    fn done(&self) -> bool {
+        matches!(self.state, SkyState::Done)
+    }
+
+    fn plan_into(&self, kb: &KnowledgeBase, _limit: usize, out: &mut Vec<Query>) {
+        match &self.state {
+            SkyState::FirstTree(tree) | SkyState::BandTree { tree, .. } => tree.plan_into(kb, out),
+            SkyState::Done => {}
+        }
+    }
+
+    fn on_response(&mut self, kb: &mut KnowledgeBase, issued: u64, resp: &QueryResponse) {
+        match std::mem::replace(&mut self.state, SkyState::Done) {
+            SkyState::FirstTree(mut tree) => {
+                tree.on_response(kb, issued, resp);
+                if !tree.done() {
+                    self.state = SkyState::FirstTree(tree);
+                } else if self.h == 1 {
+                    self.state = SkyState::Done;
+                } else {
+                    // The level-1 run just finished: start the level loop.
+                    let band_prev = kb.band_tuples(1);
+                    self.seek_next_run(kb, 1, band_prev, 0, 0);
                 }
             }
+            SkyState::BandTree {
+                mut tree,
+                level,
+                band_prev,
+                t_idx,
+                a_idx,
+            } => {
+                tree.on_response(kb, issued, resp);
+                if tree.done() {
+                    self.seek_next_run(kb, level, band_prev, t_idx, a_idx);
+                } else {
+                    self.state = SkyState::BandTree {
+                        tree,
+                        level,
+                        band_prev,
+                        t_idx,
+                        a_idx,
+                    };
+                }
+            }
+            SkyState::Done => unreachable!("no response expected after the band was explored"),
         }
+    }
+}
 
-        let mut band = collector.band_tuples(self.h);
+impl SkybandMachine {
+    /// Consumes the machine into the full [`SkybandResult`] (band, runs,
+    /// cost) — the machine-specific counterpart of
+    /// [`DiscoveryMachine::take_result`](crate::DiscoveryMachine::take_result),
+    /// which reports only the plain skyline.
+    pub fn take_band_result(&mut self) -> SkybandResult {
+        let complete = self.control().done() && !self.halted();
+        let runs = self.control().runs;
+        let h = self.control().h;
+        let (kb, issued, complete) = self.finish_parts(complete);
+        let mut band = kb.band_tuples(h);
         band.sort_by_key(|t| t.id);
-        let mut retrieved: Vec<Arc<Tuple>> = collector.retrieved_snapshot().to_vec();
+        let mut retrieved: Vec<Arc<Tuple>> = kb.retrieved_snapshot().to_vec();
         retrieved.sort_by_key(|t| t.id);
-        Ok(SkybandResult {
+        SkybandResult {
             band,
             retrieved,
-            query_cost: client.issued(),
+            query_cost: issued,
             runs,
-            complete: completed,
-        })
+            complete,
+        }
     }
 }
 

@@ -81,6 +81,28 @@ impl<'db> Session<'db> {
         queries.iter().map(|q| self.query(q)).collect()
     }
 
+    /// Pipelines a query plan: issues `queries` in order, stopping at the
+    /// first rejection, and returns the successfully answered prefix
+    /// together with the error that cut it short (if any).
+    ///
+    /// This is the execution surface of the sans-io discovery driver: a
+    /// machine's multi-query plan goes through one `run_plan` call, so a
+    /// rate-limit rejection mid-plan never *attempts* the remaining queries
+    /// (rejections are stateless, but attempting them would waste work) and
+    /// the caller gets the exact answered prefix to resume its machine
+    /// with. Statistics, rate limiting and the access log behave exactly as
+    /// if each answered query had been issued individually.
+    pub fn run_plan(&mut self, queries: &[Query]) -> (Vec<QueryResponse>, Option<QueryError>) {
+        let mut responses = Vec::with_capacity(queries.len());
+        for q in queries {
+            match self.query(q) {
+                Ok(resp) => responses.push(resp),
+                Err(e) => return (responses, Some(e)),
+            }
+        }
+        (responses, None)
+    }
+
     /// This session's private query accounting (the database's global
     /// [`HiddenDb::stats`] aggregates all sessions).
     pub fn stats(&self) -> QueryStats {
@@ -182,6 +204,38 @@ mod tests {
             }
         }
         assert_eq!(db1.stats(), db2.stats());
+    }
+
+    #[test]
+    fn run_plan_returns_the_answered_prefix_and_the_cutting_error() {
+        let limited = db(3).with_rate_limit(RateLimit::new(2));
+        let mut s = limited.session();
+        let queries = vec![Query::select_all(); 4];
+        let (responses, err) = s.run_plan(&queries);
+        assert_eq!(responses.len(), 2);
+        assert_eq!(err, Some(QueryError::RateLimitExceeded { limit: 2 }));
+        assert_eq!(s.stats().queries, 2);
+        assert_eq!(limited.queries_issued(), 2);
+
+        let db2 = db(3);
+        let mut s2 = db2.session();
+        let plan = vec![
+            Query::select_all(),
+            Query::new(vec![Predicate::eq(9, 0)]), // unknown attribute
+            Query::select_all(),
+        ];
+        let (responses, err) = s2.run_plan(&plan);
+        assert_eq!(responses.len(), 1);
+        assert!(matches!(
+            err,
+            Some(QueryError::UnknownAttribute { attr: 9 })
+        ));
+        // The query after the rejection was never attempted.
+        assert_eq!(db2.queries_issued(), 1);
+
+        let (responses, err) = s2.run_plan(&[Query::select_all()]);
+        assert_eq!(responses.len(), 1);
+        assert!(err.is_none());
     }
 
     #[test]

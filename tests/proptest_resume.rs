@@ -1,0 +1,257 @@
+//! Property-based tests of the sans-io layer's central guarantee: a
+//! discovery run that is **paused at every query-plan boundary**,
+//! checkpointed, and resumed through a fresh driver (and a fresh database
+//! session) produces a `DiscoveryResult` byte-identical to the
+//! uninterrupted run — skyline, retrieved set, query cost, anytime trace
+//! and completion flag — for all eight algorithm machines, any batch limit
+//! and any budget.
+//!
+//! Because the resumed run also exercises every batch size from 1 upward,
+//! these properties simultaneously pin the batching guarantee: issuing a
+//! machine's multi-query plans through the session batch interface is
+//! order-identical to fully sequential execution.
+
+use proptest::prelude::*;
+
+use skyweb::core::{
+    BaselineCrawl, Checkpoint, Discoverer, DiscoveryDriver, DiscoveryMachine, DiscoveryResult,
+    DriverConfig, MqDbSky, PointSpaceCrawl, Pq2dSky, PqDbSky, RqDbSky, RqSkyband, SkybandResult,
+    SqDbSky, StepOutcome,
+};
+use skyweb::hidden_db::{HiddenDb, InterfaceType, SchemaBuilder, Tuple};
+
+#[derive(Debug, Clone)]
+struct DbSpec {
+    domains: Vec<u32>,
+    values: Vec<Vec<u32>>,
+    k: usize,
+    interfaces: Vec<u8>,
+    budget: Option<u64>,
+    max_batch: usize,
+}
+
+fn db_spec(m_range: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = DbSpec> {
+    (m_range, 0usize..=30, 1usize..=4)
+        .prop_flat_map(|(m, n, k)| {
+            let domains = prop::collection::vec(2u32..=6, m);
+            (domains, Just(n), Just(k))
+        })
+        .prop_flat_map(|(domains, n, k)| {
+            let value_strategy: Vec<_> = domains.iter().map(|&d| 0u32..d).collect();
+            let values = prop::collection::vec(value_strategy, n);
+            let interfaces = prop::collection::vec(0u8..=2, domains.len());
+            // Raw values above 60 mean "no budget" (the vendored proptest
+            // has no Option strategy).
+            let budget_raw = 0u64..=90;
+            (
+                Just(domains),
+                values,
+                Just(k),
+                interfaces,
+                budget_raw,
+                1usize..=5,
+            )
+        })
+        .prop_map(
+            |(domains, values, k, interfaces, budget_raw, max_batch)| DbSpec {
+                domains,
+                values,
+                k,
+                interfaces,
+                budget: (budget_raw <= 60).then_some(budget_raw),
+                max_batch,
+            },
+        )
+}
+
+fn build_db(spec: &DbSpec, interface: Option<InterfaceType>) -> HiddenDb {
+    let mut builder = SchemaBuilder::new();
+    for (i, &d) in spec.domains.iter().enumerate() {
+        let itf = interface.unwrap_or(match spec.interfaces[i] {
+            0 => InterfaceType::Sq,
+            1 => InterfaceType::Rq,
+            _ => InterfaceType::Pq,
+        });
+        builder = builder.ranking(format!("a{i}"), d, itf);
+    }
+    let tuples: Vec<Tuple> = spec
+        .values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| Tuple::new(i as u64, v.clone()))
+        .collect();
+    HiddenDb::with_sum_ranking(builder.build(), tuples, spec.k)
+}
+
+fn assert_identical(a: &DiscoveryResult, b: &DiscoveryResult) {
+    let ids = |r: &DiscoveryResult| -> Vec<(u64, Vec<u32>)> {
+        r.skyline.iter().map(|t| (t.id, t.values.clone())).collect()
+    };
+    let retrieved =
+        |r: &DiscoveryResult| -> Vec<u64> { r.retrieved.iter().map(|t| t.id).collect() };
+    assert_eq!(ids(a), ids(b), "skylines diverged");
+    assert_eq!(retrieved(a), retrieved(b), "retrieved sets diverged");
+    assert_eq!(a.query_cost, b.query_cost, "query costs diverged");
+    assert_eq!(a.trace, b.trace, "anytime traces diverged");
+    assert_eq!(a.complete, b.complete, "completion flags diverged");
+}
+
+/// Runs `machine` against `db`, pausing at **every** plan boundary and
+/// resuming from the checkpoint through a fresh driver.
+fn run_with_pauses(
+    db: &HiddenDb,
+    machine: Box<dyn DiscoveryMachine>,
+    config: DriverConfig,
+) -> DiscoveryResult {
+    let mut driver = DiscoveryDriver::new(db, machine, config);
+    while let StepOutcome::Progressed { .. } = driver
+        .step()
+        .expect("no real query errors in these schemas")
+    {
+        let checkpoint: Checkpoint<_> = driver.pause();
+        driver = DiscoveryDriver::resume(db, checkpoint, config);
+    }
+    driver.finish().expect("result extraction is infallible")
+}
+
+/// The uninterrupted reference run and the pause-at-every-boundary run for
+/// one algorithm configuration, on separate but identical databases.
+fn check_alg(alg: &dyn Discoverer, spec: &DbSpec, interface: Option<InterfaceType>) {
+    let db_ref = build_db(spec, interface);
+    let reference = match alg.discover(&db_ref) {
+        Ok(r) => r,
+        Err(_) => return, // interface mismatch (e.g. random mixed schema)
+    };
+    assert_eq!(
+        reference.query_cost,
+        db_ref.queries_issued(),
+        "adapter accounting must match the server's"
+    );
+
+    let db_resumed = build_db(spec, interface);
+    let machine = alg
+        .machine(&db_resumed)
+        .expect("reference run proved the interface is supported");
+    // The reference adapter run honors the algorithm's own budget; mirror
+    // it, but vary the batch limit freely — identity must hold regardless.
+    let config = DriverConfig::new()
+        .with_budget(alg.budget())
+        .with_max_batch(spec.max_batch);
+    let resumed = run_with_pauses(&db_resumed, machine, config);
+    assert_identical(&reference, &resumed);
+    assert_eq!(resumed.query_cost, db_resumed.queries_issued());
+}
+
+/// Like [`check_alg`] but with the spec's budget applied to both sides.
+fn check_alg_with_budget(
+    make: &dyn Fn(Option<u64>) -> Box<dyn Discoverer>,
+    spec: &DbSpec,
+    interface: Option<InterfaceType>,
+) {
+    let alg = make(spec.budget);
+    check_alg(alg.as_ref(), spec, interface);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 120,
+        .. ProptestConfig::default()
+    })]
+
+    /// SQ-DB-SKY: batched BFS frontier, any pause schedule.
+    #[test]
+    fn sq_pause_resume_is_identical(spec in db_spec(2..=4)) {
+        check_alg_with_budget(&|b| Box::new(match b {
+            Some(b) => SqDbSky::with_budget(b),
+            None => SqDbSky::new(),
+        }), &spec, Some(InterfaceType::Sq));
+    }
+
+    /// RQ-DB-SKY: adaptive single-query plans.
+    #[test]
+    fn rq_pause_resume_is_identical(spec in db_spec(2..=4)) {
+        check_alg_with_budget(&|b| Box::new(match b {
+            Some(b) => RqDbSky::with_budget(b),
+            None => RqDbSky::new(),
+        }), &spec, Some(InterfaceType::Rq));
+    }
+
+    /// PQ-DB-SKY: plane enumeration with pruned 2D sweeps.
+    #[test]
+    fn pq_pause_resume_is_identical(spec in db_spec(2..=4)) {
+        check_alg_with_budget(&|b| Box::new(match b {
+            Some(b) => PqDbSky::with_budget(b),
+            None => PqDbSky::new(),
+        }), &spec, Some(InterfaceType::Pq));
+    }
+
+    /// PQ-2D-SKY (and through it the PQ-2DSUB-SKY sweep machine).
+    #[test]
+    fn pq2d_pause_resume_is_identical(spec in db_spec(2..=2)) {
+        check_alg_with_budget(&|b| Box::new(match b {
+            Some(b) => Pq2dSky::with_budget(b),
+            None => Pq2dSky::new(),
+        }), &spec, Some(InterfaceType::Pq));
+    }
+
+    /// MQ-DB-SKY on arbitrary interface mixtures (including the degenerate
+    /// delegations to SQ/RQ/PQ machines).
+    #[test]
+    fn mq_pause_resume_is_identical(spec in db_spec(2..=4)) {
+        check_alg_with_budget(&|b| Box::new(match b {
+            Some(b) => MqDbSky::with_budget(b),
+            None => MqDbSky::new(),
+        }), &spec, None);
+    }
+
+    /// The crawling BASELINE.
+    #[test]
+    fn baseline_pause_resume_is_identical(spec in db_spec(2..=3)) {
+        check_alg_with_budget(&|b| Box::new(match b {
+            Some(b) => BaselineCrawl::with_budget(b),
+            None => BaselineCrawl::new(),
+        }), &spec, Some(InterfaceType::Rq));
+    }
+
+    /// The exhaustive point-space crawl (fully batchable odometer).
+    #[test]
+    fn point_crawl_pause_resume_is_identical(spec in db_spec(2..=3)) {
+        check_alg_with_budget(&|b| Box::new(match b {
+            Some(b) => PointSpaceCrawl::with_budget(b),
+            None => PointSpaceCrawl::new(),
+        }), &spec, Some(InterfaceType::Pq));
+    }
+
+    /// Top-h sky-band discovery (machine-specific band result).
+    #[test]
+    fn skyband_pause_resume_is_identical(spec in db_spec(2..=3), h in 1usize..=3) {
+        let alg = match spec.budget {
+            Some(b) => RqSkyband::with_budget(h, b),
+            None => RqSkyband::new(h),
+        };
+        let db_ref = build_db(&spec, Some(InterfaceType::Rq));
+        let reference: SkybandResult = alg.discover_band(&db_ref).unwrap();
+
+        let db_resumed = build_db(&spec, Some(InterfaceType::Rq));
+        let machine = alg.build_machine(&db_resumed).unwrap();
+        let config = DriverConfig::new()
+            .with_budget(spec.budget)
+            .with_max_batch(spec.max_batch);
+        let mut driver = DiscoveryDriver::new(&db_resumed, machine, config);
+        while let StepOutcome::Progressed { .. } = driver.step().unwrap() {
+            let checkpoint = driver.pause();
+            driver = DiscoveryDriver::resume(&db_resumed, checkpoint, config);
+        }
+        let resumed = driver.into_machine().take_band_result();
+        let band_ids = |r: &SkybandResult| -> Vec<u64> { r.band.iter().map(|t| t.id).collect() };
+        prop_assert_eq!(band_ids(&reference), band_ids(&resumed));
+        prop_assert_eq!(reference.query_cost, resumed.query_cost);
+        prop_assert_eq!(reference.runs, resumed.runs);
+        prop_assert_eq!(reference.complete, resumed.complete);
+        prop_assert_eq!(
+            reference.retrieved.iter().map(|t| t.id).collect::<Vec<_>>(),
+            resumed.retrieved.iter().map(|t| t.id).collect::<Vec<_>>()
+        );
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! experiments [fig04|fig06|...|fig24|all]... [--quick|--full] [--parallel] [--jobs N]
-//!             [--budget N] [--max-wall-ms N]
+//!             [--budget N] [--max-wall-ms N] [--max-batch N]
 //! experiments --list
 //! ```
 //!
@@ -19,7 +19,10 @@
 //! stdout stays serial/parallel byte-identical; a wall-clock deadline is
 //! not, so while it is active the (truncation-dependent) tables are
 //! redirected to stderr and stdout carries only the deterministic figure
-//! headers.
+//! headers. `--max-batch N` bounds the per-round plan size; `--max-batch 1`
+//! forces the per-query reference schedule, whose stdout must be
+//! byte-identical to the default run through the engine's shared-prefix
+//! batch executor (CI diffs exactly that).
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -29,7 +32,7 @@ use skyweb_bench::{figures, pool, set_run_limits, FigureResult, RunLimits, Scale
 fn usage() {
     eprintln!(
         "usage: experiments [--list] [--quick|--full] [--parallel] [--jobs N] \
-         [--budget N] [--max-wall-ms N] [all | figNN ...]"
+         [--budget N] [--max-wall-ms N] [--max-batch N] [all | figNN ...]"
     );
     eprintln!("known figures: {}", figures::ALL_FIGURES.join(", "));
 }
@@ -80,6 +83,15 @@ fn main() -> ExitCode {
             };
             limits.max_wall = Some(Duration::from_millis(n));
             i += 1;
+        } else if arg == "--max-batch" {
+            let parsed = args.get(i + 1).and_then(|v| v.parse::<usize>().ok());
+            let Some(n) = parsed.filter(|&n| n >= 1) else {
+                eprintln!("--max-batch needs a positive integer value");
+                usage();
+                return ExitCode::FAILURE;
+            };
+            limits.max_batch = Some(n);
+            i += 1;
         } else if let Some(s) = Scale::from_flag(arg) {
             scale = s;
         } else if arg == "all" || figures::ALL_FIGURES.contains(&arg.as_str()) {
@@ -99,7 +111,7 @@ fn main() -> ExitCode {
     }
     if limits.any() {
         if let Err(e) = set_run_limits(limits) {
-            eprintln!("--budget/--max-wall-ms: {e}");
+            eprintln!("--budget/--max-wall-ms/--max-batch: {e}");
             return ExitCode::FAILURE;
         }
     }
@@ -136,13 +148,15 @@ fn main() -> ExitCode {
         .collect();
 
     eprintln!(
-        "# skyweb experiment harness — scale: {scale:?}, mode: {}, jobs: {}, budget: {}, max-wall-ms: {}",
+        "# skyweb experiment harness — scale: {scale:?}, mode: {}, jobs: {}, budget: {}, \
+         max-wall-ms: {}, max-batch: {}",
         if parallel { "parallel" } else { "serial" },
         if parallel { pool::jobs() } else { 1 },
         limits.budget.map_or("none".into(), |b| b.to_string()),
         limits
             .max_wall
             .map_or("none".into(), |w| w.as_millis().to_string()),
+        limits.max_batch.map_or("default".into(), |b| b.to_string()),
     );
     let started = Instant::now();
     if parallel {

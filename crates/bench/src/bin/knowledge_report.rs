@@ -22,7 +22,7 @@ use std::time::Instant;
 use skyweb_bench::figures;
 use skyweb_bench::report::peak_rss_kb;
 use skyweb_bench::Scale;
-use skyweb_core::{DiscoveryDriver, DriverConfig, KnowledgeBase, SqDbSky};
+use skyweb_core::{DiscoveryDriver, DiscoveryMachine, DriverConfig, KnowledgeBase, SqDbSky};
 use skyweb_datagen::{diamonds, flights_dot};
 use skyweb_hidden_db::{
     dominates_on, DominanceIndex, InterfaceType, Predicate, Query, RandomSkylineRanker, Ranker,
@@ -347,7 +347,7 @@ fn main() -> ExitCode {
         .run()
         .expect("sequential run");
     let seq_ns = start.elapsed().as_nanos() as f64 / seq.query_cost as f64;
-    let db_bat = sq_ds.into_db_sum(10);
+    let db_bat = sq_ds.clone().into_db_sum(10);
     let machine = SqDbSky::new().build_machine(&db_bat).expect("SQ schema");
     let start = Instant::now();
     let bat = DiscoveryDriver::new(&db_bat, machine, DriverConfig::new())
@@ -369,6 +369,88 @@ fn main() -> ExitCode {
         name: "sq_fig14_driver_ns_per_query",
         naive_ns: seq_ns,
         indexed_ns: bat_ns,
+    });
+
+    // Engine-side shared-prefix batch executor, measured in isolation: a
+    // real mid-run SQ frontier plan (sibling-annotated by the machine)
+    // executed as one `run_plan_grouped` call — each sibling group's shared
+    // parent conjunction evaluated once — versus the same queries through
+    // the per-query `Session::query` loop. This isolates the tentpole from
+    // driver/machine overhead; results are asserted identical.
+    let frontier_db = sq_ds.into_db_sum(10);
+    let mut frontier_machine = SqDbSky::new()
+        .build_machine(&frontier_db)
+        .expect("SQ schema");
+    let mut probe = frontier_db.session();
+    // Drive to a deep frontier plan: most of a fig14 run's cost sits at
+    // tree level 3+, where sibling groups share multi-predicate parent
+    // conjunctions (the shape shared evaluation pays off for — a 1-pred
+    // prefix is no tighter than what each member's own posting plan walks).
+    loop {
+        let plan = frontier_machine.next_plan(256);
+        let deep = plan.len() >= 64
+            && plan
+                .groups()
+                .is_some_and(|gs| gs.iter().all(|g| g.prefix_len >= 2));
+        if deep || plan.is_empty() {
+            break;
+        }
+        let (responses, err) = probe.run_plan_grouped(plan.queries(), plan.groups());
+        assert!(err.is_none(), "probe run rejected");
+        frontier_machine.resume(&responses);
+    }
+    let plan = frontier_machine.next_plan(256);
+    assert!(!plan.is_empty(), "SQ frontier exhausted before the probe");
+    eprintln!(
+        "# executor layer: one SQ frontier plan of {} queries in {} sibling groups",
+        plan.len(),
+        plan.groups().map_or(0, <[_]>::len)
+    );
+    let mut check = frontier_db.session();
+    let per_query: Vec<Vec<u64>> = plan
+        .queries()
+        .iter()
+        .map(|q| {
+            check
+                .query(q)
+                .expect("probe query")
+                .iter()
+                .map(|t| t.id)
+                .collect()
+        })
+        .collect();
+    let (batched, err) = check.run_plan_grouped(plan.queries(), plan.groups());
+    assert!(err.is_none());
+    let batched_ids: Vec<Vec<u64>> = batched
+        .iter()
+        .map(|r| r.iter().map(|t| t.id).collect())
+        .collect();
+    assert_eq!(per_query, batched_ids, "executor diverged from per-query");
+    // Interleaved best-of passes: the 1-CPU container's scheduling noise
+    // exceeds the effect size, so take the minimum of alternating
+    // measurements instead of one long mean.
+    let mut bench_session = frontier_db.session();
+    let mut naive_ns = f64::MAX;
+    let mut indexed_ns = f64::MAX;
+    for _ in 0..5 {
+        naive_ns = naive_ns.min(
+            time(probe_iters / 8, || {
+                for q in plan.queries() {
+                    std::hint::black_box(bench_session.query(q).expect("bench query").len());
+                }
+            }) / plan.len() as f64,
+        );
+        indexed_ns = indexed_ns.min(
+            time(probe_iters / 8, || {
+                let (responses, _) = bench_session.run_plan_grouped(plan.queries(), plan.groups());
+                std::hint::black_box(responses.len());
+            }) / plan.len() as f64,
+        );
+    }
+    rows.push(Row {
+        name: "shared_prefix_plan_exec_ns_per_query",
+        naive_ns,
+        indexed_ns,
     });
 
     // ---------- Layer 4: end-to-end discovery ----------
@@ -454,16 +536,29 @@ fn main() -> ExitCode {
          unordered BNL baseline does not), which is what buys the 3 orders of \
          magnitude on the membership probes and the deterministic dominator answers; \
          sq_fig14_driver row: same SQ-DB-SKY run through the sans-io driver with \
-         max_batch 1 (old per-query round-trip pattern) vs default frontier batching \
-         through Session::run_plan — order-identical results asserted (cost, trace, \
-         skyline); measured before/after is within noise on the in-process engine \
-         (per-query execution ~7us dwarfs the round-trip overhead batching removes), \
-         so the batching win here is architectural: the same results with 1/64th the \
-         client round-trips, which is the term that dominates once a round-trip \
-         carries real latency, and it keeps the new sans-io layer itself off the \
-         fig14/fig15 hot path; RQ-DB-SKY stays single-query by construction (each \
-         sq-vs-rq choice and subtree abandonment consumes the previous answer), so \
-         its round-trip count is already minimal and no batched row exists\""
+         max_batch 1 (old per-query round-trip pattern) vs default frontier batching, \
+         which now executes through the engine-side shared-prefix batch executor \
+         (Session::run_plan groups sibling queries by their machine-annotated parent \
+         conjunction, evaluates each shared conjunction once via posting-list \
+         intersection or a zone-map scan, then applies only per-query residuals + \
+         top-k) — order-identical results asserted (cost, trace, skyline) and \
+         byte-identity proptested in hidden-db tests/proptest_plan.rs; \
+         shared_prefix_plan_exec row isolates that executor on a real deep (level-3+) \
+         SQ frontier plan, where most of a fig14 run's queries live and sibling \
+         groups share multi-predicate parent conjunctions (per-query Session::query \
+         loop vs one grouped run_plan call, identical responses asserted; best-of \
+         interleaved passes, since 1-CPU scheduling noise exceeds the effect size); \
+         the gain depends on where the selectivity sits: ~2x at --quick scale, \
+         where the inherited prefix is the selective part of most members, ~1x at \
+         full scale, where many members' own residual predicate is tighter and the \
+         executor's per-member cost choice (O(1) prefix counts) correctly delegates \
+         them back to their single-query plans; the sq_fig14_driver end-to-end gain \
+         stays small on 1 CPU because client-side KnowledgeBase ingest, not engine \
+         execution, now dominates that path, and batching also removes all \
+         per-query round-trips, the term that dominates once a round-trip carries \
+         real latency; RQ-DB-SKY stays single-query by construction (each sq-vs-rq \
+         choice and subtree abandonment consumes the previous answer), so its \
+         round-trip count is already minimal and no batched row exists\""
     );
     let _ = writeln!(json, "}}");
 

@@ -217,12 +217,17 @@ fn main() -> ExitCode {
     let _ = writeln!(
         json,
         "  \"notes\": \"N tenants (SQ/RQ/MQ/BASELINE machines, round-robin, max_batch {max_batch}) \
-         on one shared HiddenDb; counts_conserved asserts sum(per-tenant session queries) == \
-         global counter (no lost or cross-attributed accounting); fairness spread is the \
-         max-min per-tenant query gap within an algorithm group after {probe_rounds} rounds \
-         (0 = perfectly fair); parallel run drives disjoint tenant chunks on scoped threads — \
-         on the 1-CPU dev container its wall clock matches the cooperative run, the \
-         multi-core CI runner shows the real scaling\""
+         on one shared HiddenDb; tenant plans are no longer answered one query at a time: \
+         each driver step hands the whole (sibling-annotated) plan to the engine's \
+         shared-prefix batch executor via Session::run_plan, which evaluates each sibling \
+         group's shared conjunction once and keeps per-query admission/accounting exact, so \
+         all numbers below are byte-identical to per-query execution by contract \
+         (hidden-db tests/proptest_plan.rs); counts_conserved asserts sum(per-tenant \
+         session queries) == global counter (no lost or cross-attributed accounting); \
+         fairness spread is the max-min per-tenant query gap within an algorithm group \
+         after {probe_rounds} rounds (0 = perfectly fair); parallel run drives disjoint \
+         tenant chunks on scoped threads — on the 1-CPU dev container its wall clock \
+         matches the cooperative run, the multi-core CI runner shows the real scaling\""
     );
     let _ = writeln!(json, "}}");
 

@@ -30,11 +30,12 @@ pub(crate) fn flights_all_rq(base: &Dataset) -> Dataset {
 /// Runs a discoverer and panics with a readable message on interface errors
 /// (which would indicate a bug in the harness wiring, not in the algorithm).
 ///
-/// When harness-wide anytime limits are installed (`--budget` /
-/// `--max-wall-ms`), the run goes through the sans-io machine + driver
-/// path under those limits (the budget combines with any algorithm-level
-/// budget by taking the minimum); without limits this is exactly the
-/// `Discoverer::discover` adapter.
+/// When harness-wide limits are installed (`--budget` / `--max-wall-ms` /
+/// `--max-batch`), the run goes through the sans-io machine + driver path
+/// under those limits (the budget combines with any algorithm-level budget
+/// by taking the minimum; `--max-batch 1` forces the per-query reference
+/// schedule instead of engine-side plan batching); without limits this is
+/// exactly the `Discoverer::discover` adapter.
 pub(crate) fn run(alg: &dyn Discoverer, db: &HiddenDb) -> DiscoveryResult {
     let limits = limits::run_limits();
     if !limits.any() {
@@ -49,9 +50,12 @@ pub(crate) fn run(alg: &dyn Discoverer, db: &HiddenDb) -> DiscoveryResult {
     let machine = alg
         .machine(db)
         .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
-    let config = DriverConfig::new()
+    let mut config = DriverConfig::new()
         .with_budget(budget)
         .with_max_wall(limits.max_wall);
+    if let Some(max_batch) = limits.max_batch {
+        config = config.with_max_batch(max_batch);
+    }
     DiscoveryDriver::new(db, machine, config)
         .run()
         .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()))

@@ -20,12 +20,17 @@ pub struct RunLimits {
     pub budget: Option<u64>,
     /// Wall-clock deadline per discovery run.
     pub max_wall: Option<Duration>,
+    /// Per-round plan batch limit (`--max-batch N`). `Some(1)` forces fully
+    /// sequential per-query execution — the reference schedule CI diffs the
+    /// batched engine path against (results are identical by contract, so
+    /// figure stdout must be byte-identical too).
+    pub max_batch: Option<usize>,
 }
 
 impl RunLimits {
     /// `true` if any limit is set.
     pub fn any(&self) -> bool {
-        self.budget.is_some() || self.max_wall.is_some()
+        self.budget.is_some() || self.max_wall.is_some() || self.max_batch.is_some()
     }
 }
 

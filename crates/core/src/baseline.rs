@@ -17,7 +17,9 @@
 //! combinations of a pure point-predicate database; it is used as a
 //! reference baseline for PQ experiments on small domains.
 
-use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, QueryResponse, Value};
+use skyweb_hidden_db::{
+    HiddenDb, InterfaceType, Predicate, PrefixGroup, Query, QueryResponse, Value,
+};
 
 use crate::machine::{DiscoveryMachine, Machine, MachineControl};
 use crate::pq::next_combo;
@@ -300,6 +302,35 @@ impl MachineControl for PointCrawlControl {
         }
     }
 
+    /// The odometer's sibling tiling: consecutive combinations differing
+    /// only in the fastest (last) digit pin every other attribute to the
+    /// same equality predicates, so each run between carries shares a
+    /// prefix of `m - 1` predicates — the shape the engine's batch executor
+    /// evaluates once per run.
+    fn plan_groups_into(&self, limit: usize, out: &mut Vec<PrefixGroup>) {
+        let Some(combo) = &self.combo else {
+            return;
+        };
+        let prefix_len = self.attrs.len().saturating_sub(1);
+        let mut combo = combo.clone();
+        let mut len = 0usize;
+        let mut total = 0usize;
+        loop {
+            len += 1;
+            total += 1;
+            if total >= limit || !self.advance(&mut combo) {
+                out.push(PrefixGroup { len, prefix_len });
+                return;
+            }
+            if combo.last() == Some(&0) {
+                // The advance carried past the fastest digit: a new run of
+                // siblings (with a different shared prefix) starts here.
+                out.push(PrefixGroup { len, prefix_len });
+                len = 0;
+            }
+        }
+    }
+
     fn on_response(&mut self, kb: &mut KnowledgeBase, issued: u64, resp: &QueryResponse) {
         kb.ingest(&resp.tuples);
         kb.record(issued);
@@ -429,6 +460,38 @@ mod tests {
         assert!(!result.complete);
         assert_eq!(result.query_cost, 20);
         assert!(result.retrieved.len() < db.n());
+    }
+
+    #[test]
+    fn odometer_plans_carry_valid_sibling_annotations() {
+        use crate::machine::DiscoveryMachine;
+        let schema = SchemaBuilder::new()
+            .ranking("x", 3, InterfaceType::Pq)
+            .ranking("y", 4, InterfaceType::Pq)
+            .build();
+        let db = HiddenDb::new(
+            schema,
+            vec![Tuple::new(0, vec![1, 2])],
+            Box::new(SumRanker),
+            2,
+        );
+        let machine = PointSpaceCrawl::new().build_machine(&db).unwrap();
+        // A full-grid plan: 12 combinations, the last digit (domain 4)
+        // wrapping three times → three sibling runs of 4 sharing the first
+        // predicate (x pinned).
+        let plan = machine.next_plan(64);
+        assert_eq!(plan.len(), 12);
+        let groups = plan.groups().expect("odometer plans are annotated");
+        assert!(skyweb_hidden_db::groups_cover(plan.queries(), groups));
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|g| g.len == 4 && g.prefix_len == 1));
+        // A batch limit cutting mid-run truncates the tiling consistently.
+        let plan = machine.next_plan(6);
+        assert_eq!(plan.len(), 6);
+        let groups = plan.groups().expect("odometer plans are annotated");
+        assert!(skyweb_hidden_db::groups_cover(plan.queries(), groups));
+        assert_eq!(groups.len(), 2);
+        assert_eq!((groups[0].len, groups[1].len), (4, 2));
     }
 
     #[test]

@@ -244,7 +244,10 @@ impl<'db, M: DiscoveryMachine> DiscoveryDriver<'db, M> {
         if plan.is_empty() {
             return Ok(StepOutcome::Finished);
         }
-        let (responses, err) = self.session.run_plan(plan.queries());
+        // The plan's sibling annotation (when the machine provides one)
+        // rides along so the engine's shared-prefix executor need not
+        // rediscover the frontier's parent structure.
+        let (responses, err) = self.session.run_plan_grouped(plan.queries(), plan.groups());
         let answered = responses.len();
         self.machine.resume(&responses);
         match err {

@@ -89,4 +89,8 @@ pub use pq2d::{Pq2dControl, Pq2dMachine, Pq2dSky};
 pub use rq::{RqControl, RqDbSky, RqMachine};
 pub use service::{DiscoveryService, TenantId, TenantStats};
 pub use skyband::{skyband_of_retrieved, RqSkyband, SkybandControl, SkybandMachine, SkybandResult};
+// The sibling-group annotation of a [`QueryPlan`], re-exported so
+// `MachineControl` implementors need not depend on the engine crate
+// directly.
+pub use skyweb_hidden_db::PrefixGroup;
 pub use sq::{SqControl, SqDbSky, SqMachine};

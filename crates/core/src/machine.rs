@@ -55,7 +55,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use skyweb_hidden_db::{Query, QueryResponse, Tuple};
+use skyweb_hidden_db::{PrefixGroup, Query, QueryResponse, Tuple};
 
 use crate::discovery::DiscoveryResult;
 use crate::KnowledgeBase;
@@ -65,15 +65,39 @@ use crate::KnowledgeBase;
 /// The queries are independent *as a prefix schedule*: executing any prefix
 /// of the plan in order and resuming the machine with the responses is
 /// equivalent to the sequential schedule (see the module docs).
+///
+/// A plan may additionally carry its **sibling-group annotation**
+/// ([`QueryPlan::groups`]): the tiling of the plan into runs of queries
+/// sharing a predicate prefix, which tree-frontier machines know from
+/// construction (children inherit their parent's conjunction). The engine's
+/// shared-prefix batch executor uses it to evaluate each shared conjunction
+/// once instead of rediscovering the factoring; a plan without the
+/// annotation is factored engine-side and executes identically.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueryPlan {
     queries: Vec<Query>,
+    groups: Option<Vec<PrefixGroup>>,
 }
 
 impl QueryPlan {
-    /// Creates a plan from the given queries.
+    /// Creates a plan from the given queries (no sibling annotation; the
+    /// engine factors shared prefixes itself).
     pub fn new(queries: Vec<Query>) -> Self {
-        QueryPlan { queries }
+        QueryPlan {
+            queries,
+            groups: None,
+        }
+    }
+
+    /// Creates a plan with its sibling-group annotation. `groups` must tile
+    /// `queries` with literally shared predicate prefixes (the engine
+    /// verifies and falls back to its own factoring otherwise, so an
+    /// inconsistent annotation costs performance, never correctness).
+    pub fn with_groups(queries: Vec<Query>, groups: Vec<PrefixGroup>) -> Self {
+        QueryPlan {
+            queries,
+            groups: Some(groups),
+        }
     }
 
     /// The empty plan (meaning: the machine is finished).
@@ -96,6 +120,11 @@ impl QueryPlan {
         &self.queries
     }
 
+    /// The plan's sibling-group annotation, if the machine provided one.
+    pub fn groups(&self) -> Option<&[PrefixGroup]> {
+        self.groups.as_deref()
+    }
+
     /// Consumes the plan into its queries.
     pub fn into_queries(self) -> Vec<Query> {
         self.queries
@@ -104,7 +133,7 @@ impl QueryPlan {
 
 impl From<Vec<Query>> for QueryPlan {
     fn from(queries: Vec<Query>) -> Self {
-        QueryPlan { queries }
+        QueryPlan::new(queries)
     }
 }
 
@@ -241,6 +270,17 @@ pub trait MachineControl: fmt::Debug + Send {
     /// not mutate state and must be prefix-stable (see the module docs).
     fn plan_into(&self, kb: &KnowledgeBase, limit: usize, out: &mut Vec<Query>);
 
+    /// Appends the sibling-group annotation of the same `limit`-bounded
+    /// plan to `out` — one [`PrefixGroup`] per run of consecutive queries
+    /// sharing a predicate prefix, tiling exactly the queries `plan_into`
+    /// emits. The default emits nothing (the engine factors the plan
+    /// itself); controls with data-independent frontiers (the SQ BFS tree,
+    /// the point-space odometer) override it because they know the sibling
+    /// structure from construction.
+    fn plan_groups_into(&self, limit: usize, out: &mut Vec<PrefixGroup>) {
+        let _ = (limit, out);
+    }
+
     /// Consumes the response to the head query of the current plan:
     /// ingests the tuples into `kb`, records the trace point at `issued`
     /// answered queries, and advances the traversal.
@@ -307,7 +347,13 @@ impl<C: MachineControl> DiscoveryMachine for Machine<C> {
         }
         let mut queries = Vec::new();
         self.control.plan_into(&self.kb, limit.max(1), &mut queries);
-        QueryPlan::new(queries)
+        let mut groups = Vec::new();
+        self.control.plan_groups_into(limit.max(1), &mut groups);
+        if groups.is_empty() {
+            QueryPlan::new(queries)
+        } else {
+            QueryPlan::with_groups(queries, groups)
+        }
     }
 
     fn resume(&mut self, responses: &[QueryResponse]) {

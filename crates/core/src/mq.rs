@@ -281,6 +281,21 @@ impl MachineControl for MqControl {
         }
     }
 
+    fn plan_groups_into(&self, limit: usize, out: &mut Vec<skyweb_hidden_db::PrefixGroup>) {
+        // Only the SQ-tree states yield multi-query plans with known
+        // sibling structure; every other state is single-query (the engine
+        // treats an unannotated plan identically).
+        match &self.state {
+            MqState::RangeSq(walk) => walk.plan_groups_into(limit, out),
+            MqState::Point { frames, .. } => {
+                if let Some(MqFrame::TreeLeaf(walk)) = frames.last() {
+                    walk.plan_groups_into(limit, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
     fn on_response(&mut self, kb: &mut KnowledgeBase, issued: u64, resp: &QueryResponse) {
         match &mut self.state {
             MqState::RangeRq(walk) => {

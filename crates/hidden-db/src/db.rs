@@ -257,7 +257,7 @@ impl HiddenDb {
 
     /// The lazily-built query index (first use pays the O(m·n) posting
     /// sorts and the rank-order precompute).
-    fn index(&self) -> &QueryIndex {
+    pub(crate) fn index(&self) -> &QueryIndex {
         self.index
             .get_or_init(|| QueryIndex::build(&self.store, &self.schema, self.ranker.as_ref()))
     }
@@ -441,11 +441,22 @@ impl HiddenDb {
         query: &Query,
         scratch: &mut Scratch,
     ) -> Result<QueryResponse, QueryError> {
+        let seq = self.admit(query)?;
+        let log_enabled = self.log_on();
+        let (tuples, overflowed, matched) = self.exec_validated(query, log_enabled, scratch);
+        Ok(self.finish_query(query, seq, tuples, overflowed, matched, log_enabled))
+    }
+
+    /// Admission control for one query: validation, rate-limit reservation
+    /// and sequence numbering. On success the query *will* be answered and
+    /// counted; admission and completion are split so the plan executor can
+    /// interleave them with shared-group evaluation in exact plan order.
+    pub(crate) fn admit(&self, query: &Query) -> Result<u64, QueryError> {
         self.validate(query)?;
         // Capture the value returned by `fetch_add` for the log sequence
         // number: re-reading the counter after the increment would let
         // concurrent clients log duplicate or skipped sequence numbers.
-        let seq = if let Some(limit) = self.rate_limit {
+        if let Some(limit) = self.rate_limit {
             // Reserve a slot atomically so concurrent clients cannot exceed
             // the limit.
             let prev = self.queries.fetch_add(1, Ordering::Relaxed);
@@ -455,13 +466,28 @@ impl HiddenDb {
                     limit: limit.max_queries,
                 });
             }
-            prev + 1
+            Ok(prev + 1)
         } else {
-            self.queries.fetch_add(1, Ordering::Relaxed) + 1
-        };
+            Ok(self.queries.fetch_add(1, Ordering::Relaxed) + 1)
+        }
+    }
 
-        let log_enabled = self.log_enabled.load(Ordering::Relaxed);
-        let (tuples, overflowed, matched) = match self.strategy {
+    /// `true` while the access log is recording (the flag that also pins
+    /// exact-match-count execution plans).
+    pub(crate) fn log_on(&self) -> bool {
+        self.log_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Computes the answer of an admitted query under the active execution
+    /// strategy: the returned tuples (best-ranked first), the overflow flag
+    /// and the exact match count when the chosen plan produced one.
+    pub(crate) fn exec_validated(
+        &self,
+        query: &Query,
+        need_matched: bool,
+        scratch: &mut Scratch,
+    ) -> (Vec<Arc<Tuple>>, bool, Option<usize>) {
+        match self.strategy {
             ExecStrategy::Scan => {
                 let mut indices: Vec<u32> = Vec::new();
                 for (i, t) in self.store.iter().enumerate() {
@@ -495,13 +521,26 @@ impl HiddenDb {
                     &self.store,
                     &self.schema,
                     self.ranker.as_ref(),
-                    log_enabled,
+                    need_matched,
                     scratch,
                 );
                 (out.returned, out.overflowed, out.matched)
             }
-        };
+        }
+    }
 
+    /// Completes an admitted query: updates the global counters, records the
+    /// access-log entry under the reserved sequence number and builds the
+    /// response.
+    pub(crate) fn finish_query(
+        &self,
+        query: &Query,
+        seq: u64,
+        tuples: Vec<Arc<Tuple>>,
+        overflowed: bool,
+        matched: Option<usize>,
+        log_enabled: bool,
+    ) -> QueryResponse {
         if overflowed {
             self.overflows.fetch_add(1, Ordering::Relaxed);
         }
@@ -515,8 +554,8 @@ impl HiddenDb {
         if log_enabled {
             // The engine only omits the matching count on early-terminated
             // rank scans, a plan it never picks while the log is recording
-            // (`need_matched` above is this same flag).
-            let matched = matched.expect("indexed execution must count matches when the log is on");
+            // (`need_matched` in the executors is this same flag).
+            let matched = matched.expect("execution must count matches when the log is on");
             self.access_log.push(AccessLogEntry {
                 seq,
                 query: query.to_string(),
@@ -526,7 +565,49 @@ impl HiddenDb {
             });
         }
 
-        Ok(QueryResponse { tuples, overflowed })
+        QueryResponse { tuples, overflowed }
+    }
+
+    /// Executes a whole multi-query plan through the shared-prefix batch
+    /// executor (see `index::execute_plan`): sibling queries grouped by
+    /// shared predicate prefix evaluate their shared conjunction once, and
+    /// per-query admission, statistics and access-log accounting happen in
+    /// exact plan order — byte-identical to issuing the queries one by one.
+    ///
+    /// `hint` carries the grouping a discovery machine annotated its plan
+    /// with; it is checked against the plan (and recomputed on the engine
+    /// side when absent or inconsistent) before being trusted.
+    pub(crate) fn run_plan_with_scratch(
+        &self,
+        queries: &[Query],
+        hint: Option<&[crate::PrefixGroup]>,
+        scratch: &mut Scratch,
+    ) -> (Vec<QueryResponse>, Option<QueryError>) {
+        let computed;
+        let groups: &[crate::PrefixGroup] = match hint {
+            // An annotation is only trusted after it verifies against the
+            // plan; anything else (including a stale or buggy hint) gets
+            // the engine-side factoring, as documented.
+            Some(h) if crate::predicate::groups_cover(queries, h) => h,
+            _ => {
+                computed = crate::predicate::prefix_groups(queries);
+                &computed
+            }
+        };
+        let mut responses = Vec::with_capacity(queries.len());
+        let err = crate::index::execute_plan(self, queries, groups, scratch, &mut responses);
+        (responses, err)
+    }
+
+    /// The tuple store the engine answers from (crate-internal view; the
+    /// public server-side handle is [`HiddenDb::oracle_tuples`]).
+    pub(crate) fn store(&self) -> &TupleStore {
+        &self.store
+    }
+
+    /// The ranking function (crate-internal view for the plan executor).
+    pub(crate) fn ranker(&self) -> &dyn Ranker {
+        self.ranker.as_ref()
     }
 
     /// Server-side ("oracle") access to the raw tuple store.

@@ -38,8 +38,12 @@
 use std::sync::Arc;
 
 use crate::dominance::DominanceIndex;
+use crate::predicate::PrefixGroup;
 use crate::store::TupleStore;
-use crate::{AttrId, CmpOp, Query, Ranker, Schema, Tuple, Value};
+use crate::{
+    AttrId, CmpOp, HiddenDb, Predicate, Query, QueryError, QueryResponse, Ranker, Schema, Tuple,
+    Value,
+};
 
 /// How a [`crate::HiddenDb`] executes queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -85,6 +89,59 @@ struct RankColumns {
     cols: Vec<Vec<Value>>,
     mins: Vec<Vec<Value>>,
     maxs: Vec<Vec<Value>>,
+}
+
+impl RankColumns {
+    /// The zone-map block walk shared by the early-terminating rank scan
+    /// and the batch executor's shared-conjunction materializer: visits the
+    /// rank order block by block, skips blocks whose zone maps prove no
+    /// member can satisfy some bound, and hands the caller every surviving
+    /// block's base rank plus its non-empty lane bitset (bit i set iff the
+    /// block's i-th member lies inside every bound; a bound the whole block
+    /// provably satisfies needs no lane pass). Lanes are rank-ordered, so
+    /// consuming set bits low-to-high walks candidates best-ranked first.
+    /// Stops early when `emit` returns `false`.
+    fn for_each_matching_block(
+        &self,
+        perm: &[u32],
+        cons: &[(AttrId, Value, Value)],
+        mut emit: impl FnMut(usize, u64) -> bool,
+    ) {
+        for (b, chunk) in perm.chunks(BLOCK).enumerate() {
+            // Zone check: can any member of this block satisfy every bound?
+            let survives = cons
+                .iter()
+                .all(|&(attr, lo, hi)| self.mins[attr][b] <= hi && self.maxs[attr][b] >= lo);
+            if !survives {
+                continue;
+            }
+            // Lane bitset: built branch-free, one attribute at a time, from
+            // the columnar rank-ordered values.
+            let base = b * BLOCK;
+            let mut mask: u64 = if chunk.len() == BLOCK {
+                u64::MAX
+            } else {
+                (1u64 << chunk.len()) - 1
+            };
+            for &(attr, lo, hi) in cons {
+                if self.mins[attr][b] >= lo && self.maxs[attr][b] <= hi {
+                    continue;
+                }
+                let col = &self.cols[attr][base..base + chunk.len()];
+                let mut m = 0u64;
+                for (lane, &v) in col.iter().enumerate() {
+                    m |= u64::from(v >= lo && v <= hi) << lane;
+                }
+                mask &= m;
+                if mask == 0 {
+                    break;
+                }
+            }
+            if mask != 0 && !emit(base, mask) {
+                return;
+            }
+        }
+    }
 }
 
 /// Outcome of one indexed execution.
@@ -302,7 +359,7 @@ impl QueryIndex {
         bounds: &mut Vec<(i64, i64)>,
         cons: &mut Vec<(AttrId, Value, Value)>,
     ) -> Option<Option<(usize, usize)>> {
-        if !fold_bounds(query, schema, bounds) {
+        if !fold_bounds(query.predicates(), schema, bounds) {
             return None;
         }
         cons.clear();
@@ -345,60 +402,35 @@ impl QueryIndex {
             .expect("rank_scan requires rank columns alongside the rank order");
         let mut returned = Vec::with_capacity(k.min(16));
         let mut seen = 0usize;
-        for (b, chunk) in perm.chunks(BLOCK).enumerate() {
-            // Zone check: can any member of this block satisfy every bound?
-            let survives = cons
-                .iter()
-                .all(|&(attr, lo, hi)| zones.mins[attr][b] <= hi && zones.maxs[attr][b] >= lo);
-            if !survives {
-                continue;
-            }
-            // Lane bitset: bit i set iff the block's i-th tuple matches all
-            // bounds. Built branch-free, one attribute at a time, from the
-            // columnar rank-ordered values.
-            let base = b * BLOCK;
-            let mut mask: u64 = if chunk.len() == BLOCK {
-                u64::MAX
-            } else {
-                (1u64 << chunk.len()) - 1
-            };
-            for &(attr, lo, hi) in cons {
-                // A bound the whole block provably satisfies needs no lane
-                // pass (common for broad ranges once ranks are high).
-                if zones.mins[attr][b] >= lo && zones.maxs[attr][b] <= hi {
-                    continue;
-                }
-                let col = &zones.cols[attr][base..base + chunk.len()];
-                let mut m = 0u64;
-                for (lane, &v) in col.iter().enumerate() {
-                    m |= u64::from(v >= lo && v <= hi) << lane;
-                }
-                mask &= m;
-                if mask == 0 {
-                    break;
-                }
-            }
-            // Lanes are rank-ordered, so consuming set bits low-to-high
-            // preserves the answer order of the old walk exactly.
+        let mut overflowed = false;
+        zones.for_each_matching_block(perm, cons, |base, mut mask| {
+            // Consuming set bits low-to-high preserves the answer order of
+            // the old tuple-at-a-time walk exactly.
             while mask != 0 {
                 let lane = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
                 seen += 1;
                 if seen > k {
                     // Overflow probe: one extra match proves truncation.
-                    return ExecOutcome {
-                        returned,
-                        overflowed: true,
-                        matched: None,
-                    };
+                    overflowed = true;
+                    return false;
                 }
-                returned.push(store.share(chunk[lane] as usize));
+                returned.push(store.share(perm[base + lane] as usize));
             }
-        }
-        ExecOutcome {
-            returned,
-            overflowed: false,
-            matched: Some(seen),
+            true
+        });
+        if overflowed {
+            ExecOutcome {
+                returned,
+                overflowed: true,
+                matched: None,
+            }
+        } else {
+            ExecOutcome {
+                returned,
+                overflowed: false,
+                matched: Some(seen),
+            }
         }
     }
 
@@ -502,12 +534,385 @@ impl QueryIndex {
     }
 }
 
-/// Intersects all predicates of `query` into one closed interval per
+/// Materialized shared-prefix context for one plan group (see
+/// [`execute_plan`]): the result of evaluating the group's shared
+/// conjunction exactly once, against which every member query only has to
+/// apply its private residual predicates and top-k selection.
+pub(crate) enum SharedGroup {
+    /// Sharing would not pay off (singleton group, unconstrained prefix, or
+    /// a prefix so broad that the per-query early-terminating plans win):
+    /// run every member through the regular single-query engine.
+    PerQuery,
+    /// The shared conjunction provably matches nothing — every member
+    /// query answers empty with an exact zero match count.
+    Empty,
+    /// Candidate tuples matching the shared conjunction, as ascending rank
+    /// positions (rankers with a precomputed total order): a member's
+    /// top-k answer is the first k candidates passing its residual bounds.
+    Ranked {
+        /// Matching rank positions, ascending (best-ranked first).
+        hits: Vec<u32>,
+        /// The shared conjunction folded into a per-attribute box; member
+        /// queries only re-check attributes their own box tightens.
+        bounds: Vec<(i64, i64)>,
+    },
+    /// Candidate store indices matching the shared conjunction, ascending
+    /// (rankers without a precomputed order — selection is delegated to
+    /// [`Ranker::select_top_k_indices`] exactly like the sequential path,
+    /// so even per-query RNG consumption is preserved).
+    StoreOrder {
+        /// Matching store indices, ascending.
+        hits: Vec<u32>,
+        /// The shared conjunction folded into a per-attribute box.
+        bounds: Vec<(i64, i64)>,
+    },
+}
+
+impl QueryIndex {
+    /// Evaluates a group's shared conjunction once: folds the prefix into a
+    /// per-attribute box, gates on whether sharing beats the per-query
+    /// plans, and materializes the matching candidates through the most
+    /// selective shared posting list.
+    ///
+    /// The caller must have validated the group's head query (the prefix is
+    /// a prefix of it, so that validates the prefix too).
+    pub(crate) fn prepare_shared(
+        &self,
+        prefix: &[Predicate],
+        group_len: usize,
+        store: &TupleStore,
+        schema: &Schema,
+    ) -> SharedGroup {
+        let mut bounds = Vec::new();
+        if !fold_bounds(prefix, schema, &mut bounds) {
+            return SharedGroup::Empty;
+        }
+        let mut cons: Vec<(AttrId, Value, Value)> = Vec::new();
+        let mut best: Option<(usize, usize)> = None;
+        for (attr, &(lo, hi)) in bounds.iter().enumerate() {
+            let max = i64::from(schema.attr(attr).max_value());
+            if lo > 0 || hi < max {
+                let (lo, hi) = (lo as Value, hi as Value);
+                let count = self.range_count(attr, lo, hi);
+                let pos = cons.len();
+                cons.push((attr, lo, hi));
+                if best.is_none_or(|(c, _)| count < c) {
+                    best = Some((count, pos));
+                }
+            }
+        }
+        let Some((count, best_pos)) = best else {
+            // Unconstrained prefix (`SELECT *`-shaped): nothing to share.
+            return SharedGroup::PerQuery;
+        };
+        if count == 0 {
+            return SharedGroup::Empty;
+        }
+        if group_len < 2 {
+            // A singleton amortizes nothing over the per-query plans.
+            return SharedGroup::PerQuery;
+        }
+        let ranked = !self.rank_of.is_empty();
+        if count * 32 < self.n {
+            // Posting-list intersection: one attribute is selective enough
+            // that walking its posting range (what every member's own
+            // posting plan would do anyway) materializes the shared
+            // candidates once for the whole group.
+            let (attr, lo, hi) = cons[best_pos];
+            let posting = &self.postings[attr];
+            let range =
+                posting.starts[lo as usize] as usize..posting.starts[hi as usize + 1] as usize;
+            let mut hits = Vec::with_capacity(count);
+            for &idx in &posting.order[range] {
+                if store[idx as usize].within_bounds(&cons) {
+                    hits.push(if ranked {
+                        self.rank_of[idx as usize]
+                    } else {
+                        idx
+                    });
+                }
+            }
+            hits.sort_unstable();
+            return if ranked {
+                SharedGroup::Ranked { hits, bounds }
+            } else {
+                SharedGroup::StoreOrder { hits, bounds }
+            };
+        }
+        // Every individual attribute is broad. Tree frontiers still produce
+        // *jointly* selective conjunctions (each sibling inherits its whole
+        // ancestor chain), and for those one block-skipping zone-map scan,
+        // amortized over the group, beats per-query early-terminating scans.
+        // Joint selectivity is estimated from the O(1) per-attribute counts
+        // under independence; a broad estimate keeps the per-query plans,
+        // whose early termination is unbeatable for answers near k.
+        let est: f64 = cons
+            .iter()
+            .map(|&(attr, lo, hi)| self.range_count(attr, lo, hi) as f64 / self.n as f64)
+            .product::<f64>()
+            * self.n as f64;
+        if est * 32.0 >= self.n as f64 {
+            return SharedGroup::PerQuery;
+        }
+        if let (Some(perm), Some(zones)) = (&self.perm, &self.zones) {
+            // Zone-map scan over the rank-ordered columns (the same block
+            // walk the rank scan uses, without early termination): the
+            // collected rank positions arrive already sorted.
+            let mut hits = Vec::new();
+            zones.for_each_matching_block(perm, &cons, |base, mut mask| {
+                while mask != 0 {
+                    let lane = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    hits.push((base + lane) as u32);
+                }
+                true
+            });
+            SharedGroup::Ranked { hits, bounds }
+        } else {
+            // No rank order (randomized / adversarial rankers): one full
+            // box-membership pass, amortized over the group.
+            let hits = (0..self.n as u32)
+                .filter(|&idx| store[idx as usize].within_bounds(&cons))
+                .collect();
+            SharedGroup::StoreOrder { hits, bounds }
+        }
+    }
+
+    /// Answers one member query of a prepared group: folds the member's full
+    /// conjunction, derives the residual constraints (attributes whose box
+    /// is strictly tighter than the shared one) and selects the top k among
+    /// the shared candidates — byte-identical to what the single-query
+    /// engine returns for the same query.
+    ///
+    /// Must not be called with [`SharedGroup::PerQuery`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn execute_shared(
+        &self,
+        shared: &SharedGroup,
+        query: &Query,
+        k: usize,
+        store: &TupleStore,
+        schema: &Schema,
+        ranker: &dyn Ranker,
+        need_matched: bool,
+        scratch: &mut Scratch,
+    ) -> ExecOutcome {
+        let empty = || ExecOutcome {
+            returned: Vec::new(),
+            overflowed: false,
+            matched: Some(0),
+        };
+        let (hits, shared_bounds, ranked) = match shared {
+            SharedGroup::Empty => return empty(),
+            SharedGroup::Ranked { hits, bounds } => (hits, bounds, true),
+            SharedGroup::StoreOrder { hits, bounds } => (hits, bounds, false),
+            SharedGroup::PerQuery => unreachable!("PerQuery groups bypass shared execution"),
+        };
+        if !fold_bounds(query.predicates(), schema, &mut scratch.bounds) {
+            return empty();
+        }
+        // Per-member cost choice: a member whose own most selective posting
+        // range is much smaller than the shared candidate set (its private
+        // residual, not the inherited prefix, is the selective part) is
+        // cheaper through its regular single-query plan. Both paths return
+        // identical answers, so this is purely a plan-cost decision; the
+        // O(1) prefix counts make it a handful of lookups.
+        let mut member_best = usize::MAX;
+        for (attr, &(lo, hi)) in scratch.bounds.iter().enumerate() {
+            let max = i64::from(schema.attr(attr).max_value());
+            if lo > 0 || hi < max {
+                member_best = member_best.min(self.range_count(attr, lo as Value, hi as Value));
+            }
+        }
+        if member_best != usize::MAX && hits.len() > member_best.saturating_mul(2) {
+            return self.execute(query, k, store, schema, ranker, need_matched, scratch);
+        }
+        // The member's box is the shared box intersected with its residual
+        // predicates, so exactly the attributes it tightened need a
+        // re-check; every shared candidate already satisfies the rest.
+        scratch.cons.clear();
+        for (attr, (&full, &sh)) in scratch.bounds.iter().zip(shared_bounds).enumerate() {
+            if full != sh {
+                scratch.cons.push((attr, full.0 as Value, full.1 as Value));
+            }
+        }
+        if ranked {
+            // Candidates arrive best-ranked first: the answer is the first k
+            // residual matches, early-terminating after one overflow probe
+            // unless the caller needs the exact match count for the log.
+            let zones = self
+                .zones
+                .as_ref()
+                .expect("ranked shared groups require rank columns");
+            let perm = self
+                .perm
+                .as_ref()
+                .expect("ranked shared groups require a rank order");
+            let mut returned = Vec::with_capacity(k.min(16));
+            let mut seen = 0usize;
+            for &r in hits {
+                let r = r as usize;
+                let ok = scratch.cons.iter().all(|&(attr, lo, hi)| {
+                    let v = zones.cols[attr][r];
+                    v >= lo && v <= hi
+                });
+                if !ok {
+                    continue;
+                }
+                seen += 1;
+                if seen <= k {
+                    returned.push(store.share(perm[r] as usize));
+                } else if !need_matched {
+                    return ExecOutcome {
+                        returned,
+                        overflowed: true,
+                        matched: None,
+                    };
+                }
+            }
+            ExecOutcome {
+                returned,
+                overflowed: seen > k,
+                matched: Some(seen),
+            }
+        } else {
+            // No precomputed order: hand the exact matching set (ascending
+            // store order, as the sequential fallback materializes it) to
+            // the ranker, offering the same precomputed dominance index.
+            let hits_out = &mut scratch.hits;
+            hits_out.clear();
+            for &idx in hits {
+                if store[idx as usize].within_bounds(&scratch.cons) {
+                    hits_out.push(idx);
+                }
+            }
+            debug_assert!(hits_out.iter().all(|&i| query.matches(&store[i as usize])));
+            let matched = hits_out.len();
+            let selected =
+                ranker.select_top_k_indices(store, hits_out, k, schema, self.dom.as_ref());
+            let returned = selected.iter().map(|&i| store.share(i as usize)).collect();
+            ExecOutcome {
+                returned,
+                overflowed: matched > k,
+                matched: Some(matched),
+            }
+        }
+    }
+}
+
+/// Executes a whole multi-query plan against the database: walks the plan's
+/// prefix groups, evaluates each group's shared conjunction once (lazily,
+/// after the group's first member passes admission) and answers every member
+/// from the shared candidates plus its private residual — stopping at the
+/// first rejected query, whose error is returned.
+///
+/// Per-query admission (validation, rate-limit reservation, sequence
+/// numbering), statistics and access-log accounting run through exactly the
+/// same [`HiddenDb`] hooks as individually issued queries, in plan order, so
+/// responses, [`crate::QueryStats`] and log snapshots are byte-identical to
+/// the sequential path — the differential battery in `tests/proptest_plan.rs`
+/// pins this for both execution strategies.
+pub(crate) fn execute_plan(
+    db: &HiddenDb,
+    queries: &[Query],
+    groups: &[PrefixGroup],
+    scratch: &mut Scratch,
+    responses: &mut Vec<QueryResponse>,
+) -> Option<QueryError> {
+    debug_assert!(crate::predicate::groups_cover(queries, groups));
+    let mut pos = 0usize;
+    for g in groups {
+        let group = &queries[pos..pos + g.len];
+        pos += g.len;
+        // Shared context for the group, prepared lazily once the first
+        // member passes admission: validating the head validates the prefix
+        // (it is a prefix of the head), and a plan cut short by the rate
+        // limit before reaching this group never pays for materialization.
+        let mut shared: Option<SharedGroup> = None;
+        let mut scan_hits: Option<Vec<u32>> = None;
+        for q in group {
+            let seq = match db.admit(q) {
+                Ok(seq) => seq,
+                Err(e) => return Some(e),
+            };
+            let log_enabled = db.log_on();
+            let (tuples, overflowed, matched) = if g.prefix_len == 0 || g.len < 2 {
+                db.exec_validated(q, log_enabled, scratch)
+            } else {
+                let prefix = &group[0].predicates()[..g.prefix_len];
+                match db.strategy() {
+                    ExecStrategy::Indexed => {
+                        let index = db.index();
+                        let ctx = shared.get_or_insert_with(|| {
+                            index.prepare_shared(prefix, g.len, db.store(), db.schema())
+                        });
+                        match ctx {
+                            SharedGroup::PerQuery => db.exec_validated(q, log_enabled, scratch),
+                            ctx => {
+                                let out = index.execute_shared(
+                                    ctx,
+                                    q,
+                                    db.k(),
+                                    db.store(),
+                                    db.schema(),
+                                    db.ranker(),
+                                    log_enabled,
+                                    scratch,
+                                );
+                                (out.returned, out.overflowed, out.matched)
+                            }
+                        }
+                    }
+                    ExecStrategy::Scan => {
+                        // The reference strategy shares too: one filter pass
+                        // over the store per group instead of one per query,
+                        // then the member's residual predicates over the
+                        // shared candidates. Candidates stay in ascending
+                        // store order and the ranker is called with the same
+                        // arguments as the sequential scan, so responses and
+                        // RNG consumption are identical.
+                        let store = db.store();
+                        let hits = scan_hits.get_or_insert_with(|| {
+                            store
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, t)| prefix.iter().all(|p| p.matches(t)))
+                                .map(|(i, _)| i as u32)
+                                .collect()
+                        });
+                        let residual = &q.predicates()[g.prefix_len..];
+                        let member_hits = &mut scratch.hits;
+                        member_hits.clear();
+                        for &idx in hits.iter() {
+                            if residual.iter().all(|p| p.matches(&store[idx as usize])) {
+                                member_hits.push(idx);
+                            }
+                        }
+                        let matched = member_hits.len();
+                        let selected = db.ranker().select_top_k_indices(
+                            store,
+                            member_hits,
+                            db.k(),
+                            db.schema(),
+                            None,
+                        );
+                        let tuples = selected.iter().map(|&i| store.share(i as usize)).collect();
+                        (tuples, matched > db.k(), Some(matched))
+                    }
+                }
+            };
+            responses.push(db.finish_query(q, seq, tuples, overflowed, matched, log_enabled));
+        }
+    }
+    None
+}
+
+/// Intersects a conjunction of predicates into one closed interval per
 /// attribute. Returns `false` if the conjunction is unsatisfiable.
-fn fold_bounds(query: &Query, schema: &Schema, bounds: &mut Vec<(i64, i64)>) -> bool {
+fn fold_bounds(preds: &[Predicate], schema: &Schema, bounds: &mut Vec<(i64, i64)>) -> bool {
     bounds.clear();
     bounds.extend((0..schema.len()).map(|attr| (0i64, i64::from(schema.attr(attr).max_value()))));
-    for p in query.predicates() {
+    for p in preds {
         let (lo, hi) = &mut bounds[p.attr];
         let v = i64::from(p.value);
         match p.op {
@@ -607,16 +1012,16 @@ mod tests {
             Predicate::ge(0, 2),
             Predicate::lt(1, 4),
         ]);
-        assert!(fold_bounds(&q, &s, &mut bounds));
+        assert!(fold_bounds(q.predicates(), &s, &mut bounds));
         assert_eq!(bounds[0], (2, 6));
         assert_eq!(bounds[1], (0, 3));
         assert_eq!(bounds[2], (0, 2));
         let unsat = Query::new(vec![Predicate::lt(0, 0)]);
-        assert!(!fold_bounds(&unsat, &s, &mut bounds));
+        assert!(!fold_bounds(unsat.predicates(), &s, &mut bounds));
         let unsat2 = Query::new(vec![Predicate::gt(0, 9)]);
-        assert!(!fold_bounds(&unsat2, &s, &mut bounds));
+        assert!(!fold_bounds(unsat2.predicates(), &s, &mut bounds));
         let unsat3 = Query::new(vec![Predicate::le(0, 2), Predicate::ge(0, 5)]);
-        assert!(!fold_bounds(&unsat3, &s, &mut bounds));
+        assert!(!fold_bounds(unsat3.predicates(), &s, &mut bounds));
     }
 
     #[test]
@@ -678,6 +1083,104 @@ mod tests {
         assert_eq!(out.returned.len(), 50);
         assert!(!out.overflowed);
         assert_eq!(out.matched, Some(50));
+    }
+
+    #[test]
+    fn shared_group_paths_match_single_query_execution() {
+        use crate::WorstCaseRanker;
+        let mut b = SchemaBuilder::new();
+        for i in 0..3 {
+            b = b.ranking(format!("a{i}"), 32, InterfaceType::Rq);
+        }
+        let s = b.build();
+        // Attribute 0 has a rare value (posting-selective prefixes);
+        // attributes 1 and 2 are individually broad but *jointly* selective
+        // on short conjunctions — the tree-frontier shape the zone-scan
+        // materializer exists for.
+        let tuples: Vec<Tuple> = (0..1000u64)
+            .map(|i| {
+                let v0 = if i < 10 { 0 } else { 1 + (i % 31) as u32 };
+                Tuple::new(i, vec![v0, ((i / 32) % 32) as u32, ((i * 7) % 32) as u32])
+            })
+            .collect();
+        let store = TupleStore::new(tuples);
+        let ids = |v: &[Arc<Tuple>]| v.iter().map(|t| t.id).collect::<Vec<u64>>();
+
+        let rankers: [(&str, Box<dyn crate::Ranker>); 2] = [
+            ("sum", Box::new(SumRanker)),         // precomputed rank order
+            ("worst", Box::new(WorstCaseRanker)), // no rank order: fallback
+        ];
+        for (rname, ranker) in rankers {
+            let index = QueryIndex::build(&store, &s, ranker.as_ref());
+            let mut scratch = Scratch::default();
+            let cases: Vec<(Vec<Predicate>, &str)> = vec![
+                // One attribute selective: posting-list materialization.
+                (vec![Predicate::lt(0, 1)], "shared"),
+                // All attributes broad, conjunction selective: zone scan
+                // (or the full box pass without a rank order).
+                (vec![Predicate::lt(1, 4), Predicate::lt(2, 4)], "shared"),
+                // Jointly broad: the per-query plans stay.
+                (
+                    vec![Predicate::lt(1, 16), Predicate::lt(2, 16)],
+                    "per-query",
+                ),
+                // Provably empty shared conjunction.
+                (vec![Predicate::gt(0, 31)], "empty"),
+            ];
+            for (prefix, expect) in cases {
+                let shared = index.prepare_shared(&prefix, 4, &store, &s);
+                match (expect, &shared) {
+                    ("shared", SharedGroup::Ranked { .. } | SharedGroup::StoreOrder { .. })
+                    | ("per-query", SharedGroup::PerQuery)
+                    | ("empty", SharedGroup::Empty) => {}
+                    _ => panic!("{rname}: prefix {prefix:?} took an unexpected path"),
+                }
+                if matches!(shared, SharedGroup::PerQuery) {
+                    continue;
+                }
+                let base = Query::new(prefix.clone());
+                let members = vec![
+                    base.clone(), // identical to the prefix (empty residual)
+                    base.and(Predicate::lt(2, 8)),
+                    base.and(Predicate::ge(1, 2)),
+                    base.and(Predicate::lt(0, 0)), // unsatisfiable residual
+                ];
+                for q in &members {
+                    for k in [1usize, 5, 100] {
+                        for need_matched in [false, true] {
+                            let want = index.execute(
+                                q,
+                                k,
+                                &store,
+                                &s,
+                                ranker.as_ref(),
+                                need_matched,
+                                &mut scratch,
+                            );
+                            let got = index.execute_shared(
+                                &shared,
+                                q,
+                                k,
+                                &store,
+                                &s,
+                                ranker.as_ref(),
+                                need_matched,
+                                &mut scratch,
+                            );
+                            assert_eq!(
+                                ids(&got.returned),
+                                ids(&want.returned),
+                                "{rname}: answer diverged for {q} k={k}"
+                            );
+                            assert_eq!(got.overflowed, want.overflowed, "{rname}: {q} k={k}");
+                            if need_matched {
+                                assert_eq!(got.matched, want.matched, "{rname}: {q} k={k}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

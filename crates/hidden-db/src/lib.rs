@@ -25,9 +25,15 @@
 //! range scans into block-skipping bitset passes, per-attribute posting
 //! lists with prefix counts prune selective conjunctions and answer
 //! selectivity in O(1) ([`HiddenDb::selectivity`]), and responses share
-//! `Arc<Tuple>` handles with the store instead of deep-cloning. The naive
-//! reference path is kept as [`ExecStrategy::Scan`] and is proven
-//! byte-identical by a differential property-test suite.
+//! `Arc<Tuple>` handles with the store instead of deep-cloning. Multi-query
+//! plans ([`Session::run_plan`]) additionally go through a shared-prefix
+//! batch executor: sibling queries extending one parent conjunction
+//! ([`PrefixGroup`]) evaluate the shared conjunction once and only apply
+//! their private residuals — with per-query admission, statistics and
+//! access-log accounting preserved exactly. The naive reference path is
+//! kept as [`ExecStrategy::Scan`] and both single-query and batched
+//! execution are proven byte-identical by differential property-test
+//! suites.
 //!
 //! The database is `Send + Sync`: any number of concurrent clients can open
 //! a [`Session`] ([`HiddenDb::session`]) with private [`QueryStats`]
@@ -92,7 +98,7 @@ mod tuple;
 pub use db::{HiddenDb, QueryError, QueryResponse, RateLimit};
 pub use dominance::{DominanceIndex, IncrementalSkyline};
 pub use index::ExecStrategy;
-pub use predicate::{CmpOp, Predicate, Query};
+pub use predicate::{groups_cover, prefix_groups, CmpOp, Predicate, PrefixGroup, Query};
 pub use ranking::{
     is_domination_consistent, LexicographicRanker, RandomSkylineRanker, Ranker, ScoreRanker,
     SingleAttributeRanker, SumRanker, WeightedSumRanker, WorstCaseRanker,

@@ -161,6 +161,20 @@ impl Query {
         self.predicates.iter().all(|p| p.matches(tuple))
     }
 
+    /// Length of the longest common predicate *prefix* of `self` and
+    /// `other` — the syntactic factoring the batch executor groups sibling
+    /// queries by. Predicates are compared literally (attribute, operator,
+    /// constant), which is exactly how tree-shaped discovery algorithms
+    /// build sibling queries: the parent's conjunction followed by one
+    /// per-child refinement.
+    pub fn shared_prefix_len(&self, other: &Query) -> usize {
+        self.predicates
+            .iter()
+            .zip(&other.predicates)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
     /// `true` if the query's predicates can never be satisfied by any value
     /// combination of `schema`'s domains, regardless of the database
     /// contents (e.g. `A < 0`, or `A <= 2 AND A >= 5`).
@@ -193,6 +207,94 @@ impl Query {
         }
         false
     }
+}
+
+/// One consecutive run of a query plan whose members all share the same
+/// predicate prefix — the unit the engine's batch executor evaluates a
+/// shared conjunction once for (see `Session::run_plan_grouped`).
+///
+/// Groups tile a plan: the first `len` queries form the first group, the
+/// next group starts right after, and the `len`s sum to the plan length.
+/// Within a group, the first `prefix_len` predicates of every query are
+/// literally identical (same attribute, operator and constant, in the same
+/// order); the remaining predicates are the query's private *residual*.
+/// `prefix_len == 0` (nothing shared) and `len == 1` (a singleton) are
+/// valid degenerate groups — the executor answers them exactly like
+/// individually issued queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixGroup {
+    /// Number of consecutive plan queries in this group (≥ 1).
+    pub len: usize,
+    /// Number of leading predicates all group members share.
+    pub prefix_len: usize,
+}
+
+/// Factors a query plan into maximal runs of adjacent queries sharing a
+/// predicate prefix — the engine-side fallback when a plan arrives without
+/// sibling annotations from the discovery machine that built it.
+///
+/// The factoring is greedy: a group absorbs the next query while the
+/// running common prefix keeps its length; a query that would *shrink* the
+/// established prefix starts a fresh group (tree frontiers interleave
+/// sibling groups of different parents, and a shrunk prefix would dilute
+/// the shared work of every member already admitted). Queries sharing
+/// nothing with their predecessor become singleton groups.
+pub fn prefix_groups(queries: &[Query]) -> Vec<PrefixGroup> {
+    let mut groups = Vec::new();
+    let Some(first) = queries.first() else {
+        return groups;
+    };
+    let mut start = 0usize;
+    // The group's common prefix length; `None` while the group has a single
+    // member (a singleton shares whatever its first sibling agrees on).
+    let mut prefix: Option<usize> = None;
+    let mut head = first;
+    for (i, q) in queries.iter().enumerate().skip(1) {
+        let common = head.shared_prefix_len(q);
+        let common = prefix.map_or(common, |p| p.min(common));
+        let extends = common >= 1 && prefix.is_none_or(|p| common == p);
+        if extends {
+            prefix = Some(common);
+        } else {
+            groups.push(PrefixGroup {
+                len: i - start,
+                prefix_len: prefix.unwrap_or(0),
+            });
+            start = i;
+            prefix = None;
+            head = q;
+        }
+    }
+    groups.push(PrefixGroup {
+        len: queries.len() - start,
+        prefix_len: prefix.unwrap_or(0),
+    });
+    groups
+}
+
+/// `true` if `groups` is a valid tiling of `queries`: lengths are positive
+/// and sum to the plan length, and every member of a group literally shares
+/// its group's predicate prefix. The batch executor checks annotations from
+/// discovery machines against this before trusting them.
+pub fn groups_cover(queries: &[Query], groups: &[PrefixGroup]) -> bool {
+    let mut pos = 0usize;
+    for g in groups {
+        if g.len == 0 || pos + g.len > queries.len() {
+            return false;
+        }
+        let head = &queries[pos];
+        if head.len() < g.prefix_len {
+            return false;
+        }
+        let prefix = &head.predicates()[..g.prefix_len];
+        for q in &queries[pos..pos + g.len] {
+            if q.len() < g.prefix_len || &q.predicates()[..g.prefix_len] != prefix {
+                return false;
+            }
+        }
+        pos += g.len;
+    }
+    pos == queries.len()
 }
 
 impl fmt::Display for Query {
@@ -265,6 +367,142 @@ mod tests {
         );
         assert!(Query::new(vec![Predicate::gt(1, 9)]).is_unsatisfiable(&schema));
         assert!(!Query::select_all().is_unsatisfiable(&schema));
+    }
+
+    #[test]
+    fn shared_prefix_len_is_literal_and_ordered() {
+        let base = Query::new(vec![Predicate::lt(0, 5), Predicate::ge(1, 2)]);
+        let a = base.and(Predicate::lt(2, 3));
+        let b = base.and(Predicate::lt(3, 7));
+        assert_eq!(a.shared_prefix_len(&b), 2);
+        assert_eq!(base.shared_prefix_len(&a), 2);
+        assert_eq!(a.shared_prefix_len(&a), 3);
+        // Same predicates, different order: no *prefix* sharing.
+        let swapped = Query::new(vec![Predicate::ge(1, 2), Predicate::lt(0, 5)]);
+        assert_eq!(base.shared_prefix_len(&swapped), 0);
+        assert_eq!(Query::select_all().shared_prefix_len(&base), 0);
+    }
+
+    #[test]
+    fn prefix_groups_edge_cases() {
+        // Empty plan.
+        assert!(prefix_groups(&[]).is_empty());
+        // Single query.
+        let q = Query::new(vec![Predicate::lt(0, 5)]);
+        assert_eq!(
+            prefix_groups(std::slice::from_ref(&q)),
+            vec![PrefixGroup {
+                len: 1,
+                prefix_len: 0
+            }]
+        );
+        // Zero shared prefix: all singletons.
+        let plan = vec![
+            Query::new(vec![Predicate::lt(0, 5)]),
+            Query::new(vec![Predicate::lt(1, 5)]),
+            Query::select_all(),
+        ];
+        let groups = prefix_groups(&plan);
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|g| g.len == 1 && g.prefix_len == 0));
+        assert!(groups_cover(&plan, &groups));
+        // All-identical queries: one group whose prefix is the whole query.
+        let plan = vec![q.clone(), q.clone(), q.clone()];
+        assert_eq!(
+            prefix_groups(&plan),
+            vec![PrefixGroup {
+                len: 3,
+                prefix_len: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn prefix_groups_split_sibling_runs() {
+        // Two sibling families (SQ-frontier shape): children of P, then
+        // children of Q, with nothing shared across the boundary.
+        let p = Query::new(vec![Predicate::lt(0, 5)]);
+        let q = Query::new(vec![Predicate::lt(1, 7)]);
+        let plan = vec![
+            p.and(Predicate::lt(1, 3)),
+            p.and(Predicate::lt(2, 4)),
+            p.and(Predicate::lt(3, 2)),
+            q.and(Predicate::lt(0, 1)),
+            q.and(Predicate::lt(2, 2)),
+        ];
+        let groups = prefix_groups(&plan);
+        assert_eq!(
+            groups,
+            vec![
+                PrefixGroup {
+                    len: 3,
+                    prefix_len: 1
+                },
+                PrefixGroup {
+                    len: 2,
+                    prefix_len: 1
+                },
+            ]
+        );
+        assert!(groups_cover(&plan, &groups));
+        // A query that would shrink the established prefix starts fresh.
+        let deep = p.and(Predicate::lt(1, 3));
+        let plan = vec![
+            deep.and(Predicate::lt(2, 1)),
+            deep.and(Predicate::lt(3, 1)),
+            p.and(Predicate::lt(2, 9)),
+        ];
+        let groups = prefix_groups(&plan);
+        assert_eq!(groups[0].len, 2);
+        assert_eq!(groups[0].prefix_len, 2);
+        assert_eq!(groups[1].len, 1);
+        assert!(groups_cover(&plan, &groups));
+    }
+
+    #[test]
+    fn groups_cover_rejects_malformed_tilings() {
+        let p = Query::new(vec![Predicate::lt(0, 5)]);
+        let plan = vec![p.and(Predicate::lt(1, 3)), p.and(Predicate::lt(2, 4))];
+        let ok = PrefixGroup {
+            len: 2,
+            prefix_len: 1,
+        };
+        assert!(groups_cover(&plan, &[ok]));
+        // Wrong total length.
+        assert!(!groups_cover(
+            &plan,
+            &[PrefixGroup {
+                len: 1,
+                prefix_len: 1
+            }]
+        ));
+        // Prefix longer than a member.
+        assert!(!groups_cover(
+            &plan,
+            &[PrefixGroup {
+                len: 2,
+                prefix_len: 3
+            }]
+        ));
+        // Claimed prefix not actually shared.
+        assert!(!groups_cover(
+            &plan,
+            &[PrefixGroup {
+                len: 2,
+                prefix_len: 2
+            }]
+        ));
+        // Zero-length group.
+        assert!(!groups_cover(
+            &plan,
+            &[
+                PrefixGroup {
+                    len: 0,
+                    prefix_len: 0
+                },
+                ok
+            ]
+        ));
     }
 
     #[test]

@@ -63,16 +63,23 @@ impl<'db> Session<'db> {
     pub fn query(&mut self, query: &Query) -> Result<QueryResponse, QueryError> {
         let out = self.db.query_with_scratch(query, &mut self.scratch);
         if let Ok(response) = &out {
-            self.stats.queries += 1;
-            if response.overflowed {
-                self.stats.overflows += 1;
-            }
-            if response.is_empty() {
-                self.stats.empty_answers += 1;
-            }
-            self.stats.tuples_returned += response.len() as u64;
+            self.note(response);
         }
         out
+    }
+
+    /// Folds one answered query into this session's private statistics —
+    /// the same update whether the query ran individually or inside a
+    /// batched plan.
+    fn note(&mut self, response: &QueryResponse) {
+        self.stats.queries += 1;
+        if response.overflowed {
+            self.stats.overflows += 1;
+        }
+        if response.is_empty() {
+            self.stats.empty_answers += 1;
+        }
+        self.stats.tuples_returned += response.len() as u64;
     }
 
     /// Issues `queries` in order through this session, returning one result
@@ -81,7 +88,7 @@ impl<'db> Session<'db> {
         queries.iter().map(|q| self.query(q)).collect()
     }
 
-    /// Pipelines a query plan: issues `queries` in order, stopping at the
+    /// Pipelines a query plan: answers `queries` in order, stopping at the
     /// first rejection, and returns the successfully answered prefix
     /// together with the error that cut it short (if any).
     ///
@@ -89,18 +96,40 @@ impl<'db> Session<'db> {
     /// machine's multi-query plan goes through one `run_plan` call, so a
     /// rate-limit rejection mid-plan never *attempts* the remaining queries
     /// (rejections are stateless, but attempting them would waste work) and
-    /// the caller gets the exact answered prefix to resume its machine
-    /// with. Statistics, rate limiting and the access log behave exactly as
-    /// if each answered query had been issued individually.
+    /// the caller gets the exact answered prefix to resume its machine with.
+    ///
+    /// Execution is **batched, not per-query**: the whole plan goes to the
+    /// engine's shared-prefix executor, which factors sibling queries into
+    /// [`crate::PrefixGroup`]s (tree frontiers share their parent's
+    /// conjunction) and evaluates each shared conjunction once, answering
+    /// every member from the shared candidates plus its private residual
+    /// predicates. Responses, statistics, rate limiting and the access log
+    /// are byte-identical to issuing each query individually — the
+    /// admission/accounting hooks run per query in plan order, and a
+    /// differential battery pins the equivalence for both execution
+    /// strategies.
     pub fn run_plan(&mut self, queries: &[Query]) -> (Vec<QueryResponse>, Option<QueryError>) {
-        let mut responses = Vec::with_capacity(queries.len());
-        for q in queries {
-            match self.query(q) {
-                Ok(resp) => responses.push(resp),
-                Err(e) => return (responses, Some(e)),
-            }
+        self.run_plan_grouped(queries, None)
+    }
+
+    /// [`Session::run_plan`] with the plan's sibling-group annotation
+    /// supplied by the caller (discovery machines know their frontier's
+    /// parent structure, so the engine need not rediscover it). `groups`
+    /// must tile `queries` with literally shared predicate prefixes; an
+    /// inconsistent annotation is ignored in favor of engine-side
+    /// factoring, and `None` always means "factor engine-side".
+    pub fn run_plan_grouped(
+        &mut self,
+        queries: &[Query],
+        groups: Option<&[crate::PrefixGroup]>,
+    ) -> (Vec<QueryResponse>, Option<QueryError>) {
+        let (responses, err) = self
+            .db
+            .run_plan_with_scratch(queries, groups, &mut self.scratch);
+        for response in &responses {
+            self.note(response);
         }
-        (responses, None)
+        (responses, err)
     }
 
     /// This session's private query accounting (the database's global
@@ -236,6 +265,140 @@ mod tests {
         let (responses, err) = s2.run_plan(&[Query::select_all()]);
         assert_eq!(responses.len(), 1);
         assert!(err.is_none());
+    }
+
+    /// Sequential reference for plan execution: a fresh db answering the
+    /// same plan one query at a time through `Session::query`.
+    fn sequential_reference(
+        db: &HiddenDb,
+        queries: &[Query],
+    ) -> (Vec<Vec<u64>>, Option<QueryError>, crate::QueryStats) {
+        let mut s = db.session();
+        let mut ids = Vec::new();
+        let mut err = None;
+        for q in queries {
+            match s.query(q) {
+                Ok(resp) => ids.push(resp.iter().map(|t| t.id).collect()),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        (ids, err, s.stats())
+    }
+
+    /// Batched `run_plan` must equal the sequential loop on responses,
+    /// session stats, global stats and the access log, across the grouping
+    /// edge cases: empty plan, singleton, zero shared prefix, all-identical
+    /// queries, deep sibling groups.
+    #[test]
+    fn run_plan_matches_sequential_on_grouping_edge_cases() {
+        let parent = Query::new(vec![Predicate::lt(0, 6), Predicate::ge(1, 2)]);
+        let plans: Vec<Vec<Query>> = vec![
+            vec![],                    // empty plan
+            vec![Query::select_all()], // single query
+            vec![parent.clone()],      // single constrained query
+            vec![
+                // zero shared prefix: distinct first predicates
+                Query::new(vec![Predicate::lt(0, 3)]),
+                Query::new(vec![Predicate::lt(1, 3)]),
+                Query::select_all(),
+            ],
+            vec![parent.clone(); 4], // all-identical queries
+            vec![
+                // sibling group under a shared parent conjunction
+                parent.and(Predicate::lt(0, 3)),
+                parent.and(Predicate::lt(1, 8)),
+                parent.and(Predicate::eq(0, 4)),
+                // followed by an unrelated singleton
+                Query::new(vec![Predicate::gt(1, 7)]),
+            ],
+        ];
+        for plan in &plans {
+            let batched_db = db(3);
+            batched_db.enable_access_log();
+            let mut batched = batched_db.session();
+            let (responses, err) = batched.run_plan(plan);
+            let reference_db = db(3);
+            reference_db.enable_access_log();
+            let (want_ids, want_err, want_stats) = sequential_reference(&reference_db, plan);
+            let got_ids: Vec<Vec<u64>> = responses
+                .iter()
+                .map(|r| r.iter().map(|t| t.id).collect())
+                .collect();
+            assert_eq!(got_ids, want_ids, "responses diverged for plan {plan:?}");
+            assert_eq!(err, want_err);
+            assert_eq!(batched.stats(), want_stats);
+            assert_eq!(batched_db.stats(), reference_db.stats());
+            let (got_log, want_log) = (batched_db.access_log(), reference_db.access_log());
+            assert_eq!(got_log.len(), want_log.len());
+            for (a, b) in got_log.entries().iter().zip(want_log.entries()) {
+                assert_eq!((a.seq, &a.query, a.matched), (b.seq, &b.query, b.matched));
+            }
+        }
+    }
+
+    #[test]
+    fn rate_limit_exhaustion_mid_group_preserves_answered_prefix() {
+        let parent = Query::new(vec![Predicate::lt(0, 6)]);
+        // One sibling group of 4; the limit cuts it after 2 members.
+        let plan: Vec<Query> = (0..4).map(|i| parent.and(Predicate::ge(1, i))).collect();
+        let limited = db(3).with_rate_limit(RateLimit::new(2));
+        let mut s = limited.session();
+        let (responses, err) = s.run_plan(&plan);
+        assert_eq!(responses.len(), 2);
+        assert_eq!(err, Some(QueryError::RateLimitExceeded { limit: 2 }));
+        assert_eq!(s.stats().queries, 2);
+        assert_eq!(limited.queries_issued(), 2);
+        // The answered prefix is identical to an unlimited sequential run
+        // of the same two queries.
+        let reference = db(3);
+        let (want_ids, _, _) = sequential_reference(&reference, &plan[..2]);
+        let got_ids: Vec<Vec<u64>> = responses
+            .iter()
+            .map(|r| r.iter().map(|t| t.id).collect())
+            .collect();
+        assert_eq!(got_ids, want_ids);
+    }
+
+    #[test]
+    fn run_plan_grouped_accepts_hints_and_survives_bad_ones() {
+        let parent = Query::new(vec![Predicate::lt(0, 6)]);
+        let plan: Vec<Query> = (0..3).map(|i| parent.and(Predicate::ge(1, i))).collect();
+        let want: Vec<Vec<u64>> = {
+            let reference = db(3);
+            sequential_reference(&reference, &plan).0
+        };
+        // A correct machine-side annotation.
+        let hinted = db(3);
+        let mut s = hinted.session();
+        let groups = [crate::PrefixGroup {
+            len: 3,
+            prefix_len: 1,
+        }];
+        let (responses, err) = s.run_plan_grouped(&plan, Some(&groups));
+        assert!(err.is_none());
+        let got: Vec<Vec<u64>> = responses
+            .iter()
+            .map(|r| r.iter().map(|t| t.id).collect())
+            .collect();
+        assert_eq!(got, want);
+        // An inconsistent annotation is ignored in favor of engine-side
+        // factoring — execution is identical either way.
+        let bad = db(3);
+        let mut s = bad.session();
+        let groups = [crate::PrefixGroup {
+            len: 3,
+            prefix_len: 2, // not actually shared
+        }];
+        let (responses, err) = s.run_plan_grouped(&plan, Some(&groups));
+        assert!(err.is_none());
+        let got: Vec<Vec<u64>> = responses
+            .iter()
+            .map(|r| r.iter().map(|t| t.id).collect())
+            .collect();
+        assert_eq!(got, want);
     }
 
     #[test]

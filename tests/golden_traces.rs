@@ -1,0 +1,214 @@
+//! Golden-trace regression tests: exact query costs, anytime traces and
+//! access-log fingerprints for fig14/fig15-style SQ runs and the
+//! point-crawl odometer, pinned against hardcoded values.
+//!
+//! The discovery machines and the engine's shared-prefix batch executor are
+//! required to be *byte-identical* to sequential per-query execution; these
+//! goldens make that contract regression-testable end to end — an executor
+//! or machine change that silently altered algorithm behavior (query order,
+//! costs, traces, responses) shifts a fingerprint and fails here. Each test
+//! additionally re-runs its workload with batching forced off
+//! (`max_batch = 1`, the pre-batching round-trip pattern) and asserts the
+//! two runs identical, so a golden can never drift *because of* batching.
+
+use skyweb::core::{
+    Discoverer, DiscoveryDriver, DiscoveryResult, DriverConfig, PointSpaceCrawl, RqDbSky, SqDbSky,
+};
+use skyweb::datagen::flights_dot;
+use skyweb::hidden_db::{HiddenDb, InterfaceType, SchemaBuilder, SumRanker, Tuple};
+
+/// FNV-1a over a byte stream: the fingerprint primitive for traces and
+/// access logs (stable across platforms; no dependency on hash maps).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// Fingerprint of a discovery result: cost, completion, sorted skyline ids,
+/// retrieved size and the full anytime trace.
+fn result_fingerprint(r: &DiscoveryResult) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(r.query_cost);
+    h.write_u64(u64::from(r.complete));
+    let mut ids: Vec<u64> = r.skyline.iter().map(|t| t.id).collect();
+    ids.sort_unstable();
+    for id in ids {
+        h.write_u64(id);
+    }
+    h.write_u64(r.retrieved.len() as u64);
+    for p in &r.trace {
+        h.write_u64(p.queries);
+        h.write_u64(p.skyline_found as u64);
+    }
+    h.0
+}
+
+/// Fingerprint of the access log: every entry's sequence number, SQL
+/// rendering, matching count, returned count and overflow flag — the exact
+/// query trace the database served, in order.
+fn log_fingerprint(db: &HiddenDb) -> u64 {
+    let mut h = Fnv::new();
+    for e in db.access_log().entries() {
+        h.write_u64(e.seq);
+        h.write(e.query.as_bytes());
+        h.write_u64(e.matched as u64);
+        h.write_u64(e.returned as u64);
+        h.write_u64(u64::from(e.overflowed));
+    }
+    h.0
+}
+
+/// Runs `alg` twice on identical databases built by `mk_db` — batched
+/// (default driver config, sibling-annotated plans through the shared-prefix
+/// executor) and forced sequential (`max_batch = 1`) — asserts the runs
+/// identical, and returns the batched run's fingerprints.
+fn run_and_crosscheck(
+    alg: &dyn Discoverer,
+    mk_db: impl Fn() -> HiddenDb,
+) -> (DiscoveryResult, u64, u64) {
+    let batched_db = mk_db();
+    batched_db.enable_access_log();
+    let machine = alg.machine(&batched_db).expect("supported interface");
+    let batched = DiscoveryDriver::new(&batched_db, machine, DriverConfig::new())
+        .run()
+        .expect("batched run");
+
+    let seq_db = mk_db();
+    seq_db.enable_access_log();
+    let machine = alg.machine(&seq_db).expect("supported interface");
+    let sequential = DiscoveryDriver::new(&seq_db, machine, DriverConfig::new().with_max_batch(1))
+        .run()
+        .expect("sequential run");
+
+    assert_eq!(
+        result_fingerprint(&batched),
+        result_fingerprint(&sequential),
+        "batched and forced-sequential runs diverged"
+    );
+    assert_eq!(
+        log_fingerprint(&batched_db),
+        log_fingerprint(&seq_db),
+        "batched and forced-sequential access logs diverged"
+    );
+    let (rfp, lfp) = (result_fingerprint(&batched), log_fingerprint(&batched_db));
+    (batched, rfp, lfp)
+}
+
+/// A fig14-style workload: DOT-like flights, all nine primary ranking
+/// attributes as one-ended (SQ) interfaces, k = 10 — the SQ BFS tree whose
+/// frontier the batch executor pipelines.
+fn fig14_style_db(n: usize) -> HiddenDb {
+    let base = flights_dot::generate(&flights_dot::FlightsDotConfig { n, seed: 2015 });
+    let names: Vec<&str> = flights_dot::PRIMARY_RANKING.to_vec();
+    let mut ds = base.project(&names);
+    for name in &names {
+        ds = ds.with_interface(name, InterfaceType::Sq);
+    }
+    ds.into_db_sum(10)
+}
+
+/// A fig15-style workload: the m-sweep shape (here m = 4) over two-ended
+/// (RQ) interfaces, exercised by both SQ- and RQ-DB-SKY.
+fn fig15_style_db(n: usize) -> HiddenDb {
+    let base = flights_dot::generate(&flights_dot::FlightsDotConfig { n, seed: 2015 });
+    let names: Vec<&str> = flights_dot::PRIMARY_RANKING[..4].to_vec();
+    let mut ds = base.project(&names);
+    for name in &names {
+        ds = ds.with_interface(name, InterfaceType::Rq);
+    }
+    ds.into_db_sum(10)
+}
+
+#[test]
+fn golden_fig14_style_sq_run() {
+    let (result, result_fp, log_fp) = run_and_crosscheck(&SqDbSky::new(), || fig14_style_db(2_000));
+    assert!(result.complete);
+    assert_eq!(result.query_cost, 397, "query cost drifted");
+    assert_eq!(result.skyline.len(), 40, "skyline size drifted");
+    assert_eq!(result_fp, 0x104f7d8f829628b6, "result fingerprint drifted");
+    assert_eq!(log_fp, 0x08f6222effcf2aee, "access-log fingerprint drifted");
+}
+
+#[test]
+fn golden_fig15_style_sq_and_rq_runs() {
+    let (sq, sq_fp, sq_log_fp) = run_and_crosscheck(&SqDbSky::new(), || fig15_style_db(2_000));
+    assert!(sq.complete);
+    assert_eq!(sq.query_cost, 41, "SQ query cost drifted");
+    assert_eq!(sq_fp, 0x6c1951198a71976f, "SQ result fingerprint drifted");
+    assert_eq!(
+        sq_log_fp, 0x28608e066bc3c748,
+        "SQ access-log fingerprint drifted"
+    );
+
+    let (rq, rq_fp, rq_log_fp) = run_and_crosscheck(&RqDbSky::new(), || fig15_style_db(2_000));
+    assert!(rq.complete);
+    assert_eq!(rq.query_cost, 21, "RQ query cost drifted");
+    assert_eq!(rq_fp, 0x30bb8ecb2ce00ef7, "RQ result fingerprint drifted");
+    assert_eq!(
+        rq_log_fp, 0xce854707af497c01,
+        "RQ access-log fingerprint drifted"
+    );
+    assert_eq!(
+        sq.skyline.len(),
+        rq.skyline.len(),
+        "SQ and RQ must certify the same skyline"
+    );
+}
+
+#[test]
+fn golden_point_crawl_odometer() {
+    let mk_db = || {
+        let schema = SchemaBuilder::new()
+            .ranking("x", 4, InterfaceType::Pq)
+            .ranking("y", 3, InterfaceType::Pq)
+            .ranking("z", 3, InterfaceType::Pq)
+            .build();
+        let tuples: Vec<Tuple> = (0..30u64)
+            .map(|i| {
+                Tuple::new(
+                    i,
+                    vec![(i % 4) as u32, ((i / 2) % 3) as u32, ((i * 5) % 3) as u32],
+                )
+            })
+            .collect();
+        HiddenDb::new(schema, tuples, Box::new(SumRanker), 2)
+    };
+    let (result, result_fp, log_fp) = run_and_crosscheck(&PointSpaceCrawl::new(), mk_db);
+    assert!(result.complete);
+    // The odometer enumerates the whole 4·3·3 grid, one query per cell.
+    assert_eq!(result.query_cost, 36);
+    assert_eq!(result_fp, 0xd7ba5e8a445f1990, "result fingerprint drifted");
+    assert_eq!(log_fp, 0x3c13b903845f3919, "access-log fingerprint drifted");
+    // The first odometer queries, literally: last attribute fastest.
+    let db = mk_db();
+    db.enable_access_log();
+    let machine = PointSpaceCrawl::new().machine(&db).unwrap();
+    DiscoveryDriver::new(&db, machine, DriverConfig::new())
+        .run()
+        .unwrap();
+    let log = db.access_log();
+    assert_eq!(
+        log.entries()[0].query,
+        "SELECT * FROM D WHERE A0 = 0 AND A1 = 0 AND A2 = 0"
+    );
+    assert_eq!(
+        log.entries()[1].query,
+        "SELECT * FROM D WHERE A0 = 0 AND A1 = 0 AND A2 = 1"
+    );
+    assert_eq!(
+        log.entries()[3].query,
+        "SELECT * FROM D WHERE A0 = 0 AND A1 = 1 AND A2 = 0"
+    );
+}

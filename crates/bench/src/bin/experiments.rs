@@ -4,6 +4,7 @@
 //! ```text
 //! experiments [fig04|fig06|...|fig24|all]... [--quick|--full] [--parallel] [--jobs N]
 //!             [--budget N] [--max-wall-ms N] [--max-batch N]
+//!             [--fault-rate F] [--fault-seed N]
 //! experiments --list
 //! ```
 //!
@@ -23,6 +24,14 @@
 //! forces the per-query reference schedule, whose stdout must be
 //! byte-identical to the default run through the engine's shared-prefix
 //! batch executor (CI diffs exactly that).
+//!
+//! `--fault-rate F` routes every query of every discovery run through the
+//! deterministic fault-injection oracle at transient-fault rate `F`
+//! (`--fault-seed N` picks the decision stream), retried under the default
+//! policy. Faulted attempts never reach the database and retries converge
+//! to the fault-free schedule, so stdout stays byte-identical to the
+//! fault-free run — and between serial and parallel runs at any fault rate
+//! (CI diffs exactly that).
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -32,7 +41,8 @@ use skyweb_bench::{figures, pool, set_run_limits, FigureResult, RunLimits, Scale
 fn usage() {
     eprintln!(
         "usage: experiments [--list] [--quick|--full] [--parallel] [--jobs N] \
-         [--budget N] [--max-wall-ms N] [--max-batch N] [all | figNN ...]"
+         [--budget N] [--max-wall-ms N] [--max-batch N] [--fault-rate F] [--fault-seed N] \
+         [all | figNN ...]"
     );
     eprintln!("known figures: {}", figures::ALL_FIGURES.join(", "));
 }
@@ -92,6 +102,23 @@ fn main() -> ExitCode {
             };
             limits.max_batch = Some(n);
             i += 1;
+        } else if arg == "--fault-rate" {
+            let parsed = args.get(i + 1).and_then(|v| v.parse::<f64>().ok());
+            let Some(rate) = parsed.filter(|r| (0.0..=1.0).contains(r)) else {
+                eprintln!("--fault-rate needs a value in 0.0..=1.0");
+                usage();
+                return ExitCode::FAILURE;
+            };
+            limits.fault_rate = Some(rate);
+            i += 1;
+        } else if arg == "--fault-seed" {
+            let Some(n) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
+                eprintln!("--fault-seed needs a non-negative integer value");
+                usage();
+                return ExitCode::FAILURE;
+            };
+            limits.fault_seed = n;
+            i += 1;
         } else if let Some(s) = Scale::from_flag(arg) {
             scale = s;
         } else if arg == "all" || figures::ALL_FIGURES.contains(&arg.as_str()) {
@@ -111,7 +138,7 @@ fn main() -> ExitCode {
     }
     if limits.any() {
         if let Err(e) = set_run_limits(limits) {
-            eprintln!("--budget/--max-wall-ms/--max-batch: {e}");
+            eprintln!("--budget/--max-wall-ms/--max-batch/--fault-rate: {e}");
             return ExitCode::FAILURE;
         }
     }
@@ -158,6 +185,12 @@ fn main() -> ExitCode {
             .map_or("none".into(), |w| w.as_millis().to_string()),
         limits.max_batch.map_or("default".into(), |b| b.to_string()),
     );
+    if let Some(rate) = limits.fault_rate {
+        eprintln!(
+            "# fault injection: rate {rate}, seed {} (default retry policy)",
+            limits.fault_seed
+        );
+    }
     let started = Instant::now();
     if parallel {
         // Figures and their internal series all draw from one bounded

@@ -14,6 +14,13 @@
 //! counts must equal the shared database's global counter exactly — no
 //! lost or cross-attributed queries). The conservation check is a hard
 //! assertion: the report aborts if it fails.
+//!
+//! A resilience section then re-runs the fleet with transient faults
+//! injected at 1%, 5% and 20% under the default retry policy: retried
+//! faults must be invisible in the results (identical p99
+//! queries-to-first-skyline, identical totals, conserved accounting), and
+//! the report quantifies the retry overhead (retries performed, simulated
+//! backoff) each fault rate costs.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -21,10 +28,11 @@ use std::time::Instant;
 
 use skyweb_bench::report::peak_rss_kb;
 use skyweb_core::{
-    BaselineCrawl, Discoverer, DiscoveryService, DriverConfig, MqDbSky, RqDbSky, SqDbSky, TenantId,
+    BaselineCrawl, Discoverer, DiscoveryService, DriverConfig, MqDbSky, RetryPolicy, RqDbSky,
+    SqDbSky, TenantId,
 };
 use skyweb_datagen::{flights_dot, Dataset};
-use skyweb_hidden_db::{HiddenDb, InterfaceType};
+use skyweb_hidden_db::{FaultPlan, HiddenDb, InterfaceType};
 
 const ALGS: [&str; 4] = ["SQ", "RQ", "MQ", "BASELINE"];
 
@@ -65,6 +73,78 @@ fn submit_fleet<'db>(
             (alg, id)
         })
         .collect()
+}
+
+/// One fault-rate scenario: the full fleet under injected transient
+/// faults, retried by the default policy.
+struct FaultScenario {
+    rate: f64,
+    p99_first: u64,
+    total_queries: u64,
+    retries: u64,
+    backoff_ms: u64,
+}
+
+/// Runs the fleet with faults injected at `rate` and the default retry
+/// policy; asserts convergence (every tenant completes, accounting is
+/// conserved, no faulted attempt reached the shared database).
+fn run_fault_scenario(
+    ds: &Dataset,
+    k: usize,
+    tenants: usize,
+    max_batch: usize,
+    rate: f64,
+) -> FaultScenario {
+    let db = ds.clone().into_db_sum(k);
+    let mut service = DiscoveryService::new(&db);
+    let config = DriverConfig::new()
+        .with_max_batch(max_batch)
+        .with_retry(Some(RetryPolicy::new()));
+    let fleet: Vec<(&str, TenantId)> = (0..tenants)
+        .map(|i| {
+            let alg = ALGS[i % ALGS.len()];
+            // Per-tenant seeds decorrelate the fault streams.
+            let faults = FaultPlan::new(0xFA_u64 * 1_000 + i as u64, rate);
+            let id = service.submit_with_faults(
+                format!("{alg}-{i}"),
+                machine_for(alg, &db),
+                config,
+                faults,
+            );
+            (alg, id)
+        })
+        .collect();
+    service.run_to_completion();
+
+    let mut first_skyline: Vec<u64> = Vec::with_capacity(fleet.len());
+    let mut total_queries = 0u64;
+    let mut retries = 0u64;
+    let mut backoff_ms = 0u64;
+    for &(_, id) in &fleet {
+        let stats = service.stats(id);
+        assert!(
+            stats.finished && stats.complete,
+            "default policy must outlast fault rate {rate}"
+        );
+        first_skyline.push(stats.first_skyline_at.expect("non-empty db"));
+        total_queries += stats.queries;
+        retries += stats.retries;
+        backoff_ms += stats.backoff_ms;
+    }
+    // Faulted attempts never reach the shared database.
+    assert_eq!(
+        total_queries,
+        db.queries_issued(),
+        "conservation under faults"
+    );
+    first_skyline.sort_unstable();
+    FaultScenario {
+        rate,
+        p99_first: percentile(&first_skyline, 0.99),
+        total_queries,
+        retries,
+        backoff_ms,
+    }
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -156,7 +236,7 @@ fn main() -> ExitCode {
     let throughput = sum_tenant as f64 / wall_s;
 
     // ---------- Parallel run (scoped threads over tenant chunks) ----------
-    let db_par = ds.into_db_sum(k);
+    let db_par = ds.clone().into_db_sum(k);
     let mut par_service = DiscoveryService::new(&db_par);
     let par_fleet = submit_fleet(&mut par_service, &db_par, tenants, max_batch);
     let start = Instant::now();
@@ -170,6 +250,23 @@ fn main() -> ExitCode {
     assert_eq!(par_sum, sum_tenant, "parallel tenants are deterministic");
     let par_throughput = par_sum as f64 / par_wall_s;
 
+    // ---------- Resilience: the fleet under injected transient faults ----------
+    eprintln!("# resilience scenarios: fault rates 1% / 5% / 20%, default retry policy");
+    let scenarios: Vec<FaultScenario> = [0.01, 0.05, 0.20]
+        .iter()
+        .map(|&rate| run_fault_scenario(&ds, k, tenants, max_batch, rate))
+        .collect();
+    for s in &scenarios {
+        // Retried faults are invisible in the results: same totals, same
+        // first-skyline latencies as the fault-free fleet.
+        assert_eq!(
+            s.total_queries, sum_tenant,
+            "fault rate {} changed results",
+            s.rate
+        );
+        assert_eq!(s.p99_first, p99_first, "fault rate {} shifted p99", s.rate);
+    }
+
     println!();
     println!("tenants                      {tenants}");
     println!("rounds                       {rounds}");
@@ -179,6 +276,16 @@ fn main() -> ExitCode {
     println!("first-skyline queries        p50 {p50_first}, p99 {p99_first}");
     for (alg, spread) in &spread_by_alg {
         println!("fairness spread @{probe_rounds} rounds   {alg:<9} {spread} queries");
+    }
+    for s in &scenarios {
+        println!(
+            "fault rate {:>4.0}%             p99 first-skyline {} (unchanged), {} retries, \
+             {} ms simulated backoff",
+            s.rate * 100.0,
+            s.p99_first,
+            s.retries,
+            s.backoff_ms
+        );
     }
 
     let mut json = String::new();
@@ -212,6 +319,21 @@ fn main() -> ExitCode {
         );
     }
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"fault_scenarios\": [");
+    for (i, s) in scenarios.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"fault_rate\": {}, \"first_skyline_queries_p99\": {}, \
+             \"total_queries\": {}, \"retries\": {}, \"simulated_backoff_ms\": {}}}{}",
+            s.rate,
+            s.p99_first,
+            s.total_queries,
+            s.retries,
+            s.backoff_ms,
+            if i + 1 == scenarios.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let rss = peak_rss_kb().unwrap_or(0);
     let _ = writeln!(json, "  \"peak_rss_kb\": {rss},");
     let _ = writeln!(
@@ -227,7 +349,12 @@ fn main() -> ExitCode {
          fairness spread is the max-min per-tenant query gap within an algorithm group \
          after {probe_rounds} rounds (0 = perfectly fair); parallel run drives disjoint \
          tenant chunks on scoped threads — on the 1-CPU dev container its wall clock \
-         matches the cooperative run, the multi-core CI runner shows the real scaling\""
+         matches the cooperative run, the multi-core CI runner shows the real scaling; \
+         fault_scenarios re-run the fleet with transient faults injected at the given \
+         rate (seeded per tenant) under the default retry policy — faulted attempts \
+         never reach the shared db, retried faults are invisible in the results \
+         (asserted: identical totals and p99 first-skyline), and the retries / \
+         simulated_backoff_ms columns quantify what the resilience cost\""
     );
     let _ = writeln!(json, "}}");
 

@@ -1,8 +1,10 @@
 //! Shared workload-construction helpers for the figure harnesses.
 
-use skyweb_core::{Discoverer, DiscoveryDriver, DiscoveryResult, DriverConfig, TracePoint};
+use skyweb_core::{
+    Discoverer, DiscoveryDriver, DiscoveryResult, DriverConfig, RetryPolicy, TracePoint,
+};
 use skyweb_datagen::{flights_dot, Dataset};
-use skyweb_hidden_db::{HiddenDb, InterfaceType};
+use skyweb_hidden_db::{FaultPlan, HiddenDb, InterfaceType};
 use skyweb_skyline::sfs_skyline;
 
 use crate::{limits, Scale};
@@ -31,11 +33,14 @@ pub(crate) fn flights_all_rq(base: &Dataset) -> Dataset {
 /// (which would indicate a bug in the harness wiring, not in the algorithm).
 ///
 /// When harness-wide limits are installed (`--budget` / `--max-wall-ms` /
-/// `--max-batch`), the run goes through the sans-io machine + driver path
-/// under those limits (the budget combines with any algorithm-level budget
-/// by taking the minimum; `--max-batch 1` forces the per-query reference
-/// schedule instead of engine-side plan batching); without limits this is
-/// exactly the `Discoverer::discover` adapter.
+/// `--max-batch` / `--fault-rate`), the run goes through the sans-io
+/// machine + driver path under those limits (the budget combines with any
+/// algorithm-level budget by taking the minimum; `--max-batch 1` forces
+/// the per-query reference schedule instead of engine-side plan batching;
+/// `--fault-rate` routes every query through the deterministic fault
+/// oracle with the default retry policy — retries converge, so figure
+/// output is unchanged); without limits this is exactly the
+/// `Discoverer::discover` adapter.
 pub(crate) fn run(alg: &dyn Discoverer, db: &HiddenDb) -> DiscoveryResult {
     let limits = limits::run_limits();
     if !limits.any() {
@@ -56,7 +61,14 @@ pub(crate) fn run(alg: &dyn Discoverer, db: &HiddenDb) -> DiscoveryResult {
     if let Some(max_batch) = limits.max_batch {
         config = config.with_max_batch(max_batch);
     }
-    DiscoveryDriver::new(db, machine, config)
+    let faults = match limits.fault_rate {
+        Some(rate) => {
+            config = config.with_retry(Some(RetryPolicy::new().with_seed(limits.fault_seed)));
+            FaultPlan::new(limits.fault_seed, rate)
+        }
+        None => FaultPlan::none(),
+    };
+    DiscoveryDriver::with_faults(db, machine, config, faults)
         .run()
         .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()))
 }

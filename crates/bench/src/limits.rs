@@ -25,12 +25,25 @@ pub struct RunLimits {
     /// batched engine path against (results are identical by contract, so
     /// figure stdout must be byte-identical too).
     pub max_batch: Option<usize>,
+    /// Transient-fault injection rate (`--fault-rate F`, `0.0..=1.0`).
+    /// Every discovery run executes through the deterministic fault oracle
+    /// at this rate with the default retry policy. Faulted attempts never
+    /// reach the database and retries converge to the fault-free schedule,
+    /// so figure stdout stays byte-identical — fault-free, serial and
+    /// parallel (CI diffs exactly that).
+    pub fault_rate: Option<f64>,
+    /// Seed of the fault decision stream and the retry jitter
+    /// (`--fault-seed N`, default 0). Only meaningful with `fault_rate`.
+    pub fault_seed: u64,
 }
 
 impl RunLimits {
     /// `true` if any limit is set.
     pub fn any(&self) -> bool {
-        self.budget.is_some() || self.max_wall.is_some() || self.max_batch.is_some()
+        self.budget.is_some()
+            || self.max_wall.is_some()
+            || self.max_batch.is_some()
+            || self.fault_rate.is_some()
     }
 }
 

@@ -21,6 +21,7 @@ use skyweb_hidden_db::{
     HiddenDb, InterfaceType, Predicate, PrefixGroup, Query, QueryResponse, Value,
 };
 
+use crate::codec::{self, CodecError, Reader};
 use crate::machine::{DiscoveryMachine, Machine, MachineControl};
 use crate::pq::next_combo;
 use crate::{Discoverer, DiscoveryError, KnowledgeBase};
@@ -168,6 +169,54 @@ impl RegionCrawl {
             self.stack.push(lower);
         }
     }
+
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_predicates(out, &self.base);
+        codec::put_usize(out, self.split_attrs.len());
+        for &(attr, domain) in &self.split_attrs {
+            codec::put_usize(out, attr);
+            codec::put_u32(out, domain);
+        }
+        codec::put_usize(out, self.k);
+        codec::put_usize(out, self.stack.len());
+        for region in &self.stack {
+            codec::put_usize(out, region.len());
+            for &(lo, hi) in region {
+                codec::put_i64(out, lo);
+                codec::put_i64(out, hi);
+            }
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let base = codec::read_predicates(r)?;
+        let n = r.usize()?;
+        let mut split_attrs = Vec::new();
+        for _ in 0..n {
+            let attr = r.usize()?;
+            let domain = r.u32()?;
+            split_attrs.push((attr, domain));
+        }
+        let k = r.usize()?;
+        let n = r.usize()?;
+        let mut stack = Vec::new();
+        for _ in 0..n {
+            let len = r.usize()?;
+            let mut region = Vec::new();
+            for _ in 0..len {
+                let lo = r.i64()?;
+                let hi = r.i64()?;
+                region.push((lo, hi));
+            }
+            stack.push(region);
+        }
+        Ok(RegionCrawl {
+            base,
+            split_attrs,
+            k,
+            stack,
+        })
+    }
 }
 
 /// Control state of [`CrawlMachine`]: the recursive region splitting of the
@@ -175,6 +224,14 @@ impl RegionCrawl {
 #[derive(Debug, Clone)]
 pub struct CrawlControl {
     crawl: RegionCrawl,
+}
+
+impl CrawlControl {
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(CrawlControl {
+            crawl: RegionCrawl::decode(r)?,
+        })
+    }
 }
 
 impl MachineControl for CrawlControl {
@@ -192,6 +249,14 @@ impl MachineControl for CrawlControl {
 
     fn on_response(&mut self, kb: &mut KnowledgeBase, issued: u64, resp: &QueryResponse) {
         self.crawl.on_response(kb, issued, resp);
+    }
+
+    fn codec_tag(&self) -> Option<u8> {
+        Some(codec::TAG_CRAWL)
+    }
+
+    fn encode_control(&self, out: &mut Vec<u8>) {
+        self.crawl.encode(out);
     }
 }
 
@@ -265,6 +330,21 @@ pub struct PointCrawlControl {
 }
 
 impl PointCrawlControl {
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let attrs = codec::read_usize_vec(r)?;
+        let domains = codec::read_u32_vec(r)?;
+        let combo = if r.bool()? {
+            Some(codec::read_u32_vec(r)?)
+        } else {
+            None
+        };
+        Ok(PointCrawlControl {
+            attrs,
+            domains,
+            combo,
+        })
+    }
+
     fn combo_query(&self, combo: &[Value]) -> Query {
         Query::new(
             self.attrs
@@ -340,6 +420,19 @@ impl MachineControl for PointCrawlControl {
             .expect("a response arrived after the odometer wrapped");
         if !next_combo(combo, &self.domains) {
             self.combo = None;
+        }
+    }
+
+    fn codec_tag(&self) -> Option<u8> {
+        Some(codec::TAG_POINT_CRAWL)
+    }
+
+    fn encode_control(&self, out: &mut Vec<u8>) {
+        codec::put_usize_slice(out, &self.attrs);
+        codec::put_u32_slice(out, &self.domains);
+        codec::put_bool(out, self.combo.is_some());
+        if let Some(combo) = &self.combo {
+            codec::put_u32_slice(out, combo);
         }
     }
 }

@@ -1,0 +1,740 @@
+//! The versioned binary codec behind crash/restore failover: hand-rolled
+//! encode/decode for [`Checkpoint`](crate::Checkpoint)s, [`QueryPlan`]s and
+//! response batches, with corruption detection.
+//!
+//! # Envelope format
+//!
+//! Every sealed buffer is one *envelope*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"SWCK"
+//! 4       2     format version, u16 LE (currently 1)
+//! 6       1     payload kind (1 = checkpoint, 2 = plan, 3 = responses)
+//! 7       8     payload length, u64 LE
+//! 15      n     payload
+//! 15+n    8     FNV-1a 64 checksum of the payload, u64 LE
+//! ```
+//!
+//! Decoding validates every layer in order — magic, version, kind, exact
+//! length, checksum — before a single payload byte is interpreted, so a
+//! truncated file, a foreign file, a future-version file and a bit-flipped
+//! file are all rejected with a specific [`CodecError`] instead of being
+//! mis-restored. The payload itself is a flat little-endian structure walk
+//! (no self-describing framing): integers are fixed-width LE, collections
+//! are length-prefixed with a `u64`, options carry a one-byte presence
+//! flag, and enums carry a one-byte tag.
+//!
+//! # Checkpoint payloads
+//!
+//! A checkpoint payload is `machine tag (u8)` + the machine chassis
+//! (issued-query counter, halted flag, first-skyline-at, the complete
+//! [`KnowledgeBase`]) + the control state of the concrete algorithm. All
+//! eight discovery machines are supported:
+//!
+//! | tag | machine |
+//! |-----|---------|
+//! | 1 | SQ-DB-SKY |
+//! | 2 | RQ-DB-SKY |
+//! | 3 | PQ-DB-SKY |
+//! | 4 | PQ-2D-SKY |
+//! | 5 | MQ-DB-SKY |
+//! | 6 | RQ-SKYBAND |
+//! | 7 | BASELINE (region crawl) |
+//! | 8 | POINT-CRAWL |
+//!
+//! The knowledge base is stored as its retrieval-ordered tuple list plus
+//! the anytime trace; decoding **replays** the ingest, which rebuilds the
+//! posting lists and the incremental dominance index in exactly the state
+//! they had at pause time (ingest is deterministic in retrieval order).
+//! Hash-set valued control state (MQ leaf memos, sky-band roots) is written
+//! in sorted order, so re-encoding a decoded checkpoint reproduces the
+//! original bytes — the property the round-trip test suites pin.
+
+use std::fmt;
+use std::sync::Arc;
+
+use skyweb_hidden_db::{
+    AttributeRole, AttributeSpec, CmpOp, InterfaceType, Predicate, PrefixGroup, Query,
+    QueryResponse, Schema, Tuple,
+};
+
+use crate::machine::{DiscoveryMachine, Machine, QueryPlan};
+use crate::KnowledgeBase;
+
+/// Magic bytes every sealed buffer starts with.
+pub const MAGIC: [u8; 4] = *b"SWCK";
+
+/// The format version this build writes and the only one it reads.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Envelope kind of a checkpoint payload.
+pub const KIND_CHECKPOINT: u8 = 1;
+/// Envelope kind of a query-plan payload.
+pub const KIND_PLAN: u8 = 2;
+/// Envelope kind of a response-batch payload.
+pub const KIND_RESPONSES: u8 = 3;
+
+pub(crate) const TAG_SQ: u8 = 1;
+pub(crate) const TAG_RQ: u8 = 2;
+pub(crate) const TAG_PQ: u8 = 3;
+pub(crate) const TAG_PQ2D: u8 = 4;
+pub(crate) const TAG_MQ: u8 = 5;
+pub(crate) const TAG_SKYBAND: u8 = 6;
+pub(crate) const TAG_CRAWL: u8 = 7;
+pub(crate) const TAG_POINT_CRAWL: u8 = 8;
+
+const HEADER_LEN: usize = 15;
+const CHECKSUM_LEN: usize = 8;
+
+/// Why a byte buffer was rejected by the codec. A corrupted or foreign
+/// buffer always surfaces as an error — it is never silently mis-restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ends before the structure it claims to carry.
+    Truncated,
+    /// The buffer does not start with the [`MAGIC`] bytes.
+    BadMagic,
+    /// The buffer was written by an unknown format version.
+    UnsupportedVersion {
+        /// The version found in the envelope header.
+        found: u16,
+    },
+    /// The envelope carries a different payload kind than requested.
+    WrongKind {
+        /// The kind the caller asked to decode.
+        expected: u8,
+        /// The kind found in the envelope header.
+        found: u8,
+    },
+    /// The payload checksum does not match: the bytes were corrupted.
+    ChecksumMismatch,
+    /// An enum tag in the payload has no defined meaning.
+    BadTag {
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// The payload decoded cleanly but left unconsumed bytes behind.
+    TrailingBytes,
+    /// The machine does not support the binary checkpoint codec (a custom
+    /// [`MachineControl`](crate::MachineControl) without a codec tag).
+    Unsupported,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "buffer is truncated"),
+            CodecError::BadMagic => write!(f, "bad magic: not a skyweb codec buffer"),
+            CodecError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (supported: {FORMAT_VERSION})"
+                )
+            }
+            CodecError::WrongKind { expected, found } => {
+                write!(f, "wrong payload kind {found} (expected {expected})")
+            }
+            CodecError::ChecksumMismatch => write!(f, "payload checksum mismatch: corrupted bytes"),
+            CodecError::BadTag { tag } => write!(f, "undefined enum tag {tag} in payload"),
+            CodecError::TrailingBytes => write!(f, "payload left trailing bytes unconsumed"),
+            CodecError::Unsupported => {
+                write!(
+                    f,
+                    "this machine does not support the binary checkpoint codec"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a 64-bit hash of `bytes` — the envelope's corruption detector.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Wraps `payload` in the magic/version/kind/length/checksum envelope.
+pub(crate) fn seal(kind: u8, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let checksum = fnv1a64(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Validates the envelope of `bytes` and returns the payload slice.
+pub(crate) fn open(bytes: &[u8], expected_kind: u8) -> Result<&[u8], CodecError> {
+    if bytes.len() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion { found: version });
+    }
+    let kind = bytes[6];
+    if kind != expected_kind {
+        return Err(CodecError::WrongKind {
+            expected: expected_kind,
+            found: kind,
+        });
+    }
+    let len = u64::from_le_bytes(bytes[7..15].try_into().expect("8 header bytes"));
+    let Ok(len) = usize::try_from(len) else {
+        return Err(CodecError::Truncated);
+    };
+    let Some(total) = HEADER_LEN
+        .checked_add(len)
+        .and_then(|n| n.checked_add(CHECKSUM_LEN))
+    else {
+        return Err(CodecError::Truncated);
+    };
+    if bytes.len() < total {
+        return Err(CodecError::Truncated);
+    }
+    if bytes.len() > total {
+        return Err(CodecError::TrailingBytes);
+    }
+    let payload = &bytes[HEADER_LEN..HEADER_LEN + len];
+    let stored = u64::from_le_bytes(bytes[total - CHECKSUM_LEN..].try_into().expect("8 bytes"));
+    if fnv1a64(payload) != stored {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+/// A cursor over a payload slice; every read checks bounds and surfaces
+/// [`CodecError::Truncated`] instead of panicking.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn usize(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.u64()?).map_err(|_| CodecError::Truncated)
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(CodecError::BadTag { tag }),
+        }
+    }
+
+    pub(crate) fn opt_u64(&mut self) -> Result<Option<u64>, CodecError> {
+        Ok(if self.bool()? {
+            Some(self.u64()?)
+        } else {
+            None
+        })
+    }
+
+    pub(crate) fn string(&mut self) -> Result<String, CodecError> {
+        let len = self.usize()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadTag { tag: 0 })
+    }
+
+    /// Asserts that the payload was consumed exactly.
+    pub(crate) fn finish(&self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes)
+        }
+    }
+}
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+pub(crate) fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+pub(crate) fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    put_bool(out, v.is_some());
+    if let Some(v) = v {
+        put_u64(out, v);
+    }
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_usize(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn put_usize_slice(out: &mut Vec<u8>, v: &[usize]) {
+    put_usize(out, v.len());
+    for &x in v {
+        put_usize(out, x);
+    }
+}
+
+pub(crate) fn read_usize_vec(r: &mut Reader<'_>) -> Result<Vec<usize>, CodecError> {
+    let len = r.usize()?;
+    let mut out = Vec::new();
+    for _ in 0..len {
+        out.push(r.usize()?);
+    }
+    Ok(out)
+}
+
+pub(crate) fn put_u32_slice(out: &mut Vec<u8>, v: &[u32]) {
+    put_usize(out, v.len());
+    for &x in v {
+        put_u32(out, x);
+    }
+}
+
+pub(crate) fn read_u32_vec(r: &mut Reader<'_>) -> Result<Vec<u32>, CodecError> {
+    let len = r.usize()?;
+    let mut out = Vec::new();
+    for _ in 0..len {
+        out.push(r.u32()?);
+    }
+    Ok(out)
+}
+
+fn cmp_op_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Lt => 0,
+        CmpOp::Le => 1,
+        CmpOp::Eq => 2,
+        CmpOp::Ge => 3,
+        CmpOp::Gt => 4,
+    }
+}
+
+fn cmp_op_from_tag(tag: u8) -> Result<CmpOp, CodecError> {
+    Ok(match tag {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Eq,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Gt,
+        tag => return Err(CodecError::BadTag { tag }),
+    })
+}
+
+pub(crate) fn put_predicate(out: &mut Vec<u8>, p: &Predicate) {
+    put_usize(out, p.attr);
+    put_u8(out, cmp_op_tag(p.op));
+    put_u32(out, p.value);
+}
+
+pub(crate) fn read_predicate(r: &mut Reader<'_>) -> Result<Predicate, CodecError> {
+    let attr = r.usize()?;
+    let op = cmp_op_from_tag(r.u8()?)?;
+    let value = r.u32()?;
+    Ok(Predicate::new(attr, op, value))
+}
+
+pub(crate) fn put_predicates(out: &mut Vec<u8>, preds: &[Predicate]) {
+    put_usize(out, preds.len());
+    for p in preds {
+        put_predicate(out, p);
+    }
+}
+
+pub(crate) fn read_predicates(r: &mut Reader<'_>) -> Result<Vec<Predicate>, CodecError> {
+    let len = r.usize()?;
+    let mut out = Vec::new();
+    for _ in 0..len {
+        out.push(read_predicate(r)?);
+    }
+    Ok(out)
+}
+
+pub(crate) fn put_query(out: &mut Vec<u8>, q: &Query) {
+    put_predicates(out, q.predicates());
+}
+
+pub(crate) fn read_query(r: &mut Reader<'_>) -> Result<Query, CodecError> {
+    Ok(Query::new(read_predicates(r)?))
+}
+
+pub(crate) fn put_tuple(out: &mut Vec<u8>, t: &Tuple) {
+    put_u64(out, t.id);
+    put_u32_slice(out, &t.values);
+}
+
+pub(crate) fn read_tuple(r: &mut Reader<'_>) -> Result<Arc<Tuple>, CodecError> {
+    let id = r.u64()?;
+    let values = read_u32_vec(r)?;
+    Ok(Arc::new(Tuple::new(id, values)))
+}
+
+fn interface_tag(i: InterfaceType) -> u8 {
+    match i {
+        InterfaceType::Sq => 0,
+        InterfaceType::Rq => 1,
+        InterfaceType::Pq => 2,
+    }
+}
+
+fn interface_from_tag(tag: u8) -> Result<InterfaceType, CodecError> {
+    Ok(match tag {
+        0 => InterfaceType::Sq,
+        1 => InterfaceType::Rq,
+        2 => InterfaceType::Pq,
+        tag => return Err(CodecError::BadTag { tag }),
+    })
+}
+
+pub(crate) fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    put_usize(out, schema.len());
+    for spec in schema.attrs() {
+        put_str(out, &spec.name);
+        put_u32(out, spec.domain_size);
+        put_u8(out, interface_tag(spec.interface));
+        put_u8(
+            out,
+            match spec.role {
+                AttributeRole::Ranking => 0,
+                AttributeRole::Filtering => 1,
+            },
+        );
+    }
+}
+
+pub(crate) fn read_schema(r: &mut Reader<'_>) -> Result<Schema, CodecError> {
+    let len = r.usize()?;
+    let mut attrs = Vec::new();
+    for _ in 0..len {
+        let name = r.string()?;
+        let domain_size = r.u32()?;
+        let interface = interface_from_tag(r.u8()?)?;
+        let role = match r.u8()? {
+            0 => AttributeRole::Ranking,
+            1 => AttributeRole::Filtering,
+            tag => return Err(CodecError::BadTag { tag }),
+        };
+        attrs.push(AttributeSpec {
+            name,
+            domain_size,
+            interface,
+            role,
+        });
+    }
+    Ok(Schema::new(attrs))
+}
+
+/// Serializes a [`QueryPlan`] (queries plus the optional sibling-group
+/// annotation) into a sealed envelope.
+pub fn encode_plan(plan: &QueryPlan) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_usize(&mut payload, plan.len());
+    for q in plan.queries() {
+        put_query(&mut payload, q);
+    }
+    match plan.groups() {
+        None => put_bool(&mut payload, false),
+        Some(groups) => {
+            put_bool(&mut payload, true);
+            put_usize(&mut payload, groups.len());
+            for g in groups {
+                put_usize(&mut payload, g.len);
+                put_usize(&mut payload, g.prefix_len);
+            }
+        }
+    }
+    seal(KIND_PLAN, payload)
+}
+
+/// Restores a [`QueryPlan`] from a sealed envelope produced by
+/// [`encode_plan`].
+pub fn decode_plan(bytes: &[u8]) -> Result<QueryPlan, CodecError> {
+    let payload = open(bytes, KIND_PLAN)?;
+    let mut r = Reader::new(payload);
+    let n = r.usize()?;
+    let mut queries = Vec::new();
+    for _ in 0..n {
+        queries.push(read_query(&mut r)?);
+    }
+    let plan = if r.bool()? {
+        let n = r.usize()?;
+        let mut groups = Vec::new();
+        for _ in 0..n {
+            let len = r.usize()?;
+            let prefix_len = r.usize()?;
+            groups.push(PrefixGroup { len, prefix_len });
+        }
+        QueryPlan::with_groups(queries, groups)
+    } else {
+        QueryPlan::new(queries)
+    };
+    r.finish()?;
+    Ok(plan)
+}
+
+/// Serializes a batch of [`QueryResponse`]s into a sealed envelope.
+pub fn encode_responses(responses: &[QueryResponse]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_usize(&mut payload, responses.len());
+    for resp in responses {
+        put_usize(&mut payload, resp.tuples.len());
+        for t in &resp.tuples {
+            put_tuple(&mut payload, t);
+        }
+        put_bool(&mut payload, resp.overflowed);
+    }
+    seal(KIND_RESPONSES, payload)
+}
+
+/// Restores a batch of [`QueryResponse`]s from a sealed envelope produced
+/// by [`encode_responses`]. The tuples come back as fresh `Arc` handles
+/// (they no longer alias a database store).
+pub fn decode_responses(bytes: &[u8]) -> Result<Vec<QueryResponse>, CodecError> {
+    let payload = open(bytes, KIND_RESPONSES)?;
+    let mut r = Reader::new(payload);
+    let n = r.usize()?;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let t = r.usize()?;
+        let mut tuples = Vec::new();
+        for _ in 0..t {
+            tuples.push(read_tuple(&mut r)?);
+        }
+        let overflowed = r.bool()?;
+        out.push(QueryResponse { tuples, overflowed });
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+/// Decodes a checkpoint payload (tag + chassis + control) into a boxed
+/// machine; the dispatch point over the eight machine tags.
+pub(crate) fn decode_machine(r: &mut Reader<'_>) -> Result<Box<dyn DiscoveryMachine>, CodecError> {
+    let tag = r.u8()?;
+    let issued = r.u64()?;
+    let halted = r.bool()?;
+    let first_skyline_at = r.opt_u64()?;
+    let kb = KnowledgeBase::decode(r)?;
+    Ok(match tag {
+        TAG_SQ => Box::new(Machine::from_restored(
+            kb,
+            issued,
+            halted,
+            first_skyline_at,
+            crate::sq::SqControl::decode(r)?,
+        )),
+        TAG_RQ => Box::new(Machine::from_restored(
+            kb,
+            issued,
+            halted,
+            first_skyline_at,
+            crate::rq::RqControl::decode(r)?,
+        )),
+        TAG_PQ => Box::new(Machine::from_restored(
+            kb,
+            issued,
+            halted,
+            first_skyline_at,
+            crate::pq::PqControl::decode(r)?,
+        )),
+        TAG_PQ2D => Box::new(Machine::from_restored(
+            kb,
+            issued,
+            halted,
+            first_skyline_at,
+            crate::pq2d::Pq2dControl::decode(r)?,
+        )),
+        TAG_MQ => Box::new(Machine::from_restored(
+            kb,
+            issued,
+            halted,
+            first_skyline_at,
+            crate::mq::MqControl::decode(r)?,
+        )),
+        TAG_SKYBAND => Box::new(Machine::from_restored(
+            kb,
+            issued,
+            halted,
+            first_skyline_at,
+            crate::skyband::SkybandControl::decode(r)?,
+        )),
+        TAG_CRAWL => Box::new(Machine::from_restored(
+            kb,
+            issued,
+            halted,
+            first_skyline_at,
+            crate::baseline::CrawlControl::decode(r)?,
+        )),
+        TAG_POINT_CRAWL => Box::new(Machine::from_restored(
+            kb,
+            issued,
+            halted,
+            first_skyline_at,
+            crate::baseline::PointCrawlControl::decode(r)?,
+        )),
+        tag => return Err(CodecError::BadTag { tag }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyweb_hidden_db::Predicate;
+
+    #[test]
+    fn envelope_rejects_every_corruption_class() {
+        let sealed = seal(KIND_PLAN, vec![1, 2, 3, 4]);
+        assert!(open(&sealed, KIND_PLAN).is_ok());
+        // Truncations at every length.
+        for cut in 0..sealed.len() {
+            assert!(open(&sealed[..cut], KIND_PLAN).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage.
+        let mut longer = sealed.clone();
+        longer.push(0);
+        assert_eq!(open(&longer, KIND_PLAN), Err(CodecError::TrailingBytes));
+        // Wrong kind requested.
+        assert!(matches!(
+            open(&sealed, KIND_CHECKPOINT),
+            Err(CodecError::WrongKind { .. })
+        ));
+        // Every single-bit flip is caught.
+        for byte in 0..sealed.len() {
+            for bit in 0..8 {
+                let mut bad = sealed.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    open(&bad, KIND_PLAN).is_err(),
+                    "flip of byte {byte} bit {bit} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_round_trips_with_and_without_groups() {
+        let queries = vec![
+            Query::select_all(),
+            Query::new(vec![Predicate::lt(0, 5), Predicate::ge(1, 2)]),
+        ];
+        let plain = QueryPlan::new(queries.clone());
+        assert_eq!(decode_plan(&encode_plan(&plain)).unwrap(), plain);
+        let grouped = QueryPlan::with_groups(
+            queries,
+            vec![PrefixGroup {
+                len: 2,
+                prefix_len: 0,
+            }],
+        );
+        assert_eq!(decode_plan(&encode_plan(&grouped)).unwrap(), grouped);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            QueryResponse {
+                tuples: vec![
+                    Arc::new(Tuple::new(3, vec![1, 2])),
+                    Arc::new(Tuple::new(9, vec![0, 7])),
+                ],
+                overflowed: true,
+            },
+            QueryResponse {
+                tuples: Vec::new(),
+                overflowed: false,
+            },
+        ];
+        let decoded = decode_responses(&encode_responses(&responses)).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert!(decoded[0].overflowed);
+        assert_eq!(decoded[0].tuples[0].id, 3);
+        assert_eq!(decoded[0].tuples[1].values, vec![0, 7]);
+        assert!(decoded[1].tuples.is_empty());
+    }
+
+    #[test]
+    fn schema_round_trips() {
+        let schema = skyweb_hidden_db::SchemaBuilder::new()
+            .ranking("price", 100, InterfaceType::Rq)
+            .ranking("stops", 3, InterfaceType::Pq)
+            .filtering("carrier", 14)
+            .build();
+        let mut buf = Vec::new();
+        put_schema(&mut buf, &schema);
+        let mut r = Reader::new(&buf);
+        let decoded = read_schema(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded.attr(0).name, "price");
+        assert_eq!(decoded.attr(1).interface, InterfaceType::Pq);
+        assert_eq!(decoded.attr(2).role, AttributeRole::Filtering);
+        assert_eq!(decoded.ranking_attrs(), &[0, 1]);
+    }
+}

@@ -33,6 +33,7 @@ use std::sync::Arc;
 use skyweb_hidden_db::{AttrId, CmpOp, Query, Tuple, TupleId, Value};
 use skyweb_skyline::incremental::IncrementalSkyline;
 
+use crate::codec;
 use crate::discovery::{DiscoveryResult, TracePoint};
 
 /// Per-attribute bounds a conjunctive query folds into: the closed interval
@@ -287,6 +288,54 @@ impl KnowledgeBase {
             }
         }
         Some(bounds)
+    }
+
+    /// Appends the knowledge base to `out` in the binary checkpoint format:
+    /// the dominance attributes, the band, the retrieval-ordered tuple list
+    /// and the anytime trace. The posting lists and the incremental index
+    /// are *not* stored — [`KnowledgeBase::decode`] rebuilds them by
+    /// replaying the ingest, which is deterministic in retrieval order.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_usize_slice(out, &self.attrs);
+        codec::put_usize(out, self.index.band());
+        codec::put_usize(out, self.retrieved.len());
+        for t in &self.retrieved {
+            codec::put_tuple(out, t);
+        }
+        codec::put_usize(out, self.trace.len());
+        for p in &self.trace {
+            codec::put_u64(out, p.queries);
+            codec::put_usize(out, p.skyline_found);
+        }
+    }
+
+    /// Restores a knowledge base from the binary checkpoint format by
+    /// replaying the ingest of the stored tuple list, then reattaching the
+    /// recorded trace. Because ingest deduplicates by id and builds the
+    /// posting lists and incremental index in retrieval order, the restored
+    /// state is identical to the encoded one (re-encoding reproduces the
+    /// same bytes).
+    pub(crate) fn decode(r: &mut codec::Reader<'_>) -> Result<Self, codec::CodecError> {
+        let attrs = codec::read_usize_vec(r)?;
+        let band = r.usize()?;
+        let mut kb = KnowledgeBase::with_band(attrs, band);
+        let n = r.usize()?;
+        for _ in 0..n {
+            let t = codec::read_tuple(r)?;
+            kb.ingest(std::slice::from_ref(&t));
+        }
+        let n = r.usize()?;
+        let mut trace = Vec::new();
+        for _ in 0..n {
+            let queries = r.u64()?;
+            let skyline_found = r.usize()?;
+            trace.push(TracePoint {
+                queries,
+                skyline_found,
+            });
+        }
+        kb.trace = trace;
+        Ok(kb)
     }
 
     /// Consumes the knowledge base into a [`DiscoveryResult`], sharing

@@ -60,6 +60,7 @@
 
 pub mod analysis;
 mod baseline;
+pub mod codec;
 mod discovery;
 mod driver;
 mod knowledge;
@@ -73,12 +74,16 @@ mod service;
 mod skyband;
 mod sq;
 
+pub use codec::CodecError;
+
 pub use baseline::{
     BaselineCrawl, CrawlControl, CrawlMachine, PointCrawlControl, PointCrawlMachine,
     PointSpaceCrawl,
 };
 pub use discovery::{Discoverer, DiscoveryError, DiscoveryResult, TracePoint};
-pub use driver::{Checkpoint, DiscoveryDriver, DriverConfig, StepOutcome, DEFAULT_MAX_BATCH};
+pub use driver::{
+    Checkpoint, DiscoveryDriver, DriverConfig, RetryPolicy, StepOutcome, DEFAULT_MAX_BATCH,
+};
 pub use knowledge::KnowledgeBase;
 pub use machine::{
     AnytimeSnapshot, DiscoveryMachine, Machine, MachineControl, QueryPlan, RunProgress,

@@ -218,6 +218,17 @@ pub trait DiscoveryMachine: fmt::Debug + Send {
     /// [`DiscoveryResult`]. Call at most once, after the run finished or
     /// was halted; the machine is left empty afterwards.
     fn take_result(&mut self) -> DiscoveryResult;
+
+    /// Appends the machine's complete state in the binary checkpoint
+    /// format (see [`crate::codec`]) to `out` and returns `true`, or
+    /// returns `false` without touching `out` when the machine does not
+    /// support the codec. The default declines; the [`Machine`] chassis
+    /// encodes itself whenever its control reports a
+    /// [`MachineControl::codec_tag`].
+    fn encode_state(&self, out: &mut Vec<u8>) -> bool {
+        let _ = out;
+        false
+    }
 }
 
 impl<M: DiscoveryMachine + ?Sized> DiscoveryMachine for Box<M> {
@@ -247,6 +258,9 @@ impl<M: DiscoveryMachine + ?Sized> DiscoveryMachine for Box<M> {
     }
     fn take_result(&mut self) -> DiscoveryResult {
         (**self).take_result()
+    }
+    fn encode_state(&self, out: &mut Vec<u8>) -> bool {
+        (**self).encode_state(out)
     }
 }
 
@@ -285,6 +299,21 @@ pub trait MachineControl: fmt::Debug + Send {
     /// ingests the tuples into `kb`, records the trace point at `issued`
     /// answered queries, and advances the traversal.
     fn on_response(&mut self, kb: &mut KnowledgeBase, issued: u64, resp: &QueryResponse);
+
+    /// The control's machine tag in the binary checkpoint format (see
+    /// [`crate::codec`]), or `None` when the control cannot be serialized.
+    /// The default declines, so custom controls are simply not
+    /// checkpointable-to-bytes rather than broken.
+    fn codec_tag(&self) -> Option<u8> {
+        None
+    }
+
+    /// Appends the control's codec payload to `out`. Must round-trip with
+    /// the decoder registered for [`codec_tag`](MachineControl::codec_tag);
+    /// the default (paired with a `None` tag) writes nothing.
+    fn encode_control(&self, out: &mut Vec<u8>) {
+        let _ = out;
+    }
 }
 
 /// Shared chassis of all discovery machines: owns the [`KnowledgeBase`],
@@ -333,6 +362,24 @@ impl<C: MachineControl> Machine<C> {
     pub(crate) fn finish_parts(&mut self, complete: bool) -> (KnowledgeBase, u64, bool) {
         let kb = std::mem::replace(&mut self.kb, KnowledgeBase::new(Vec::new()));
         (kb, self.issued, complete)
+    }
+
+    /// Reassembles a machine from decoded checkpoint state, restoring every
+    /// chassis field verbatim (used by [`crate::codec`]).
+    pub(crate) fn from_restored(
+        kb: KnowledgeBase,
+        issued: u64,
+        halted: bool,
+        first_skyline_at: Option<u64>,
+        control: C,
+    ) -> Self {
+        Machine {
+            kb,
+            issued,
+            halted,
+            first_skyline_at,
+            control,
+        }
     }
 }
 
@@ -402,6 +449,19 @@ impl<C: MachineControl> DiscoveryMachine for Machine<C> {
         let complete = self.control.done() && !self.halted;
         let (kb, issued, complete) = self.finish_parts(complete);
         kb.finish(issued, complete)
+    }
+
+    fn encode_state(&self, out: &mut Vec<u8>) -> bool {
+        let Some(tag) = self.control.codec_tag() else {
+            return false;
+        };
+        crate::codec::put_u8(out, tag);
+        crate::codec::put_u64(out, self.issued);
+        crate::codec::put_bool(out, self.halted);
+        crate::codec::put_opt_u64(out, self.first_skyline_at);
+        self.kb.encode(out);
+        self.control.encode_control(out);
+        true
     }
 }
 

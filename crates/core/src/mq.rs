@@ -29,6 +29,7 @@ use std::collections::HashSet;
 use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, QueryResponse, Value};
 
 use crate::baseline::RegionCrawl;
+use crate::codec::{self, CodecError, Reader};
 use crate::machine::{DiscoveryMachine, Machine, MachineControl};
 use crate::rq::RqTreeWalk;
 use crate::sq::SqTreeWalk;
@@ -134,6 +135,55 @@ impl MqFrame {
             MqFrame::TreeLeaf(walk) => walk.done(),
         }
     }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            MqFrame::Values {
+                base,
+                attr,
+                rest,
+                next_v,
+                bound,
+            } => {
+                codec::put_u8(out, 0);
+                codec::put_query(out, base);
+                codec::put_usize(out, *attr);
+                codec::put_usize_slice(out, rest);
+                codec::put_u32(out, *next_v);
+                codec::put_u32(out, *bound);
+            }
+            MqFrame::CrawlLeaf(crawl) => {
+                codec::put_u8(out, 1);
+                crawl.encode(out);
+            }
+            MqFrame::TreeLeaf(walk) => {
+                codec::put_u8(out, 2);
+                walk.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => {
+                let base = codec::read_query(r)?;
+                let attr = r.usize()?;
+                let rest = codec::read_usize_vec(r)?;
+                let next_v = r.u32()?;
+                let bound = r.u32()?;
+                MqFrame::Values {
+                    base,
+                    attr,
+                    rest,
+                    next_v,
+                    bound,
+                }
+            }
+            1 => MqFrame::CrawlLeaf(RegionCrawl::decode(r)?),
+            2 => MqFrame::TreeLeaf(SqTreeWalk::decode(r)?),
+            tag => return Err(CodecError::BadTag { tag }),
+        })
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -233,6 +283,50 @@ impl MqControl {
                 self.state = MqState::Done;
             }
         }
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let k = r.usize()?;
+        let range_attrs = codec::read_usize_vec(r)?;
+        let point_attrs = codec::read_usize_vec(r)?;
+        let n = r.usize()?;
+        let mut two_ended = Vec::new();
+        for _ in 0..n {
+            let attr = r.usize()?;
+            let domain = r.u32()?;
+            two_ended.push((attr, domain));
+        }
+        let domain = codec::read_u32_vec(r)?;
+        let state = match r.u8()? {
+            0 => MqState::RangeRq(RqTreeWalk::decode(r)?),
+            1 => MqState::RangeSq(SqTreeWalk::decode(r)?),
+            2 => {
+                let n = r.usize()?;
+                let mut frames = Vec::new();
+                for _ in 0..n {
+                    frames.push(MqFrame::decode(r)?);
+                }
+                let n = r.usize()?;
+                let mut leaves_done = HashSet::new();
+                for _ in 0..n {
+                    leaves_done.insert(codec::read_predicates(r)?);
+                }
+                MqState::Point {
+                    frames,
+                    leaves_done,
+                }
+            }
+            3 => MqState::Done,
+            tag => return Err(CodecError::BadTag { tag }),
+        };
+        Ok(MqControl {
+            k,
+            range_attrs,
+            point_attrs,
+            two_ended,
+            domain,
+            state,
+        })
     }
 }
 
@@ -368,6 +462,56 @@ impl MachineControl for MqControl {
                 self.normalize();
             }
             MqState::Done => unreachable!("no response expected after MQ finished"),
+        }
+    }
+
+    fn codec_tag(&self) -> Option<u8> {
+        Some(codec::TAG_MQ)
+    }
+
+    fn encode_control(&self, out: &mut Vec<u8>) {
+        codec::put_usize(out, self.k);
+        codec::put_usize_slice(out, &self.range_attrs);
+        codec::put_usize_slice(out, &self.point_attrs);
+        codec::put_usize(out, self.two_ended.len());
+        for &(attr, domain) in &self.two_ended {
+            codec::put_usize(out, attr);
+            codec::put_u32(out, domain);
+        }
+        codec::put_u32_slice(out, &self.domain);
+        match &self.state {
+            MqState::RangeRq(walk) => {
+                codec::put_u8(out, 0);
+                walk.encode(out);
+            }
+            MqState::RangeSq(walk) => {
+                codec::put_u8(out, 1);
+                walk.encode(out);
+            }
+            MqState::Point {
+                frames,
+                leaves_done,
+            } => {
+                codec::put_u8(out, 2);
+                codec::put_usize(out, frames.len());
+                for f in frames {
+                    f.encode(out);
+                }
+                // A hash set has no stable iteration order; write the leaf
+                // keys sorted so re-encoding a decoded checkpoint
+                // reproduces the original bytes.
+                let mut keys: Vec<&Vec<Predicate>> = leaves_done.iter().collect();
+                keys.sort_by(|a, b| {
+                    let ka = a.iter().map(|p| (p.attr, p.value, p.op as u8));
+                    let kb = b.iter().map(|p| (p.attr, p.value, p.op as u8));
+                    ka.cmp(kb)
+                });
+                codec::put_usize(out, keys.len());
+                for key in keys {
+                    codec::put_predicates(out, key);
+                }
+            }
+            MqState::Done => codec::put_u8(out, 3),
         }
     }
 }

@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 use skyweb_hidden_db::{HiddenDb, Predicate, Query, QueryResponse, Tuple, Value};
 
+use crate::codec::{self, CodecError, Reader};
 use crate::machine::{DiscoveryMachine, Machine, MachineControl};
 use crate::pq2dsub::{build_plane_rects, PlanePoint, PlaneSweep};
 use crate::{Discoverer, DiscoveryError, KnowledgeBase};
@@ -224,6 +225,42 @@ impl PqControl {
         }
         self.begin_planes(kb, combo);
     }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let a1 = r.usize()?;
+        let a2 = r.usize()?;
+        let dx = r.u32()?;
+        let dy = r.u32()?;
+        let others = codec::read_usize_vec(r)?;
+        let other_domains = codec::read_u32_vec(r)?;
+        let k = r.usize()?;
+        let select_star_top = if r.bool()? {
+            Some(codec::read_tuple(r)?)
+        } else {
+            None
+        };
+        let state = match r.u8()? {
+            0 => PqState::Init,
+            1 => {
+                let combo = codec::read_u32_vec(r)?;
+                let sweep = PlaneSweep::decode(r)?;
+                PqState::Planes { combo, sweep }
+            }
+            2 => PqState::Done,
+            tag => return Err(CodecError::BadTag { tag }),
+        };
+        Ok(PqControl {
+            a1,
+            a2,
+            dx,
+            dy,
+            others,
+            other_domains,
+            k,
+            select_star_top,
+            state,
+        })
+    }
 }
 
 impl MachineControl for PqControl {
@@ -266,6 +303,33 @@ impl MachineControl for PqControl {
                 }
             }
             PqState::Done => unreachable!("no response expected after the enumeration finished"),
+        }
+    }
+
+    fn codec_tag(&self) -> Option<u8> {
+        Some(codec::TAG_PQ)
+    }
+
+    fn encode_control(&self, out: &mut Vec<u8>) {
+        codec::put_usize(out, self.a1);
+        codec::put_usize(out, self.a2);
+        codec::put_u32(out, self.dx);
+        codec::put_u32(out, self.dy);
+        codec::put_usize_slice(out, &self.others);
+        codec::put_u32_slice(out, &self.other_domains);
+        codec::put_usize(out, self.k);
+        codec::put_bool(out, self.select_star_top.is_some());
+        if let Some(top) = &self.select_star_top {
+            codec::put_tuple(out, top);
+        }
+        match &self.state {
+            PqState::Init => codec::put_u8(out, 0),
+            PqState::Planes { combo, sweep } => {
+                codec::put_u8(out, 1);
+                codec::put_u32_slice(out, combo);
+                sweep.encode(out);
+            }
+            PqState::Done => codec::put_u8(out, 2),
         }
     }
 }

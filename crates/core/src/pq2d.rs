@@ -13,6 +13,7 @@
 
 use skyweb_hidden_db::{HiddenDb, InterfaceType, Query, QueryResponse, Value};
 
+use crate::codec::{self, CodecError, Reader};
 use crate::machine::{DiscoveryMachine, Machine, MachineControl};
 use crate::pq2dsub::{build_plane_rects, PlanePoint, PlaneSweep};
 use crate::{Discoverer, DiscoveryError, KnowledgeBase};
@@ -104,6 +105,30 @@ pub struct Pq2dControl {
     state: Pq2dState,
 }
 
+impl Pq2dControl {
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let a1 = r.usize()?;
+        let a2 = r.usize()?;
+        let dx = r.u32()?;
+        let dy = r.u32()?;
+        let k = r.usize()?;
+        let state = match r.u8()? {
+            0 => Pq2dState::Init,
+            1 => Pq2dState::Sweep(PlaneSweep::decode(r)?),
+            2 => Pq2dState::Done,
+            tag => return Err(CodecError::BadTag { tag }),
+        };
+        Ok(Pq2dControl {
+            a1,
+            a2,
+            dx,
+            dy,
+            k,
+            state,
+        })
+    }
+}
+
 impl MachineControl for Pq2dControl {
     fn name(&self) -> &str {
         "PQ-2D-SKY"
@@ -151,6 +176,26 @@ impl MachineControl for Pq2dControl {
                 }
             }
             Pq2dState::Done => unreachable!("no response expected after the sweep finished"),
+        }
+    }
+
+    fn codec_tag(&self) -> Option<u8> {
+        Some(codec::TAG_PQ2D)
+    }
+
+    fn encode_control(&self, out: &mut Vec<u8>) {
+        codec::put_usize(out, self.a1);
+        codec::put_usize(out, self.a2);
+        codec::put_u32(out, self.dx);
+        codec::put_u32(out, self.dy);
+        codec::put_usize(out, self.k);
+        match &self.state {
+            Pq2dState::Init => codec::put_u8(out, 0),
+            Pq2dState::Sweep(sweep) => {
+                codec::put_u8(out, 1);
+                sweep.encode(out);
+            }
+            Pq2dState::Done => codec::put_u8(out, 2),
         }
     }
 }

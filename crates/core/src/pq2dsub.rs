@@ -21,6 +21,7 @@
 
 use skyweb_hidden_db::{AttrId, Predicate, Query, QueryResponse, Value};
 
+use crate::codec::{self, CodecError, Reader};
 use crate::KnowledgeBase;
 
 /// An inclusive candidate rectangle `[xl, xr] × [yb, yt]` in a 2D plane.
@@ -40,6 +41,22 @@ impl Rect {
     /// `true` if the rectangle still contains at least one cell.
     pub(crate) fn is_valid(&self) -> bool {
         self.xl <= self.xr && self.yb <= self.yt
+    }
+
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_i64(out, self.xl);
+        codec::put_i64(out, self.xr);
+        codec::put_i64(out, self.yb);
+        codec::put_i64(out, self.yt);
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Rect {
+            xl: r.i64()?,
+            xr: r.i64()?,
+            yb: r.i64()?,
+            yt: r.i64()?,
+        })
     }
 
     fn width(&self) -> i64 {
@@ -271,6 +288,46 @@ impl PlaneSweep {
             self.cur = None;
         }
         self.advance_rect();
+    }
+
+    /// Field-verbatim encode: the sweep's rectangle list is mid-traversal
+    /// state, so the decoder must **not** go through [`PlaneSweep::new`]
+    /// (which re-sorts the list and advances to the first rectangle).
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_usize(out, self.a1);
+        codec::put_usize(out, self.a2);
+        codec::put_predicates(out, &self.plane_preds);
+        codec::put_usize(out, self.rects.len());
+        for r in &self.rects {
+            r.encode(out);
+        }
+        codec::put_bool(out, self.cur.is_some());
+        if let Some(r) = &self.cur {
+            r.encode(out);
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let a1 = r.usize()?;
+        let a2 = r.usize()?;
+        let plane_preds = codec::read_predicates(r)?;
+        let n = r.usize()?;
+        let mut rects = Vec::new();
+        for _ in 0..n {
+            rects.push(Rect::decode(r)?);
+        }
+        let cur = if r.bool()? {
+            Some(Rect::decode(r)?)
+        } else {
+            None
+        };
+        Ok(PlaneSweep {
+            a1,
+            a2,
+            plane_preds,
+            rects,
+            cur,
+        })
     }
 }
 

@@ -23,6 +23,7 @@
 
 use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, QueryResponse, Tuple};
 
+use crate::codec::{self, CodecError, Reader};
 use crate::machine::{DiscoveryMachine, Machine, MachineControl};
 use crate::{Discoverer, DiscoveryError, KnowledgeBase};
 
@@ -205,6 +206,29 @@ impl RqTreeWalk {
             }
         }
     }
+
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_usize(out, self.stack.len());
+        for node in &self.stack {
+            codec::put_query(out, &node.sq);
+            codec::put_query(out, &node.rq);
+        }
+        codec::put_usize_slice(out, &self.branch);
+        codec::put_usize(out, self.k);
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.usize()?;
+        let mut stack = Vec::new();
+        for _ in 0..n {
+            let sq = codec::read_query(r)?;
+            let rq = codec::read_query(r)?;
+            stack.push(Node { sq, rq });
+        }
+        let branch = codec::read_usize_vec(r)?;
+        let k = r.usize()?;
+        Ok(RqTreeWalk { stack, branch, k })
+    }
 }
 
 /// Control state of [`RqMachine`]: the depth-first RQ traversal of
@@ -212,6 +236,14 @@ impl RqTreeWalk {
 #[derive(Debug, Clone)]
 pub struct RqControl {
     walk: RqTreeWalk,
+}
+
+impl RqControl {
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(RqControl {
+            walk: RqTreeWalk::decode(r)?,
+        })
+    }
 }
 
 impl MachineControl for RqControl {
@@ -229,6 +261,14 @@ impl MachineControl for RqControl {
 
     fn on_response(&mut self, kb: &mut KnowledgeBase, issued: u64, resp: &QueryResponse) {
         self.walk.on_response(kb, issued, resp);
+    }
+
+    fn codec_tag(&self) -> Option<u8> {
+        Some(codec::TAG_RQ)
+    }
+
+    fn encode_control(&self, out: &mut Vec<u8>) {
+        self.walk.encode(out);
     }
 }
 

@@ -18,7 +18,7 @@
 
 use std::time::Instant;
 
-use skyweb_hidden_db::HiddenDb;
+use skyweb_hidden_db::{FaultPlan, HiddenDb};
 
 use crate::driver::{DiscoveryDriver, DriverConfig, StepOutcome};
 use crate::machine::{AnytimeSnapshot, DiscoveryMachine};
@@ -47,6 +47,13 @@ pub struct TenantStats {
     /// `true` if the finished run completed exhaustively (`false` while
     /// running, or when halted by budget/deadline/rate limit, or on error).
     pub complete: bool,
+    /// `true` if the run ended degraded: the retry policy gave up on a
+    /// transient failure and the partial anytime result was surfaced.
+    pub degraded: bool,
+    /// Retries the tenant's driver performed against transient failures.
+    pub retries: u64,
+    /// Total simulated retry backoff, in milliseconds.
+    pub backoff_ms: u64,
 }
 
 struct Tenant<'db> {
@@ -78,6 +85,18 @@ impl<'db> Tenant<'db> {
                 self.outcome = Some(Ok(result));
                 false
             }
+            Ok(StepOutcome::Degraded { .. }) => {
+                // The retry policy gave up: surface the partial anytime
+                // result instead of an error, flagged as degraded.
+                self.refresh_progress();
+                let result = self.driver.take_result();
+                self.stats.finished = true;
+                self.stats.complete = false;
+                self.stats.degraded = true;
+                self.stats.skyline_found = result.skyline.len();
+                self.outcome = Some(Ok(result));
+                false
+            }
             Err(e) => {
                 // The failing step may still have answered a plan prefix
                 // (counted by the shared database); keep the per-tenant
@@ -95,6 +114,8 @@ impl<'db> Tenant<'db> {
         self.stats.queries = progress.queries;
         self.stats.skyline_found = progress.skyline_len;
         self.stats.first_skyline_at = progress.first_skyline_at;
+        self.stats.retries = self.driver.retries();
+        self.stats.backoff_ms = self.driver.total_backoff_ms();
     }
 }
 
@@ -160,10 +181,24 @@ impl<'db> DiscoveryService<'db> {
         machine: Box<dyn DiscoveryMachine>,
         config: DriverConfig,
     ) -> TenantId {
+        self.submit_with_faults(label, machine, config, FaultPlan::none())
+    }
+
+    /// Like [`DiscoveryService::submit`], but routes the tenant's queries
+    /// through a deterministic fault-injection layer (see
+    /// [`DiscoveryDriver::with_faults`]) — the chaos harness for
+    /// multi-tenant resilience scenarios.
+    pub fn submit_with_faults(
+        &mut self,
+        label: impl Into<String>,
+        machine: Box<dyn DiscoveryMachine>,
+        config: DriverConfig,
+        faults: FaultPlan,
+    ) -> TenantId {
         let id = TenantId(self.tenants.len());
         self.tenants.push(Tenant {
             label: label.into(),
-            driver: DiscoveryDriver::new(self.db, machine, config),
+            driver: DiscoveryDriver::with_faults(self.db, machine, config, faults),
             stats: TenantStats::default(),
             outcome: None,
         });
@@ -485,6 +520,62 @@ mod tests {
         assert_eq!(service.rounds(), 0);
         service.run_to_completion_parallel(2);
         assert!(service.rounds() > 0);
+    }
+
+    #[test]
+    fn faulty_tenants_converge_and_degraded_tenants_surface_partials() {
+        use crate::driver::RetryPolicy;
+
+        let db = shared_db(80, 3);
+        let mut service = DiscoveryService::new(&db);
+        let clean = service.submit(
+            "clean",
+            SqDbSky::new().machine(&db).unwrap(),
+            DriverConfig::new(),
+        );
+        let flaky = service.submit_with_faults(
+            "flaky",
+            SqDbSky::new().machine(&db).unwrap(),
+            DriverConfig::new().with_retry(Some(RetryPolicy::new())),
+            FaultPlan::new(9, 0.4),
+        );
+        let doomed = service.submit_with_faults(
+            "doomed",
+            SqDbSky::new().machine(&db).unwrap(),
+            DriverConfig::new().with_retry(Some(RetryPolicy::new().with_max_attempts(2))),
+            FaultPlan::new(3, 1.0).with_max_consecutive(u32::MAX),
+        );
+        service.run_to_completion();
+
+        let clean_result = service.take_result(clean).unwrap().unwrap();
+        let flaky_result = service.take_result(flaky).unwrap().unwrap();
+        // Retried transient faults are invisible in the result.
+        assert!(flaky_result.complete);
+        assert_eq!(flaky_result.query_cost, clean_result.query_cost);
+        assert_eq!(
+            flaky_result
+                .skyline
+                .iter()
+                .map(|t| t.id)
+                .collect::<Vec<_>>(),
+            clean_result
+                .skyline
+                .iter()
+                .map(|t| t.id)
+                .collect::<Vec<_>>()
+        );
+        assert!(service.stats(flaky).retries > 0);
+        assert!(!service.stats(flaky).degraded);
+
+        // The doomed tenant degrades but still yields a (partial) result,
+        // and accounting stays conserved across all three.
+        let doomed_result = service.take_result(doomed).unwrap().unwrap();
+        assert!(service.stats(doomed).degraded);
+        assert!(!doomed_result.complete);
+        assert_eq!(
+            clean_result.query_cost + flaky_result.query_cost + doomed_result.query_cost,
+            db.queries_issued()
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::sync::Arc;
 use skyweb_hidden_db::{HiddenDb, InterfaceType, Predicate, Query, QueryResponse, Schema, Tuple};
 use skyweb_skyline::skyband_on;
 
+use crate::codec::{self, CodecError, Reader};
 use crate::driver::{DiscoveryDriver, DriverConfig};
 use crate::machine::{Machine, MachineControl};
 use crate::rq::RqTreeWalk;
@@ -249,6 +250,51 @@ impl SkybandControl {
             a_idx = 0;
         }
     }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let attrs = codec::read_usize_vec(r)?;
+        let k = r.usize()?;
+        let h = r.usize()?;
+        let schema = codec::read_schema(r)?;
+        let runs = r.usize()?;
+        let n = r.usize()?;
+        let mut used_roots = HashSet::new();
+        for _ in 0..n {
+            used_roots.insert(r.u64()?);
+        }
+        let state = match r.u8()? {
+            0 => SkyState::FirstTree(RqTreeWalk::decode(r)?),
+            1 => {
+                let tree = RqTreeWalk::decode(r)?;
+                let level = r.usize()?;
+                let n = r.usize()?;
+                let mut band_prev = Vec::new();
+                for _ in 0..n {
+                    band_prev.push(codec::read_tuple(r)?);
+                }
+                let t_idx = r.usize()?;
+                let a_idx = r.usize()?;
+                SkyState::BandTree {
+                    tree,
+                    level,
+                    band_prev,
+                    t_idx,
+                    a_idx,
+                }
+            }
+            2 => SkyState::Done,
+            tag => return Err(CodecError::BadTag { tag }),
+        };
+        Ok(SkybandControl {
+            state,
+            attrs,
+            k,
+            h,
+            schema,
+            runs,
+            used_roots,
+        })
+    }
 }
 
 impl MachineControl for SkybandControl {
@@ -302,6 +348,51 @@ impl MachineControl for SkybandControl {
                 }
             }
             SkyState::Done => unreachable!("no response expected after the band was explored"),
+        }
+    }
+
+    fn codec_tag(&self) -> Option<u8> {
+        Some(codec::TAG_SKYBAND)
+    }
+
+    fn encode_control(&self, out: &mut Vec<u8>) {
+        codec::put_usize_slice(out, &self.attrs);
+        codec::put_usize(out, self.k);
+        codec::put_usize(out, self.h);
+        codec::put_schema(out, &self.schema);
+        codec::put_usize(out, self.runs);
+        // A hash set has no stable iteration order; write the root ids
+        // sorted so re-encoding a decoded checkpoint reproduces the
+        // original bytes.
+        let mut roots: Vec<u64> = self.used_roots.iter().copied().collect();
+        roots.sort_unstable();
+        codec::put_usize(out, roots.len());
+        for id in roots {
+            codec::put_u64(out, id);
+        }
+        match &self.state {
+            SkyState::FirstTree(tree) => {
+                codec::put_u8(out, 0);
+                tree.encode(out);
+            }
+            SkyState::BandTree {
+                tree,
+                level,
+                band_prev,
+                t_idx,
+                a_idx,
+            } => {
+                codec::put_u8(out, 1);
+                tree.encode(out);
+                codec::put_usize(out, *level);
+                codec::put_usize(out, band_prev.len());
+                for t in band_prev {
+                    codec::put_tuple(out, t);
+                }
+                codec::put_usize(out, *t_idx);
+                codec::put_usize(out, *a_idx);
+            }
+            SkyState::Done => codec::put_u8(out, 2),
         }
     }
 }

@@ -68,6 +68,39 @@ pub enum QueryError {
         /// The limit that was hit.
         limit: u64,
     },
+    /// The server was temporarily unreachable (transient: a retry of the
+    /// same query may succeed).
+    Unavailable,
+    /// The query did not complete within the client's per-query timeout
+    /// (transient).
+    Timeout {
+        /// Simulated time the attempt spent before being abandoned.
+        elapsed_ms: u64,
+    },
+    /// The server shed load with a short-lived throttle burst (transient —
+    /// unlike [`QueryError::RateLimitExceeded`], which is the permanent
+    /// exhaustion of the client's whole quota).
+    Throttled,
+    /// The connection dropped mid-plan; any answered prefix was delivered
+    /// before the drop (transient).
+    ConnectionDropped,
+}
+
+impl QueryError {
+    /// `true` for failures that are worth retrying: the same query may
+    /// succeed on a later attempt ([`QueryError::Unavailable`],
+    /// [`QueryError::Timeout`], [`QueryError::Throttled`],
+    /// [`QueryError::ConnectionDropped`]). Validation rejections and quota
+    /// exhaustion are permanent: retrying cannot change the outcome.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            QueryError::Unavailable
+                | QueryError::Timeout { .. }
+                | QueryError::Throttled
+                | QueryError::ConnectionDropped
+        )
+    }
 }
 
 impl fmt::Display for QueryError {
@@ -95,6 +128,12 @@ impl fmt::Display for QueryError {
             QueryError::RateLimitExceeded { limit } => {
                 write!(f, "query rate limit of {limit} queries exceeded")
             }
+            QueryError::Unavailable => write!(f, "service temporarily unavailable"),
+            QueryError::Timeout { elapsed_ms } => {
+                write!(f, "query timed out after {elapsed_ms} ms")
+            }
+            QueryError::Throttled => write!(f, "request throttled, retry later"),
+            QueryError::ConnectionDropped => write!(f, "connection dropped mid-plan"),
         }
     }
 }

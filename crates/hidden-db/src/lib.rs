@@ -86,6 +86,7 @@
 
 mod db;
 mod dominance;
+mod fault;
 mod index;
 mod predicate;
 mod ranking;
@@ -97,6 +98,7 @@ mod tuple;
 
 pub use db::{HiddenDb, QueryError, QueryResponse, RateLimit};
 pub use dominance::{DominanceIndex, IncrementalSkyline};
+pub use fault::{FaultPlan, FaultStats, FaultyOracle};
 pub use index::ExecStrategy;
 pub use predicate::{groups_cover, prefix_groups, CmpOp, Predicate, PrefixGroup, Query};
 pub use ranking::{

@@ -1,0 +1,316 @@
+//! Property-based tests of the versioned checkpoint codec: a discovery run
+//! that is paused at **every** plan boundary, serialized to bytes with
+//! [`Checkpoint::to_bytes`], restored in a fresh `Checkpoint` with
+//! [`Checkpoint::from_bytes`], and resumed through a fresh driver produces
+//! a result byte-identical to the uninterrupted run — for all eight
+//! algorithm machines, any batch limit and any budget.
+//!
+//! Two further invariants ride along:
+//!
+//! * **Re-encode stability** — serializing a just-restored checkpoint
+//!   reproduces the original byte string exactly (hash sets are written in
+//!   sorted order; the knowledge base replays ingestion in retrieval
+//!   order), so checkpoints can be persisted, restored and re-persisted
+//!   without drift.
+//! * **Corruption rejection** — every truncation and every single-bit flip
+//!   of a serialized checkpoint is rejected with a `CodecError`; a corrupt
+//!   checkpoint is never mis-resumed.
+
+use proptest::prelude::*;
+
+use skyweb::core::{
+    BaselineCrawl, Checkpoint, Discoverer, DiscoveryDriver, DiscoveryMachine, DiscoveryResult,
+    DriverConfig, MqDbSky, PointSpaceCrawl, Pq2dSky, PqDbSky, RqDbSky, RqSkyband, SqDbSky,
+    StepOutcome,
+};
+use skyweb::hidden_db::{HiddenDb, InterfaceType, SchemaBuilder, Tuple};
+
+#[derive(Debug, Clone)]
+struct DbSpec {
+    domains: Vec<u32>,
+    values: Vec<Vec<u32>>,
+    k: usize,
+    interfaces: Vec<u8>,
+    budget: Option<u64>,
+    max_batch: usize,
+}
+
+fn db_spec(m_range: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = DbSpec> {
+    (m_range, 0usize..=30, 1usize..=4)
+        .prop_flat_map(|(m, n, k)| {
+            let domains = prop::collection::vec(2u32..=6, m);
+            (domains, Just(n), Just(k))
+        })
+        .prop_flat_map(|(domains, n, k)| {
+            let value_strategy: Vec<_> = domains.iter().map(|&d| 0u32..d).collect();
+            let values = prop::collection::vec(value_strategy, n);
+            let interfaces = prop::collection::vec(0u8..=2, domains.len());
+            // Raw values above 60 mean "no budget" (the vendored proptest
+            // has no Option strategy).
+            let budget_raw = 0u64..=90;
+            (
+                Just(domains),
+                values,
+                Just(k),
+                interfaces,
+                budget_raw,
+                1usize..=5,
+            )
+        })
+        .prop_map(
+            |(domains, values, k, interfaces, budget_raw, max_batch)| DbSpec {
+                domains,
+                values,
+                k,
+                interfaces,
+                budget: (budget_raw <= 60).then_some(budget_raw),
+                max_batch,
+            },
+        )
+}
+
+fn build_db(spec: &DbSpec, interface: Option<InterfaceType>) -> HiddenDb {
+    let mut builder = SchemaBuilder::new();
+    for (i, &d) in spec.domains.iter().enumerate() {
+        let itf = interface.unwrap_or(match spec.interfaces[i] {
+            0 => InterfaceType::Sq,
+            1 => InterfaceType::Rq,
+            _ => InterfaceType::Pq,
+        });
+        builder = builder.ranking(format!("a{i}"), d, itf);
+    }
+    let tuples: Vec<Tuple> = spec
+        .values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| Tuple::new(i as u64, v.clone()))
+        .collect();
+    HiddenDb::with_sum_ranking(builder.build(), tuples, spec.k)
+}
+
+fn assert_identical(a: &DiscoveryResult, b: &DiscoveryResult) {
+    let ids = |r: &DiscoveryResult| -> Vec<(u64, Vec<u32>)> {
+        r.skyline.iter().map(|t| (t.id, t.values.clone())).collect()
+    };
+    let retrieved =
+        |r: &DiscoveryResult| -> Vec<u64> { r.retrieved.iter().map(|t| t.id).collect() };
+    assert_eq!(ids(a), ids(b), "skylines diverged");
+    assert_eq!(retrieved(a), retrieved(b), "retrieved sets diverged");
+    assert_eq!(a.query_cost, b.query_cost, "query costs diverged");
+    assert_eq!(a.trace, b.trace, "anytime traces diverged");
+    assert_eq!(a.complete, b.complete, "completion flags diverged");
+}
+
+/// Runs `machine` against `db`, pausing at **every** plan boundary, pushing
+/// the checkpoint through its binary serialization (with a re-encode
+/// stability check), and resuming the *restored* checkpoint through a
+/// fresh driver.
+fn run_through_bytes(
+    db: &HiddenDb,
+    machine: Box<dyn DiscoveryMachine>,
+    config: DriverConfig,
+) -> DiscoveryResult {
+    let mut driver = DiscoveryDriver::new(db, machine, config);
+    while let StepOutcome::Progressed { .. } = driver
+        .step()
+        .expect("no real query errors in these schemas")
+    {
+        let checkpoint = driver.pause();
+        let bytes = checkpoint
+            .to_bytes()
+            .expect("all built-in machines are serializable");
+        let restored: Checkpoint<Box<dyn DiscoveryMachine>> =
+            Checkpoint::from_bytes(&bytes).expect("round-trip of a sealed checkpoint");
+        assert_eq!(
+            restored
+                .to_bytes()
+                .expect("restored machines stay serializable"),
+            bytes,
+            "re-encoding a restored checkpoint must reproduce the bytes"
+        );
+        assert_eq!(restored.queries_issued(), db.queries_issued());
+        driver = DiscoveryDriver::resume(db, restored, config);
+    }
+    driver.finish().expect("result extraction is infallible")
+}
+
+/// The uninterrupted reference run and the serialize-at-every-boundary run
+/// for one algorithm configuration, on separate but identical databases.
+fn check_alg(alg: &dyn Discoverer, spec: &DbSpec, interface: Option<InterfaceType>) {
+    let db_ref = build_db(spec, interface);
+    let reference = match alg.discover(&db_ref) {
+        Ok(r) => r,
+        Err(_) => return, // interface mismatch (e.g. random mixed schema)
+    };
+
+    let db_restored = build_db(spec, interface);
+    let machine = alg
+        .machine(&db_restored)
+        .expect("reference run proved the interface is supported");
+    let config = DriverConfig::new()
+        .with_budget(alg.budget())
+        .with_max_batch(spec.max_batch);
+    let restored = run_through_bytes(&db_restored, machine, config);
+    assert_identical(&reference, &restored);
+    assert_eq!(restored.query_cost, db_restored.queries_issued());
+}
+
+fn check_alg_with_budget(
+    make: &dyn Fn(Option<u64>) -> Box<dyn Discoverer>,
+    spec: &DbSpec,
+    interface: Option<InterfaceType>,
+) {
+    let alg = make(spec.budget);
+    check_alg(alg.as_ref(), spec, interface);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 120,
+        .. ProptestConfig::default()
+    })]
+
+    /// SQ-DB-SKY survives serialization at every plan boundary.
+    #[test]
+    fn sq_checkpoint_bytes_round_trip(spec in db_spec(2..=4)) {
+        check_alg_with_budget(&|b| Box::new(match b {
+            Some(b) => SqDbSky::with_budget(b),
+            None => SqDbSky::new(),
+        }), &spec, Some(InterfaceType::Sq));
+    }
+
+    /// RQ-DB-SKY survives serialization at every plan boundary.
+    #[test]
+    fn rq_checkpoint_bytes_round_trip(spec in db_spec(2..=4)) {
+        check_alg_with_budget(&|b| Box::new(match b {
+            Some(b) => RqDbSky::with_budget(b),
+            None => RqDbSky::new(),
+        }), &spec, Some(InterfaceType::Rq));
+    }
+
+    /// PQ-DB-SKY (plane enumeration + mid-traversal sweep state).
+    #[test]
+    fn pq_checkpoint_bytes_round_trip(spec in db_spec(2..=4)) {
+        check_alg_with_budget(&|b| Box::new(match b {
+            Some(b) => PqDbSky::with_budget(b),
+            None => PqDbSky::new(),
+        }), &spec, Some(InterfaceType::Pq));
+    }
+
+    /// PQ-2D-SKY (the raw plane-sweep machine).
+    #[test]
+    fn pq2d_checkpoint_bytes_round_trip(spec in db_spec(2..=2)) {
+        check_alg_with_budget(&|b| Box::new(match b {
+            Some(b) => Pq2dSky::with_budget(b),
+            None => Pq2dSky::new(),
+        }), &spec, Some(InterfaceType::Pq));
+    }
+
+    /// MQ-DB-SKY on arbitrary interface mixtures (nested sub-machine
+    /// frames serialize recursively).
+    #[test]
+    fn mq_checkpoint_bytes_round_trip(spec in db_spec(2..=4)) {
+        check_alg_with_budget(&|b| Box::new(match b {
+            Some(b) => MqDbSky::with_budget(b),
+            None => MqDbSky::new(),
+        }), &spec, None);
+    }
+
+    /// The crawling BASELINE.
+    #[test]
+    fn baseline_checkpoint_bytes_round_trip(spec in db_spec(2..=3)) {
+        check_alg_with_budget(&|b| Box::new(match b {
+            Some(b) => BaselineCrawl::with_budget(b),
+            None => BaselineCrawl::new(),
+        }), &spec, Some(InterfaceType::Rq));
+    }
+
+    /// The exhaustive point-space crawl.
+    #[test]
+    fn point_crawl_checkpoint_bytes_round_trip(spec in db_spec(2..=3)) {
+        check_alg_with_budget(&|b| Box::new(match b {
+            Some(b) => PointSpaceCrawl::with_budget(b),
+            None => PointSpaceCrawl::new(),
+        }), &spec, Some(InterfaceType::Pq));
+    }
+
+    /// Top-h sky-band discovery (schema and used-roots set serialize).
+    #[test]
+    fn skyband_checkpoint_bytes_round_trip(spec in db_spec(2..=3), h in 1usize..=3) {
+        let alg = match spec.budget {
+            Some(b) => RqSkyband::with_budget(h, b),
+            None => RqSkyband::new(h),
+        };
+        let db_ref = build_db(&spec, Some(InterfaceType::Rq));
+        let reference = {
+            let machine: Box<dyn DiscoveryMachine> =
+                Box::new(alg.build_machine(&db_ref).unwrap());
+            let config = DriverConfig::new().with_budget(spec.budget);
+            DiscoveryDriver::new(&db_ref, machine, config).run().unwrap()
+        };
+
+        let db_restored = build_db(&spec, Some(InterfaceType::Rq));
+        let machine: Box<dyn DiscoveryMachine> =
+            Box::new(alg.build_machine(&db_restored).unwrap());
+        let config = DriverConfig::new()
+            .with_budget(spec.budget)
+            .with_max_batch(spec.max_batch);
+        let restored = run_through_bytes(&db_restored, machine, config);
+        assert_identical(&reference, &restored);
+    }
+}
+
+/// A small mid-run checkpoint for the corruption tests below.
+fn sample_checkpoint_bytes() -> Vec<u8> {
+    let schema = SchemaBuilder::new()
+        .ranking("a", 5, InterfaceType::Rq)
+        .ranking("b", 5, InterfaceType::Rq)
+        .build();
+    let tuples = vec![
+        Tuple::new(0, vec![4, 1]),
+        Tuple::new(1, vec![3, 3]),
+        Tuple::new(2, vec![1, 4]),
+    ];
+    let db = HiddenDb::with_sum_ranking(schema, tuples, 1);
+    let machine = RqDbSky::new().machine(&db).unwrap();
+    let mut driver = DiscoveryDriver::new(&db, machine, DriverConfig::new().with_max_batch(1));
+    driver.step().unwrap();
+    driver.step().unwrap();
+    driver.pause().to_bytes().unwrap()
+}
+
+#[test]
+fn every_truncation_is_rejected() {
+    let bytes = sample_checkpoint_bytes();
+    assert!(Checkpoint::from_bytes(&bytes).is_ok());
+    for len in 0..bytes.len() {
+        assert!(
+            Checkpoint::from_bytes(&bytes[..len]).is_err(),
+            "truncation to {len} of {} bytes must be rejected",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    let bytes = sample_checkpoint_bytes();
+    for i in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 1 << bit;
+            assert!(
+                Checkpoint::from_bytes(&corrupt).is_err(),
+                "flipping bit {bit} of byte {i} must be rejected"
+            );
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bytes = sample_checkpoint_bytes();
+    bytes.push(0);
+    assert!(Checkpoint::from_bytes(&bytes).is_err());
+}

@@ -4,17 +4,61 @@
 //!
 //! ```text
 //! cargo run --release -p skyweb-bench --example rss_probe
+//! cargo run --release -p skyweb-bench --example rss_probe -- --segment PATH
 //! ```
 //!
 //! Used to quantify the `TupleStore` unification: the dual-store revision
 //! peaked at 35.1 MB on this workload, the unified store + columnar rank
 //! index at 30.3 MB.
+//!
+//! With `--segment PATH` the probe instead opens a prebuilt columnar
+//! segment (use the `segment_build` bin, e.g. the n=1M synthetic one) and
+//! runs the same query mix against it — measuring the lazy-hydration
+//! working set: peak RSS stays far below the full in-RAM build because
+//! only the chunks the answers touch are ever materialized.
 
 use skyweb_bench::report::peak_rss_kb;
 use skyweb_datagen::flights_dot::{self, FlightsDotConfig};
-use skyweb_hidden_db::Query;
+use skyweb_hidden_db::{HiddenDb, Predicate, Query, SumRanker};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let segment = args
+        .iter()
+        .position(|a| a == "--segment")
+        .and_then(|i| args.get(i + 1));
+
+    if let Some(path) = segment {
+        let db = HiddenDb::open_segment(path, Box::new(SumRanker))
+            .unwrap_or_else(|e| panic!("cannot open segment {path}: {e}"));
+        let after_open = peak_rss_kb();
+        // The storage-report case mix: top-k select-all, a selective
+        // conjunction and a broad range — each hydrates only the chunks its
+        // answer touches.
+        let queries = [
+            Query::select_all(),
+            Query::new(vec![Predicate::lt(0, 50), Predicate::lt(1, 80)]),
+            Query::new(vec![Predicate::ge(0, 100)]),
+        ];
+        for q in &queries {
+            std::hint::black_box(db.query(q).expect("query failed").len());
+        }
+        println!(
+            "segment-backed: n = {}, m = {}, k = {}, ranker = {}",
+            db.n(),
+            db.schema().len(),
+            db.k(),
+            db.ranker_name()
+        );
+        if let (Some(open), Some(total)) = (after_open, peak_rss_kb()) {
+            println!("peak RSS after cold open: {open} kB");
+            println!("peak RSS after query mix (lazy working set): {total} kB");
+        } else {
+            println!("/proc/self/status not available on this platform");
+        }
+        return;
+    }
+
     let n = 100_000;
     let dataset = flights_dot::generate(&FlightsDotConfig { n, seed: 2015 });
     let after_gen = peak_rss_kb();

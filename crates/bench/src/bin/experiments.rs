@@ -36,13 +36,15 @@
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use skyweb_bench::{figures, pool, set_run_limits, FigureResult, RunLimits, Scale};
+use skyweb_bench::{
+    figures, pool, set_run_limits, set_segment_dir, FigureResult, RunLimits, Scale,
+};
 
 fn usage() {
     eprintln!(
         "usage: experiments [--list] [--quick|--full] [--parallel] [--jobs N] \
          [--budget N] [--max-wall-ms N] [--max-batch N] [--fault-rate F] [--fault-seed N] \
-         [all | figNN ...]"
+         [--segment DIR] [all | figNN ...]"
     );
     eprintln!("known figures: {}", figures::ALL_FIGURES.join(", "));
 }
@@ -53,6 +55,7 @@ fn main() -> ExitCode {
     let mut parallel = false;
     let mut jobs_request: Option<usize> = None;
     let mut limits = RunLimits::default();
+    let mut segment_dir: Option<String> = None;
     let mut requested: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -111,6 +114,14 @@ fn main() -> ExitCode {
             };
             limits.fault_rate = Some(rate);
             i += 1;
+        } else if arg == "--segment" {
+            let Some(dir) = args.get(i + 1).filter(|d| !d.starts_with("--")) else {
+                eprintln!("--segment needs a cache directory path");
+                usage();
+                return ExitCode::FAILURE;
+            };
+            segment_dir = Some(dir.clone());
+            i += 1;
         } else if arg == "--fault-seed" {
             let Some(n) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
                 eprintln!("--fault-seed needs a non-negative integer value");
@@ -141,6 +152,17 @@ fn main() -> ExitCode {
             eprintln!("--budget/--max-wall-ms/--max-batch/--fault-rate: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    // Segment-backed mode: every figure database is round-tripped through
+    // the persistent columnar store in DIR and served with lazy hydration.
+    // Figure stdout is byte-identical to the in-RAM run (CI diffs exactly
+    // that), so the mode announcement goes to stderr like all progress.
+    if let Some(dir) = &segment_dir {
+        if let Err(e) = set_segment_dir(dir) {
+            eprintln!("--segment: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("# segment-backed mode: databases served from {dir}");
     }
     // Wall-clock truncation is nondeterministic: keep stdout diffable by
     // moving the affected tables to stderr (headers stay on stdout).

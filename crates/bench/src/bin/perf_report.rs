@@ -262,6 +262,54 @@ fn main() -> ExitCode {
         );
     }
     let _ = writeln!(json, "  ],");
+
+    // Storage: the same interface database served from a persistent
+    // columnar segment — cold open (trailer + footer + eager metadata
+    // only), first lazily-hydrating query, and warm per-query latency next
+    // to the in-RAM engine (full numbers live in BENCH_storage.json from
+    // the storage_report bin).
+    let seg_path =
+        std::env::temp_dir().join(format!("skyweb-perf-report-{}.seg", std::process::id()));
+    let seg_bytes = indexed
+        .write_segment(&seg_path)
+        .expect("segment write failed");
+    let t = Instant::now();
+    let seg_db = HiddenDb::open_segment(&seg_path, Box::new(skyweb_hidden_db::SumRanker))
+        .expect("segment open failed");
+    let cold_open_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    std::hint::black_box(seg_db.query(&Query::select_all()).unwrap().len());
+    let first_query_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!();
+    println!(
+        "storage: cold open {cold_open_ms:.3} ms, first query {first_query_ms:.3} ms, \
+         {seg_bytes} bytes on disk"
+    );
+    println!(
+        "{:<24} {:>14} {:>14}",
+        "query", "segment ns/q", "indexed ns/q"
+    );
+    let _ = writeln!(json, "  \"storage\": {{");
+    let _ = writeln!(json, "    \"segment_bytes\": {seg_bytes},");
+    let _ = writeln!(json, "    \"cold_open_ms\": {cold_open_ms:.4},");
+    let _ = writeln!(json, "    \"cold_first_query_ms\": {first_query_ms:.4},");
+    let _ = writeln!(json, "    \"warm\": [");
+    for (i, case) in all.iter().enumerate() {
+        let seg_ns = time_ns(&seg_db, &case.query, 10, iters);
+        let ram_ns = time_ns(&indexed, &case.query, 10, iters);
+        println!("{:<24} {:>14.0} {:>14.0}", case.name, seg_ns, ram_ns);
+        let _ = writeln!(
+            json,
+            "      {{\"query\": \"{}\", \"segment_ns\": {seg_ns:.0}, \"indexed_ns\": {ram_ns:.0}}}{}",
+            case.name,
+            if i + 1 == all.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    drop(seg_db);
+    std::fs::remove_file(&seg_path).ok();
+
     let rss = peak_rss_kb().unwrap_or(0);
     eprintln!("# peak RSS: {rss} kB");
     let _ = writeln!(json, "  \"peak_rss_kb\": {rss},");

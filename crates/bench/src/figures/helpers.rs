@@ -4,10 +4,30 @@ use skyweb_core::{
     Discoverer, DiscoveryDriver, DiscoveryResult, DriverConfig, RetryPolicy, TracePoint,
 };
 use skyweb_datagen::{flights_dot, Dataset};
-use skyweb_hidden_db::{FaultPlan, HiddenDb, InterfaceType};
+use skyweb_hidden_db::{FaultPlan, HiddenDb, InterfaceType, Ranker, SumRanker};
 use skyweb_skyline::sfs_skyline;
 
-use crate::{limits, Scale};
+use crate::{limits, storage, Scale};
+
+/// Wraps a dataset in a hidden-database interface, honoring segment-backed
+/// mode: with `--segment DIR` installed the database is round-tripped
+/// through the persistent columnar store and served with lazy hydration
+/// (figure output is identical by the storage layer's differential
+/// contract). `ranker` is a factory because the RAM build and the segment
+/// reopen each need their own `Box<dyn Ranker>`.
+pub(crate) fn mk_db(ds: Dataset, k: usize, ranker: impl Fn() -> Box<dyn Ranker>) -> HiddenDb {
+    let ram = ds.into_db(ranker(), k);
+    if storage::segment_dir().is_some() {
+        storage::segment_backed(&ram, ranker())
+    } else {
+        ram
+    }
+}
+
+/// [`mk_db`] with the paper's default SUM ranking function.
+pub(crate) fn mk_db_sum(ds: Dataset, k: usize) -> HiddenDb {
+    mk_db(ds, k, || Box::new(SumRanker))
+}
 
 /// Generates the DOT-like flight dataset used by the offline experiments
 /// (Figures 13–21). The quick scale keeps the schema and correlation

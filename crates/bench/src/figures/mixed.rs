@@ -5,7 +5,7 @@ use skyweb_core::MqDbSky;
 use skyweb_datagen::Dataset;
 use skyweb_hidden_db::InterfaceType;
 
-use super::helpers::{flights_base, run};
+use super::helpers::{flights_base, mk_db_sum, run};
 use crate::{pool, FigureResult, Scale};
 
 /// Builds a mixed-interface projection of the flight dataset with the given
@@ -42,7 +42,7 @@ pub fn fig18(scale: Scale) -> FigureResult {
     for row in pool::par_map(sizes.len(), |i| {
         let n = sizes[i];
         let ds = mixed_projection(&base.sample(n, 18 + i as u64), &range, &point);
-        let result = run(&MqDbSky::new(), &ds.into_db_sum(k));
+        let result = run(&MqDbSky::new(), &mk_db_sum(ds, k));
         vec![
             n as f64,
             result.query_cost as f64,
@@ -86,10 +86,10 @@ pub fn fig19(scale: Scale) -> FigureResult {
         let extra = i + 2;
         // 1 PQ attribute + `extra` RQ attributes.
         let ds_r = mixed_projection(&base, &range_pool[..extra], &point_pool[..1]);
-        let vary_range = run(&MqDbSky::new(), &ds_r.into_db_sum(k));
+        let vary_range = run(&MqDbSky::new(), &mk_db_sum(ds_r, k));
         // 1 RQ attribute + `extra` PQ attributes.
         let ds_p = mixed_projection(&base, &range_pool[..1], &point_pool[..extra]);
-        let vary_point = run(&MqDbSky::new(), &ds_p.into_db_sum(k));
+        let vary_point = run(&MqDbSky::new(), &mk_db_sum(ds_p, k));
         vec![
             (extra + 1) as f64,
             vary_range.query_cost as f64,

@@ -7,7 +7,7 @@ use skyweb_core::{BaselineCrawl, MqDbSky};
 use skyweb_datagen::{autos, diamonds, gflights, Dataset};
 use skyweb_hidden_db::SingleAttributeRanker;
 
-use super::helpers::{queries_per_discovery, run};
+use super::helpers::{mk_db, queries_per_discovery, run};
 use crate::{pool, FigureResult, Scale};
 
 /// Number of progress checkpoints reported for the discovery-progress
@@ -19,7 +19,7 @@ fn price_db(ds: Dataset, k: usize) -> skyweb_hidden_db::HiddenDb {
         .schema
         .attr_by_name("price")
         .expect("online datasets have a price attribute");
-    ds.into_db(Box::new(SingleAttributeRanker::new(price)), k)
+    mk_db(ds, k, || Box::new(SingleAttributeRanker::new(price)))
 }
 
 /// Shared shape of Figures 22 and 24: cumulative query cost of MQ-DB-SKY vs

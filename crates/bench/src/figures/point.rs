@@ -5,7 +5,7 @@
 use skyweb_core::PqDbSky;
 use skyweb_datagen::Dataset;
 
-use super::helpers::{flights_base, queries_per_discovery, run};
+use super::helpers::{flights_base, mk_db_sum, queries_per_discovery, run};
 use crate::{pool, FigureResult, Scale};
 
 /// The point-query attributes used for the PQ experiments. The first two —
@@ -45,7 +45,7 @@ pub fn fig16(scale: Scale) -> FigureResult {
     let costs = pool::par_map(sizes.len() * DIMS.len(), |t| {
         let (i, d) = (t / DIMS.len(), t % DIMS.len());
         let ds = pq_projection(&base, DIMS[d], sizes[i], 16 + i as u64);
-        run(&PqDbSky::new(), &ds.into_db_sum(k)).query_cost as f64
+        run(&PqDbSky::new(), &mk_db_sum(ds, k)).query_cost as f64
     });
     for (i, &n) in sizes.iter().enumerate() {
         let mut row = vec![n as f64];
@@ -77,7 +77,7 @@ pub fn fig17(scale: Scale) -> FigureResult {
         }
         let ds = ds.sample(n, 17 + u64::from(v));
         let n_effective = ds.len();
-        let result = run(&PqDbSky::new(), &ds.into_db_sum(k));
+        let result = run(&PqDbSky::new(), &mk_db_sum(ds, k));
         vec![f64::from(v), n_effective as f64, result.query_cost as f64]
     }) {
         fig.push_row(row);
@@ -98,7 +98,7 @@ pub fn fig21(scale: Scale) -> FigureResult {
     let base = flights_base(scale);
     let ds = pq_projection(&base, 4, n, 21);
 
-    let result = run(&PqDbSky::new(), &ds.into_db_sum(k));
+    let result = run(&PqDbSky::new(), &mk_db_sum(ds, k));
     let total = result.skyline.len();
     let curve = queries_per_discovery(&result.trace, total);
 

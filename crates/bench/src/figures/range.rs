@@ -5,7 +5,9 @@ use skyweb_core::{analysis, BaselineCrawl, RqDbSky, SqDbSky};
 use skyweb_datagen::flights_dot;
 use skyweb_hidden_db::InterfaceType;
 
-use super::helpers::{flights_all_rq, flights_base, queries_per_discovery, run, skyline_size};
+use super::helpers::{
+    flights_all_rq, flights_base, mk_db_sum, queries_per_discovery, run, skyline_size,
+};
 use crate::{pool, FigureResult, Scale};
 
 /// Figure 13: RQ-DB-SKY vs the crawling BASELINE as the top-k constraint
@@ -26,9 +28,9 @@ pub fn fig13(scale: Scale) -> FigureResult {
     let ks = [1usize, 10, 20, 30, 40, 50];
     for row in pool::par_map(ks.len(), |i| {
         let k = ks[i];
-        let db = ds.clone().into_db_sum(k);
+        let db = mk_db_sum(ds.clone(), k);
         let rq = run(&RqDbSky::new(), &db);
-        let db_b = ds.clone().into_db_sum(k);
+        let db_b = mk_db_sum(ds.clone(), k);
         let baseline = run(&BaselineCrawl::with_budget(baseline_budget), &db_b);
         vec![
             k as f64,
@@ -65,8 +67,8 @@ pub fn fig14(scale: Scale) -> FigureResult {
         // Deterministic per-task seed, exactly as the serial sweep used.
         let ds = flights_all_rq(&base.sample(n, 14 + i as u64));
         let skyline = skyline_size(&ds);
-        let sq = run(&SqDbSky::new(), &ds.clone().into_db_sum(k));
-        let rq = run(&RqDbSky::new(), &ds.into_db_sum(k));
+        let sq = run(&SqDbSky::new(), &mk_db_sum(ds.clone(), k));
+        let rq = run(&RqDbSky::new(), &mk_db_sum(ds, k));
         vec![
             n as f64,
             skyline as f64,
@@ -106,8 +108,8 @@ pub fn fig15(scale: Scale) -> FigureResult {
             ds = ds.with_interface(name, InterfaceType::Rq);
         }
         let skyline = skyline_size(&ds);
-        let sq = run(&SqDbSky::with_budget(sq_budget), &ds.clone().into_db_sum(k));
-        let rq = run(&RqDbSky::new(), &ds.into_db_sum(k));
+        let sq = run(&SqDbSky::with_budget(sq_budget), &mk_db_sum(ds.clone(), k));
+        let rq = run(&RqDbSky::new(), &mk_db_sum(ds, k));
         vec![
             m as f64,
             skyline as f64,
@@ -144,9 +146,9 @@ pub fn fig20(scale: Scale) -> FigureResult {
     // each.
     let mut runs = pool::par_map(2, |i| {
         if i == 0 {
-            run(&SqDbSky::new(), &ds.clone().into_db_sum(k))
+            run(&SqDbSky::new(), &mk_db_sum(ds.clone(), k))
         } else {
-            run(&RqDbSky::new(), &ds.clone().into_db_sum(k))
+            run(&RqDbSky::new(), &mk_db_sum(ds.clone(), k))
         }
     });
     let rq = runs.pop().expect("two runs");

@@ -30,7 +30,9 @@ pub mod limits;
 pub mod pool;
 pub mod report;
 pub mod scale;
+pub mod storage;
 
 pub use limits::{run_limits, set_run_limits, RunLimits};
 pub use report::FigureResult;
 pub use scale::Scale;
+pub use storage::{segment_dir, set_segment_dir};

@@ -1,0 +1,112 @@
+//! Segment-backed benchmark mode (`experiments --segment DIR`).
+//!
+//! When a segment directory is installed, every hidden database a figure
+//! harness builds is round-tripped through the persistent columnar segment
+//! store: written once to `DIR` (keyed by a content fingerprint, so repeated
+//! runs and identical sweep points reuse the file) and reopened as a
+//! lazily-hydrating [`HiddenDb`]. Figure output is byte-identical to the
+//! in-RAM run by the storage layer's differential contract — CI diffs
+//! exactly that — while every query is served from the persisted columns.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use skyweb_hidden_db::{HiddenDb, Ranker};
+
+static SEGMENT_DIR: OnceLock<PathBuf> = OnceLock::new();
+
+/// Installs the segment cache directory (creating it if needed). Call once,
+/// before any figure runs; returns `Err` if a directory was already set or
+/// cannot be created.
+pub fn set_segment_dir(dir: impl Into<PathBuf>) -> Result<(), String> {
+    let dir = dir.into();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    SEGMENT_DIR
+        .set(dir)
+        .map_err(|_| "segment directory already set".to_string())
+}
+
+/// The active segment cache directory, if segment-backed mode is on.
+pub fn segment_dir() -> Option<&'static Path> {
+    SEGMENT_DIR.get().map(PathBuf::as_path)
+}
+
+/// FNV-1a64 content fingerprint of a database: schema (names, domains,
+/// interfaces, roles), top-k constraint, ranker name and every tuple. Two
+/// databases with equal fingerprints produce byte-identical segments, so
+/// the fingerprint doubles as the cache key.
+pub fn db_content_fingerprint(db: &HiddenDb) -> u64 {
+    const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = SEED;
+    let mut write = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for attr in 0..db.schema().len() {
+        let spec = db.schema().attr(attr);
+        write(spec.name.as_bytes());
+        write(&spec.domain_size.to_le_bytes());
+        write(&[spec.interface as u8, spec.role as u8]);
+    }
+    write(&(db.k() as u64).to_le_bytes());
+    write(db.ranker_name().as_bytes());
+    for t in db.oracle_tuples().iter() {
+        write(&t.id.to_le_bytes());
+        for &v in &t.values {
+            write(&v.to_le_bytes());
+        }
+    }
+    h
+}
+
+/// Writes `ram` into the segment cache (first writer wins; concurrent pool
+/// tasks race benignly through unique temp files + atomic rename) and
+/// reopens it segment-backed under a fresh `ranker` instance.
+pub fn segment_backed(ram: &HiddenDb, ranker: Box<dyn Ranker>) -> HiddenDb {
+    static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = segment_dir().expect("segment-backed mode is on");
+    let path = dir.join(format!("{:016x}.seg", db_content_fingerprint(ram)));
+    if !path.exists() {
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}.seg",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        ram.write_segment(&tmp)
+            .unwrap_or_else(|e| panic!("cannot write segment {}: {e}", tmp.display()));
+        std::fs::rename(&tmp, &path)
+            .unwrap_or_else(|e| panic!("cannot publish segment {}: {e}", path.display()));
+    }
+    HiddenDb::open_segment(&path, ranker)
+        .unwrap_or_else(|e| panic!("cannot open segment {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyweb_datagen::synthetic::{self, SyntheticConfig};
+
+    #[test]
+    fn fingerprint_is_content_keyed() {
+        let mk = |seed| {
+            synthetic::generate(&SyntheticConfig {
+                n: 50,
+                seed,
+                ..SyntheticConfig::default()
+            })
+            .into_db_sum(3)
+        };
+        assert_eq!(
+            db_content_fingerprint(&mk(1)),
+            db_content_fingerprint(&mk(1))
+        );
+        assert_ne!(
+            db_content_fingerprint(&mk(1)),
+            db_content_fingerprint(&mk(2))
+        );
+    }
+}

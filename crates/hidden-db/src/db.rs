@@ -5,7 +5,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use std::path::Path;
+
 use crate::index::{QueryIndex, Scratch};
+use crate::segment::{BlockSource, FileSource, SegmentError, SegmentReader, SegmentWriter};
 use crate::stats::{AccessLog, AccessLogEntry, QueryStats, ShardedAccessLog};
 use crate::store::TupleStore;
 use crate::{
@@ -84,6 +87,15 @@ pub enum QueryError {
     /// The connection dropped mid-plan; any answered prefix was delivered
     /// before the drop (transient).
     ConnectionDropped,
+    /// A segment-backed store failed to load a chunk (I/O error or
+    /// corrupted bytes). Non-transient: the backing file is damaged, so a
+    /// retry hits the same bytes. The failed query still consumed its
+    /// admitted sequence-number slot (it counts as issued) but wrote no
+    /// access-log entry.
+    Storage {
+        /// The underlying storage fault.
+        error: SegmentError,
+    },
 }
 
 impl QueryError {
@@ -134,6 +146,7 @@ impl fmt::Display for QueryError {
             }
             QueryError::Throttled => write!(f, "request throttled, retry later"),
             QueryError::ConnectionDropped => write!(f, "connection dropped mid-plan"),
+            QueryError::Storage { error } => write!(f, "segment storage error: {error}"),
         }
     }
 }
@@ -230,6 +243,11 @@ impl fmt::Debug for HiddenDb {
     }
 }
 
+/// What executing an admitted query yields: the returned tuples
+/// (best-ranked first), the overflow flag and the exact match count when
+/// the chosen plan produced one.
+pub(crate) type ExecOutput = (Vec<Arc<Tuple>>, bool, Option<usize>);
+
 impl HiddenDb {
     /// Creates a hidden database with the given schema, tuples, ranking
     /// function and top-k constraint.
@@ -278,6 +296,81 @@ impl HiddenDb {
     /// function ([`SumRanker`]).
     pub fn with_sum_ranking(schema: Schema, tuples: Vec<Tuple>, k: usize) -> Self {
         HiddenDb::new(schema, tuples, Box::new(SumRanker), k)
+    }
+
+    /// Persists this database as a columnar segment file and returns the
+    /// number of bytes written (see `docs/segment-format.md`). The output is
+    /// byte-deterministic for a given database.
+    ///
+    /// Fails with [`SegmentError::Malformed`] if this database is itself
+    /// segment-backed — re-encoding an opened segment is not supported (copy
+    /// the file instead).
+    pub fn write_segment(&self, path: impl AsRef<Path>) -> Result<u64, SegmentError> {
+        SegmentWriter::new().write_to_path(self, path)
+    }
+
+    /// Opens a persisted columnar segment file as a lazily-hydrating hidden
+    /// database (see [`HiddenDb::open_segment_source`] for semantics).
+    pub fn open_segment(
+        path: impl AsRef<Path>,
+        ranker: Box<dyn Ranker>,
+    ) -> Result<Self, SegmentError> {
+        HiddenDb::open_segment_source(Box::new(FileSource::open(path)?), ranker)
+    }
+
+    /// Opens a persisted columnar segment from an arbitrary [`BlockSource`]
+    /// as a lazily-hydrating hidden database.
+    ///
+    /// The cold open reads only the trailer, footer, prefix counts and zone
+    /// maps — O(footer + metadata), independent of the tuple count. Column
+    /// chunks and tuples materialize per 4096-entry chunk the first time a
+    /// query touches them, and `Ranker::precompute` never runs: the rank
+    /// permutation persisted at write time is served directly.
+    ///
+    /// `ranker` must be behaviorally identical to the ranker the segment was
+    /// written under; it is checked **by name** against the stored name and
+    /// rejected with [`SegmentError::RankerMismatch`] on disagreement. The
+    /// name check cannot distinguish two differently-parameterized rankers
+    /// with the same name (e.g. two `WeightedSumRanker`s with different
+    /// weights) — passing one silently yields the *written* ranking, since
+    /// the persisted permutation wins.
+    ///
+    /// The opened database starts with the default [`ExecStrategy::Indexed`]
+    /// strategy, no rate limit, zeroed statistics and the access log off —
+    /// exactly like [`HiddenDb::new`]. Storage faults during later queries
+    /// surface as [`QueryError::Storage`].
+    pub fn open_segment_source(
+        source: Box<dyn BlockSource>,
+        ranker: Box<dyn Ranker>,
+    ) -> Result<Self, SegmentError> {
+        let reader = Arc::new(SegmentReader::open(source)?);
+        if reader.ranker_name() != ranker.name() {
+            return Err(SegmentError::RankerMismatch {
+                expected: reader.ranker_name().to_string(),
+                found: ranker.name().to_string(),
+            });
+        }
+        let db = HiddenDb {
+            schema: reader.schema().clone(),
+            store: TupleStore::from_segment(Arc::clone(&reader)),
+            index: OnceLock::new(),
+            strategy: ExecStrategy::default(),
+            ranker,
+            k: reader.k(),
+            rate_limit: None,
+            queries: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
+            empty_answers: AtomicU64::new(0),
+            tuples_returned: AtomicU64::new(0),
+            log_enabled: AtomicBool::new(false),
+            access_log: ShardedAccessLog::default(),
+            scratch_pool: Mutex::new(Vec::new()),
+        };
+        // Pre-seed the index with the segment metadata so first use never
+        // falls back to the O(m·n) RAM build (which would hydrate the whole
+        // store).
+        let _ = db.index.set(QueryIndex::from_segment(reader));
+        Ok(db)
     }
 
     /// Selects the query-execution strategy (builder style). The default is
@@ -482,7 +575,7 @@ impl HiddenDb {
     ) -> Result<QueryResponse, QueryError> {
         let seq = self.admit(query)?;
         let log_enabled = self.log_on();
-        let (tuples, overflowed, matched) = self.exec_validated(query, log_enabled, scratch);
+        let (tuples, overflowed, matched) = self.exec_validated(query, log_enabled, scratch)?;
         Ok(self.finish_query(query, seq, tuples, overflowed, matched, log_enabled))
     }
 
@@ -520,14 +613,24 @@ impl HiddenDb {
     /// Computes the answer of an admitted query under the active execution
     /// strategy: the returned tuples (best-ranked first), the overflow flag
     /// and the exact match count when the chosen plan produced one.
+    ///
+    /// The only error is [`QueryError::Storage`] from a segment-backed store
+    /// (a RAM-backed database never fails here). A storage failure consumes
+    /// the admitted sequence-number slot but writes no access-log entry.
     pub(crate) fn exec_validated(
         &self,
         query: &Query,
         need_matched: bool,
         scratch: &mut Scratch,
-    ) -> (Vec<Arc<Tuple>>, bool, Option<usize>) {
+    ) -> Result<ExecOutput, QueryError> {
         match self.strategy {
             ExecStrategy::Scan => {
+                // The reference path is a full scan: hydrate a segment-backed
+                // store once so the iteration below cannot hit a storage
+                // fault mid-scan.
+                self.store
+                    .try_hydrate_all()
+                    .map_err(|e| QueryError::Storage { error: e })?;
                 let mut indices: Vec<u32> = Vec::new();
                 for (i, t) in self.store.iter().enumerate() {
                     if query.matches(t) {
@@ -551,19 +654,22 @@ impl HiddenDb {
                     .iter()
                     .map(|&i| self.store.share(i as usize))
                     .collect();
-                (tuples, matched > self.k, Some(matched))
+                Ok((tuples, matched > self.k, Some(matched)))
             }
             ExecStrategy::Indexed => {
-                let out = self.index().execute(
-                    query,
-                    self.k,
-                    &self.store,
-                    &self.schema,
-                    self.ranker.as_ref(),
-                    need_matched,
-                    scratch,
-                );
-                (out.returned, out.overflowed, out.matched)
+                let out = self
+                    .index()
+                    .execute(
+                        query,
+                        self.k,
+                        &self.store,
+                        &self.schema,
+                        self.ranker.as_ref(),
+                        need_matched,
+                        scratch,
+                    )
+                    .map_err(|e| QueryError::Storage { error: e })?;
+                Ok((out.returned, out.overflowed, out.matched))
             }
         }
     }

@@ -26,6 +26,17 @@
 //!   tuples, and all per-query working memory lives in a reusable
 //!   [`Scratch`] buffer owned by the calling session.
 //!
+//! Since PR 7 the same structures also exist in persisted form: a
+//! [`crate::SegmentReader`] serves the permutation, columns, zone maps and
+//! posting lists straight from an on-disk columnar segment, hydrating
+//! lazily per chunk. [`QueryIndex`] abstracts over the two through
+//! [`IndexBackend`], so every plan below runs unchanged — and produces
+//! byte-identical answers — against either backing (pinned by the
+//! differential suites in `tests/proptest_segment.rs` and
+//! `tests/golden_traces.rs`). Storage faults surface as typed
+//! [`SegmentError`]s threaded through every execution path; the RAM backend
+//! never produces one.
+//!
 //! Every conjunctive predicate the interface supports (`<`, `<=`, `=`,
 //! `>=`, `>`) is a one-attribute range constraint, so a whole query reduces
 //! to a per-attribute box `[lo, hi]^m` — membership is a handful of integer
@@ -35,10 +46,11 @@
 //! [`ExecStrategy::Scan`] for differential testing): same tuples, same
 //! order, same overflow flag, same statistics.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::dominance::DominanceIndex;
 use crate::predicate::PrefixGroup;
+use crate::segment::{SegmentError, SegmentReader};
 use crate::store::TupleStore;
 use crate::{
     AttrId, CmpOp, HiddenDb, Predicate, Query, QueryError, QueryResponse, Ranker, Schema, Tuple,
@@ -61,8 +73,26 @@ pub enum ExecStrategy {
 
 /// Ranks per zone-map block: the rank permutation is cut into chunks of 64
 /// so one `u64` bitset covers a block and the per-block min/max tables stay
-/// small (`2·m·n/64` values).
-const BLOCK: usize = 64;
+/// small (`2·m·n/64` values). Segment chunk sizes are multiples of this, so
+/// a block never spans two persisted chunks.
+pub(crate) const BLOCK: usize = 64;
+
+/// Denominator of the planner's selectivity crossover: a conjunction whose
+/// most selective predicate matches `count` tuples takes the early-
+/// terminating block rank scan when `count * BLOCK_SCAN_CROSSOVER_DEN >= n`
+/// (i.e. selectivity ≥ n / 32 — a *broad* query), and the posting-list plan
+/// otherwise.
+///
+/// Rationale: the block engine costs ~1 sequential u32 read per visited
+/// rank versus a pointer-chasing push per posting candidate (~20-30x more),
+/// so it wins well below 50% selectivity; n/32 is the empirical crossover
+/// on the discovery workloads (MQ/BASELINE region queries of the paper's
+/// figure suite). The same constant gates the shared-prefix materializer
+/// (both the posting cut and the joint-selectivity estimate), so the future
+/// calibrated cost model (ROADMAP AQP item) has exactly one seam to
+/// replace. Referenced from the planner unit tests
+/// (`crossover_constant_separates_scan_and_posting_plans`).
+pub(crate) const BLOCK_SCAN_CROSSOVER_DEN: usize = 32;
 
 /// Per-attribute posting list: tuple indices grouped by attribute value.
 ///
@@ -91,57 +121,86 @@ struct RankColumns {
     maxs: Vec<Vec<Value>>,
 }
 
-impl RankColumns {
-    /// The zone-map block walk shared by the early-terminating rank scan
-    /// and the batch executor's shared-conjunction materializer: visits the
-    /// rank order block by block, skips blocks whose zone maps prove no
-    /// member can satisfy some bound, and hands the caller every surviving
-    /// block's base rank plus its non-empty lane bitset (bit i set iff the
-    /// block's i-th member lies inside every bound; a bound the whole block
-    /// provably satisfies needs no lane pass). Lanes are rank-ordered, so
-    /// consuming set bits low-to-high walks candidates best-ranked first.
-    /// Stops early when `emit` returns `false`.
-    fn for_each_matching_block(
-        &self,
-        perm: &[u32],
-        cons: &[(AttrId, Value, Value)],
-        mut emit: impl FnMut(usize, u64) -> bool,
-    ) {
-        for (b, chunk) in perm.chunks(BLOCK).enumerate() {
-            // Zone check: can any member of this block satisfy every bound?
-            let survives = cons
-                .iter()
-                .all(|&(attr, lo, hi)| self.mins[attr][b] <= hi && self.maxs[attr][b] >= lo);
-            if !survives {
-                continue;
-            }
-            // Lane bitset: built branch-free, one attribute at a time, from
-            // the columnar rank-ordered values.
-            let base = b * BLOCK;
-            let mut mask: u64 = if chunk.len() == BLOCK {
-                u64::MAX
-            } else {
-                (1u64 << chunk.len()) - 1
-            };
-            for &(attr, lo, hi) in cons {
-                if self.mins[attr][b] >= lo && self.maxs[attr][b] <= hi {
-                    continue;
-                }
-                let col = &self.cols[attr][base..base + chunk.len()];
-                let mut m = 0u64;
-                for (lane, &v) in col.iter().enumerate() {
-                    m |= u64::from(v >= lo && v <= hi) << lane;
-                }
-                mask &= m;
-                if mask == 0 {
-                    break;
-                }
-            }
-            if mask != 0 && !emit(base, mask) {
-                return;
-            }
-        }
+/// The fully-materialized in-RAM index — what [`QueryIndex::build`]
+/// produces and what [`crate::SegmentWriter`] persists.
+pub(crate) struct RamIndex {
+    /// `perm[r]` = store index of the tuple at rank `r` (best first), when
+    /// the ranker exposes a deterministic total order.
+    perm: Option<Vec<u32>>,
+    /// Inverse of `perm`: store index → rank position. Empty when `perm` is
+    /// `None`.
+    rank_of: Vec<u32>,
+    /// Columnar values + per-block min/max over the rank order. `None` iff
+    /// `perm` is.
+    zones: Option<RankColumns>,
+    postings: Vec<Posting>,
+}
+
+impl RamIndex {
+    /// The rank permutation, if the ranker exposes a total order.
+    pub(crate) fn perm(&self) -> Option<&[u32]> {
+        self.perm.as_deref()
     }
+
+    /// The inverse permutation (empty when [`RamIndex::perm`] is `None`).
+    pub(crate) fn rank_of(&self) -> &[u32] {
+        &self.rank_of
+    }
+
+    /// The rank-ordered column of `attr`. Requires a rank order.
+    pub(crate) fn rank_col(&self, attr: AttrId) -> &[Value] {
+        &self
+            .zones
+            .as_ref()
+            .expect("rank columns require a rank order")
+            .cols[attr]
+    }
+
+    /// Per-block zone-map minima of `attr`. Requires a rank order.
+    pub(crate) fn zone_mins(&self, attr: AttrId) -> &[Value] {
+        &self
+            .zones
+            .as_ref()
+            .expect("zone maps require a rank order")
+            .mins[attr]
+    }
+
+    /// Per-block zone-map maxima of `attr`. Requires a rank order.
+    pub(crate) fn zone_maxs(&self, attr: AttrId) -> &[Value] {
+        &self
+            .zones
+            .as_ref()
+            .expect("zone maps require a rank order")
+            .maxs[attr]
+    }
+
+    /// Prefix-count table of `attr`'s posting list (`domain_size + 1`
+    /// entries).
+    pub(crate) fn posting_starts(&self, attr: AttrId) -> &[u32] {
+        &self.postings[attr].starts
+    }
+
+    /// Value-bucketed store indices of `attr`'s posting list.
+    pub(crate) fn posting_order(&self, attr: AttrId) -> &[u32] {
+        &self.postings[attr].order
+    }
+}
+
+/// Where a [`QueryIndex`] reads its precomputed structures from.
+pub(crate) enum IndexBackend {
+    /// Built in RAM at construction ([`QueryIndex::build`]).
+    Ram(RamIndex),
+    /// Served lazily from a persisted columnar segment
+    /// ([`QueryIndex::from_segment`]).
+    Segment(Arc<SegmentReader>),
+}
+
+/// Dominance facts for rankers without a total order: built eagerly with a
+/// RAM index, on first need (after full hydration) with a segment backend —
+/// so dominance precomputation stays off the segment cold-open path.
+enum DomSource {
+    Built(Option<DominanceIndex>),
+    Lazy(OnceLock<Option<DominanceIndex>>),
 }
 
 /// Outcome of one indexed execution.
@@ -173,23 +232,12 @@ pub(crate) struct Scratch {
     hits: Vec<u32>,
 }
 
-/// The per-database index: rank permutation + zone maps + posting lists.
+/// The per-database index: rank permutation + zone maps + posting lists,
+/// backed either by RAM or by a persisted segment.
 pub(crate) struct QueryIndex {
     n: usize,
-    /// `perm[r]` = store index of the tuple at rank `r` (best first), when
-    /// the ranker exposes a deterministic total order.
-    perm: Option<Vec<u32>>,
-    /// Inverse of `perm`: store index → rank position. Empty when `perm` is
-    /// `None`.
-    rank_of: Vec<u32>,
-    /// Columnar values + per-block min/max over the rank order. `None` iff
-    /// `perm` is.
-    zones: Option<RankColumns>,
-    postings: Vec<Posting>,
-    /// Precomputed dominance facts for dominance-driven rankers (those
-    /// without a total order); handed to every
-    /// [`Ranker::select_top_k_indices`] call on the fallback path.
-    dom: Option<DominanceIndex>,
+    backend: IndexBackend,
+    dom: DomSource,
 }
 
 impl QueryIndex {
@@ -254,23 +302,254 @@ impl QueryIndex {
         };
         QueryIndex {
             n,
-            perm,
-            rank_of,
-            zones,
-            postings,
-            dom,
+            backend: IndexBackend::Ram(RamIndex {
+                perm,
+                rank_of,
+                zones,
+                postings,
+            }),
+            dom: DomSource::Built(dom),
+        }
+    }
+
+    /// Wraps an opened segment as an index: nothing is read eagerly beyond
+    /// what [`SegmentReader::open`] already validated (footer + zone maps +
+    /// prefix counts), so this is the O(touched blocks) cold-open path.
+    pub(crate) fn from_segment(reader: Arc<SegmentReader>) -> Self {
+        QueryIndex {
+            n: reader.n(),
+            backend: IndexBackend::Segment(reader),
+            dom: DomSource::Lazy(OnceLock::new()),
+        }
+    }
+
+    /// The RAM view of the index, if it was built in RAM (what the segment
+    /// writer serializes). `None` for segment-backed indexes.
+    pub(crate) fn ram(&self) -> Option<&RamIndex> {
+        match &self.backend {
+            IndexBackend::Ram(r) => Some(r),
+            IndexBackend::Segment(_) => None,
+        }
+    }
+
+    /// Whether a rank permutation exists (the ranker exposed a total order).
+    fn has_perm(&self) -> bool {
+        match &self.backend {
+            IndexBackend::Ram(r) => r.perm.is_some(),
+            IndexBackend::Segment(s) => s.has_perm(),
         }
     }
 
     /// Number of tuples whose value on `attr` lies in `[lo, hi]` — the O(1)
     /// selectivity oracle used for predicate ordering (and exposed through
-    /// [`crate::HiddenDb::selectivity`]).
+    /// [`crate::HiddenDb::selectivity`]). Served from the eager prefix
+    /// counts on both backends, so planning never touches lazy chunks.
     pub(crate) fn range_count(&self, attr: AttrId, lo: Value, hi: Value) -> usize {
-        let p = &self.postings[attr];
         if lo > hi {
             return 0;
         }
-        (p.starts[hi as usize + 1] - p.starts[lo as usize]) as usize
+        match &self.backend {
+            IndexBackend::Ram(r) => {
+                let s = &r.postings[attr].starts;
+                (s[hi as usize + 1] - s[lo as usize]) as usize
+            }
+            IndexBackend::Segment(s) => s.range_count(attr, lo, hi),
+        }
+    }
+
+    /// Zone-map `(min, max)` of rank block `b` on `attr`. Eager on both
+    /// backends; requires a rank order.
+    fn zone(&self, attr: AttrId, b: usize) -> (Value, Value) {
+        match &self.backend {
+            IndexBackend::Ram(r) => {
+                let z = r.zones.as_ref().expect("zone maps require a rank order");
+                (z.mins[attr][b], z.maxs[attr][b])
+            }
+            IndexBackend::Segment(s) => s.zone(attr, b),
+        }
+    }
+
+    /// Store index of the tuple at rank `rank`.
+    fn perm_at(&self, rank: usize) -> Result<u32, SegmentError> {
+        match &self.backend {
+            IndexBackend::Ram(r) => {
+                Ok(r.perm.as_ref().expect("perm_at requires a rank order")[rank])
+            }
+            IndexBackend::Segment(s) => s.perm_at(rank),
+        }
+    }
+
+    /// Rank position of the tuple at store index `idx`.
+    fn rank_of_at(&self, idx: usize) -> Result<u32, SegmentError> {
+        match &self.backend {
+            IndexBackend::Ram(r) => Ok(r.rank_of[idx]),
+            IndexBackend::Segment(s) => s.rank_of_at(idx),
+        }
+    }
+
+    /// Value of the rank-`rank` tuple on `attr` (rank-ordered column).
+    fn rank_value_at(&self, attr: AttrId, rank: usize) -> Result<Value, SegmentError> {
+        match &self.backend {
+            IndexBackend::Ram(r) => Ok(r
+                .zones
+                .as_ref()
+                .expect("rank columns require a rank order")
+                .cols[attr][rank]),
+            IndexBackend::Segment(s) => s.rank_value_at(attr, rank),
+        }
+    }
+
+    /// The contiguous rank-ordered column values of zone block `b` on
+    /// `attr` (`len` values).
+    fn rank_col_block(&self, attr: AttrId, b: usize, len: usize) -> Result<&[Value], SegmentError> {
+        match &self.backend {
+            IndexBackend::Ram(r) => {
+                let z = r.zones.as_ref().expect("rank columns require a rank order");
+                let base = b * BLOCK;
+                Ok(&z.cols[attr][base..base + len])
+            }
+            IndexBackend::Segment(s) => s.rank_col_block(attr, b, len),
+        }
+    }
+
+    /// Value of the tuple at store index `idx` on `attr`, via the columnar
+    /// data — never hydrates a tuple on the segment backend.
+    fn value_at(
+        &self,
+        store: &TupleStore,
+        idx: usize,
+        attr: AttrId,
+    ) -> Result<Value, SegmentError> {
+        match &self.backend {
+            IndexBackend::Ram(_) => Ok(store[idx].values[attr]),
+            IndexBackend::Segment(s) => s.store_value_at(attr, idx),
+        }
+    }
+
+    /// Box-membership of the tuple at store index `idx` against `cons`, via
+    /// the columnar data (tuple-free on the segment backend).
+    fn within_bounds_at(
+        &self,
+        store: &TupleStore,
+        idx: usize,
+        cons: &[(AttrId, Value, Value)],
+    ) -> Result<bool, SegmentError> {
+        match &self.backend {
+            IndexBackend::Ram(_) => Ok(store[idx].within_bounds(cons)),
+            IndexBackend::Segment(s) => {
+                for &(attr, lo, hi) in cons {
+                    let v = s.store_value_at(attr, idx)?;
+                    if v < lo || v > hi {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Walks `attr`'s posting order over `[lo, hi]`: store indices,
+    /// ascending within each value bucket — identical iteration order on
+    /// both backends.
+    fn for_posting(
+        &self,
+        attr: AttrId,
+        lo: Value,
+        hi: Value,
+        f: &mut dyn FnMut(u32) -> Result<(), SegmentError>,
+    ) -> Result<(), SegmentError> {
+        if lo > hi {
+            return Ok(());
+        }
+        match &self.backend {
+            IndexBackend::Ram(r) => {
+                let p = &r.postings[attr];
+                let range = p.starts[lo as usize] as usize..p.starts[hi as usize + 1] as usize;
+                for &idx in &p.order[range] {
+                    f(idx)?;
+                }
+                Ok(())
+            }
+            IndexBackend::Segment(s) => s.for_posting(attr, lo, hi, f),
+        }
+    }
+
+    /// The dominance index for fallback rankers. Eagerly built alongside a
+    /// RAM index; with a segment backend it is computed on first need, after
+    /// fully hydrating the store (fallback selection walks tuples anyway).
+    fn dom(
+        &self,
+        store: &TupleStore,
+        schema: &Schema,
+        ranker: &dyn Ranker,
+    ) -> Result<Option<&DominanceIndex>, SegmentError> {
+        match &self.dom {
+            DomSource::Built(d) => Ok(d.as_ref()),
+            DomSource::Lazy(cell) => {
+                if let Some(d) = cell.get() {
+                    return Ok(d.as_ref());
+                }
+                store.try_hydrate_all()?;
+                Ok(cell
+                    .get_or_init(|| ranker.precompute_dominance(store, schema))
+                    .as_ref())
+            }
+        }
+    }
+
+    /// The zone-map block walk shared by the early-terminating rank scan
+    /// and the batch executor's shared-conjunction materializer: visits the
+    /// rank order block by block, skips blocks whose zone maps prove no
+    /// member can satisfy some bound, and hands the caller every surviving
+    /// block's base rank plus its non-empty lane bitset (bit i set iff the
+    /// block's i-th member lies inside every bound; a bound the whole block
+    /// provably satisfies needs no lane pass). Lanes are rank-ordered, so
+    /// consuming set bits low-to-high walks candidates best-ranked first.
+    /// Stops early when `emit` returns `Ok(false)`.
+    fn for_each_matching_block(
+        &self,
+        cons: &[(AttrId, Value, Value)],
+        emit: &mut dyn FnMut(usize, u64) -> Result<bool, SegmentError>,
+    ) -> Result<(), SegmentError> {
+        let blocks = self.n.div_ceil(BLOCK);
+        for b in 0..blocks {
+            // Zone check: can any member of this block satisfy every bound?
+            let survives = cons.iter().all(|&(attr, lo, hi)| {
+                let (bmin, bmax) = self.zone(attr, b);
+                bmin <= hi && bmax >= lo
+            });
+            if !survives {
+                continue;
+            }
+            // Lane bitset: built branch-free, one attribute at a time, from
+            // the columnar rank-ordered values.
+            let base = b * BLOCK;
+            let len = BLOCK.min(self.n - base);
+            let mut mask: u64 = if len == BLOCK {
+                u64::MAX
+            } else {
+                (1u64 << len) - 1
+            };
+            for &(attr, lo, hi) in cons {
+                let (bmin, bmax) = self.zone(attr, b);
+                if bmin >= lo && bmax <= hi {
+                    continue;
+                }
+                let col = self.rank_col_block(attr, b, len)?;
+                let mut m = 0u64;
+                for (lane, &v) in col.iter().enumerate() {
+                    m |= u64::from(v >= lo && v <= hi) << lane;
+                }
+                mask &= m;
+                if mask == 0 {
+                    break;
+                }
+            }
+            if mask != 0 && !emit(base, mask)? {
+                return Ok(());
+            }
+        }
+        Ok(())
     }
 
     /// Executes a validated query against the store, using the caller's
@@ -278,7 +557,8 @@ impl QueryIndex {
     ///
     /// `need_matched` forces a plan that knows the exact matching count
     /// (used when the access log is recording); it never changes the answer,
-    /// only how much counting work is done.
+    /// only how much counting work is done. An `Err` is only possible on
+    /// the segment backend (I/O failure or corrupted chunk).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn execute(
         &self,
@@ -289,50 +569,47 @@ impl QueryIndex {
         ranker: &dyn Ranker,
         need_matched: bool,
         scratch: &mut Scratch,
-    ) -> ExecOutcome {
+    ) -> Result<ExecOutcome, SegmentError> {
         let Some(best) = self.plan(query, schema, &mut scratch.bounds, &mut scratch.cons) else {
-            return ExecOutcome {
+            return Ok(ExecOutcome {
                 returned: Vec::new(),
                 overflowed: false,
                 matched: Some(0),
-            };
+            });
         };
 
-        match (&self.perm, best) {
+        match (self.has_perm(), best) {
             // SELECT * (no constraints): the answer is the head of the rank
             // order.
-            (Some(perm), None) => {
-                let returned = perm[..k.min(self.n)]
-                    .iter()
-                    .map(|&i| store.share(i as usize))
-                    .collect();
-                ExecOutcome {
+            (true, None) => {
+                let take = k.min(self.n);
+                let mut returned = Vec::with_capacity(take);
+                for r in 0..take {
+                    returned.push(store.try_share(self.perm_at(r)? as usize)?);
+                }
+                Ok(ExecOutcome {
                     returned,
                     overflowed: self.n > k,
                     matched: Some(self.n),
-                }
+                })
             }
-            (Some(perm), Some((count, best_pos))) => {
+            (true, Some((count, best_pos))) => {
                 if count == 0 {
-                    return ExecOutcome {
+                    return Ok(ExecOutcome {
                         returned: Vec::new(),
                         overflowed: false,
                         matched: Some(0),
-                    };
+                    });
                 }
                 // Plan choice: walking the most selective posting list costs
                 // `count` rank lookups plus a k-selection and yields an
                 // exact match count; the block rank scan touches columnar
                 // values in preference order and stops after k matches + 1
-                // overflow probe. The block engine costs ~1 sequential u32
-                // read per visited rank versus a pointer-chasing push per
-                // posting candidate (~20-30x more), so it wins well below
-                // 50% selectivity; n/32 is the empirical crossover on the
-                // discovery workloads (MQ/BASELINE region queries of the
-                // paper's figure suite). The access log needs exact counts,
+                // overflow probe (see [`BLOCK_SCAN_CROSSOVER_DEN`] for the
+                // crossover rationale). The access log needs exact counts,
                 // so `need_matched` pins the posting plan.
-                if !need_matched && count * 32 >= self.n {
-                    self.rank_scan(perm, k, store, &scratch.cons)
+                if !need_matched && count * BLOCK_SCAN_CROSSOVER_DEN >= self.n {
+                    self.rank_scan(k, store, &scratch.cons)
                 } else {
                     self.posting_topk(k, store, &scratch.cons, best_pos, &mut scratch.hits)
                 }
@@ -340,7 +617,7 @@ impl QueryIndex {
             // No precomputed order (randomized / adversarial rankers): defer
             // ranking to the ranker itself on the exact matching set, using
             // the posting list only to prune the candidates.
-            (None, _) => self.ranker_fallback(query, k, store, schema, ranker, best, scratch),
+            (false, _) => self.ranker_fallback(query, k, store, schema, ranker, best, scratch),
         }
     }
 
@@ -391,19 +668,14 @@ impl QueryIndex {
     /// and branching dominated broad-range queries.
     fn rank_scan(
         &self,
-        perm: &[u32],
         k: usize,
         store: &TupleStore,
         cons: &[(AttrId, Value, Value)],
-    ) -> ExecOutcome {
-        let zones = self
-            .zones
-            .as_ref()
-            .expect("rank_scan requires rank columns alongside the rank order");
+    ) -> Result<ExecOutcome, SegmentError> {
         let mut returned = Vec::with_capacity(k.min(16));
         let mut seen = 0usize;
         let mut overflowed = false;
-        zones.for_each_matching_block(perm, cons, |base, mut mask| {
+        self.for_each_matching_block(cons, &mut |base, mut mask| {
             // Consuming set bits low-to-high preserves the answer order of
             // the old tuple-at-a-time walk exactly.
             while mask != 0 {
@@ -413,13 +685,13 @@ impl QueryIndex {
                 if seen > k {
                     // Overflow probe: one extra match proves truncation.
                     overflowed = true;
-                    return false;
+                    return Ok(false);
                 }
-                returned.push(store.share(perm[base + lane] as usize));
+                returned.push(store.try_share(self.perm_at(base + lane)? as usize)?);
             }
-            true
-        });
-        if overflowed {
+            Ok(true)
+        })?;
+        Ok(if overflowed {
             ExecOutcome {
                 returned,
                 overflowed: true,
@@ -431,12 +703,12 @@ impl QueryIndex {
                 overflowed: false,
                 matched: Some(seen),
             }
-        }
+        })
     }
 
     /// Selective-query plan: iterate the most selective predicate's posting
-    /// range, bound-check the remaining attributes, then pick the k best by
-    /// precomputed rank position with one partial selection.
+    /// range, bound-check the remaining attributes columnar-only, then pick
+    /// the k best by precomputed rank position with one partial selection.
     fn posting_topk(
         &self,
         k: usize,
@@ -444,25 +716,28 @@ impl QueryIndex {
         cons: &[(AttrId, Value, Value)],
         best_pos: usize,
         hits: &mut Vec<u32>,
-    ) -> ExecOutcome {
+    ) -> Result<ExecOutcome, SegmentError> {
         let (attr, lo, hi) = cons[best_pos];
-        let posting = &self.postings[attr];
-        let range = posting.starts[lo as usize] as usize..posting.starts[hi as usize + 1] as usize;
         hits.clear();
-        for &idx in &posting.order[range] {
-            let tuple = &store[idx as usize];
+        self.for_posting(attr, lo, hi, &mut |idx| {
             // The posting range already guarantees the best attribute's
             // bounds; check the others.
-            let ok = cons.iter().enumerate().all(|(i, &(a, lo, hi))| {
-                i == best_pos || {
-                    let v = tuple.values[a];
-                    v >= lo && v <= hi
+            let mut ok = true;
+            for (i, &(a, lo, hi)) in cons.iter().enumerate() {
+                if i == best_pos {
+                    continue;
                 }
-            });
-            if ok {
-                hits.push(self.rank_of[idx as usize]);
+                let v = self.value_at(store, idx as usize, a)?;
+                if v < lo || v > hi {
+                    ok = false;
+                    break;
+                }
             }
-        }
+            if ok {
+                hits.push(self.rank_of_at(idx as usize)?);
+            }
+            Ok(())
+        })?;
         let matched = hits.len();
         let overflowed = matched > k;
         if overflowed {
@@ -472,19 +747,15 @@ impl QueryIndex {
             hits.truncate(k);
         }
         hits.sort_unstable();
-        let perm = self
-            .perm
-            .as_ref()
-            .expect("posting_topk requires a rank order");
-        let returned = hits
-            .iter()
-            .map(|&rank| store.share(perm[rank as usize] as usize))
-            .collect();
-        ExecOutcome {
+        let mut returned = Vec::with_capacity(hits.len());
+        for &rank in hits.iter() {
+            returned.push(store.try_share(self.perm_at(rank as usize)? as usize)?);
+        }
+        Ok(ExecOutcome {
             returned,
             overflowed,
             matched: Some(matched),
-        }
+        })
     }
 
     /// Fallback for rankers without a precomputed order: materialize the
@@ -502,35 +773,36 @@ impl QueryIndex {
         ranker: &dyn Ranker,
         best: Option<(usize, usize)>,
         scratch: &mut Scratch,
-    ) -> ExecOutcome {
-        let hits = &mut scratch.hits;
+    ) -> Result<ExecOutcome, SegmentError> {
+        let Scratch { cons, hits, .. } = scratch;
         hits.clear();
         match best {
             Some((_, best_pos)) => {
-                let (attr, lo, hi) = scratch.cons[best_pos];
-                let posting = &self.postings[attr];
-                let range =
-                    posting.starts[lo as usize] as usize..posting.starts[hi as usize + 1] as usize;
-                for &idx in &posting.order[range] {
-                    if store[idx as usize].within_bounds(&scratch.cons) {
+                let (attr, lo, hi) = cons[best_pos];
+                self.for_posting(attr, lo, hi, &mut |idx| {
+                    if self.within_bounds_at(store, idx as usize, cons)? {
                         hits.push(idx);
                     }
-                }
+                    Ok(())
+                })?;
                 // Store order, exactly like the naive scan's filter pass
                 // (this matters for rankers that consume randomness).
                 hits.sort_unstable();
             }
             None => hits.extend(0..self.n as u32),
         }
+        // Resolve dominance facts first: on the segment backend this fully
+        // hydrates the store, so every tuple access below is infallible.
+        let dom = self.dom(store, schema, ranker)?;
         debug_assert!(hits.iter().all(|&i| query.matches(&store[i as usize])));
         let matched = hits.len();
-        let selected = ranker.select_top_k_indices(store, hits, k, schema, self.dom.as_ref());
+        let selected = ranker.select_top_k_indices(store, hits, k, schema, dom);
         let returned = selected.iter().map(|&i| store.share(i as usize)).collect();
-        ExecOutcome {
+        Ok(ExecOutcome {
             returned,
             overflowed: matched > k,
             matched: Some(matched),
-        }
+        })
     }
 }
 
@@ -582,10 +854,10 @@ impl QueryIndex {
         group_len: usize,
         store: &TupleStore,
         schema: &Schema,
-    ) -> SharedGroup {
+    ) -> Result<SharedGroup, SegmentError> {
         let mut bounds = Vec::new();
         if !fold_bounds(prefix, schema, &mut bounds) {
-            return SharedGroup::Empty;
+            return Ok(SharedGroup::Empty);
         }
         let mut cons: Vec<(AttrId, Value, Value)> = Vec::new();
         let mut best: Option<(usize, usize)> = None;
@@ -603,41 +875,39 @@ impl QueryIndex {
         }
         let Some((count, best_pos)) = best else {
             // Unconstrained prefix (`SELECT *`-shaped): nothing to share.
-            return SharedGroup::PerQuery;
+            return Ok(SharedGroup::PerQuery);
         };
         if count == 0 {
-            return SharedGroup::Empty;
+            return Ok(SharedGroup::Empty);
         }
         if group_len < 2 {
             // A singleton amortizes nothing over the per-query plans.
-            return SharedGroup::PerQuery;
+            return Ok(SharedGroup::PerQuery);
         }
-        let ranked = !self.rank_of.is_empty();
-        if count * 32 < self.n {
+        let ranked = self.has_perm();
+        if count * BLOCK_SCAN_CROSSOVER_DEN < self.n {
             // Posting-list intersection: one attribute is selective enough
             // that walking its posting range (what every member's own
             // posting plan would do anyway) materializes the shared
             // candidates once for the whole group.
             let (attr, lo, hi) = cons[best_pos];
-            let posting = &self.postings[attr];
-            let range =
-                posting.starts[lo as usize] as usize..posting.starts[hi as usize + 1] as usize;
             let mut hits = Vec::with_capacity(count);
-            for &idx in &posting.order[range] {
-                if store[idx as usize].within_bounds(&cons) {
+            self.for_posting(attr, lo, hi, &mut |idx| {
+                if self.within_bounds_at(store, idx as usize, &cons)? {
                     hits.push(if ranked {
-                        self.rank_of[idx as usize]
+                        self.rank_of_at(idx as usize)?
                     } else {
                         idx
                     });
                 }
-            }
+                Ok(())
+            })?;
             hits.sort_unstable();
-            return if ranked {
+            return Ok(if ranked {
                 SharedGroup::Ranked { hits, bounds }
             } else {
                 SharedGroup::StoreOrder { hits, bounds }
-            };
+            });
         }
         // Every individual attribute is broad. Tree frontiers still produce
         // *jointly* selective conjunctions (each sibling inherits its whole
@@ -651,30 +921,33 @@ impl QueryIndex {
             .map(|&(attr, lo, hi)| self.range_count(attr, lo, hi) as f64 / self.n as f64)
             .product::<f64>()
             * self.n as f64;
-        if est * 32.0 >= self.n as f64 {
-            return SharedGroup::PerQuery;
+        if est * BLOCK_SCAN_CROSSOVER_DEN as f64 >= self.n as f64 {
+            return Ok(SharedGroup::PerQuery);
         }
-        if let (Some(perm), Some(zones)) = (&self.perm, &self.zones) {
+        if ranked {
             // Zone-map scan over the rank-ordered columns (the same block
             // walk the rank scan uses, without early termination): the
             // collected rank positions arrive already sorted.
             let mut hits = Vec::new();
-            zones.for_each_matching_block(perm, &cons, |base, mut mask| {
+            self.for_each_matching_block(&cons, &mut |base, mut mask| {
                 while mask != 0 {
                     let lane = mask.trailing_zeros() as usize;
                     mask &= mask - 1;
                     hits.push((base + lane) as u32);
                 }
-                true
-            });
-            SharedGroup::Ranked { hits, bounds }
+                Ok(true)
+            })?;
+            Ok(SharedGroup::Ranked { hits, bounds })
         } else {
             // No rank order (randomized / adversarial rankers): one full
             // box-membership pass, amortized over the group.
-            let hits = (0..self.n as u32)
-                .filter(|&idx| store[idx as usize].within_bounds(&cons))
-                .collect();
-            SharedGroup::StoreOrder { hits, bounds }
+            let mut hits = Vec::new();
+            for idx in 0..self.n as u32 {
+                if self.within_bounds_at(store, idx as usize, &cons)? {
+                    hits.push(idx);
+                }
+            }
+            Ok(SharedGroup::StoreOrder { hits, bounds })
         }
     }
 
@@ -696,20 +969,20 @@ impl QueryIndex {
         ranker: &dyn Ranker,
         need_matched: bool,
         scratch: &mut Scratch,
-    ) -> ExecOutcome {
+    ) -> Result<ExecOutcome, SegmentError> {
         let empty = || ExecOutcome {
             returned: Vec::new(),
             overflowed: false,
             matched: Some(0),
         };
         let (hits, shared_bounds, ranked) = match shared {
-            SharedGroup::Empty => return empty(),
+            SharedGroup::Empty => return Ok(empty()),
             SharedGroup::Ranked { hits, bounds } => (hits, bounds, true),
             SharedGroup::StoreOrder { hits, bounds } => (hits, bounds, false),
             SharedGroup::PerQuery => unreachable!("PerQuery groups bypass shared execution"),
         };
         if !fold_bounds(query.predicates(), schema, &mut scratch.bounds) {
-            return empty();
+            return Ok(empty());
         }
         // Per-member cost choice: a member whose own most selective posting
         // range is much smaller than the shared candidate set (its private
@@ -740,62 +1013,66 @@ impl QueryIndex {
             // Candidates arrive best-ranked first: the answer is the first k
             // residual matches, early-terminating after one overflow probe
             // unless the caller needs the exact match count for the log.
-            let zones = self
-                .zones
-                .as_ref()
-                .expect("ranked shared groups require rank columns");
-            let perm = self
-                .perm
-                .as_ref()
-                .expect("ranked shared groups require a rank order");
             let mut returned = Vec::with_capacity(k.min(16));
             let mut seen = 0usize;
             for &r in hits {
                 let r = r as usize;
-                let ok = scratch.cons.iter().all(|&(attr, lo, hi)| {
-                    let v = zones.cols[attr][r];
-                    v >= lo && v <= hi
-                });
+                let mut ok = true;
+                for &(attr, lo, hi) in scratch.cons.iter() {
+                    let v = self.rank_value_at(attr, r)?;
+                    if v < lo || v > hi {
+                        ok = false;
+                        break;
+                    }
+                }
                 if !ok {
                     continue;
                 }
                 seen += 1;
                 if seen <= k {
-                    returned.push(store.share(perm[r] as usize));
+                    returned.push(store.try_share(self.perm_at(r)? as usize)?);
                 } else if !need_matched {
-                    return ExecOutcome {
+                    return Ok(ExecOutcome {
                         returned,
                         overflowed: true,
                         matched: None,
-                    };
+                    });
                 }
             }
-            ExecOutcome {
+            Ok(ExecOutcome {
                 returned,
                 overflowed: seen > k,
                 matched: Some(seen),
-            }
+            })
         } else {
             // No precomputed order: hand the exact matching set (ascending
             // store order, as the sequential fallback materializes it) to
             // the ranker, offering the same precomputed dominance index.
-            let hits_out = &mut scratch.hits;
-            hits_out.clear();
-            for &idx in hits {
-                if store[idx as usize].within_bounds(&scratch.cons) {
-                    hits_out.push(idx);
+            {
+                let hits_out = &mut scratch.hits;
+                hits_out.clear();
+                for &idx in hits {
+                    if self.within_bounds_at(store, idx as usize, &scratch.cons)? {
+                        hits_out.push(idx);
+                    }
                 }
             }
-            debug_assert!(hits_out.iter().all(|&i| query.matches(&store[i as usize])));
-            let matched = hits_out.len();
-            let selected =
-                ranker.select_top_k_indices(store, hits_out, k, schema, self.dom.as_ref());
+            // Dominance facts before any tuple access: on the segment
+            // backend this hydrates the store (fallback selection needs the
+            // tuples regardless).
+            let dom = self.dom(store, schema, ranker)?;
+            debug_assert!(scratch
+                .hits
+                .iter()
+                .all(|&i| query.matches(&store[i as usize])));
+            let matched = scratch.hits.len();
+            let selected = ranker.select_top_k_indices(store, &scratch.hits, k, schema, dom);
             let returned = selected.iter().map(|&i| store.share(i as usize)).collect();
-            ExecOutcome {
+            Ok(ExecOutcome {
                 returned,
                 overflowed: matched > k,
                 matched: Some(matched),
-            }
+            })
         }
     }
 }
@@ -837,17 +1114,29 @@ pub(crate) fn execute_plan(
             };
             let log_enabled = db.log_on();
             let (tuples, overflowed, matched) = if g.prefix_len == 0 || g.len < 2 {
-                db.exec_validated(q, log_enabled, scratch)
+                match db.exec_validated(q, log_enabled, scratch) {
+                    Ok(out) => out,
+                    Err(e) => return Some(e),
+                }
             } else {
                 let prefix = &group[0].predicates()[..g.prefix_len];
                 match db.strategy() {
                     ExecStrategy::Indexed => {
                         let index = db.index();
-                        let ctx = shared.get_or_insert_with(|| {
-                            index.prepare_shared(prefix, g.len, db.store(), db.schema())
-                        });
+                        if shared.is_none() {
+                            match index.prepare_shared(prefix, g.len, db.store(), db.schema()) {
+                                Ok(sg) => shared = Some(sg),
+                                Err(e) => return Some(QueryError::Storage { error: e }),
+                            }
+                        }
+                        let ctx = shared.as_ref().expect("shared context just prepared");
                         match ctx {
-                            SharedGroup::PerQuery => db.exec_validated(q, log_enabled, scratch),
+                            SharedGroup::PerQuery => {
+                                match db.exec_validated(q, log_enabled, scratch) {
+                                    Ok(out) => out,
+                                    Err(e) => return Some(e),
+                                }
+                            }
                             ctx => {
                                 let out = index.execute_shared(
                                     ctx,
@@ -859,7 +1148,10 @@ pub(crate) fn execute_plan(
                                     log_enabled,
                                     scratch,
                                 );
-                                (out.returned, out.overflowed, out.matched)
+                                match out {
+                                    Ok(out) => (out.returned, out.overflowed, out.matched),
+                                    Err(e) => return Some(QueryError::Storage { error: e }),
+                                }
                             }
                         }
                     }
@@ -872,6 +1164,9 @@ pub(crate) fn execute_plan(
                         // arguments as the sequential scan, so responses and
                         // RNG consumption are identical.
                         let store = db.store();
+                        if let Err(e) = store.try_hydrate_all() {
+                            return Some(QueryError::Storage { error: e });
+                        }
                         let hits = scan_hits.get_or_insert_with(|| {
                             store
                                 .iter()
@@ -973,9 +1268,11 @@ mod tests {
     #[test]
     fn posting_lists_group_by_value_in_store_order() {
         let (_, store, index) = build();
-        let p = &index.postings[2];
+        let ram = index.ram().expect("built in RAM");
+        let starts = ram.posting_starts(2);
+        let order = ram.posting_order(2);
         // Value 0 → tuples 0, 4; value 1 → 1, 3; value 2 → 2, 5.
-        let bucket = |v: usize| p.order[p.starts[v] as usize..p.starts[v + 1] as usize].to_vec();
+        let bucket = |v: usize| order[starts[v] as usize..starts[v + 1] as usize].to_vec();
         assert_eq!(bucket(0), vec![0, 4]);
         assert_eq!(bucket(1), vec![1, 3]);
         assert_eq!(bucket(2), vec![2, 5]);
@@ -985,20 +1282,18 @@ mod tests {
     #[test]
     fn zone_maps_and_columns_cover_every_block() {
         let (s, store, index) = build();
-        let zones = index.zones.as_ref().expect("SumRanker precomputes");
-        let perm = index.perm.as_ref().unwrap();
+        assert!(index.has_perm(), "SumRanker precomputes");
+        let n = store.len();
         for attr in 0..s.len() {
-            for (b, chunk) in perm.chunks(BLOCK).enumerate() {
-                let values: Vec<Value> = chunk
-                    .iter()
-                    .map(|&i| store[i as usize].values[attr])
+            for b in 0..n.div_ceil(BLOCK) {
+                let len = BLOCK.min(n - b * BLOCK);
+                let values: Vec<Value> = (b * BLOCK..b * BLOCK + len)
+                    .map(|r| store[index.perm_at(r).unwrap() as usize].values[attr])
                     .collect();
-                assert_eq!(zones.mins[attr][b], *values.iter().min().unwrap());
-                assert_eq!(zones.maxs[attr][b], *values.iter().max().unwrap());
-                assert_eq!(
-                    &zones.cols[attr][b * BLOCK..b * BLOCK + chunk.len()],
-                    values
-                );
+                let (zmin, zmax) = index.zone(attr, b);
+                assert_eq!(zmin, *values.iter().min().unwrap());
+                assert_eq!(zmax, *values.iter().max().unwrap());
+                assert_eq!(index.rank_col_block(attr, b, len).unwrap(), values);
             }
         }
     }
@@ -1045,8 +1340,9 @@ mod tests {
                 let naive: Vec<&Tuple> = store.iter().filter(|t| q.matches(t)).collect();
                 let expected = SumRanker.select_top_k(&naive, k, &s);
                 for need_matched in [false, true] {
-                    let out =
-                        index.execute(q, k, &store, &s, &SumRanker, need_matched, &mut scratch);
+                    let out = index
+                        .execute(q, k, &store, &s, &SumRanker, need_matched, &mut scratch)
+                        .expect("RAM execution is infallible");
                     let got: Vec<u64> = out.returned.iter().map(|t| t.id).collect();
                     let want: Vec<u64> = expected.iter().map(|t| t.id).collect();
                     assert_eq!(got, want, "query {q} k={k}");
@@ -1074,15 +1370,59 @@ mod tests {
         let index = QueryIndex::build(&store, &s, &SumRanker);
         let mut scratch = Scratch::default();
         let q = Query::new(vec![Predicate::ge(0, 100)]);
-        let out = index.execute(&q, 3, &store, &s, &SumRanker, false, &mut scratch);
+        let out = index
+            .execute(&q, 3, &store, &s, &SumRanker, false, &mut scratch)
+            .unwrap();
         let ids: Vec<u64> = out.returned.iter().map(|t| t.id).collect();
         assert_eq!(ids, vec![100, 101, 102]);
         assert!(out.overflowed);
         // And an exhaustive (non-overflowing) scan across blocks.
-        let out = index.execute(&q, 60, &store, &s, &SumRanker, false, &mut scratch);
+        let out = index
+            .execute(&q, 60, &store, &s, &SumRanker, false, &mut scratch)
+            .unwrap();
         assert_eq!(out.returned.len(), 50);
         assert!(!out.overflowed);
         assert_eq!(out.matched, Some(50));
+    }
+
+    #[test]
+    fn crossover_constant_separates_scan_and_posting_plans() {
+        // Pins the planner's crossover behaviorally on both sides of
+        // BLOCK_SCAN_CROSSOVER_DEN: a selective predicate
+        // (count * DEN < n) takes the posting plan, which always reports an
+        // exact match count; a broad one (count * DEN >= n) takes the
+        // early-terminating rank scan, whose overflow probe leaves the
+        // count unknown.
+        let s = SchemaBuilder::new()
+            .ranking("a", 200, InterfaceType::Rq)
+            .build();
+        let store = TupleStore::new((0..160).map(|i| Tuple::new(i, vec![i as u32])).collect());
+        let index = QueryIndex::build(&store, &s, &SumRanker);
+        let mut scratch = Scratch::default();
+        let n = store.len();
+
+        let selective = Query::new(vec![Predicate::lt(0, 4)]); // count = 4
+        assert!(4 * BLOCK_SCAN_CROSSOVER_DEN < n);
+        let out = index
+            .execute(&selective, 2, &store, &s, &SumRanker, false, &mut scratch)
+            .unwrap();
+        assert!(out.overflowed);
+        assert_eq!(
+            out.matched,
+            Some(4),
+            "selective plans (count * {BLOCK_SCAN_CROSSOVER_DEN} < n) count exactly"
+        );
+
+        let broad = Query::new(vec![Predicate::lt(0, 8)]); // count = 8
+        assert!(8 * BLOCK_SCAN_CROSSOVER_DEN >= n);
+        let out = index
+            .execute(&broad, 2, &store, &s, &SumRanker, false, &mut scratch)
+            .unwrap();
+        assert!(out.overflowed);
+        assert_eq!(
+            out.matched, None,
+            "broad plans (count * {BLOCK_SCAN_CROSSOVER_DEN} >= n) early-terminate"
+        );
     }
 
     #[test]
@@ -1128,7 +1468,7 @@ mod tests {
                 (vec![Predicate::gt(0, 31)], "empty"),
             ];
             for (prefix, expect) in cases {
-                let shared = index.prepare_shared(&prefix, 4, &store, &s);
+                let shared = index.prepare_shared(&prefix, 4, &store, &s).unwrap();
                 match (expect, &shared) {
                     ("shared", SharedGroup::Ranked { .. } | SharedGroup::StoreOrder { .. })
                     | ("per-query", SharedGroup::PerQuery)
@@ -1148,25 +1488,29 @@ mod tests {
                 for q in &members {
                     for k in [1usize, 5, 100] {
                         for need_matched in [false, true] {
-                            let want = index.execute(
-                                q,
-                                k,
-                                &store,
-                                &s,
-                                ranker.as_ref(),
-                                need_matched,
-                                &mut scratch,
-                            );
-                            let got = index.execute_shared(
-                                &shared,
-                                q,
-                                k,
-                                &store,
-                                &s,
-                                ranker.as_ref(),
-                                need_matched,
-                                &mut scratch,
-                            );
+                            let want = index
+                                .execute(
+                                    q,
+                                    k,
+                                    &store,
+                                    &s,
+                                    ranker.as_ref(),
+                                    need_matched,
+                                    &mut scratch,
+                                )
+                                .unwrap();
+                            let got = index
+                                .execute_shared(
+                                    &shared,
+                                    q,
+                                    k,
+                                    &store,
+                                    &s,
+                                    ranker.as_ref(),
+                                    need_matched,
+                                    &mut scratch,
+                                )
+                                .unwrap();
                             assert_eq!(
                                 ids(&got.returned),
                                 ids(&want.returned),
@@ -1187,15 +1531,17 @@ mod tests {
     fn responses_share_the_store_allocation() {
         let (s, store, index) = build();
         let mut scratch = Scratch::default();
-        let out = index.execute(
-            &Query::select_all(),
-            3,
-            &store,
-            &s,
-            &SumRanker,
-            false,
-            &mut scratch,
-        );
+        let out = index
+            .execute(
+                &Query::select_all(),
+                3,
+                &store,
+                &s,
+                &SumRanker,
+                false,
+                &mut scratch,
+            )
+            .unwrap();
         for t in &out.returned {
             assert!(
                 store.as_slice().iter().any(|u| Arc::ptr_eq(u, t)),

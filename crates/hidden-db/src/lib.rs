@@ -91,6 +91,7 @@ mod index;
 mod predicate;
 mod ranking;
 mod schema;
+mod segment;
 mod session;
 mod stats;
 mod store;
@@ -106,6 +107,10 @@ pub use ranking::{
     SingleAttributeRanker, SumRanker, WeightedSumRanker, WorstCaseRanker,
 };
 pub use schema::{AttributeRole, AttributeSpec, InterfaceType, Schema, SchemaBuilder};
+pub use segment::{
+    BlockSource, FileSource, MemSource, SegmentError, SegmentReader, SegmentWriter, DEFAULT_CHUNK,
+    SEGMENT_VERSION,
+};
 pub use session::Session;
 pub use stats::{AccessLog, AccessLogEntry, QueryStats};
 pub use store::TupleStore;

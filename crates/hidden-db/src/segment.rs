@@ -1,0 +1,1734 @@
+//! Persistent columnar segments: the on-disk form of a [`crate::HiddenDb`].
+//!
+//! Everything the indexed engine precomputes in RAM — the rank permutation,
+//! its inverse, the rank-ordered columnar values with per-64-rank-block zone
+//! maps, and the per-attribute posting lists with prefix counts — is built
+//! once by [`SegmentWriter`] and persisted as independently checksummed
+//! *sections*, so [`SegmentReader`] can serve queries straight off the file:
+//!
+//! * **Cold open is O(footer + eagerly-validated metadata)**, not O(n): the
+//!   reader loads the fixed-size trailer, the footer (schema, ranker name,
+//!   section directory), the zone maps and the posting prefix counts — a
+//!   few hundred KB even at n = 10M — and nothing else.
+//! * **Everything bulky hydrates lazily, per chunk.** Column values, the
+//!   permutation, posting orders, tuple ids and the `Arc<Tuple>`s behind
+//!   query responses materialize only when a query first touches their
+//!   chunk (4096 values by default), and stay cached for the segment's
+//!   lifetime. `Ranker::precompute` never runs on the load path.
+//! * **Every byte is covered by a checksum.** Each section carries the PR 6
+//!   envelope (magic + version + kind + length + FNV-1a 64 checksum); the
+//!   directory is covered by the footer's envelope, and the trailer
+//!   checksums itself. [`SegmentReader::verify`] performs the full O(file)
+//!   scrub — every truncation and every single-bit flip of a segment is
+//!   rejected with a typed [`SegmentError`], never a panic or a silent
+//!   mis-read (pinned by the corruption battery in
+//!   `tests/proptest_segment.rs`).
+//!
+//! Values are compressed with frame-of-reference + bit-packing: each block
+//! of values stores its minimum and the per-value deltas at the smallest
+//! sufficient bit width, which compresses both low-cardinality attribute
+//! columns and the near-sequential tuple-id column well. The full layout is
+//! specified in `docs/segment-format.md`.
+//!
+//! File access goes through one [`BlockSource`] trait with two shipped
+//! implementations — positioned reads against a [`std::fs::File`]
+//! ([`FileSource`]) and an in-memory byte buffer ([`MemSource`]) so tests
+//! and the corruption battery run without touching a filesystem. A
+//! memory-mapped source can slot in behind the same trait without touching
+//! the reader (this crate forbids `unsafe`, so mmap itself stays out).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::File;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+use crate::index::BLOCK;
+use crate::{AttributeRole, AttributeSpec, HiddenDb, InterfaceType, Schema, Tuple, TupleId, Value};
+
+/// Magic bytes every segment section starts with (`b"SWSG"`).
+pub const SEGMENT_MAGIC: [u8; 4] = *b"SWSG";
+
+/// Magic bytes of the fixed-size trailer at the end of the file.
+pub const TRAILER_MAGIC: [u8; 8] = *b"SWSGTAIL";
+
+/// The segment format version this build writes and the only one it reads.
+pub const SEGMENT_VERSION: u16 = 1;
+
+/// Number of values per lazily-hydrated chunk (a multiple of the zone-map
+/// block size, so one zone block never spans two chunks).
+pub const DEFAULT_CHUNK: usize = 4096;
+
+/// Size of the fixed trailer: magic (8) + footer offset (8) + footer length
+/// (8) + FNV-1a 64 checksum of the preceding 24 bytes (8).
+pub const TRAILER_LEN: usize = 32;
+
+const HEADER_LEN: usize = 15;
+const CHECKSUM_LEN: usize = 8;
+
+/// Section kind: the footer (meta + directory).
+const KIND_FOOTER: u8 = 1;
+/// Section kind: zone maps (per-attribute per-block min/max), eager.
+const KIND_ZONES: u8 = 2;
+/// Section kind: one attribute's posting prefix counts, eager.
+const KIND_STARTS: u8 = 3;
+/// Section kind: one chunk of the rank permutation.
+const KIND_PERM: u8 = 4;
+/// Section kind: one chunk of the inverse permutation (store idx → rank).
+const KIND_RANK_OF: u8 = 5;
+/// Section kind: one chunk of one attribute's rank-ordered column.
+const KIND_RANK_COL: u8 = 6;
+/// Section kind: one chunk of one attribute's store-ordered column.
+const KIND_STORE_COL: u8 = 7;
+/// Section kind: one chunk of one attribute's posting order.
+const KIND_ORDER: u8 = 8;
+/// Section kind: one chunk of the tuple ids (u64).
+const KIND_IDS: u8 = 9;
+
+fn kind_name(kind: u8) -> &'static str {
+    match kind {
+        KIND_FOOTER => "footer",
+        KIND_ZONES => "zones",
+        KIND_STARTS => "starts",
+        KIND_PERM => "perm",
+        KIND_RANK_OF => "rank-of",
+        KIND_RANK_COL => "rank-col",
+        KIND_STORE_COL => "store-col",
+        KIND_ORDER => "order",
+        KIND_IDS => "ids",
+        _ => "unknown",
+    }
+}
+
+/// Why a segment was rejected (or a lazy block failed to load). A corrupted,
+/// truncated or foreign file always surfaces as one of these — it is never
+/// silently mis-read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentError {
+    /// The underlying [`BlockSource`] failed (file system error).
+    Io {
+        /// The I/O error kind.
+        kind: std::io::ErrorKind,
+        /// Human-readable detail from the OS error.
+        detail: String,
+    },
+    /// The file (or a section) ends before the structure it claims to carry.
+    Truncated,
+    /// A section does not start with [`SEGMENT_MAGIC`] (or the trailer does
+    /// not start with [`TRAILER_MAGIC`]).
+    BadMagic,
+    /// The segment was written by an unknown format version.
+    UnsupportedVersion {
+        /// The version found in the section header.
+        found: u16,
+    },
+    /// A section carries a different kind than the directory claims.
+    WrongKind {
+        /// The kind the directory (or trailer walk) expected.
+        expected: u8,
+        /// The kind found in the section header.
+        found: u8,
+    },
+    /// A checksum does not match: the bytes were corrupted.
+    ChecksumMismatch,
+    /// A section payload decoded cleanly but left unconsumed bytes behind.
+    TrailingBytes,
+    /// The bytes parse but describe an inconsistent segment (bad directory
+    /// geometry, out-of-range values, wrong chunk lengths, ...).
+    Malformed {
+        /// What was inconsistent.
+        detail: String,
+    },
+    /// The segment was written under a different ranking function than the
+    /// one supplied to [`crate::HiddenDb::open_segment`].
+    RankerMismatch {
+        /// The ranker name recorded in the segment.
+        expected: String,
+        /// The name of the ranker the caller supplied.
+        found: String,
+    },
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::Io { kind, detail } => {
+                write!(f, "segment I/O error ({kind:?}): {detail}")
+            }
+            SegmentError::Truncated => write!(f, "segment is truncated"),
+            SegmentError::BadMagic => write!(f, "bad magic: not a skyweb segment"),
+            SegmentError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported segment version {found} (supported: {SEGMENT_VERSION})"
+            ),
+            SegmentError::WrongKind { expected, found } => write!(
+                f,
+                "wrong section kind {found} (expected {expected} = {})",
+                kind_name(*expected)
+            ),
+            SegmentError::ChecksumMismatch => {
+                write!(f, "segment checksum mismatch: corrupted bytes")
+            }
+            SegmentError::TrailingBytes => {
+                write!(f, "section payload left trailing bytes unconsumed")
+            }
+            SegmentError::Malformed { detail } => write!(f, "malformed segment: {detail}"),
+            SegmentError::RankerMismatch { expected, found } => write!(
+                f,
+                "segment was written under ranker '{expected}' but '{found}' was supplied"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl From<std::io::Error> for SegmentError {
+    fn from(e: std::io::Error) -> Self {
+        SegmentError::Io {
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+fn malformed(detail: impl Into<String>) -> SegmentError {
+    SegmentError::Malformed {
+        detail: detail.into(),
+    }
+}
+
+/// FNV-1a 64-bit hash — the same corruption detector the checkpoint codec
+/// uses.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Random-access byte source a segment is read through.
+///
+/// The reader only ever issues positioned reads of whole sections, so any
+/// backend that can serve `read_exact_at` works: a file ([`FileSource`]), a
+/// byte buffer ([`MemSource`]), or — behind the same trait, without touching
+/// the reader — a memory map or a remote block store.
+pub trait BlockSource: Send + Sync {
+    /// Total number of bytes in the source.
+    fn len(&self) -> u64;
+
+    /// `true` if the source holds no bytes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fills `buf` from the bytes at `offset`, failing (never short-reading)
+    /// if the range is out of bounds.
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), SegmentError>;
+}
+
+/// A [`BlockSource`] over an opened file, using positioned reads (no shared
+/// cursor, so concurrent sessions never serialize on a seek).
+pub struct FileSource {
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: std::sync::Mutex<File>,
+    len: u64,
+}
+
+impl FileSource {
+    /// Opens `path` read-only.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, SegmentError> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        #[cfg(not(unix))]
+        let file = std::sync::Mutex::new(file);
+        Ok(FileSource { file, len })
+    }
+}
+
+impl BlockSource for FileSource {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    #[cfg(unix)]
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), SegmentError> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, offset)?;
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), SegmentError> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = self.file.lock().expect("file source poisoned");
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(buf)?;
+        Ok(())
+    }
+}
+
+/// A [`BlockSource`] over an in-memory byte buffer — how the differential
+/// and corruption test suites exercise the full reader without a filesystem.
+#[derive(Clone)]
+pub struct MemSource {
+    bytes: Arc<[u8]>,
+}
+
+impl MemSource {
+    /// Wraps owned bytes.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        MemSource {
+            bytes: bytes.into(),
+        }
+    }
+}
+
+impl BlockSource for MemSource {
+    fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), SegmentError> {
+        let start = usize::try_from(offset).map_err(|_| SegmentError::Truncated)?;
+        let end = start
+            .checked_add(buf.len())
+            .ok_or(SegmentError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(SegmentError::Truncated);
+        }
+        buf.copy_from_slice(&self.bytes[start..end]);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Envelope + payload primitives
+// ---------------------------------------------------------------------------
+
+/// Wraps `payload` in the magic/version/kind/length/checksum envelope (the
+/// PR 6 checkpoint-codec idiom, under the segment's own magic).
+fn seal(kind: u8, payload: &[u8], out: &mut Vec<u8>) {
+    out.reserve(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    out.extend_from_slice(&SEGMENT_MAGIC);
+    out.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+}
+
+/// Validates the envelope of one section and returns its payload slice.
+/// Every layer is checked in order — magic, version, kind, exact length,
+/// checksum — before a single payload byte is interpreted.
+fn open_envelope(bytes: &[u8], expected_kind: u8) -> Result<&[u8], SegmentError> {
+    if bytes.len() < 4 {
+        return Err(SegmentError::Truncated);
+    }
+    if bytes[..4] != SEGMENT_MAGIC {
+        return Err(SegmentError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(SegmentError::Truncated);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != SEGMENT_VERSION {
+        return Err(SegmentError::UnsupportedVersion { found: version });
+    }
+    let kind = bytes[6];
+    if kind != expected_kind {
+        return Err(SegmentError::WrongKind {
+            expected: expected_kind,
+            found: kind,
+        });
+    }
+    let len = u64::from_le_bytes(bytes[7..15].try_into().expect("8 header bytes"));
+    let Ok(len) = usize::try_from(len) else {
+        return Err(SegmentError::Truncated);
+    };
+    let Some(total) = HEADER_LEN
+        .checked_add(len)
+        .and_then(|n| n.checked_add(CHECKSUM_LEN))
+    else {
+        return Err(SegmentError::Truncated);
+    };
+    if bytes.len() < total {
+        return Err(SegmentError::Truncated);
+    }
+    if bytes.len() > total {
+        return Err(SegmentError::TrailingBytes);
+    }
+    let payload = &bytes[HEADER_LEN..HEADER_LEN + len];
+    let stored = u64::from_le_bytes(bytes[total - CHECKSUM_LEN..].try_into().expect("8 bytes"));
+    if fnv1a64(payload) != stored {
+        return Err(SegmentError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+/// A bounds-checked cursor over a section payload; every read surfaces
+/// [`SegmentError::Truncated`] instead of panicking.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SegmentError> {
+        let end = self.pos.checked_add(n).ok_or(SegmentError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SegmentError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, SegmentError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SegmentError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, SegmentError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn usize(&mut self) -> Result<usize, SegmentError> {
+        usize::try_from(self.u64()?).map_err(|_| SegmentError::Truncated)
+    }
+
+    fn string(&mut self) -> Result<String, SegmentError> {
+        let len = self.usize()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| malformed("non-UTF-8 string"))
+    }
+
+    fn finish(&self) -> Result<(), SegmentError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(SegmentError::TrailingBytes)
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+// Frame-of-reference + bit-packing: `count (u32) · min · width (u8) · packed
+// little-endian u64 words`. Deltas from the block minimum are packed at the
+// smallest sufficient width, low bits first.
+
+fn pack_u64s(values: &[u64], out: &mut Vec<u8>) {
+    let min = values.iter().copied().min().unwrap_or(0);
+    let spread = values.iter().copied().max().unwrap_or(0) - min;
+    let width = if spread == 0 {
+        0u32
+    } else {
+        64 - spread.leading_zeros()
+    };
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    out.extend_from_slice(&min.to_le_bytes());
+    out.push(width as u8);
+    if width == 0 {
+        return;
+    }
+    let mut acc: u128 = 0;
+    let mut used: u32 = 0;
+    for &v in values {
+        acc |= u128::from(v - min) << used;
+        used += width;
+        while used >= 64 {
+            out.extend_from_slice(&((acc & u128::from(u64::MAX)) as u64).to_le_bytes());
+            acc >>= 64;
+            used -= 64;
+        }
+    }
+    if used > 0 {
+        out.extend_from_slice(&((acc & u128::from(u64::MAX)) as u64).to_le_bytes());
+    }
+}
+
+fn pack_u32s(values: &[u32], out: &mut Vec<u8>) {
+    let min = values.iter().copied().min().unwrap_or(0);
+    let spread = values.iter().copied().max().unwrap_or(0) - min;
+    let width = if spread == 0 {
+        0u32
+    } else {
+        32 - spread.leading_zeros()
+    };
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    out.extend_from_slice(&min.to_le_bytes());
+    out.push(width as u8);
+    if width == 0 {
+        return;
+    }
+    let mut acc: u128 = 0;
+    let mut used: u32 = 0;
+    for &v in values {
+        acc |= u128::from(v - min) << used;
+        used += width;
+        while used >= 64 {
+            out.extend_from_slice(&((acc & u128::from(u64::MAX)) as u64).to_le_bytes());
+            acc >>= 64;
+            used -= 64;
+        }
+    }
+    if used > 0 {
+        out.extend_from_slice(&((acc & u128::from(u64::MAX)) as u64).to_le_bytes());
+    }
+}
+
+fn unpack_u64s(cur: &mut Cursor<'_>) -> Result<Vec<u64>, SegmentError> {
+    let count = cur.u32()? as usize;
+    let min = cur.u64()?;
+    let width = u32::from(cur.u8()?);
+    if width > 64 {
+        return Err(malformed(format!("bit width {width} > 64")));
+    }
+    if width == 0 {
+        return Ok(vec![min; count]);
+    }
+    let words = (count as u64 * u64::from(width)).div_ceil(64) as usize;
+    let bytes = cur.take(words * 8)?;
+    let mask: u128 = (1u128 << width) - 1;
+    let mut out = Vec::with_capacity(count);
+    let mut acc: u128 = 0;
+    let mut used: u32 = 0;
+    let mut word = 0usize;
+    for _ in 0..count {
+        while used < width {
+            let w = u64::from_le_bytes(bytes[word * 8..word * 8 + 8].try_into().expect("8 bytes"));
+            acc |= u128::from(w) << used;
+            word += 1;
+            used += 64;
+        }
+        let delta = (acc & mask) as u64;
+        acc >>= width;
+        used -= width;
+        let v = min
+            .checked_add(delta)
+            .ok_or_else(|| malformed("packed value overflows u64"))?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+fn unpack_u32s(cur: &mut Cursor<'_>) -> Result<Vec<u32>, SegmentError> {
+    let count = cur.u32()? as usize;
+    let min = cur.u32()?;
+    let width = u32::from(cur.u8()?);
+    if width > 32 {
+        return Err(malformed(format!("bit width {width} > 32")));
+    }
+    if width == 0 {
+        return Ok(vec![min; count]);
+    }
+    let words = (count as u64 * u64::from(width)).div_ceil(64) as usize;
+    let bytes = cur.take(words * 8)?;
+    let mask: u128 = (1u128 << width) - 1;
+    let mut out = Vec::with_capacity(count);
+    let mut acc: u128 = 0;
+    let mut used: u32 = 0;
+    let mut word = 0usize;
+    for _ in 0..count {
+        while used < width {
+            let w = u64::from_le_bytes(bytes[word * 8..word * 8 + 8].try_into().expect("8 bytes"));
+            acc |= u128::from(w) << used;
+            word += 1;
+            used += 64;
+        }
+        let delta = (acc & mask) as u64;
+        acc >>= width;
+        used -= width;
+        let v = u64::from(min)
+            .checked_add(delta)
+            .filter(|&v| v <= u64::from(u32::MAX))
+            .ok_or_else(|| malformed("packed value overflows u32"))?;
+        out.push(v as u32);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Directory
+// ---------------------------------------------------------------------------
+
+/// One directory entry: where a section lives in the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DirEntry {
+    kind: u8,
+    attr: u32,
+    chunk: u32,
+    offset: u64,
+    len: u64,
+}
+
+fn interface_tag(i: InterfaceType) -> u8 {
+    match i {
+        InterfaceType::Sq => 0,
+        InterfaceType::Rq => 1,
+        InterfaceType::Pq => 2,
+    }
+}
+
+fn interface_from_tag(tag: u8) -> Result<InterfaceType, SegmentError> {
+    match tag {
+        0 => Ok(InterfaceType::Sq),
+        1 => Ok(InterfaceType::Rq),
+        2 => Ok(InterfaceType::Pq),
+        t => Err(malformed(format!("undefined interface tag {t}"))),
+    }
+}
+
+fn role_tag(r: AttributeRole) -> u8 {
+    match r {
+        AttributeRole::Ranking => 0,
+        AttributeRole::Filtering => 1,
+    }
+}
+
+fn role_from_tag(tag: u8) -> Result<AttributeRole, SegmentError> {
+    match tag {
+        0 => Ok(AttributeRole::Ranking),
+        1 => Ok(AttributeRole::Filtering),
+        t => Err(malformed(format!("undefined role tag {t}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Serializes a RAM-built [`crate::HiddenDb`] (store + query index) into the
+/// columnar segment format. Output is deterministic: the same database
+/// always produces the same bytes.
+#[derive(Debug, Clone)]
+pub struct SegmentWriter {
+    chunk: usize,
+}
+
+impl Default for SegmentWriter {
+    fn default() -> Self {
+        SegmentWriter::new()
+    }
+}
+
+impl SegmentWriter {
+    /// A writer with the default chunk size ([`DEFAULT_CHUNK`]).
+    pub fn new() -> Self {
+        SegmentWriter {
+            chunk: DEFAULT_CHUNK,
+        }
+    }
+
+    /// Overrides the chunk size (values per lazily-hydrated section).
+    ///
+    /// # Panics
+    /// Panics unless `chunk` is a positive multiple of the zone-map block
+    /// size (64).
+    pub fn with_chunk_size(mut self, chunk: usize) -> Self {
+        assert!(
+            chunk > 0 && chunk.is_multiple_of(BLOCK),
+            "chunk size must be a positive multiple of {BLOCK}"
+        );
+        self.chunk = chunk;
+        self
+    }
+
+    /// Serializes `db` into segment bytes. Fails if `db` is itself
+    /// segment-backed (re-export is not supported; write from the RAM build
+    /// that produced the segment).
+    pub fn write(&self, db: &HiddenDb) -> Result<Vec<u8>, SegmentError> {
+        let store = db.store();
+        let index = db.index();
+        let Some(ram) = index.ram() else {
+            return Err(malformed(
+                "cannot re-write a segment-backed database; write from the RAM build",
+            ));
+        };
+        let schema = db.schema();
+        let n = store.len();
+        let m = schema.len();
+        let chunks = n.div_ceil(self.chunk);
+        let slice = store.as_slice();
+        let chunk_range = |c: usize| c * self.chunk..(c * self.chunk + self.chunk).min(n);
+
+        let mut file: Vec<u8> = Vec::new();
+        let mut dir: Vec<DirEntry> = Vec::new();
+        let mut payload: Vec<u8> = Vec::new();
+        let push = |file: &mut Vec<u8>,
+                    dir: &mut Vec<DirEntry>,
+                    kind: u8,
+                    attr: u32,
+                    chunk: u32,
+                    payload: &[u8]| {
+            let offset = file.len() as u64;
+            seal(kind, payload, file);
+            dir.push(DirEntry {
+                kind,
+                attr,
+                chunk,
+                offset,
+                len: (file.len() as u64) - offset,
+            });
+        };
+
+        // Store-ordered columns, one section per (attribute, chunk).
+        let mut col: Vec<u32> = Vec::with_capacity(self.chunk);
+        for attr in 0..m {
+            for c in 0..chunks {
+                col.clear();
+                col.extend(slice[chunk_range(c)].iter().map(|t| t.values[attr]));
+                payload.clear();
+                pack_u32s(&col, &mut payload);
+                push(
+                    &mut file,
+                    &mut dir,
+                    KIND_STORE_COL,
+                    attr as u32,
+                    c as u32,
+                    &payload,
+                );
+            }
+        }
+        // Tuple ids.
+        let mut ids: Vec<u64> = Vec::with_capacity(self.chunk);
+        for c in 0..chunks {
+            ids.clear();
+            ids.extend(slice[chunk_range(c)].iter().map(|t| t.id));
+            payload.clear();
+            pack_u64s(&ids, &mut payload);
+            push(&mut file, &mut dir, KIND_IDS, 0, c as u32, &payload);
+        }
+        // Posting prefix counts (eager) and posting orders (lazy chunks).
+        for attr in 0..m {
+            payload.clear();
+            pack_u32s(ram.posting_starts(attr), &mut payload);
+            push(&mut file, &mut dir, KIND_STARTS, attr as u32, 0, &payload);
+        }
+        for attr in 0..m {
+            let order = ram.posting_order(attr);
+            for c in 0..chunks {
+                payload.clear();
+                pack_u32s(&order[chunk_range(c)], &mut payload);
+                push(
+                    &mut file,
+                    &mut dir,
+                    KIND_ORDER,
+                    attr as u32,
+                    c as u32,
+                    &payload,
+                );
+            }
+        }
+        // Rank-order structures, only when the ranker exposes a total order.
+        let has_perm = ram.perm().is_some();
+        if let Some(perm) = ram.perm() {
+            for c in 0..chunks {
+                payload.clear();
+                pack_u32s(&perm[chunk_range(c)], &mut payload);
+                push(&mut file, &mut dir, KIND_PERM, 0, c as u32, &payload);
+            }
+            for c in 0..chunks {
+                payload.clear();
+                pack_u32s(&ram.rank_of()[chunk_range(c)], &mut payload);
+                push(&mut file, &mut dir, KIND_RANK_OF, 0, c as u32, &payload);
+            }
+            for attr in 0..m {
+                let col = ram.rank_col(attr);
+                for c in 0..chunks {
+                    payload.clear();
+                    pack_u32s(&col[chunk_range(c)], &mut payload);
+                    push(
+                        &mut file,
+                        &mut dir,
+                        KIND_RANK_COL,
+                        attr as u32,
+                        c as u32,
+                        &payload,
+                    );
+                }
+            }
+            payload.clear();
+            for attr in 0..m {
+                pack_u32s(ram.zone_mins(attr), &mut payload);
+                pack_u32s(ram.zone_maxs(attr), &mut payload);
+            }
+            push(&mut file, &mut dir, KIND_ZONES, 0, 0, &payload);
+        }
+
+        // Footer: meta + directory, itself an enveloped section.
+        payload.clear();
+        payload.extend_from_slice(&(n as u64).to_le_bytes());
+        payload.extend_from_slice(&(db.k() as u64).to_le_bytes());
+        payload.extend_from_slice(&(self.chunk as u32).to_le_bytes());
+        payload.extend_from_slice(&(BLOCK as u32).to_le_bytes());
+        payload.push(u8::from(has_perm));
+        write_string(db.ranker_name(), &mut payload);
+        payload.extend_from_slice(&(m as u64).to_le_bytes());
+        for spec in schema.attrs() {
+            write_string(&spec.name, &mut payload);
+            payload.extend_from_slice(&spec.domain_size.to_le_bytes());
+            payload.push(interface_tag(spec.interface));
+            payload.push(role_tag(spec.role));
+        }
+        payload.extend_from_slice(&(dir.len() as u64).to_le_bytes());
+        for e in &dir {
+            payload.push(e.kind);
+            payload.extend_from_slice(&e.attr.to_le_bytes());
+            payload.extend_from_slice(&e.chunk.to_le_bytes());
+            payload.extend_from_slice(&e.offset.to_le_bytes());
+            payload.extend_from_slice(&e.len.to_le_bytes());
+        }
+        let footer_off = file.len() as u64;
+        seal(KIND_FOOTER, &payload, &mut file);
+        let footer_len = file.len() as u64 - footer_off;
+
+        // Fixed trailer: how a reader finds the footer from the end.
+        let mut trailer = [0u8; TRAILER_LEN];
+        trailer[..8].copy_from_slice(&TRAILER_MAGIC);
+        trailer[8..16].copy_from_slice(&footer_off.to_le_bytes());
+        trailer[16..24].copy_from_slice(&footer_len.to_le_bytes());
+        let check = fnv1a64(&trailer[..24]);
+        trailer[24..32].copy_from_slice(&check.to_le_bytes());
+        file.extend_from_slice(&trailer);
+        Ok(file)
+    }
+
+    /// Serializes `db` and writes the bytes to `path`, returning the file
+    /// size in bytes.
+    pub fn write_to_path(
+        &self,
+        db: &HiddenDb,
+        path: impl AsRef<Path>,
+    ) -> Result<u64, SegmentError> {
+        let bytes = self.write(db)?;
+        std::fs::write(path, &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Per-chunk lazy cache: each cell hydrates at most once and stays resident
+/// for the reader's lifetime.
+struct ChunkCache<T> {
+    cells: Vec<OnceLock<Box<[T]>>>,
+}
+
+impl<T> ChunkCache<T> {
+    fn new(chunks: usize) -> Self {
+        let mut cells = Vec::with_capacity(chunks);
+        cells.resize_with(chunks, OnceLock::new);
+        ChunkCache { cells }
+    }
+
+    fn empty() -> Self {
+        ChunkCache { cells: Vec::new() }
+    }
+}
+
+/// A lazily-hydrating view over one persisted segment.
+///
+/// [`SegmentReader::open`] validates the trailer, footer, directory and the
+/// eager metadata (zone maps, posting prefix counts) — O(footer), not O(n).
+/// Everything else loads per chunk on first touch, each load re-validating
+/// its section's envelope and checksum. [`SegmentReader::verify`] is the
+/// full O(file) scrub used by the corruption battery and by operators who
+/// want end-to-end assurance before serving.
+pub struct SegmentReader {
+    source: Box<dyn BlockSource>,
+    n: usize,
+    k: usize,
+    chunk: usize,
+    has_perm: bool,
+    ranker_name: String,
+    schema: Schema,
+    dir: Vec<DirEntry>,
+    by_key: HashMap<(u8, u32, u32), usize>,
+    footer_off: u64,
+    footer_len: u64,
+    zone_mins: Vec<Vec<Value>>,
+    zone_maxs: Vec<Vec<Value>>,
+    starts: Vec<Vec<u32>>,
+    perm: ChunkCache<u32>,
+    rank_of: ChunkCache<u32>,
+    rank_cols: Vec<ChunkCache<u32>>,
+    store_cols: Vec<ChunkCache<u32>>,
+    order: Vec<ChunkCache<u32>>,
+    ids: ChunkCache<u64>,
+    tuples: Vec<OnceLock<Box<[Arc<Tuple>]>>>,
+    full: OnceLock<Box<[Arc<Tuple>]>>,
+}
+
+impl fmt::Debug for SegmentReader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SegmentReader")
+            .field("n", &self.n)
+            .field("k", &self.k)
+            .field("chunk", &self.chunk)
+            .field("has_perm", &self.has_perm)
+            .field("ranker", &self.ranker_name)
+            .field("bytes", &self.source.len())
+            .finish()
+    }
+}
+
+impl SegmentReader {
+    /// Opens a segment from `path` through a [`FileSource`].
+    pub fn open_path(path: impl AsRef<Path>) -> Result<Self, SegmentError> {
+        Self::open(Box::new(FileSource::open(path)?))
+    }
+
+    /// Opens a segment from any [`BlockSource`]: validates the trailer, the
+    /// footer (meta + section directory) and the eager metadata sections,
+    /// leaving every bulky section untouched until a query needs it.
+    pub fn open(source: Box<dyn BlockSource>) -> Result<Self, SegmentError> {
+        let file_len = source.len();
+        if file_len < TRAILER_LEN as u64 {
+            return Err(SegmentError::Truncated);
+        }
+        let mut trailer = [0u8; TRAILER_LEN];
+        source.read_exact_at(file_len - TRAILER_LEN as u64, &mut trailer)?;
+        if trailer[..8] != TRAILER_MAGIC {
+            return Err(SegmentError::BadMagic);
+        }
+        let stored = u64::from_le_bytes(trailer[24..32].try_into().expect("8 bytes"));
+        if fnv1a64(&trailer[..24]) != stored {
+            return Err(SegmentError::ChecksumMismatch);
+        }
+        let footer_off = u64::from_le_bytes(trailer[8..16].try_into().expect("8 bytes"));
+        let footer_len = u64::from_le_bytes(trailer[16..24].try_into().expect("8 bytes"));
+        if footer_off
+            .checked_add(footer_len)
+            .is_none_or(|end| end != file_len - TRAILER_LEN as u64)
+        {
+            return Err(malformed("footer does not end at the trailer"));
+        }
+        let mut footer =
+            vec![0u8; usize::try_from(footer_len).map_err(|_| SegmentError::Truncated)?];
+        source.read_exact_at(footer_off, &mut footer)?;
+        let payload = open_envelope(&footer, KIND_FOOTER)?;
+        let mut cur = Cursor::new(payload);
+
+        let n = usize::try_from(cur.u64()?).map_err(|_| SegmentError::Truncated)?;
+        if n > u32::MAX as usize {
+            return Err(malformed("n exceeds u32 index space"));
+        }
+        let k = usize::try_from(cur.u64()?).map_err(|_| SegmentError::Truncated)?;
+        if k == 0 {
+            return Err(malformed("k must be >= 1"));
+        }
+        let chunk = cur.u32()? as usize;
+        if chunk == 0 || !chunk.is_multiple_of(BLOCK) {
+            return Err(malformed(format!(
+                "chunk size {chunk} is not a positive multiple of {BLOCK}"
+            )));
+        }
+        let block = cur.u32()? as usize;
+        if block != BLOCK {
+            return Err(malformed(format!(
+                "zone block size {block} differs from engine block size {BLOCK}"
+            )));
+        }
+        let has_perm = match cur.u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(malformed(format!("undefined has-perm flag {t}"))),
+        };
+        let ranker_name = cur.string()?;
+        let m = usize::try_from(cur.u64()?).map_err(|_| SegmentError::Truncated)?;
+        let mut attrs = Vec::with_capacity(m.min(1 << 16));
+        for _ in 0..m {
+            let name = cur.string()?;
+            let domain_size = cur.u32()?;
+            let interface = interface_from_tag(cur.u8()?)?;
+            let role = role_from_tag(cur.u8()?)?;
+            attrs.push(AttributeSpec {
+                name,
+                domain_size,
+                interface,
+                role,
+            });
+        }
+        let schema = Schema::new(attrs);
+        let dir_len = usize::try_from(cur.u64()?).map_err(|_| SegmentError::Truncated)?;
+        let mut dir = Vec::with_capacity(dir_len.min(1 << 20));
+        for _ in 0..dir_len {
+            let kind = cur.u8()?;
+            let attr = cur.u32()?;
+            let chunk_no = cur.u32()?;
+            let offset = cur.u64()?;
+            let len = cur.u64()?;
+            dir.push(DirEntry {
+                kind,
+                attr,
+                chunk: chunk_no,
+                offset,
+                len,
+            });
+        }
+        cur.finish()?;
+
+        let chunks = n.div_ceil(chunk);
+        let mut by_key = HashMap::with_capacity(dir.len());
+        for (i, e) in dir.iter().enumerate() {
+            let (max_attr, max_chunk) = match e.kind {
+                KIND_ZONES => (1, 1),
+                KIND_STARTS => (m, 1),
+                KIND_PERM | KIND_RANK_OF | KIND_IDS => (1, chunks),
+                KIND_RANK_COL | KIND_STORE_COL | KIND_ORDER => (m, chunks),
+                k => {
+                    return Err(malformed(format!(
+                        "undefined section kind {k} in directory"
+                    )))
+                }
+            };
+            if (e.attr as usize) >= max_attr || (e.chunk as usize) >= max_chunk {
+                return Err(malformed(format!(
+                    "directory entry {}[attr {}, chunk {}] out of range",
+                    kind_name(e.kind),
+                    e.attr,
+                    e.chunk
+                )));
+            }
+            if e.offset
+                .checked_add(e.len)
+                .is_none_or(|end| end > footer_off)
+            {
+                return Err(malformed(format!(
+                    "section {}[{}, {}] extends past the footer",
+                    kind_name(e.kind),
+                    e.attr,
+                    e.chunk
+                )));
+            }
+            if by_key.insert((e.kind, e.attr, e.chunk), i).is_some() {
+                return Err(malformed(format!(
+                    "duplicate directory entry {}[{}, {}]",
+                    kind_name(e.kind),
+                    e.attr,
+                    e.chunk
+                )));
+            }
+        }
+        // Completeness: every section a query could touch must exist, so
+        // lazy loads only ever fail on I/O errors or corrupted bytes.
+        let expect = |by_key: &HashMap<(u8, u32, u32), usize>,
+                      kind: u8,
+                      attr: u32,
+                      chunk_no: u32|
+         -> Result<(), SegmentError> {
+            if by_key.contains_key(&(kind, attr, chunk_no)) {
+                Ok(())
+            } else {
+                Err(malformed(format!(
+                    "missing section {}[attr {attr}, chunk {chunk_no}]",
+                    kind_name(kind)
+                )))
+            }
+        };
+        for a in 0..m as u32 {
+            expect(&by_key, KIND_STARTS, a, 0)?;
+            for c in 0..chunks as u32 {
+                expect(&by_key, KIND_STORE_COL, a, c)?;
+                expect(&by_key, KIND_ORDER, a, c)?;
+                if has_perm {
+                    expect(&by_key, KIND_RANK_COL, a, c)?;
+                }
+            }
+        }
+        for c in 0..chunks as u32 {
+            expect(&by_key, KIND_IDS, 0, c)?;
+            if has_perm {
+                expect(&by_key, KIND_PERM, 0, c)?;
+                expect(&by_key, KIND_RANK_OF, 0, c)?;
+            }
+        }
+        if has_perm {
+            expect(&by_key, KIND_ZONES, 0, 0)?;
+        }
+
+        let mut reader = SegmentReader {
+            source,
+            n,
+            k,
+            chunk,
+            has_perm,
+            ranker_name,
+            schema,
+            dir,
+            by_key,
+            footer_off,
+            footer_len,
+            zone_mins: Vec::new(),
+            zone_maxs: Vec::new(),
+            starts: Vec::new(),
+            perm: ChunkCache::new(if has_perm { chunks } else { 0 }),
+            rank_of: ChunkCache::new(if has_perm { chunks } else { 0 }),
+            rank_cols: (0..m)
+                .map(|_| {
+                    if has_perm {
+                        ChunkCache::new(chunks)
+                    } else {
+                        ChunkCache::empty()
+                    }
+                })
+                .collect(),
+            store_cols: (0..m).map(|_| ChunkCache::new(chunks)).collect(),
+            order: (0..m).map(|_| ChunkCache::new(chunks)).collect(),
+            ids: ChunkCache::new(chunks),
+            tuples: {
+                let mut v = Vec::with_capacity(chunks);
+                v.resize_with(chunks, OnceLock::new);
+                v
+            },
+            full: OnceLock::new(),
+        };
+
+        // Eager metadata: posting prefix counts + zone maps. These are what
+        // planning and block skipping consult on every query, and they are
+        // small (O(domain + n/64) values per attribute).
+        let blocks = n.div_ceil(BLOCK);
+        for attr in 0..m {
+            let e = reader.entry(KIND_STARTS, attr as u32, 0)?;
+            let bytes = reader.read_entry(e)?;
+            let payload = open_envelope(&bytes, KIND_STARTS)?;
+            let mut cur = Cursor::new(payload);
+            let starts = unpack_u32s(&mut cur)?;
+            cur.finish()?;
+            let d = reader.schema.attr(attr).domain_size as usize;
+            if starts.len() != d + 1 {
+                return Err(malformed(format!(
+                    "starts[{attr}] has {} entries, expected {}",
+                    starts.len(),
+                    d + 1
+                )));
+            }
+            if starts.first() != Some(&0)
+                || starts.windows(2).any(|w| w[0] > w[1])
+                || starts.last().copied() != Some(n as u32)
+            {
+                return Err(malformed(format!(
+                    "starts[{attr}] is not a nondecreasing prefix-count table over n"
+                )));
+            }
+            reader.starts.push(starts);
+        }
+        if has_perm {
+            let e = reader.entry(KIND_ZONES, 0, 0)?;
+            let bytes = reader.read_entry(e)?;
+            let payload = open_envelope(&bytes, KIND_ZONES)?;
+            let mut cur = Cursor::new(payload);
+            for attr in 0..m {
+                let mins = unpack_u32s(&mut cur)?;
+                let maxs = unpack_u32s(&mut cur)?;
+                if mins.len() != blocks || maxs.len() != blocks {
+                    return Err(malformed(format!(
+                        "zones[{attr}] cover {} blocks, expected {blocks}",
+                        mins.len().max(maxs.len())
+                    )));
+                }
+                reader.zone_mins.push(mins);
+                reader.zone_maxs.push(maxs);
+            }
+            cur.finish()?;
+        }
+        Ok(reader)
+    }
+
+    // -- meta accessors ----------------------------------------------------
+
+    /// Number of tuples in the segment.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The top-k constraint recorded at write time.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The schema recorded at write time.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Name of the ranking function the segment was written under.
+    pub fn ranker_name(&self) -> &str {
+        &self.ranker_name
+    }
+
+    /// `true` if the segment persists a rank permutation (the writing
+    /// ranker exposed a deterministic total order).
+    pub fn has_perm(&self) -> bool {
+        self.has_perm
+    }
+
+    /// Values per lazily-hydrated chunk.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk
+    }
+
+    /// Total size of the backing source in bytes.
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.source.len()
+    }
+
+    fn chunks(&self) -> usize {
+        self.n.div_ceil(self.chunk)
+    }
+
+    fn chunk_len(&self, c: usize) -> usize {
+        self.chunk.min(self.n - c * self.chunk)
+    }
+
+    // -- section plumbing --------------------------------------------------
+
+    fn entry(&self, kind: u8, attr: u32, chunk: u32) -> Result<DirEntry, SegmentError> {
+        self.by_key
+            .get(&(kind, attr, chunk))
+            .map(|&i| self.dir[i])
+            .ok_or_else(|| {
+                malformed(format!(
+                    "missing section {}[attr {attr}, chunk {chunk}]",
+                    kind_name(kind)
+                ))
+            })
+    }
+
+    fn read_entry(&self, e: DirEntry) -> Result<Vec<u8>, SegmentError> {
+        let len = usize::try_from(e.len).map_err(|_| SegmentError::Truncated)?;
+        let mut buf = vec![0u8; len];
+        self.source.read_exact_at(e.offset, &mut buf)?;
+        Ok(buf)
+    }
+
+    fn decode_u32_chunk(
+        &self,
+        kind: u8,
+        attr: u32,
+        c: usize,
+        expected_len: usize,
+    ) -> Result<Vec<u32>, SegmentError> {
+        let e = self.entry(kind, attr, c as u32)?;
+        let bytes = self.read_entry(e)?;
+        let payload = open_envelope(&bytes, kind)?;
+        let mut cur = Cursor::new(payload);
+        let vals = unpack_u32s(&mut cur)?;
+        cur.finish()?;
+        if vals.len() != expected_len {
+            return Err(malformed(format!(
+                "section {}[{attr}, {c}] holds {} values, expected {expected_len}",
+                kind_name(kind),
+                vals.len()
+            )));
+        }
+        Ok(vals)
+    }
+
+    fn u32_chunk<'a>(
+        &'a self,
+        cache: &'a ChunkCache<u32>,
+        kind: u8,
+        attr: u32,
+        c: usize,
+    ) -> Result<&'a [u32], SegmentError> {
+        if let Some(v) = cache.cells[c].get() {
+            return Ok(v);
+        }
+        let vals = self.decode_u32_chunk(kind, attr, c, self.chunk_len(c))?;
+        // A concurrent hydration of the same chunk merely wastes one decode;
+        // whoever loses the race drops its copy.
+        Ok(cache.cells[c].get_or_init(|| vals.into_boxed_slice()))
+    }
+
+    fn ids_chunk(&self, c: usize) -> Result<&[u64], SegmentError> {
+        if let Some(v) = self.ids.cells[c].get() {
+            return Ok(v);
+        }
+        let e = self.entry(KIND_IDS, 0, c as u32)?;
+        let bytes = self.read_entry(e)?;
+        let payload = open_envelope(&bytes, KIND_IDS)?;
+        let mut cur = Cursor::new(payload);
+        let vals = unpack_u64s(&mut cur)?;
+        cur.finish()?;
+        if vals.len() != self.chunk_len(c) {
+            return Err(malformed(format!(
+                "ids chunk {c} holds {} values, expected {}",
+                vals.len(),
+                self.chunk_len(c)
+            )));
+        }
+        Ok(self.ids.cells[c].get_or_init(|| vals.into_boxed_slice()))
+    }
+
+    // -- engine accessors --------------------------------------------------
+
+    /// O(1) selectivity from the eager prefix counts — same contract as the
+    /// RAM posting lists.
+    pub(crate) fn range_count(&self, attr: usize, lo: Value, hi: Value) -> usize {
+        if lo > hi {
+            return 0;
+        }
+        let s = &self.starts[attr];
+        (s[hi as usize + 1] - s[lo as usize]) as usize
+    }
+
+    /// Zone-map bounds of rank block `b` on `attr` (eager).
+    pub(crate) fn zone(&self, attr: usize, b: usize) -> (Value, Value) {
+        (self.zone_mins[attr][b], self.zone_maxs[attr][b])
+    }
+
+    /// Store index of the tuple at rank `rank`.
+    pub(crate) fn perm_at(&self, rank: usize) -> Result<u32, SegmentError> {
+        let c = rank / self.chunk;
+        Ok(self.u32_chunk(&self.perm, KIND_PERM, 0, c)?[rank % self.chunk])
+    }
+
+    /// Rank position of the tuple at store index `idx`.
+    pub(crate) fn rank_of_at(&self, idx: usize) -> Result<u32, SegmentError> {
+        let c = idx / self.chunk;
+        Ok(self.u32_chunk(&self.rank_of, KIND_RANK_OF, 0, c)?[idx % self.chunk])
+    }
+
+    /// The contiguous rank-ordered column values of zone block `b` on
+    /// `attr` (`len` values). Blocks never span chunks (the chunk size is a
+    /// multiple of the block size).
+    pub(crate) fn rank_col_block(
+        &self,
+        attr: usize,
+        b: usize,
+        len: usize,
+    ) -> Result<&[Value], SegmentError> {
+        let base = b * BLOCK;
+        let c = base / self.chunk;
+        let off = base % self.chunk;
+        let chunk = self.u32_chunk(&self.rank_cols[attr], KIND_RANK_COL, attr as u32, c)?;
+        Ok(&chunk[off..off + len])
+    }
+
+    /// Value of the rank-`rank` tuple on `attr` (rank-ordered column).
+    pub(crate) fn rank_value_at(&self, attr: usize, rank: usize) -> Result<Value, SegmentError> {
+        let c = rank / self.chunk;
+        Ok(
+            self.u32_chunk(&self.rank_cols[attr], KIND_RANK_COL, attr as u32, c)?
+                [rank % self.chunk],
+        )
+    }
+
+    /// Value of the tuple at store index `idx` on `attr` (store-ordered
+    /// column — never hydrates tuples).
+    pub(crate) fn store_value_at(&self, attr: usize, idx: usize) -> Result<Value, SegmentError> {
+        let c = idx / self.chunk;
+        Ok(
+            self.u32_chunk(&self.store_cols[attr], KIND_STORE_COL, attr as u32, c)?
+                [idx % self.chunk],
+        )
+    }
+
+    /// Walks the posting order of `attr` over the value range `[lo, hi]` —
+    /// store indices in ascending store order per value bucket, exactly like
+    /// the RAM posting lists.
+    pub(crate) fn for_posting(
+        &self,
+        attr: usize,
+        lo: Value,
+        hi: Value,
+        f: &mut dyn FnMut(u32) -> Result<(), SegmentError>,
+    ) -> Result<(), SegmentError> {
+        if lo > hi {
+            return Ok(());
+        }
+        let s = &self.starts[attr];
+        let p0 = s[lo as usize] as usize;
+        let p1 = s[hi as usize + 1] as usize;
+        if p0 >= p1 {
+            return Ok(());
+        }
+        let first = p0 / self.chunk;
+        let last = (p1 - 1) / self.chunk;
+        for c in first..=last {
+            let base = c * self.chunk;
+            let chunk = self.u32_chunk(&self.order[attr], KIND_ORDER, attr as u32, c)?;
+            let start = p0.max(base) - base;
+            let end = p1.min(base + chunk.len()) - base;
+            for &idx in &chunk[start..end] {
+                f(idx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Borrows the hydrated tuple at store index `idx`, materializing its
+    /// chunk on first touch.
+    pub(crate) fn tuple_ref(&self, idx: usize) -> Result<&Arc<Tuple>, SegmentError> {
+        let c = idx / self.chunk;
+        Ok(&self.tuple_chunk(c)?[idx % self.chunk])
+    }
+
+    fn tuple_chunk(&self, c: usize) -> Result<&[Arc<Tuple>], SegmentError> {
+        if let Some(v) = self.tuples[c].get() {
+            return Ok(v);
+        }
+        let ids = self.ids_chunk(c)?;
+        let m = self.schema.len();
+        let mut cols: Vec<&[u32]> = Vec::with_capacity(m);
+        for attr in 0..m {
+            cols.push(self.u32_chunk(&self.store_cols[attr], KIND_STORE_COL, attr as u32, c)?);
+        }
+        let built: Box<[Arc<Tuple>]> = (0..self.chunk_len(c))
+            .map(|i| {
+                let values: Vec<Value> = cols.iter().map(|col| col[i]).collect();
+                Arc::new(Tuple::new(ids[i] as TupleId, values))
+            })
+            .collect();
+        Ok(self.tuples[c].get_or_init(|| built))
+    }
+
+    /// Hydrates every tuple and returns the contiguous snapshot — the
+    /// O(n) escape hatch behind [`TupleStore::as_slice`] for segment-backed
+    /// stores (scan-strategy execution, oracle ground truth, dominance
+    /// precomputation). Chunks hydrated earlier are reused, not re-decoded.
+    pub(crate) fn hydrate_all(&self) -> Result<&[Arc<Tuple>], SegmentError> {
+        if let Some(full) = self.full.get() {
+            return Ok(full);
+        }
+        let mut all: Vec<Arc<Tuple>> = Vec::with_capacity(self.n);
+        for c in 0..self.chunks() {
+            all.extend(self.tuple_chunk(c)?.iter().cloned());
+        }
+        Ok(self.full.get_or_init(|| all.into_boxed_slice()))
+    }
+
+    // -- verification ------------------------------------------------------
+
+    /// The full O(file) scrub: every section's envelope and checksum, every
+    /// payload decoded and range-checked, the directory proven to tile the
+    /// file contiguously (no unexamined gaps), and the permutation proven to
+    /// be a permutation with its stored inverse. After `verify` succeeds,
+    /// every byte of the file has been covered by a checksum.
+    pub fn verify(&self) -> Result<(), SegmentError> {
+        // Geometry: sections tile [0, footer_off), then footer, then trailer.
+        let mut extents: Vec<(u64, u64)> = self.dir.iter().map(|e| (e.offset, e.len)).collect();
+        extents.sort_unstable();
+        let mut cursor = 0u64;
+        for &(off, len) in &extents {
+            if off != cursor {
+                return Err(malformed(format!(
+                    "directory leaves bytes [{cursor}, {off}) unaccounted for"
+                )));
+            }
+            cursor = off
+                .checked_add(len)
+                .ok_or_else(|| malformed("section extent overflows"))?;
+        }
+        if cursor != self.footer_off {
+            return Err(malformed(format!(
+                "sections end at {cursor} but the footer starts at {}",
+                self.footer_off
+            )));
+        }
+        if self.footer_off + self.footer_len + TRAILER_LEN as u64 != self.source.len() {
+            return Err(malformed("footer/trailer do not tile to the file size"));
+        }
+
+        // Content: decode and range-check every section.
+        let n = self.n;
+        let mut perm_all: Vec<u32> = Vec::new();
+        let mut rank_of_all: Vec<u32> = Vec::new();
+        for e in &self.dir {
+            let bytes = self.read_entry(*e)?;
+            let payload = open_envelope(&bytes, e.kind)?;
+            let mut cur = Cursor::new(payload);
+            match e.kind {
+                KIND_ZONES => {
+                    let blocks = n.div_ceil(BLOCK);
+                    for _ in 0..self.schema.len() {
+                        for vals in [unpack_u32s(&mut cur)?, unpack_u32s(&mut cur)?] {
+                            if vals.len() != blocks {
+                                return Err(malformed("zone table has the wrong block count"));
+                            }
+                        }
+                    }
+                }
+                KIND_STARTS => {
+                    let vals = unpack_u32s(&mut cur)?;
+                    let d = self.schema.attr(e.attr as usize).domain_size as usize;
+                    if vals.len() != d + 1
+                        || vals.first() != Some(&0)
+                        || vals.windows(2).any(|w| w[0] > w[1])
+                        || vals.last().copied() != Some(n as u32)
+                    {
+                        return Err(malformed(format!(
+                            "starts[{}] is not a prefix-count table",
+                            e.attr
+                        )));
+                    }
+                }
+                KIND_IDS => {
+                    let vals = unpack_u64s(&mut cur)?;
+                    if vals.len() != self.chunk_len(e.chunk as usize) {
+                        return Err(malformed("ids chunk has the wrong length"));
+                    }
+                }
+                kind => {
+                    let vals = unpack_u32s(&mut cur)?;
+                    if vals.len() != self.chunk_len(e.chunk as usize) {
+                        return Err(malformed(format!(
+                            "{} chunk has the wrong length",
+                            kind_name(kind)
+                        )));
+                    }
+                    match kind {
+                        KIND_PERM | KIND_RANK_OF | KIND_ORDER => {
+                            if vals.iter().any(|&v| v as usize >= n) {
+                                return Err(malformed(format!(
+                                    "{} value out of range",
+                                    kind_name(kind)
+                                )));
+                            }
+                            if kind == KIND_PERM {
+                                perm_all.resize(perm_all.len().max(n), 0);
+                                let base = e.chunk as usize * self.chunk;
+                                perm_all[base..base + vals.len()].copy_from_slice(&vals);
+                            }
+                            if kind == KIND_RANK_OF {
+                                rank_of_all.resize(rank_of_all.len().max(n), 0);
+                                let base = e.chunk as usize * self.chunk;
+                                rank_of_all[base..base + vals.len()].copy_from_slice(&vals);
+                            }
+                        }
+                        KIND_RANK_COL | KIND_STORE_COL => {
+                            let d = self.schema.attr(e.attr as usize).domain_size;
+                            if vals.iter().any(|&v| v >= d) {
+                                return Err(malformed(format!(
+                                    "{}[{}] value outside the attribute domain",
+                                    kind_name(kind),
+                                    e.attr
+                                )));
+                            }
+                        }
+                        _ => unreachable!("kind validated when the directory was built"),
+                    }
+                }
+            }
+            cur.finish()?;
+        }
+        if self.has_perm {
+            let mut seen = vec![false; n];
+            for &idx in &perm_all {
+                if std::mem::replace(&mut seen[idx as usize], true) {
+                    return Err(malformed("perm is not a permutation"));
+                }
+            }
+            for (idx, &rank) in rank_of_all.iter().enumerate() {
+                if perm_all[rank as usize] as usize != idx {
+                    return Err(malformed("rank_of is not the inverse of perm"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Query, SchemaBuilder, SumRanker};
+
+    #[test]
+    fn bitpack_round_trips_every_width() {
+        for width in 0..=32u32 {
+            let max = if width == 0 { 0 } else { (1u64 << width) - 1 };
+            let values: Vec<u32> = (0..137u64)
+                .map(|i| ((i.wrapping_mul(0x9E37_79B9)) % (max + 1)) as u32 + 7)
+                .collect();
+            let mut bytes = Vec::new();
+            pack_u32s(&values, &mut bytes);
+            let mut cur = Cursor::new(&bytes);
+            let back = unpack_u32s(&mut cur).unwrap();
+            cur.finish().unwrap();
+            assert_eq!(back, values, "width {width}");
+        }
+        let values: Vec<u64> = (0..99).map(|i| u64::MAX - i * 12345).collect();
+        let mut bytes = Vec::new();
+        pack_u64s(&values, &mut bytes);
+        let mut cur = Cursor::new(&bytes);
+        assert_eq!(unpack_u64s(&mut cur).unwrap(), values);
+        cur.finish().unwrap();
+    }
+
+    #[test]
+    fn bitpack_handles_empty_and_constant_runs() {
+        for values in [vec![], vec![42u32; 1000]] {
+            let mut bytes = Vec::new();
+            pack_u32s(&values, &mut bytes);
+            // Constant (or empty) runs cost exactly the 9-byte header.
+            assert_eq!(bytes.len(), 9);
+            let mut cur = Cursor::new(&bytes);
+            assert_eq!(unpack_u32s(&mut cur).unwrap(), values);
+            cur.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn envelope_rejections_are_typed() {
+        let mut sealed = Vec::new();
+        seal(KIND_PERM, b"payload", &mut sealed);
+        assert!(open_envelope(&sealed, KIND_PERM).is_ok());
+        assert_eq!(
+            open_envelope(&sealed, KIND_ORDER),
+            Err(SegmentError::WrongKind {
+                expected: KIND_ORDER,
+                found: KIND_PERM
+            })
+        );
+        assert_eq!(
+            open_envelope(&sealed[..3], KIND_PERM),
+            Err(SegmentError::Truncated)
+        );
+        let mut foreign = sealed.clone();
+        foreign[0] = b'X';
+        assert_eq!(
+            open_envelope(&foreign, KIND_PERM),
+            Err(SegmentError::BadMagic)
+        );
+        let mut future = sealed.clone();
+        future[4] = 9;
+        assert_eq!(
+            open_envelope(&future, KIND_PERM),
+            Err(SegmentError::UnsupportedVersion { found: 9 })
+        );
+        let mut flipped = sealed.clone();
+        let last = flipped.len() - 9;
+        flipped[last] ^= 1;
+        assert_eq!(
+            open_envelope(&flipped, KIND_PERM),
+            Err(SegmentError::ChecksumMismatch)
+        );
+        let mut trailing = sealed.clone();
+        trailing.push(0);
+        assert_eq!(
+            open_envelope(&trailing, KIND_PERM),
+            Err(SegmentError::TrailingBytes)
+        );
+    }
+
+    fn tiny_db() -> HiddenDb {
+        let schema = SchemaBuilder::new()
+            .ranking("a", 10, InterfaceType::Rq)
+            .ranking("b", 10, InterfaceType::Sq)
+            .filtering("f", 3)
+            .build();
+        let tuples: Vec<Tuple> = (0..150u64)
+            .map(|i| {
+                Tuple::new(
+                    i,
+                    vec![(i % 10) as u32, ((i * 7) % 10) as u32, (i % 3) as u32],
+                )
+            })
+            .collect();
+        HiddenDb::with_sum_ranking(schema, tuples, 4)
+    }
+
+    #[test]
+    fn write_open_verify_round_trips() {
+        let db = tiny_db();
+        let bytes = SegmentWriter::new()
+            .with_chunk_size(64)
+            .write(&db)
+            .expect("write");
+        let reader = SegmentReader::open(Box::new(MemSource::new(bytes.clone()))).expect("open");
+        reader.verify().expect("verify");
+        assert_eq!(reader.n(), 150);
+        assert_eq!(reader.k(), 4);
+        assert!(reader.has_perm());
+        assert_eq!(reader.ranker_name(), "sum");
+        assert_eq!(reader.schema().len(), 3);
+        // Writes are deterministic.
+        let again = SegmentWriter::new().with_chunk_size(64).write(&db).unwrap();
+        assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn segment_backed_db_answers_like_the_ram_build() {
+        let db = tiny_db();
+        let bytes = SegmentWriter::new().with_chunk_size(64).write(&db).unwrap();
+        let seg =
+            HiddenDb::open_segment_source(Box::new(MemSource::new(bytes)), Box::new(SumRanker))
+                .expect("open");
+        assert_eq!(seg.k(), db.k());
+        assert_eq!(seg.n(), db.n());
+        let queries = [
+            Query::select_all(),
+            Query::new(vec![crate::Predicate::lt(0, 4)]),
+            Query::new(vec![crate::Predicate::eq(2, 1), crate::Predicate::ge(0, 6)]),
+        ];
+        for q in &queries {
+            let a = db.query(q).unwrap();
+            let b = seg.query(q).unwrap();
+            assert_eq!(
+                a.tuples.iter().map(|t| t.id).collect::<Vec<_>>(),
+                b.tuples.iter().map(|t| t.id).collect::<Vec<_>>()
+            );
+            assert_eq!(a.overflowed, b.overflowed);
+        }
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let schema = SchemaBuilder::new()
+            .ranking("a", 5, InterfaceType::Rq)
+            .build();
+        let db = HiddenDb::with_sum_ranking(schema, Vec::new(), 2);
+        let bytes = SegmentWriter::new().write(&db).unwrap();
+        let reader = SegmentReader::open(Box::new(MemSource::new(bytes.clone()))).unwrap();
+        reader.verify().unwrap();
+        assert_eq!(reader.n(), 0);
+        let seg =
+            HiddenDb::open_segment_source(Box::new(MemSource::new(bytes)), Box::new(SumRanker))
+                .unwrap();
+        let ans = seg.query(&Query::select_all()).unwrap();
+        assert!(ans.is_empty());
+        assert!(!ans.overflowed);
+    }
+
+    #[test]
+    fn ranker_mismatch_is_rejected() {
+        let db = tiny_db();
+        let bytes = SegmentWriter::new().write(&db).unwrap();
+        let err = HiddenDb::open_segment_source(
+            Box::new(MemSource::new(bytes)),
+            Box::new(crate::WorstCaseRanker),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SegmentError::RankerMismatch {
+                expected: "sum".into(),
+                found: "worst-case".into(),
+            }
+        );
+    }
+}

@@ -15,18 +15,41 @@
 //! halving the resident memory of an indexed database. The store itself is
 //! a handle: cloning it is one atomic increment, so it can be shared across
 //! threads and sessions freely.
+//!
+//! Since PR 7 a store can also be **lazily backed by a persisted columnar
+//! segment** ([`crate::SegmentReader`]): tuples materialize per chunk the
+//! first time a query response touches them, so opening a 10M-tuple segment
+//! costs O(footer) and resident memory tracks the *touched* working set,
+//! not the dataset. The public API is unchanged — `share`/`get`/indexing
+//! hydrate on demand (panicking on storage faults, which the engine
+//! precludes by using the fallible [`TupleStore::try_share`] first), and
+//! [`TupleStore::as_slice`]/[`TupleStore::iter`] hydrate everything once
+//! (the full-scan escape hatch for oracle consumers and the `Scan`
+//! reference strategy). Hydrated chunks are cached in the shared reader, so
+//! clones of a lazy store share every materialized tuple.
 
 use std::fmt;
 use std::ops::Index;
 use std::sync::Arc;
 
+use crate::segment::{SegmentError, SegmentReader};
 use crate::Tuple;
+
+/// Where a [`TupleStore`]'s tuples live.
+#[derive(Clone)]
+enum Repr {
+    /// Fully materialized in RAM.
+    Ram(Arc<[Arc<Tuple>]>),
+    /// Served lazily from a persisted columnar segment; hydrated chunks are
+    /// cached inside the (shared) reader.
+    Lazy(Arc<SegmentReader>),
+}
 
 /// An immutable tuple store shared (via `Arc`) by the scan path, the query
 /// index and every [`crate::QueryResponse`].
 #[derive(Clone)]
 pub struct TupleStore {
-    tuples: Arc<[Arc<Tuple>]>,
+    repr: Repr,
 }
 
 impl TupleStore {
@@ -34,43 +57,101 @@ impl TupleStore {
     /// `Arc` exactly once; no code path copies it again afterwards.
     pub fn new(tuples: Vec<Tuple>) -> Self {
         TupleStore {
-            tuples: tuples.into_iter().map(Arc::new).collect(),
+            repr: Repr::Ram(tuples.into_iter().map(Arc::new).collect()),
+        }
+    }
+
+    /// Wraps an opened segment as a lazily-hydrating store.
+    pub(crate) fn from_segment(reader: Arc<SegmentReader>) -> Self {
+        TupleStore {
+            repr: Repr::Lazy(reader),
         }
     }
 
     /// Number of tuples in the store.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        match &self.repr {
+            Repr::Ram(tuples) => tuples.len(),
+            Repr::Lazy(reader) => reader.n(),
+        }
     }
 
     /// `true` if the store holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len() == 0
     }
 
-    /// Borrows the tuple at `idx`, or `None` if out of range.
-    pub fn get(&self, idx: usize) -> Option<&Tuple> {
-        self.tuples.get(idx).map(Arc::as_ref)
-    }
-
-    /// Shares the tuple at `idx`: one reference-count bump, no deep clone.
-    /// This is how query responses are built.
+    /// Borrows the tuple at `idx`, or `None` if out of range. On a
+    /// segment-backed store this hydrates the tuple's chunk on first touch.
     ///
     /// # Panics
-    /// Panics if `idx` is out of range.
+    /// Panics if a segment-backed chunk fails to load (I/O error or
+    /// corrupted bytes) — use the engine-facing fallible accessors to
+    /// surface storage faults as errors instead.
+    pub fn get(&self, idx: usize) -> Option<&Tuple> {
+        match &self.repr {
+            Repr::Ram(tuples) => tuples.get(idx).map(Arc::as_ref),
+            Repr::Lazy(reader) => {
+                if idx < reader.n() {
+                    Some(expect_loaded(reader.tuple_ref(idx)).as_ref())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Shares the tuple at `idx`: one reference-count bump, no deep clone
+    /// (plus a one-time chunk hydration on a segment-backed store). This is
+    /// how query responses are built.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range, or if a segment-backed chunk fails
+    /// to load.
     pub fn share(&self, idx: usize) -> Arc<Tuple> {
-        Arc::clone(&self.tuples[idx])
+        match &self.repr {
+            Repr::Ram(tuples) => Arc::clone(&tuples[idx]),
+            Repr::Lazy(reader) => Arc::clone(expect_loaded(reader.tuple_ref(idx))),
+        }
+    }
+
+    /// Fallible [`TupleStore::share`]: surfaces segment storage faults as a
+    /// typed error instead of panicking. Infallible on a RAM store.
+    pub(crate) fn try_share(&self, idx: usize) -> Result<Arc<Tuple>, SegmentError> {
+        match &self.repr {
+            Repr::Ram(tuples) => Ok(Arc::clone(&tuples[idx])),
+            Repr::Lazy(reader) => Ok(Arc::clone(reader.tuple_ref(idx)?)),
+        }
+    }
+
+    /// Materializes every tuple of a segment-backed store (no-op on RAM),
+    /// surfacing storage faults. After this succeeds, every infallible
+    /// accessor is guaranteed panic-free.
+    pub(crate) fn try_hydrate_all(&self) -> Result<(), SegmentError> {
+        match &self.repr {
+            Repr::Ram(_) => Ok(()),
+            Repr::Lazy(reader) => reader.hydrate_all().map(|_| ()),
+        }
     }
 
     /// The underlying shared slice, for callers that need positional access
-    /// to the `Arc` handles themselves.
+    /// to the `Arc` handles themselves. On a segment-backed store this
+    /// hydrates the **entire** store once (cached in the shared reader) —
+    /// it is the full-scan escape hatch, not a lazy path.
+    ///
+    /// # Panics
+    /// Panics if a segment-backed chunk fails to load.
     pub fn as_slice(&self) -> &[Arc<Tuple>] {
-        &self.tuples
+        match &self.repr {
+            Repr::Ram(tuples) => tuples,
+            Repr::Lazy(reader) => expect_loaded(reader.hydrate_all()),
+        }
     }
 
-    /// Iterates the tuples in store order.
+    /// Iterates the tuples in store order (fully hydrating a segment-backed
+    /// store, like [`TupleStore::as_slice`]).
     pub fn iter(&self) -> impl ExactSizeIterator<Item = &Tuple> {
-        self.tuples.iter().map(Arc::as_ref)
+        self.as_slice().iter().map(Arc::as_ref)
     }
 
     /// Deep-copies the store into owned tuples (test/analysis convenience —
@@ -80,18 +161,33 @@ impl TupleStore {
     }
 }
 
+/// Unwraps a lazy-hydration result on the infallible (panicking) API.
+fn expect_loaded<T>(res: Result<T, SegmentError>) -> T {
+    res.unwrap_or_else(|e| panic!("segment-backed tuple store failed to hydrate: {e}"))
+}
+
 impl Index<usize> for TupleStore {
     type Output = Tuple;
 
     fn index(&self, idx: usize) -> &Tuple {
-        &self.tuples[idx]
+        match &self.repr {
+            Repr::Ram(tuples) => &tuples[idx],
+            Repr::Lazy(reader) => expect_loaded(reader.tuple_ref(idx)).as_ref(),
+        }
     }
 }
 
 impl fmt::Debug for TupleStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TupleStore")
-            .field("len", &self.tuples.len())
+            .field("len", &self.len())
+            .field(
+                "backing",
+                &match &self.repr {
+                    Repr::Ram(_) => "ram",
+                    Repr::Lazy(_) => "segment",
+                },
+            )
             .finish()
     }
 }
@@ -131,6 +227,7 @@ mod tests {
         let s = store();
         let shared = s.share(1);
         assert!(Arc::ptr_eq(&shared, &s.as_slice()[1]));
+        assert!(Arc::ptr_eq(&s.try_share(1).unwrap(), &s.as_slice()[1]));
     }
 
     #[test]

@@ -12,10 +12,13 @@
 //! two runs identical, so a golden can never drift *because of* batching.
 
 use skyweb::core::{
-    Discoverer, DiscoveryDriver, DiscoveryResult, DriverConfig, PointSpaceCrawl, RqDbSky, SqDbSky,
+    BaselineCrawl, Discoverer, DiscoveryDriver, DiscoveryMachine, DiscoveryResult, DriverConfig,
+    MqDbSky, PointSpaceCrawl, Pq2dSky, PqDbSky, RqDbSky, RqSkyband, SqDbSky,
 };
 use skyweb::datagen::flights_dot;
-use skyweb::hidden_db::{HiddenDb, InterfaceType, SchemaBuilder, SumRanker, Tuple};
+use skyweb::hidden_db::{
+    HiddenDb, InterfaceType, MemSource, SchemaBuilder, SegmentWriter, SumRanker, Tuple,
+};
 
 /// FNV-1a over a byte stream: the fingerprint primitive for traces and
 /// access logs (stable across platforms; no dependency on hash maps).
@@ -131,6 +134,17 @@ fn fig15_style_db(n: usize) -> HiddenDb {
     ds.into_db_sum(10)
 }
 
+/// Round-trips a freshly built database through the persistent columnar
+/// segment store (write → reopen from bytes) so a golden workload can run
+/// against the lazily-hydrating segment backend instead of the RAM build.
+fn seg_clone(db: &HiddenDb) -> HiddenDb {
+    let bytes = SegmentWriter::new()
+        .write(db)
+        .expect("RAM-backed databases always serialize");
+    HiddenDb::open_segment_source(Box::new(MemSource::new(bytes)), Box::new(SumRanker))
+        .expect("a fresh segment reopens")
+}
+
 #[test]
 fn golden_fig14_style_sq_run() {
     let (result, result_fp, log_fp) = run_and_crosscheck(&SqDbSky::new(), || fig14_style_db(2_000));
@@ -211,4 +225,150 @@ fn golden_point_crawl_odometer() {
         log.entries()[3].query,
         "SELECT * FROM D WHERE A0 = 0 AND A1 = 1 AND A2 = 0"
     );
+}
+
+// --- Segment-backed goldens ------------------------------------------------
+//
+// The same pinned fingerprints, with every database round-tripped through
+// the columnar segment store first: the lazily-hydrating backend must be
+// byte-identical to the RAM build — costs, traces, responses and the full
+// access log.
+
+#[test]
+fn golden_fig14_style_sq_run_segment_backed() {
+    let (result, result_fp, log_fp) =
+        run_and_crosscheck(&SqDbSky::new(), || seg_clone(&fig14_style_db(2_000)));
+    assert!(result.complete);
+    assert_eq!(result.query_cost, 397, "segment-backed query cost drifted");
+    assert_eq!(
+        result_fp, 0x104f7d8f829628b6,
+        "segment-backed result fingerprint drifted"
+    );
+    assert_eq!(
+        log_fp, 0x08f6222effcf2aee,
+        "segment-backed access-log fingerprint drifted"
+    );
+}
+
+#[test]
+fn golden_fig15_style_runs_segment_backed() {
+    let (sq, sq_fp, sq_log_fp) =
+        run_and_crosscheck(&SqDbSky::new(), || seg_clone(&fig15_style_db(2_000)));
+    assert!(sq.complete);
+    assert_eq!(sq.query_cost, 41, "segment-backed SQ query cost drifted");
+    assert_eq!(sq_fp, 0x6c1951198a71976f, "SQ result fingerprint drifted");
+    assert_eq!(sq_log_fp, 0x28608e066bc3c748, "SQ log fingerprint drifted");
+
+    let (rq, rq_fp, rq_log_fp) =
+        run_and_crosscheck(&RqDbSky::new(), || seg_clone(&fig15_style_db(2_000)));
+    assert!(rq.complete);
+    assert_eq!(rq.query_cost, 21, "segment-backed RQ query cost drifted");
+    assert_eq!(rq_fp, 0x30bb8ecb2ce00ef7, "RQ result fingerprint drifted");
+    assert_eq!(rq_log_fp, 0xce854707af497c01, "RQ log fingerprint drifted");
+}
+
+/// A small deterministic database with every attribute on the given
+/// interface type — the substrate for the all-machines cross-check.
+fn small_db(m: usize, itf: Option<InterfaceType>) -> HiddenDb {
+    let domains = [5u32, 4, 3];
+    let mixed = [InterfaceType::Sq, InterfaceType::Rq, InterfaceType::Pq];
+    let mut builder = SchemaBuilder::new();
+    for i in 0..m {
+        builder = builder.ranking(format!("a{i}"), domains[i], itf.unwrap_or(mixed[i]));
+    }
+    let tuples: Vec<Tuple> = (0..60u64)
+        .map(|i| {
+            let v = [(i * 7 % 5) as u32, (i * 5 % 4) as u32, (i % 3) as u32];
+            Tuple::new(i, v[..m].to_vec())
+        })
+        .collect();
+    HiddenDb::new(builder.build(), tuples, Box::new(SumRanker), 2)
+}
+
+/// Runs one machine to completion on the RAM build and on the segment
+/// round-trip of the *same* database, asserting results, exact costs and
+/// access-log fingerprints identical.
+fn assert_segment_matches_ram(
+    mk_db: &dyn Fn() -> HiddenDb,
+    mk_machine: &dyn Fn(&HiddenDb) -> Box<dyn DiscoveryMachine>,
+    label: &str,
+) {
+    let ram_db = mk_db();
+    ram_db.enable_access_log();
+    let ram = DiscoveryDriver::new(&ram_db, mk_machine(&ram_db), DriverConfig::new())
+        .run()
+        .expect("RAM run");
+
+    let seg_db = seg_clone(&mk_db());
+    seg_db.enable_access_log();
+    let seg = DiscoveryDriver::new(&seg_db, mk_machine(&seg_db), DriverConfig::new())
+        .run()
+        .expect("segment run");
+
+    assert_eq!(
+        ram.query_cost, seg.query_cost,
+        "{label}: query costs diverged between RAM and segment backends"
+    );
+    assert_eq!(
+        result_fingerprint(&ram),
+        result_fingerprint(&seg),
+        "{label}: discovery results diverged between RAM and segment backends"
+    );
+    assert_eq!(
+        log_fingerprint(&ram_db),
+        log_fingerprint(&seg_db),
+        "{label}: access logs diverged between RAM and segment backends"
+    );
+}
+
+type DbFactory = Box<dyn Fn() -> HiddenDb>;
+type MachineFactory = Box<dyn Fn(&HiddenDb) -> Box<dyn DiscoveryMachine>>;
+
+#[test]
+fn all_eight_machines_are_backend_agnostic() {
+    let cases: Vec<(&str, DbFactory, MachineFactory)> = vec![
+        (
+            "sq-db-sky",
+            Box::new(|| small_db(3, Some(InterfaceType::Sq))),
+            Box::new(|db| SqDbSky::new().machine(db).unwrap()),
+        ),
+        (
+            "rq-db-sky",
+            Box::new(|| small_db(3, Some(InterfaceType::Rq))),
+            Box::new(|db| RqDbSky::new().machine(db).unwrap()),
+        ),
+        (
+            "pq-db-sky",
+            Box::new(|| small_db(3, Some(InterfaceType::Pq))),
+            Box::new(|db| PqDbSky::new().machine(db).unwrap()),
+        ),
+        (
+            "pq-2d-sky",
+            Box::new(|| small_db(2, Some(InterfaceType::Pq))),
+            Box::new(|db| Pq2dSky::new().machine(db).unwrap()),
+        ),
+        (
+            "mq-db-sky",
+            Box::new(|| small_db(3, None)),
+            Box::new(|db| MqDbSky::new().machine(db).unwrap()),
+        ),
+        (
+            "rq-skyband",
+            Box::new(|| small_db(3, Some(InterfaceType::Rq))),
+            Box::new(|db| Box::new(RqSkyband::new(2).build_machine(db).unwrap())),
+        ),
+        (
+            "baseline-crawl",
+            Box::new(|| small_db(3, Some(InterfaceType::Rq))),
+            Box::new(|db| BaselineCrawl::new().machine(db).unwrap()),
+        ),
+        (
+            "point-space-crawl",
+            Box::new(|| small_db(3, Some(InterfaceType::Pq))),
+            Box::new(|db| PointSpaceCrawl::new().machine(db).unwrap()),
+        ),
+    ];
+    for (label, mk_db, mk_machine) in &cases {
+        assert_segment_matches_ram(mk_db.as_ref(), mk_machine.as_ref(), label);
+    }
 }

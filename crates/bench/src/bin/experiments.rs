@@ -37,14 +37,15 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use skyweb_bench::{
-    figures, pool, set_run_limits, set_segment_dir, FigureResult, RunLimits, Scale,
+    figures, pool, set_cache_budget, set_run_limits, set_segment_dir, FigureResult, RunLimits,
+    Scale,
 };
 
 fn usage() {
     eprintln!(
         "usage: experiments [--list] [--quick|--full] [--parallel] [--jobs N] \
          [--budget N] [--max-wall-ms N] [--max-batch N] [--fault-rate F] [--fault-seed N] \
-         [--segment DIR] [all | figNN ...]"
+         [--segment DIR] [--cache-budget BYTES] [all | figNN ...]"
     );
     eprintln!("known figures: {}", figures::ALL_FIGURES.join(", "));
 }
@@ -56,6 +57,7 @@ fn main() -> ExitCode {
     let mut jobs_request: Option<usize> = None;
     let mut limits = RunLimits::default();
     let mut segment_dir: Option<String> = None;
+    let mut cache_budget: Option<u64> = None;
     let mut requested: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -122,6 +124,14 @@ fn main() -> ExitCode {
             };
             segment_dir = Some(dir.clone());
             i += 1;
+        } else if arg == "--cache-budget" {
+            let Some(n) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
+                eprintln!("--cache-budget needs a byte count");
+                usage();
+                return ExitCode::FAILURE;
+            };
+            cache_budget = Some(n);
+            i += 1;
         } else if arg == "--fault-seed" {
             let Some(n) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
                 eprintln!("--fault-seed needs a non-negative integer value");
@@ -163,6 +173,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("# segment-backed mode: databases served from {dir}");
+    }
+    // A cache budget bounds the decoded-chunk cache of every segment-backed
+    // database; figure stdout is still byte-identical (CI runs exactly this
+    // with a deliberately tiny budget and diffs against the in-RAM run).
+    if let Some(bytes) = cache_budget {
+        if segment_dir.is_none() {
+            eprintln!("--cache-budget requires --segment DIR");
+            usage();
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = set_cache_budget(bytes) {
+            eprintln!("--cache-budget: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("# decoded-chunk cache capped at {bytes} bytes per database");
     }
     // Wall-clock truncation is nondeterministic: keep stdout diffable by
     // moving the affected tables to stderr (headers stay on stdout).

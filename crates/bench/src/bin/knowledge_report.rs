@@ -532,9 +532,11 @@ fn main() -> ExitCode {
          deep-cloning BNL Collector, naive server baseline the old O(rounds*n^2) \
          minimal-set recomputation (RandomSkylineRanker row compares new-without-index \
          vs new-with-index instead); kb_ingest additionally builds the posting lists \
-         and keeps entries key-sorted (random-order streams pay insert memmoves the \
-         unordered BNL baseline does not), which is what buys the 3 orders of \
-         magnitude on the membership probes and the deterministic dominator answers; \
+         and keeps entries key-sorted in a two-level blocked layout (batched, \
+         batch-presorted ingest; structural work per insert is bounded by one block \
+         instead of an O(s) flat-Vec memmove), which is what buys the 3 orders of \
+         magnitude on the membership probes and the deterministic dominator answers \
+         at ingest parity with the unordered BNL append baseline; \
          sq_fig14_driver row: same SQ-DB-SKY run through the sans-io driver with \
          max_batch 1 (old per-query round-trip pattern) vs default frontier batching, \
          which now executes through the engine-side shared-prefix batch executor \

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run -p skyweb-bench --release --bin storage_report [-- --quick]
-//!     [-- --segment PATH] [-- --out PATH]
+//!     [-- --segment PATH] [-- --out PATH] [-- --cache-budget BYTES]
 //! ```
 //!
 //! With `--segment PATH` the report opens a prebuilt segment (use the
@@ -17,7 +17,10 @@
 //! JSON notes).
 //!
 //! `--quick` shrinks the self-built dataset and iteration counts (CI
-//! smoke); the JSON schema is unchanged.
+//! smoke); the JSON schema is unchanged. `--cache-budget BYTES` caps the
+//! decoded-chunk cache of the measured database (the report always also
+//! measures a deliberately tiny capped configuration for the steady-state
+//! row).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -26,7 +29,9 @@ use std::time::Instant;
 
 use skyweb_bench::report::peak_rss_kb;
 use skyweb_datagen::synthetic::{self, Correlation, SyntheticConfig};
-use skyweb_hidden_db::{HiddenDb, Predicate, Query, SumRanker};
+use skyweb_hidden_db::{
+    FileSource, HiddenDb, Predicate, Query, SegmentOpenOptions, SegmentReader, SumRanker,
+};
 
 struct Case {
     name: &'static str,
@@ -88,6 +93,11 @@ fn main() -> ExitCode {
         .position(|a| a == "--segment")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+    let cache_budget: Option<u64> = args
+        .iter()
+        .position(|a| a == "--cache-budget")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
 
     let iters: u64 = if quick { 200 } else { 400 };
     let self_built = prebuilt.is_none();
@@ -118,8 +128,12 @@ fn main() -> ExitCode {
     // Cold open: trailer + footer + eager metadata (prefix counts, zone
     // maps) only — no tuple, column or permutation chunk is read, so this
     // is O(metadata), independent of n.
+    let mut options = SegmentOpenOptions::new();
+    if let Some(budget) = cache_budget {
+        options = options.with_cache_budget(budget);
+    }
     let t = Instant::now();
-    let db = match HiddenDb::open_segment(&path, Box::new(SumRanker)) {
+    let db = match HiddenDb::open_segment_with(&path, Box::new(SumRanker), options) {
         Ok(db) => db,
         Err(e) => {
             eprintln!("cannot open segment {}: {e}", path.display());
@@ -184,6 +198,178 @@ fn main() -> ExitCode {
         );
     }
     let _ = writeln!(json, "  ],");
+
+    // Cache / hydration counters of the measured database (the reusable
+    // `StorageStats` snapshot every segment-backed `HiddenDb` exposes).
+    if let Some(stats) = db.storage_stats() {
+        println!();
+        println!(
+            "cache: {} hits / {} misses / {} evictions, {} bytes resident (budget: {})",
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.cache_evictions,
+            stats.bytes_resident,
+            stats
+                .cache_budget
+                .map_or("unbounded".into(), |b| b.to_string()),
+        );
+        println!(
+            "chunks decoded: {} FOR, {} dict, {} RLE",
+            stats.decoded_for, stats.decoded_dict, stats.decoded_rle
+        );
+        let _ = writeln!(
+            json,
+            "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"bytes_resident\": {}, \"budget_bytes\": {}}},",
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.cache_evictions,
+            stats.bytes_resident,
+            stats.cache_budget.map_or("null".into(), |b| b.to_string()),
+        );
+    }
+
+    // Compressed-domain execution vs hydrate-then-filter: the same filtering
+    // cases, A/B'd over the `compressed_filter` open knob on two fresh
+    // readers (so neither run rides the other's warm cache). Both run under
+    // the same deliberately small cache budget — the bounded-memory
+    // deployment the compressed path exists for — and with the access log
+    // enabled: exact match counting is what forces the engine off the
+    // early-terminating rank scan and onto the full-filter paths the knob
+    // selects between.
+    let ab_cap: u64 = if quick { 512 << 10 } else { 4 << 20 };
+    println!();
+    println!("compressed-domain A/B under a {ab_cap} B cache budget:");
+    println!(
+        "{:<24} {:>16} {:>16}",
+        "query (exact counts)", "compressed ns/q", "hydrated ns/q"
+    );
+    let _ = writeln!(json, "  \"compressed_domain_budget_bytes\": {ab_cap},");
+    let _ = writeln!(json, "  \"compressed_domain\": [");
+    let ab_iters = iters.min(200);
+    let filtering: Vec<&Case> = all.iter().filter(|c| c.name != "select_all_topk").collect();
+    let mut ab_rows: Vec<(&str, f64, f64)> = Vec::new();
+    for on in [true, false] {
+        let ab_db = match HiddenDb::open_segment_with(
+            &path,
+            Box::new(SumRanker),
+            SegmentOpenOptions::new()
+                .with_cache_budget(ab_cap)
+                .with_compressed_filter(on),
+        ) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("cannot reopen segment {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        ab_db.enable_access_log();
+        for (i, case) in filtering.iter().enumerate() {
+            let ns = time_ns(&ab_db, &case.query, 10, ab_iters);
+            if on {
+                ab_rows.push((case.name, ns, 0.0));
+            } else {
+                ab_rows[i].2 = ns;
+            }
+        }
+    }
+    for (i, (name, compressed_ns, hydrated_ns)) in ab_rows.iter().enumerate() {
+        println!("{name:<24} {compressed_ns:>16.0} {hydrated_ns:>16.0}");
+        let _ = writeln!(
+            json,
+            "    {{\"query\": \"{name}\", \"compressed_ns\": {compressed_ns:.0}, \
+             \"hydrated_ns\": {hydrated_ns:.0}}}{}",
+            if i + 1 == ab_rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+
+    // Per-codec census of the file on disk: how many chunk sections each
+    // codec won and what it saved against raw 4-byte words.
+    match SegmentReader::open(Box::new(match FileSource::open(&path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("cannot reopen segment {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }))
+    .and_then(|reader| reader.codec_census())
+    {
+        Ok(census) => {
+            println!();
+            println!(
+                "{:<8} {:>8} {:>14} {:>14} {:>8}",
+                "codec", "chunks", "encoded B", "raw B", "ratio"
+            );
+            let _ = writeln!(json, "  \"codecs\": [");
+            let names = ["for", "dict", "rle"];
+            for (i, name) in names.iter().enumerate() {
+                let ratio = if census.encoded_bytes[i] == 0 {
+                    0.0
+                } else {
+                    census.raw_bytes[i] as f64 / census.encoded_bytes[i] as f64
+                };
+                println!(
+                    "{:<8} {:>8} {:>14} {:>14} {:>8.2}",
+                    name, census.chunks[i], census.encoded_bytes[i], census.raw_bytes[i], ratio
+                );
+                let _ = writeln!(
+                    json,
+                    "    {{\"codec\": \"{name}\", \"chunks\": {}, \"encoded_bytes\": {}, \
+                     \"raw_bytes\": {}, \"ratio\": {ratio:.3}}}{}",
+                    census.chunks[i],
+                    census.encoded_bytes[i],
+                    census.raw_bytes[i],
+                    if i + 1 == names.len() { "" } else { "," }
+                );
+            }
+            let _ = writeln!(json, "  ],");
+        }
+        Err(e) => {
+            eprintln!("cannot take codec census of {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Steady state under a deliberately tiny cache budget: rerun the case
+    // mix on a capped reader and report its resident footprint — the
+    // honest "bounded memory" row (peak_rss_kb is process-wide and already
+    // inflated by the uncapped runs above).
+    let cap: u64 = if quick { 2 << 20 } else { 16 << 20 };
+    let capped = match HiddenDb::open_segment_with(
+        &path,
+        Box::new(SumRanker),
+        SegmentOpenOptions::new().with_cache_budget(cap),
+    ) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("cannot reopen segment {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for case in &all {
+        std::hint::black_box(time_ns(&capped, &case.query, 2, ab_iters.min(50)));
+    }
+    let capped_stats = capped
+        .storage_stats()
+        .expect("segment backends expose stats");
+    println!();
+    println!(
+        "capped cache ({cap} B budget): {} bytes resident, {} hits / {} misses / {} evictions",
+        capped_stats.bytes_resident,
+        capped_stats.cache_hits,
+        capped_stats.cache_misses,
+        capped_stats.cache_evictions
+    );
+    let _ = writeln!(
+        json,
+        "  \"capped_cache\": {{\"budget_bytes\": {cap}, \"bytes_resident\": {}, \
+         \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}}},",
+        capped_stats.bytes_resident,
+        capped_stats.cache_hits,
+        capped_stats.cache_misses,
+        capped_stats.cache_evictions
+    );
 
     let rss = peak_rss_kb().unwrap_or(0);
     println!();

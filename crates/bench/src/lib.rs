@@ -35,4 +35,4 @@ pub mod storage;
 pub use limits::{run_limits, set_run_limits, RunLimits};
 pub use report::FigureResult;
 pub use scale::Scale;
-pub use storage::{segment_dir, set_segment_dir};
+pub use storage::{cache_budget, segment_dir, set_cache_budget, set_segment_dir};

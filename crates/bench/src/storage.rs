@@ -12,9 +12,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
-use skyweb_hidden_db::{HiddenDb, Ranker};
+use skyweb_hidden_db::{HiddenDb, Ranker, SegmentOpenOptions};
 
 static SEGMENT_DIR: OnceLock<PathBuf> = OnceLock::new();
+static CACHE_BUDGET: OnceLock<u64> = OnceLock::new();
 
 /// Installs the segment cache directory (creating it if needed). Call once,
 /// before any figure runs; returns `Err` if a directory was already set or
@@ -30,6 +31,23 @@ pub fn set_segment_dir(dir: impl Into<PathBuf>) -> Result<(), String> {
 /// The active segment cache directory, if segment-backed mode is on.
 pub fn segment_dir() -> Option<&'static Path> {
     SEGMENT_DIR.get().map(PathBuf::as_path)
+}
+
+/// Caps the decoded-chunk cache of every segment-backed database at `bytes`
+/// (`experiments --cache-budget`). Call once, before any figure runs;
+/// returns `Err` if a budget was already set. Without a budget the cache is
+/// unbounded (sticky hydration). Figure output is byte-identical either way
+/// — eviction is a memory policy, not a semantic one — which is exactly
+/// what the CI storage job diffs.
+pub fn set_cache_budget(bytes: u64) -> Result<(), String> {
+    CACHE_BUDGET
+        .set(bytes)
+        .map_err(|_| "cache budget already set".to_string())
+}
+
+/// The active decoded-chunk cache budget in bytes, if one was installed.
+pub fn cache_budget() -> Option<u64> {
+    CACHE_BUDGET.get().copied()
 }
 
 /// FNV-1a64 content fingerprint of a database: schema (names, domains,
@@ -81,7 +99,11 @@ pub fn segment_backed(ram: &HiddenDb, ranker: Box<dyn Ranker>) -> HiddenDb {
         std::fs::rename(&tmp, &path)
             .unwrap_or_else(|e| panic!("cannot publish segment {}: {e}", path.display()));
     }
-    HiddenDb::open_segment(&path, ranker)
+    let mut options = SegmentOpenOptions::new();
+    if let Some(budget) = cache_budget() {
+        options = options.with_cache_budget(budget);
+    }
+    HiddenDb::open_segment_with(&path, ranker, options)
         .unwrap_or_else(|e| panic!("cannot open segment {}: {e}", path.display()))
 }
 

@@ -85,7 +85,14 @@ impl KnowledgeBase {
     /// Ingests newly returned tuples: deduplicates by id, shares the `Arc`
     /// handles (no deep clone), updates the posting lists and the
     /// incremental skyline.
+    ///
+    /// The whole batch reaches the incremental index through
+    /// [`IncrementalSkyline::insert_batch`], which pre-sorts it into
+    /// monotone-key order so dominated tuples reject on an early-exiting
+    /// scan instead of paying a structural insert — the final skyline state
+    /// is identical to one-at-a-time insertion.
     pub fn ingest(&mut self, tuples: &[Arc<Tuple>]) {
+        let mut fresh: Vec<Arc<Tuple>> = Vec::new();
         for t in tuples {
             if !self.ids.insert(t.id) {
                 continue;
@@ -102,8 +109,9 @@ impl KnowledgeBase {
                 buckets[v as usize].push(pos);
             }
             self.retrieved.push(Arc::clone(t));
-            self.index.insert(Arc::clone(t));
+            fresh.push(Arc::clone(t));
         }
+        self.index.insert_batch(fresh);
     }
 
     /// Test convenience: ingests owned tuples by wrapping them in fresh

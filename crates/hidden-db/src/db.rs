@@ -8,7 +8,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::path::Path;
 
 use crate::index::{QueryIndex, Scratch};
-use crate::segment::{BlockSource, FileSource, SegmentError, SegmentReader, SegmentWriter};
+use crate::segment::{
+    BlockSource, FileSource, SegmentError, SegmentOpenOptions, SegmentReader, SegmentWriter,
+    StorageStats,
+};
 use crate::stats::{AccessLog, AccessLogEntry, QueryStats, ShardedAccessLog};
 use crate::store::TupleStore;
 use crate::{
@@ -318,6 +321,16 @@ impl HiddenDb {
         HiddenDb::open_segment_source(Box::new(FileSource::open(path)?), ranker)
     }
 
+    /// [`HiddenDb::open_segment`] with explicit open options (cache budget,
+    /// compressed-domain filtering).
+    pub fn open_segment_with(
+        path: impl AsRef<Path>,
+        ranker: Box<dyn Ranker>,
+        options: SegmentOpenOptions,
+    ) -> Result<Self, SegmentError> {
+        HiddenDb::open_segment_source_with(Box::new(FileSource::open(path)?), ranker, options)
+    }
+
     /// Opens a persisted columnar segment from an arbitrary [`BlockSource`]
     /// as a lazily-hydrating hidden database.
     ///
@@ -343,7 +356,19 @@ impl HiddenDb {
         source: Box<dyn BlockSource>,
         ranker: Box<dyn Ranker>,
     ) -> Result<Self, SegmentError> {
-        let reader = Arc::new(SegmentReader::open(source)?);
+        HiddenDb::open_segment_source_with(source, ranker, SegmentOpenOptions::default())
+    }
+
+    /// [`HiddenDb::open_segment_source`] with explicit open options: a
+    /// chunk-cache byte budget (bounded working set with clock eviction
+    /// instead of sticky hydration) and a switch for compressed-domain
+    /// predicate filtering.
+    pub fn open_segment_source_with(
+        source: Box<dyn BlockSource>,
+        ranker: Box<dyn Ranker>,
+        options: SegmentOpenOptions,
+    ) -> Result<Self, SegmentError> {
+        let reader = Arc::new(SegmentReader::open_with(source, options)?);
         if reader.ranker_name() != ranker.name() {
             return Err(SegmentError::RankerMismatch {
                 expected: reader.ranker_name().to_string(),
@@ -466,6 +491,15 @@ impl HiddenDb {
     /// algorithms never inspect it).
     pub fn ranker_name(&self) -> &str {
         self.ranker.name()
+    }
+
+    /// A snapshot of the backing segment's storage counters (chunk-cache
+    /// hits/misses/evictions, resident bytes, chunks decoded per codec), or
+    /// `None` for a RAM-backed database.
+    pub fn storage_stats(&self) -> Option<StorageStats> {
+        self.store
+            .segment_reader()
+            .map(|reader| reader.storage_stats())
     }
 
     /// Number of queries answered so far.

@@ -41,7 +41,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::fs::File;
 use std::path::Path;
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::index::BLOCK;
 use crate::{AttributeRole, AttributeSpec, HiddenDb, InterfaceType, Schema, Tuple, TupleId, Value};
@@ -52,8 +53,11 @@ pub const SEGMENT_MAGIC: [u8; 4] = *b"SWSG";
 /// Magic bytes of the fixed-size trailer at the end of the file.
 pub const TRAILER_MAGIC: [u8; 8] = *b"SWSGTAIL";
 
-/// The segment format version this build writes and the only one it reads.
-pub const SEGMENT_VERSION: u16 = 1;
+/// The newest segment format version this build writes. Readers accept
+/// every version in `1..=SEGMENT_VERSION`: v1 files (untagged FOR/bit-packed
+/// chunks) keep opening byte-identically next to v2 files (per-chunk codec
+/// tags with min/max headers).
+pub const SEGMENT_VERSION: u16 = 2;
 
 /// Number of values per lazily-hydrated chunk (a multiple of the zone-map
 /// block size, so one zone block never spans two chunks).
@@ -84,6 +88,25 @@ const KIND_STORE_COL: u8 = 7;
 const KIND_ORDER: u8 = 8;
 /// Section kind: one chunk of the tuple ids (u64).
 const KIND_IDS: u8 = 9;
+
+/// Pseudo section kind keying hydrated tuple chunks in the chunk cache.
+/// Never appears on disk.
+const KIND_TUPLE_CACHE: u8 = 200;
+
+/// v2 chunk codec tag: frame-of-reference + bit-packing (the v1 layout).
+const CODEC_FOR: u8 = 0;
+/// v2 chunk codec tag: sorted dictionary + bit-packed codes.
+const CODEC_DICT: u8 = 1;
+/// v2 chunk codec tag: run-length encoding (run values + run lengths).
+const CODEC_RLE: u8 = 2;
+
+/// Chunks fetched per coalesced batch by the compressed-domain store scan.
+const READAHEAD: usize = 8;
+/// Shard count of the bounded chunk cache.
+const CACHE_SHARDS: usize = 8;
+/// Approximate per-chunk bookkeeping overhead charged against the cache
+/// budget on top of the decoded payload bytes.
+const CHUNK_OVERHEAD: u64 = 32;
 
 fn kind_name(kind: u8) -> &'static str {
     match kind {
@@ -159,7 +182,7 @@ impl fmt::Display for SegmentError {
             SegmentError::BadMagic => write!(f, "bad magic: not a skyweb segment"),
             SegmentError::UnsupportedVersion { found } => write!(
                 f,
-                "unsupported segment version {found} (supported: {SEGMENT_VERSION})"
+                "unsupported segment version {found} (supported: 1..={SEGMENT_VERSION})"
             ),
             SegmentError::WrongKind { expected, found } => write!(
                 f,
@@ -227,6 +250,43 @@ pub trait BlockSource: Send + Sync {
     /// Fills `buf` from the bytes at `offset`, failing (never short-reading)
     /// if the range is out of bounds.
     fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), SegmentError>;
+
+    /// Serves many positioned reads in one call — batched readahead.
+    ///
+    /// The default implementation coalesces runs of byte-adjacent requests
+    /// (the writer lays a section's chunks out contiguously, so multi-chunk
+    /// scans collapse into a handful of large reads) and issues one
+    /// [`BlockSource::read_exact_at`] per run. Requests must be sorted by
+    /// offset for coalescing to trigger; unsorted batches still complete,
+    /// just one read at a time.
+    fn read_many(&self, requests: &mut [(u64, &mut [u8])]) -> Result<(), SegmentError> {
+        let mut i = 0;
+        while i < requests.len() {
+            let run_start = requests[i].0;
+            let mut end = run_start.saturating_add(requests[i].1.len() as u64);
+            let mut j = i + 1;
+            while j < requests.len() && requests[j].0 == end {
+                end = end.saturating_add(requests[j].1.len() as u64);
+                j += 1;
+            }
+            if j == i + 1 {
+                let (off, buf) = &mut requests[i];
+                self.read_exact_at(*off, buf)?;
+            } else {
+                let total =
+                    usize::try_from(end - run_start).map_err(|_| SegmentError::Truncated)?;
+                let mut run = vec![0u8; total];
+                self.read_exact_at(run_start, &mut run)?;
+                let mut pos = 0usize;
+                for (_, buf) in &mut requests[i..j] {
+                    buf.copy_from_slice(&run[pos..pos + buf.len()]);
+                    pos += buf.len();
+                }
+            }
+            i = j;
+        }
+        Ok(())
+    }
 }
 
 /// A [`BlockSource`] over an opened file, using positioned reads (no shared
@@ -312,20 +372,20 @@ impl BlockSource for MemSource {
 
 /// Wraps `payload` in the magic/version/kind/length/checksum envelope (the
 /// PR 6 checkpoint-codec idiom, under the segment's own magic).
-fn seal(kind: u8, payload: &[u8], out: &mut Vec<u8>) {
+fn seal(version: u16, kind: u8, payload: &[u8], out: &mut Vec<u8>) {
     out.reserve(HEADER_LEN + payload.len() + CHECKSUM_LEN);
     out.extend_from_slice(&SEGMENT_MAGIC);
-    out.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.push(kind);
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(payload);
     out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
 }
 
-/// Validates the envelope of one section and returns its payload slice.
-/// Every layer is checked in order — magic, version, kind, exact length,
-/// checksum — before a single payload byte is interpreted.
-fn open_envelope(bytes: &[u8], expected_kind: u8) -> Result<&[u8], SegmentError> {
+/// Validates the envelope of one section and returns its format version and
+/// payload slice. Every layer is checked in order — magic, version, kind,
+/// exact length, checksum — before a single payload byte is interpreted.
+fn open_envelope(bytes: &[u8], expected_kind: u8) -> Result<(u16, &[u8]), SegmentError> {
     if bytes.len() < 4 {
         return Err(SegmentError::Truncated);
     }
@@ -336,7 +396,7 @@ fn open_envelope(bytes: &[u8], expected_kind: u8) -> Result<&[u8], SegmentError>
         return Err(SegmentError::Truncated);
     }
     let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-    if version != SEGMENT_VERSION {
+    if version == 0 || version > SEGMENT_VERSION {
         return Err(SegmentError::UnsupportedVersion { found: version });
     }
     let kind = bytes[6];
@@ -367,7 +427,7 @@ fn open_envelope(bytes: &[u8], expected_kind: u8) -> Result<&[u8], SegmentError>
     if fnv1a64(payload) != stored {
         return Err(SegmentError::ChecksumMismatch);
     }
-    Ok(payload)
+    Ok((version, payload))
 }
 
 /// A bounds-checked cursor over a section payload; every read surfaces
@@ -568,6 +628,318 @@ fn unpack_u32s(cur: &mut Cursor<'_>) -> Result<Vec<u32>, SegmentError> {
 }
 
 // ---------------------------------------------------------------------------
+// v2 chunk codecs
+// ---------------------------------------------------------------------------
+//
+// A v2 u32 chunk payload is `tag (u8) · min (u32) · max (u32) · body`. The
+// min/max header gives the compressed-domain evaluator exact whole-chunk
+// pruning; the tag selects the body layout:
+//
+//   CODEC_FOR  — the v1 FOR/bit-packed block, unchanged.
+//   CODEC_DICT — pack_u32s(sorted strictly-ascending dictionary) followed by
+//                pack_u32s(codes); value i is dict[codes[i]].
+//   CODEC_RLE  — pack_u32s(run values) followed by pack_u32s(run lengths);
+//                canonical: adjacent run values differ, every length > 0.
+//
+// The writer encodes all three and keeps the smallest (ties break
+// FOR < DICT < RLE), so output stays deterministic.
+
+/// Encodes one u32 chunk under the v2 tagged layout, picking the smallest
+/// body among FOR/bitpack, dictionary + packed codes, and RLE runs.
+fn encode_u32_chunk_v2(values: &[u32], out: &mut Vec<u8>) {
+    let min = values.iter().copied().min().unwrap_or(0);
+    let max = values.iter().copied().max().unwrap_or(0);
+
+    let mut body_for = Vec::new();
+    pack_u32s(values, &mut body_for);
+
+    let mut dict: Vec<u32> = values.to_vec();
+    dict.sort_unstable();
+    dict.dedup();
+    let codes: Vec<u32> = values
+        .iter()
+        .map(|v| dict.partition_point(|d| d < v) as u32)
+        .collect();
+    let mut body_dict = Vec::new();
+    pack_u32s(&dict, &mut body_dict);
+    pack_u32s(&codes, &mut body_dict);
+
+    let mut run_values: Vec<u32> = Vec::new();
+    let mut run_lens: Vec<u32> = Vec::new();
+    for &v in values {
+        if run_values.last() == Some(&v) {
+            *run_lens.last_mut().expect("non-empty runs") += 1;
+        } else {
+            run_values.push(v);
+            run_lens.push(1);
+        }
+    }
+    let mut body_rle = Vec::new();
+    pack_u32s(&run_values, &mut body_rle);
+    pack_u32s(&run_lens, &mut body_rle);
+
+    let (tag, body) = [
+        (CODEC_FOR, body_for),
+        (CODEC_DICT, body_dict),
+        (CODEC_RLE, body_rle),
+    ]
+    .into_iter()
+    .min_by_key(|(tag, body)| (body.len(), *tag))
+    .expect("three candidate codecs");
+    out.push(tag);
+    out.extend_from_slice(&min.to_le_bytes());
+    out.extend_from_slice(&max.to_le_bytes());
+    out.extend_from_slice(&body);
+}
+
+/// Decodes a u32 chunk payload under `version`, returning the values and
+/// the codec tag that produced them (v1 payloads are untagged FOR blocks).
+/// Validates codec invariants — strictly ascending dictionary, in-range
+/// codes, canonical runs, header min/max matching the decoded content —
+/// but leaves kind-specific range checks to the caller.
+fn decode_u32_payload(
+    version: u16,
+    payload: &[u8],
+    expected_len: usize,
+) -> Result<(Vec<u32>, u8), SegmentError> {
+    let mut cur = Cursor::new(payload);
+    if version == 1 {
+        let vals = unpack_u32s(&mut cur)?;
+        cur.finish()?;
+        return Ok((vals, CODEC_FOR));
+    }
+    let tag = cur.u8()?;
+    let cmin = cur.u32()?;
+    let cmax = cur.u32()?;
+    let vals = match tag {
+        CODEC_FOR => unpack_u32s(&mut cur)?,
+        CODEC_DICT => {
+            let dict = unpack_u32s(&mut cur)?;
+            if dict.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(malformed("dictionary is not strictly ascending"));
+            }
+            let codes = unpack_u32s(&mut cur)?;
+            let mut vals = Vec::with_capacity(codes.len());
+            for &code in &codes {
+                let Some(&v) = dict.get(code as usize) else {
+                    return Err(malformed("dictionary code out of range"));
+                };
+                vals.push(v);
+            }
+            vals
+        }
+        CODEC_RLE => {
+            let run_values = unpack_u32s(&mut cur)?;
+            let run_lens = unpack_u32s(&mut cur)?;
+            if run_values.len() != run_lens.len() {
+                return Err(malformed("RLE run arrays differ in length"));
+            }
+            if run_values.windows(2).any(|w| w[0] == w[1]) || run_lens.contains(&0) {
+                return Err(malformed("RLE runs are not canonical"));
+            }
+            let mut vals = Vec::with_capacity(expected_len);
+            for (&v, &l) in run_values.iter().zip(&run_lens) {
+                if vals.len() + l as usize > expected_len {
+                    return Err(malformed("RLE runs overflow the chunk length"));
+                }
+                vals.extend(std::iter::repeat_n(v, l as usize));
+            }
+            vals
+        }
+        t => return Err(malformed(format!("undefined chunk codec tag {t}"))),
+    };
+    cur.finish()?;
+    if vals.iter().copied().min().unwrap_or(0) != cmin
+        || vals.iter().copied().max().unwrap_or(0) != cmax
+    {
+        return Err(malformed("chunk header min/max do not match the values"));
+    }
+    Ok((vals, tag))
+}
+
+// ---------------------------------------------------------------------------
+// Compressed-domain evaluation (filter-without-unpack)
+// ---------------------------------------------------------------------------
+
+/// Clears bits `[from, to)` of a packed bitset.
+fn clear_bits(words: &mut [u64], from: usize, to: usize) {
+    let mut pos = from;
+    while pos < to {
+        let w = pos / 64;
+        let lo_bit = pos % 64;
+        let span = (to - pos).min(64 - lo_bit);
+        let mask = if span == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << span) - 1) << lo_bit
+        };
+        words[w] &= !mask;
+        pos += span;
+    }
+}
+
+/// AND-accumulates `value ∈ [lo, hi]` per packed FOR value into `words`
+/// without materializing the decoded vector: the bounds are translated into
+/// the block's frame of reference once and each delta is tested branch-free
+/// as it streams out of the packed words.
+fn eval_for_body(
+    cur: &mut Cursor<'_>,
+    lo: Value,
+    hi: Value,
+    expected_len: usize,
+    words: &mut [u64],
+) -> Result<(), SegmentError> {
+    let count = cur.u32()? as usize;
+    let min = cur.u32()?;
+    let width = u32::from(cur.u8()?);
+    if width > 32 {
+        return Err(malformed(format!("bit width {width} > 32")));
+    }
+    if count != expected_len {
+        return Err(malformed("packed chunk has the wrong length"));
+    }
+    if width == 0 {
+        if !(lo <= min && min <= hi) {
+            words.fill(0);
+        }
+        return Ok(());
+    }
+    let nwords = (count as u64 * u64::from(width)).div_ceil(64) as usize;
+    let bytes = cur.take(nwords * 8)?;
+    // Conservative whole-block prune from the frame of reference alone
+    // (exact for v1 blocks, which carry no min/max header).
+    let ceiling = u64::from(min) + ((1u64 << width) - 1);
+    if hi < min || u64::from(lo) > ceiling {
+        words.fill(0);
+        return Ok(());
+    }
+    let dlo = u64::from(lo.saturating_sub(min));
+    let dhi = u64::from(hi) - u64::from(min);
+    let mask: u128 = (1u128 << width) - 1;
+    let mut acc: u128 = 0;
+    let mut used: u32 = 0;
+    let mut word = 0usize;
+    let mut m: u64 = 0;
+    for i in 0..count {
+        while used < width {
+            let w = u64::from_le_bytes(bytes[word * 8..word * 8 + 8].try_into().expect("8 bytes"));
+            acc |= u128::from(w) << used;
+            word += 1;
+            used += 64;
+        }
+        let d = (acc & mask) as u64;
+        acc >>= width;
+        used -= width;
+        m |= u64::from(d >= dlo && d <= dhi) << (i % 64);
+        if i % 64 == 63 {
+            words[i / 64] &= m;
+            m = 0;
+        }
+    }
+    if !count.is_multiple_of(64) {
+        words[(count - 1) / 64] &= m;
+    }
+    Ok(())
+}
+
+/// Compressed-domain evaluation of a dictionary-coded body: the value range
+/// becomes a code range via two binary searches over the sorted dictionary,
+/// then the packed codes are streamed through [`eval_for_body`].
+fn eval_dict_body(
+    cur: &mut Cursor<'_>,
+    lo: Value,
+    hi: Value,
+    expected_len: usize,
+    words: &mut [u64],
+) -> Result<(), SegmentError> {
+    let dict = unpack_u32s(cur)?;
+    if dict.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(malformed("dictionary is not strictly ascending"));
+    }
+    let clo = dict.partition_point(|&d| d < lo);
+    let chi = dict.partition_point(|&d| d <= hi);
+    // An empty code range still streams the codes (validating their shape)
+    // under bounds no code can satisfy.
+    let (lo_code, hi_code) = if clo < chi {
+        (clo as u32, (chi - 1) as u32)
+    } else {
+        (1, 0)
+    };
+    eval_for_body(cur, lo_code, hi_code, expected_len, words)
+}
+
+/// Compressed-domain evaluation of an RLE body: range ∩ run intersection —
+/// whole runs outside `[lo, hi]` clear their bit span without per-value
+/// work.
+fn eval_rle_body(
+    cur: &mut Cursor<'_>,
+    lo: Value,
+    hi: Value,
+    expected_len: usize,
+    words: &mut [u64],
+) -> Result<(), SegmentError> {
+    let run_values = unpack_u32s(cur)?;
+    let run_lens = unpack_u32s(cur)?;
+    if run_values.len() != run_lens.len() {
+        return Err(malformed("RLE run arrays differ in length"));
+    }
+    let mut pos = 0usize;
+    for (&v, &l) in run_values.iter().zip(&run_lens) {
+        let end = pos
+            .checked_add(l as usize)
+            .filter(|&e| e <= expected_len)
+            .ok_or_else(|| malformed("RLE runs overflow the chunk length"))?;
+        if v < lo || v > hi {
+            clear_bits(words, pos, end);
+        }
+        pos = end;
+    }
+    if pos != expected_len {
+        return Err(malformed("RLE runs do not cover the chunk"));
+    }
+    Ok(())
+}
+
+/// Evaluates `value ∈ [lo, hi]` for every value of one u32 chunk section
+/// payload, AND-ing the result into `words` — never materializing a decoded
+/// vector. v2 payloads prune whole chunks from the min/max header before
+/// the body is even parsed.
+fn eval_u32_payload(
+    version: u16,
+    payload: &[u8],
+    lo: Value,
+    hi: Value,
+    expected_len: usize,
+    words: &mut [u64],
+) -> Result<(), SegmentError> {
+    let mut cur = Cursor::new(payload);
+    if version == 1 {
+        eval_for_body(&mut cur, lo, hi, expected_len, words)?;
+        return cur.finish();
+    }
+    let tag = cur.u8()?;
+    let cmin = cur.u32()?;
+    let cmax = cur.u32()?;
+    if cmax < lo || cmin > hi {
+        // Nothing in the chunk can match; the body's checksum was already
+        // verified by the envelope, so skipping its parse is safe.
+        words.fill(0);
+        return Ok(());
+    }
+    if lo <= cmin && cmax <= hi {
+        // Everything matches: leave the accumulated bits untouched.
+        return Ok(());
+    }
+    match tag {
+        CODEC_FOR => eval_for_body(&mut cur, lo, hi, expected_len, words)?,
+        CODEC_DICT => eval_dict_body(&mut cur, lo, hi, expected_len, words)?,
+        CODEC_RLE => eval_rle_body(&mut cur, lo, hi, expected_len, words)?,
+        t => return Err(malformed(format!("undefined chunk codec tag {t}"))),
+    }
+    cur.finish()
+}
+
+// ---------------------------------------------------------------------------
 // Directory
 // ---------------------------------------------------------------------------
 
@@ -623,6 +995,7 @@ fn role_from_tag(tag: u8) -> Result<AttributeRole, SegmentError> {
 #[derive(Debug, Clone)]
 pub struct SegmentWriter {
     chunk: usize,
+    version: u16,
 }
 
 impl Default for SegmentWriter {
@@ -632,10 +1005,12 @@ impl Default for SegmentWriter {
 }
 
 impl SegmentWriter {
-    /// A writer with the default chunk size ([`DEFAULT_CHUNK`]).
+    /// A writer with the default chunk size ([`DEFAULT_CHUNK`]) and the
+    /// newest format version ([`SEGMENT_VERSION`]).
     pub fn new() -> Self {
         SegmentWriter {
             chunk: DEFAULT_CHUNK,
+            version: SEGMENT_VERSION,
         }
     }
 
@@ -651,6 +1026,31 @@ impl SegmentWriter {
         );
         self.chunk = chunk;
         self
+    }
+
+    /// Overrides the format version to write. Version 1 reproduces the
+    /// legacy untagged FOR/bit-packed layout byte-identically; version 2
+    /// adds the per-chunk codec headers.
+    ///
+    /// # Panics
+    /// Panics unless `version` is in `1..=SEGMENT_VERSION`.
+    pub fn with_format_version(mut self, version: u16) -> Self {
+        assert!(
+            (1..=SEGMENT_VERSION).contains(&version),
+            "format version must be in 1..={SEGMENT_VERSION}"
+        );
+        self.version = version;
+        self
+    }
+
+    /// Encodes one u32 chunk under the writer's format version: raw
+    /// FOR/bitpack for v1, the tagged smallest-of-three codec for v2.
+    fn encode_u32_chunk(&self, values: &[u32], out: &mut Vec<u8>) {
+        if self.version == 1 {
+            pack_u32s(values, out);
+        } else {
+            encode_u32_chunk_v2(values, out);
+        }
     }
 
     /// Serializes `db` into segment bytes. Fails if `db` is itself
@@ -674,6 +1074,7 @@ impl SegmentWriter {
         let mut file: Vec<u8> = Vec::new();
         let mut dir: Vec<DirEntry> = Vec::new();
         let mut payload: Vec<u8> = Vec::new();
+        let version = self.version;
         let push = |file: &mut Vec<u8>,
                     dir: &mut Vec<DirEntry>,
                     kind: u8,
@@ -681,7 +1082,7 @@ impl SegmentWriter {
                     chunk: u32,
                     payload: &[u8]| {
             let offset = file.len() as u64;
-            seal(kind, payload, file);
+            seal(version, kind, payload, file);
             dir.push(DirEntry {
                 kind,
                 attr,
@@ -698,7 +1099,7 @@ impl SegmentWriter {
                 col.clear();
                 col.extend(slice[chunk_range(c)].iter().map(|t| t.values[attr]));
                 payload.clear();
-                pack_u32s(&col, &mut payload);
+                self.encode_u32_chunk(&col, &mut payload);
                 push(
                     &mut file,
                     &mut dir,
@@ -728,7 +1129,7 @@ impl SegmentWriter {
             let order = ram.posting_order(attr);
             for c in 0..chunks {
                 payload.clear();
-                pack_u32s(&order[chunk_range(c)], &mut payload);
+                self.encode_u32_chunk(&order[chunk_range(c)], &mut payload);
                 push(
                     &mut file,
                     &mut dir,
@@ -744,19 +1145,19 @@ impl SegmentWriter {
         if let Some(perm) = ram.perm() {
             for c in 0..chunks {
                 payload.clear();
-                pack_u32s(&perm[chunk_range(c)], &mut payload);
+                self.encode_u32_chunk(&perm[chunk_range(c)], &mut payload);
                 push(&mut file, &mut dir, KIND_PERM, 0, c as u32, &payload);
             }
             for c in 0..chunks {
                 payload.clear();
-                pack_u32s(&ram.rank_of()[chunk_range(c)], &mut payload);
+                self.encode_u32_chunk(&ram.rank_of()[chunk_range(c)], &mut payload);
                 push(&mut file, &mut dir, KIND_RANK_OF, 0, c as u32, &payload);
             }
             for attr in 0..m {
                 let col = ram.rank_col(attr);
                 for c in 0..chunks {
                     payload.clear();
-                    pack_u32s(&col[chunk_range(c)], &mut payload);
+                    self.encode_u32_chunk(&col[chunk_range(c)], &mut payload);
                     push(
                         &mut file,
                         &mut dir,
@@ -799,7 +1200,7 @@ impl SegmentWriter {
             payload.extend_from_slice(&e.len.to_le_bytes());
         }
         let footer_off = file.len() as u64;
-        seal(KIND_FOOTER, &payload, &mut file);
+        seal(version, KIND_FOOTER, &payload, &mut file);
         let footer_len = file.len() as u64 - footer_off;
 
         // Fixed trailer: how a reader finds the footer from the end.
@@ -830,21 +1231,343 @@ impl SegmentWriter {
 // Reader
 // ---------------------------------------------------------------------------
 
-/// Per-chunk lazy cache: each cell hydrates at most once and stays resident
-/// for the reader's lifetime.
-struct ChunkCache<T> {
-    cells: Vec<OnceLock<Box<[T]>>>,
+/// Options controlling how a [`SegmentReader`] hydrates and executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentOpenOptions {
+    cache_budget: Option<u64>,
+    compressed_filter: bool,
 }
 
-impl<T> ChunkCache<T> {
-    fn new(chunks: usize) -> Self {
-        let mut cells = Vec::with_capacity(chunks);
-        cells.resize_with(chunks, OnceLock::new);
-        ChunkCache { cells }
+impl Default for SegmentOpenOptions {
+    fn default() -> Self {
+        SegmentOpenOptions {
+            cache_budget: None,
+            compressed_filter: true,
+        }
+    }
+}
+
+impl SegmentOpenOptions {
+    /// The defaults: unbounded sticky cache, compressed-domain filtering on.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    fn empty() -> Self {
-        ChunkCache { cells: Vec::new() }
+    /// Bounds the decoded-chunk cache to roughly `bytes` (clock eviction,
+    /// [`CACHE_SHARDS`] shards). Without a budget the cache is sticky: every
+    /// decoded chunk stays resident for the reader's lifetime.
+    pub fn with_cache_budget(mut self, bytes: u64) -> Self {
+        self.cache_budget = Some(bytes);
+        self
+    }
+
+    /// Enables or disables the compressed-domain filter path (on by
+    /// default). Off forces hydrate-then-filter — the A/B knob behind the
+    /// `storage_report` benchmark rows. The planner only takes the
+    /// compressed path when the cache is bounded (see
+    /// [`Self::with_cache_budget`]): under the sticky unbounded cache,
+    /// hydrated chunks are decoded once and resident forever, so the
+    /// posting walk is always cheaper.
+    pub fn with_compressed_filter(mut self, enabled: bool) -> Self {
+        self.compressed_filter = enabled;
+        self
+    }
+}
+
+/// Point-in-time snapshot of a [`SegmentReader`]'s cache and codec counters
+/// — the reusable stats surface behind [`crate::HiddenDb::storage_stats`]
+/// and the `storage_report` benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageStats {
+    /// Chunk lookups served from the decoded-chunk cache.
+    pub cache_hits: u64,
+    /// Chunk lookups that decoded from the backing source.
+    pub cache_misses: u64,
+    /// Chunks evicted by the bounded cache (always 0 without a budget).
+    pub cache_evictions: u64,
+    /// Decoded bytes currently resident in the cache.
+    pub bytes_resident: u64,
+    /// The configured cache byte budget (`None` = unbounded sticky cache).
+    pub cache_budget: Option<u64>,
+    /// Chunks decoded from the FOR/bit-packed codec (v1 chunks count here).
+    pub decoded_for: u64,
+    /// Chunks decoded from the dictionary codec.
+    pub decoded_dict: u64,
+    /// Chunks decoded from the run-length codec.
+    pub decoded_rle: u64,
+}
+
+/// Encoded-vs-raw sizes of one store column, from
+/// [`SegmentReader::codec_census`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CodecColumn {
+    /// The attribute index.
+    pub attr: usize,
+    /// Chunk count per codec tag, indexed FOR / DICT / RLE.
+    pub chunks: [u64; 3],
+    /// Encoded payload bytes across the column's chunks.
+    pub encoded_bytes: u64,
+    /// Raw size of the column (4 bytes per value).
+    pub raw_bytes: u64,
+}
+
+/// Per-codec size census over every u32 chunk section of a segment.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CodecCensus {
+    /// Chunk-section count per codec tag, indexed FOR / DICT / RLE.
+    pub chunks: [u64; 3],
+    /// Encoded payload bytes per codec tag.
+    pub encoded_bytes: [u64; 3],
+    /// Raw (4 bytes per value) size per codec tag.
+    pub raw_bytes: [u64; 3],
+    /// Per-store-column breakdown, one row per attribute.
+    pub store_cols: Vec<CodecColumn>,
+}
+
+/// Key of one cached decoded chunk. `kind` is the on-disk section kind,
+/// except [`KIND_TUPLE_CACHE`] which keys hydrated tuple chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ChunkKey {
+    kind: u8,
+    attr: u32,
+    chunk: u32,
+}
+
+/// One decoded chunk, shared out of the cache by refcount so eviction can
+/// never invalidate a borrow a query still holds.
+#[derive(Clone)]
+enum CachedChunk {
+    U32(Arc<[u32]>),
+    U64(Arc<[u64]>),
+    Tuples(Arc<[Arc<Tuple>]>),
+}
+
+impl CachedChunk {
+    fn as_u32(&self) -> &Arc<[u32]> {
+        match self {
+            CachedChunk::U32(v) => v,
+            _ => unreachable!("cache key/kind confusion"),
+        }
+    }
+
+    fn as_u64(&self) -> &Arc<[u64]> {
+        match self {
+            CachedChunk::U64(v) => v,
+            _ => unreachable!("cache key/kind confusion"),
+        }
+    }
+
+    fn as_tuples(&self) -> &Arc<[Arc<Tuple>]> {
+        match self {
+            CachedChunk::Tuples(v) => v,
+            _ => unreachable!("cache key/kind confusion"),
+        }
+    }
+}
+
+/// Lock-free sticky tables: one `OnceLock` cell per (kind, attr, chunk), so
+/// the unbounded default pays no mutex on the hot warm-query path.
+struct StickyTables {
+    chunks: usize,
+    perm: Vec<OnceLock<CachedChunk>>,
+    rank_of: Vec<OnceLock<CachedChunk>>,
+    ids: Vec<OnceLock<CachedChunk>>,
+    tuples: Vec<OnceLock<CachedChunk>>,
+    rank_cols: Vec<OnceLock<CachedChunk>>,
+    store_cols: Vec<OnceLock<CachedChunk>>,
+    order: Vec<OnceLock<CachedChunk>>,
+}
+
+fn once_cells(len: usize) -> Vec<OnceLock<CachedChunk>> {
+    let mut v = Vec::with_capacity(len);
+    v.resize_with(len, OnceLock::new);
+    v
+}
+
+impl StickyTables {
+    fn new(m: usize, chunks: usize, has_perm: bool) -> Self {
+        let ranked = if has_perm { chunks } else { 0 };
+        StickyTables {
+            chunks,
+            perm: once_cells(ranked),
+            rank_of: once_cells(ranked),
+            ids: once_cells(chunks),
+            tuples: once_cells(chunks),
+            rank_cols: once_cells(ranked * m),
+            store_cols: once_cells(chunks * m),
+            order: once_cells(chunks * m),
+        }
+    }
+
+    fn slot(&self, key: ChunkKey) -> Option<&OnceLock<CachedChunk>> {
+        let c = key.chunk as usize;
+        let flat = key.attr as usize * self.chunks + c;
+        match key.kind {
+            KIND_PERM => self.perm.get(c),
+            KIND_RANK_OF => self.rank_of.get(c),
+            KIND_IDS => self.ids.get(c),
+            KIND_TUPLE_CACHE => self.tuples.get(c),
+            KIND_RANK_COL => self.rank_cols.get(flat),
+            KIND_STORE_COL => self.store_cols.get(flat),
+            KIND_ORDER => self.order.get(flat),
+            _ => None,
+        }
+    }
+}
+
+/// One resident entry of the bounded cache.
+struct Slot {
+    key: ChunkKey,
+    data: CachedChunk,
+    cost: u64,
+    referenced: bool,
+}
+
+/// One shard of the bounded cache: clock (second-chance) eviction over a
+/// flat slot array.
+#[derive(Default)]
+struct Shard {
+    slots: Vec<Slot>,
+    index: HashMap<ChunkKey, usize>,
+    hand: usize,
+    bytes: u64,
+}
+
+enum CacheBacking {
+    Sticky(StickyTables),
+    Bounded(Vec<Mutex<Shard>>),
+}
+
+/// The decoded-chunk cache behind a [`SegmentReader`]: sticky `OnceLock`
+/// tables when unbounded (the historical behavior), a sharded clock cache
+/// under a byte budget. Hit/miss/eviction counters feed [`StorageStats`].
+struct ChunkCache {
+    backing: CacheBacking,
+    budget: Option<u64>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    resident: AtomicU64,
+}
+
+fn shard_of(key: ChunkKey) -> usize {
+    let h = (key.chunk as usize)
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add((key.attr as usize).wrapping_mul(31))
+        .wrapping_add(key.kind as usize);
+    h % CACHE_SHARDS
+}
+
+impl ChunkCache {
+    fn new(m: usize, chunks: usize, has_perm: bool, budget: Option<u64>) -> Self {
+        let backing = match budget {
+            None => CacheBacking::Sticky(StickyTables::new(m, chunks, has_perm)),
+            Some(_) => CacheBacking::Bounded((0..CACHE_SHARDS).map(|_| Mutex::default()).collect()),
+        };
+        ChunkCache {
+            backing,
+            budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `key` up, counting a hit or a miss.
+    fn get(&self, key: ChunkKey) -> Option<CachedChunk> {
+        let found = match &self.backing {
+            CacheBacking::Sticky(t) => t.slot(key).and_then(|cell| cell.get().cloned()),
+            CacheBacking::Bounded(shards) => {
+                let mut shard = shards[shard_of(key)].lock().expect("cache shard poisoned");
+                shard.index.get(&key).copied().map(|i| {
+                    shard.slots[i].referenced = true;
+                    shard.slots[i].data.clone()
+                })
+            }
+        };
+        let counter = if found.is_some() {
+            &self.hits
+        } else {
+            &self.misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        found
+    }
+
+    /// `true` if `key` is resident. No counters move — the prefetch peek.
+    fn contains(&self, key: ChunkKey) -> bool {
+        match &self.backing {
+            CacheBacking::Sticky(t) => t.slot(key).is_some_and(|cell| cell.get().is_some()),
+            CacheBacking::Bounded(shards) => shards[shard_of(key)]
+                .lock()
+                .expect("cache shard poisoned")
+                .index
+                .contains_key(&key),
+        }
+    }
+
+    /// Counts a miss without a lookup — for chunks decoded via a batched
+    /// prefetch rather than [`ChunkCache::get`].
+    fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Inserts `data` under `key`, evicting as needed, and returns the
+    /// canonical resident copy (the race winner under the sticky backing).
+    fn insert(&self, key: ChunkKey, data: CachedChunk, cost: u64) -> CachedChunk {
+        match &self.backing {
+            CacheBacking::Sticky(t) => match t.slot(key) {
+                Some(cell) => {
+                    if cell.set(data.clone()).is_ok() {
+                        self.resident.fetch_add(cost, Ordering::Relaxed);
+                        data
+                    } else {
+                        cell.get().cloned().expect("cell observed full")
+                    }
+                }
+                None => data,
+            },
+            CacheBacking::Bounded(shards) => {
+                let shard_budget = self.budget.unwrap_or(u64::MAX) / CACHE_SHARDS as u64;
+                if cost > shard_budget {
+                    // Too large to ever stay resident: serve uncached.
+                    return data;
+                }
+                let mut shard = shards[shard_of(key)].lock().expect("cache shard poisoned");
+                if let Some(&i) = shard.index.get(&key) {
+                    return shard.slots[i].data.clone();
+                }
+                while shard.bytes + cost > shard_budget && !shard.slots.is_empty() {
+                    let i = shard.hand % shard.slots.len();
+                    if shard.slots[i].referenced {
+                        shard.slots[i].referenced = false;
+                        shard.hand = i + 1;
+                    } else {
+                        let victim = shard.slots.swap_remove(i);
+                        shard.index.remove(&victim.key);
+                        shard.bytes -= victim.cost;
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        self.resident.fetch_sub(victim.cost, Ordering::Relaxed);
+                        if i < shard.slots.len() {
+                            let moved = shard.slots[i].key;
+                            shard.index.insert(moved, i);
+                        }
+                    }
+                }
+                let i = shard.slots.len();
+                shard.index.insert(key, i);
+                shard.slots.push(Slot {
+                    key,
+                    data: data.clone(),
+                    cost,
+                    referenced: true,
+                });
+                shard.bytes += cost;
+                self.resident.fetch_add(cost, Ordering::Relaxed);
+                data
+            }
+        }
     }
 }
 
@@ -858,6 +1581,8 @@ impl<T> ChunkCache<T> {
 /// want end-to-end assurance before serving.
 pub struct SegmentReader {
     source: Box<dyn BlockSource>,
+    version: u16,
+    options: SegmentOpenOptions,
     n: usize,
     k: usize,
     chunk: usize,
@@ -871,25 +1596,24 @@ pub struct SegmentReader {
     zone_mins: Vec<Vec<Value>>,
     zone_maxs: Vec<Vec<Value>>,
     starts: Vec<Vec<u32>>,
-    perm: ChunkCache<u32>,
-    rank_of: ChunkCache<u32>,
-    rank_cols: Vec<ChunkCache<u32>>,
-    store_cols: Vec<ChunkCache<u32>>,
-    order: Vec<ChunkCache<u32>>,
-    ids: ChunkCache<u64>,
-    tuples: Vec<OnceLock<Box<[Arc<Tuple>]>>>,
+    cache: ChunkCache,
+    decoded_for: AtomicU64,
+    decoded_dict: AtomicU64,
+    decoded_rle: AtomicU64,
     full: OnceLock<Box<[Arc<Tuple>]>>,
 }
 
 impl fmt::Debug for SegmentReader {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SegmentReader")
+            .field("version", &self.version)
             .field("n", &self.n)
             .field("k", &self.k)
             .field("chunk", &self.chunk)
             .field("has_perm", &self.has_perm)
             .field("ranker", &self.ranker_name)
             .field("bytes", &self.source.len())
+            .field("cache_budget", &self.options.cache_budget)
             .finish()
     }
 }
@@ -900,10 +1624,20 @@ impl SegmentReader {
         Self::open(Box::new(FileSource::open(path)?))
     }
 
+    /// Opens a segment from any [`BlockSource`] with default options.
+    pub fn open(source: Box<dyn BlockSource>) -> Result<Self, SegmentError> {
+        Self::open_with(source, SegmentOpenOptions::default())
+    }
+
     /// Opens a segment from any [`BlockSource`]: validates the trailer, the
     /// footer (meta + section directory) and the eager metadata sections,
     /// leaving every bulky section untouched until a query needs it.
-    pub fn open(source: Box<dyn BlockSource>) -> Result<Self, SegmentError> {
+    /// `options` configures the decoded-chunk cache budget and the
+    /// compressed-domain filter path.
+    pub fn open_with(
+        source: Box<dyn BlockSource>,
+        options: SegmentOpenOptions,
+    ) -> Result<Self, SegmentError> {
         let file_len = source.len();
         if file_len < TRAILER_LEN as u64 {
             return Err(SegmentError::Truncated);
@@ -928,7 +1662,7 @@ impl SegmentReader {
         let mut footer =
             vec![0u8; usize::try_from(footer_len).map_err(|_| SegmentError::Truncated)?];
         source.read_exact_at(footer_off, &mut footer)?;
-        let payload = open_envelope(&footer, KIND_FOOTER)?;
+        let (version, payload) = open_envelope(&footer, KIND_FOOTER)?;
         let mut cur = Cursor::new(payload);
 
         let n = usize::try_from(cur.u64()?).map_err(|_| SegmentError::Truncated)?;
@@ -1071,6 +1805,8 @@ impl SegmentReader {
 
         let mut reader = SegmentReader {
             source,
+            version,
+            options,
             n,
             k,
             chunk,
@@ -1084,25 +1820,10 @@ impl SegmentReader {
             zone_mins: Vec::new(),
             zone_maxs: Vec::new(),
             starts: Vec::new(),
-            perm: ChunkCache::new(if has_perm { chunks } else { 0 }),
-            rank_of: ChunkCache::new(if has_perm { chunks } else { 0 }),
-            rank_cols: (0..m)
-                .map(|_| {
-                    if has_perm {
-                        ChunkCache::new(chunks)
-                    } else {
-                        ChunkCache::empty()
-                    }
-                })
-                .collect(),
-            store_cols: (0..m).map(|_| ChunkCache::new(chunks)).collect(),
-            order: (0..m).map(|_| ChunkCache::new(chunks)).collect(),
-            ids: ChunkCache::new(chunks),
-            tuples: {
-                let mut v = Vec::with_capacity(chunks);
-                v.resize_with(chunks, OnceLock::new);
-                v
-            },
+            cache: ChunkCache::new(m, chunks, has_perm, options.cache_budget),
+            decoded_for: AtomicU64::new(0),
+            decoded_dict: AtomicU64::new(0),
+            decoded_rle: AtomicU64::new(0),
             full: OnceLock::new(),
         };
 
@@ -1113,32 +1834,14 @@ impl SegmentReader {
         for attr in 0..m {
             let e = reader.entry(KIND_STARTS, attr as u32, 0)?;
             let bytes = reader.read_entry(e)?;
-            let payload = open_envelope(&bytes, KIND_STARTS)?;
-            let mut cur = Cursor::new(payload);
-            let starts = unpack_u32s(&mut cur)?;
-            cur.finish()?;
-            let d = reader.schema.attr(attr).domain_size as usize;
-            if starts.len() != d + 1 {
-                return Err(malformed(format!(
-                    "starts[{attr}] has {} entries, expected {}",
-                    starts.len(),
-                    d + 1
-                )));
-            }
-            if starts.first() != Some(&0)
-                || starts.windows(2).any(|w| w[0] > w[1])
-                || starts.last().copied() != Some(n as u32)
-            {
-                return Err(malformed(format!(
-                    "starts[{attr}] is not a nondecreasing prefix-count table over n"
-                )));
-            }
+            let payload = reader.open_section(&bytes, KIND_STARTS)?;
+            let starts = reader.decode_starts_section(attr, payload)?;
             reader.starts.push(starts);
         }
         if has_perm {
             let e = reader.entry(KIND_ZONES, 0, 0)?;
             let bytes = reader.read_entry(e)?;
-            let payload = open_envelope(&bytes, KIND_ZONES)?;
+            let payload = reader.open_section(&bytes, KIND_ZONES)?;
             let mut cur = Cursor::new(payload);
             for attr in 0..m {
                 let mins = unpack_u32s(&mut cur)?;
@@ -1224,19 +1927,30 @@ impl SegmentReader {
         Ok(buf)
     }
 
-    fn decode_u32_chunk(
+    /// Opens one section envelope, additionally requiring it to carry the
+    /// same format version as the footer (sections of mixed versions never
+    /// come from our writer).
+    fn open_section<'a>(&self, bytes: &'a [u8], kind: u8) -> Result<&'a [u8], SegmentError> {
+        let (version, payload) = open_envelope(bytes, kind)?;
+        if version != self.version {
+            return Err(malformed("mixed segment versions"));
+        }
+        Ok(payload)
+    }
+
+    /// Decodes and fully validates one u32 chunk section payload — the one
+    /// code path shared by query-time hydration, the compressed-scan decode
+    /// fallback and [`SegmentReader::verify`], so a corrupt chunk surfaces
+    /// with the same [`SegmentError`] payload wherever it is hit.
+    fn decode_u32_section(
         &self,
         kind: u8,
         attr: u32,
         c: usize,
         expected_len: usize,
+        payload: &[u8],
     ) -> Result<Vec<u32>, SegmentError> {
-        let e = self.entry(kind, attr, c as u32)?;
-        let bytes = self.read_entry(e)?;
-        let payload = open_envelope(&bytes, kind)?;
-        let mut cur = Cursor::new(payload);
-        let vals = unpack_u32s(&mut cur)?;
-        cur.finish()?;
+        let (vals, tag) = decode_u32_payload(self.version, payload, expected_len)?;
         if vals.len() != expected_len {
             return Err(malformed(format!(
                 "section {}[{attr}, {c}] holds {} values, expected {expected_len}",
@@ -1244,32 +1958,32 @@ impl SegmentReader {
                 vals.len()
             )));
         }
+        match kind {
+            KIND_PERM | KIND_RANK_OF | KIND_ORDER if vals.iter().any(|&v| v as usize >= self.n) => {
+                return Err(malformed(format!("{} value out of range", kind_name(kind))));
+            }
+            KIND_RANK_COL | KIND_STORE_COL => {
+                let d = self.schema.attr(attr as usize).domain_size;
+                if vals.iter().any(|&v| v >= d) {
+                    return Err(malformed(format!(
+                        "{}[{attr}] value outside the attribute domain",
+                        kind_name(kind)
+                    )));
+                }
+            }
+            _ => {}
+        }
+        let counter = match tag {
+            CODEC_FOR => &self.decoded_for,
+            CODEC_DICT => &self.decoded_dict,
+            _ => &self.decoded_rle,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
         Ok(vals)
     }
 
-    fn u32_chunk<'a>(
-        &'a self,
-        cache: &'a ChunkCache<u32>,
-        kind: u8,
-        attr: u32,
-        c: usize,
-    ) -> Result<&'a [u32], SegmentError> {
-        if let Some(v) = cache.cells[c].get() {
-            return Ok(v);
-        }
-        let vals = self.decode_u32_chunk(kind, attr, c, self.chunk_len(c))?;
-        // A concurrent hydration of the same chunk merely wastes one decode;
-        // whoever loses the race drops its copy.
-        Ok(cache.cells[c].get_or_init(|| vals.into_boxed_slice()))
-    }
-
-    fn ids_chunk(&self, c: usize) -> Result<&[u64], SegmentError> {
-        if let Some(v) = self.ids.cells[c].get() {
-            return Ok(v);
-        }
-        let e = self.entry(KIND_IDS, 0, c as u32)?;
-        let bytes = self.read_entry(e)?;
-        let payload = open_envelope(&bytes, KIND_IDS)?;
+    /// Decodes and validates one ids chunk payload (shared with `verify`).
+    fn decode_ids_section(&self, c: usize, payload: &[u8]) -> Result<Vec<u64>, SegmentError> {
         let mut cur = Cursor::new(payload);
         let vals = unpack_u64s(&mut cur)?;
         cur.finish()?;
@@ -1280,7 +1994,167 @@ impl SegmentReader {
                 self.chunk_len(c)
             )));
         }
-        Ok(self.ids.cells[c].get_or_init(|| vals.into_boxed_slice()))
+        Ok(vals)
+    }
+
+    /// Decodes and validates one posting prefix-count payload (shared with
+    /// `verify`).
+    fn decode_starts_section(&self, attr: usize, payload: &[u8]) -> Result<Vec<u32>, SegmentError> {
+        let mut cur = Cursor::new(payload);
+        let starts = unpack_u32s(&mut cur)?;
+        cur.finish()?;
+        let d = self.schema.attr(attr).domain_size as usize;
+        if starts.len() != d + 1 {
+            return Err(malformed(format!(
+                "starts[{attr}] has {} entries, expected {}",
+                starts.len(),
+                d + 1
+            )));
+        }
+        if starts.first() != Some(&0)
+            || starts.windows(2).any(|w| w[0] > w[1])
+            || starts.last().copied() != Some(self.n as u32)
+        {
+            return Err(malformed(format!(
+                "starts[{attr}] is not a nondecreasing prefix-count table over n"
+            )));
+        }
+        Ok(starts)
+    }
+
+    fn decode_u32_chunk(
+        &self,
+        kind: u8,
+        attr: u32,
+        c: usize,
+        expected_len: usize,
+    ) -> Result<Vec<u32>, SegmentError> {
+        let e = self.entry(kind, attr, c as u32)?;
+        let bytes = self.read_entry(e)?;
+        let payload = self.open_section(&bytes, kind)?;
+        self.decode_u32_section(kind, attr, c, expected_len, payload)
+    }
+
+    /// A resident sticky `u32` chunk, borrowed in place — no `Arc` traffic,
+    /// no counter — or `None` under the bounded backing / for a cold chunk.
+    /// The warm-query fast paths (`u32_at`, the zone-block reader, tuple
+    /// sharing) sit on the engine's innermost loops, where an atomic per
+    /// value costs an order of magnitude; sticky cells are immutable once
+    /// initialized and never evicted, so the borrow is sound for the
+    /// reader's lifetime.
+    fn sticky_u32(&self, kind: u8, attr: u32, c: usize) -> Option<&[u32]> {
+        if let CacheBacking::Sticky(t) = &self.cache.backing {
+            let key = ChunkKey {
+                kind,
+                attr,
+                chunk: c as u32,
+            };
+            if let Some(CachedChunk::U32(v)) = t.slot(key).and_then(|cell| cell.get()) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// One `u32` value out of a chunk, through the sticky fast path; the
+    /// bounded backing (and any cold chunk) falls back to the counted
+    /// chunk fetch.
+    fn u32_at(&self, kind: u8, attr: u32, c: usize, i: usize) -> Result<u32, SegmentError> {
+        if let Some(v) = self.sticky_u32(kind, attr, c) {
+            return Ok(v[i]);
+        }
+        Ok(self.u32_chunk(kind, attr, c)?[i])
+    }
+
+    fn u32_chunk(&self, kind: u8, attr: u32, c: usize) -> Result<Arc<[u32]>, SegmentError> {
+        let key = ChunkKey {
+            kind,
+            attr,
+            chunk: c as u32,
+        };
+        if let Some(hit) = self.cache.get(key) {
+            return Ok(hit.as_u32().clone());
+        }
+        let vals = self.decode_u32_chunk(kind, attr, c, self.chunk_len(c))?;
+        let cost = 4 * vals.len() as u64 + CHUNK_OVERHEAD;
+        let data = CachedChunk::U32(vals.into());
+        Ok(self.cache.insert(key, data, cost).as_u32().clone())
+    }
+
+    fn ids_chunk(&self, c: usize) -> Result<Arc<[u64]>, SegmentError> {
+        let key = ChunkKey {
+            kind: KIND_IDS,
+            attr: 0,
+            chunk: c as u32,
+        };
+        if let Some(hit) = self.cache.get(key) {
+            return Ok(hit.as_u64().clone());
+        }
+        let e = self.entry(KIND_IDS, 0, c as u32)?;
+        let bytes = self.read_entry(e)?;
+        let payload = self.open_section(&bytes, KIND_IDS)?;
+        let vals = self.decode_ids_section(c, payload)?;
+        let cost = 8 * vals.len() as u64 + CHUNK_OVERHEAD;
+        let data = CachedChunk::U64(vals.into());
+        Ok(self.cache.insert(key, data, cost).as_u64().clone())
+    }
+
+    /// Warms the cache with chunks `[first, last]` of `(kind, attr)` through
+    /// one coalesced [`BlockSource::read_many`] — readahead for posting and
+    /// rank-order walks that will touch the whole range anyway.
+    fn prefetch_u32_chunks(
+        &self,
+        kind: u8,
+        attr: u32,
+        first: usize,
+        last: usize,
+    ) -> Result<(), SegmentError> {
+        let mut wanted: Vec<(usize, DirEntry)> = Vec::new();
+        for c in first..=last {
+            let key = ChunkKey {
+                kind,
+                attr,
+                chunk: c as u32,
+            };
+            if !self.cache.contains(key) {
+                wanted.push((c, self.entry(kind, attr, c as u32)?));
+            }
+        }
+        if wanted.len() < 2 {
+            return Ok(());
+        }
+        let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(wanted.len());
+        for (_, e) in &wanted {
+            bufs.push(vec![
+                0u8;
+                usize::try_from(e.len)
+                    .map_err(|_| SegmentError::Truncated)?
+            ]);
+        }
+        {
+            let mut reqs: Vec<(u64, &mut [u8])> = wanted
+                .iter()
+                .zip(bufs.iter_mut())
+                .map(|((_, e), b)| (e.offset, b.as_mut_slice()))
+                .collect();
+            self.source.read_many(&mut reqs)?;
+        }
+        for ((c, _), bytes) in wanted.iter().zip(&bufs) {
+            let payload = self.open_section(bytes, kind)?;
+            let vals = self.decode_u32_section(kind, attr, *c, self.chunk_len(*c), payload)?;
+            let cost = 4 * vals.len() as u64 + CHUNK_OVERHEAD;
+            self.cache.note_miss();
+            self.cache.insert(
+                ChunkKey {
+                    kind,
+                    attr,
+                    chunk: *c as u32,
+                },
+                CachedChunk::U32(vals.into()),
+                cost,
+            );
+        }
+        Ok(())
     }
 
     // -- engine accessors --------------------------------------------------
@@ -1302,49 +2176,209 @@ impl SegmentReader {
 
     /// Store index of the tuple at rank `rank`.
     pub(crate) fn perm_at(&self, rank: usize) -> Result<u32, SegmentError> {
-        let c = rank / self.chunk;
-        Ok(self.u32_chunk(&self.perm, KIND_PERM, 0, c)?[rank % self.chunk])
+        self.u32_at(KIND_PERM, 0, rank / self.chunk, rank % self.chunk)
     }
 
     /// Rank position of the tuple at store index `idx`.
     pub(crate) fn rank_of_at(&self, idx: usize) -> Result<u32, SegmentError> {
-        let c = idx / self.chunk;
-        Ok(self.u32_chunk(&self.rank_of, KIND_RANK_OF, 0, c)?[idx % self.chunk])
+        self.u32_at(KIND_RANK_OF, 0, idx / self.chunk, idx % self.chunk)
     }
 
-    /// The contiguous rank-ordered column values of zone block `b` on
-    /// `attr` (`len` values). Blocks never span chunks (the chunk size is a
-    /// multiple of the block size).
-    pub(crate) fn rank_col_block(
+    /// The rank-ordered column chunk holding zone block `b` of `attr`, plus
+    /// the block's offset within it. Blocks never span chunks (the chunk
+    /// size is a multiple of the block size).
+    pub(crate) fn rank_col_chunk(
+        &self,
+        attr: usize,
+        b: usize,
+    ) -> Result<(Arc<[u32]>, usize), SegmentError> {
+        let base = b * BLOCK;
+        let c = base / self.chunk;
+        let off = base % self.chunk;
+        Ok((self.u32_chunk(KIND_RANK_COL, attr as u32, c)?, off))
+    }
+
+    /// Zone block `b` of `attr` borrowed straight out of a resident sticky
+    /// chunk (`None` under the bounded backing or when cold) — the
+    /// zero-atomic path for warm zone scans.
+    pub(crate) fn rank_col_block_sticky(
         &self,
         attr: usize,
         b: usize,
         len: usize,
-    ) -> Result<&[Value], SegmentError> {
+    ) -> Option<&[u32]> {
         let base = b * BLOCK;
         let c = base / self.chunk;
         let off = base % self.chunk;
-        let chunk = self.u32_chunk(&self.rank_cols[attr], KIND_RANK_COL, attr as u32, c)?;
-        Ok(&chunk[off..off + len])
+        self.sticky_u32(KIND_RANK_COL, attr as u32, c)
+            .map(|v| &v[off..off + len])
     }
 
     /// Value of the rank-`rank` tuple on `attr` (rank-ordered column).
     pub(crate) fn rank_value_at(&self, attr: usize, rank: usize) -> Result<Value, SegmentError> {
-        let c = rank / self.chunk;
-        Ok(
-            self.u32_chunk(&self.rank_cols[attr], KIND_RANK_COL, attr as u32, c)?
-                [rank % self.chunk],
+        self.u32_at(
+            KIND_RANK_COL,
+            attr as u32,
+            rank / self.chunk,
+            rank % self.chunk,
         )
     }
 
     /// Value of the tuple at store index `idx` on `attr` (store-ordered
     /// column — never hydrates tuples).
     pub(crate) fn store_value_at(&self, attr: usize, idx: usize) -> Result<Value, SegmentError> {
-        let c = idx / self.chunk;
-        Ok(
-            self.u32_chunk(&self.store_cols[attr], KIND_STORE_COL, attr as u32, c)?
-                [idx % self.chunk],
+        self.u32_at(
+            KIND_STORE_COL,
+            attr as u32,
+            idx / self.chunk,
+            idx % self.chunk,
         )
+    }
+
+    /// `true` if this reader should answer exact-count scans in the
+    /// compressed domain (the [`SegmentOpenOptions::with_compressed_filter`]
+    /// knob).
+    pub(crate) fn compressed_filter_enabled(&self) -> bool {
+        self.options.compressed_filter
+    }
+
+    /// `true` if the decoded-chunk cache runs under a byte budget (bounded
+    /// backing with eviction) rather than sticky unbounded hydration.
+    pub(crate) fn cache_is_bounded(&self) -> bool {
+        self.options.cache_budget.is_some()
+    }
+
+    /// Evaluates a conjunction of range constraints over every store-ordered
+    /// chunk **in the compressed domain**: chunk sections are fetched in
+    /// coalesced [`READAHEAD`]-sized batches through
+    /// [`BlockSource::read_many`], pruned by their min/max headers, and the
+    /// surviving packed words are tested branch-free — no decoded column is
+    /// ever materialized and nothing enters the cache (a full counting scan
+    /// must not evict the hot working set). Matching store indices are
+    /// emitted in ascending order.
+    pub(crate) fn filter_store_compressed(
+        &self,
+        cons: &[(usize, Value, Value)],
+        words: &mut Vec<u64>,
+        emit: &mut dyn FnMut(u32) -> Result<(), SegmentError>,
+    ) -> Result<(), SegmentError> {
+        let chunks = self.chunks();
+        let mut batch = 0usize;
+        while batch < chunks {
+            let batch_end = (batch + READAHEAD).min(chunks);
+            let per_attr = batch_end - batch;
+            let mut entries: Vec<DirEntry> = Vec::with_capacity(cons.len() * per_attr);
+            for &(attr, _, _) in cons {
+                for c in batch..batch_end {
+                    entries.push(self.entry(KIND_STORE_COL, attr as u32, c as u32)?);
+                }
+            }
+            let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(entries.len());
+            for e in &entries {
+                bufs.push(vec![
+                    0u8;
+                    usize::try_from(e.len)
+                        .map_err(|_| SegmentError::Truncated)?
+                ]);
+            }
+            {
+                let mut reqs: Vec<(u64, &mut [u8])> = entries
+                    .iter()
+                    .zip(bufs.iter_mut())
+                    .map(|(e, b)| (e.offset, b.as_mut_slice()))
+                    .collect();
+                self.source.read_many(&mut reqs)?;
+            }
+            for c in batch..batch_end {
+                let len = self.chunk_len(c);
+                let nwords = len.div_ceil(64);
+                words.clear();
+                words.resize(nwords, u64::MAX);
+                if !len.is_multiple_of(64) {
+                    words[nwords - 1] = (1u64 << (len % 64)) - 1;
+                }
+                for (ai, &(_, lo, hi)) in cons.iter().enumerate() {
+                    let bytes = &bufs[ai * per_attr + (c - batch)];
+                    let payload = self.open_section(bytes, KIND_STORE_COL)?;
+                    eval_u32_payload(self.version, payload, lo, hi, len, words)?;
+                    if words.iter().all(|&w| w == 0) {
+                        break;
+                    }
+                }
+                let base = (c * self.chunk) as u32;
+                for (w, &word) in words.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let lane = bits.trailing_zeros();
+                        emit(base + (w as u32) * 64 + lane)?;
+                        bits &= bits - 1;
+                    }
+                }
+            }
+            batch = batch_end;
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the cache and codec counters.
+    pub fn storage_stats(&self) -> StorageStats {
+        StorageStats {
+            cache_hits: self.cache.hits.load(Ordering::Relaxed),
+            cache_misses: self.cache.misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache.evictions.load(Ordering::Relaxed),
+            bytes_resident: self.cache.resident.load(Ordering::Relaxed),
+            cache_budget: self.options.cache_budget,
+            decoded_for: self.decoded_for.load(Ordering::Relaxed),
+            decoded_dict: self.decoded_dict.load(Ordering::Relaxed),
+            decoded_rle: self.decoded_rle.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Full-directory census of the u32 chunk codecs: which codec won each
+    /// chunk and how the encoded bytes compare to raw, overall and per
+    /// store column. Reads every chunk section header (O(file) I/O, no
+    /// decoding).
+    pub fn codec_census(&self) -> Result<CodecCensus, SegmentError> {
+        let mut census = CodecCensus {
+            store_cols: (0..self.schema.len())
+                .map(|attr| CodecColumn {
+                    attr,
+                    ..CodecColumn::default()
+                })
+                .collect(),
+            ..CodecCensus::default()
+        };
+        for e in &self.dir {
+            if !matches!(
+                e.kind,
+                KIND_PERM | KIND_RANK_OF | KIND_RANK_COL | KIND_STORE_COL | KIND_ORDER
+            ) {
+                continue;
+            }
+            let bytes = self.read_entry(*e)?;
+            let payload = self.open_section(&bytes, e.kind)?;
+            let tag = if self.version == 1 {
+                CODEC_FOR
+            } else {
+                let mut cur = Cursor::new(payload);
+                let tag = cur.u8()?;
+                if tag > CODEC_RLE {
+                    return Err(malformed(format!("undefined chunk codec tag {tag}")));
+                }
+                tag
+            };
+            let raw = 4 * self.chunk_len(e.chunk as usize) as u64;
+            census.chunks[tag as usize] += 1;
+            census.encoded_bytes[tag as usize] += payload.len() as u64;
+            census.raw_bytes[tag as usize] += raw;
+            if e.kind == KIND_STORE_COL {
+                let col = &mut census.store_cols[e.attr as usize];
+                col.chunks[tag as usize] += 1;
+                col.encoded_bytes += payload.len() as u64;
+                col.raw_bytes += raw;
+            }
+        }
+        Ok(census)
     }
 
     /// Walks the posting order of `attr` over the value range `[lo, hi]` —
@@ -1368,9 +2402,13 @@ impl SegmentReader {
         }
         let first = p0 / self.chunk;
         let last = (p1 - 1) / self.chunk;
+        if last > first {
+            // Multi-chunk walk: warm the cache with one coalesced read.
+            self.prefetch_u32_chunks(KIND_ORDER, attr as u32, first, last)?;
+        }
         for c in first..=last {
             let base = c * self.chunk;
-            let chunk = self.u32_chunk(&self.order[attr], KIND_ORDER, attr as u32, c)?;
+            let chunk = self.u32_chunk(KIND_ORDER, attr as u32, c)?;
             let start = p0.max(base) - base;
             let end = p1.min(base + chunk.len()) - base;
             for &idx in &chunk[start..end] {
@@ -1380,36 +2418,73 @@ impl SegmentReader {
         Ok(())
     }
 
-    /// Borrows the hydrated tuple at store index `idx`, materializing its
-    /// chunk on first touch.
-    pub(crate) fn tuple_ref(&self, idx: usize) -> Result<&Arc<Tuple>, SegmentError> {
+    /// The hydrated tuple at store index `idx`, materializing its chunk on
+    /// first touch (or serving straight from the full-hydration snapshot if
+    /// one exists).
+    pub(crate) fn tuple_at(&self, idx: usize) -> Result<Arc<Tuple>, SegmentError> {
+        if let Some(full) = self.full.get() {
+            return Ok(Arc::clone(&full[idx]));
+        }
         let c = idx / self.chunk;
-        Ok(&self.tuple_chunk(c)?[idx % self.chunk])
+        if let Some(t) = self.sticky_tuples(c) {
+            return Ok(Arc::clone(&t[idx % self.chunk]));
+        }
+        Ok(Arc::clone(&self.tuple_chunk(c)?[idx % self.chunk]))
     }
 
-    fn tuple_chunk(&self, c: usize) -> Result<&[Arc<Tuple>], SegmentError> {
-        if let Some(v) = self.tuples[c].get() {
-            return Ok(v);
+    /// A resident sticky tuple chunk, borrowed in place — the zero-atomic
+    /// counterpart of [`SegmentReader::sticky_u32`] for warm tuple shares
+    /// (only the returned tuple's own `Arc` is cloned).
+    fn sticky_tuples(&self, c: usize) -> Option<&[Arc<Tuple>]> {
+        if let CacheBacking::Sticky(t) = &self.cache.backing {
+            let key = ChunkKey {
+                kind: KIND_TUPLE_CACHE,
+                attr: 0,
+                chunk: c as u32,
+            };
+            if let Some(CachedChunk::Tuples(v)) = t.slot(key).and_then(|cell| cell.get()) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn tuple_chunk(&self, c: usize) -> Result<Arc<[Arc<Tuple>]>, SegmentError> {
+        let key = ChunkKey {
+            kind: KIND_TUPLE_CACHE,
+            attr: 0,
+            chunk: c as u32,
+        };
+        if let Some(hit) = self.cache.get(key) {
+            return Ok(hit.as_tuples().clone());
         }
         let ids = self.ids_chunk(c)?;
         let m = self.schema.len();
-        let mut cols: Vec<&[u32]> = Vec::with_capacity(m);
+        let mut cols: Vec<Arc<[u32]>> = Vec::with_capacity(m);
         for attr in 0..m {
-            cols.push(self.u32_chunk(&self.store_cols[attr], KIND_STORE_COL, attr as u32, c)?);
+            cols.push(self.u32_chunk(KIND_STORE_COL, attr as u32, c)?);
         }
-        let built: Box<[Arc<Tuple>]> = (0..self.chunk_len(c))
+        let built: Arc<[Arc<Tuple>]> = (0..self.chunk_len(c))
             .map(|i| {
                 let values: Vec<Value> = cols.iter().map(|col| col[i]).collect();
                 Arc::new(Tuple::new(ids[i] as TupleId, values))
             })
             .collect();
-        Ok(self.tuples[c].get_or_init(|| built))
+        // Rough per-tuple footprint: the Arc + Tuple headers plus the values.
+        let cost = self.chunk_len(c) as u64 * (48 + 4 * m as u64) + CHUNK_OVERHEAD;
+        Ok(self
+            .cache
+            .insert(key, CachedChunk::Tuples(built), cost)
+            .as_tuples()
+            .clone())
     }
 
     /// Hydrates every tuple and returns the contiguous snapshot — the
     /// O(n) escape hatch behind [`TupleStore::as_slice`] for segment-backed
     /// stores (scan-strategy execution, oracle ground truth, dominance
     /// precomputation). Chunks hydrated earlier are reused, not re-decoded.
+    /// The snapshot is sticky and deliberately exempt from the cache budget:
+    /// callers receive a plain slice whose lifetime is the reader's.
     pub(crate) fn hydrate_all(&self) -> Result<&[Arc<Tuple>], SegmentError> {
         if let Some(full) = self.full.get() {
             return Ok(full);
@@ -1453,16 +2528,18 @@ impl SegmentReader {
             return Err(malformed("footer/trailer do not tile to the file size"));
         }
 
-        // Content: decode and range-check every section.
+        // Content: decode and range-check every section through the same
+        // decode helpers query-time hydration uses, so a corrupt chunk
+        // found here carries the exact error a query would surface.
         let n = self.n;
         let mut perm_all: Vec<u32> = Vec::new();
         let mut rank_of_all: Vec<u32> = Vec::new();
         for e in &self.dir {
             let bytes = self.read_entry(*e)?;
-            let payload = open_envelope(&bytes, e.kind)?;
-            let mut cur = Cursor::new(payload);
+            let payload = self.open_section(&bytes, e.kind)?;
             match e.kind {
                 KIND_ZONES => {
+                    let mut cur = Cursor::new(payload);
                     let blocks = n.div_ceil(BLOCK);
                     for _ in 0..self.schema.len() {
                         for vals in [unpack_u32s(&mut cur)?, unpack_u32s(&mut cur)?] {
@@ -1471,69 +2548,30 @@ impl SegmentReader {
                             }
                         }
                     }
+                    cur.finish()?;
                 }
                 KIND_STARTS => {
-                    let vals = unpack_u32s(&mut cur)?;
-                    let d = self.schema.attr(e.attr as usize).domain_size as usize;
-                    if vals.len() != d + 1
-                        || vals.first() != Some(&0)
-                        || vals.windows(2).any(|w| w[0] > w[1])
-                        || vals.last().copied() != Some(n as u32)
-                    {
-                        return Err(malformed(format!(
-                            "starts[{}] is not a prefix-count table",
-                            e.attr
-                        )));
-                    }
+                    self.decode_starts_section(e.attr as usize, payload)?;
                 }
                 KIND_IDS => {
-                    let vals = unpack_u64s(&mut cur)?;
-                    if vals.len() != self.chunk_len(e.chunk as usize) {
-                        return Err(malformed("ids chunk has the wrong length"));
-                    }
+                    self.decode_ids_section(e.chunk as usize, payload)?;
                 }
                 kind => {
-                    let vals = unpack_u32s(&mut cur)?;
-                    if vals.len() != self.chunk_len(e.chunk as usize) {
-                        return Err(malformed(format!(
-                            "{} chunk has the wrong length",
-                            kind_name(kind)
-                        )));
+                    let c = e.chunk as usize;
+                    let vals =
+                        self.decode_u32_section(kind, e.attr, c, self.chunk_len(c), payload)?;
+                    if kind == KIND_PERM {
+                        perm_all.resize(perm_all.len().max(n), 0);
+                        let base = c * self.chunk;
+                        perm_all[base..base + vals.len()].copy_from_slice(&vals);
                     }
-                    match kind {
-                        KIND_PERM | KIND_RANK_OF | KIND_ORDER => {
-                            if vals.iter().any(|&v| v as usize >= n) {
-                                return Err(malformed(format!(
-                                    "{} value out of range",
-                                    kind_name(kind)
-                                )));
-                            }
-                            if kind == KIND_PERM {
-                                perm_all.resize(perm_all.len().max(n), 0);
-                                let base = e.chunk as usize * self.chunk;
-                                perm_all[base..base + vals.len()].copy_from_slice(&vals);
-                            }
-                            if kind == KIND_RANK_OF {
-                                rank_of_all.resize(rank_of_all.len().max(n), 0);
-                                let base = e.chunk as usize * self.chunk;
-                                rank_of_all[base..base + vals.len()].copy_from_slice(&vals);
-                            }
-                        }
-                        KIND_RANK_COL | KIND_STORE_COL => {
-                            let d = self.schema.attr(e.attr as usize).domain_size;
-                            if vals.iter().any(|&v| v >= d) {
-                                return Err(malformed(format!(
-                                    "{}[{}] value outside the attribute domain",
-                                    kind_name(kind),
-                                    e.attr
-                                )));
-                            }
-                        }
-                        _ => unreachable!("kind validated when the directory was built"),
+                    if kind == KIND_RANK_OF {
+                        rank_of_all.resize(rank_of_all.len().max(n), 0);
+                        let base = c * self.chunk;
+                        rank_of_all[base..base + vals.len()].copy_from_slice(&vals);
                     }
                 }
             }
-            cur.finish()?;
         }
         if self.has_perm {
             let mut seen = vec![false; n];
@@ -1595,8 +2633,14 @@ mod tests {
     #[test]
     fn envelope_rejections_are_typed() {
         let mut sealed = Vec::new();
-        seal(KIND_PERM, b"payload", &mut sealed);
-        assert!(open_envelope(&sealed, KIND_PERM).is_ok());
+        seal(SEGMENT_VERSION, KIND_PERM, b"payload", &mut sealed);
+        assert_eq!(
+            open_envelope(&sealed, KIND_PERM),
+            Ok((SEGMENT_VERSION, &b"payload"[..]))
+        );
+        let mut v1 = Vec::new();
+        seal(1, KIND_PERM, b"payload", &mut v1);
+        assert_eq!(open_envelope(&v1, KIND_PERM), Ok((1, &b"payload"[..])));
         assert_eq!(
             open_envelope(&sealed, KIND_ORDER),
             Err(SegmentError::WrongKind {
@@ -1712,6 +2756,241 @@ mod tests {
         let ans = seg.query(&Query::select_all()).unwrap();
         assert!(ans.is_empty());
         assert!(!ans.overflowed);
+    }
+
+    #[test]
+    fn v2_codecs_round_trip_and_pick_smallest() {
+        let dict_shaped: Vec<u32> = (0..512).map(|i| [5u32, 9_000, 1_000_000][i % 3]).collect();
+        let rle_shaped: Vec<u32> = (0..512).map(|i| (i as u32 / 128) * 100).collect();
+        let for_shaped: Vec<u32> = (0..512).map(|i| 1000 + i as u32).collect();
+        for (vals, want_tag) in [
+            (dict_shaped, CODEC_DICT),
+            (rle_shaped, CODEC_RLE),
+            (for_shaped, CODEC_FOR),
+        ] {
+            let mut payload = Vec::new();
+            encode_u32_chunk_v2(&vals, &mut payload);
+            assert_eq!(payload[0], want_tag, "codec choice");
+            let (back, tag) = decode_u32_payload(2, &payload, vals.len()).unwrap();
+            assert_eq!(tag, want_tag);
+            assert_eq!(back, vals);
+        }
+        // Empty chunks round-trip under the tie-break winner (FOR).
+        let mut payload = Vec::new();
+        encode_u32_chunk_v2(&[], &mut payload);
+        assert_eq!(decode_u32_payload(2, &payload, 0).unwrap().0, vec![]);
+    }
+
+    #[test]
+    fn compressed_eval_matches_decoded_filter() {
+        let shapes: [Vec<u32>; 4] = [
+            (0..300).map(|i| [7u32, 450, 120_000][i % 3]).collect(),
+            (0..300).map(|i| (i as u32 / 64) * 11 + 3).collect(),
+            (0..300)
+                .map(|i| (i as u64 * 0x9E37_79B9 % 1000) as u32)
+                .collect(),
+            vec![42; 300],
+        ];
+        let bounds = [
+            (0u32, u32::MAX),
+            (0, 6),
+            (7, 7),
+            (400, 500),
+            (120_000, 120_000),
+            (3, 990),
+            (u32::MAX - 1, u32::MAX),
+        ];
+        for vals in &shapes {
+            let nwords = vals.len().div_ceil(64);
+            let tail = vals.len() % 64;
+            // v2 tagged payload and a v1 raw FOR payload must agree with the
+            // hydrate-then-filter reference on every bound.
+            let mut v2 = Vec::new();
+            encode_u32_chunk_v2(vals, &mut v2);
+            let mut v1 = Vec::new();
+            pack_u32s(vals, &mut v1);
+            for &(lo, hi) in &bounds {
+                for (version, payload) in [(2u16, &v2), (1u16, &v1)] {
+                    let mut words = vec![u64::MAX; nwords];
+                    if tail != 0 {
+                        words[nwords - 1] = (1u64 << tail) - 1;
+                    }
+                    eval_u32_payload(version, payload, lo, hi, vals.len(), &mut words).unwrap();
+                    for (i, &v) in vals.iter().enumerate() {
+                        let bit = (words[i / 64] >> (i % 64)) & 1 == 1;
+                        assert_eq!(
+                            bit,
+                            v >= lo && v <= hi,
+                            "v{version} value {v} at {i} under [{lo}, {hi}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v1_format_version_still_writes_and_answers_identically() {
+        let db = tiny_db();
+        let bytes = SegmentWriter::new()
+            .with_format_version(1)
+            .with_chunk_size(64)
+            .write(&db)
+            .unwrap();
+        let reader = SegmentReader::open(Box::new(MemSource::new(bytes.clone()))).unwrap();
+        assert_eq!(reader.version, 1);
+        reader.verify().unwrap();
+        let seg =
+            HiddenDb::open_segment_source(Box::new(MemSource::new(bytes)), Box::new(SumRanker))
+                .unwrap();
+        let q = Query::new(vec![crate::Predicate::lt(0, 7)]);
+        assert_eq!(
+            db.query(&q)
+                .unwrap()
+                .tuples
+                .iter()
+                .map(|t| t.id)
+                .collect::<Vec<_>>(),
+            seg.query(&q)
+                .unwrap()
+                .tuples
+                .iter()
+                .map(|t| t.id)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bounded_cache_stays_byte_identical_and_evicts() {
+        let db = tiny_db();
+        db.enable_access_log();
+        let bytes = SegmentWriter::new().with_chunk_size(64).write(&db).unwrap();
+        let queries = [
+            Query::select_all(),
+            Query::new(vec![crate::Predicate::lt(0, 4)]),
+            Query::new(vec![crate::Predicate::lt(0, 9)]),
+            Query::new(vec![crate::Predicate::eq(2, 1), crate::Predicate::ge(0, 6)]),
+            Query::new(vec![crate::Predicate::eq(1, 3)]),
+        ];
+        // Budgets: sticky reference, eviction-forcing, and the degenerate
+        // decode-every-time budget 0 — all must answer identically.
+        let reference = HiddenDb::open_segment_source(
+            Box::new(MemSource::new(bytes.clone())),
+            Box::new(SumRanker),
+        )
+        .unwrap();
+        reference.enable_access_log();
+        for budget in [4_800u64, 0] {
+            let capped = HiddenDb::open_segment_source_with(
+                Box::new(MemSource::new(bytes.clone())),
+                Box::new(SumRanker),
+                SegmentOpenOptions::new().with_cache_budget(budget),
+            )
+            .unwrap();
+            capped.enable_access_log();
+            for q in &queries {
+                for _ in 0..3 {
+                    let a = reference.query(q).unwrap();
+                    let b = capped.query(q).unwrap();
+                    assert_eq!(
+                        a.tuples.iter().map(|t| t.id).collect::<Vec<_>>(),
+                        b.tuples.iter().map(|t| t.id).collect::<Vec<_>>(),
+                        "budget {budget}"
+                    );
+                    assert_eq!(a.overflowed, b.overflowed);
+                }
+            }
+            let stats = capped.storage_stats().expect("segment-backed");
+            assert_eq!(stats.cache_budget, Some(budget));
+            assert!(
+                stats.bytes_resident <= budget,
+                "resident {} over budget {budget}",
+                stats.bytes_resident
+            );
+            if budget > 0 {
+                assert!(stats.cache_evictions > 0, "tiny budget must evict");
+                assert!(stats.cache_hits > 0, "repeat queries must hit");
+            }
+        }
+        let sticky = reference.storage_stats().unwrap();
+        assert_eq!(sticky.cache_evictions, 0, "sticky cache never evicts");
+        assert_eq!(sticky.cache_budget, None);
+        assert!(sticky.cache_hits > 0 && sticky.cache_misses > 0);
+    }
+
+    #[test]
+    fn compressed_filter_matches_hydrated_execution_with_exact_counts() {
+        let db = tiny_db();
+        db.enable_access_log();
+        let bytes = SegmentWriter::new().with_chunk_size(64).write(&db).unwrap();
+        // A bounded (but generous) cache makes the planner eligible for the
+        // compressed path; the knob is what the A/B toggles.
+        let on = HiddenDb::open_segment_source_with(
+            Box::new(MemSource::new(bytes.clone())),
+            Box::new(SumRanker),
+            SegmentOpenOptions::new().with_cache_budget(1 << 20),
+        )
+        .unwrap();
+        let off = HiddenDb::open_segment_source_with(
+            Box::new(MemSource::new(bytes)),
+            Box::new(SumRanker),
+            SegmentOpenOptions::new()
+                .with_cache_budget(1 << 20)
+                .with_compressed_filter(false),
+        )
+        .unwrap();
+        // The access log forces exact-count plans, which is where the broad
+        // compressed scan replaces the posting walk.
+        on.enable_access_log();
+        off.enable_access_log();
+        let queries = [
+            Query::new(vec![crate::Predicate::lt(0, 9)]),
+            Query::new(vec![crate::Predicate::eq(1, 1)]),
+            Query::new(vec![crate::Predicate::lt(0, 3)]),
+            Query::new(vec![crate::Predicate::eq(2, 2)]),
+            Query::new(vec![crate::Predicate::eq(2, 1), crate::Predicate::ge(0, 2)]),
+        ];
+        for q in &queries {
+            let a = db.query(q).unwrap();
+            let b = on.query(q).unwrap();
+            let c = off.query(q).unwrap();
+            let ids = |r: &crate::QueryResponse| r.tuples.iter().map(|t| t.id).collect::<Vec<_>>();
+            assert_eq!(ids(&a), ids(&b), "{q}");
+            assert_eq!(ids(&a), ids(&c), "{q}");
+        }
+        // Every backend logged the same exact match counts.
+        let counts =
+            |log: &crate::AccessLog| log.entries().iter().map(|e| e.matched).collect::<Vec<_>>();
+        let ram_counts = counts(&db.access_log());
+        assert_eq!(ram_counts, counts(&on.access_log()));
+        assert_eq!(ram_counts, counts(&off.access_log()));
+    }
+
+    #[test]
+    fn verify_and_query_report_the_same_corruption_error() {
+        let db = tiny_db();
+        let bytes = SegmentWriter::new().with_chunk_size(64).write(&db).unwrap();
+        let reader = SegmentReader::open(Box::new(MemSource::new(bytes.clone()))).unwrap();
+        let e = reader.entry(KIND_STORE_COL, 0, 0).unwrap();
+        // Poison the chunk's codec tag and re-seal the checksum so the
+        // corruption reaches the codec layer on both paths.
+        let mut poisoned = bytes;
+        let payload_start = e.offset as usize + HEADER_LEN;
+        let payload_end = (e.offset + e.len) as usize - CHECKSUM_LEN;
+        poisoned[payload_start] = 7;
+        let check = fnv1a64(&poisoned[payload_start..payload_end]);
+        poisoned[payload_end..payload_end + CHECKSUM_LEN].copy_from_slice(&check.to_le_bytes());
+        let poisoned_reader =
+            SegmentReader::open(Box::new(MemSource::new(poisoned))).expect("footer intact");
+        let verify_err = poisoned_reader.verify().unwrap_err();
+        let query_err = poisoned_reader.store_value_at(0, 0).unwrap_err();
+        assert_eq!(verify_err, query_err);
+        assert_eq!(
+            verify_err,
+            SegmentError::Malformed {
+                detail: "undefined chunk codec tag 7".into()
+            }
+        );
     }
 
     #[test]

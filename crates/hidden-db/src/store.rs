@@ -68,6 +68,14 @@ impl TupleStore {
         }
     }
 
+    /// The backing segment reader, if this store is segment-backed.
+    pub(crate) fn segment_reader(&self) -> Option<&Arc<SegmentReader>> {
+        match &self.repr {
+            Repr::Ram(_) => None,
+            Repr::Lazy(reader) => Some(reader),
+        }
+    }
+
     /// Number of tuples in the store.
     pub fn len(&self) -> usize {
         match &self.repr {
@@ -82,7 +90,11 @@ impl TupleStore {
     }
 
     /// Borrows the tuple at `idx`, or `None` if out of range. On a
-    /// segment-backed store this hydrates the tuple's chunk on first touch.
+    /// segment-backed store this hydrates the **entire** store once (the
+    /// bounded chunk cache may evict individual chunks, so a plain borrow
+    /// can only come from the sticky full-hydration snapshot) — engine hot
+    /// paths use [`TupleStore::try_share`] instead, which serves owned
+    /// handles straight from the chunk cache.
     ///
     /// # Panics
     /// Panics if a segment-backed chunk fails to load (I/O error or
@@ -91,13 +103,9 @@ impl TupleStore {
     pub fn get(&self, idx: usize) -> Option<&Tuple> {
         match &self.repr {
             Repr::Ram(tuples) => tuples.get(idx).map(Arc::as_ref),
-            Repr::Lazy(reader) => {
-                if idx < reader.n() {
-                    Some(expect_loaded(reader.tuple_ref(idx)).as_ref())
-                } else {
-                    None
-                }
-            }
+            Repr::Lazy(reader) => expect_loaded(reader.hydrate_all())
+                .get(idx)
+                .map(Arc::as_ref),
         }
     }
 
@@ -111,7 +119,7 @@ impl TupleStore {
     pub fn share(&self, idx: usize) -> Arc<Tuple> {
         match &self.repr {
             Repr::Ram(tuples) => Arc::clone(&tuples[idx]),
-            Repr::Lazy(reader) => Arc::clone(expect_loaded(reader.tuple_ref(idx))),
+            Repr::Lazy(reader) => expect_loaded(reader.tuple_at(idx)),
         }
     }
 
@@ -120,7 +128,7 @@ impl TupleStore {
     pub(crate) fn try_share(&self, idx: usize) -> Result<Arc<Tuple>, SegmentError> {
         match &self.repr {
             Repr::Ram(tuples) => Ok(Arc::clone(&tuples[idx])),
-            Repr::Lazy(reader) => Ok(Arc::clone(reader.tuple_ref(idx)?)),
+            Repr::Lazy(reader) => reader.tuple_at(idx),
         }
     }
 
@@ -172,7 +180,7 @@ impl Index<usize> for TupleStore {
     fn index(&self, idx: usize) -> &Tuple {
         match &self.repr {
             Repr::Ram(tuples) => &tuples[idx],
-            Repr::Lazy(reader) => expect_loaded(reader.tuple_ref(idx)).as_ref(),
+            Repr::Lazy(reader) => expect_loaded(reader.hydrate_all())[idx].as_ref(),
         }
     }
 }

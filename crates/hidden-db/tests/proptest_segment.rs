@@ -18,7 +18,7 @@ use proptest::prelude::*;
 
 use skyweb_hidden_db::{
     ExecStrategy, HiddenDb, InterfaceType, MemSource, Predicate, Query, SchemaBuilder,
-    SegmentError, SegmentReader, SegmentWriter, SumRanker, Tuple,
+    SegmentError, SegmentOpenOptions, SegmentReader, SegmentWriter, SumRanker, Tuple,
 };
 
 #[derive(Debug, Clone)]
@@ -193,6 +193,53 @@ proptest! {
         let seg = open_mem(bytes).unwrap().with_strategy(ExecStrategy::Scan);
         assert_same_behavior(&ram, &seg);
     }
+
+    /// Cache budgets (including the degenerate zero budget that decodes
+    /// every chunk on every touch) and the compressed-filter A/B knob are
+    /// performance policies, never semantics: every combination answers the
+    /// workload byte-identically to the in-RAM build.
+    #[test]
+    fn segment_open_options_are_byte_identical(spec in db_spec(), budget in 0u64..=8192) {
+        let bytes = SegmentWriter::new()
+            .with_chunk_size(64)
+            .write(&build_db(&spec))
+            .expect("RAM-backed databases always serialize");
+        let variants = [
+            SegmentOpenOptions::new().with_cache_budget(budget),
+            SegmentOpenOptions::new().with_compressed_filter(false),
+            SegmentOpenOptions::new()
+                .with_cache_budget(budget)
+                .with_compressed_filter(false),
+        ];
+        for options in variants {
+            let ram = build_db(&spec);
+            let seg = HiddenDb::open_segment_source_with(
+                Box::new(MemSource::new(bytes.clone())),
+                Box::new(SumRanker),
+                options,
+            )
+            .expect("a fresh segment opens under any cache policy");
+            assert_same_behavior(&ram, &seg);
+        }
+    }
+
+    /// The legacy v1 on-disk format still writes, scrubs clean, and answers
+    /// identically to the in-RAM build.
+    #[test]
+    fn v1_segment_round_trip_is_byte_identical(spec in db_spec(), chunk_exp in 0u32..=2) {
+        let ram = build_db(&spec);
+        let bytes = SegmentWriter::new()
+            .with_format_version(1)
+            .with_chunk_size(64usize << chunk_exp)
+            .write(&ram)
+            .expect("RAM-backed databases always serialize");
+        SegmentReader::open(Box::new(MemSource::new(bytes.clone())))
+            .expect("fresh v1 segment opens")
+            .verify()
+            .expect("fresh v1 segment scrubs clean");
+        let seg = open_mem(bytes).expect("fresh v1 segment opens as a database");
+        assert_same_behavior(&ram, &seg);
+    }
 }
 
 /// A small but structurally complete segment (multiple chunks, all three
@@ -294,6 +341,146 @@ fn corrupt_chunk_surfaces_as_query_storage_error() {
     assert!(
         saw_storage_error,
         "a corrupted column chunk must surface as QueryError::Storage"
+    );
+}
+
+/// A database whose columns are shaped so the v2 writer provably picks all
+/// three chunk codecs: `price` has 3 distinct values scattered over a wide
+/// domain (dictionary wins), `grade` changes every 128 tuples under a
+/// 256-value chunk (run-length wins on the multi-run chunks), and `ramp` is
+/// a dense cycle (frame-of-reference wins).
+fn all_codecs_db() -> HiddenDb {
+    let schema = SchemaBuilder::new()
+        .ranking("price", 1000, InterfaceType::Rq)
+        .ranking("grade", 8, InterfaceType::Sq)
+        .ranking("ramp", 251, InterfaceType::Rq)
+        .filtering("carrier", 3)
+        .build();
+    let tuples: Vec<Tuple> = (0..384)
+        .map(|i| {
+            Tuple::new(
+                i,
+                vec![
+                    [0u32, 500, 900][(i % 3) as usize],
+                    (i / 128) as u32,
+                    (i % 251) as u32,
+                    (i % 3) as u32,
+                ],
+            )
+        })
+        .collect();
+    HiddenDb::with_sum_ranking(schema, tuples, 5)
+}
+
+fn sample_v2_segment_with_all_codecs() -> Vec<u8> {
+    SegmentWriter::new()
+        .with_chunk_size(256)
+        .write(&all_codecs_db())
+        .unwrap()
+}
+
+#[test]
+fn v2_sample_exercises_every_codec_and_round_trips() {
+    let bytes = sample_v2_segment_with_all_codecs();
+    let reader = SegmentReader::open(Box::new(MemSource::new(bytes.clone()))).unwrap();
+    reader.verify().expect("all-codec sample scrubs clean");
+    let census = reader.codec_census().expect("census over a clean segment");
+    for (codec, name) in [(0usize, "FOR"), (1, "DICT"), (2, "RLE")] {
+        assert!(
+            census.chunks[codec] > 0,
+            "the all-codec sample must contain at least one {name} chunk \
+             (census: {:?})",
+            census.chunks
+        );
+    }
+    let ram = all_codecs_db();
+    let seg = open_mem(bytes).expect("all-codec sample opens as a database");
+    assert_same_behavior(&ram, &seg);
+}
+
+#[test]
+fn every_truncation_of_a_v2_all_codec_segment_is_rejected() {
+    let bytes = sample_v2_segment_with_all_codecs();
+    assert!(open_and_scrub(&bytes).is_ok());
+    for len in 0..bytes.len() {
+        assert!(
+            open_and_scrub(&bytes[..len]).is_err(),
+            "truncation to {len} of {} bytes must be rejected",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_in_a_v2_all_codec_segment_is_rejected() {
+    // Dictionary and run-length chunk bodies get the same exhaustive
+    // bit-flip battery the v1 frame-of-reference format passes.
+    let bytes = sample_v2_segment_with_all_codecs();
+    for i in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 1 << bit;
+            assert!(
+                open_and_scrub(&corrupt).is_err(),
+                "flipping bit {bit} of byte {i} must be rejected"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_readers_under_a_tiny_cache_stay_byte_identical() {
+    // Four readers hammer the same workload against one segment whose cache
+    // budget holds roughly one decoded chunk per shard, so chunks are
+    // continuously evicted and re-decoded underneath the running queries.
+    type QueryOutcome = Result<(Vec<(u64, Vec<u32>)>, bool), String>;
+    let ram = all_codecs_db();
+    let expected: Vec<QueryOutcome> = workload(&ram)
+        .iter()
+        .map(|q| match ram.query(q) {
+            Ok(r) => Ok((
+                r.tuples.iter().map(|t| (t.id, t.values.clone())).collect(),
+                r.overflowed,
+            )),
+            Err(e) => Err(format!("{e:?}")),
+        })
+        .collect();
+
+    let budget = 16 * 1024;
+    let seg = HiddenDb::open_segment_source_with(
+        Box::new(MemSource::new(sample_v2_segment_with_all_codecs())),
+        Box::new(SumRanker),
+        SegmentOpenOptions::new().with_cache_budget(budget),
+    )
+    .expect("all-codec sample opens under a tiny cache budget");
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..3 {
+                    for (q, want) in workload(&seg).iter().zip(&expected) {
+                        let got = match seg.query(q) {
+                            Ok(r) => Ok((
+                                r.tuples.iter().map(|t| (t.id, t.values.clone())).collect(),
+                                r.overflowed,
+                            )),
+                            Err(e) => Err(format!("{e:?}")),
+                        };
+                        assert_eq!(&got, want, "answers diverged under eviction on {q}");
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = seg.storage_stats().expect("segment backends expose stats");
+    assert!(
+        stats.cache_evictions > 0,
+        "a {budget}-byte budget must evict under this workload ({stats:?})"
+    );
+    assert!(
+        stats.bytes_resident <= budget,
+        "resident bytes must respect the budget ({stats:?})"
     );
 }
 

@@ -17,7 +17,8 @@ use skyweb::core::{
 };
 use skyweb::datagen::flights_dot;
 use skyweb::hidden_db::{
-    HiddenDb, InterfaceType, MemSource, SchemaBuilder, SegmentWriter, SumRanker, Tuple,
+    HiddenDb, InterfaceType, MemSource, SchemaBuilder, SegmentOpenOptions, SegmentWriter,
+    SumRanker, Tuple,
 };
 
 /// FNV-1a over a byte stream: the fingerprint primitive for traces and
@@ -138,11 +139,23 @@ fn fig15_style_db(n: usize) -> HiddenDb {
 /// segment store (write → reopen from bytes) so a golden workload can run
 /// against the lazily-hydrating segment backend instead of the RAM build.
 fn seg_clone(db: &HiddenDb) -> HiddenDb {
+    seg_clone_with(db, 2, SegmentOpenOptions::new())
+}
+
+/// [`seg_clone`] with an explicit on-disk format version and open options —
+/// the goldens run under v1 files, v2 files and an eviction-forcing cache
+/// budget.
+fn seg_clone_with(db: &HiddenDb, version: u16, options: SegmentOpenOptions) -> HiddenDb {
     let bytes = SegmentWriter::new()
+        .with_format_version(version)
         .write(db)
         .expect("RAM-backed databases always serialize");
-    HiddenDb::open_segment_source(Box::new(MemSource::new(bytes)), Box::new(SumRanker))
-        .expect("a fresh segment reopens")
+    HiddenDb::open_segment_source_with(
+        Box::new(MemSource::new(bytes)),
+        Box::new(SumRanker),
+        options,
+    )
+    .expect("a fresh segment reopens")
 }
 
 #[test]
@@ -285,9 +298,11 @@ fn small_db(m: usize, itf: Option<InterfaceType>) -> HiddenDb {
     HiddenDb::new(builder.build(), tuples, Box::new(SumRanker), 2)
 }
 
-/// Runs one machine to completion on the RAM build and on the segment
-/// round-trip of the *same* database, asserting results, exact costs and
-/// access-log fingerprints identical.
+/// Runs one machine to completion on the RAM build and on segment
+/// round-trips of the *same* database — a v1 file, a v2 file, and a v2 file
+/// behind a cache budget tiny enough to force mid-run eviction — asserting
+/// results, exact costs and access-log fingerprints identical on every
+/// backend.
 fn assert_segment_matches_ram(
     mk_db: &dyn Fn() -> HiddenDb,
     mk_machine: &dyn Fn(&HiddenDb) -> Box<dyn DiscoveryMachine>,
@@ -299,26 +314,37 @@ fn assert_segment_matches_ram(
         .run()
         .expect("RAM run");
 
-    let seg_db = seg_clone(&mk_db());
-    seg_db.enable_access_log();
-    let seg = DiscoveryDriver::new(&seg_db, mk_machine(&seg_db), DriverConfig::new())
-        .run()
-        .expect("segment run");
+    let variants: [(&str, u16, SegmentOpenOptions); 3] = [
+        ("v1", 1, SegmentOpenOptions::new()),
+        ("v2", 2, SegmentOpenOptions::new()),
+        (
+            "v2+tiny-cache",
+            2,
+            SegmentOpenOptions::new().with_cache_budget(4_096),
+        ),
+    ];
+    for (variant, version, options) in variants {
+        let seg_db = seg_clone_with(&mk_db(), version, options);
+        seg_db.enable_access_log();
+        let seg = DiscoveryDriver::new(&seg_db, mk_machine(&seg_db), DriverConfig::new())
+            .run()
+            .expect("segment run");
 
-    assert_eq!(
-        ram.query_cost, seg.query_cost,
-        "{label}: query costs diverged between RAM and segment backends"
-    );
-    assert_eq!(
-        result_fingerprint(&ram),
-        result_fingerprint(&seg),
-        "{label}: discovery results diverged between RAM and segment backends"
-    );
-    assert_eq!(
-        log_fingerprint(&ram_db),
-        log_fingerprint(&seg_db),
-        "{label}: access logs diverged between RAM and segment backends"
-    );
+        assert_eq!(
+            ram.query_cost, seg.query_cost,
+            "{label} [{variant}]: query costs diverged between RAM and segment backends"
+        );
+        assert_eq!(
+            result_fingerprint(&ram),
+            result_fingerprint(&seg),
+            "{label} [{variant}]: discovery results diverged between RAM and segment backends"
+        );
+        assert_eq!(
+            log_fingerprint(&ram_db),
+            log_fingerprint(&seg_db),
+            "{label} [{variant}]: access logs diverged between RAM and segment backends"
+        );
+    }
 }
 
 type DbFactory = Box<dyn Fn() -> HiddenDb>;

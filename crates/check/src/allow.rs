@@ -1,0 +1,224 @@
+//! The justified allowlist: `check-allow.toml` at the repo root.
+//!
+//! Every suppressed finding needs a *reason* — an allowlist entry with an
+//! empty or missing justification is itself an error, and so is a stale
+//! entry that no longer matches any finding (the lint it excused was
+//! fixed; the entry must be deleted). The format is a small TOML subset
+//! parsed by hand (no crates.io):
+//!
+//! ```toml
+//! [[allow]]
+//! lint = "L1"
+//! file = "crates/core/src/driver.rs"
+//! contains = "expect(\"checked above\")"
+//! reason = "guarded by an is_some() check two lines up; restructuring obscures the retry loop"
+//! ```
+//!
+//! An entry suppresses findings of `lint` in `file` whose source line
+//! contains the `contains` substring — line numbers are deliberately not
+//! used, so unrelated edits to the file do not invalidate the allowlist.
+
+use crate::lints::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Lint code the entry suppresses (`"L1"` … `"L5"`).
+    pub lint: String,
+    /// Repo-relative file the entry applies to.
+    pub file: String,
+    /// Substring of the offending source line.
+    pub contains: String,
+    /// The mandatory one-line justification.
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header (for error reporting).
+    pub line: usize,
+}
+
+/// Parses the allowlist text. Returns entries or a list of format errors
+/// (unknown keys, missing fields, empty reasons).
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, Vec<String>> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(e) = current.take() {
+                finish_entry(e, &mut entries, &mut errors);
+            }
+            current = Some(AllowEntry {
+                lint: String::new(),
+                file: String::new(),
+                contains: String::new(),
+                reason: String::new(),
+                line: line_no,
+            });
+            continue;
+        }
+        let Some((key, value)) = parse_kv(line) else {
+            errors.push(format!(
+                "line {line_no}: expected `key = \"value\"`, got `{line}`"
+            ));
+            continue;
+        };
+        let Some(entry) = current.as_mut() else {
+            errors.push(format!(
+                "line {line_no}: `{key}` outside an [[allow]] section"
+            ));
+            continue;
+        };
+        match key.as_str() {
+            "lint" => entry.lint = value,
+            "file" => entry.file = value,
+            "contains" => entry.contains = value,
+            "reason" => entry.reason = value,
+            other => errors.push(format!("line {line_no}: unknown key `{other}`")),
+        }
+    }
+    if let Some(e) = current.take() {
+        finish_entry(e, &mut entries, &mut errors);
+    }
+    if errors.is_empty() {
+        Ok(entries)
+    } else {
+        Err(errors)
+    }
+}
+
+fn finish_entry(e: AllowEntry, entries: &mut Vec<AllowEntry>, errors: &mut Vec<String>) {
+    let mut missing = Vec::new();
+    if e.lint.is_empty() {
+        missing.push("lint");
+    }
+    if e.file.is_empty() {
+        missing.push("file");
+    }
+    if e.contains.is_empty() {
+        missing.push("contains");
+    }
+    if e.reason.trim().is_empty() {
+        missing.push("reason (every allowlist entry must be justified)");
+    }
+    if missing.is_empty() {
+        entries.push(e);
+    } else {
+        errors.push(format!(
+            "entry at line {}: missing {}",
+            e.line,
+            missing.join(", ")
+        ));
+    }
+}
+
+/// Parses `key = "value"` with `\"` and `\\` escapes in the value.
+fn parse_kv(line: &str) -> Option<(String, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim().to_string();
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    let mut value = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => value.push('"'),
+                Some('\\') => value.push('\\'),
+                Some(other) => {
+                    value.push('\\');
+                    value.push(other);
+                }
+                None => value.push('\\'),
+            }
+        } else {
+            value.push(c);
+        }
+    }
+    Some((key, value))
+}
+
+/// The outcome of matching findings against the allowlist.
+#[derive(Debug)]
+pub struct Matched {
+    /// `(finding, allowed)` pairs in the findings' order.
+    pub findings: Vec<(Finding, bool)>,
+    /// Allowlist entries that matched nothing (stale — must be removed).
+    pub stale: Vec<AllowEntry>,
+}
+
+/// Splits findings into allowed and unallowed and reports stale entries.
+pub fn apply_allowlist(findings: Vec<Finding>, entries: &[AllowEntry]) -> Matched {
+    let mut used = vec![false; entries.len()];
+    let matched = findings
+        .into_iter()
+        .map(|f| {
+            let mut allowed = false;
+            for (i, e) in entries.iter().enumerate() {
+                if e.lint == f.lint && e.file == f.file && f.snippet.contains(&e.contains) {
+                    used[i] = true;
+                    allowed = true;
+                }
+            }
+            (f, allowed)
+        })
+        .collect();
+    let stale = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    Matched {
+        findings: matched,
+        stale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Finding;
+
+    #[test]
+    fn parses_entries_and_rejects_unjustified() {
+        let good = r#"
+# comment
+[[allow]]
+lint = "L1"
+file = "crates/core/src/driver.rs"
+contains = "expect(\"checked above\")"
+reason = "guarded two lines up"
+"#;
+        let entries = parse_allowlist(good).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].contains, "expect(\"checked above\")");
+
+        let bad = "[[allow]]\nlint = \"L1\"\nfile = \"f\"\ncontains = \"x\"\nreason = \"\"\n";
+        assert!(parse_allowlist(bad).is_err());
+    }
+
+    #[test]
+    fn matching_marks_allowed_and_stale() {
+        let entries = parse_allowlist(
+            "[[allow]]\nlint = \"L1\"\nfile = \"a.rs\"\ncontains = \"foo\"\nreason = \"r\"\n\
+             [[allow]]\nlint = \"L2\"\nfile = \"b.rs\"\ncontains = \"bar\"\nreason = \"r\"\n",
+        )
+        .unwrap();
+        let findings = vec![Finding {
+            lint: "L1",
+            file: "a.rs".into(),
+            line: 1,
+            message: "m".into(),
+            snippet: "x.foo()".into(),
+        }];
+        let m = apply_allowlist(findings, &entries);
+        assert!(m.findings[0].1);
+        assert_eq!(m.stale.len(), 1);
+        assert_eq!(m.stale[0].lint, "L2");
+    }
+}

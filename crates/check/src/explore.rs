@@ -1,0 +1,477 @@
+//! The deterministic interleaving explorer: a "loom-lite" stateless model
+//! checker for the concurrency cores in `skyweb_hidden_db::conc`.
+//!
+//! # Model
+//!
+//! A scenario is a fixed set of thread bodies operating on shared state
+//! through the [`ModelSync`](crate::model::ModelSync) facade. Every facade
+//! operation (atomic load/store/RMW, mutex acquisition) is a *yield point*:
+//! the OS thread running the body parks there until the scheduler grants it
+//! the next step. At most one body thread is ever unparked, so a run is a
+//! fully serialized sequence of operations — a *schedule* — chosen by the
+//! explorer, and replaying the same decisions reproduces the same run
+//! bit-for-bit.
+//!
+//! [`explore`] enumerates schedules depth-first: at every scheduling point
+//! it records which threads were enabled (a thread waiting on a held model
+//! mutex is disabled) and which was chosen, finishes the run, checks the
+//! caller's invariants, then backtracks to the deepest decision with an
+//! unexplored alternative and re-executes. *Sleep sets* (the classic
+//! Dijkstra-style partial-order reduction) prune schedules that only
+//! reorder independent operations: after a subtree for thread `t` is
+//! explored, `t` sleeps in its siblings until a dependent operation (same
+//! object, at least one write, or any lock) wakes it. Exploration is
+//! exhaustive over the remaining schedules, so an invariant that holds at
+//! the end of every run holds under **every** interleaving of the modeled
+//! operations.
+//!
+//! # Limits
+//!
+//! Only operations routed through the facade are scheduling-visible; the
+//! model assumes sequential consistency (each facade op is one indivisible
+//! step), so weak-memory reorderings are out of scope — the cores only use
+//! relaxed counters whose invariants are order-insensitive, and mutexes.
+//! State spaces grow factorially: scenarios should stay at 2–3 threads and
+//! a handful of yields each (the suite's largest case explores a few
+//! thousand schedules). A budget of [`MAX_SCHEDULES`] guards against
+//! runaway scenarios.
+
+use std::collections::HashSet;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread;
+
+/// Hard cap on schedules per [`explore`] call — a runaway-state-space
+/// backstop, far above what a well-formed scenario needs.
+pub const MAX_SCHEDULES: u64 = 200_000;
+
+/// Hard cap on scheduling steps within one run (infinite-loop backstop).
+const MAX_STEPS: usize = 10_000;
+
+/// What a thread is about to do at a yield point — the unit of the
+/// happens-before dependence analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpDesc {
+    /// Identity of the shared object (globally unique per atomic/mutex).
+    pub obj: usize,
+    /// The kind of access.
+    pub kind: OpKind,
+}
+
+/// Classification of a yield-point operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// An atomic read.
+    Read,
+    /// An atomic write or read-modify-write.
+    Write,
+    /// A mutex acquisition (disabled while the mutex is held).
+    Lock,
+}
+
+/// `true` if the two operations cannot be swapped without possibly changing
+/// the outcome: same object and at least one side mutates (or locks).
+fn dependent(a: OpDesc, b: OpDesc) -> bool {
+    a.obj == b.obj && !(a.kind == OpKind::Read && b.kind == OpKind::Read)
+}
+
+/// Per-thread scheduler state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    /// Spawned, has not reached its first yield yet (or is between grant
+    /// and its next yield).
+    Running,
+    /// Parked at a yield point, waiting to be granted.
+    AtYield(OpDesc),
+    /// Body returned (or unwound).
+    Done,
+}
+
+/// The shared controller/worker rendezvous for one run.
+struct SchedState {
+    threads: Vec<TState>,
+    /// Granted flag per thread: set by the controller, consumed by the
+    /// worker it wakes.
+    granted: Vec<bool>,
+    /// Model mutexes currently held (by object id).
+    held: HashSet<usize>,
+    /// Set when the run must stop early (invariant panic or budget).
+    abort: bool,
+    /// First body panic message of the run, if any.
+    violation: Option<String>,
+}
+
+struct Sched {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Sched {
+    fn new(n: usize) -> Self {
+        Sched {
+            state: Mutex::new(SchedState {
+                threads: vec![TState::Running; n],
+                granted: vec![false; n],
+                held: HashSet::new(),
+                abort: false,
+                violation: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Marker payload for the panic used to unwind parked workers on abort;
+/// runs recognized as aborts are not reported as violations.
+struct AbortUnwind;
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Sched>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+thread_local! {
+    // Per-thread so parallel explorations in different test threads do not
+    // interfere, and reset before each schedule's state construction so a
+    // scenario allocates identical object ids in every run — replay
+    // compares `OpDesc`s (which embed the object id) across runs.
+    static NEXT_OBJ: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Allocates a shared-object id (used by the model types). Deterministic
+/// within one schedule: ids restart from zero at each state construction.
+pub(crate) fn new_obj_id() -> usize {
+    NEXT_OBJ.with(|c| {
+        let id = c.get();
+        c.set(id + 1);
+        id
+    })
+}
+
+/// Restarts object-id allocation for a fresh schedule's state.
+fn reset_obj_ids() {
+    NEXT_OBJ.with(|c| c.set(0));
+}
+
+/// Parks the calling worker at a yield point until the scheduler grants it,
+/// then (for locks) marks the mutex held. Outside an exploration (no
+/// scheduler registered for this thread) the call is a no-op, so model
+/// types degrade to plain sequential primitives in ordinary tests.
+pub(crate) fn yield_op(op: OpDesc) {
+    let Some((sched, tid)) = CURRENT.with(|c| c.borrow().clone()) else {
+        return;
+    };
+    let mut st = sched.lock();
+    st.threads[tid] = TState::AtYield(op);
+    sched.cv.notify_all();
+    while !st.granted[tid] && !st.abort {
+        st = sched.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+    if st.abort {
+        drop(st);
+        panic::panic_any(AbortUnwind);
+    }
+    st.granted[tid] = false;
+    st.threads[tid] = TState::Running;
+    if op.kind == OpKind::Lock {
+        st.held.insert(op.obj);
+    }
+}
+
+/// Releases a model mutex (not a scheduling choice point: the release
+/// order is fully determined by the acquisition order the explorer already
+/// controls).
+pub(crate) fn release(obj: usize) {
+    let Some((sched, _tid)) = CURRENT.with(|c| c.borrow().clone()) else {
+        return;
+    };
+    let mut st = sched.lock();
+    st.held.remove(&obj);
+    sched.cv.notify_all();
+}
+
+/// One scheduling decision of the DFS: the state observed (enabled threads
+/// and their pending ops), the alternative currently being explored, and
+/// the sleep set.
+struct Frame {
+    /// Threads that were runnable, in thread-id order, with their ops.
+    enabled: Vec<(usize, OpDesc)>,
+    /// Position in `enabled` of the thread chosen this iteration.
+    chosen: usize,
+    /// Sleeping threads: subtrees already covered via a sibling (sleep-set
+    /// partial-order reduction). Grows as siblings are explored.
+    sleep: HashSet<usize>,
+}
+
+/// Statistics of a completed exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Explored {
+    /// Number of complete schedules executed.
+    pub schedules: u64,
+    /// Total scheduling decisions taken across all runs.
+    pub decisions: u64,
+}
+
+/// A schedule under which a scenario's invariant failed (or a body
+/// panicked), with the decision trace that reproduces it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The panic message of the failing body or invariant check.
+    pub message: String,
+    /// The thread ids granted at each scheduling step of the failing run.
+    pub trace: Vec<usize>,
+    /// 1-based index of the failing schedule in exploration order.
+    pub schedule: u64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "schedule #{} (grants {:?}): {}",
+            self.schedule, self.trace, self.message
+        )
+    }
+}
+
+/// One thread body of a scenario, shared with the worker that runs it.
+pub type ThreadBody<S> = Arc<dyn Fn(&S) + Send + Sync>;
+
+/// A scenario: shared state built fresh per schedule, thread bodies that
+/// mutate it through the model facade, and an end-of-run invariant check.
+pub struct Scenario<S> {
+    /// Builds the shared state a schedule runs on.
+    pub state: Box<dyn Fn() -> S + Send + Sync>,
+    /// The concurrent thread bodies (2–3 for tractable state spaces).
+    pub threads: Vec<ThreadBody<S>>,
+    /// Runs after all bodies joined; panics to report an invariant
+    /// violation.
+    pub check: Box<dyn Fn(&S) + Send + Sync>,
+}
+
+/// Exhaustively explores every (sleep-set-reduced) interleaving of the
+/// scenario's facade operations. Returns statistics if every schedule's
+/// bodies and invariant check pass; returns the first [`Violation`]
+/// otherwise.
+pub fn explore<S: Send + Sync + 'static>(scenario: &Scenario<S>) -> Result<Explored, Violation> {
+    let n = scenario.threads.len();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut schedules = 0u64;
+    let mut decisions = 0u64;
+
+    loop {
+        schedules += 1;
+        if schedules > MAX_SCHEDULES {
+            return Err(Violation {
+                message: format!("exceeded the {MAX_SCHEDULES}-schedule exploration budget"),
+                trace: Vec::new(),
+                schedule: schedules,
+            });
+        }
+        let (trace, steps, outcome) = run_once(scenario, n, &mut stack);
+        decisions += steps;
+        if let Some(message) = outcome {
+            return Err(Violation {
+                message,
+                trace,
+                schedule: schedules,
+            });
+        }
+
+        // Backtrack: advance the deepest frame with an unexplored,
+        // non-sleeping alternative; pop exhausted frames.
+        loop {
+            match stack.last_mut() {
+                None => {
+                    return Ok(Explored {
+                        schedules,
+                        decisions,
+                    })
+                }
+                Some(frame) => {
+                    let explored_tid = frame.enabled[frame.chosen].0;
+                    frame.sleep.insert(explored_tid);
+                    let next =
+                        frame.enabled.iter().enumerate().position(|(i, (tid, _))| {
+                            i > frame.chosen && !frame.sleep.contains(tid)
+                        });
+                    match next {
+                        Some(i) => {
+                            frame.chosen = i;
+                            break;
+                        }
+                        None => {
+                            stack.pop();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Executes one run following the decisions recorded in `stack`, extending
+/// the stack with fresh frames past its current depth. Returns the grant
+/// trace, the number of steps, and a violation message if the run failed.
+fn run_once<S: Send + Sync + 'static>(
+    scenario: &Scenario<S>,
+    n: usize,
+    stack: &mut Vec<Frame>,
+) -> (Vec<usize>, u64, Option<String>) {
+    reset_obj_ids();
+    let state = Arc::new((scenario.state)());
+    let sched = Arc::new(Sched::new(n));
+    let mut workers = Vec::with_capacity(n);
+    for (tid, body) in scenario.threads.iter().enumerate() {
+        let sched = Arc::clone(&sched);
+        let state = Arc::clone(&state);
+        let body = Arc::clone(body);
+        workers.push(thread::spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), tid)));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| body(&state)));
+            let mut st = sched.lock();
+            st.threads[tid] = TState::Done;
+            if let Err(payload) = result {
+                if !payload.is::<AbortUnwind>() && st.violation.is_none() {
+                    st.violation = Some(panic_message(payload.as_ref()));
+                    st.abort = true;
+                }
+            }
+            sched.cv.notify_all();
+        }));
+    }
+
+    let mut trace = Vec::new();
+    let mut depth = 0usize;
+    let violation = loop {
+        let mut st = sched.lock();
+        // Wait until every thread is parked at a yield or done.
+        while !st.abort && st.threads.iter().any(|t| matches!(t, TState::Running)) {
+            st = sched.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.abort {
+            break st.violation.clone();
+        }
+        if st.threads.iter().all(|t| matches!(t, TState::Done)) {
+            break None;
+        }
+        // Enabled = parked threads whose op is not a lock of a held mutex.
+        let enabled: Vec<(usize, OpDesc)> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(tid, t)| match t {
+                TState::AtYield(op) => {
+                    if op.kind == OpKind::Lock && st.held.contains(&op.obj) {
+                        None
+                    } else {
+                        Some((tid, *op))
+                    }
+                }
+                _ => None,
+            })
+            .collect();
+        if enabled.is_empty() {
+            break Some("deadlock: every live thread waits on a held model mutex".to_string());
+        }
+        if depth >= MAX_STEPS {
+            break Some(format!("run exceeded {MAX_STEPS} scheduling steps"));
+        }
+        let chosen_tid = if depth < stack.len() {
+            // Replay a recorded decision; the model is deterministic, so
+            // the observed state must match what was recorded.
+            let frame = &stack[depth];
+            assert_eq!(
+                frame.enabled, enabled,
+                "non-deterministic scenario: replay diverged at step {depth}"
+            );
+            frame.enabled[frame.chosen].0
+        } else {
+            // Fresh frame. Sleep set: threads covered via an explored
+            // sibling of the parent, minus any the parent's chosen op is
+            // dependent with.
+            let sleep: HashSet<usize> = match depth.checked_sub(1).and_then(|d| stack.get(d)) {
+                None => HashSet::new(),
+                Some(parent) => {
+                    let parent_op = parent.enabled[parent.chosen].1;
+                    parent
+                        .sleep
+                        .iter()
+                        .copied()
+                        .filter(|tid| {
+                            enabled
+                                .iter()
+                                .find(|(t, _)| t == tid)
+                                .is_none_or(|(_, op)| !dependent(*op, parent_op))
+                        })
+                        .collect()
+                }
+            };
+            let chosen = enabled
+                .iter()
+                .position(|(tid, _)| !sleep.contains(tid))
+                // All enabled threads asleep: their subtrees are covered
+                // elsewhere, but this run still has to finish — fall back
+                // to the first enabled thread without losing soundness.
+                .unwrap_or(0);
+            stack.push(Frame {
+                enabled: enabled.clone(),
+                chosen,
+                sleep,
+            });
+            stack[depth].enabled[stack[depth].chosen].0
+        };
+        trace.push(chosen_tid);
+        depth += 1;
+        st.granted[chosen_tid] = true;
+        // Mark the grantee Running *now*, not when it wakes: the top of
+        // this loop waits for no-Running, and the grantee may not have
+        // consumed its grant yet — without this the controller could
+        // observe the stale AtYield op and the enabled set would depend
+        // on worker wake-up timing, breaking replay determinism.
+        st.threads[chosen_tid] = TState::Running;
+        sched.cv.notify_all();
+        drop(st);
+    };
+
+    if violation.is_some() {
+        // Unpark every worker so the run can be torn down.
+        let mut st = sched.lock();
+        st.abort = true;
+        sched.cv.notify_all();
+        drop(st);
+    }
+    for w in workers {
+        // A worker that panicked already recorded its message; the unwind
+        // payload here is either AbortUnwind or a duplicate.
+        let _ = w.join();
+    }
+    let violation = violation.or_else(|| {
+        // Bodies all done: run the invariant check.
+        panic::catch_unwind(AssertUnwindSafe(|| (scenario.check)(&state)))
+            .err()
+            .map(|payload| panic_message(payload.as_ref()))
+    });
+
+    // Frames past the failure point (if any) must not leak into the next
+    // run; on a clean run the stack depth equals the run length already.
+    if violation.is_some() {
+        stack.truncate(depth.saturating_sub(1));
+    }
+    (trace, depth as u64, violation)
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

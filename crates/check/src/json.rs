@@ -1,0 +1,89 @@
+//! A minimal JSON writer for the tool's machine-readable reports (no
+//! crates.io, so no serde): string escaping plus hand-assembled objects
+//! with a deterministic key order, suitable for golden-file comparison.
+
+use crate::allow::{AllowEntry, Matched};
+
+/// Escapes `s` as the body of a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the lint report: findings (with allowed flags), counts and
+/// stale allowlist entries, pretty-printed with a stable layout.
+pub fn lint_report(matched: &Matched) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, (f, allowed)) in matched.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \
+             \"snippet\": \"{}\", \"allowed\": {}}}",
+            escape(f.lint),
+            escape(&f.file),
+            f.line,
+            escape(&f.message),
+            escape(&f.snippet),
+            allowed
+        ));
+    }
+    if !matched.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    let allowed = matched.findings.iter().filter(|(_, a)| *a).count();
+    let unallowed = matched.findings.len() - allowed;
+    out.push_str(&format!("  \"total\": {},\n", matched.findings.len()));
+    out.push_str(&format!("  \"allowed\": {allowed},\n"));
+    out.push_str(&format!("  \"unallowed\": {unallowed},\n"));
+    out.push_str("  \"stale_allows\": [");
+    for (i, e) in matched.stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"lint\": \"{}\", \"file\": \"{}\", \"contains\": \"{}\"}}",
+            escape(&e.lint),
+            escape(&e.file),
+            escape(&e.contains)
+        ));
+    }
+    if !matched.stale.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Renders a human-readable finding line (non-JSON mode).
+pub fn human_line(f: &crate::lints::Finding, allowed: bool) -> String {
+    format!(
+        "{}: {}:{}: {}{}",
+        f.lint,
+        f.file,
+        f.line,
+        f.message,
+        if allowed { "  [allowed]" } else { "" }
+    )
+}
+
+/// Renders a stale allowlist entry for human output.
+pub fn human_stale(e: &AllowEntry) -> String {
+    format!(
+        "stale allowlist entry (matched nothing): lint {} in {} containing `{}`",
+        e.lint, e.file, e.contains
+    )
+}

@@ -1,0 +1,10 @@
+//! Negative control: a fixture with none of the L1–L5 defects. The CLI
+//! must exit 0 on it.
+
+pub fn widen(n: u32) -> u64 {
+    u64::from(n)
+}
+
+pub fn safe_head(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}

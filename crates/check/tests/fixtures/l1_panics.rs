@@ -1,0 +1,22 @@
+//! L1 fixture: panicking calls in library code. The three defects below
+//! must each fire; the test-gated module at the bottom must not.
+
+pub fn first(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn second(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn third() {
+    panic!("boom");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked() {
+        None::<u32>.unwrap();
+    }
+}

@@ -1,0 +1,14 @@
+//! L2 fixture: bare integer `as` casts on a wire path. The two casts must
+//! fire; the lossless `u64::from` conversion must not.
+
+pub fn widen(n: u16) -> u64 {
+    n as u64
+}
+
+pub fn narrow(n: u64) -> u8 {
+    (n & 0xff) as u8
+}
+
+pub fn fine(n: u32) -> u64 {
+    u64::from(n)
+}

@@ -1,0 +1,7 @@
+//! L3 fixture: wire-constant registry drift. `KIND_BOGUS` is not in the
+//! registry; `KIND_FOOTER` is registered as `1` in
+//! `crates/hidden-db/src/segment.rs`, so both its value and its location
+//! here are findings.
+
+pub const KIND_BOGUS: u8 = 9;
+pub const KIND_FOOTER: u8 = 7;

@@ -1,0 +1,20 @@
+//! L4 fixture: a public error enum with no `Display` / `Error` impls
+//! (two findings) next to a complete one (no findings).
+
+use std::fmt;
+
+pub enum OrphanError {
+    Boom,
+}
+
+pub enum CompleteError {
+    Done,
+}
+
+impl fmt::Display for CompleteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("done")
+    }
+}
+
+impl std::error::Error for CompleteError {}

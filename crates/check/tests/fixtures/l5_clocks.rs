@@ -1,0 +1,9 @@
+//! L5 fixture: wall-clock reads outside `crates/bench` — one
+//! `Instant::now` and one `SystemTime` mention, two findings.
+
+pub fn elapsed_hint() -> bool {
+    let t = std::time::Instant::now();
+    let s = std::time::SystemTime::now();
+    let _ = s;
+    t.elapsed().as_nanos() > 0
+}

@@ -1,0 +1,98 @@
+//! The lint fixture corpus: known-bad snippets for each of L1–L5 with a
+//! golden JSON report, exercised both through the library API and through
+//! the built CLI binary (exit codes included).
+
+use std::path::Path;
+use std::process::Command;
+
+use skyweb_check::lints::{lint_files, Finding, LintOptions};
+use skyweb_check::{allow, explicit_files, json};
+
+/// The corpus, in report order (findings sort by file path first).
+const FIXTURES: &[&str] = &[
+    "tests/fixtures/l1_panics.rs",
+    "tests/fixtures/l2_casts.rs",
+    "tests/fixtures/l3_wire.rs",
+    "tests/fixtures/l4_error_enum.rs",
+    "tests/fixtures/l5_clocks.rs",
+];
+
+/// The expected report, regenerated with
+/// `cargo run -p skyweb-check -- lint --json --root crates/check <fixtures>`.
+const GOLDEN: &str = include_str!("fixtures/golden.json");
+
+fn fixture_findings() -> Vec<Finding> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let rels: Vec<String> = FIXTURES.iter().map(|s| s.to_string()).collect();
+    let inputs = explicit_files(root, &rels).expect("fixture corpus is readable");
+    lint_files(
+        &inputs,
+        &LintOptions {
+            expect_full_registry: false,
+        },
+    )
+}
+
+#[test]
+fn fixture_corpus_matches_golden_json() {
+    let matched = allow::apply_allowlist(fixture_findings(), &[]);
+    assert_eq!(
+        json::lint_report(&matched),
+        GOLDEN,
+        "fixture report drifted from tests/fixtures/golden.json — \
+         regenerate the golden if the change is intentional"
+    );
+}
+
+#[test]
+fn every_lint_fires_exactly_as_designed() {
+    let findings = fixture_findings();
+    let count = |lint: &str| findings.iter().filter(|f| f.lint == lint).count();
+    assert_eq!(
+        count("L1"),
+        3,
+        "unwrap + expect + panic!, test module masked"
+    );
+    assert_eq!(count("L2"), 2, "two bare casts, u64::from exempt");
+    assert_eq!(count("L3"), 3, "unregistered + wrong value + wrong file");
+    assert_eq!(count("L4"), 2, "OrphanError lacks Display and Error");
+    assert_eq!(count("L5"), 2, "Instant::now + SystemTime");
+    assert_eq!(findings.len(), 12);
+}
+
+fn run_cli(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_skyweb-check"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(args)
+        .output()
+        .expect("skyweb-check binary runs")
+}
+
+#[test]
+fn cli_fails_on_fixtures_with_exactly_the_golden_findings() {
+    let mut args = vec!["lint", "--json", "--root", env!("CARGO_MANIFEST_DIR")];
+    args.extend_from_slice(FIXTURES);
+    let out = run_cli(&args);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a dirty corpus must fail the lint"
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout), GOLDEN);
+}
+
+#[test]
+fn cli_passes_on_the_clean_fixture() {
+    let out = run_cli(&[
+        "lint",
+        "--root",
+        env!("CARGO_MANIFEST_DIR"),
+        "tests/fixtures/clean.rs",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "the negative control is clean");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("0 finding(s)"),
+        "unexpected findings: {stdout}"
+    );
+}

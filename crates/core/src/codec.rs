@@ -160,13 +160,48 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Little-endian `u64` from the first 8 bytes of `b`, zero-padded when
+/// shorter. Callers always slice exactly 8 bytes; the zero pad replaces
+/// the `try_into().expect(...)` panic path that lint L1 bans.
+fn le_u64(b: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    for (d, s) in buf.iter_mut().zip(b) {
+        *d = *s;
+    }
+    u64::from_le_bytes(buf)
+}
+
+/// Little-endian `i64` from the first 8 bytes of `b` (see [`le_u64`]).
+fn le_i64(b: &[u8]) -> i64 {
+    let mut buf = [0u8; 8];
+    for (d, s) in buf.iter_mut().zip(b) {
+        *d = *s;
+    }
+    i64::from_le_bytes(buf)
+}
+
+/// Little-endian `u32` from the first 4 bytes of `b` (see [`le_u64`]).
+fn le_u32(b: &[u8]) -> u32 {
+    let mut buf = [0u8; 4];
+    for (d, s) in buf.iter_mut().zip(b) {
+        *d = *s;
+    }
+    u32::from_le_bytes(buf)
+}
+
+/// Widens a `usize` to the wire's `u64` without an `as` cast (lint L2
+/// bans bare casts on wire paths); infallible on supported targets.
+pub(crate) fn u64_of(v: usize) -> u64 {
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
 /// Wraps `payload` in the magic/version/kind/length/checksum envelope.
 pub(crate) fn seal(kind: u8, payload: Vec<u8>) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     out.push(kind);
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&u64_of(payload.len()).to_le_bytes());
     let checksum = fnv1a64(&payload);
     out.extend_from_slice(&payload);
     out.extend_from_slice(&checksum.to_le_bytes());
@@ -195,7 +230,7 @@ pub(crate) fn open(bytes: &[u8], expected_kind: u8) -> Result<&[u8], CodecError>
             found: kind,
         });
     }
-    let len = u64::from_le_bytes(bytes[7..15].try_into().expect("8 header bytes"));
+    let len = le_u64(&bytes[7..15]);
     let Ok(len) = usize::try_from(len) else {
         return Err(CodecError::Truncated);
     };
@@ -212,7 +247,7 @@ pub(crate) fn open(bytes: &[u8], expected_kind: u8) -> Result<&[u8], CodecError>
         return Err(CodecError::TrailingBytes);
     }
     let payload = &bytes[HEADER_LEN..HEADER_LEN + len];
-    let stored = u64::from_le_bytes(bytes[total - CHECKSUM_LEN..].try_into().expect("8 bytes"));
+    let stored = le_u64(&bytes[total - CHECKSUM_LEN..]);
     if fnv1a64(payload) != stored {
         return Err(CodecError::ChecksumMismatch);
     }
@@ -246,21 +281,15 @@ impl<'a> Reader<'a> {
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(le_u32(self.take(4)?))
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(le_u64(self.take(8)?))
     }
 
     pub(crate) fn i64(&mut self) -> Result<i64, CodecError> {
-        Ok(i64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(le_i64(self.take(8)?))
     }
 
     pub(crate) fn usize(&mut self) -> Result<usize, CodecError> {
@@ -316,7 +345,7 @@ pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
 }
 
 pub(crate) fn put_usize(out: &mut Vec<u8>, v: usize) {
-    put_u64(out, v as u64);
+    put_u64(out, u64_of(v));
 }
 
 pub(crate) fn put_bool(out: &mut Vec<u8>, v: bool) {

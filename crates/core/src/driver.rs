@@ -501,7 +501,11 @@ impl<'db, M: DiscoveryMachine> DiscoveryDriver<'db, M> {
                     return Ok(StepOutcome::Finished);
                 }
                 Some(e) if e.is_transient() && self.config.retry.is_some() => {
-                    let policy = self.config.retry.expect("checked above");
+                    let Some(policy) = self.config.retry else {
+                        // Unreachable: the guard above checked is_some().
+                        self.machine.halt();
+                        return Ok(StepOutcome::Finished);
+                    };
                     attempt += 1;
                     let give_up = attempt >= policy.max_attempts
                         || policy.retry_budget.is_some_and(|b| self.retries >= b)

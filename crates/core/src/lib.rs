@@ -60,6 +60,7 @@
 
 pub mod analysis;
 mod baseline;
+#[deny(missing_docs)]
 pub mod codec;
 mod discovery;
 mod driver;

@@ -304,7 +304,7 @@ impl<'db> DiscoveryService<'db> {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("tenant chunk thread panicked"))
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                 .max()
                 .unwrap_or(0)
         });

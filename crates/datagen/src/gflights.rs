@@ -69,9 +69,7 @@ pub fn generate_instance(config: &GFlightsConfig) -> Dataset {
 
     let tuples: Vec<Tuple> = (0..config.itineraries as u64)
         .map(|id| {
-            let stops = *[0u32, 1, 1, 2, 2, 2]
-                .get(rng.gen_range(0..6))
-                .expect("static table");
+            let stops = *[0u32, 1, 1, 2, 2, 2].get(rng.gen_range(0..6)).unwrap_or(&2);
             // Departure spread through the day; rank 0 = latest.
             let slot = rng.gen_range(0..domains::DEPARTURE);
             let departure = domains::DEPARTURE - 1 - slot;

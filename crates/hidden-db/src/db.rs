@@ -7,6 +7,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use std::path::Path;
 
+use crate::conc::SeqReserver;
 use crate::index::{QueryIndex, Scratch};
 use crate::segment::{
     BlockSource, FileSource, SegmentError, SegmentOpenOptions, SegmentReader, SegmentWriter,
@@ -14,6 +15,7 @@ use crate::segment::{
 };
 use crate::stats::{AccessLog, AccessLogEntry, QueryStats, ShardedAccessLog};
 use crate::store::TupleStore;
+use crate::sync::StdSync;
 use crate::{
     AttrId, AttributeRole, CmpOp, ExecStrategy, InterfaceType, Query, Ranker, Schema, SumRanker,
     Tuple, Value,
@@ -218,7 +220,9 @@ pub struct HiddenDb {
     ranker: Box<dyn Ranker>,
     k: usize,
     rate_limit: Option<RateLimit>,
-    queries: AtomicU64,
+    /// Sequence numbering + rate-limit reservation — the [`SeqReserver`]
+    /// core the `skyweb-check` interleaving explorer model-checks.
+    queries: SeqReserver<StdSync>,
     overflows: AtomicU64,
     empty_answers: AtomicU64,
     tuples_returned: AtomicU64,
@@ -285,7 +289,7 @@ impl HiddenDb {
             ranker,
             k,
             rate_limit: None,
-            queries: AtomicU64::new(0),
+            queries: SeqReserver::new(false),
             overflows: AtomicU64::new(0),
             empty_answers: AtomicU64::new(0),
             tuples_returned: AtomicU64::new(0),
@@ -383,7 +387,7 @@ impl HiddenDb {
             ranker,
             k: reader.k(),
             rate_limit: None,
-            queries: AtomicU64::new(0),
+            queries: SeqReserver::new(false),
             overflows: AtomicU64::new(0),
             empty_answers: AtomicU64::new(0),
             tuples_returned: AtomicU64::new(0),
@@ -504,13 +508,13 @@ impl HiddenDb {
 
     /// Number of queries answered so far.
     pub fn queries_issued(&self) -> u64 {
-        self.queries.load(Ordering::Relaxed)
+        self.queries.issued()
     }
 
     /// Full query accounting.
     pub fn stats(&self) -> QueryStats {
         QueryStats {
-            queries: self.queries.load(Ordering::Relaxed),
+            queries: self.queries.issued(),
             overflows: self.overflows.load(Ordering::Relaxed),
             empty_answers: self.empty_answers.load(Ordering::Relaxed),
             tuples_returned: self.tuples_returned.load(Ordering::Relaxed),
@@ -519,7 +523,7 @@ impl HiddenDb {
 
     /// Resets all query counters (and clears the access log if enabled).
     pub fn reset_stats(&self) {
-        self.queries.store(0, Ordering::Relaxed);
+        self.queries.reset();
         self.overflows.store(0, Ordering::Relaxed);
         self.empty_answers.store(0, Ordering::Relaxed);
         self.tuples_returned.store(0, Ordering::Relaxed);
@@ -578,11 +582,14 @@ impl HiddenDb {
         let mut scratch = self
             .scratch_pool
             .lock()
-            .expect("scratch pool poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pop()
             .unwrap_or_default();
         let out = self.query_with_scratch(query, &mut scratch);
-        let mut pool = self.scratch_pool.lock().expect("scratch pool poisoned");
+        let mut pool = self
+            .scratch_pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if pool.len() < SCRATCH_POOL_CAP {
             pool.push(scratch);
         }
@@ -622,20 +629,9 @@ impl HiddenDb {
         // Capture the value returned by `fetch_add` for the log sequence
         // number: re-reading the counter after the increment would let
         // concurrent clients log duplicate or skipped sequence numbers.
-        if let Some(limit) = self.rate_limit {
-            // Reserve a slot atomically so concurrent clients cannot exceed
-            // the limit.
-            let prev = self.queries.fetch_add(1, Ordering::Relaxed);
-            if prev >= limit.max_queries {
-                self.queries.fetch_sub(1, Ordering::Relaxed);
-                return Err(QueryError::RateLimitExceeded {
-                    limit: limit.max_queries,
-                });
-            }
-            Ok(prev + 1)
-        } else {
-            Ok(self.queries.fetch_add(1, Ordering::Relaxed) + 1)
-        }
+        self.queries
+            .reserve(self.rate_limit.map(|limit| limit.max_queries))
+            .map_err(|limit| QueryError::RateLimitExceeded { limit })
     }
 
     /// `true` while the access log is recording (the flag that also pins
@@ -733,15 +729,17 @@ impl HiddenDb {
         if log_enabled {
             // The engine only omits the matching count on early-terminated
             // rank scans, a plan it never picks while the log is recording
-            // (`need_matched` in the executors is this same flag).
-            let matched = matched.expect("execution must count matches when the log is on");
-            self.access_log.push(AccessLogEntry {
-                seq,
-                query: query.to_string(),
-                matched,
-                returned: tuples.len(),
-                overflowed,
-            });
+            // (`need_matched` in the executors is this same flag), so
+            // `matched` is always present here.
+            if let Some(matched) = matched {
+                self.access_log.push(AccessLogEntry {
+                    seq,
+                    query: query.to_string(),
+                    matched,
+                    returned: tuples.len(),
+                    overflowed,
+                });
+            }
         }
 
         QueryResponse { tuples, overflowed }

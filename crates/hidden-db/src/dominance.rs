@@ -160,8 +160,9 @@ impl IncrementalSkyline {
         let bi = self
             .blocks
             .partition_point(|b| {
-                let last = b.last().expect("blocks are non-empty");
-                (last.key, last.tuple.id) < probe
+                // Blocks are never empty; an empty one sorts first.
+                b.last()
+                    .is_some_and(|last| (last.key, last.tuple.id) < probe)
             })
             .min(self.blocks.len().saturating_sub(1));
         let pos = match self.blocks.get(bi) {

@@ -1233,7 +1233,9 @@ pub(crate) fn execute_plan(
                                 Err(e) => return Some(QueryError::Storage { error: e }),
                             }
                         }
-                        let ctx = shared.as_ref().expect("shared context just prepared");
+                        // Just prepared above; the unshared fallback is
+                        // correct (it executes each query individually).
+                        let ctx = &*shared.get_or_insert(SharedGroup::PerQuery);
                         match ctx {
                             SharedGroup::PerQuery => {
                                 match db.exec_validated(q, log_enabled, scratch) {

@@ -84,6 +84,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conc;
 mod db;
 mod dominance;
 mod fault;
@@ -91,10 +92,12 @@ mod index;
 mod predicate;
 mod ranking;
 mod schema;
+#[deny(missing_docs)]
 mod segment;
 mod session;
 mod stats;
 mod store;
+pub mod sync;
 mod tuple;
 
 pub use db::{HiddenDb, QueryError, QueryResponse, RateLimit};

@@ -540,7 +540,10 @@ impl Ranker for RandomSkylineRanker {
     ) -> Vec<&'a Tuple> {
         let attrs = schema.ranking_attrs();
         let mut cands = peel_cands_from_refs(matching, attrs);
-        let mut rng = self.rng.lock().expect("ranker rng poisoned");
+        let mut rng = self
+            .rng
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let picks = peel_top_k(&mut cands, k, attrs, |len| rng.gen_range(0..len));
         picks.into_iter().map(|pos| cands[pos].t).collect()
     }
@@ -557,7 +560,10 @@ impl Ranker for RandomSkylineRanker {
         schema: &Schema,
         dom: Option<&DominanceIndex>,
     ) -> Vec<u32> {
-        let mut rng = self.rng.lock().expect("ranker rng poisoned");
+        let mut rng = self
+            .rng
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         peel_select_indices(store, indices, k, schema.ranking_attrs(), dom, |len| {
             rng.gen_range(0..len)
         })

@@ -42,10 +42,113 @@ use std::fmt;
 use std::fs::File;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
+use crate::conc::ClockCacheCore;
 use crate::index::BLOCK;
+use crate::sync::StdSync;
 use crate::{AttributeRole, AttributeSpec, HiddenDb, InterfaceType, Schema, Tuple, TupleId, Value};
+
+/// Audited numeric conversions for the wire paths.
+///
+/// `skyweb-check lint` (L2) bans bare `as` integer casts in this file:
+/// a lossy cast on an encode or decode path is a data-corruption bug, not
+/// a style nit. Every conversion funnels through these helpers instead.
+/// Each helper is byte-identical to the truncating `as` cast it replaces
+/// — it zero-extends the source to `u128`, masks to the target width and
+/// converts with `try_from`, so the truncation points are all in one
+/// reviewable place and no `as` appears on the wire paths. The `usize`
+/// helpers assume the 64-bit targets this crate supports.
+mod cast {
+    /// Unsigned sources accepted by the audited casts.
+    pub(super) trait Word: Copy {
+        /// Zero-extends to `u128`.
+        fn wide(self) -> u128;
+    }
+    impl Word for u8 {
+        #[inline]
+        fn wide(self) -> u128 {
+            u128::from(self)
+        }
+    }
+    impl Word for u16 {
+        #[inline]
+        fn wide(self) -> u128 {
+            u128::from(self)
+        }
+    }
+    impl Word for u32 {
+        #[inline]
+        fn wide(self) -> u128 {
+            u128::from(self)
+        }
+    }
+    impl Word for u64 {
+        #[inline]
+        fn wide(self) -> u128 {
+            u128::from(self)
+        }
+    }
+    impl Word for u128 {
+        #[inline]
+        fn wide(self) -> u128 {
+            self
+        }
+    }
+    impl Word for usize {
+        #[inline]
+        fn wide(self) -> u128 {
+            // Infallible: usize is at most 64 bits on supported targets.
+            u128::try_from(self).unwrap_or(u128::MAX)
+        }
+    }
+
+    /// Truncates to the low 8 bits, exactly like `v as u8`.
+    #[inline]
+    pub(super) fn to_u8<W: Word>(v: W) -> u8 {
+        u8::try_from(v.wide() & u128::from(u8::MAX)).unwrap_or(u8::MAX)
+    }
+
+    /// Truncates to the low 32 bits, exactly like `v as u32`.
+    #[inline]
+    pub(super) fn to_u32<W: Word>(v: W) -> u32 {
+        u32::try_from(v.wide() & u128::from(u32::MAX)).unwrap_or(u32::MAX)
+    }
+
+    /// Truncates to the low 64 bits, exactly like `v as u64`.
+    #[inline]
+    pub(super) fn to_u64<W: Word>(v: W) -> u64 {
+        u64::try_from(v.wide() & u128::from(u64::MAX)).unwrap_or(u64::MAX)
+    }
+
+    /// Truncates to the low 64 bits and converts to `usize`, exactly like
+    /// `v as usize` on the 64-bit targets this crate supports.
+    #[inline]
+    pub(super) fn to_usize<W: Word>(v: W) -> usize {
+        usize::try_from(v.wide() & u128::from(u64::MAX)).unwrap_or(usize::MAX)
+    }
+}
+
+/// Little-endian `u64` from the first 8 bytes of `b`, zero-padded when
+/// shorter. Callers always slice exactly 8 bytes; the zero pad replaces
+/// the `try_into().expect(...)` panic path that lint L1 bans.
+fn le_u64(b: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    for (d, s) in buf.iter_mut().zip(b) {
+        *d = *s;
+    }
+    u64::from_le_bytes(buf)
+}
+
+/// Little-endian `u32` from the first 4 bytes of `b`, zero-padded when
+/// shorter (see [`le_u64`]).
+fn le_u32(b: &[u8]) -> u32 {
+    let mut buf = [0u8; 4];
+    for (d, s) in buf.iter_mut().zip(b) {
+        *d = *s;
+    }
+    u32::from_le_bytes(buf)
+}
 
 /// Magic bytes every segment section starts with (`b"SWSG"`).
 pub const SEGMENT_MAGIC: [u8; 4] = *b"SWSG";
@@ -263,10 +366,10 @@ pub trait BlockSource: Send + Sync {
         let mut i = 0;
         while i < requests.len() {
             let run_start = requests[i].0;
-            let mut end = run_start.saturating_add(requests[i].1.len() as u64);
+            let mut end = run_start.saturating_add(cast::to_u64(requests[i].1.len()));
             let mut j = i + 1;
             while j < requests.len() && requests[j].0 == end {
-                end = end.saturating_add(requests[j].1.len() as u64);
+                end = end.saturating_add(cast::to_u64(requests[j].1.len()));
                 j += 1;
             }
             if j == i + 1 {
@@ -325,7 +428,10 @@ impl BlockSource for FileSource {
     #[cfg(not(unix))]
     fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), SegmentError> {
         use std::io::{Read, Seek, SeekFrom};
-        let mut file = self.file.lock().expect("file source poisoned");
+        let mut file = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         file.seek(SeekFrom::Start(offset))?;
         file.read_exact(buf)?;
         Ok(())
@@ -350,7 +456,7 @@ impl MemSource {
 
 impl BlockSource for MemSource {
     fn len(&self) -> u64 {
-        self.bytes.len() as u64
+        cast::to_u64(self.bytes.len())
     }
 
     fn read_exact_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), SegmentError> {
@@ -377,7 +483,7 @@ fn seal(version: u16, kind: u8, payload: &[u8], out: &mut Vec<u8>) {
     out.extend_from_slice(&SEGMENT_MAGIC);
     out.extend_from_slice(&version.to_le_bytes());
     out.push(kind);
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(cast::to_u64(payload.len())).to_le_bytes());
     out.extend_from_slice(payload);
     out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
 }
@@ -406,7 +512,7 @@ fn open_envelope(bytes: &[u8], expected_kind: u8) -> Result<(u16, &[u8]), Segmen
             found: kind,
         });
     }
-    let len = u64::from_le_bytes(bytes[7..15].try_into().expect("8 header bytes"));
+    let len = le_u64(&bytes[7..15]);
     let Ok(len) = usize::try_from(len) else {
         return Err(SegmentError::Truncated);
     };
@@ -423,7 +529,7 @@ fn open_envelope(bytes: &[u8], expected_kind: u8) -> Result<(u16, &[u8]), Segmen
         return Err(SegmentError::TrailingBytes);
     }
     let payload = &bytes[HEADER_LEN..HEADER_LEN + len];
-    let stored = u64::from_le_bytes(bytes[total - CHECKSUM_LEN..].try_into().expect("8 bytes"));
+    let stored = le_u64(&bytes[total - CHECKSUM_LEN..]);
     if fnv1a64(payload) != stored {
         return Err(SegmentError::ChecksumMismatch);
     }
@@ -457,15 +563,11 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, SegmentError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(le_u32(self.take(4)?))
     }
 
     fn u64(&mut self) -> Result<u64, SegmentError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(le_u64(self.take(8)?))
     }
 
     fn usize(&mut self) -> Result<usize, SegmentError> {
@@ -488,7 +590,7 @@ impl<'a> Cursor<'a> {
 }
 
 fn write_string(s: &str, out: &mut Vec<u8>) {
-    out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(cast::to_u64(s.len())).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
 }
 
@@ -504,9 +606,9 @@ fn pack_u64s(values: &[u64], out: &mut Vec<u8>) {
     } else {
         64 - spread.leading_zeros()
     };
-    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(cast::to_u32(values.len())).to_le_bytes());
     out.extend_from_slice(&min.to_le_bytes());
-    out.push(width as u8);
+    out.push(cast::to_u8(width));
     if width == 0 {
         return;
     }
@@ -516,13 +618,13 @@ fn pack_u64s(values: &[u64], out: &mut Vec<u8>) {
         acc |= u128::from(v - min) << used;
         used += width;
         while used >= 64 {
-            out.extend_from_slice(&((acc & u128::from(u64::MAX)) as u64).to_le_bytes());
+            out.extend_from_slice(&(cast::to_u64(acc & u128::from(u64::MAX))).to_le_bytes());
             acc >>= 64;
             used -= 64;
         }
     }
     if used > 0 {
-        out.extend_from_slice(&((acc & u128::from(u64::MAX)) as u64).to_le_bytes());
+        out.extend_from_slice(&(cast::to_u64(acc & u128::from(u64::MAX))).to_le_bytes());
     }
 }
 
@@ -534,9 +636,9 @@ fn pack_u32s(values: &[u32], out: &mut Vec<u8>) {
     } else {
         32 - spread.leading_zeros()
     };
-    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(cast::to_u32(values.len())).to_le_bytes());
     out.extend_from_slice(&min.to_le_bytes());
-    out.push(width as u8);
+    out.push(cast::to_u8(width));
     if width == 0 {
         return;
     }
@@ -546,18 +648,18 @@ fn pack_u32s(values: &[u32], out: &mut Vec<u8>) {
         acc |= u128::from(v - min) << used;
         used += width;
         while used >= 64 {
-            out.extend_from_slice(&((acc & u128::from(u64::MAX)) as u64).to_le_bytes());
+            out.extend_from_slice(&(cast::to_u64(acc & u128::from(u64::MAX))).to_le_bytes());
             acc >>= 64;
             used -= 64;
         }
     }
     if used > 0 {
-        out.extend_from_slice(&((acc & u128::from(u64::MAX)) as u64).to_le_bytes());
+        out.extend_from_slice(&(cast::to_u64(acc & u128::from(u64::MAX))).to_le_bytes());
     }
 }
 
 fn unpack_u64s(cur: &mut Cursor<'_>) -> Result<Vec<u64>, SegmentError> {
-    let count = cur.u32()? as usize;
+    let count = cast::to_usize(cur.u32()?);
     let min = cur.u64()?;
     let width = u32::from(cur.u8()?);
     if width > 64 {
@@ -566,7 +668,7 @@ fn unpack_u64s(cur: &mut Cursor<'_>) -> Result<Vec<u64>, SegmentError> {
     if width == 0 {
         return Ok(vec![min; count]);
     }
-    let words = (count as u64 * u64::from(width)).div_ceil(64) as usize;
+    let words = cast::to_usize((cast::to_u64(count) * u64::from(width)).div_ceil(64));
     let bytes = cur.take(words * 8)?;
     let mask: u128 = (1u128 << width) - 1;
     let mut out = Vec::with_capacity(count);
@@ -575,12 +677,12 @@ fn unpack_u64s(cur: &mut Cursor<'_>) -> Result<Vec<u64>, SegmentError> {
     let mut word = 0usize;
     for _ in 0..count {
         while used < width {
-            let w = u64::from_le_bytes(bytes[word * 8..word * 8 + 8].try_into().expect("8 bytes"));
+            let w = le_u64(&bytes[word * 8..word * 8 + 8]);
             acc |= u128::from(w) << used;
             word += 1;
             used += 64;
         }
-        let delta = (acc & mask) as u64;
+        let delta = cast::to_u64(acc & mask);
         acc >>= width;
         used -= width;
         let v = min
@@ -592,7 +694,7 @@ fn unpack_u64s(cur: &mut Cursor<'_>) -> Result<Vec<u64>, SegmentError> {
 }
 
 fn unpack_u32s(cur: &mut Cursor<'_>) -> Result<Vec<u32>, SegmentError> {
-    let count = cur.u32()? as usize;
+    let count = cast::to_usize(cur.u32()?);
     let min = cur.u32()?;
     let width = u32::from(cur.u8()?);
     if width > 32 {
@@ -601,7 +703,7 @@ fn unpack_u32s(cur: &mut Cursor<'_>) -> Result<Vec<u32>, SegmentError> {
     if width == 0 {
         return Ok(vec![min; count]);
     }
-    let words = (count as u64 * u64::from(width)).div_ceil(64) as usize;
+    let words = cast::to_usize((cast::to_u64(count) * u64::from(width)).div_ceil(64));
     let bytes = cur.take(words * 8)?;
     let mask: u128 = (1u128 << width) - 1;
     let mut out = Vec::with_capacity(count);
@@ -610,19 +712,19 @@ fn unpack_u32s(cur: &mut Cursor<'_>) -> Result<Vec<u32>, SegmentError> {
     let mut word = 0usize;
     for _ in 0..count {
         while used < width {
-            let w = u64::from_le_bytes(bytes[word * 8..word * 8 + 8].try_into().expect("8 bytes"));
+            let w = le_u64(&bytes[word * 8..word * 8 + 8]);
             acc |= u128::from(w) << used;
             word += 1;
             used += 64;
         }
-        let delta = (acc & mask) as u64;
+        let delta = cast::to_u64(acc & mask);
         acc >>= width;
         used -= width;
         let v = u64::from(min)
             .checked_add(delta)
             .filter(|&v| v <= u64::from(u32::MAX))
             .ok_or_else(|| malformed("packed value overflows u32"))?;
-        out.push(v as u32);
+        out.push(cast::to_u32(v));
     }
     Ok(out)
 }
@@ -658,7 +760,7 @@ fn encode_u32_chunk_v2(values: &[u32], out: &mut Vec<u8>) {
     dict.dedup();
     let codes: Vec<u32> = values
         .iter()
-        .map(|v| dict.partition_point(|d| d < v) as u32)
+        .map(|v| cast::to_u32(dict.partition_point(|d| d < v)))
         .collect();
     let mut body_dict = Vec::new();
     pack_u32s(&dict, &mut body_dict);
@@ -668,7 +770,9 @@ fn encode_u32_chunk_v2(values: &[u32], out: &mut Vec<u8>) {
     let mut run_lens: Vec<u32> = Vec::new();
     for &v in values {
         if run_values.last() == Some(&v) {
-            *run_lens.last_mut().expect("non-empty runs") += 1;
+            if let Some(last) = run_lens.last_mut() {
+                *last += 1;
+            }
         } else {
             run_values.push(v);
             run_lens.push(1);
@@ -685,7 +789,7 @@ fn encode_u32_chunk_v2(values: &[u32], out: &mut Vec<u8>) {
     ]
     .into_iter()
     .min_by_key(|(tag, body)| (body.len(), *tag))
-    .expect("three candidate codecs");
+    .unwrap_or((CODEC_FOR, Vec::new()));
     out.push(tag);
     out.extend_from_slice(&min.to_le_bytes());
     out.extend_from_slice(&max.to_le_bytes());
@@ -721,7 +825,7 @@ fn decode_u32_payload(
             let codes = unpack_u32s(&mut cur)?;
             let mut vals = Vec::with_capacity(codes.len());
             for &code in &codes {
-                let Some(&v) = dict.get(code as usize) else {
+                let Some(&v) = dict.get(cast::to_usize(code)) else {
                     return Err(malformed("dictionary code out of range"));
                 };
                 vals.push(v);
@@ -739,10 +843,10 @@ fn decode_u32_payload(
             }
             let mut vals = Vec::with_capacity(expected_len);
             for (&v, &l) in run_values.iter().zip(&run_lens) {
-                if vals.len() + l as usize > expected_len {
+                if vals.len() + cast::to_usize(l) > expected_len {
                     return Err(malformed("RLE runs overflow the chunk length"));
                 }
-                vals.extend(std::iter::repeat_n(v, l as usize));
+                vals.extend(std::iter::repeat_n(v, cast::to_usize(l)));
             }
             vals
         }
@@ -789,7 +893,7 @@ fn eval_for_body(
     expected_len: usize,
     words: &mut [u64],
 ) -> Result<(), SegmentError> {
-    let count = cur.u32()? as usize;
+    let count = cast::to_usize(cur.u32()?);
     let min = cur.u32()?;
     let width = u32::from(cur.u8()?);
     if width > 32 {
@@ -804,7 +908,7 @@ fn eval_for_body(
         }
         return Ok(());
     }
-    let nwords = (count as u64 * u64::from(width)).div_ceil(64) as usize;
+    let nwords = cast::to_usize((cast::to_u64(count) * u64::from(width)).div_ceil(64));
     let bytes = cur.take(nwords * 8)?;
     // Conservative whole-block prune from the frame of reference alone
     // (exact for v1 blocks, which carry no min/max header).
@@ -822,12 +926,12 @@ fn eval_for_body(
     let mut m: u64 = 0;
     for i in 0..count {
         while used < width {
-            let w = u64::from_le_bytes(bytes[word * 8..word * 8 + 8].try_into().expect("8 bytes"));
+            let w = le_u64(&bytes[word * 8..word * 8 + 8]);
             acc |= u128::from(w) << used;
             word += 1;
             used += 64;
         }
-        let d = (acc & mask) as u64;
+        let d = cast::to_u64(acc & mask);
         acc >>= width;
         used -= width;
         m |= u64::from(d >= dlo && d <= dhi) << (i % 64);
@@ -861,7 +965,7 @@ fn eval_dict_body(
     // An empty code range still streams the codes (validating their shape)
     // under bounds no code can satisfy.
     let (lo_code, hi_code) = if clo < chi {
-        (clo as u32, (chi - 1) as u32)
+        (cast::to_u32(clo), cast::to_u32(chi - 1))
     } else {
         (1, 0)
     };
@@ -886,7 +990,7 @@ fn eval_rle_body(
     let mut pos = 0usize;
     for (&v, &l) in run_values.iter().zip(&run_lens) {
         let end = pos
-            .checked_add(l as usize)
+            .checked_add(cast::to_usize(l))
             .filter(|&e| e <= expected_len)
             .ok_or_else(|| malformed("RLE runs overflow the chunk length"))?;
         if v < lo || v > hi {
@@ -1081,14 +1185,14 @@ impl SegmentWriter {
                     attr: u32,
                     chunk: u32,
                     payload: &[u8]| {
-            let offset = file.len() as u64;
+            let offset = cast::to_u64(file.len());
             seal(version, kind, payload, file);
             dir.push(DirEntry {
                 kind,
                 attr,
                 chunk,
                 offset,
-                len: (file.len() as u64) - offset,
+                len: (cast::to_u64(file.len())) - offset,
             });
         };
 
@@ -1104,8 +1208,8 @@ impl SegmentWriter {
                     &mut file,
                     &mut dir,
                     KIND_STORE_COL,
-                    attr as u32,
-                    c as u32,
+                    cast::to_u32(attr),
+                    cast::to_u32(c),
                     &payload,
                 );
             }
@@ -1117,13 +1221,20 @@ impl SegmentWriter {
             ids.extend(slice[chunk_range(c)].iter().map(|t| t.id));
             payload.clear();
             pack_u64s(&ids, &mut payload);
-            push(&mut file, &mut dir, KIND_IDS, 0, c as u32, &payload);
+            push(&mut file, &mut dir, KIND_IDS, 0, cast::to_u32(c), &payload);
         }
         // Posting prefix counts (eager) and posting orders (lazy chunks).
         for attr in 0..m {
             payload.clear();
             pack_u32s(ram.posting_starts(attr), &mut payload);
-            push(&mut file, &mut dir, KIND_STARTS, attr as u32, 0, &payload);
+            push(
+                &mut file,
+                &mut dir,
+                KIND_STARTS,
+                cast::to_u32(attr),
+                0,
+                &payload,
+            );
         }
         for attr in 0..m {
             let order = ram.posting_order(attr);
@@ -1134,8 +1245,8 @@ impl SegmentWriter {
                     &mut file,
                     &mut dir,
                     KIND_ORDER,
-                    attr as u32,
-                    c as u32,
+                    cast::to_u32(attr),
+                    cast::to_u32(c),
                     &payload,
                 );
             }
@@ -1146,12 +1257,19 @@ impl SegmentWriter {
             for c in 0..chunks {
                 payload.clear();
                 self.encode_u32_chunk(&perm[chunk_range(c)], &mut payload);
-                push(&mut file, &mut dir, KIND_PERM, 0, c as u32, &payload);
+                push(&mut file, &mut dir, KIND_PERM, 0, cast::to_u32(c), &payload);
             }
             for c in 0..chunks {
                 payload.clear();
                 self.encode_u32_chunk(&ram.rank_of()[chunk_range(c)], &mut payload);
-                push(&mut file, &mut dir, KIND_RANK_OF, 0, c as u32, &payload);
+                push(
+                    &mut file,
+                    &mut dir,
+                    KIND_RANK_OF,
+                    0,
+                    cast::to_u32(c),
+                    &payload,
+                );
             }
             for attr in 0..m {
                 let col = ram.rank_col(attr);
@@ -1162,8 +1280,8 @@ impl SegmentWriter {
                         &mut file,
                         &mut dir,
                         KIND_RANK_COL,
-                        attr as u32,
-                        c as u32,
+                        cast::to_u32(attr),
+                        cast::to_u32(c),
                         &payload,
                     );
                 }
@@ -1178,20 +1296,20 @@ impl SegmentWriter {
 
         // Footer: meta + directory, itself an enveloped section.
         payload.clear();
-        payload.extend_from_slice(&(n as u64).to_le_bytes());
-        payload.extend_from_slice(&(db.k() as u64).to_le_bytes());
-        payload.extend_from_slice(&(self.chunk as u32).to_le_bytes());
-        payload.extend_from_slice(&(BLOCK as u32).to_le_bytes());
+        payload.extend_from_slice(&(cast::to_u64(n)).to_le_bytes());
+        payload.extend_from_slice(&(cast::to_u64(db.k())).to_le_bytes());
+        payload.extend_from_slice(&(cast::to_u32(self.chunk)).to_le_bytes());
+        payload.extend_from_slice(&(cast::to_u32(BLOCK)).to_le_bytes());
         payload.push(u8::from(has_perm));
         write_string(db.ranker_name(), &mut payload);
-        payload.extend_from_slice(&(m as u64).to_le_bytes());
+        payload.extend_from_slice(&(cast::to_u64(m)).to_le_bytes());
         for spec in schema.attrs() {
             write_string(&spec.name, &mut payload);
             payload.extend_from_slice(&spec.domain_size.to_le_bytes());
             payload.push(interface_tag(spec.interface));
             payload.push(role_tag(spec.role));
         }
-        payload.extend_from_slice(&(dir.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&(cast::to_u64(dir.len())).to_le_bytes());
         for e in &dir {
             payload.push(e.kind);
             payload.extend_from_slice(&e.attr.to_le_bytes());
@@ -1199,9 +1317,9 @@ impl SegmentWriter {
             payload.extend_from_slice(&e.offset.to_le_bytes());
             payload.extend_from_slice(&e.len.to_le_bytes());
         }
-        let footer_off = file.len() as u64;
+        let footer_off = cast::to_u64(file.len());
         seal(version, KIND_FOOTER, &payload, &mut file);
-        let footer_len = file.len() as u64 - footer_off;
+        let footer_len = cast::to_u64(file.len()) - footer_off;
 
         // Fixed trailer: how a reader finds the footer from the end.
         let mut trailer = [0u8; TRAILER_LEN];
@@ -1223,7 +1341,7 @@ impl SegmentWriter {
     ) -> Result<u64, SegmentError> {
         let bytes = self.write(db)?;
         std::fs::write(path, &bytes)?;
-        Ok(bytes.len() as u64)
+        Ok(cast::to_u64(bytes.len()))
     }
 }
 
@@ -1400,8 +1518,8 @@ impl StickyTables {
     }
 
     fn slot(&self, key: ChunkKey) -> Option<&OnceLock<CachedChunk>> {
-        let c = key.chunk as usize;
-        let flat = key.attr as usize * self.chunks + c;
+        let c = cast::to_usize(key.chunk);
+        let flat = cast::to_usize(key.attr) * self.chunks + c;
         match key.kind {
             KIND_PERM => self.perm.get(c),
             KIND_RANK_OF => self.rank_of.get(c),
@@ -1415,46 +1533,32 @@ impl StickyTables {
     }
 }
 
-/// One resident entry of the bounded cache.
-struct Slot {
-    key: ChunkKey,
-    data: CachedChunk,
-    cost: u64,
-    referenced: bool,
-}
-
-/// One shard of the bounded cache: clock (second-chance) eviction over a
-/// flat slot array.
-#[derive(Default)]
-struct Shard {
-    slots: Vec<Slot>,
-    index: HashMap<ChunkKey, usize>,
-    hand: usize,
-    bytes: u64,
-}
-
 enum CacheBacking {
     Sticky(StickyTables),
-    Bounded(Vec<Mutex<Shard>>),
+    Bounded(ClockCacheCore<StdSync, ChunkKey, CachedChunk>),
 }
 
 /// The decoded-chunk cache behind a [`SegmentReader`]: sticky `OnceLock`
 /// tables when unbounded (the historical behavior), a sharded clock cache
 /// under a byte budget. Hit/miss/eviction counters feed [`StorageStats`].
+///
+/// The bounded backing is a [`ClockCacheCore`] instantiated with the
+/// production [`StdSync`] facade — the same core the `skyweb-check`
+/// interleaving explorer model-checks exhaustively. It maintains its own
+/// counters; the atomics below serve the sticky backing only (which never
+/// evicts).
 struct ChunkCache {
     backing: CacheBacking,
-    budget: Option<u64>,
     hits: AtomicU64,
     misses: AtomicU64,
-    evictions: AtomicU64,
     resident: AtomicU64,
 }
 
 fn shard_of(key: ChunkKey) -> usize {
-    let h = (key.chunk as usize)
+    let h = (cast::to_usize(key.chunk))
         .wrapping_mul(0x9E37_79B9)
-        .wrapping_add((key.attr as usize).wrapping_mul(31))
-        .wrapping_add(key.kind as usize);
+        .wrapping_add((cast::to_usize(key.attr)).wrapping_mul(31))
+        .wrapping_add(cast::to_usize(key.kind));
     h % CACHE_SHARDS
 }
 
@@ -1462,55 +1566,50 @@ impl ChunkCache {
     fn new(m: usize, chunks: usize, has_perm: bool, budget: Option<u64>) -> Self {
         let backing = match budget {
             None => CacheBacking::Sticky(StickyTables::new(m, chunks, has_perm)),
-            Some(_) => CacheBacking::Bounded((0..CACHE_SHARDS).map(|_| Mutex::default()).collect()),
+            Some(b) => CacheBacking::Bounded(ClockCacheCore::new(CACHE_SHARDS, b, false)),
         };
         ChunkCache {
             backing,
-            budget,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
             resident: AtomicU64::new(0),
         }
     }
 
     /// Looks `key` up, counting a hit or a miss.
     fn get(&self, key: ChunkKey) -> Option<CachedChunk> {
-        let found = match &self.backing {
-            CacheBacking::Sticky(t) => t.slot(key).and_then(|cell| cell.get().cloned()),
-            CacheBacking::Bounded(shards) => {
-                let mut shard = shards[shard_of(key)].lock().expect("cache shard poisoned");
-                shard.index.get(&key).copied().map(|i| {
-                    shard.slots[i].referenced = true;
-                    shard.slots[i].data.clone()
-                })
+        match &self.backing {
+            CacheBacking::Sticky(t) => {
+                let found = t.slot(key).and_then(|cell| cell.get().cloned());
+                let counter = if found.is_some() {
+                    &self.hits
+                } else {
+                    &self.misses
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                found
             }
-        };
-        let counter = if found.is_some() {
-            &self.hits
-        } else {
-            &self.misses
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
-        found
+            CacheBacking::Bounded(core) => core.get(shard_of(key), key),
+        }
     }
 
     /// `true` if `key` is resident. No counters move — the prefetch peek.
     fn contains(&self, key: ChunkKey) -> bool {
         match &self.backing {
             CacheBacking::Sticky(t) => t.slot(key).is_some_and(|cell| cell.get().is_some()),
-            CacheBacking::Bounded(shards) => shards[shard_of(key)]
-                .lock()
-                .expect("cache shard poisoned")
-                .index
-                .contains_key(&key),
+            CacheBacking::Bounded(core) => core.contains(shard_of(key), key),
         }
     }
 
     /// Counts a miss without a lookup — for chunks decoded via a batched
     /// prefetch rather than [`ChunkCache::get`].
     fn note_miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        match &self.backing {
+            CacheBacking::Sticky(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            CacheBacking::Bounded(core) => core.note_miss(),
+        }
     }
 
     /// Inserts `data` under `key`, evicting as needed, and returns the
@@ -1523,50 +1622,47 @@ impl ChunkCache {
                         self.resident.fetch_add(cost, Ordering::Relaxed);
                         data
                     } else {
-                        cell.get().cloned().expect("cell observed full")
+                        // Lost the publication race: `set` only fails once
+                        // the cell is initialized, so the winner's copy is
+                        // there to serve (fall back to ours otherwise).
+                        cell.get().cloned().unwrap_or(data)
                     }
                 }
                 None => data,
             },
-            CacheBacking::Bounded(shards) => {
-                let shard_budget = self.budget.unwrap_or(u64::MAX) / CACHE_SHARDS as u64;
-                if cost > shard_budget {
-                    // Too large to ever stay resident: serve uncached.
-                    return data;
-                }
-                let mut shard = shards[shard_of(key)].lock().expect("cache shard poisoned");
-                if let Some(&i) = shard.index.get(&key) {
-                    return shard.slots[i].data.clone();
-                }
-                while shard.bytes + cost > shard_budget && !shard.slots.is_empty() {
-                    let i = shard.hand % shard.slots.len();
-                    if shard.slots[i].referenced {
-                        shard.slots[i].referenced = false;
-                        shard.hand = i + 1;
-                    } else {
-                        let victim = shard.slots.swap_remove(i);
-                        shard.index.remove(&victim.key);
-                        shard.bytes -= victim.cost;
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
-                        self.resident.fetch_sub(victim.cost, Ordering::Relaxed);
-                        if i < shard.slots.len() {
-                            let moved = shard.slots[i].key;
-                            shard.index.insert(moved, i);
-                        }
-                    }
-                }
-                let i = shard.slots.len();
-                shard.index.insert(key, i);
-                shard.slots.push(Slot {
-                    key,
-                    data: data.clone(),
-                    cost,
-                    referenced: true,
-                });
-                shard.bytes += cost;
-                self.resident.fetch_add(cost, Ordering::Relaxed);
-                data
-            }
+            CacheBacking::Bounded(core) => core.insert(shard_of(key), key, data, cost),
+        }
+    }
+
+    /// Lifetime hit count, whichever backing is active.
+    fn hit_count(&self) -> u64 {
+        match &self.backing {
+            CacheBacking::Sticky(_) => self.hits.load(Ordering::Relaxed),
+            CacheBacking::Bounded(core) => core.hit_count(),
+        }
+    }
+
+    /// Lifetime miss count, whichever backing is active.
+    fn miss_count(&self) -> u64 {
+        match &self.backing {
+            CacheBacking::Sticky(_) => self.misses.load(Ordering::Relaxed),
+            CacheBacking::Bounded(core) => core.miss_count(),
+        }
+    }
+
+    /// Lifetime eviction count (the sticky backing never evicts).
+    fn eviction_count(&self) -> u64 {
+        match &self.backing {
+            CacheBacking::Sticky(_) => 0,
+            CacheBacking::Bounded(core) => core.eviction_count(),
+        }
+    }
+
+    /// Bytes of decoded chunks currently resident.
+    fn resident_bytes(&self) -> u64 {
+        match &self.backing {
+            CacheBacking::Sticky(_) => self.resident.load(Ordering::Relaxed),
+            CacheBacking::Bounded(core) => core.resident_bytes(),
         }
     }
 }
@@ -1639,23 +1735,23 @@ impl SegmentReader {
         options: SegmentOpenOptions,
     ) -> Result<Self, SegmentError> {
         let file_len = source.len();
-        if file_len < TRAILER_LEN as u64 {
+        if file_len < cast::to_u64(TRAILER_LEN) {
             return Err(SegmentError::Truncated);
         }
         let mut trailer = [0u8; TRAILER_LEN];
-        source.read_exact_at(file_len - TRAILER_LEN as u64, &mut trailer)?;
+        source.read_exact_at(file_len - cast::to_u64(TRAILER_LEN), &mut trailer)?;
         if trailer[..8] != TRAILER_MAGIC {
             return Err(SegmentError::BadMagic);
         }
-        let stored = u64::from_le_bytes(trailer[24..32].try_into().expect("8 bytes"));
+        let stored = le_u64(&trailer[24..32]);
         if fnv1a64(&trailer[..24]) != stored {
             return Err(SegmentError::ChecksumMismatch);
         }
-        let footer_off = u64::from_le_bytes(trailer[8..16].try_into().expect("8 bytes"));
-        let footer_len = u64::from_le_bytes(trailer[16..24].try_into().expect("8 bytes"));
+        let footer_off = le_u64(&trailer[8..16]);
+        let footer_len = le_u64(&trailer[16..24]);
         if footer_off
             .checked_add(footer_len)
-            .is_none_or(|end| end != file_len - TRAILER_LEN as u64)
+            .is_none_or(|end| end != file_len - cast::to_u64(TRAILER_LEN))
         {
             return Err(malformed("footer does not end at the trailer"));
         }
@@ -1666,20 +1762,20 @@ impl SegmentReader {
         let mut cur = Cursor::new(payload);
 
         let n = usize::try_from(cur.u64()?).map_err(|_| SegmentError::Truncated)?;
-        if n > u32::MAX as usize {
+        if n > cast::to_usize(u32::MAX) {
             return Err(malformed("n exceeds u32 index space"));
         }
         let k = usize::try_from(cur.u64()?).map_err(|_| SegmentError::Truncated)?;
         if k == 0 {
             return Err(malformed("k must be >= 1"));
         }
-        let chunk = cur.u32()? as usize;
+        let chunk = cast::to_usize(cur.u32()?);
         if chunk == 0 || !chunk.is_multiple_of(BLOCK) {
             return Err(malformed(format!(
                 "chunk size {chunk} is not a positive multiple of {BLOCK}"
             )));
         }
-        let block = cur.u32()? as usize;
+        let block = cast::to_usize(cur.u32()?);
         if block != BLOCK {
             return Err(malformed(format!(
                 "zone block size {block} differs from engine block size {BLOCK}"
@@ -1738,7 +1834,7 @@ impl SegmentReader {
                     )))
                 }
             };
-            if (e.attr as usize) >= max_attr || (e.chunk as usize) >= max_chunk {
+            if (cast::to_usize(e.attr)) >= max_attr || (cast::to_usize(e.chunk)) >= max_chunk {
                 return Err(malformed(format!(
                     "directory entry {}[attr {}, chunk {}] out of range",
                     kind_name(e.kind),
@@ -1782,9 +1878,9 @@ impl SegmentReader {
                 )))
             }
         };
-        for a in 0..m as u32 {
+        for a in 0..cast::to_u32(m) {
             expect(&by_key, KIND_STARTS, a, 0)?;
-            for c in 0..chunks as u32 {
+            for c in 0..cast::to_u32(chunks) {
                 expect(&by_key, KIND_STORE_COL, a, c)?;
                 expect(&by_key, KIND_ORDER, a, c)?;
                 if has_perm {
@@ -1792,7 +1888,7 @@ impl SegmentReader {
                 }
             }
         }
-        for c in 0..chunks as u32 {
+        for c in 0..cast::to_u32(chunks) {
             expect(&by_key, KIND_IDS, 0, c)?;
             if has_perm {
                 expect(&by_key, KIND_PERM, 0, c)?;
@@ -1832,7 +1928,7 @@ impl SegmentReader {
         // small (O(domain + n/64) values per attribute).
         let blocks = n.div_ceil(BLOCK);
         for attr in 0..m {
-            let e = reader.entry(KIND_STARTS, attr as u32, 0)?;
+            let e = reader.entry(KIND_STARTS, cast::to_u32(attr), 0)?;
             let bytes = reader.read_entry(e)?;
             let payload = reader.open_section(&bytes, KIND_STARTS)?;
             let starts = reader.decode_starts_section(attr, payload)?;
@@ -1959,11 +2055,13 @@ impl SegmentReader {
             )));
         }
         match kind {
-            KIND_PERM | KIND_RANK_OF | KIND_ORDER if vals.iter().any(|&v| v as usize >= self.n) => {
+            KIND_PERM | KIND_RANK_OF | KIND_ORDER
+                if vals.iter().any(|&v| cast::to_usize(v) >= self.n) =>
+            {
                 return Err(malformed(format!("{} value out of range", kind_name(kind))));
             }
             KIND_RANK_COL | KIND_STORE_COL => {
-                let d = self.schema.attr(attr as usize).domain_size;
+                let d = self.schema.attr(cast::to_usize(attr)).domain_size;
                 if vals.iter().any(|&v| v >= d) {
                     return Err(malformed(format!(
                         "{}[{attr}] value outside the attribute domain",
@@ -2003,7 +2101,7 @@ impl SegmentReader {
         let mut cur = Cursor::new(payload);
         let starts = unpack_u32s(&mut cur)?;
         cur.finish()?;
-        let d = self.schema.attr(attr).domain_size as usize;
+        let d = cast::to_usize(self.schema.attr(attr).domain_size);
         if starts.len() != d + 1 {
             return Err(malformed(format!(
                 "starts[{attr}] has {} entries, expected {}",
@@ -2013,7 +2111,7 @@ impl SegmentReader {
         }
         if starts.first() != Some(&0)
             || starts.windows(2).any(|w| w[0] > w[1])
-            || starts.last().copied() != Some(self.n as u32)
+            || starts.last().copied() != Some(cast::to_u32(self.n))
         {
             return Err(malformed(format!(
                 "starts[{attr}] is not a nondecreasing prefix-count table over n"
@@ -2029,7 +2127,7 @@ impl SegmentReader {
         c: usize,
         expected_len: usize,
     ) -> Result<Vec<u32>, SegmentError> {
-        let e = self.entry(kind, attr, c as u32)?;
+        let e = self.entry(kind, attr, cast::to_u32(c))?;
         let bytes = self.read_entry(e)?;
         let payload = self.open_section(&bytes, kind)?;
         self.decode_u32_section(kind, attr, c, expected_len, payload)
@@ -2047,7 +2145,7 @@ impl SegmentReader {
             let key = ChunkKey {
                 kind,
                 attr,
-                chunk: c as u32,
+                chunk: cast::to_u32(c),
             };
             if let Some(CachedChunk::U32(v)) = t.slot(key).and_then(|cell| cell.get()) {
                 return Some(v);
@@ -2070,13 +2168,13 @@ impl SegmentReader {
         let key = ChunkKey {
             kind,
             attr,
-            chunk: c as u32,
+            chunk: cast::to_u32(c),
         };
         if let Some(hit) = self.cache.get(key) {
             return Ok(hit.as_u32().clone());
         }
         let vals = self.decode_u32_chunk(kind, attr, c, self.chunk_len(c))?;
-        let cost = 4 * vals.len() as u64 + CHUNK_OVERHEAD;
+        let cost = 4 * cast::to_u64(vals.len()) + CHUNK_OVERHEAD;
         let data = CachedChunk::U32(vals.into());
         Ok(self.cache.insert(key, data, cost).as_u32().clone())
     }
@@ -2085,16 +2183,16 @@ impl SegmentReader {
         let key = ChunkKey {
             kind: KIND_IDS,
             attr: 0,
-            chunk: c as u32,
+            chunk: cast::to_u32(c),
         };
         if let Some(hit) = self.cache.get(key) {
             return Ok(hit.as_u64().clone());
         }
-        let e = self.entry(KIND_IDS, 0, c as u32)?;
+        let e = self.entry(KIND_IDS, 0, cast::to_u32(c))?;
         let bytes = self.read_entry(e)?;
         let payload = self.open_section(&bytes, KIND_IDS)?;
         let vals = self.decode_ids_section(c, payload)?;
-        let cost = 8 * vals.len() as u64 + CHUNK_OVERHEAD;
+        let cost = 8 * cast::to_u64(vals.len()) + CHUNK_OVERHEAD;
         let data = CachedChunk::U64(vals.into());
         Ok(self.cache.insert(key, data, cost).as_u64().clone())
     }
@@ -2114,10 +2212,10 @@ impl SegmentReader {
             let key = ChunkKey {
                 kind,
                 attr,
-                chunk: c as u32,
+                chunk: cast::to_u32(c),
             };
             if !self.cache.contains(key) {
-                wanted.push((c, self.entry(kind, attr, c as u32)?));
+                wanted.push((c, self.entry(kind, attr, cast::to_u32(c))?));
             }
         }
         if wanted.len() < 2 {
@@ -2142,13 +2240,13 @@ impl SegmentReader {
         for ((c, _), bytes) in wanted.iter().zip(&bufs) {
             let payload = self.open_section(bytes, kind)?;
             let vals = self.decode_u32_section(kind, attr, *c, self.chunk_len(*c), payload)?;
-            let cost = 4 * vals.len() as u64 + CHUNK_OVERHEAD;
+            let cost = 4 * cast::to_u64(vals.len()) + CHUNK_OVERHEAD;
             self.cache.note_miss();
             self.cache.insert(
                 ChunkKey {
                     kind,
                     attr,
-                    chunk: *c as u32,
+                    chunk: cast::to_u32(*c),
                 },
                 CachedChunk::U32(vals.into()),
                 cost,
@@ -2166,7 +2264,7 @@ impl SegmentReader {
             return 0;
         }
         let s = &self.starts[attr];
-        (s[hi as usize + 1] - s[lo as usize]) as usize
+        cast::to_usize(s[cast::to_usize(hi) + 1] - s[cast::to_usize(lo)])
     }
 
     /// Zone-map bounds of rank block `b` on `attr` (eager).
@@ -2195,7 +2293,7 @@ impl SegmentReader {
         let base = b * BLOCK;
         let c = base / self.chunk;
         let off = base % self.chunk;
-        Ok((self.u32_chunk(KIND_RANK_COL, attr as u32, c)?, off))
+        Ok((self.u32_chunk(KIND_RANK_COL, cast::to_u32(attr), c)?, off))
     }
 
     /// Zone block `b` of `attr` borrowed straight out of a resident sticky
@@ -2210,7 +2308,7 @@ impl SegmentReader {
         let base = b * BLOCK;
         let c = base / self.chunk;
         let off = base % self.chunk;
-        self.sticky_u32(KIND_RANK_COL, attr as u32, c)
+        self.sticky_u32(KIND_RANK_COL, cast::to_u32(attr), c)
             .map(|v| &v[off..off + len])
     }
 
@@ -2218,7 +2316,7 @@ impl SegmentReader {
     pub(crate) fn rank_value_at(&self, attr: usize, rank: usize) -> Result<Value, SegmentError> {
         self.u32_at(
             KIND_RANK_COL,
-            attr as u32,
+            cast::to_u32(attr),
             rank / self.chunk,
             rank % self.chunk,
         )
@@ -2229,7 +2327,7 @@ impl SegmentReader {
     pub(crate) fn store_value_at(&self, attr: usize, idx: usize) -> Result<Value, SegmentError> {
         self.u32_at(
             KIND_STORE_COL,
-            attr as u32,
+            cast::to_u32(attr),
             idx / self.chunk,
             idx % self.chunk,
         )
@@ -2270,7 +2368,11 @@ impl SegmentReader {
             let mut entries: Vec<DirEntry> = Vec::with_capacity(cons.len() * per_attr);
             for &(attr, _, _) in cons {
                 for c in batch..batch_end {
-                    entries.push(self.entry(KIND_STORE_COL, attr as u32, c as u32)?);
+                    entries.push(self.entry(
+                        KIND_STORE_COL,
+                        cast::to_u32(attr),
+                        cast::to_u32(c),
+                    )?);
                 }
             }
             let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(entries.len());
@@ -2305,12 +2407,12 @@ impl SegmentReader {
                         break;
                     }
                 }
-                let base = (c * self.chunk) as u32;
+                let base = cast::to_u32(c * self.chunk);
                 for (w, &word) in words.iter().enumerate() {
                     let mut bits = word;
                     while bits != 0 {
                         let lane = bits.trailing_zeros();
-                        emit(base + (w as u32) * 64 + lane)?;
+                        emit(base + (cast::to_u32(w)) * 64 + lane)?;
                         bits &= bits - 1;
                     }
                 }
@@ -2323,10 +2425,10 @@ impl SegmentReader {
     /// Snapshot of the cache and codec counters.
     pub fn storage_stats(&self) -> StorageStats {
         StorageStats {
-            cache_hits: self.cache.hits.load(Ordering::Relaxed),
-            cache_misses: self.cache.misses.load(Ordering::Relaxed),
-            cache_evictions: self.cache.evictions.load(Ordering::Relaxed),
-            bytes_resident: self.cache.resident.load(Ordering::Relaxed),
+            cache_hits: self.cache.hit_count(),
+            cache_misses: self.cache.miss_count(),
+            cache_evictions: self.cache.eviction_count(),
+            bytes_resident: self.cache.resident_bytes(),
             cache_budget: self.options.cache_budget,
             decoded_for: self.decoded_for.load(Ordering::Relaxed),
             decoded_dict: self.decoded_dict.load(Ordering::Relaxed),
@@ -2367,14 +2469,14 @@ impl SegmentReader {
                 }
                 tag
             };
-            let raw = 4 * self.chunk_len(e.chunk as usize) as u64;
-            census.chunks[tag as usize] += 1;
-            census.encoded_bytes[tag as usize] += payload.len() as u64;
-            census.raw_bytes[tag as usize] += raw;
+            let raw = 4 * cast::to_u64(self.chunk_len(cast::to_usize(e.chunk)));
+            census.chunks[cast::to_usize(tag)] += 1;
+            census.encoded_bytes[cast::to_usize(tag)] += cast::to_u64(payload.len());
+            census.raw_bytes[cast::to_usize(tag)] += raw;
             if e.kind == KIND_STORE_COL {
-                let col = &mut census.store_cols[e.attr as usize];
-                col.chunks[tag as usize] += 1;
-                col.encoded_bytes += payload.len() as u64;
+                let col = &mut census.store_cols[cast::to_usize(e.attr)];
+                col.chunks[cast::to_usize(tag)] += 1;
+                col.encoded_bytes += cast::to_u64(payload.len());
                 col.raw_bytes += raw;
             }
         }
@@ -2395,8 +2497,8 @@ impl SegmentReader {
             return Ok(());
         }
         let s = &self.starts[attr];
-        let p0 = s[lo as usize] as usize;
-        let p1 = s[hi as usize + 1] as usize;
+        let p0 = cast::to_usize(s[cast::to_usize(lo)]);
+        let p1 = cast::to_usize(s[cast::to_usize(hi) + 1]);
         if p0 >= p1 {
             return Ok(());
         }
@@ -2404,11 +2506,11 @@ impl SegmentReader {
         let last = (p1 - 1) / self.chunk;
         if last > first {
             // Multi-chunk walk: warm the cache with one coalesced read.
-            self.prefetch_u32_chunks(KIND_ORDER, attr as u32, first, last)?;
+            self.prefetch_u32_chunks(KIND_ORDER, cast::to_u32(attr), first, last)?;
         }
         for c in first..=last {
             let base = c * self.chunk;
-            let chunk = self.u32_chunk(KIND_ORDER, attr as u32, c)?;
+            let chunk = self.u32_chunk(KIND_ORDER, cast::to_u32(attr), c)?;
             let start = p0.max(base) - base;
             let end = p1.min(base + chunk.len()) - base;
             for &idx in &chunk[start..end] {
@@ -2440,7 +2542,7 @@ impl SegmentReader {
             let key = ChunkKey {
                 kind: KIND_TUPLE_CACHE,
                 attr: 0,
-                chunk: c as u32,
+                chunk: cast::to_u32(c),
             };
             if let Some(CachedChunk::Tuples(v)) = t.slot(key).and_then(|cell| cell.get()) {
                 return Some(v);
@@ -2453,7 +2555,7 @@ impl SegmentReader {
         let key = ChunkKey {
             kind: KIND_TUPLE_CACHE,
             attr: 0,
-            chunk: c as u32,
+            chunk: cast::to_u32(c),
         };
         if let Some(hit) = self.cache.get(key) {
             return Ok(hit.as_tuples().clone());
@@ -2462,7 +2564,7 @@ impl SegmentReader {
         let m = self.schema.len();
         let mut cols: Vec<Arc<[u32]>> = Vec::with_capacity(m);
         for attr in 0..m {
-            cols.push(self.u32_chunk(KIND_STORE_COL, attr as u32, c)?);
+            cols.push(self.u32_chunk(KIND_STORE_COL, cast::to_u32(attr), c)?);
         }
         let built: Arc<[Arc<Tuple>]> = (0..self.chunk_len(c))
             .map(|i| {
@@ -2471,7 +2573,7 @@ impl SegmentReader {
             })
             .collect();
         // Rough per-tuple footprint: the Arc + Tuple headers plus the values.
-        let cost = self.chunk_len(c) as u64 * (48 + 4 * m as u64) + CHUNK_OVERHEAD;
+        let cost = cast::to_u64(self.chunk_len(c)) * (48 + 4 * cast::to_u64(m)) + CHUNK_OVERHEAD;
         Ok(self
             .cache
             .insert(key, CachedChunk::Tuples(built), cost)
@@ -2524,7 +2626,7 @@ impl SegmentReader {
                 self.footer_off
             )));
         }
-        if self.footer_off + self.footer_len + TRAILER_LEN as u64 != self.source.len() {
+        if self.footer_off + self.footer_len + cast::to_u64(TRAILER_LEN) != self.source.len() {
             return Err(malformed("footer/trailer do not tile to the file size"));
         }
 
@@ -2551,13 +2653,13 @@ impl SegmentReader {
                     cur.finish()?;
                 }
                 KIND_STARTS => {
-                    self.decode_starts_section(e.attr as usize, payload)?;
+                    self.decode_starts_section(cast::to_usize(e.attr), payload)?;
                 }
                 KIND_IDS => {
-                    self.decode_ids_section(e.chunk as usize, payload)?;
+                    self.decode_ids_section(cast::to_usize(e.chunk), payload)?;
                 }
                 kind => {
-                    let c = e.chunk as usize;
+                    let c = cast::to_usize(e.chunk);
                     let vals =
                         self.decode_u32_section(kind, e.attr, c, self.chunk_len(c), payload)?;
                     if kind == KIND_PERM {
@@ -2576,12 +2678,12 @@ impl SegmentReader {
         if self.has_perm {
             let mut seen = vec![false; n];
             for &idx in &perm_all {
-                if std::mem::replace(&mut seen[idx as usize], true) {
+                if std::mem::replace(&mut seen[cast::to_usize(idx)], true) {
                     return Err(malformed("perm is not a permutation"));
                 }
             }
             for (idx, &rank) in rank_of_all.iter().enumerate() {
-                if perm_all[rank as usize] as usize != idx {
+                if cast::to_usize(perm_all[cast::to_usize(rank)]) != idx {
                     return Err(malformed("rank_of is not the inverse of perm"));
                 }
             }
@@ -2916,6 +3018,87 @@ mod tests {
         assert_eq!(sticky.cache_evictions, 0, "sticky cache never evicts");
         assert_eq!(sticky.cache_budget, None);
         assert!(sticky.cache_hits > 0 && sticky.cache_misses > 0);
+    }
+
+    #[test]
+    fn storage_stats_stay_arithmetically_consistent_under_eviction_thrash() {
+        let db = tiny_db();
+        db.enable_access_log();
+        let bytes = SegmentWriter::new().with_chunk_size(64).write(&db).unwrap();
+        // A budget small enough that the query mix below keeps evicting:
+        // the same thrash regime as `bounded_cache_stays_byte_identical_
+        // and_evicts`, but here the subject is the counters themselves.
+        let budget = 4_800u64;
+        let capped = HiddenDb::open_segment_source_with(
+            Box::new(MemSource::new(bytes)),
+            Box::new(SumRanker),
+            SegmentOpenOptions::new().with_cache_budget(budget),
+        )
+        .unwrap();
+        capped.enable_access_log();
+        let fresh = capped.storage_stats().expect("segment-backed");
+        assert_eq!(fresh.cache_hits + fresh.cache_misses, 0);
+        assert_eq!(fresh.cache_evictions, 0);
+        assert_eq!(fresh.bytes_resident, 0);
+        let queries = [
+            Query::select_all(),
+            Query::new(vec![crate::Predicate::lt(0, 4)]),
+            Query::new(vec![crate::Predicate::lt(0, 9)]),
+            Query::new(vec![crate::Predicate::eq(2, 1), crate::Predicate::ge(0, 6)]),
+            Query::new(vec![crate::Predicate::eq(1, 3)]),
+        ];
+        let mut prev = fresh;
+        for round in 0..6 {
+            for q in &queries {
+                capped.query(q).unwrap();
+                let s = capped.storage_stats().expect("segment-backed");
+                // Lifetime counters only move forward.
+                assert!(
+                    s.cache_hits >= prev.cache_hits,
+                    "hits regressed in round {round}"
+                );
+                assert!(s.cache_misses >= prev.cache_misses, "misses regressed");
+                assert!(
+                    s.cache_evictions >= prev.cache_evictions,
+                    "evictions regressed"
+                );
+                assert!(s.decoded_for >= prev.decoded_for, "FOR decodes regressed");
+                assert!(
+                    s.decoded_dict >= prev.decoded_dict,
+                    "DICT decodes regressed"
+                );
+                assert!(s.decoded_rle >= prev.decoded_rle, "RLE decodes regressed");
+                // Every eviction removes an entry a miss previously decoded
+                // and inserted, so evictions can never outrun misses.
+                assert!(
+                    s.cache_evictions <= s.cache_misses,
+                    "evictions {} > misses {}",
+                    s.cache_evictions,
+                    s.cache_misses
+                );
+                // The byte budget holds at every observation point, not
+                // just at the end of the workload.
+                assert!(
+                    s.bytes_resident <= budget,
+                    "resident {} over budget {budget} in round {round}",
+                    s.bytes_resident
+                );
+                assert_eq!(s.cache_budget, Some(budget));
+                prev = s;
+            }
+        }
+        assert!(
+            prev.cache_evictions > 0,
+            "the workload must actually thrash"
+        );
+        assert!(
+            prev.cache_hits > 0,
+            "repeat queries must still find entries"
+        );
+        assert!(
+            prev.decoded_for + prev.decoded_dict + prev.decoded_rle > 0,
+            "thrash re-decodes through the codecs"
+        );
     }
 
     #[test]

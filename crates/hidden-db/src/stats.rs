@@ -8,6 +8,9 @@
 
 use std::fmt;
 
+use crate::conc::ShardedLogCore;
+use crate::sync::StdSync;
+
 /// Aggregate statistics about the queries a client has issued against a
 /// [`crate::HiddenDb`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -78,18 +81,6 @@ impl AccessLog {
     pub(crate) fn push(&mut self, entry: AccessLogEntry) {
         self.entries.push(entry);
     }
-
-    /// Normalizes the log to ascending sequence order.
-    ///
-    /// Sequence numbers are reserved atomically *before* the answer is
-    /// computed, so under concurrent sessions the entries of the shards can
-    /// be appended slightly out of order; sorting by `seq` restores the
-    /// merged chronological view. Sequence numbers are unique, so the order
-    /// is total.
-    pub(crate) fn into_seq_order(mut self) -> AccessLog {
-        self.entries.sort_unstable_by_key(|e| e.seq);
-        self
-    }
 }
 
 /// Number of shards of a [`ShardedAccessLog`]: enough that clients on
@@ -109,38 +100,50 @@ const LOG_SHARDS: usize = 16;
 /// [`ShardedAccessLog::snapshot`] merges the shards and sorts by the unique
 /// sequence numbers, producing output byte-identical to the single-mutex
 /// log's seq-ordered snapshot.
-#[derive(Debug, Default)]
+///
+/// The sharding itself lives in [`ShardedLogCore`] — generic over the sync
+/// facade so the `skyweb-check` interleaving explorer can model-check the
+/// gap-free/monotone-sequence invariant exhaustively; this wrapper pins
+/// the entry type and the shard count.
 pub(crate) struct ShardedAccessLog {
-    shards: [std::sync::Mutex<Vec<AccessLogEntry>>; LOG_SHARDS],
+    core: ShardedLogCore<StdSync, AccessLogEntry>,
+}
+
+impl fmt::Debug for ShardedAccessLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedAccessLog")
+            .field("shards", &LOG_SHARDS)
+            .finish()
+    }
+}
+
+impl Default for ShardedAccessLog {
+    fn default() -> Self {
+        ShardedAccessLog {
+            core: ShardedLogCore::new(LOG_SHARDS),
+        }
+    }
 }
 
 impl ShardedAccessLog {
     /// Appends one entry, locking only the shard its sequence number maps
     /// to.
     pub(crate) fn push(&self, entry: AccessLogEntry) {
-        let shard = (entry.seq as usize) % LOG_SHARDS;
-        self.shards[shard]
-            .lock()
-            .expect("access log shard poisoned")
-            .push(entry);
+        self.core.push(entry.seq, entry);
     }
 
     /// Clears every shard (on enable and on stats reset).
     pub(crate) fn clear(&self) {
-        for shard in &self.shards {
-            shard.lock().expect("access log shard poisoned").clear();
-        }
+        self.core.clear();
     }
 
     /// Merges the shards into one seq-ordered [`AccessLog`] snapshot.
     pub(crate) fn snapshot(&self) -> AccessLog {
         let mut log = AccessLog::default();
-        for shard in &self.shards {
-            for entry in shard.lock().expect("access log shard poisoned").iter() {
-                log.push(entry.clone());
-            }
+        for (_, entry) in self.core.snapshot() {
+            log.push(entry);
         }
-        log.into_seq_order()
+        log
     }
 }
 

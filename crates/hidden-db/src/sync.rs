@@ -1,0 +1,129 @@
+//! The sync facade: the tiny slice of `std::sync` that the concurrent
+//! storage cores in [`crate::conc`] are generic over.
+//!
+//! Production code instantiates the cores with [`StdSync`], whose methods
+//! are `#[inline]` pass-throughs to the real `std` primitives — the
+//! abstraction compiles away entirely. The deterministic interleaving
+//! explorer in the `skyweb-check` tool provides a second implementation
+//! whose every operation is a scheduling yield point, which lets it
+//! enumerate thread interleavings exhaustively and assert the cores'
+//! invariants under each one.
+//!
+//! Only the operations the cores actually use are abstracted: relaxed
+//! 64-bit counters and mutexes accessed through a closure. Keeping the
+//! facade this small is what keeps the model checker's state space small.
+
+/// A 64-bit atomic counter as the storage cores use one: all accesses are
+/// relaxed (the counters are statistics and reservations, never used to
+/// publish other memory).
+pub trait FacadeAtomicU64: Send + Sync {
+    /// Creates a counter holding `v`.
+    fn new(v: u64) -> Self;
+    /// Reads the current value (relaxed).
+    fn load(&self) -> u64;
+    /// Overwrites the value (relaxed).
+    fn store(&self, v: u64);
+    /// Atomically adds `v`, returning the previous value (relaxed).
+    fn fetch_add(&self, v: u64) -> u64;
+    /// Atomically subtracts `v`, returning the previous value (relaxed).
+    fn fetch_sub(&self, v: u64) -> u64;
+}
+
+/// A mutex accessed through a closure, so implementations never expose a
+/// guard type (which keeps the facade free of generic-associated-lifetime
+/// plumbing and gives model implementations a single release point).
+pub trait FacadeMutex<T>: Send + Sync {
+    /// Creates a mutex holding `v`.
+    fn new(v: T) -> Self;
+    /// Runs `f` with the lock held.
+    ///
+    /// If a previous holder panicked, implementations continue with the
+    /// poisoned state rather than propagating the panic: every core keeps
+    /// its shard state self-consistent at each facade call boundary, so a
+    /// poisoned shard is safe to keep serving (at worst a statistics
+    /// counter is off by the interrupted operation).
+    fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R;
+}
+
+/// Bundles the primitive family a concurrency core runs on.
+pub trait SyncFacade: 'static {
+    /// The facade's atomic 64-bit counter.
+    type AtomicU64: FacadeAtomicU64;
+    /// The facade's mutex around a `T`.
+    type Mutex<T: Send>: FacadeMutex<T>;
+}
+
+impl FacadeAtomicU64 for std::sync::atomic::AtomicU64 {
+    #[inline]
+    fn new(v: u64) -> Self {
+        std::sync::atomic::AtomicU64::new(v)
+    }
+
+    #[inline]
+    fn load(&self) -> u64 {
+        self.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn store(&self, v: u64) {
+        self.store(v, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn fetch_add(&self, v: u64) -> u64 {
+        self.fetch_add(v, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn fetch_sub(&self, v: u64) -> u64 {
+        self.fetch_sub(v, std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl<T: Send> FacadeMutex<T> for std::sync::Mutex<T> {
+    #[inline]
+    fn new(v: T) -> Self {
+        std::sync::Mutex::new(v)
+    }
+
+    #[inline]
+    fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        // Recover from poisoning instead of panicking: see the trait docs.
+        let mut guard = self
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut guard)
+    }
+}
+
+/// The production facade: zero-cost wrappers over the real `std::sync`
+/// primitives.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdSync;
+
+impl SyncFacade for StdSync {
+    type AtomicU64 = std::sync::atomic::AtomicU64;
+    type Mutex<T: Send> = std::sync::Mutex<T>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_facade_atomics_behave() {
+        let a = <StdSync as SyncFacade>::AtomicU64::new(5);
+        assert_eq!(FacadeAtomicU64::load(&a), 5);
+        assert_eq!(FacadeAtomicU64::fetch_add(&a, 3), 5);
+        assert_eq!(FacadeAtomicU64::fetch_sub(&a, 1), 8);
+        FacadeAtomicU64::store(&a, 42);
+        assert_eq!(FacadeAtomicU64::load(&a), 42);
+    }
+
+    #[test]
+    fn std_facade_mutex_behaves() {
+        let m = <StdSync as SyncFacade>::Mutex::<Vec<u32>>::new(vec![1]);
+        m.with(|v| v.push(2));
+        assert_eq!(m.with(|v| v.clone()), vec![1, 2]);
+    }
+}

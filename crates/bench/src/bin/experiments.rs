@@ -32,20 +32,28 @@
 //! to the fault-free schedule, so stdout stays byte-identical to the
 //! fault-free run — and between serial and parallel runs at any fault rate
 //! (CI diffs exactly that).
+//!
+//! `--net` routes every discovery run over a loopback TCP connection: the
+//! figure's database is served by a `skyweb-net` server on an ephemeral
+//! port and the machine runs through a `RemoteOracle`. The wire protocol
+//! is byte-identical to in-process execution, so stdout must not change
+//! (CI diffs exactly that). `--net` composes with `--budget`,
+//! `--max-wall-ms` and `--max-batch` but rejects `--fault-rate` — the
+//! remote transport replaces the in-process fault oracle.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use skyweb_bench::{
-    figures, pool, set_cache_budget, set_run_limits, set_segment_dir, FigureResult, RunLimits,
-    Scale,
+    figures, pool, set_cache_budget, set_net_mode, set_run_limits, set_segment_dir, FigureResult,
+    RunLimits, Scale,
 };
 
 fn usage() {
     eprintln!(
         "usage: experiments [--list] [--quick|--full] [--parallel] [--jobs N] \
          [--budget N] [--max-wall-ms N] [--max-batch N] [--fault-rate F] [--fault-seed N] \
-         [--segment DIR] [--cache-budget BYTES] [all | figNN ...]"
+         [--segment DIR] [--cache-budget BYTES] [--net] [all | figNN ...]"
     );
     eprintln!("known figures: {}", figures::ALL_FIGURES.join(", "));
 }
@@ -56,6 +64,7 @@ fn main() -> ExitCode {
     let mut parallel = false;
     let mut jobs_request: Option<usize> = None;
     let mut limits = RunLimits::default();
+    let mut net = false;
     let mut segment_dir: Option<String> = None;
     let mut cache_budget: Option<u64> = None;
     let mut requested: Vec<String> = Vec::new();
@@ -132,6 +141,8 @@ fn main() -> ExitCode {
             };
             cache_budget = Some(n);
             i += 1;
+        } else if arg == "--net" {
+            net = true;
         } else if arg == "--fault-seed" {
             let Some(n) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
                 eprintln!("--fault-seed needs a non-negative integer value");
@@ -162,6 +173,21 @@ fn main() -> ExitCode {
             eprintln!("--budget/--max-wall-ms/--max-batch/--fault-rate: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    // Net mode: every discovery run is served over loopback TCP through a
+    // RemoteOracle. Stdout is byte-identical to the in-process run (CI
+    // diffs exactly that), so only the mode announcement goes to stderr.
+    if net {
+        if limits.fault_rate.is_some() {
+            eprintln!("--net cannot be combined with --fault-rate: the remote transport replaces the in-process fault oracle");
+            usage();
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = set_net_mode() {
+            eprintln!("--net: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("# net mode: discovery over loopback TCP (RemoteOracle)");
     }
     // Segment-backed mode: every figure database is round-tripped through
     // the persistent columnar store in DIR and served with lazy hydration.

@@ -1,0 +1,237 @@
+//! Wire-protocol benchmark: loopback TCP handshake and round-trip latency
+//! plus frontier-batching amortization, writing a machine-readable
+//! snapshot to `BENCH_net.json`.
+//!
+//! ```text
+//! cargo run -p skyweb-bench --release --bin net_report [-- --quick] [-- --out PATH]
+//! ```
+//!
+//! Reported: handshake latency (connect + hello/welcome) and single-query
+//! plan round-trip latency (p50/p99 over many iterations), and the wire
+//! cost of the driver's frontier batching — the same SQ discovery run
+//! executed remotely with `max_batch = 1` (one round trip per query, the
+//! pre-batching pattern) versus the batched default, where one round trip
+//! carries a whole sibling-annotated frontier plan. Both runs, and an
+//! in-process reference, must produce identical results (hard assertion:
+//! the report aborts if the wire changes the algorithm), so the
+//! amortization factor measures pure transport savings.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use skyweb_bench::report::peak_rss_kb;
+use skyweb_bench::run_remote;
+use skyweb_core::{Discoverer, DiscoveryResult, DriverConfig, PlanOracle, SqDbSky};
+use skyweb_datagen::flights_dot;
+use skyweb_hidden_db::{HiddenDb, InterfaceType, Query};
+use skyweb_net::{RemoteOracle, Server, ServerConfig};
+
+/// A fig14-style SQ workload: DOT-like flights, all nine primary ranking
+/// attributes as one-ended interfaces, k = 10 — the BFS frontier whose
+/// batching the amortization section measures.
+fn sq_db(n: usize) -> HiddenDb {
+    let base = flights_dot::generate(&flights_dot::FlightsDotConfig { n, seed: 2015 });
+    let names: Vec<&str> = flights_dot::PRIMARY_RANKING.to_vec();
+    let mut ds = base.project(&names);
+    for name in &names {
+        ds = ds.with_interface(name, InterfaceType::Sq);
+    }
+    ds.into_db_sum(10)
+}
+
+/// The `p`-th percentile (0.0..=1.0) of a sorted sample.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Comparable rendering of a discovery result (ids, values, cost, trace).
+fn fingerprint(r: &DiscoveryResult) -> String {
+    let ids: Vec<(u64, &[u32])> = r
+        .skyline
+        .iter()
+        .map(|t| (t.id, t.values.as_slice()))
+        .collect();
+    format!("{ids:?}|{}|{}|{:?}", r.query_cost, r.complete, r.trace)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_net.json", String::as_str);
+
+    let n = if quick { 2_000 } else { 25_000 };
+    let handshakes = if quick { 30 } else { 200 };
+    let round_trips = if quick { 200 } else { 2_000 };
+    let batched_max = 64;
+
+    // --- Latency section: one server, many handshakes, then one long
+    // connection issuing single-query plans.
+    let latency_db = sq_db(n);
+    let server = Server::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let server_config = ServerConfig::new()
+        .with_workers(1)
+        .with_read_timeout(Some(Duration::from_secs(60)));
+    let (mut hs_us, mut rtt_us) = std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve(&latency_db, &server_config));
+        let mut hs_us: Vec<u64> = Vec::with_capacity(handshakes);
+        for i in 0..handshakes {
+            let t = Instant::now();
+            let oracle =
+                RemoteOracle::connect_with(addr, format!("hs-{i}"), Some(Duration::from_secs(60)))
+                    .expect("handshake");
+            hs_us.push(t.elapsed().as_micros() as u64);
+            drop(oracle);
+        }
+        let mut oracle = RemoteOracle::connect_with(addr, "rtt", Some(Duration::from_secs(60)))
+            .expect("handshake");
+        let plan = vec![Query::select_all()];
+        // Warm-up round trips are not recorded.
+        for _ in 0..10 {
+            let (responses, err) = oracle.run_plan_grouped(&plan, None);
+            assert!(err.is_none() && !responses.is_empty());
+        }
+        let mut rtt_us: Vec<u64> = Vec::with_capacity(round_trips);
+        for _ in 0..round_trips {
+            let t = Instant::now();
+            let (responses, err) = oracle.run_plan_grouped(&plan, None);
+            rtt_us.push(t.elapsed().as_micros() as u64);
+            assert!(err.is_none() && !responses.is_empty());
+        }
+        drop(oracle);
+        handle.shutdown();
+        serving.join().expect("serve loop does not panic");
+        (hs_us, rtt_us)
+    });
+    hs_us.sort_unstable();
+    rtt_us.sort_unstable();
+
+    // --- Amortization section: the same SQ discovery run in-process, over
+    // TCP one query per round trip, and over TCP with frontier batching.
+    let alg = SqDbSky::new();
+    let reference = alg.discover(&sq_db(n)).expect("in-process run");
+
+    let seq_db = sq_db(n);
+    let t = Instant::now();
+    let (seq_result, seq_report) = run_remote(&alg, &seq_db, DriverConfig::new().with_max_batch(1));
+    let seq_wall_s = t.elapsed().as_secs_f64();
+    let seq_plans = seq_report.finished.first().map_or(0, |c| c.plans);
+
+    let batched_db = sq_db(n);
+    let t = Instant::now();
+    let (batched_result, batched_report) = run_remote(
+        &alg,
+        &batched_db,
+        DriverConfig::new().with_max_batch(batched_max),
+    );
+    let batched_wall_s = t.elapsed().as_secs_f64();
+    let batched_plans = batched_report.finished.first().map_or(0, |c| c.plans);
+
+    // The wire must not change the algorithm: all three runs identical.
+    assert_eq!(
+        fingerprint(&reference),
+        fingerprint(&seq_result),
+        "sequential remote run diverged from in-process"
+    );
+    assert_eq!(
+        fingerprint(&reference),
+        fingerprint(&batched_result),
+        "batched remote run diverged from in-process"
+    );
+    let amortization = if batched_plans == 0 {
+        0.0
+    } else {
+        seq_plans as f64 / batched_plans as f64
+    };
+
+    eprintln!(
+        "# handshake p50 {} us, p99 {} us ({} samples)",
+        percentile(&hs_us, 0.50),
+        percentile(&hs_us, 0.99),
+        hs_us.len()
+    );
+    eprintln!(
+        "# plan round trip p50 {} us, p99 {} us ({} samples)",
+        percentile(&rtt_us, 0.50),
+        percentile(&rtt_us, 0.99),
+        rtt_us.len()
+    );
+    eprintln!(
+        "# frontier batching: {} round trips sequential vs {} batched ({:.1}x amortization), \
+         wall {:.3}s vs {:.3}s",
+        seq_plans, batched_plans, amortization, seq_wall_s, batched_wall_s
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"net\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"db_n\": {n},");
+    let _ = writeln!(json, "  \"handshake_samples\": {},", hs_us.len());
+    let _ = writeln!(
+        json,
+        "  \"handshake_us_p50\": {},",
+        percentile(&hs_us, 0.50)
+    );
+    let _ = writeln!(
+        json,
+        "  \"handshake_us_p99\": {},",
+        percentile(&hs_us, 0.99)
+    );
+    let _ = writeln!(json, "  \"round_trip_samples\": {},", rtt_us.len());
+    let _ = writeln!(
+        json,
+        "  \"round_trip_us_p50\": {},",
+        percentile(&rtt_us, 0.50)
+    );
+    let _ = writeln!(
+        json,
+        "  \"round_trip_us_p99\": {},",
+        percentile(&rtt_us, 0.99)
+    );
+    let _ = writeln!(
+        json,
+        "  \"discovery_query_cost\": {},",
+        reference.query_cost
+    );
+    let _ = writeln!(json, "  \"sequential_round_trips\": {seq_plans},");
+    let _ = writeln!(json, "  \"sequential_wall_s\": {seq_wall_s:.4},");
+    let _ = writeln!(json, "  \"batched_max_batch\": {batched_max},");
+    let _ = writeln!(json, "  \"batched_round_trips\": {batched_plans},");
+    let _ = writeln!(json, "  \"batched_wall_s\": {batched_wall_s:.4},");
+    let _ = writeln!(json, "  \"round_trip_amortization\": {amortization:.2},");
+    let _ = writeln!(json, "  \"identical_to_in_process\": true,");
+    let rss = peak_rss_kb().unwrap_or(0);
+    let _ = writeln!(json, "  \"peak_rss_kb\": {rss},");
+    let _ = writeln!(
+        json,
+        "  \"notes\": \"handshake = TCP connect + hello/welcome (schema on the wire); \
+         round trip = one single-query plan frame answered with a responses frame over \
+         loopback through RemoteOracle::run_plan_grouped; amortization = SQ-DB-SKY on the \
+         fig14-style all-SQ flights workload run remotely with max_batch 1 (one query per \
+         round trip, the pre-batching pattern) vs max_batch {batched_max} (one round trip \
+         per sibling-annotated frontier plan) — identical results asserted against the \
+         in-process run, so the factor is pure transport savings; wall times include the \
+         in-scope loopback server\""
+    );
+    let _ = writeln!(json, "}}");
+
+    match std::fs::write(out_path, &json) {
+        Ok(()) => eprintln!("# wrote {out_path}"),
+        Err(e) => {
+            eprintln!("# failed to write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

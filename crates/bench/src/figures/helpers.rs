@@ -62,6 +62,13 @@ pub(crate) fn flights_all_rq(base: &Dataset) -> Dataset {
 /// output is unchanged); without limits this is exactly the
 /// `Discoverer::discover` adapter.
 pub(crate) fn run(alg: &dyn Discoverer, db: &HiddenDb) -> DiscoveryResult {
+    // Net mode routes the run over a loopback TCP connection through a
+    // RemoteOracle (byte-identical output by the wire-protocol contract);
+    // it honors budget/wall/batch limits itself and is mutually exclusive
+    // with fault injection (rejected by the experiments binary).
+    if crate::net::net_mode() {
+        return crate::net::run_over_loopback(alg, db);
+    }
     let limits = limits::run_limits();
     if !limits.any() {
         return alg

@@ -27,12 +27,14 @@
 
 pub mod figures;
 pub mod limits;
+pub mod net;
 pub mod pool;
 pub mod report;
 pub mod scale;
 pub mod storage;
 
 pub use limits::{run_limits, set_run_limits, RunLimits};
+pub use net::{net_mode, run_remote, set_net_mode};
 pub use report::FigureResult;
 pub use scale::Scale;
 pub use storage::{cache_budget, segment_dir, set_cache_budget, set_segment_dir};

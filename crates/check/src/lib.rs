@@ -41,6 +41,7 @@ const LIB_CRATE_DIRS: &[&str] = &[
     "crates/core/src",
     "crates/skyline/src",
     "crates/datagen/src",
+    "crates/net/src",
     "src",
 ];
 
@@ -48,6 +49,7 @@ const LIB_CRATE_DIRS: &[&str] = &[
 const WIRE_PATHS: &[&str] = &[
     "crates/core/src/codec.rs",
     "crates/hidden-db/src/segment.rs",
+    "crates/net/src/wire.rs",
 ];
 
 /// Classifies one repo-relative path into the lint policy classes.

@@ -67,6 +67,11 @@ const WIRE_REGISTRY: &[(&str, u64, &str)] = &[
     ("KIND_CHECKPOINT", 1, "crates/core/src/codec.rs"),
     ("KIND_PLAN", 2, "crates/core/src/codec.rs"),
     ("KIND_RESPONSES", 3, "crates/core/src/codec.rs"),
+    // Wire-protocol envelope kinds (handshake + error reply), framed over
+    // TCP by skyweb-net.
+    ("KIND_HELLO", 4, "crates/core/src/codec.rs"),
+    ("KIND_WELCOME", 5, "crates/core/src/codec.rs"),
+    ("KIND_ERROR", 6, "crates/core/src/codec.rs"),
     // Machine tags 1–8 of the checkpoint payload.
     ("TAG_SQ", 1, "crates/core/src/codec.rs"),
     ("TAG_RQ", 2, "crates/core/src/codec.rs"),

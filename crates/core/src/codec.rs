@@ -10,7 +10,8 @@
 //! offset  size  field
 //! 0       4     magic  b"SWCK"
 //! 4       2     format version, u16 LE (currently 1)
-//! 6       1     payload kind (1 = checkpoint, 2 = plan, 3 = responses)
+//! 6       1     payload kind (1 = checkpoint, 2 = plan, 3 = responses,
+//!               4 = hello, 5 = welcome, 6 = error reply)
 //! 7       8     payload length, u64 LE
 //! 15      n     payload
 //! 15+n    8     FNV-1a 64 checksum of the payload, u64 LE
@@ -24,6 +25,17 @@
 //! (no self-describing framing): integers are fixed-width LE, collections
 //! are length-prefixed with a `u64`, options carry a one-byte presence
 //! flag, and enums carry a one-byte tag.
+//!
+//! The same envelopes are framed over TCP by `skyweb-net` (kinds 2–6; see
+//! `docs/wire-protocol.md`). That makes every decode path here subject to
+//! **untrusted input**: a length or count prefix is attacker-controlled
+//! until it has been validated. Two defenses apply. Stream transports
+//! validate the header's length claim against a frame cap via
+//! [`parse_header`] *before* reading or allocating a payload, and every
+//! collection reader below validates its count prefix against the bytes
+//! actually remaining ([`Reader::len_prefix`]) *before* preallocating —
+//! a 16-byte frame claiming a 2⁴⁰-element collection is rejected as
+//! truncation without a single oversized allocation.
 //!
 //! # Checkpoint payloads
 //!
@@ -55,8 +67,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use skyweb_hidden_db::{
-    AttributeRole, AttributeSpec, CmpOp, InterfaceType, Predicate, PrefixGroup, Query,
-    QueryResponse, Schema, Tuple,
+    AttributeRole, AttributeSpec, CmpOp, InterfaceType, Predicate, PrefixGroup, Query, QueryError,
+    QueryResponse, Schema, SegmentError, Tuple,
 };
 
 use crate::machine::{DiscoveryMachine, Machine, QueryPlan};
@@ -74,6 +86,19 @@ pub const KIND_CHECKPOINT: u8 = 1;
 pub const KIND_PLAN: u8 = 2;
 /// Envelope kind of a response-batch payload.
 pub const KIND_RESPONSES: u8 = 3;
+/// Envelope kind of a client handshake payload (wire protocol).
+pub const KIND_HELLO: u8 = 4;
+/// Envelope kind of a server handshake payload (wire protocol).
+pub const KIND_WELCOME: u8 = 5;
+/// Envelope kind of an error reply: the answered prefix of a plan plus the
+/// [`QueryError`] that cut it short (wire protocol).
+pub const KIND_ERROR: u8 = 6;
+
+/// Version of the TCP wire protocol spoken by `skyweb-net` (handshake,
+/// frame sequencing, error mapping). Independent of [`FORMAT_VERSION`],
+/// which versions the envelope encoding itself: a wire-protocol bump can
+/// reuse the same envelopes, and vice versa.
+pub const WIRE_PROTOCOL: u32 = 1;
 
 pub(crate) const TAG_SQ: u8 = 1;
 pub(crate) const TAG_RQ: u8 = 2;
@@ -84,8 +109,10 @@ pub(crate) const TAG_SKYBAND: u8 = 6;
 pub(crate) const TAG_CRAWL: u8 = 7;
 pub(crate) const TAG_POINT_CRAWL: u8 = 8;
 
-const HEADER_LEN: usize = 15;
-const CHECKSUM_LEN: usize = 8;
+/// Size of the fixed envelope header (magic + version + kind + length).
+pub const HEADER_LEN: usize = 15;
+/// Size of the trailing payload checksum.
+pub const CHECKSUM_LEN: usize = 8;
 
 /// Why a byte buffer was rejected by the codec. A corrupted or foreign
 /// buffer always surfaces as an error — it is never silently mis-restored.
@@ -208,29 +235,42 @@ pub(crate) fn seal(kind: u8, payload: Vec<u8>) -> Vec<u8> {
     out
 }
 
-/// Validates the envelope of `bytes` and returns the payload slice.
-pub(crate) fn open(bytes: &[u8], expected_kind: u8) -> Result<&[u8], CodecError> {
-    if bytes.len() < 4 {
+/// Validates the fixed 15-byte envelope header (magic and format version)
+/// and returns `(kind, payload length claim)` — without touching, or even
+/// requiring, the payload bytes.
+///
+/// This is the hook stream transports use to vet a frame *before* it is
+/// read off the wire: the length claim is attacker-controlled, so it must
+/// be checked against the transport's frame cap before a single payload
+/// byte is buffered. The claim is returned unvalidated on purpose — only
+/// the caller knows its cap; [`open`] later enforces exact-length and
+/// checksum equality on the full buffer.
+pub fn parse_header(header: &[u8]) -> Result<(u8, u64), CodecError> {
+    if header.len() < 4 {
         return Err(CodecError::Truncated);
     }
-    if bytes[..4] != MAGIC {
+    if header[..4] != MAGIC {
         return Err(CodecError::BadMagic);
     }
-    if bytes.len() < HEADER_LEN {
+    if header.len() < HEADER_LEN {
         return Err(CodecError::Truncated);
     }
-    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    let version = u16::from_le_bytes([header[4], header[5]]);
     if version != FORMAT_VERSION {
         return Err(CodecError::UnsupportedVersion { found: version });
     }
-    let kind = bytes[6];
+    Ok((header[6], le_u64(&header[7..15])))
+}
+
+/// Validates the envelope of `bytes` and returns the payload slice.
+pub(crate) fn open(bytes: &[u8], expected_kind: u8) -> Result<&[u8], CodecError> {
+    let (kind, len) = parse_header(bytes)?;
     if kind != expected_kind {
         return Err(CodecError::WrongKind {
             expected: expected_kind,
             found: kind,
         });
     }
-    let len = le_u64(&bytes[7..15]);
     let Ok(len) = usize::try_from(len) else {
         return Err(CodecError::Truncated);
     };
@@ -318,6 +358,26 @@ impl<'a> Reader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadTag { tag: 0 })
     }
 
+    /// Bytes of the payload not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads a collection-count prefix and validates it against the bytes
+    /// actually remaining before the caller preallocates: a count whose
+    /// elements (at a minimum of `min_elem_bytes` each) could not possibly
+    /// fit in the rest of the payload is rejected as [`CodecError::Truncated`].
+    /// The count prefix is attacker-controlled on wire paths, so every
+    /// `Vec::with_capacity` in a decoder must be driven by this, never by
+    /// the raw prefix.
+    pub(crate) fn len_prefix(&mut self, min_elem_bytes: usize) -> Result<usize, CodecError> {
+        let len = self.usize()?;
+        if len > self.remaining() / min_elem_bytes.max(1) {
+            return Err(CodecError::Truncated);
+        }
+        Ok(len)
+    }
+
     /// Asserts that the payload was consumed exactly.
     pub(crate) fn finish(&self) -> Result<(), CodecError> {
         if self.pos == self.buf.len() {
@@ -372,8 +432,8 @@ pub(crate) fn put_usize_slice(out: &mut Vec<u8>, v: &[usize]) {
 }
 
 pub(crate) fn read_usize_vec(r: &mut Reader<'_>) -> Result<Vec<usize>, CodecError> {
-    let len = r.usize()?;
-    let mut out = Vec::new();
+    let len = r.len_prefix(8)?;
+    let mut out = Vec::with_capacity(len);
     for _ in 0..len {
         out.push(r.usize()?);
     }
@@ -388,8 +448,8 @@ pub(crate) fn put_u32_slice(out: &mut Vec<u8>, v: &[u32]) {
 }
 
 pub(crate) fn read_u32_vec(r: &mut Reader<'_>) -> Result<Vec<u32>, CodecError> {
-    let len = r.usize()?;
-    let mut out = Vec::new();
+    let len = r.len_prefix(4)?;
+    let mut out = Vec::with_capacity(len);
     for _ in 0..len {
         out.push(r.u32()?);
     }
@@ -438,8 +498,9 @@ pub(crate) fn put_predicates(out: &mut Vec<u8>, preds: &[Predicate]) {
 }
 
 pub(crate) fn read_predicates(r: &mut Reader<'_>) -> Result<Vec<Predicate>, CodecError> {
-    let len = r.usize()?;
-    let mut out = Vec::new();
+    // A predicate is 8 (attr) + 1 (op tag) + 4 (value) bytes.
+    let len = r.len_prefix(13)?;
+    let mut out = Vec::with_capacity(len);
     for _ in 0..len {
         out.push(read_predicate(r)?);
     }
@@ -499,8 +560,9 @@ pub(crate) fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
 }
 
 pub(crate) fn read_schema(r: &mut Reader<'_>) -> Result<Schema, CodecError> {
-    let len = r.usize()?;
-    let mut attrs = Vec::new();
+    // An attribute spec is at least 8 (name length) + 4 + 1 + 1 bytes.
+    let len = r.len_prefix(14)?;
+    let mut attrs = Vec::with_capacity(len);
     for _ in 0..len {
         let name = r.string()?;
         let domain_size = r.u32()?;
@@ -547,14 +609,16 @@ pub fn encode_plan(plan: &QueryPlan) -> Vec<u8> {
 pub fn decode_plan(bytes: &[u8]) -> Result<QueryPlan, CodecError> {
     let payload = open(bytes, KIND_PLAN)?;
     let mut r = Reader::new(payload);
-    let n = r.usize()?;
-    let mut queries = Vec::new();
+    // A query is at least its empty predicate list: 8 bytes.
+    let n = r.len_prefix(8)?;
+    let mut queries = Vec::with_capacity(n);
     for _ in 0..n {
         queries.push(read_query(&mut r)?);
     }
     let plan = if r.bool()? {
-        let n = r.usize()?;
-        let mut groups = Vec::new();
+        // A group is 8 (len) + 8 (prefix_len) bytes.
+        let n = r.len_prefix(16)?;
+        let mut groups = Vec::with_capacity(n);
         for _ in 0..n {
             let len = r.usize()?;
             let prefix_len = r.usize()?;
@@ -568,17 +632,41 @@ pub fn decode_plan(bytes: &[u8]) -> Result<QueryPlan, CodecError> {
     Ok(plan)
 }
 
+/// Writes a batch of [`QueryResponse`]s into `payload` (shared by the
+/// responses envelope and the error-reply envelope).
+fn put_responses(payload: &mut Vec<u8>, responses: &[QueryResponse]) {
+    put_usize(payload, responses.len());
+    for resp in responses {
+        put_usize(payload, resp.tuples.len());
+        for t in &resp.tuples {
+            put_tuple(payload, t);
+        }
+        put_bool(payload, resp.overflowed);
+    }
+}
+
+/// Reads a batch of [`QueryResponse`]s written by [`put_responses`].
+fn read_responses(r: &mut Reader<'_>) -> Result<Vec<QueryResponse>, CodecError> {
+    // A response is at least 8 (tuple count) + 1 (overflow flag) bytes.
+    let n = r.len_prefix(9)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        // A tuple is at least 8 (id) + 8 (value count) bytes.
+        let t = r.len_prefix(16)?;
+        let mut tuples = Vec::with_capacity(t);
+        for _ in 0..t {
+            tuples.push(read_tuple(r)?);
+        }
+        let overflowed = r.bool()?;
+        out.push(QueryResponse { tuples, overflowed });
+    }
+    Ok(out)
+}
+
 /// Serializes a batch of [`QueryResponse`]s into a sealed envelope.
 pub fn encode_responses(responses: &[QueryResponse]) -> Vec<u8> {
     let mut payload = Vec::new();
-    put_usize(&mut payload, responses.len());
-    for resp in responses {
-        put_usize(&mut payload, resp.tuples.len());
-        for t in &resp.tuples {
-            put_tuple(&mut payload, t);
-        }
-        put_bool(&mut payload, resp.overflowed);
-    }
+    put_responses(&mut payload, responses);
     seal(KIND_RESPONSES, payload)
 }
 
@@ -588,17 +676,7 @@ pub fn encode_responses(responses: &[QueryResponse]) -> Vec<u8> {
 pub fn decode_responses(bytes: &[u8]) -> Result<Vec<QueryResponse>, CodecError> {
     let payload = open(bytes, KIND_RESPONSES)?;
     let mut r = Reader::new(payload);
-    let n = r.usize()?;
-    let mut out = Vec::new();
-    for _ in 0..n {
-        let t = r.usize()?;
-        let mut tuples = Vec::new();
-        for _ in 0..t {
-            tuples.push(read_tuple(&mut r)?);
-        }
-        let overflowed = r.bool()?;
-        out.push(QueryResponse { tuples, overflowed });
-    }
+    let out = read_responses(&mut r)?;
     r.finish()?;
     Ok(out)
 }
@@ -670,6 +748,257 @@ pub(crate) fn decode_machine(r: &mut Reader<'_>) -> Result<Box<dyn DiscoveryMach
         )),
         tag => return Err(CodecError::BadTag { tag }),
     })
+}
+
+// ---------------------------------------------------------------------------
+// Wire-protocol payloads (kinds 4–6): the handshake and error-reply
+// envelopes framed over TCP by `skyweb-net`. See `docs/wire-protocol.md`.
+// ---------------------------------------------------------------------------
+
+/// The client half of the wire handshake: the first frame on a new
+/// connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// The wire-protocol version the client speaks ([`WIRE_PROTOCOL`]).
+    pub protocol: u32,
+    /// Free-form client label the server uses for per-connection
+    /// accounting (e.g. the tenant or machine name).
+    pub label: String,
+}
+
+/// The server half of the wire handshake: identifies the hidden database
+/// behind the connection so a remote client can build machine replicas
+/// without ever seeing a tuple.
+#[derive(Debug, Clone)]
+pub struct Welcome {
+    /// The wire-protocol version the server speaks ([`WIRE_PROTOCOL`]).
+    pub protocol: u32,
+    /// Name of the server's ranking function.
+    pub ranker: String,
+    /// The interface's top-`k` result cap.
+    pub k: u64,
+    /// Number of tuples behind the interface (public metadata in the
+    /// paper's model: clients size crawl budgets from it).
+    pub tuple_count: u64,
+    /// The public query schema.
+    pub schema: Schema,
+}
+
+/// Serializes a [`Hello`] handshake into a sealed envelope.
+pub fn encode_hello(hello: &Hello) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_u32(&mut payload, hello.protocol);
+    put_str(&mut payload, &hello.label);
+    seal(KIND_HELLO, payload)
+}
+
+/// Restores a [`Hello`] from a sealed envelope produced by
+/// [`encode_hello`].
+pub fn decode_hello(bytes: &[u8]) -> Result<Hello, CodecError> {
+    let payload = open(bytes, KIND_HELLO)?;
+    let mut r = Reader::new(payload);
+    let protocol = r.u32()?;
+    let label = r.string()?;
+    r.finish()?;
+    Ok(Hello { protocol, label })
+}
+
+/// Serializes a [`Welcome`] handshake into a sealed envelope.
+pub fn encode_welcome(welcome: &Welcome) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_u32(&mut payload, welcome.protocol);
+    put_str(&mut payload, &welcome.ranker);
+    put_u64(&mut payload, welcome.k);
+    put_u64(&mut payload, welcome.tuple_count);
+    put_schema(&mut payload, &welcome.schema);
+    seal(KIND_WELCOME, payload)
+}
+
+/// Restores a [`Welcome`] from a sealed envelope produced by
+/// [`encode_welcome`].
+pub fn decode_welcome(bytes: &[u8]) -> Result<Welcome, CodecError> {
+    let payload = open(bytes, KIND_WELCOME)?;
+    let mut r = Reader::new(payload);
+    let protocol = r.u32()?;
+    let ranker = r.string()?;
+    let k = r.u64()?;
+    let tuple_count = r.u64()?;
+    let schema = read_schema(&mut r)?;
+    r.finish()?;
+    Ok(Welcome {
+        protocol,
+        ranker,
+        k,
+        tuple_count,
+        schema,
+    })
+}
+
+/// Writes a [`SegmentError`] with a one-byte variant tag. The I/O variant's
+/// [`std::io::ErrorKind`] is folded into the detail string — it is an OS
+/// detail with no stable wire representation — and decodes as
+/// [`std::io::ErrorKind::Other`].
+fn put_segment_error(out: &mut Vec<u8>, e: &SegmentError) {
+    match e {
+        SegmentError::Io { kind, detail } => {
+            put_u8(out, 0);
+            put_str(out, &format!("{kind:?}: {detail}"));
+        }
+        SegmentError::Truncated => put_u8(out, 1),
+        SegmentError::BadMagic => put_u8(out, 2),
+        SegmentError::UnsupportedVersion { found } => {
+            put_u8(out, 3);
+            let [lo, hi] = found.to_le_bytes();
+            put_u8(out, lo);
+            put_u8(out, hi);
+        }
+        SegmentError::WrongKind { expected, found } => {
+            put_u8(out, 4);
+            put_u8(out, *expected);
+            put_u8(out, *found);
+        }
+        SegmentError::ChecksumMismatch => put_u8(out, 5),
+        SegmentError::TrailingBytes => put_u8(out, 6),
+        SegmentError::Malformed { detail } => {
+            put_u8(out, 7);
+            put_str(out, detail);
+        }
+        SegmentError::RankerMismatch { expected, found } => {
+            put_u8(out, 8);
+            put_str(out, expected);
+            put_str(out, found);
+        }
+    }
+}
+
+/// Reads a [`SegmentError`] written by [`put_segment_error`].
+fn read_segment_error(r: &mut Reader<'_>) -> Result<SegmentError, CodecError> {
+    Ok(match r.u8()? {
+        0 => SegmentError::Io {
+            kind: std::io::ErrorKind::Other,
+            detail: r.string()?,
+        },
+        1 => SegmentError::Truncated,
+        2 => SegmentError::BadMagic,
+        3 => {
+            let lo = r.u8()?;
+            let hi = r.u8()?;
+            SegmentError::UnsupportedVersion {
+                found: u16::from_le_bytes([lo, hi]),
+            }
+        }
+        4 => SegmentError::WrongKind {
+            expected: r.u8()?,
+            found: r.u8()?,
+        },
+        5 => SegmentError::ChecksumMismatch,
+        6 => SegmentError::TrailingBytes,
+        7 => SegmentError::Malformed {
+            detail: r.string()?,
+        },
+        8 => SegmentError::RankerMismatch {
+            expected: r.string()?,
+            found: r.string()?,
+        },
+        tag => return Err(CodecError::BadTag { tag }),
+    })
+}
+
+/// Writes a [`QueryError`] with a one-byte variant tag (0–8, in
+/// declaration order).
+fn put_query_error(out: &mut Vec<u8>, e: &QueryError) {
+    match e {
+        QueryError::UnknownAttribute { attr } => {
+            put_u8(out, 0);
+            put_usize(out, *attr);
+        }
+        QueryError::UnsupportedPredicate {
+            attr,
+            op,
+            interface,
+        } => {
+            put_u8(out, 1);
+            put_usize(out, *attr);
+            put_u8(out, cmp_op_tag(*op));
+            put_u8(out, interface_tag(*interface));
+        }
+        QueryError::ValueOutOfDomain {
+            attr,
+            value,
+            domain_size,
+        } => {
+            put_u8(out, 2);
+            put_usize(out, *attr);
+            put_u32(out, *value);
+            put_u32(out, *domain_size);
+        }
+        QueryError::RateLimitExceeded { limit } => {
+            put_u8(out, 3);
+            put_u64(out, *limit);
+        }
+        QueryError::Unavailable => put_u8(out, 4),
+        QueryError::Timeout { elapsed_ms } => {
+            put_u8(out, 5);
+            put_u64(out, *elapsed_ms);
+        }
+        QueryError::Throttled => put_u8(out, 6),
+        QueryError::ConnectionDropped => put_u8(out, 7),
+        QueryError::Storage { error } => {
+            put_u8(out, 8);
+            put_segment_error(out, error);
+        }
+    }
+}
+
+/// Reads a [`QueryError`] written by [`put_query_error`].
+fn read_query_error(r: &mut Reader<'_>) -> Result<QueryError, CodecError> {
+    Ok(match r.u8()? {
+        0 => QueryError::UnknownAttribute { attr: r.usize()? },
+        1 => QueryError::UnsupportedPredicate {
+            attr: r.usize()?,
+            op: cmp_op_from_tag(r.u8()?)?,
+            interface: interface_from_tag(r.u8()?)?,
+        },
+        2 => QueryError::ValueOutOfDomain {
+            attr: r.usize()?,
+            value: r.u32()?,
+            domain_size: r.u32()?,
+        },
+        3 => QueryError::RateLimitExceeded { limit: r.u64()? },
+        4 => QueryError::Unavailable,
+        5 => QueryError::Timeout {
+            elapsed_ms: r.u64()?,
+        },
+        6 => QueryError::Throttled,
+        7 => QueryError::ConnectionDropped,
+        8 => QueryError::Storage {
+            error: read_segment_error(r)?,
+        },
+        tag => return Err(CodecError::BadTag { tag }),
+    })
+}
+
+/// Serializes an error reply — the answered prefix of a plan plus the
+/// [`QueryError`] that cut it short — into a sealed envelope. This is how
+/// the wire carries the oracle contract's `(Vec<QueryResponse>,
+/// Option<QueryError>)` shape: a fully answered plan travels as a plain
+/// responses envelope, a cut plan as this one.
+pub fn encode_error_reply(answered: &[QueryResponse], error: &QueryError) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_responses(&mut payload, answered);
+    put_query_error(&mut payload, error);
+    seal(KIND_ERROR, payload)
+}
+
+/// Restores an error reply from a sealed envelope produced by
+/// [`encode_error_reply`].
+pub fn decode_error_reply(bytes: &[u8]) -> Result<(Vec<QueryResponse>, QueryError), CodecError> {
+    let payload = open(bytes, KIND_ERROR)?;
+    let mut r = Reader::new(payload);
+    let answered = read_responses(&mut r)?;
+    let error = read_query_error(&mut r)?;
+    r.finish()?;
+    Ok((answered, error))
 }
 
 #[cfg(test)]
@@ -765,5 +1094,181 @@ mod tests {
         assert_eq!(decoded.attr(1).interface, InterfaceType::Pq);
         assert_eq!(decoded.attr(2).role, AttributeRole::Filtering);
         assert_eq!(decoded.ranking_attrs(), &[0, 1]);
+    }
+
+    #[test]
+    fn tiny_frame_claiming_huge_payload_is_rejected_cheaply() {
+        // A 16-byte frame whose header claims a 2^40-byte payload: the
+        // header parse must reject it from the length claim alone (the
+        // stream transport checks the claim against its frame cap before
+        // allocating), and `open` must reject it as truncation without
+        // trusting the claim.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC);
+        frame.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        frame.push(KIND_PLAN);
+        frame.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        frame.push(0);
+        assert_eq!(frame.len(), 16);
+        let (kind, len) = parse_header(&frame).unwrap();
+        assert_eq!((kind, len), (KIND_PLAN, 1 << 40));
+        assert_eq!(open(&frame, KIND_PLAN), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn forged_count_prefix_is_rejected_before_preallocation() {
+        // Seal a *valid* envelope whose payload is a forged count: the
+        // checksum passes, so only the count-vs-remaining validation in
+        // `len_prefix` stands between the decoder and a 2^40-element
+        // `Vec::with_capacity`. Every collection decoder must reject it.
+        let forged = (1u64 << 40).to_le_bytes().to_vec();
+        let plan = seal(KIND_PLAN, forged.clone());
+        assert_eq!(decode_plan(&plan), Err(CodecError::Truncated));
+        let responses = seal(KIND_RESPONSES, forged.clone());
+        assert!(matches!(
+            decode_responses(&responses),
+            Err(CodecError::Truncated)
+        ));
+        let error_reply = seal(KIND_ERROR, forged.clone());
+        assert!(matches!(
+            decode_error_reply(&error_reply),
+            Err(CodecError::Truncated)
+        ));
+        // A forged inner count (tuple count inside the first response).
+        let mut payload = Vec::new();
+        put_usize(&mut payload, 1);
+        payload.extend_from_slice(&forged);
+        let inner = seal(KIND_RESPONSES, payload);
+        assert!(matches!(
+            decode_responses(&inner),
+            Err(CodecError::Truncated)
+        ));
+        // And a forged schema count inside a welcome frame.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, WIRE_PROTOCOL);
+        put_str(&mut payload, "sum");
+        put_u64(&mut payload, 10);
+        put_u64(&mut payload, 100);
+        payload.extend_from_slice(&forged);
+        let welcome = seal(KIND_WELCOME, payload);
+        assert!(matches!(
+            decode_welcome(&welcome),
+            Err(CodecError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn hello_and_welcome_round_trip() {
+        let hello = Hello {
+            protocol: WIRE_PROTOCOL,
+            label: "tenant-sq".to_string(),
+        };
+        assert_eq!(decode_hello(&encode_hello(&hello)).unwrap(), hello);
+        let schema = skyweb_hidden_db::SchemaBuilder::new()
+            .ranking("price", 100, InterfaceType::Rq)
+            .filtering("carrier", 14)
+            .build();
+        let welcome = Welcome {
+            protocol: WIRE_PROTOCOL,
+            ranker: "sum".to_string(),
+            k: 10,
+            tuple_count: 100_000,
+            schema,
+        };
+        let decoded = decode_welcome(&encode_welcome(&welcome)).unwrap();
+        assert_eq!(decoded.protocol, welcome.protocol);
+        assert_eq!(decoded.ranker, welcome.ranker);
+        assert_eq!(decoded.k, welcome.k);
+        assert_eq!(decoded.tuple_count, welcome.tuple_count);
+        assert_eq!(decoded.schema.len(), 2);
+        assert_eq!(decoded.schema.attr(0).name, "price");
+    }
+
+    #[test]
+    fn error_reply_round_trips_every_variant() {
+        let answered = vec![QueryResponse {
+            tuples: vec![Arc::new(Tuple::new(7, vec![3, 1]))],
+            overflowed: false,
+        }];
+        let errors = vec![
+            QueryError::UnknownAttribute { attr: 9 },
+            QueryError::UnsupportedPredicate {
+                attr: 2,
+                op: CmpOp::Gt,
+                interface: InterfaceType::Sq,
+            },
+            QueryError::ValueOutOfDomain {
+                attr: 1,
+                value: 77,
+                domain_size: 10,
+            },
+            QueryError::RateLimitExceeded { limit: 500 },
+            QueryError::Unavailable,
+            QueryError::Timeout { elapsed_ms: 250 },
+            QueryError::Throttled,
+            QueryError::ConnectionDropped,
+            QueryError::Storage {
+                error: SegmentError::ChecksumMismatch,
+            },
+            QueryError::Storage {
+                error: SegmentError::UnsupportedVersion { found: 9 },
+            },
+            QueryError::Storage {
+                error: SegmentError::RankerMismatch {
+                    expected: "sum".to_string(),
+                    found: "mean".to_string(),
+                },
+            },
+        ];
+        for err in errors {
+            let sealed = encode_error_reply(&answered, &err);
+            let (got_answered, got_err) = decode_error_reply(&sealed).unwrap();
+            assert_eq!(got_answered.len(), 1);
+            assert_eq!(got_answered[0].tuples[0].id, 7);
+            assert_eq!(format!("{got_err:?}"), format!("{err:?}"));
+        }
+        // The I/O kind is folded into the detail string on the wire.
+        let io = QueryError::Storage {
+            error: SegmentError::Io {
+                kind: std::io::ErrorKind::NotFound,
+                detail: "gone".to_string(),
+            },
+        };
+        let (_, got) = decode_error_reply(&encode_error_reply(&[], &io)).unwrap();
+        match got {
+            QueryError::Storage {
+                error: SegmentError::Io { kind, detail },
+            } => {
+                assert_eq!(kind, std::io::ErrorKind::Other);
+                assert_eq!(detail, "NotFound: gone");
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_frames_reject_bit_flips_and_wrong_kinds() {
+        let hello = encode_hello(&Hello {
+            protocol: WIRE_PROTOCOL,
+            label: "t".to_string(),
+        });
+        for byte in 0..hello.len() {
+            for bit in 0..8 {
+                let mut bad = hello.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_hello(&bad).is_err(),
+                    "flip of byte {byte} bit {bit} must be rejected"
+                );
+            }
+        }
+        // Kind confusion between the wire envelopes is caught.
+        assert!(matches!(
+            decode_welcome(&hello),
+            Err(CodecError::WrongKind {
+                expected: KIND_WELCOME,
+                found: KIND_HELLO,
+            })
+        ));
     }
 }

@@ -11,7 +11,9 @@
 
 use std::time::{Duration, Instant};
 
-use skyweb_hidden_db::{FaultPlan, FaultStats, FaultyOracle, HiddenDb, Query, QueryError};
+use skyweb_hidden_db::{
+    FaultPlan, FaultStats, FaultyOracle, HiddenDb, PrefixGroup, Query, QueryError, QueryResponse,
+};
 
 use crate::codec::{self, CodecError};
 use crate::machine::{AnytimeSnapshot, DiscoveryMachine, QueryPlan, RunProgress};
@@ -195,6 +197,46 @@ impl DriverConfig {
     }
 }
 
+/// The query transport a [`DiscoveryDriver`] executes plans through.
+///
+/// This is the grouped-plan surface of
+/// [`Session::run_plan_grouped`](skyweb_hidden_db::Session::run_plan_grouped),
+/// abstracted so the same driver can run a machine against an in-process
+/// database (via [`FaultyOracle`]) or a remote one reached over TCP
+/// (`skyweb-net`'s `RemoteOracle`) — all eight machines are transport-blind.
+pub trait PlanOracle: std::fmt::Debug {
+    /// Executes `queries` (with the optional sibling-group annotation) and
+    /// returns the answered prefix plus the error that cut the plan short,
+    /// if any. Transient errors ([`QueryError::is_transient`]) are the
+    /// driver's cue to retry the unanswered suffix.
+    fn run_plan_grouped(
+        &mut self,
+        queries: &[Query],
+        groups: Option<&[PrefixGroup]>,
+    ) -> (Vec<QueryResponse>, Option<QueryError>);
+
+    /// Fault-injection accounting, for transports that layer deterministic
+    /// chaos over the database. The default is all-zeros: real transports
+    /// have real faults, not injected ones.
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+}
+
+impl PlanOracle for FaultyOracle<'_> {
+    fn run_plan_grouped(
+        &mut self,
+        queries: &[Query],
+        groups: Option<&[PrefixGroup]>,
+    ) -> (Vec<QueryResponse>, Option<QueryError>) {
+        FaultyOracle::run_plan_grouped(self, queries, groups)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.stats()
+    }
+}
+
 /// Outcome of one [`DiscoveryDriver::step`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -308,7 +350,7 @@ impl Checkpoint<Box<dyn DiscoveryMachine>> {
 /// ```
 #[derive(Debug)]
 pub struct DiscoveryDriver<'db, M = Box<dyn DiscoveryMachine>> {
-    oracle: FaultyOracle<'db>,
+    oracle: Box<dyn PlanOracle + Send + 'db>,
     machine: M,
     config: DriverConfig,
     started: Instant,
@@ -340,8 +382,19 @@ impl<'db, M: DiscoveryMachine> DiscoveryDriver<'db, M> {
         if let Some(timeout) = config.retry.and_then(|p| p.per_query_timeout_ms) {
             faults.timeout_ms = Some(timeout);
         }
+        DiscoveryDriver::with_oracle(FaultyOracle::new(db, faults), machine, config)
+    }
+
+    /// Attaches `machine` to an arbitrary [`PlanOracle`] transport — the
+    /// entry point for remote execution (`skyweb-net` passes its
+    /// `RemoteOracle` here). The deadline clock (if any) starts now.
+    pub fn with_oracle(
+        oracle: impl PlanOracle + Send + 'db,
+        machine: M,
+        config: DriverConfig,
+    ) -> Self {
         DiscoveryDriver {
-            oracle: FaultyOracle::new(db, faults),
+            oracle: Box::new(oracle),
             machine,
             config,
             started: Instant::now(),
@@ -421,9 +474,9 @@ impl<'db, M: DiscoveryMachine> DiscoveryDriver<'db, M> {
     }
 
     /// Fault-injection accounting of the underlying oracle (all zeros when
-    /// the driver was built without faults).
+    /// the driver was built without faults, or over a real transport).
     pub fn fault_stats(&self) -> FaultStats {
-        self.oracle.stats()
+        self.oracle.fault_stats()
     }
 
     /// Queries still allowed by the budget (`None` = unlimited).
@@ -725,6 +778,52 @@ mod tests {
         let result = driver.finish().unwrap();
         assert!(!result.complete, "degraded runs are partial");
         // The halted machine needs no further stepping.
+    }
+
+    /// A [`PlanOracle`] that never answers: every attempt fails with a
+    /// transient error, so retry accounting is exact and deterministic.
+    #[derive(Debug)]
+    struct AlwaysDown;
+
+    impl PlanOracle for AlwaysDown {
+        fn run_plan_grouped(
+            &mut self,
+            _queries: &[Query],
+            _groups: Option<&[skyweb_hidden_db::PrefixGroup]>,
+        ) -> (Vec<skyweb_hidden_db::QueryResponse>, Option<QueryError>) {
+            (Vec::new(), Some(QueryError::Unavailable))
+        }
+    }
+
+    #[test]
+    fn retry_budget_of_n_allows_exactly_n_retries() {
+        // Pins the boundary semantics of `retry_budget`: the give-up check
+        // (`self.retries >= b`) runs *before* the counter increments, so a
+        // budget of N performs exactly N retries (N + 1 attempts) and a
+        // budget of 0 degrades on the first failure without retrying.
+        let db = toy_db(1);
+        for budget in [0u64, 1, 3, 7] {
+            let machine = crate::SqDbSky::new().machine(&db).unwrap();
+            let config = DriverConfig::new().with_retry(Some(
+                RetryPolicy::new()
+                    .with_max_attempts(u32::MAX)
+                    .with_retry_budget(Some(budget)),
+            ));
+            let mut driver = DiscoveryDriver::with_oracle(AlwaysDown, machine, config);
+            let outcome = driver.step().unwrap();
+            assert!(
+                matches!(outcome, StepOutcome::Degraded { queries: 0 }),
+                "budget {budget}: expected Degraded, got {outcome:?}"
+            );
+            assert_eq!(
+                driver.retries(),
+                budget,
+                "a retry budget of {budget} must allow exactly {budget} retries"
+            );
+            assert!(driver.last_error().is_some_and(QueryError::is_transient));
+            // A transport without fault injection reports zero fault stats.
+            assert_eq!(driver.fault_stats(), FaultStats::default());
+        }
     }
 
     #[test]

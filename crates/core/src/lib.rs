@@ -76,6 +76,15 @@ mod skyband;
 mod sq;
 
 pub use codec::CodecError;
+// The wire-protocol surface consumed by `skyweb-net`: handshake payloads,
+// the error-reply envelope, and the header parser stream transports use to
+// validate length claims before allocating.
+pub use codec::{
+    decode_error_reply, decode_hello, decode_plan, decode_responses, decode_welcome,
+    encode_error_reply, encode_hello, encode_plan, encode_responses, encode_welcome, parse_header,
+    Hello, Welcome, CHECKSUM_LEN, HEADER_LEN, KIND_ERROR, KIND_HELLO, KIND_PLAN, KIND_RESPONSES,
+    KIND_WELCOME, WIRE_PROTOCOL,
+};
 
 pub use baseline::{
     BaselineCrawl, CrawlControl, CrawlMachine, PointCrawlControl, PointCrawlMachine,
@@ -83,7 +92,8 @@ pub use baseline::{
 };
 pub use discovery::{Discoverer, DiscoveryError, DiscoveryResult, TracePoint};
 pub use driver::{
-    Checkpoint, DiscoveryDriver, DriverConfig, RetryPolicy, StepOutcome, DEFAULT_MAX_BATCH,
+    Checkpoint, DiscoveryDriver, DriverConfig, PlanOracle, RetryPolicy, StepOutcome,
+    DEFAULT_MAX_BATCH,
 };
 pub use knowledge::KnowledgeBase;
 pub use machine::{
